@@ -1,0 +1,72 @@
+"""Ablation C: threshold handling in the LSSS layer.
+
+The paper supports "any LSSS access structure" but, with the standard
+OR-of-ANDs expansion, a k-of-n threshold costs C(n, k)·k matrix rows and
+breaks the injective-ρ requirement. The Vandermonde insertion
+construction (``threshold_method="insert"``) costs n rows and keeps ρ
+injective. This bench quantifies the gap on ciphertext size and
+encryption time for growing thresholds.
+"""
+
+import pytest
+
+from benchmarks.conftest import PRESET, run_once
+from repro.core.authority import AttributeAuthority
+from repro.core.ca import CertificateAuthority
+from repro.core.owner import DataOwner
+from repro.pairing.group import PairingGroup
+from repro.policy.lsss import lsss_from_policy
+
+CASES = [(2, 4), (3, 6), (4, 8)]
+
+
+def _policy(k, n):
+    attributes = ", ".join(f"aa:x{i}" for i in range(n))
+    return f"{k} of ({attributes})"
+
+
+@pytest.fixture(scope="module")
+def world():
+    group = PairingGroup(PRESET, seed=77)
+    ca = CertificateAuthority(group)
+    ca.register_authority("aa")
+    names = [f"x{i}" for i in range(8)]
+    authority = AttributeAuthority(group, "aa", names)
+    owner = DataOwner(group, "owner")
+    authority.register_owner(owner.secret_key)
+    owner.learn_authority(
+        authority.authority_public_key(), authority.public_attribute_keys()
+    )
+    return group, owner
+
+
+@pytest.mark.parametrize("k,n", CASES)
+def test_encrypt_threshold_expand(benchmark, world, k, n):
+    group, owner = world
+    benchmark.group = f"ablation lsss {k}-of-{n}"
+    message = group.random_gt()
+    ciphertext = run_once(
+        benchmark, lambda: owner.encrypt(
+            message, _policy(k, n), require_injective_rho=False,
+            threshold_method="expand",
+        )
+    )
+    matrix = lsss_from_policy(_policy(k, n), threshold_method="expand")
+    assert ciphertext.n_rows == matrix.n_rows
+    print(f"\n[ablation-lsss] expand {k}-of-{n}: {ciphertext.n_rows} rows, "
+          f"{ciphertext.element_size_bytes(group)} B ciphertext")
+
+
+@pytest.mark.parametrize("k,n", CASES)
+def test_encrypt_threshold_insert(benchmark, world, k, n):
+    group, owner = world
+    benchmark.group = f"ablation lsss {k}-of-{n}"
+    message = group.random_gt()
+    ciphertext = run_once(
+        benchmark, lambda: owner.encrypt(
+            message, _policy(k, n), threshold_method="insert",
+        )
+    )
+    assert ciphertext.n_rows == n
+    print(f"\n[ablation-lsss] insert {k}-of-{n}: {ciphertext.n_rows} rows, "
+          f"{ciphertext.element_size_bytes(group)} B ciphertext")

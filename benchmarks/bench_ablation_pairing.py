@@ -1,0 +1,73 @@
+"""Ablation B: substrate primitive costs (pairing, exponentiations, hashing).
+
+Gives the per-operation costs that, combined with the operation-count
+models in repro.analysis.costmodel, predict the Figure 3/4 curves. Runs
+on both presets so the preset choice for the other benchmarks is
+grounded.
+"""
+
+import pytest
+
+from repro.ec.params import PRESETS
+from repro.pairing.group import PairingGroup
+
+_groups = {}
+
+
+def _group(name):
+    if name not in _groups:
+        _groups[name] = PairingGroup(PRESETS[name], seed=17)
+        _groups[name].gt  # warm the cached GT generator
+    return _groups[name]
+
+
+@pytest.mark.parametrize("preset", ["TOY80", "SS512"])
+def test_pairing(benchmark, preset):
+    group = _group(preset)
+    benchmark.group = f"primitives {preset}"
+    x = group.random_g1()
+    y = group.random_g1()
+    result = benchmark(group.pair, x, y)
+    assert (result ** group.order).is_identity()
+
+
+@pytest.mark.parametrize("preset", ["TOY80", "SS512"])
+def test_g1_exponentiation(benchmark, preset):
+    group = _group(preset)
+    benchmark.group = f"primitives {preset}"
+    exponent = group.random_scalar()
+    result = benchmark(lambda: group.g ** exponent)
+    assert not result.is_identity()
+
+
+@pytest.mark.parametrize("preset", ["TOY80", "SS512"])
+def test_gt_exponentiation(benchmark, preset):
+    group = _group(preset)
+    benchmark.group = f"primitives {preset}"
+    exponent = group.random_scalar()
+    result = benchmark(lambda: group.gt ** exponent)
+    assert not result.is_identity()
+
+
+@pytest.mark.parametrize("preset", ["TOY80", "SS512"])
+def test_hash_to_g1(benchmark, preset):
+    group = _group(preset)
+    benchmark.group = f"primitives {preset}"
+    counter = [0]
+
+    def hash_fresh():
+        counter[0] += 1
+        return group.hash_to_g1(f"gid-{counter[0]}")
+
+    result = benchmark(hash_fresh)
+    assert (result ** group.order).is_identity()
+
+
+@pytest.mark.parametrize("preset", ["TOY80", "SS512"])
+def test_multi_pairing_two_pairs(benchmark, preset):
+    """Shared final exponentiation: 2-pairing product vs 2 pairings."""
+    group = _group(preset)
+    benchmark.group = f"primitives {preset}"
+    x, y = group.random_g1(), group.random_g1()
+    result = benchmark(group.pair_prod, [(x, group.g), (y, group.g)])
+    assert result == group.pair(x, group.g) * group.pair(y, group.g)

@@ -1,0 +1,117 @@
+"""Cross-scheme evaluation matrix: all four implemented ABE designs.
+
+Not a paper table; a harness-level summary that times Encrypt/Decrypt
+and reports ciphertext sizes for the reproduced scheme and all three
+comparison schemes on one logical workload (one attribute from each of
+two authority domains, ANDed). Complements Table I with measured
+numbers.
+"""
+
+import pytest
+
+from benchmarks.conftest import PRESET, run_once
+from repro.baselines import bsw, chase, lewko
+from repro.core.authority import AttributeAuthority
+from repro.core.ca import CertificateAuthority
+from repro.core.decrypt import decrypt as ours_decrypt
+from repro.core.owner import DataOwner
+from repro.pairing.group import PairingGroup
+from repro.system.sizes import measure
+
+
+@pytest.fixture(scope="module")
+def group():
+    return PairingGroup(PRESET, seed=3407)
+
+
+@pytest.fixture(scope="module")
+def ours_world(group):
+    ca = CertificateAuthority(group)
+    ca.register_authority("h")
+    ca.register_authority("t")
+    h = AttributeAuthority(group, "h", ["doctor"])
+    t = AttributeAuthority(group, "t", ["researcher"])
+    owner = DataOwner(group, "owner")
+    for authority in (h, t):
+        authority.register_owner(owner.secret_key)
+        owner.learn_authority(
+            authority.authority_public_key(),
+            authority.public_attribute_keys(),
+        )
+    public = ca.register_user("u")
+    keys = {
+        "h": h.keygen(public, ["doctor"], "owner"),
+        "t": t.keygen(public, ["researcher"], "owner"),
+    }
+    message = group.random_gt()
+    return owner, public, keys, message
+
+
+def test_ours(benchmark, group, ours_world):
+    benchmark.group = "baseline matrix"
+    owner, public, keys, message = ours_world
+    ciphertext = owner.encrypt(message, "h:doctor AND t:researcher")
+    recovered = run_once(
+        benchmark, ours_decrypt, group, ciphertext, public, keys
+    )
+    assert recovered == message
+    print(f"\n[matrix] ours: CT {ciphertext.element_size_bytes(group)} B")
+
+
+def test_lewko(benchmark, group):
+    benchmark.group = "baseline matrix"
+    h = lewko.LewkoAuthority(group, "h", ["doctor"])
+    t = lewko.LewkoAuthority(group, "t", ["researcher"])
+    public = {**h.public_key().elements, **t.public_key().elements}
+    keys = {
+        "h": h.keygen("u", ["doctor"]),
+        "t": t.keygen("u", ["researcher"]),
+    }
+    message = group.random_gt()
+    ciphertext = lewko.encrypt(
+        group, message, "h:doctor AND t:researcher", public
+    )
+    recovered = run_once(
+        benchmark, lewko.decrypt, group, ciphertext, "u", keys
+    )
+    assert recovered == message
+    print(f"\n[matrix] lewko: CT {ciphertext.element_size_bytes(group)} B")
+
+
+def test_chase(benchmark, group):
+    benchmark.group = "baseline matrix"
+    central = chase.ChaseCentralAuthority(group)
+    h = chase.ChaseAuthority(group, "h", ["doctor"], 1, b"h")
+    t = chase.ChaseAuthority(group, "t", ["researcher"], 1, b"t")
+    central.register_authority(h)
+    central.register_authority(t)
+    authorities = {"h": h, "t": t, "__central__": central}
+    keys = {
+        "h": h.keygen("u", ["doctor"]),
+        "t": t.keygen("u", ["researcher"]),
+    }
+    message = group.random_gt()
+    ciphertext = chase.encrypt(
+        group, message, {"h": ["doctor"], "t": ["researcher"]}, authorities
+    )
+    recovered = run_once(
+        benchmark, chase.decrypt, group, ciphertext,
+        central.central_key("u"), keys,
+    )
+    assert recovered == message
+    size = group.gt_bytes + group.g1_bytes * (
+        1 + len(ciphertext.per_attribute)
+    )
+    print(f"\n[matrix] chase: CT {size} B (+ central authority trust)")
+
+
+def test_bsw(benchmark, group):
+    benchmark.group = "baseline matrix"
+    scheme = bsw.BswScheme(group)
+    key = scheme.keygen(["h:doctor", "t:researcher"])
+    message = group.random_gt()
+    ciphertext = scheme.encrypt(message, "h:doctor AND t:researcher")
+    recovered = run_once(benchmark, scheme.decrypt, ciphertext, key)
+    assert recovered == message
+    print(f"\n[matrix] bsw: CT {measure(ciphertext, group)} B "
+          f"(single authority)")

@@ -1,0 +1,34 @@
+"""Figure 3(a): encryption time vs number of authorities.
+
+Paper setup: attributes per authority fixed at 5; the x-axis sweeps the
+number of involved authorities; both schemes encrypt one message under
+the all-AND policy over every attribute. Expected shape: both linear in
+the total attribute count, ours below Lewko's by roughly 2-3× (per LSSS
+row we pay ~2 G exponentiations versus Lewko's ~3 G + 2 GT).
+"""
+
+import pytest
+
+from benchmarks.conftest import (
+    AUTHORITY_SWEEP,
+    FIXED_ATTRS,
+    lewko_workload,
+    ours_workload,
+    run_once,
+)
+
+
+@pytest.mark.parametrize("n_authorities", AUTHORITY_SWEEP)
+def test_ours_encrypt(benchmark, n_authorities):
+    workload = ours_workload(n_authorities, FIXED_ATTRS)
+    benchmark.group = f"fig3a encrypt nA={n_authorities}"
+    ciphertext = run_once(benchmark, workload.encrypt)
+    assert ciphertext.n_rows == n_authorities * FIXED_ATTRS
+
+
+@pytest.mark.parametrize("n_authorities", AUTHORITY_SWEEP)
+def test_lewko_encrypt(benchmark, n_authorities):
+    workload = lewko_workload(n_authorities, FIXED_ATTRS)
+    benchmark.group = f"fig3a encrypt nA={n_authorities}"
+    ciphertext = run_once(benchmark, workload.encrypt)
+    assert ciphertext.n_rows == n_authorities * FIXED_ATTRS

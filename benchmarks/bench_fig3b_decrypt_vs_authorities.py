@@ -1,0 +1,39 @@
+"""Figure 3(b): decryption time vs number of authorities.
+
+Paper setup: the user holds 5 attributes from each authority; the
+x-axis sweeps the number of authorities. Expected shape: both schemes
+linear in the number of used rows; ours *slightly above* Lewko's (we
+pay the same 2 pairings per row plus one numerator pairing per
+authority and the w_i·n_A exponent per row) — "the time for decryption
+in our scheme is a little more than the one in Lewko's scheme".
+"""
+
+import pytest
+
+from benchmarks.conftest import (
+    AUTHORITY_SWEEP,
+    FIXED_ATTRS,
+    lewko_ciphertext,
+    lewko_workload,
+    ours_ciphertext,
+    ours_workload,
+    run_once,
+)
+
+
+@pytest.mark.parametrize("n_authorities", AUTHORITY_SWEEP)
+def test_ours_decrypt(benchmark, n_authorities):
+    workload = ours_workload(n_authorities, FIXED_ATTRS)
+    ciphertext = ours_ciphertext(n_authorities, FIXED_ATTRS)
+    benchmark.group = f"fig3b decrypt nA={n_authorities}"
+    message = run_once(benchmark, workload.decrypt, ciphertext)
+    assert message == workload.message
+
+
+@pytest.mark.parametrize("n_authorities", AUTHORITY_SWEEP)
+def test_lewko_decrypt(benchmark, n_authorities):
+    workload = lewko_workload(n_authorities, FIXED_ATTRS)
+    ciphertext = lewko_ciphertext(n_authorities, FIXED_ATTRS)
+    benchmark.group = f"fig3b decrypt nA={n_authorities}"
+    message = run_once(benchmark, workload.decrypt, ciphertext)
+    assert message == workload.message

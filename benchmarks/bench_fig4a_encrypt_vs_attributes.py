@@ -1,0 +1,33 @@
+"""Figure 4(a): encryption time vs attributes per authority.
+
+Paper setup: the number of involved authorities is fixed at 5; the
+x-axis sweeps attributes per authority. Same expected shape as Fig 3(a)
+— linear, ours cheaper — since both axes only change the total LSSS row
+count l = n_A · n_k.
+"""
+
+import pytest
+
+from benchmarks.conftest import (
+    ATTRIBUTE_SWEEP,
+    FIXED_AUTHORITIES,
+    lewko_workload,
+    ours_workload,
+    run_once,
+)
+
+
+@pytest.mark.parametrize("attrs", ATTRIBUTE_SWEEP)
+def test_ours_encrypt(benchmark, attrs):
+    workload = ours_workload(FIXED_AUTHORITIES, attrs)
+    benchmark.group = f"fig4a encrypt attrs/AA={attrs}"
+    ciphertext = run_once(benchmark, workload.encrypt)
+    assert ciphertext.n_rows == FIXED_AUTHORITIES * attrs
+
+
+@pytest.mark.parametrize("attrs", ATTRIBUTE_SWEEP)
+def test_lewko_encrypt(benchmark, attrs):
+    workload = lewko_workload(FIXED_AUTHORITIES, attrs)
+    benchmark.group = f"fig4a encrypt attrs/AA={attrs}"
+    ciphertext = run_once(benchmark, workload.encrypt)
+    assert ciphertext.n_rows == FIXED_AUTHORITIES * attrs

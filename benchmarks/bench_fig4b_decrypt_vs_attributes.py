@@ -1,0 +1,36 @@
+"""Figure 4(b): decryption time vs attributes the user holds per authority.
+
+Paper setup: the number of authorities is fixed at 5; the x-axis sweeps
+the per-authority attribute count. Expected: linear in used rows, ours
+slightly above Lewko's.
+"""
+
+import pytest
+
+from benchmarks.conftest import (
+    ATTRIBUTE_SWEEP,
+    FIXED_AUTHORITIES,
+    lewko_ciphertext,
+    lewko_workload,
+    ours_ciphertext,
+    ours_workload,
+    run_once,
+)
+
+
+@pytest.mark.parametrize("attrs", ATTRIBUTE_SWEEP)
+def test_ours_decrypt(benchmark, attrs):
+    workload = ours_workload(FIXED_AUTHORITIES, attrs)
+    ciphertext = ours_ciphertext(FIXED_AUTHORITIES, attrs)
+    benchmark.group = f"fig4b decrypt attrs/AA={attrs}"
+    message = run_once(benchmark, workload.decrypt, ciphertext)
+    assert message == workload.message
+
+
+@pytest.mark.parametrize("attrs", ATTRIBUTE_SWEEP)
+def test_lewko_decrypt(benchmark, attrs):
+    workload = lewko_workload(FIXED_AUTHORITIES, attrs)
+    ciphertext = lewko_ciphertext(FIXED_AUTHORITIES, attrs)
+    benchmark.group = f"fig4b decrypt attrs/AA={attrs}"
+    message = run_once(benchmark, workload.decrypt, ciphertext)
+    assert message == workload.message

@@ -1,0 +1,18 @@
+"""Table I: scalability comparison (feature matrix).
+
+A static table; the "benchmark" times its rendering so the harness
+prints it alongside the other tables under ``--benchmark-only``.
+"""
+
+from repro.analysis.scalability import TABLE1, render_table1
+
+
+def test_table1(benchmark):
+    text = benchmark(render_table1)
+    print("\n=== Table I — Scalability comparison ===")
+    print(text)
+    assert len(TABLE1) == 6
+    ours = TABLE1[0]
+    assert not ours.requires_global_authority
+    assert ours.policy_type == "any LSSS"
+    assert ours.collusion_bound == "any"

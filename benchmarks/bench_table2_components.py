@@ -1,0 +1,90 @@
+"""Table II: size of each component, ours vs Lewko-Waters.
+
+Prints the closed-form model (in |p|/|G|/|GT| units resolved to bytes at
+the active preset) next to the *measured* serialized sizes of real key
+and ciphertext objects, for the paper's headline shape (5 authorities,
+5 attributes each, all-AND policy → l = 25 rows).
+"""
+
+from benchmarks.conftest import (
+    FIXED_ATTRS,
+    FIXED_AUTHORITIES,
+    PRESET,
+    lewko_ciphertext,
+    lewko_workload,
+    ours_ciphertext,
+    ours_workload,
+)
+from repro.analysis.costmodel import SystemShape, table2_lewko, table2_ours
+from repro.pairing.serialize import element_sizes
+from repro.system.sizes import measure
+
+SHAPE = SystemShape(
+    n_authorities=FIXED_AUTHORITIES,
+    attrs_per_authority=FIXED_ATTRS,
+    user_attrs_per_authority=FIXED_ATTRS,
+    policy_rows=FIXED_AUTHORITIES * FIXED_ATTRS,
+)
+
+
+def _measured_ours():
+    workload = ours_workload(FIXED_AUTHORITIES, FIXED_ATTRS)
+    group = workload.group
+    ciphertext = ours_ciphertext(FIXED_AUTHORITIES, FIXED_ATTRS)
+    secret = sum(measure(k, group) for k in workload.secret_keys.values())
+    public = FIXED_AUTHORITIES * (
+        FIXED_ATTRS * group.g1_bytes + group.gt_bytes
+    )
+    return {
+        "authority_key": group.scalar_bytes,
+        "public_key": public,
+        "secret_key": secret,
+        "ciphertext": ciphertext.element_size_bytes(group),
+    }
+
+
+def _measured_lewko():
+    workload = lewko_workload(FIXED_AUTHORITIES, FIXED_ATTRS)
+    group = workload.group
+    ciphertext = lewko_ciphertext(FIXED_AUTHORITIES, FIXED_ATTRS)
+    secret = sum(measure(k, group) for k in workload.user_keys.values())
+    public = sum(measure(pk, group) for pk in workload.public_keys.values())
+    return {
+        "authority_key": 2 * FIXED_AUTHORITIES * FIXED_ATTRS
+        * group.scalar_bytes,
+        "public_key": public,
+        "secret_key": secret,
+        "ciphertext": ciphertext.element_size_bytes(group),
+    }
+
+
+def test_table2(benchmark):
+    sizes = element_sizes(PRESET)
+    ours_model = table2_ours(SHAPE)
+    lewko_model = table2_lewko(SHAPE)
+    measured_ours = benchmark(_measured_ours)
+    measured_lewko = _measured_lewko()
+
+    print(f"\n=== Table II — Component sizes (bytes, preset {PRESET.name}, "
+          f"n_A={SHAPE.n_authorities}, n_k={SHAPE.attrs_per_authority}, "
+          f"l={SHAPE.policy_rows}) ===")
+    header = (f"{'Component':<14} {'Ours(model)':>12} {'Ours(meas)':>11} "
+              f"{'Lewko(model)':>13} {'Lewko(meas)':>12}")
+    print(header)
+    print("-" * len(header))
+    for component in ("authority_key", "public_key", "secret_key",
+                      "ciphertext"):
+        om = ours_model[component].bytes(sizes)
+        lm = lewko_model[component].bytes(sizes)
+        print(f"{component:<14} {om:>12} {measured_ours[component]:>11} "
+              f"{lm:>13} {measured_lewko[component]:>12}")
+        assert om == measured_ours[component], component
+        assert lm == measured_lewko[component], component
+
+    # Paper claims that must hold in shape:
+    assert ours_model["ciphertext"].bytes(sizes) < lewko_model[
+        "ciphertext"
+    ].bytes(sizes)
+    assert ours_model["authority_key"].bytes(sizes) < lewko_model[
+        "authority_key"
+    ].bytes(sizes)

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Regenerate all four paper figures as CSV files + ASCII charts.
+
+Not a pytest module — a standalone script for when you want the figure
+*data* rather than pytest-benchmark statistics::
+
+    python benchmarks/generate_figures.py                 # SS512, skeleton sweep
+    python benchmarks/generate_figures.py --preset TOY80  # quick look
+    python benchmarks/generate_figures.py --full          # every paper point
+
+CSVs land in ``benchmarks/out/fig{3a,3b,4a,4b}.csv``.
+"""
+
+import argparse
+import pathlib
+import sys
+
+from repro.analysis.figures import FIGURES, figure_series, render_ascii
+from repro.ec.params import PRESETS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", choices=sorted(PRESETS), default="SS512")
+    parser.add_argument("--full", action="store_true",
+                        help="sweep 2..20 like the paper (slow)")
+    parser.add_argument("--repeats", type=int, default=1)
+    parser.add_argument("--out", default=None,
+                        help="output directory (default: benchmarks/out)")
+    args = parser.parse_args(argv)
+
+    sweep = list(range(2, 21, 2)) if args.full else [2, 5, 10, 15, 20]
+    out_dir = pathlib.Path(
+        args.out or pathlib.Path(__file__).parent / "out"
+    )
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    preset = PRESETS[args.preset]
+    for figure_id in sorted(FIGURES):
+        series = figure_series(
+            figure_id, preset, sweep, repeats=args.repeats
+        )
+        path = out_dir / f"fig{figure_id}.csv"
+        path.write_text(series.to_csv())
+        print(render_ascii(series))
+        print(f"  -> {path}\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

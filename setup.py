@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network, so
+PEP 660 editable installs (which build a wheel) fail. This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``pip install -e .`` on modern environments with ``wheel``) work either
+way. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""Cost models and harness helpers regenerating the paper's tables/figures."""
+
+from repro.analysis.costmodel import (
+    Cost,
+    OperationCounts,
+    SystemShape,
+    decrypt_ops_lewko,
+    decrypt_ops_ours,
+    encrypt_ops_lewko,
+    encrypt_ops_ours,
+    table2_lewko,
+    table2_ours,
+    table3_lewko,
+    table3_ours,
+    table4_lewko,
+    table4_ours,
+)
+from repro.analysis.figures import (
+    FIGURES,
+    FigurePoint,
+    FigureSeries,
+    figure_series,
+    render_ascii,
+)
+from repro.analysis.scalability import (
+    TABLE1,
+    SchemeScalability,
+    render_table1,
+    table1_rows,
+)
+
+__all__ = [
+    "SystemShape",
+    "Cost",
+    "OperationCounts",
+    "table2_ours",
+    "table2_lewko",
+    "table3_ours",
+    "table3_lewko",
+    "table4_ours",
+    "table4_lewko",
+    "encrypt_ops_ours",
+    "encrypt_ops_lewko",
+    "decrypt_ops_ours",
+    "decrypt_ops_lewko",
+    "TABLE1",
+    "SchemeScalability",
+    "table1_rows",
+    "render_table1",
+    "FIGURES",
+    "FigurePoint",
+    "FigureSeries",
+    "figure_series",
+    "render_ascii",
+]

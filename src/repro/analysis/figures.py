@@ -1,0 +1,138 @@
+"""Programmatic regeneration of the paper's Figures 3 and 4.
+
+The pytest-benchmark harness gives statistically careful per-point
+timings; this module gives the *figure* — the full (x, ours, lewko)
+series plus a terminal-friendly ASCII chart and CSV export — in one
+call, for scripts and notebooks::
+
+    from repro.analysis.figures import figure_series, render_ascii
+    series = figure_series("3a", preset=TOY80, sweep=[2, 4, 6])
+    print(render_ascii(series))
+
+Figure ids follow the paper: ``3a``/``3b`` sweep the number of
+authorities at 5 attributes each; ``4a``/``4b`` sweep attributes per
+authority at 5 authorities; ``a`` = encryption, ``b`` = decryption.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.analysis.timing import build_lewko, build_ours
+from repro.ec.params import TypeAParams
+
+FIGURES = {
+    "3a": ("encrypt", "authorities", "Fig 3(a): encryption vs #authorities"),
+    "3b": ("decrypt", "authorities", "Fig 3(b): decryption vs #authorities"),
+    "4a": ("encrypt", "attributes", "Fig 4(a): encryption vs attrs/authority"),
+    "4b": ("decrypt", "attributes", "Fig 4(b): decryption vs attrs/authority"),
+}
+
+FIXED = 5  # the paper fixes the non-swept parameter at 5
+
+
+@dataclass(frozen=True)
+class FigurePoint:
+    x: int
+    ours_seconds: float
+    lewko_seconds: float
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    figure_id: str
+    title: str
+    x_label: str
+    points: tuple
+
+    def to_csv(self) -> str:
+        lines = [f"{self.x_label},ours_seconds,lewko_seconds"]
+        for point in self.points:
+            lines.append(
+                f"{point.x},{point.ours_seconds:.6f},{point.lewko_seconds:.6f}"
+            )
+        return "\n".join(lines) + "\n"
+
+
+def _time_once(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def figure_series(figure_id: str, preset: TypeAParams, sweep,
+                  seed: int = 42, repeats: int = 1) -> FigureSeries:
+    """Measure one figure's two curves over the given sweep.
+
+    ``repeats`` > 1 takes the minimum of several runs per point (the
+    usual noise-reduction for wall-clock microbenchmarks).
+    """
+    try:
+        operation, axis, title = FIGURES[figure_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown figure {figure_id!r}; choose from {sorted(FIGURES)}"
+        ) from None
+    points = []
+    for x in sweep:
+        if axis == "authorities":
+            n_authorities, attrs = x, FIXED
+        else:
+            n_authorities, attrs = FIXED, x
+        ours = build_ours(preset, n_authorities, attrs, seed=seed)
+        lewko = build_lewko(preset, n_authorities, attrs, seed=seed)
+        if operation == "encrypt":
+            ours_time = min(
+                _time_once(ours.encrypt) for _ in range(repeats)
+            )
+            lewko_time = min(
+                _time_once(lewko.encrypt) for _ in range(repeats)
+            )
+        else:
+            ours_ct = ours.encrypt()
+            lewko_ct = lewko.encrypt()
+            ours_time = min(
+                _time_once(lambda: ours.decrypt(ours_ct))
+                for _ in range(repeats)
+            )
+            lewko_time = min(
+                _time_once(lambda: lewko.decrypt(lewko_ct))
+                for _ in range(repeats)
+            )
+        points.append(
+            FigurePoint(x=x, ours_seconds=ours_time,
+                        lewko_seconds=lewko_time)
+        )
+    x_label = ("n_authorities" if axis == "authorities"
+               else "attrs_per_authority")
+    return FigureSeries(
+        figure_id=figure_id, title=title, x_label=x_label,
+        points=tuple(points),
+    )
+
+
+def render_ascii(series: FigureSeries, width: int = 60) -> str:
+    """A two-curve horizontal bar chart for terminals.
+
+    ``o`` bars are our scheme, ``L`` bars the Lewko baseline; both are
+    scaled to the slowest measurement in the series.
+    """
+    peak = max(
+        max(point.ours_seconds, point.lewko_seconds)
+        for point in series.points
+    )
+    scale = (width - 1) / peak if peak > 0 else 0
+    lines = [series.title, ""]
+    for point in series.points:
+        ours_bar = "o" * max(1, int(point.ours_seconds * scale))
+        lewko_bar = "L" * max(1, int(point.lewko_seconds * scale))
+        lines.append(
+            f"{series.x_label}={point.x:<3} "
+            f"ours  {point.ours_seconds * 1000:9.1f} ms |{ours_bar}"
+        )
+        lines.append(
+            f"{'':<{len(series.x_label) + 5}}"
+            f"lewko {point.lewko_seconds * 1000:9.1f} ms |{lewko_bar}"
+        )
+    return "\n".join(lines)

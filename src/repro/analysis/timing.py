@@ -1,0 +1,123 @@
+"""Timing harness helpers shared by the Figure 3/4 benchmarks.
+
+``pytest-benchmark`` drives the per-point measurement; these helpers
+build the *workloads* — a system with n_A authorities and n_k attributes
+per authority, the all-AND policy over every attribute (the natural
+reading of "the involved number of attributes per authority is set to
+be 5"), and pre-issued user keys — so the benchmark bodies time exactly
+one Encrypt or one Decrypt, nothing else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines import lewko
+from repro.core.authority import AttributeAuthority
+from repro.core.ca import CertificateAuthority
+from repro.core.owner import DataOwner
+from repro.ec.params import TypeAParams
+from repro.pairing.group import PairingGroup
+
+
+def attribute_names(count: int) -> list:
+    return [f"attr{i}" for i in range(count)]
+
+
+def and_policy(aids, attrs_per_authority: int) -> str:
+    """The all-AND policy over every attribute of every authority."""
+    terms = [
+        f"{aid}:attr{i}" for aid in aids for i in range(attrs_per_authority)
+    ]
+    return " AND ".join(terms)
+
+
+@dataclass
+class OursWorkload:
+    """Everything needed to time our scheme's Encrypt/Decrypt once."""
+
+    group: PairingGroup
+    owner: DataOwner
+    policy: str
+    user_public_key: object
+    secret_keys: dict
+    message: object
+
+    def encrypt(self):
+        return self.owner.encrypt(self.message, self.policy)
+
+    def decrypt(self, ciphertext):
+        from repro.core.decrypt import decrypt
+
+        return decrypt(self.group, ciphertext, self.user_public_key,
+                       self.secret_keys)
+
+
+def build_ours(params: TypeAParams, n_authorities: int,
+               attrs_per_authority: int, seed: int = 1) -> OursWorkload:
+    group = PairingGroup(params, seed=seed)
+    ca = CertificateAuthority(group)
+    names = attribute_names(attrs_per_authority)
+    aids = [f"aa{k}" for k in range(n_authorities)]
+    authorities = []
+    for aid in aids:
+        ca.register_authority(aid)
+        authorities.append(AttributeAuthority(group, aid, names))
+    owner = DataOwner(group, "owner")
+    for authority in authorities:
+        authority.register_owner(owner.secret_key)
+        owner.learn_authority(
+            authority.authority_public_key(), authority.public_attribute_keys()
+        )
+    user_public = ca.register_user("user")
+    secret_keys = {
+        authority.aid: authority.keygen(user_public, names, "owner")
+        for authority in authorities
+    }
+    return OursWorkload(
+        group=group,
+        owner=owner,
+        policy=and_policy(aids, attrs_per_authority),
+        user_public_key=user_public,
+        secret_keys=secret_keys,
+        message=group.random_gt(),
+    )
+
+
+@dataclass
+class LewkoWorkload:
+    """Everything needed to time Lewko-Waters Encrypt/Decrypt once."""
+
+    group: PairingGroup
+    policy: str
+    public_keys: dict
+    user_keys: dict
+    message: object
+    gid: str = "user"
+
+    def encrypt(self):
+        return lewko.encrypt(self.group, self.message, self.policy,
+                             self.public_keys)
+
+    def decrypt(self, ciphertext):
+        return lewko.decrypt(self.group, ciphertext, self.gid, self.user_keys)
+
+
+def build_lewko(params: TypeAParams, n_authorities: int,
+                attrs_per_authority: int, seed: int = 1) -> LewkoWorkload:
+    group = PairingGroup(params, seed=seed)
+    names = attribute_names(attrs_per_authority)
+    aids = [f"aa{k}" for k in range(n_authorities)]
+    public_keys = {}
+    user_keys = {}
+    for aid in aids:
+        authority = lewko.LewkoAuthority(group, aid, names)
+        public_keys.update(authority.public_key().elements)
+        user_keys[aid] = authority.keygen("user", names)
+    return LewkoWorkload(
+        group=group,
+        policy=and_policy(aids, attrs_per_authority),
+        public_keys=public_keys,
+        user_keys=user_keys,
+        message=group.random_gt(),
+    )

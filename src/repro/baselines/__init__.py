@@ -1,0 +1,32 @@
+"""Comparison schemes: Lewko-Waters, BSW, and Hur-Noh revocation."""
+
+from repro.baselines import bsw, chase, hur, lewko, pirretti, waters
+from repro.baselines.bsw import BswScheme
+from repro.baselines.chase import ChaseAuthority, ChaseCentralAuthority
+from repro.baselines.hur import HurSystem
+from repro.baselines.kek_tree import KekTree
+from repro.baselines.lewko import LewkoAuthority
+from repro.baselines.pirretti import PirrettiSystem
+from repro.baselines.waters import WatersScheme
+
+# NOTE: repro.baselines.lewko_system (the deployable baseline) is *not*
+# re-exported here: it builds on repro.system, whose size model imports
+# the baseline ciphertext types from this package — import it directly
+# as `from repro.baselines.lewko_system import LewkoCloudSystem`.
+
+__all__ = [
+    "lewko",
+    "bsw",
+    "hur",
+    "chase",
+    "pirretti",
+    "waters",
+    "LewkoAuthority",
+    "BswScheme",
+    "HurSystem",
+    "KekTree",
+    "ChaseAuthority",
+    "ChaseCentralAuthority",
+    "PirrettiSystem",
+    "WatersScheme",
+]

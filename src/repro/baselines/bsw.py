@@ -1,0 +1,155 @@
+"""Bethencourt-Sahai-Waters CP-ABE (IEEE S&P 2007) — single authority.
+
+The classic single-authority scheme the paper's related work starts
+from ([2] in its bibliography). Included for two reasons: it is the
+reference point that motivates the multi-authority problem (one
+authority must manage *all* attributes and can decrypt everything), and
+it is the substrate of the Hur-Noh revocation baseline
+(:mod:`repro.baselines.hur`).
+
+Construction (symmetric pairing, access *trees* with native threshold
+gates, ``H : attribute → G`` in the random-oracle model):
+
+* Setup: ``α, β ← Z_r``; PK = ``(h = g^β, e(g,g)^α)``; MK = ``(β, g^α)``.
+* KeyGen(S): ``t ← Z_r``; ``D = g^{(α+t)/β}``; per attribute ``j``:
+  ``t_j ← Z_r``, ``D_j = g^t · H(j)^{t_j}``, ``D'_j = g^{t_j}``.
+* Encrypt(M, tree): ``s ← Z_r``; ``C̃ = M·e(g,g)^{αs}``, ``C = h^s``;
+  Shamir-share ``s`` down the tree; per leaf ``y`` with share ``q_y``:
+  ``C_y = g^{q_y}``, ``C'_y = H(att(y))^{q_y}``.
+* Decrypt: per usable leaf ``e(D_j, C_y)/e(D'_j, C'_y) = e(g,g)^{t·q_y}``;
+  Lagrange-combine to ``A = e(g,g)^{ts}``; recover
+  ``M = C̃ · A / e(C, D)``.
+
+Keys are randomized by the per-user ``t``, which is what prevents
+collusion in the single-authority setting — and exactly the mechanism
+that "cannot be applied" across authorities, motivating the paper's
+UID-based alternative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchemeError
+from repro.math.integers import invmod
+from repro.pairing.group import G1Element, GTElement, PairingGroup
+from repro.policy.access_tree import (
+    build_tree,
+    reconstruction_coefficients,
+    share_secret,
+    tree_satisfied,
+)
+
+
+@dataclass(frozen=True)
+class BswPublicKey:
+    h: G1Element          # g^β
+    e_gg_alpha: GTElement  # e(g,g)^α
+
+
+@dataclass(frozen=True)
+class BswMasterKey:
+    beta: int
+    g_alpha: G1Element    # g^α
+
+
+@dataclass(frozen=True)
+class BswUserKey:
+    d: G1Element          # g^{(α+t)/β}
+    components: dict      # attribute -> (D_j, D'_j)
+
+    @property
+    def attributes(self) -> frozenset:
+        return frozenset(self.components)
+
+
+@dataclass(frozen=True)
+class BswCiphertext:
+    c_tilde: GTElement    # M · e(g,g)^{αs}
+    c: G1Element          # h^s
+    leaves: tuple         # per tree leaf: (attribute, C_y, C'_y)
+    policy: str
+
+    @property
+    def n_leaves(self) -> int:
+        return len(self.leaves)
+
+
+class BswScheme:
+    """One BSW deployment: setup once, then keygen/encrypt/decrypt."""
+
+    def __init__(self, group: PairingGroup):
+        self.group = group
+        alpha = group.random_scalar()
+        beta = group.random_scalar()
+        self.public_key = BswPublicKey(
+            h=group.g ** beta, e_gg_alpha=group.gt ** alpha
+        )
+        self._master = BswMasterKey(beta=beta, g_alpha=group.g ** alpha)
+
+    def _hash_attribute(self, attribute: str) -> G1Element:
+        return self.group.hash_to_g1(attribute, domain=b"repro.bsw.attr")
+
+    def keygen(self, attributes) -> BswUserKey:
+        """Issue a secret key for an attribute set (fresh user randomness t)."""
+        group = self.group
+        order = group.order
+        t = group.random_scalar()
+        inv_beta = invmod(self._master.beta, order)
+        d = (self._master.g_alpha * (group.g ** t)) ** inv_beta
+        components = {}
+        for attribute in set(attributes):
+            t_j = group.random_scalar()
+            components[attribute] = (
+                (group.g ** t) * (self._hash_attribute(attribute) ** t_j),
+                group.g ** t_j,
+            )
+        if not components:
+            raise SchemeError("BSW keys need at least one attribute")
+        return BswUserKey(d=d, components=components)
+
+    def encrypt(self, message: GTElement, policy) -> BswCiphertext:
+        """Encrypt a GT message under an access tree (thresholds native)."""
+        group = self.group
+        root, tree_leaves = build_tree(policy)
+        s = group.random_scalar()
+        shares = share_secret(root, s, group.order, group.rng)
+        leaves = []
+        for leaf in tree_leaves:
+            share = shares[leaf.index]
+            leaves.append(
+                (
+                    leaf.attribute,
+                    group.g ** share,
+                    self._hash_attribute(leaf.attribute) ** share,
+                )
+            )
+        return BswCiphertext(
+            c_tilde=message * (self.public_key.e_gg_alpha ** s),
+            c=self.public_key.h ** s,
+            leaves=tuple(leaves),
+            policy=str(policy),
+        )
+
+    def decrypt(self, ciphertext: BswCiphertext, key: BswUserKey) -> GTElement:
+        """Recover the message; raises PolicyNotSatisfiedError if blocked."""
+        group = self.group
+        root, _ = build_tree(ciphertext.policy)
+        coefficients = reconstruction_coefficients(
+            root, key.attributes, group.order
+        )
+        accumulator = group.identity_gt()
+        for index, coefficient in coefficients.items():
+            attribute, c_y, c_y_prime = ciphertext.leaves[index]
+            d_j, d_j_prime = key.components[attribute]
+            term = group.pair(d_j, c_y) / group.pair(d_j_prime, c_y_prime)
+            accumulator = accumulator * (term ** coefficient)
+        return (
+            ciphertext.c_tilde
+            * accumulator
+            / group.pair(ciphertext.c, key.d)
+        )
+
+    def satisfies(self, ciphertext: BswCiphertext, key: BswUserKey) -> bool:
+        root, _ = build_tree(ciphertext.policy)
+        return tree_satisfied(root, key.attributes)

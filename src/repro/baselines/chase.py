@@ -1,0 +1,275 @@
+"""Chase's multi-authority ABE (TCC 2007) — the central-authority baseline.
+
+The first multi-authority ABE scheme, reference [7] of the paper and the
+first comparison row of Table I. Reproducing it makes the table's two
+criticisms *executable*:
+
+* it needs a **central authority** whose master secret decrypts every
+  ciphertext in the system (demonstrated by
+  ``central_authority_decrypt`` and its test) — the vulnerability/
+  bottleneck the reproduced paper removes;
+* its policies are a fixed **d_k-out-of-n_k threshold per authority,
+  ANDed across all authorities** — no LSSS expressiveness.
+
+Construction (symmetric pairing of order r, generator g):
+
+* Central authority (CA): master secret ``y_0``; system key
+  ``Y = e(g,g)^{y_0}``. It also knows every AA's PRF seed.
+* Authority ``k``: threshold ``d_k``, per-attribute secrets ``t_{k,i}``
+  with public ``T_{k,i} = g^{t_{k,i}}``, and a PRF ``F_k`` mapping a
+  user's GID to ``y_{k,u}``.
+* User key from authority ``k`` for attribute set ``A``: a fresh Shamir
+  polynomial ``p`` of degree ``d_k - 1`` with ``p(0) = y_{k,u}``;
+  components ``S_{k,i} = g^{p(i)/t_{k,i}}`` for ``i ∈ A``.
+* Central key for user ``u``: ``D_u = g^{y_0 - Σ_k y_{k,u}}`` — this is
+  what ties the authorities together and why the CA must know all seeds.
+* Encrypt(m, attribute set per authority): ``s`` random;
+  ``C_0 = m·Y^s``, ``C_1 = g^s``, ``C_{k,i} = T_{k,i}^s``.
+* Decrypt: per authority, pair ``d_k`` components
+  ``e(S_{k,i}, C_{k,i}) = e(g,g)^{p(i)·s}`` and Lagrange-combine to
+  ``e(g,g)^{y_{k,u}·s}``; multiply across authorities and by
+  ``e(D_u, C_1)`` to reach ``Y^s``.
+
+PRFs are instantiated as HMAC-SHA256 into Z_r (the standard
+random-oracle instantiation).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from repro.core.attributes import qualify, validate_identifier
+from repro.errors import PolicyNotSatisfiedError, SchemeError
+from repro.math.integers import invmod
+from repro.math.polynomial import Polynomial, lagrange_coefficients_at_zero
+from repro.pairing.group import G1Element, GTElement, PairingGroup
+
+
+def _prf(seed: bytes, gid: str, order: int) -> int:
+    """F_seed(gid) → Z_r via HMAC-SHA256 expansion."""
+    stream = b""
+    counter = 0
+    needed = 2 * ((order.bit_length() + 7) // 8)
+    while len(stream) < needed:
+        stream += hmac.new(
+            seed, gid.encode("utf-8") + counter.to_bytes(4, "big"),
+            hashlib.sha256,
+        ).digest()
+        counter += 1
+    return int.from_bytes(stream[:needed], "big") % order
+
+
+@dataclass(frozen=True)
+class ChaseUserKey:
+    """One user's components from one authority."""
+
+    gid: str
+    aid: str
+    components: dict  # qualified attribute -> (index i, S_{k,i})
+
+
+@dataclass(frozen=True)
+class ChaseCentralKey:
+    """D_u from the central authority."""
+
+    gid: str
+    element: G1Element
+
+
+@dataclass(frozen=True)
+class ChaseCiphertext:
+    c0: GTElement
+    c1: G1Element
+    per_attribute: dict   # qualified attribute -> T^s
+    thresholds: dict      # aid -> d_k required from that authority
+
+    @property
+    def involved_aids(self) -> frozenset:
+        return frozenset(self.thresholds)
+
+
+class ChaseAuthority:
+    """One attribute authority of Chase's scheme."""
+
+    def __init__(self, group: PairingGroup, aid: str, attributes,
+                 threshold: int, seed: bytes):
+        validate_identifier(aid, "authority id")
+        names = list(attributes)
+        if not 1 <= threshold <= len(names):
+            raise SchemeError(
+                f"threshold {threshold} out of range for {len(names)} attributes"
+            )
+        self.group = group
+        self.aid = aid
+        self.threshold = threshold
+        self._seed = seed
+        # Attribute index i ∈ {1, …, n_k} doubles as the Shamir x-coord.
+        self._indices = {}
+        self._secrets = {}
+        for position, name in enumerate(names, start=1):
+            validate_identifier(name, "attribute name")
+            qualified = qualify(aid, name)
+            self._indices[qualified] = position
+            self._secrets[qualified] = group.random_scalar()
+
+    @property
+    def attributes(self) -> frozenset:
+        return frozenset(self._secrets)
+
+    def public_key(self) -> dict:
+        """{qualified attribute: T_{k,i} = g^{t_{k,i}}}."""
+        return {
+            name: self.group.g ** secret
+            for name, secret in self._secrets.items()
+        }
+
+    def user_secret(self, gid: str) -> int:
+        """y_{k,u} = F_k(GID) — shared with the central authority."""
+        return _prf(self._seed, gid, self.group.order)
+
+    def keygen(self, gid: str, attributes) -> ChaseUserKey:
+        group = self.group
+        order = group.order
+        y_ku = self.user_secret(gid)
+        # Shamir polynomial of degree d_k - 1 with p(0) = y_{k,u}.
+        polynomial = Polynomial.random_with_constant(
+            y_ku, self.threshold - 1, order, group.rng
+        )
+        components = {}
+        for name in attributes:
+            qualified = qualify(self.aid, name)
+            secret = self._secrets.get(qualified)
+            if secret is None:
+                raise SchemeError(
+                    f"authority {self.aid!r} does not manage {name!r}"
+                )
+            index = self._indices[qualified]
+            exponent = polynomial.evaluate(index) * invmod(secret, order) % order
+            components[qualified] = (index, group.g ** exponent)
+        if not components:
+            raise SchemeError("Chase keys need at least one attribute")
+        return ChaseUserKey(gid=gid, aid=self.aid, components=components)
+
+
+class ChaseCentralAuthority:
+    """The trusted third party Chase's scheme cannot avoid.
+
+    Holds the system master secret y_0 *and* every authority's PRF seed,
+    which is exactly why it is "a vulnerable point for security attacks
+    and the performance bottleneck for large scale systems".
+    """
+
+    def __init__(self, group: PairingGroup):
+        self.group = group
+        self._y0 = group.random_scalar()
+        self._authorities = {}
+
+    def register_authority(self, authority: ChaseAuthority) -> None:
+        if authority.aid in self._authorities:
+            raise SchemeError(f"authority {authority.aid!r} already registered")
+        self._authorities[authority.aid] = authority
+
+    def system_key(self) -> GTElement:
+        """Y = e(g,g)^{y_0} — the encryption key of the whole system."""
+        return self.group.gt ** self._y0
+
+    def central_key(self, gid: str) -> ChaseCentralKey:
+        """D_u = g^{y_0 - Σ_k y_{k,u}}."""
+        order = self.group.order
+        total = sum(
+            authority.user_secret(gid)
+            for authority in self._authorities.values()
+        )
+        return ChaseCentralKey(
+            gid=gid, element=self.group.g ** ((self._y0 - total) % order)
+        )
+
+    def central_authority_decrypt(self, ciphertext: ChaseCiphertext) -> GTElement:
+        """The flaw, made executable: the CA decrypts *any* ciphertext
+        with its master secret alone — no attributes needed."""
+        return ciphertext.c0 / (
+            self.group.pair(self.group.g ** self._y0, ciphertext.c1)
+        )
+
+
+def encrypt(group: PairingGroup, message: GTElement,
+            attribute_sets: dict, authorities: dict) -> ChaseCiphertext:
+    """Encrypt for a per-authority attribute set (implicit AND across AAs).
+
+    ``attribute_sets`` maps AID → iterable of unqualified attribute
+    names; ``authorities`` maps AID → :class:`ChaseAuthority` (for their
+    public keys and thresholds). The policy this realizes is
+    "d_k of the listed attributes from EVERY listed authority".
+    """
+    central = authorities.get("__central__")
+    if central is None:
+        raise SchemeError("pass the central authority under key '__central__'")
+    s = group.random_scalar()
+    per_attribute = {}
+    thresholds = {}
+    for aid, names in attribute_sets.items():
+        authority = authorities.get(aid)
+        if authority is None:
+            raise SchemeError(f"unknown authority {aid!r}")
+        public = authority.public_key()
+        chosen = list(names)
+        if len(chosen) < authority.threshold:
+            raise SchemeError(
+                f"ciphertext lists {len(chosen)} attributes from {aid!r}; "
+                f"its threshold is {authority.threshold}"
+            )
+        for name in chosen:
+            qualified = qualify(aid, name)
+            if qualified not in public:
+                raise SchemeError(
+                    f"authority {aid!r} does not manage {name!r}"
+                )
+            per_attribute[qualified] = public[qualified] ** s
+        thresholds[aid] = authority.threshold
+    return ChaseCiphertext(
+        c0=message * (central.system_key() ** s),
+        c1=group.g ** s,
+        per_attribute=per_attribute,
+        thresholds=thresholds,
+    )
+
+
+def decrypt(group: PairingGroup, ciphertext: ChaseCiphertext,
+            central_key: ChaseCentralKey, keys: dict) -> GTElement:
+    """Decrypt with d_k matching attributes from every involved authority.
+
+    ``keys`` maps AID → :class:`ChaseUserKey`; all must share the central
+    key's GID (PRF-bound, so mixing users cannot work even if forced).
+    """
+    order = group.order
+    accumulator = group.identity_gt()
+    for aid, threshold in ciphertext.thresholds.items():
+        key = keys.get(aid)
+        if key is None:
+            raise SchemeError(f"no key from involved authority {aid!r}")
+        if key.gid != central_key.gid:
+            raise SchemeError(
+                f"key from {aid!r} belongs to {key.gid!r}, "
+                f"not {central_key.gid!r}"
+            )
+        usable = [
+            (index, component, ciphertext.per_attribute[name])
+            for name, (index, component) in key.components.items()
+            if name in ciphertext.per_attribute
+        ]
+        if len(usable) < threshold:
+            raise PolicyNotSatisfiedError(
+                f"user holds {len(usable)} matching attributes from {aid!r}; "
+                f"threshold is {threshold}"
+            )
+        usable = usable[:threshold]
+        lagrange = lagrange_coefficients_at_zero(
+            [index for index, _, _ in usable], order
+        )
+        for index, component, blinded in usable:
+            term = group.pair(component, blinded)
+            accumulator = accumulator * (term ** lagrange[index])
+    accumulator = accumulator * group.pair(central_key.element, ciphertext.c1)
+    return ciphertext.c0 / accumulator

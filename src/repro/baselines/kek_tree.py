@@ -1,0 +1,114 @@
+"""Binary KEK (key-encryption-key) trees for stateless group revocation.
+
+Substrate of the Hur-Noh baseline: users sit at the leaves of a complete
+binary tree whose every node carries a random KEK. A user knows exactly
+the KEKs on its root path (log n + 1 of them). To address an arbitrary
+subset S of users, the *complete subtree* method picks the minimal set
+of nodes whose subtrees partition S; wrapping a payload under those
+nodes' KEKs reaches exactly S, with cover size O(|S̄|·log(n/|S̄|)) in the
+worst case.
+
+Node numbering is heap-style: root is 1, children of ``k`` are ``2k``
+and ``2k+1``, leaves are ``capacity .. 2·capacity-1``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import SchemeError
+
+KEK_LEN = 32
+
+
+class KekTree:
+    """A complete binary tree of KEKs over ``capacity`` user slots."""
+
+    def __init__(self, capacity: int, rng: random.Random = None):
+        if capacity < 1 or capacity & (capacity - 1):
+            raise SchemeError("KEK tree capacity must be a power of two")
+        self.capacity = capacity
+        rng = rng or random.Random()
+        self._keks = {
+            node: bytes(rng.getrandbits(8) for _ in range(KEK_LEN))
+            for node in range(1, 2 * capacity)
+        }
+        self._slots = {}      # uid -> slot index in [0, capacity)
+        self._free = list(range(capacity))
+
+    # -- slot management -------------------------------------------------------
+
+    def assign_slot(self, uid: str) -> int:
+        if uid in self._slots:
+            raise SchemeError(f"user {uid!r} already has a tree slot")
+        if not self._free:
+            raise SchemeError("KEK tree is full")
+        slot = self._free.pop(0)
+        self._slots[uid] = slot
+        return slot
+
+    def slot_of(self, uid: str) -> int:
+        try:
+            return self._slots[uid]
+        except KeyError:
+            raise SchemeError(f"user {uid!r} has no tree slot") from None
+
+    def leaf_of(self, uid: str) -> int:
+        return self.capacity + self.slot_of(uid)
+
+    @property
+    def users(self) -> frozenset:
+        return frozenset(self._slots)
+
+    # -- KEK access ----------------------------------------------------------------
+
+    def path_nodes(self, uid: str) -> list:
+        """Node ids from the user's leaf up to the root (inclusive)."""
+        node = self.leaf_of(uid)
+        path = []
+        while node >= 1:
+            path.append(node)
+            node //= 2
+        return path
+
+    def path_keks(self, uid: str) -> dict:
+        """The KEKs a user is given at join time: {node id: kek}."""
+        return {node: self._keks[node] for node in self.path_nodes(uid)}
+
+    def kek(self, node: int) -> bytes:
+        """Server-side access to any node KEK (the server manages the tree)."""
+        try:
+            return self._keks[node]
+        except KeyError:
+            raise SchemeError(f"no node {node} in a tree of capacity "
+                              f"{self.capacity}") from None
+
+    # -- complete-subtree covers -------------------------------------------------------
+
+    def min_cover(self, member_uids) -> list:
+        """Minimal node set whose subtrees' leaves are exactly the members.
+
+        Returns a sorted list of node ids; empty for an empty member set.
+        """
+        member_leaves = {self.leaf_of(uid) for uid in member_uids}
+
+        def leaves_under(node: int):
+            low, high = node, node
+            while low < self.capacity:
+                low, high = 2 * low, 2 * high + 1
+            return range(low, high + 1)
+
+        def cover(node: int) -> list:
+            under = leaves_under(node)
+            inside = sum(1 for leaf in under if leaf in member_leaves)
+            if inside == 0:
+                return []
+            if inside == len(under):
+                return [node]
+            return cover(2 * node) + cover(2 * node + 1)
+
+        return sorted(cover(1))
+
+    def cover_size(self, member_uids) -> int:
+        """|min_cover|: the header length the Hur scheme pays per attribute."""
+        return len(self.min_cover(member_uids))

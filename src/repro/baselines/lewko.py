@@ -1,0 +1,222 @@
+"""Lewko-Waters decentralized CP-ABE (EUROCRYPT 2011), prime-order variant.
+
+This is the comparison scheme of the paper's evaluation (Tables II-IV,
+Figures 3-4): "we choose the Lewko's second scheme for comparison"
+— the random-oracle construction in prime-order groups from the appendix
+of *Decentralizing Attribute-Based Encryption*.
+
+Construction summary (symmetric pairing, G of prime order r):
+
+* Global setup: generator ``g``, random oracle ``H : GID → G``.
+* Authority setup: for each attribute ``i`` it manages, pick
+  ``α_i, y_i ∈ Z_r``; publish ``e(g,g)^{α_i}`` and ``g^{y_i}``.
+* KeyGen(GID, i): ``K_{i,GID} = g^{α_i} · H(GID)^{y_i}``.
+* Encrypt(M, (A, ρ)): share ``s`` via ``v = (s, …)`` and ``0`` via
+  ``w = (0, …)``; per row x pick ``r_x`` and output
+  ``C_0 = M·e(g,g)^s``,
+  ``C_{1,x} = e(g,g)^{λ_x}·e(g,g)^{α_{ρ(x)} r_x}``,
+  ``C_{2,x} = g^{r_x}``,
+  ``C_{3,x} = g^{y_{ρ(x)} r_x}·g^{ω_x}``.
+* Decrypt: per used row compute
+  ``C_{1,x} · e(H(GID), C_{3,x}) / e(K_{ρ(x),GID}, C_{2,x})
+  = e(g,g)^{λ_x} · e(H(GID), g)^{ω_x}``,
+  then combine with coefficients ``c_x`` (``Σ c_x A_x = (1,0,…,0)``)
+  so the ``ω`` terms vanish and ``e(g,g)^s`` emerges.
+
+There is no central authority and no coordination: a user's key from
+one authority works with any other authority's keys through the shared
+``H(GID)``; collusion fails because different GIDs hash to different
+group elements.
+
+Component sizes (what Tables II-III count): authority secret 2·n_k·|p|;
+public key n_k·(|GT|+|G|); user key n_{k,GID}·|G|; ciphertext
+(l+1)·|GT| + 2l·|G|.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.attributes import qualify, validate_identifier
+from repro.errors import PolicyError, SchemeError
+from repro.pairing.group import G1Element, GTElement, PairingGroup
+from repro.policy.lsss import LsssMatrix, lsss_from_policy
+
+
+@dataclass(frozen=True)
+class LewkoAttributePublicKey:
+    """Published per attribute: (e(g,g)^{α_i}, g^{y_i})."""
+
+    e_alpha: GTElement
+    g_y: G1Element
+
+
+@dataclass(frozen=True)
+class LewkoAuthorityPublicKey:
+    """All of one authority's per-attribute public keys."""
+
+    aid: str
+    elements: dict  # qualified attribute name -> LewkoAttributePublicKey
+
+    def __getitem__(self, name: str) -> LewkoAttributePublicKey:
+        return self.elements[name]
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+
+@dataclass(frozen=True)
+class LewkoUserKey:
+    """A user's decryption keys from one authority."""
+
+    gid: str
+    aid: str
+    elements: dict  # qualified attribute name -> G1Element K_{i,GID}
+
+    @property
+    def attributes(self) -> frozenset:
+        return frozenset(self.elements)
+
+
+@dataclass(frozen=True)
+class LewkoCiphertextRow:
+    c1: GTElement
+    c2: G1Element
+    c3: G1Element
+
+
+@dataclass(frozen=True)
+class LewkoCiphertext:
+    c0: GTElement
+    rows: tuple          # LewkoCiphertextRow per LSSS row
+    matrix: LsssMatrix
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def policy_string(self) -> str:
+        return str(self.matrix.policy)
+
+    def element_size_bytes(self, group: PairingGroup) -> int:
+        """(l+1)·|GT| + 2l·|G| — the Table II ciphertext row."""
+        l = self.n_rows
+        return (l + 1) * group.gt_bytes + 2 * l * group.g1_bytes
+
+
+class LewkoAuthority:
+    """One decentralized authority: per-attribute (α_i, y_i) secrets."""
+
+    def __init__(self, group: PairingGroup, aid: str, attributes):
+        validate_identifier(aid, "authority id")
+        self.group = group
+        self.aid = aid
+        self._secrets = {}
+        for name in attributes:
+            validate_identifier(name, "attribute name")
+            qualified = qualify(aid, name)
+            self._secrets[qualified] = (
+                group.random_scalar(),  # α_i
+                group.random_scalar(),  # y_i
+            )
+        if not self._secrets:
+            raise SchemeError(f"authority {aid!r} must manage at least one attribute")
+
+    @property
+    def attributes(self) -> frozenset:
+        """Qualified attribute names managed here."""
+        return frozenset(self._secrets)
+
+    def public_key(self) -> LewkoAuthorityPublicKey:
+        group = self.group
+        elements = {}
+        for name, (alpha, y) in self._secrets.items():
+            elements[name] = LewkoAttributePublicKey(
+                e_alpha=group.gt ** alpha, g_y=group.g ** y
+            )
+        return LewkoAuthorityPublicKey(aid=self.aid, elements=elements)
+
+    def keygen(self, gid: str, attributes) -> LewkoUserKey:
+        """Issue K_{i,GID} for each requested (unqualified) attribute."""
+        group = self.group
+        h_gid = group.hash_to_g1(gid)
+        elements = {}
+        for name in attributes:
+            qualified = qualify(self.aid, name)
+            secret = self._secrets.get(qualified)
+            if secret is None:
+                raise SchemeError(
+                    f"authority {self.aid!r} does not manage attribute {name!r}"
+                )
+            alpha, y = secret
+            elements[qualified] = (group.g ** alpha) * (h_gid ** y)
+        return LewkoUserKey(gid=gid, aid=self.aid, elements=elements)
+
+    def secret_size_scalars(self) -> int:
+        """2·n_k scalars — the Table III 'authority key' entry."""
+        return 2 * len(self._secrets)
+
+
+def encrypt(group: PairingGroup, message: GTElement, policy,
+            public_keys: dict) -> LewkoCiphertext:
+    """Encrypt under an LSSS policy using the published attribute keys.
+
+    ``public_keys`` maps qualified attribute names to
+    :class:`LewkoAttributePublicKey` (merge several authorities'
+    ``public_key().elements`` dicts to span domains).
+    """
+    matrix = lsss_from_policy(policy)
+    missing = set(matrix.row_labels) - set(public_keys)
+    if missing:
+        raise PolicyError(f"no public keys for attributes {sorted(missing)}")
+    order = group.order
+    rng = group.rng
+    s = group.random_scalar()
+    lambda_shares = matrix.share(s, order, rng)
+    omega_shares = matrix.share(0, order, rng)
+
+    rows = []
+    for index, label in enumerate(matrix.row_labels):
+        pk = public_keys[label]
+        r_x = group.random_scalar()
+        c1 = (group.gt ** lambda_shares[index]) * (pk.e_alpha ** r_x)
+        c2 = group.g ** r_x
+        c3 = (pk.g_y ** r_x) * (group.g ** omega_shares[index])
+        rows.append(LewkoCiphertextRow(c1=c1, c2=c2, c3=c3))
+    c0 = message * (group.gt ** s)
+    return LewkoCiphertext(c0=c0, rows=tuple(rows), matrix=matrix)
+
+
+def decrypt(group: PairingGroup, ciphertext: LewkoCiphertext, gid: str,
+            keys: dict) -> GTElement:
+    """Decrypt with keys from any combination of authorities.
+
+    ``keys`` maps AID → :class:`LewkoUserKey`; all keys must carry the
+    same GID (enforced — mixing GIDs is exactly the collusion the scheme
+    defeats). Raises :class:`PolicyNotSatisfiedError` when the union of
+    attributes does not satisfy the policy.
+    """
+    merged = {}
+    for key in keys.values():
+        if key.gid != gid:
+            raise SchemeError(
+                f"key from {key.aid!r} belongs to {key.gid!r}, not {gid!r}"
+            )
+        merged.update(key.elements)
+    order = group.order
+    coefficients = ciphertext.matrix.reconstruction_coefficients(
+        set(merged), order
+    )
+    h_gid = group.hash_to_g1(gid)
+    accumulator = group.identity_gt()
+    for index, coefficient in coefficients.items():
+        label = ciphertext.matrix.row_labels[index]
+        row = ciphertext.rows[index]
+        term = (
+            row.c1
+            * group.pair(h_gid, row.c3)
+            / group.pair(merged[label], row.c2)
+        )
+        accumulator = accumulator * (term ** coefficient)
+    return ciphertext.c0 / accumulator

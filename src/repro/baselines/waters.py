@@ -1,0 +1,139 @@
+"""Waters CP-ABE (PKC 2011) — the paper's security-reduction target.
+
+Reference [3] of the paper. Theorem 2's proof "build[s] a simulator B
+that plays the decisional q-BDHE problem … as the construction in [3]";
+implementing Waters' single-authority LSSS scheme alongside the
+multi-authority one makes that lineage concrete: the reproduced scheme
+is structurally Waters' construction with the per-user randomness ``t``
+replaced by the CA-issued identity exponent ``u`` and the master secret
+split across authorities' version keys.
+
+Construction (symmetric pairing, LSSS policies, H : attribute → G):
+
+* Setup: ``α, a ← Z_r``; PK = ``(g, e(g,g)^α, g^a)``; MSK = ``g^α``.
+* KeyGen(S): ``t ← Z_r``; ``K = g^α·g^{at}``, ``L = g^t``,
+  ``K_x = H(x)^t`` for ``x ∈ S``.
+* Encrypt(M, (A, ρ)): share ``s`` via ``v``; per row ``r_i ← Z_r``;
+  ``C = M·e(g,g)^{αs}``, ``C' = g^s``,
+  ``C_i = g^{a·λ_i}·H(ρ(i))^{-r_i}``, ``D_i = g^{r_i}``.
+* Decrypt: ``e(C', K) / ∏_i (e(C_i, L)·e(D_i, K_{ρ(i)}))^{w_i}
+  = e(g,g)^{αs}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchemeError
+from repro.pairing.group import G1Element, GTElement, PairingGroup
+from repro.policy.lsss import LsssMatrix, lsss_from_policy
+
+
+@dataclass(frozen=True)
+class WatersPublicKey:
+    e_gg_alpha: GTElement   # e(g,g)^α
+    g_a: G1Element          # g^a
+
+
+@dataclass(frozen=True)
+class WatersUserKey:
+    k: G1Element            # g^α · g^{at}
+    l: G1Element            # g^t
+    components: dict        # attribute -> H(x)^t
+
+    @property
+    def attributes(self) -> frozenset:
+        return frozenset(self.components)
+
+
+@dataclass(frozen=True)
+class WatersCiphertextRow:
+    c: G1Element            # g^{aλ_i} · H(ρ(i))^{-r_i}
+    d: G1Element            # g^{r_i}
+
+
+@dataclass(frozen=True)
+class WatersCiphertext:
+    c0: GTElement           # M · e(g,g)^{αs}
+    c_prime: G1Element      # g^s
+    rows: tuple
+    matrix: LsssMatrix
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.rows)
+
+    def element_size_bytes(self, group: PairingGroup) -> int:
+        """|GT| + (2l + 1)·|G| — between ours and Lewko's in size."""
+        return group.gt_bytes + (2 * self.n_rows + 1) * group.g1_bytes
+
+
+class WatersScheme:
+    """One Waters deployment: a single authority over all attributes."""
+
+    def __init__(self, group: PairingGroup):
+        self.group = group
+        alpha = group.random_scalar()
+        self._a = group.random_scalar()
+        self._g_alpha = group.g ** alpha
+        self.public_key = WatersPublicKey(
+            e_gg_alpha=group.gt ** alpha, g_a=group.g ** self._a
+        )
+
+    def _hash_attribute(self, attribute: str) -> G1Element:
+        return self.group.hash_to_g1(attribute, domain=b"repro.waters.attr")
+
+    def keygen(self, attributes) -> WatersUserKey:
+        group = self.group
+        t = group.random_scalar()
+        components = {
+            attribute: self._hash_attribute(attribute) ** t
+            for attribute in set(attributes)
+        }
+        if not components:
+            raise SchemeError("Waters keys need at least one attribute")
+        return WatersUserKey(
+            k=self._g_alpha * (self.public_key.g_a ** t),
+            l=group.g ** t,
+            components=components,
+        )
+
+    def encrypt(self, message: GTElement, policy,
+                threshold_method: str = "expand") -> WatersCiphertext:
+        group = self.group
+        matrix = lsss_from_policy(policy, threshold_method=threshold_method)
+        order = group.order
+        s = group.random_scalar()
+        shares = matrix.share(s, order, group.rng)
+        rows = []
+        for index, label in enumerate(matrix.row_labels):
+            r_i = group.random_scalar()
+            rows.append(WatersCiphertextRow(
+                c=(self.public_key.g_a ** shares[index])
+                * (self._hash_attribute(label) ** (-r_i % order)),
+                d=group.g ** r_i,
+            ))
+        return WatersCiphertext(
+            c0=message * (self.public_key.e_gg_alpha ** s),
+            c_prime=group.g ** s,
+            rows=tuple(rows),
+            matrix=matrix,
+        )
+
+    def decrypt(self, ciphertext: WatersCiphertext,
+                key: WatersUserKey) -> GTElement:
+        group = self.group
+        order = group.order
+        coefficients = ciphertext.matrix.reconstruction_coefficients(
+            key.attributes, order
+        )
+        denominator = group.identity_gt()
+        for index, w in coefficients.items():
+            label = ciphertext.matrix.row_labels[index]
+            row = ciphertext.rows[index]
+            term = group.pair(row.c, key.l) * group.pair(
+                row.d, key.components[label]
+            )
+            denominator = denominator * (term ** w)
+        blinding = group.pair(ciphertext.c_prime, key.k) / denominator
+        return ciphertext.c0 / blinding

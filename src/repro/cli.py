@@ -1,0 +1,278 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``       — run an end-to-end multi-authority access-control demo
+* ``tables``     — print the Table I-IV cost models for a given shape
+* ``primitives`` — time the pairing substrate's primitive operations
+* ``params``     — generate fresh type-A pairing parameters
+* ``info``       — show the built-in parameter presets
+
+Everything the CLI does is also available (with more control) through
+the library API; the CLI exists so a new user can see the system work
+before writing any code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis.costmodel import (
+    SystemShape,
+    table2_lewko,
+    table2_ours,
+    table3_lewko,
+    table3_ours,
+    table4_lewko,
+    table4_ours,
+)
+from repro.analysis.scalability import render_table1
+from repro.ec.params import PRESETS, generate_type_a
+from repro.pairing.group import PairingGroup
+from repro.pairing.serialize import element_sizes
+
+
+def _add_preset_argument(parser):
+    parser.add_argument(
+        "--preset", choices=sorted(PRESETS), default="TOY80",
+        help="pairing parameter preset (default: TOY80)",
+    )
+
+
+def _cmd_demo(args) -> int:
+    from repro.errors import PolicyNotSatisfiedError
+    from repro.system.workflow import CloudStorageSystem
+
+    out = args.out
+    system = CloudStorageSystem(PRESETS[args.preset], seed=args.seed)
+    system.add_authority("hospital", ["doctor", "nurse"])
+    system.add_authority("trial", ["researcher"])
+    system.add_owner("alice")
+    system.add_user("bob")
+    system.issue_keys("bob", "hospital", ["doctor"], "alice")
+    system.issue_keys("bob", "trial", ["researcher"], "alice")
+    system.add_user("eve")
+    system.issue_keys("eve", "hospital", ["nurse"], "alice")
+    system.issue_keys("eve", "trial", ["researcher"], "alice")
+    system.upload(
+        "alice", "record",
+        {"secret": (b"the plan", "hospital:doctor AND trial:researcher")},
+    )
+    print(f"preset           : {args.preset}", file=out)
+    print(f"policy           : hospital:doctor AND trial:researcher", file=out)
+    print(f"bob reads        : {system.read('bob', 'record', 'secret')!r}",
+          file=out)
+    try:
+        system.read("eve", "record", "secret")
+        print("eve reads        : !! policy failed", file=out)
+        return 1
+    except PolicyNotSatisfiedError:
+        print("eve reads        : denied (PolicyNotSatisfiedError)", file=out)
+    system.revoke("hospital", "bob", ["doctor"])
+    try:
+        system.read("bob", "record", "secret")
+        print("bob post-revoke  : !! revocation failed", file=out)
+        return 1
+    except Exception as exc:
+        print(f"bob post-revoke  : denied ({type(exc).__name__})", file=out)
+    print(f"storage used     : {system.server.storage_bytes()} bytes", file=out)
+    print(f"messages metered : {len(system.network.log)}", file=out)
+    return 0
+
+
+def _cmd_tables(args) -> int:
+    out = args.out
+    shape = SystemShape(
+        n_authorities=args.authorities,
+        attrs_per_authority=args.attributes,
+        user_attrs_per_authority=args.user_attributes or args.attributes,
+        policy_rows=args.rows or args.authorities * args.attributes,
+    )
+    sizes = element_sizes(PRESETS[args.preset])
+    print("Table I — scalability comparison", file=out)
+    print(render_table1(), file=out)
+
+    def show(title, ours, lewko, keys):
+        print(f"\n{title} (bytes, preset {args.preset})", file=out)
+        print(f"{'':<16}{'ours':>10}{'lewko':>10}", file=out)
+        for key in keys:
+            label = key if isinstance(key, str) else f"{key[0]}<->{key[1]}"
+            print(
+                f"{label:<16}{ours[key].bytes(sizes):>10}"
+                f"{lewko[key].bytes(sizes):>10}",
+                file=out,
+            )
+
+    show("Table II — component sizes", table2_ours(shape),
+         table2_lewko(shape),
+         ["authority_key", "public_key", "secret_key", "ciphertext"])
+    show("Table III — storage overhead", table3_ours(shape),
+         table3_lewko(shape), ["authority", "owner", "user", "server"])
+    show("Table IV — communication cost", table4_ours(shape),
+         table4_lewko(shape),
+         [("aa", "user"), ("aa", "owner"), ("server", "user"),
+          ("owner", "server")])
+    return 0
+
+
+def _cmd_primitives(args) -> int:
+    out = args.out
+    group = PairingGroup(PRESETS[args.preset], seed=args.seed)
+    group.gt  # warm the cached generator
+    samples = args.samples
+
+    def clock(label, fn):
+        start = time.perf_counter()
+        for _ in range(samples):
+            fn()
+        elapsed = (time.perf_counter() - start) / samples
+        print(f"{label:<22} {elapsed * 1000:9.3f} ms", file=out)
+
+    x, y = group.random_g1(), group.random_g1()
+    exponent = group.random_scalar()
+    counter = [0]
+
+    def fresh_hash():
+        counter[0] += 1
+        group.hash_to_g1(f"gid{counter[0]}")
+
+    print(f"primitive timings, preset {args.preset}, "
+          f"mean of {samples} runs", file=out)
+    clock("pairing", lambda: group.pair(x, y))
+    clock("G exponentiation", lambda: group.g ** exponent)
+    clock("GT exponentiation", lambda: group.gt ** exponent)
+    clock("hash to Z_r", lambda: group.hash_to_scalar("attribute"))
+    clock("hash to G", fresh_hash)
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    from repro.analysis.figures import FIGURES, figure_series, render_ascii
+
+    out = args.out
+    sweep = [int(x) for x in args.sweep.split(",")]
+    for figure_id in (args.only.split(",") if args.only else sorted(FIGURES)):
+        series = figure_series(
+            figure_id, PRESETS[args.preset], sweep, repeats=args.repeats
+        )
+        print(render_ascii(series), file=out)
+        print("", file=out)
+    return 0
+
+
+def _cmd_params(args) -> int:
+    out = args.out
+    params = generate_type_a(args.rbits, args.pbits, seed=args.seed)
+    print(f"r = {hex(params.r)}", file=out)
+    print(f"p = {hex(params.p)}", file=out)
+    print(f"h = (p+1)/r = {hex(params.h)}", file=out)
+    print(f"g = ({hex(params.generator[0])},", file=out)
+    print(f"     {hex(params.generator[1])})", file=out)
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.report import generate_report
+
+    shape = SystemShape(
+        n_authorities=args.authorities,
+        attrs_per_authority=args.attributes,
+        user_attrs_per_authority=args.attributes,
+        policy_rows=args.authorities * args.attributes,
+    )
+    text = generate_report(PRESETS[args.preset], shape)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"report written to {args.output}", file=args.out)
+    else:
+        print(text, file=args.out)
+    return 0
+
+
+def _cmd_info(args) -> int:
+    out = args.out
+    for name, params in sorted(PRESETS.items()):
+        sizes = element_sizes(params)
+        print(f"{name}: r={params.r_bits} bits, p={params.p_bits} bits, "
+              f"|Zr|={sizes.zr}B |G|={sizes.g1}B |GT|={sizes.gt}B", file=out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multi-authority CP-ABE access control (Yang-Jia, "
+                    "ICDCS 2012) — reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    demo = subparsers.add_parser("demo", help="run an end-to-end demo")
+    _add_preset_argument(demo)
+    demo.add_argument("--seed", type=int, default=1)
+    demo.set_defaults(handler=_cmd_demo)
+
+    tables = subparsers.add_parser("tables", help="print Table I-IV models")
+    _add_preset_argument(tables)
+    tables.add_argument("--authorities", type=int, default=5)
+    tables.add_argument("--attributes", type=int, default=5)
+    tables.add_argument("--user-attributes", type=int, default=0,
+                        dest="user_attributes")
+    tables.add_argument("--rows", type=int, default=0)
+    tables.set_defaults(handler=_cmd_tables)
+
+    primitives = subparsers.add_parser(
+        "primitives", help="time pairing substrate primitives"
+    )
+    _add_preset_argument(primitives)
+    primitives.add_argument("--samples", type=int, default=10)
+    primitives.add_argument("--seed", type=int, default=1)
+    primitives.set_defaults(handler=_cmd_primitives)
+
+    figures = subparsers.add_parser(
+        "figures", help="regenerate the paper's timing figures (ASCII)"
+    )
+    _add_preset_argument(figures)
+    figures.add_argument("--sweep", default="2,5,10",
+                         help="comma-separated x values (default 2,5,10)")
+    figures.add_argument("--only", default="",
+                         help="comma-separated figure ids, e.g. 3a,4b")
+    figures.add_argument("--repeats", type=int, default=1)
+    figures.set_defaults(handler=_cmd_figures)
+
+    params = subparsers.add_parser(
+        "params", help="generate fresh type-A pairing parameters"
+    )
+    params.add_argument("--rbits", type=int, default=80)
+    params.add_argument("--pbits", type=int, default=160)
+    params.add_argument("--seed", type=int, default=None)
+    params.set_defaults(handler=_cmd_params)
+
+    report = subparsers.add_parser(
+        "report", help="write the full analytic-evaluation report (markdown)"
+    )
+    _add_preset_argument(report)
+    report.add_argument("--authorities", type=int, default=5)
+    report.add_argument("--attributes", type=int, default=5)
+    report.add_argument("--output", default="",
+                        help="file path (default: stdout)")
+    report.set_defaults(handler=_cmd_report)
+
+    info = subparsers.add_parser("info", help="show built-in presets")
+    info.set_defaults(handler=_cmd_info)
+
+    return parser
+
+
+def main(argv=None, out=None) -> int:
+    """Entry point; ``out`` overrides stdout for testing."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.out = out or sys.stdout
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Attribute naming for the multi-authority setting.
+
+Every attribute in the system is *qualified* by the identifier of the
+authority that manages it: ``"hospital:doctor"`` is the attribute
+``doctor`` issued by the AA with AID ``hospital``. Policies, LSSS row
+labels, public attribute keys and user secret keys all use qualified
+names, which realizes the paper's requirement that "with the AID, all
+the attributes are distinguishable even though some attributes present
+the same meaning".
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import PolicyError
+
+SEPARATOR = ":"
+_NAME_RE = re.compile(r"^[A-Za-z0-9_.@+/-]+$")
+
+
+def validate_identifier(identifier: str, what: str = "identifier") -> str:
+    """Check that an AID/UID/attribute fragment is a sane token."""
+    if not isinstance(identifier, str) or not _NAME_RE.match(identifier):
+        raise PolicyError(
+            f"invalid {what} {identifier!r}: use letters, digits, and _.@+/-"
+        )
+    return identifier
+
+
+def qualify(aid: str, attribute: str) -> str:
+    """The fully-qualified name ``aid:attribute``."""
+    validate_identifier(aid, "authority id")
+    validate_identifier(attribute, "attribute name")
+    return f"{aid}{SEPARATOR}{attribute}"
+
+
+def split_attribute(qualified: str) -> tuple:
+    """Inverse of :func:`qualify`; returns ``(aid, attribute)``."""
+    if SEPARATOR not in qualified:
+        raise PolicyError(
+            f"attribute {qualified!r} is not qualified with an authority id "
+            f"(expected 'aid{SEPARATOR}attribute')"
+        )
+    aid, _, attribute = qualified.partition(SEPARATOR)
+    validate_identifier(aid, "authority id")
+    validate_identifier(attribute, "attribute name")
+    return aid, attribute
+
+
+def authority_of(qualified: str) -> str:
+    """The AID part of a qualified attribute name."""
+    return split_attribute(qualified)[0]
+
+
+def involved_authorities(qualified_attributes) -> frozenset:
+    """The set of AIDs appearing in a collection of qualified attributes."""
+    return frozenset(authority_of(name) for name in qualified_attributes)

@@ -1,0 +1,83 @@
+"""The certificate authority (CA) of the framework (Section III-A).
+
+The CA is a fully trusted entity with two jobs only — it is *not* a
+global authority in the cryptographic sense and never touches attribute
+keys:
+
+* authenticate each user and assign a globally unique UID, together with
+  the user public key ``PK_UID = g^u`` (the secret ``u`` stays at the CA);
+* authenticate each attribute authority and assign it a unique AID.
+
+The global UID is what ties a user's secret keys from different
+authorities together and defeats collusion (Theorem 1): every key
+component issued to a user embeds the same ``u``.
+"""
+
+from __future__ import annotations
+
+from repro.core.attributes import validate_identifier
+from repro.core.keys import CaUserSecret, UserPublicKey
+from repro.errors import SchemeError
+from repro.pairing.group import PairingGroup
+
+
+class CertificateAuthority:
+    """Issues UIDs/AIDs and user public keys; the trust anchor of Fig. 1."""
+
+    def __init__(self, group: PairingGroup):
+        self.group = group
+        self._user_secrets = {}    # uid -> CaUserSecret
+        self._user_public = {}     # uid -> UserPublicKey
+        self._authorities = set()  # registered AIDs
+        self._owners = set()       # registered owner ids
+
+    # -- users ---------------------------------------------------------------
+
+    def register_user(self, uid: str) -> UserPublicKey:
+        """Authenticate a new user; mint ``PK_UID = g^u`` with fresh ``u``."""
+        validate_identifier(uid, "user id")
+        if uid in self._user_secrets:
+            raise SchemeError(f"user id {uid!r} is already registered")
+        u = self.group.random_scalar()
+        public = UserPublicKey(uid=uid, element=self.group.g ** u)
+        self._user_secrets[uid] = CaUserSecret(uid=uid, u=u)
+        self._user_public[uid] = public
+        return public
+
+    def user_public_key(self, uid: str) -> UserPublicKey:
+        try:
+            return self._user_public[uid]
+        except KeyError:
+            raise SchemeError(f"unknown user id {uid!r}") from None
+
+    def is_registered_user(self, uid: str) -> bool:
+        return uid in self._user_public
+
+    # -- authorities and owners --------------------------------------------------
+
+    def register_authority(self, aid: str) -> str:
+        """Authenticate an attribute authority; returns its (validated) AID."""
+        validate_identifier(aid, "authority id")
+        if aid in self._authorities:
+            raise SchemeError(f"authority id {aid!r} is already registered")
+        self._authorities.add(aid)
+        return aid
+
+    def register_owner(self, owner_id: str) -> str:
+        """Authenticate a data owner (owners need no CA-issued key material)."""
+        validate_identifier(owner_id, "owner id")
+        if owner_id in self._owners:
+            raise SchemeError(f"owner id {owner_id!r} is already registered")
+        self._owners.add(owner_id)
+        return owner_id
+
+    def is_registered_authority(self, aid: str) -> bool:
+        return aid in self._authorities
+
+    @property
+    def user_count(self) -> int:
+        return len(self._user_public)
+
+    @property
+    def authority_count(self) -> int:
+        return len(self._authorities)

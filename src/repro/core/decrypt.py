@@ -1,0 +1,149 @@
+"""Decryption (Phase 4) — faithful and optimized variants.
+
+:func:`decrypt` follows the paper's Eq. (1) literally: for each involved
+authority one numerator pairing ``e(C', K_{UID,AID_k})``, and for each
+used LSSS row the pair ``e(C_i, PK_UID) · e(C', K_{ρ(i)})`` raised to
+``w_i · n_A``. This is the variant whose cost profile Figures 3(b)/4(b)
+measure.
+
+:func:`decrypt_fast` is an ablation: by bilinearity the whole denominator
+collapses to two pairings (``e(∏ C_i^{w_i·n_A}, PK_UID)`` and
+``e(C', ∏ K_{ρ(i)}^{w_i·n_A})``) and the numerator to one
+(``e(C', ∏_k K_k)``), trading per-row pairings for per-row G
+exponentiations. The paper does not apply this optimization; the
+benchmark ``bench_ablation_revocation`` quantifies what it would buy.
+
+Both variants validate versions and ownership eagerly so stale keys
+produce a :class:`SchemeError` instead of silently wrong plaintext.
+"""
+
+from __future__ import annotations
+
+from repro.core.attributes import authority_of
+from repro.core.ciphertext import Ciphertext
+from repro.core.keys import UserPublicKey, UserSecretKey
+from repro.errors import PolicyNotSatisfiedError, SchemeError
+from repro.pairing.group import GTElement, PairingGroup
+
+
+def _validate_inputs(ciphertext: Ciphertext, user_public_key: UserPublicKey,
+                     secret_keys: dict) -> None:
+    for aid in ciphertext.involved_aids:
+        key = secret_keys.get(aid)
+        if key is None:
+            raise SchemeError(
+                f"decryption needs a secret key from every involved authority; "
+                f"missing {aid!r}"
+            )
+        if key.uid != user_public_key.uid:
+            raise SchemeError(
+                f"secret key from {aid!r} belongs to {key.uid!r}, "
+                f"not {user_public_key.uid!r}"
+            )
+        if key.owner_id != ciphertext.owner_id:
+            raise SchemeError(
+                f"secret key from {aid!r} is scoped to owner {key.owner_id!r}; "
+                f"the ciphertext was produced by {ciphertext.owner_id!r}"
+            )
+        if key.version != ciphertext.version_of(aid):
+            raise SchemeError(
+                f"secret key from {aid!r} is at version {key.version}, "
+                f"ciphertext expects {ciphertext.version_of(aid)}; "
+                f"apply the pending update keys"
+            )
+
+
+def _held_attributes(ciphertext: Ciphertext, secret_keys: dict) -> set:
+    held = set()
+    for aid in ciphertext.involved_aids:
+        held |= set(secret_keys[aid].attribute_keys)
+    return held
+
+
+def decrypt(group: PairingGroup, ciphertext: Ciphertext,
+            user_public_key: UserPublicKey, secret_keys: dict) -> GTElement:
+    """Recover the GT message exactly as in the paper's Eq. (1).
+
+    ``secret_keys`` maps AID → :class:`UserSecretKey`; one key per
+    authority involved in the ciphertext is required (the numerator
+    product runs over *all* of I_A, a structural property of the scheme).
+    Raises :class:`PolicyNotSatisfiedError` if the user's attributes do
+    not satisfy the access structure.
+    """
+    _validate_inputs(ciphertext, user_public_key, secret_keys)
+    order = group.order
+    matrix = ciphertext.matrix
+    coefficients = matrix.reconstruction_coefficients(
+        _held_attributes(ciphertext, secret_keys), order
+    )
+    n_involved = len(ciphertext.involved_aids)
+    pk_uid = user_public_key.element
+
+    # Numerator: ∏_k e(C', K_{UID,AID_k})
+    numerator = group.identity_gt()
+    for aid in ciphertext.involved_aids:
+        numerator = numerator * group.pair(ciphertext.c_prime, secret_keys[aid].k)
+
+    # Denominator: ∏_k ∏_i (e(C_i, PK_UID) · e(C', K_{ρ(i)}))^{w_i·n_A}
+    denominator = group.identity_gt()
+    for index, w in coefficients.items():
+        label = matrix.row_labels[index]
+        key = secret_keys[authority_of(label)]
+        term = group.pair(ciphertext.c_rows[index], pk_uid) * group.pair(
+            ciphertext.c_prime, key.attribute_keys[label]
+        )
+        denominator = denominator * (term ** (w * n_involved % order))
+
+    blinding = numerator / denominator
+    return ciphertext.c / blinding
+
+
+def decrypt_fast(group: PairingGroup, ciphertext: Ciphertext,
+                 user_public_key: UserPublicKey, secret_keys: dict) -> GTElement:
+    """Optimized decryption: 3 pairings total via bilinearity (ablation)."""
+    _validate_inputs(ciphertext, user_public_key, secret_keys)
+    order = group.order
+    matrix = ciphertext.matrix
+    coefficients = matrix.reconstruction_coefficients(
+        _held_attributes(ciphertext, secret_keys), order
+    )
+    n_involved = len(ciphertext.involved_aids)
+
+    k_product = group.identity_g1()
+    for aid in ciphertext.involved_aids:
+        k_product = k_product * secret_keys[aid].k
+
+    c_combined = group.identity_g1()
+    key_combined = group.identity_g1()
+    for index, w in coefficients.items():
+        exponent = w * n_involved % order
+        label = matrix.row_labels[index]
+        key = secret_keys[authority_of(label)]
+        c_combined = c_combined * (ciphertext.c_rows[index] ** exponent)
+        key_combined = key_combined * (key.attribute_keys[label] ** exponent)
+
+    # e(C', ∏K_k) / (e(∏C_i^{w_i·n_A}, PK_UID) · e(C', ∏K_x^{w_i·n_A}))
+    # computed as a 3-way multi-pairing with one final exponentiation.
+    blinding = group.pair_prod(
+        [
+            (ciphertext.c_prime, k_product),
+            (c_combined.inverse(), user_public_key.element),
+            (ciphertext.c_prime, key_combined.inverse()),
+        ]
+    )
+    return ciphertext.c / blinding
+
+
+def can_decrypt(group: PairingGroup, ciphertext: Ciphertext,
+                secret_keys: dict) -> bool:
+    """Cheap predicate: does this key bundle satisfy the access structure?
+
+    Ignores version mismatches (those raise at decryption); useful for
+    the system layer to route requests.
+    """
+    if any(aid not in secret_keys for aid in ciphertext.involved_aids):
+        return False
+    held = set()
+    for key in secret_keys.values():
+        held |= set(key.attribute_keys)
+    return ciphertext.matrix.is_satisfied_by(held, group.order)

@@ -1,0 +1,169 @@
+"""Key material of the Yang-Jia multi-authority scheme.
+
+One dataclass per key kind from Section IV-C / V-B of the paper:
+
+========================  =====================================================
+paper                      here
+========================  =====================================================
+``PK_UID = g^u``           :class:`UserPublicKey`
+(CA's per-user secret u)   :class:`CaUserSecret`
+``MK_o = {β, r}``          :class:`OwnerMasterKey`
+``SK_o = {g^{1/β}, r/β}``  :class:`OwnerSecretKey`
+``VK_AID = α_AID``         :class:`VersionKey`
+``PK_{x,AID}``             :class:`PublicAttributeKeys` (one dict per AA)
+``PK_{o,AID}``             also in :class:`AuthorityPublicKey`
+``SK_{UID,AID}``           :class:`UserSecretKey`
+``UK_AID``                 :class:`UpdateKey`
+``UI_AID``                 :class:`CiphertextUpdateInfo`
+========================  =====================================================
+
+A structural note the paper leaves implicit: the non-attribute component
+``K_{UID,AID} = PK_UID^{r/β} · g^{α_AID/β}`` depends on a *specific
+owner's* master key (β, r), so user secret keys are scoped to an
+``(owner, authority)`` pair, while the attribute components
+``K_{x} = PK_UID^{α·H(x)}`` are owner-independent. We record the owner id
+on :class:`UserSecretKey` and enforce the match at decryption time.
+
+All classes carry integer ``version`` numbers tracking how many times the
+issuing authority has run ReKey; mixing versions is a protocol error that
+the decryption and re-encryption code detects eagerly instead of
+producing garbage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pairing.group import G1Element, GTElement
+
+
+@dataclass(frozen=True)
+class UserPublicKey:
+    """``PK_UID = g^u``, issued by the CA at user registration."""
+
+    uid: str
+    element: G1Element
+
+
+@dataclass(frozen=True)
+class CaUserSecret:
+    """The CA-side secret exponent ``u`` backing a user's public key."""
+
+    uid: str
+    u: int
+
+
+@dataclass(frozen=True)
+class OwnerMasterKey:
+    """``MK_o = {β, r}`` — kept by the owner, never shared."""
+
+    owner_id: str
+    beta: int
+    r_exp: int  # the paper's `r`; renamed to avoid clashing with the group order
+
+
+@dataclass(frozen=True)
+class OwnerSecretKey:
+    """``SK_o = {g^{1/β}, r/β}`` — sent to every AA over a secure channel."""
+
+    owner_id: str
+    g_inv_beta: G1Element   # g^{1/β}
+    r_over_beta: int        # r/β mod group order
+
+
+@dataclass(frozen=True)
+class VersionKey:
+    """``VK_AID = α_AID`` plus the monotone version counter."""
+
+    aid: str
+    alpha: int
+    version: int = 0
+
+
+@dataclass(frozen=True)
+class AuthorityPublicKey:
+    """``PK_{o,AID} = e(g,g)^{α_AID}`` — used by owners for encryption.
+
+    Despite the paper calling it "the owner's public key", its value
+    depends only on the authority's version key, so it is shared by all
+    owners; we name it accordingly.
+    """
+
+    aid: str
+    value: GTElement
+    version: int = 0
+
+
+@dataclass(frozen=True)
+class PublicAttributeKeys:
+    """``{PK_{x,AID} = g^{α_AID·H(x)}}`` for all attributes of one AA.
+
+    Keys of ``elements`` are *qualified* attribute names (``aid:attr``).
+    """
+
+    aid: str
+    elements: dict  # qualified attribute name -> G1Element
+    version: int = 0
+
+    def __getitem__(self, qualified_name: str) -> G1Element:
+        return self.elements[qualified_name]
+
+    def __contains__(self, qualified_name: str) -> bool:
+        return qualified_name in self.elements
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+
+@dataclass(frozen=True)
+class UserSecretKey:
+    """``SK_{UID,AID}`` for one (user, authority, owner) triple.
+
+    ``k`` is the paper's ``K_{UID,AID} = PK_UID^{r/β} · g^{α_AID/β}``
+    (owner-specific); ``attribute_keys`` maps qualified attribute names to
+    ``K_{x,UID,AID} = PK_UID^{α_AID·H(x)}`` (owner-independent).
+    """
+
+    uid: str
+    aid: str
+    owner_id: str
+    k: G1Element
+    attribute_keys: dict  # qualified attribute name -> G1Element
+    version: int = 0
+
+    @property
+    def attributes(self) -> frozenset:
+        return frozenset(self.attribute_keys)
+
+
+@dataclass(frozen=True)
+class UpdateKey:
+    """``UK_AID = (UK1, UK2)`` produced by ReKey.
+
+    ``UK1 = g^{(α̃-α)/β}`` involves an owner's β, so there is one UK1 per
+    registered owner (``uk1`` maps owner id → element); ``UK2 = α̃/α`` is
+    owner-independent. Sent to all non-revoked users, all owners, and the
+    server.
+    """
+
+    aid: str
+    uk1: dict               # owner id -> G1Element g^{(α̃-α)/β_owner}
+    uk2: int                # α̃/α mod group order
+    from_version: int = 0
+    to_version: int = 1
+
+
+@dataclass(frozen=True)
+class CiphertextUpdateInfo:
+    """``UI_AID = {UI_x = (PK_x/PK̃_x)^{βs}}`` for one ciphertext.
+
+    Computed by the owner (who remembers the encryption exponent ``s``)
+    and shipped to the server together with the update key so the server
+    can run ReEncrypt by proxy — without ever decrypting.
+    """
+
+    aid: str
+    ciphertext_id: str
+    elements: dict = field(default_factory=dict)  # qualified attr -> G1Element
+    from_version: int = 0
+    to_version: int = 1

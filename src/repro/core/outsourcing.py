@@ -1,0 +1,125 @@
+"""Outsourced decryption (extension; Green-Hohenberger-Waters style).
+
+The paper's decryption costs ``2l + n_A`` pairings at the *user* —
+painful on constrained devices, which is exactly the population cloud
+storage serves. The standard remedy (GHW, USENIX Security 2011) adapts
+cleanly to this scheme because every key-dependent term of Eq. (1) is
+linear in the key exponents:
+
+* the user picks a random ``z`` and hands the server a *transform key*:
+  every secret-key component and its own ``PK_UID`` raised to ``1/z``;
+* the server runs the full Eq. (1) computation with the transformed
+  material, obtaining the blinding factor to the power ``1/z`` — it
+  learns nothing, because recovering the message requires ``z``;
+* the user finishes with a single GT exponentiation (and zero pairings),
+  verified by the operation-counter tests.
+
+Why it is safe to hand over: the transform key is a valid-looking key
+for the "user" ``PK_UID^{1/z}``, which corresponds to the CA secret
+``u/z`` — a uniformly random value the server cannot relate to ``u``
+without ``z``. (As with GHW, this provides *recovery* security, not
+verifiability: a malicious server can return garbage, which the hybrid
+layer's MAC then rejects.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.attributes import authority_of
+from repro.core.ciphertext import Ciphertext
+from repro.core.decrypt import _held_attributes, _validate_inputs
+from repro.core.keys import UserPublicKey, UserSecretKey
+from repro.errors import SchemeError
+from repro.math.integers import invmod
+from repro.pairing.group import GTElement, PairingGroup
+
+
+@dataclass(frozen=True)
+class TransformKey:
+    """The server's view: all key material blinded by ``1/z``."""
+
+    uid: str
+    owner_id: str
+    transformed_public: UserPublicKey       # PK_UID^{1/z}
+    transformed_secret: dict                # aid -> UserSecretKey^{1/z}
+
+
+@dataclass(frozen=True)
+class RetrievalKey:
+    """The user's private ``z`` (plus identifiers for sanity checks)."""
+
+    uid: str
+    z: int
+
+
+def make_transform_key(group: PairingGroup, user_public_key: UserPublicKey,
+                       secret_keys: dict) -> tuple:
+    """Split decryption capability into (TransformKey, RetrievalKey)."""
+    if not secret_keys:
+        raise SchemeError("cannot outsource with no secret keys")
+    owner_ids = {key.owner_id for key in secret_keys.values()}
+    if len(owner_ids) != 1:
+        raise SchemeError("all secret keys must be scoped to one owner")
+    z = group.random_scalar()
+    z_inv = invmod(z, group.order)
+    transformed_secret = {}
+    for aid, key in secret_keys.items():
+        if key.uid != user_public_key.uid:
+            raise SchemeError(f"key from {aid!r} belongs to another user")
+        transformed_secret[aid] = UserSecretKey(
+            uid=key.uid,
+            aid=key.aid,
+            owner_id=key.owner_id,
+            k=key.k ** z_inv,
+            attribute_keys={
+                name: element ** z_inv
+                for name, element in key.attribute_keys.items()
+            },
+            version=key.version,
+        )
+    transform = TransformKey(
+        uid=user_public_key.uid,
+        owner_id=next(iter(owner_ids)),
+        transformed_public=UserPublicKey(
+            uid=user_public_key.uid,
+            element=user_public_key.element ** z_inv,
+        ),
+        transformed_secret=transformed_secret,
+    )
+    return transform, RetrievalKey(uid=user_public_key.uid, z=z)
+
+
+def server_transform(group: PairingGroup, ciphertext: Ciphertext,
+                     transform_key: TransformKey) -> GTElement:
+    """Server side: all the pairings, none of the plaintext.
+
+    Returns the Eq. (1) blinding factor raised to ``1/z``.
+    """
+    public = transform_key.transformed_public
+    keys = transform_key.transformed_secret
+    _validate_inputs(ciphertext, public, keys)
+    order = group.order
+    matrix = ciphertext.matrix
+    coefficients = matrix.reconstruction_coefficients(
+        _held_attributes(ciphertext, keys), order
+    )
+    n_involved = len(ciphertext.involved_aids)
+    numerator = group.identity_gt()
+    for aid in ciphertext.involved_aids:
+        numerator = numerator * group.pair(ciphertext.c_prime, keys[aid].k)
+    denominator = group.identity_gt()
+    for index, w in coefficients.items():
+        label = matrix.row_labels[index]
+        key = keys[authority_of(label)]
+        term = group.pair(ciphertext.c_rows[index], public.element) * group.pair(
+            ciphertext.c_prime, key.attribute_keys[label]
+        )
+        denominator = denominator * (term ** (w * n_involved % order))
+    return numerator / denominator
+
+
+def user_finalize(ciphertext: Ciphertext, partial: GTElement,
+                  retrieval_key: RetrievalKey) -> GTElement:
+    """User side: one GT exponentiation, zero pairings."""
+    return ciphertext.c / (partial ** retrieval_key.z)

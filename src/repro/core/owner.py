@@ -1,0 +1,327 @@
+"""Data owners: OwnerGen, Encrypt, and revocation update information.
+
+An owner holds the master key ``MK_o = {β, r}``, publishes nothing, and
+hands ``SK_o = {g^{1/β}, r/β}`` to each authority so that KeyGen can bind
+user keys to this owner without the owner staying online.
+
+Encryption (Phase 3) shares the exponent ``s`` over the policy's LSSS
+matrix and produces the ciphertext of :mod:`repro.core.ciphertext`.
+
+For revocation, the paper has the owner compute per-ciphertext update
+information ``UI_x = (PK_x / PK̃_x)^{βs}``; that requires remembering the
+encryption exponent ``s`` of every ciphertext, which the paper leaves
+implicit — :class:`DataOwner` keeps an explicit ``EncryptionRecord``
+ledger (see DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.core.attributes import authority_of, involved_authorities
+from repro.core.authority import (
+    apply_update_to_authority_public_key,
+    apply_update_to_public_keys,
+)
+from repro.core.ciphertext import Ciphertext
+from repro.core.keys import (
+    AuthorityPublicKey,
+    CiphertextUpdateInfo,
+    OwnerMasterKey,
+    OwnerSecretKey,
+    PublicAttributeKeys,
+    UpdateKey,
+)
+from repro.errors import PolicyError, RevocationError, SchemeError
+from repro.math.integers import invmod
+from repro.pairing.group import GTElement, PairingGroup
+from repro.policy.lsss import lsss_from_policy
+
+
+@dataclass(frozen=True)
+class EncryptionRecord:
+    """Owner-side ledger entry for one ciphertext (needed by revocation)."""
+
+    ciphertext_id: str
+    s: int                 # the encryption exponent
+    policy: str
+    versions: dict         # aid -> version used at encryption time
+
+
+class DataOwner:
+    """One data owner: master key, cached authority keys, ciphertext ledger."""
+
+    def __init__(self, group: PairingGroup, owner_id: str):
+        self.group = group
+        self.owner_id = owner_id
+        beta = group.random_scalar()
+        r_exp = group.random_scalar()
+        self._master = OwnerMasterKey(owner_id=owner_id, beta=beta, r_exp=r_exp)
+        inv_beta = invmod(beta, group.order)
+        self._secret = OwnerSecretKey(
+            owner_id=owner_id,
+            g_inv_beta=group.g ** inv_beta,
+            r_over_beta=r_exp * inv_beta % group.order,
+        )
+        self._authority_keys = {}   # aid -> AuthorityPublicKey
+        self._attribute_keys = {}   # aid -> PublicAttributeKeys
+        self._records = {}          # ciphertext id -> EncryptionRecord
+        self._retired = set()       # ciphertext ids no longer stored
+        self._counter = itertools.count()
+
+    # -- key material -------------------------------------------------------------
+
+    @property
+    def master_key(self) -> OwnerMasterKey:
+        return self._master
+
+    @property
+    def secret_key(self) -> OwnerSecretKey:
+        """``SK_o`` — what gets sent to each AA over a secure channel."""
+        return self._secret
+
+    def learn_authority(self, authority_public_key: AuthorityPublicKey,
+                        public_attribute_keys: PublicAttributeKeys) -> None:
+        """Cache an authority's current public key material."""
+        if authority_public_key.aid != public_attribute_keys.aid:
+            raise SchemeError("authority key bundle has mismatched AIDs")
+        if authority_public_key.version != public_attribute_keys.version:
+            raise SchemeError("authority key bundle has mismatched versions")
+        self._authority_keys[authority_public_key.aid] = authority_public_key
+        self._attribute_keys[public_attribute_keys.aid] = public_attribute_keys
+
+    def known_authorities(self) -> frozenset:
+        return frozenset(self._authority_keys)
+
+    # -- Encrypt (Phase 3) ------------------------------------------------------------
+
+    def encrypt(self, message: GTElement, policy, *,
+                ciphertext_id: str = None,
+                require_injective_rho: bool = True,
+                threshold_method: str = "expand") -> Ciphertext:
+        """Encrypt a GT message (a content key) under an access policy.
+
+        The policy's attributes must be fully qualified (``aid:attr``)
+        and every referenced authority must have been cached via
+        :meth:`learn_authority`. ``require_injective_rho`` enforces the
+        paper's "we limit ρ to be an injective function"; pass False to
+        allow attribute reuse (the algebra still works, only the security
+        proof's hypothesis changes). ``threshold_method="insert"`` embeds
+        k-of-n gates via the Vandermonde construction (n rows instead of
+        C(n, k)·k, and ρ stays injective for distinct attributes) — see
+        :func:`repro.policy.lsss.lsss_from_policy`.
+        """
+        matrix = lsss_from_policy(policy, threshold_method=threshold_method)
+        if require_injective_rho and not matrix.is_injective():
+            raise PolicyError(
+                "policy maps one attribute to several LSSS rows; the paper "
+                "limits rho to be injective (pass require_injective_rho=False "
+                "to override)"
+            )
+        involved = involved_authorities(matrix.row_labels)
+        missing = involved - set(self._authority_keys)
+        if missing:
+            raise SchemeError(
+                f"owner {self.owner_id!r} has no public keys for authorities "
+                f"{sorted(missing)}"
+            )
+        group = self.group
+        order = group.order
+        s = group.random_scalar()
+        shares = matrix.share(s, order, group.rng)
+
+        # C = m · (∏_k e(g,g)^{α_k})^s
+        blinding = group.identity_gt()
+        for aid in involved:
+            blinding = blinding * self._authority_keys[aid].value
+        c = message * (blinding ** s)
+        # C' = g^{βs}
+        beta_s = self._master.beta * s % order
+        c_prime = group.g ** beta_s
+        # C_i = g^{r·λ_i} · PK_{ρ(i)}^{-βs}
+        rows = []
+        for index, label in enumerate(matrix.row_labels):
+            aid = authority_of(label)
+            pk_x = self._attribute_keys[aid][label]
+            g_r_lambda = group.g ** (self._master.r_exp * shares[index] % order)
+            rows.append(g_r_lambda * (pk_x ** (-beta_s % order)))
+
+        if ciphertext_id is None:
+            ciphertext_id = f"{self.owner_id}/ct{next(self._counter)}"
+        if ciphertext_id in self._records:
+            raise SchemeError(f"ciphertext id {ciphertext_id!r} already used")
+        versions = {aid: self._authority_keys[aid].version for aid in involved}
+        self._records[ciphertext_id] = EncryptionRecord(
+            ciphertext_id=ciphertext_id,
+            s=s,
+            policy=str(matrix.policy),
+            versions=dict(versions),
+        )
+        return Ciphertext(
+            ciphertext_id=ciphertext_id,
+            owner_id=self.owner_id,
+            c=c,
+            c_prime=c_prime,
+            c_rows=tuple(rows),
+            matrix=matrix,
+            involved_aids=involved,
+            versions=versions,
+        )
+
+    def record(self, ciphertext_id: str) -> EncryptionRecord:
+        try:
+            return self._records[ciphertext_id]
+        except KeyError:
+            raise SchemeError(
+                f"owner {self.owner_id!r} has no record of ciphertext "
+                f"{ciphertext_id!r}"
+            ) from None
+
+    @property
+    def ciphertext_ids(self) -> frozenset:
+        return frozenset(self._records)
+
+    # -- revocation (Section V-C, owner side) ---------------------------------------
+
+    def apply_update_key(self, update_key: UpdateKey) -> None:
+        """Roll this owner's cached public keys forward by one version.
+
+        Must be called *after* any :meth:`update_info` computations for
+        ciphertexts encrypted under the old version — the old keys are
+        needed to form ``PK_x / PK̃_x``. :meth:`update_info` therefore
+        accepts the update key itself and does both sides internally; this
+        method only advances the cache.
+        """
+        aid = update_key.aid
+        if aid not in self._authority_keys:
+            raise RevocationError(
+                f"owner {self.owner_id!r} knows no authority {aid!r}"
+            )
+        self._authority_keys[aid] = apply_update_to_authority_public_key(
+            self._authority_keys[aid], update_key
+        )
+        self._attribute_keys[aid] = apply_update_to_public_keys(
+            self._attribute_keys[aid], update_key
+        )
+
+    def update_info(self, ciphertext: Ciphertext,
+                    update_key: UpdateKey) -> CiphertextUpdateInfo:
+        """``UI_x = (PK_x / PK̃_x)^{βs}`` for each affected attribute.
+
+        Uses the ledger entry for the ciphertext's encryption exponent.
+        Only attributes managed by the re-keyed authority *and* appearing
+        in the ciphertext's policy get an entry — the partial-update
+        property the paper credits for revocation efficiency.
+        """
+        if ciphertext.owner_id != self.owner_id:
+            raise RevocationError("ciphertext belongs to a different owner")
+        return self.update_info_for_record(ciphertext.ciphertext_id, update_key)
+
+    def update_info_for_record(self, ciphertext_id: str,
+                               update_key: UpdateKey) -> CiphertextUpdateInfo:
+        """:meth:`update_info` from the ledger alone — no ciphertext needed.
+
+        The ledger stores the policy string and encryption exponent, which
+        determine the affected attribute labels; the owner never has to
+        download its ciphertexts back from the server to revoke.
+        """
+        aid = update_key.aid
+        record = self.record(ciphertext_id)
+        if aid not in record.versions:
+            raise RevocationError(
+                f"authority {aid!r} is not involved in ciphertext "
+                f"{ciphertext_id!r}"
+            )
+        if record.versions[aid] != update_key.from_version:
+            raise RevocationError(
+                f"ciphertext at version {record.versions[aid]} for "
+                f"{aid!r}; update key expects {update_key.from_version}"
+            )
+        old_keys = self._attribute_keys[aid]
+        if old_keys.version != update_key.from_version:
+            raise RevocationError(
+                "owner's cached public keys are not at the update key's "
+                "source version; apply updates in order"
+            )
+        new_keys = apply_update_to_public_keys(old_keys, update_key)
+        beta_s = self._master.beta * record.s % self.group.order
+        labels = set(lsss_from_policy(record.policy).row_labels)
+        elements = {}
+        for label in labels:
+            if authority_of(label) != aid:
+                continue
+            ratio = old_keys[label] / new_keys[label]
+            elements[label] = ratio ** beta_s
+        return CiphertextUpdateInfo(
+            aid=aid,
+            ciphertext_id=ciphertext_id,
+            elements=elements,
+            from_version=update_key.from_version,
+            to_version=update_key.to_version,
+        )
+
+    def records_involving(self, aid: str) -> list:
+        """Ids of this owner's *live* ciphertexts involving the authority."""
+        return [
+            record.ciphertext_id
+            for record in self._records.values()
+            if aid in record.versions
+            and record.ciphertext_id not in self._retired
+        ]
+
+    def recover_session(self, ciphertext_id: str) -> GTElement:
+        """Recompute the encrypted GT session element from the ledger.
+
+        Owners never need ABE keys for their own data: the ledger holds
+        the encryption exponent ``s``, and the blinding factor is
+        ``(∏_k e(g,g)^{α_k})^s`` — recomputable from the cached authority
+        public keys, provided they are still at the ciphertext's version
+        (a version mismatch raises; re-fetch the ciphertext's C component
+        after re-encryption instead of relying on stale cache).
+
+        Returns the *blinding* complement: callers divide the stored
+        ``C`` by nothing — this returns ``(∏ PK_{o,AID})^s`` so that
+        ``session = C / recover_session(...)``.
+        """
+        record = self.record(ciphertext_id)
+        blinding = self.group.identity_gt()
+        for aid, version in record.versions.items():
+            cached = self._authority_keys.get(aid)
+            if cached is None:
+                raise SchemeError(
+                    f"owner {self.owner_id!r} no longer knows authority {aid!r}"
+                )
+            if cached.version != version:
+                raise RevocationError(
+                    f"cached key for {aid!r} is at version {cached.version}, "
+                    f"ciphertext {ciphertext_id!r} is at {version}"
+                )
+            blinding = blinding * cached.value
+        return blinding ** record.s
+
+    def retire_record(self, ciphertext_id: str) -> None:
+        """Mark a ciphertext as no longer stored (replaced or deleted).
+
+        The ledger entry survives for audit, but revocation updates stop
+        targeting it. The id stays reserved — it cannot be reused.
+        """
+        self.record(ciphertext_id)  # raises for unknown ids
+        self._retired.add(ciphertext_id)
+
+    def is_retired(self, ciphertext_id: str) -> bool:
+        return ciphertext_id in self._retired
+
+    def note_reencrypted(self, ciphertext_id: str, update_key: UpdateKey) -> None:
+        """Record that the server re-encrypted a ciphertext to a new version."""
+        record = self.record(ciphertext_id)
+        versions = dict(record.versions)
+        if versions.get(update_key.aid) != update_key.from_version:
+            raise RevocationError("ledger version mismatch during re-encryption")
+        versions[update_key.aid] = update_key.to_version
+        self._records[ciphertext_id] = EncryptionRecord(
+            ciphertext_id=record.ciphertext_id,
+            s=record.s,
+            policy=record.policy,
+            versions=versions,
+        )

@@ -1,0 +1,113 @@
+"""Revocation orchestration: the paper's protocol and a hardened variant.
+
+The paper's ReKey (implemented in
+:meth:`repro.core.authority.AttributeAuthority.rekey`) broadcasts the
+update key ``UK = (UK1, UK2 = α̃/α)`` to every non-revoked user and to
+the server. Later analyses of this design observed that ``UK2`` is a
+*global* secret ratio: a revoked user colluding with any non-revoked
+user — or with the server, which also receives ``UK2`` in the paper's
+protocol even though ReEncrypt only ever uses ``UK1`` and ``UI`` — can
+raise its stale attribute keys to ``UK2`` and fully recover revoked
+capabilities (see DESIGN.md §3).
+
+:func:`rekey_hardened` is the natural repair at an explicit cost:
+
+* non-revoked users receive freshly re-issued attribute-key components
+  from the AA instead of ``UK2`` (O(affected users) exponentiations at
+  the AA instead of an O(1) broadcast);
+* the server receives only ``UK1`` and the update information, which is
+  all ReEncrypt needs;
+* ``UK2`` travels only to owners (over the same secure channel as
+  ``SK_o``), who need it to roll their cached public keys forward.
+
+``bench_ablation_revocation`` quantifies the trade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.authority import AttributeAuthority
+from repro.core.keys import UpdateKey
+
+
+@dataclass(frozen=True)
+class RekeyResult:
+    """Everything one revocation produces, ready for distribution.
+
+    ``revoked_user_keys``: owner id → the revoked user's new (reduced)
+    secret key; empty for owners where no attributes remain.
+    ``update_key``: the full ``(UK1, UK2)`` bundle. In the paper's
+    protocol it goes to every non-revoked user, every owner, and the
+    server; in the hardened protocol only to owners (and ``UK1``+``UI``
+    to the server).
+    ``reissued_keys``: ``None`` for the paper's protocol; for the
+    hardened protocol, {(uid, owner id): fresh secret key} for every
+    non-revoked holder.
+    """
+
+    aid: str
+    revoked_uid: str
+    revoked_user_keys: dict
+    update_key: UpdateKey
+    reissued_keys: dict = None
+
+    @property
+    def is_hardened(self) -> bool:
+        return self.reissued_keys is not None
+
+
+def rekey_standard(authority: AttributeAuthority, revoked_uid: str,
+                   revoked_attributes) -> RekeyResult:
+    """The paper's revocation exactly (Section V-C, Phase 1)."""
+    new_keys, update_key = authority.rekey(revoked_uid, revoked_attributes)
+    return RekeyResult(
+        aid=authority.aid,
+        revoked_uid=revoked_uid,
+        revoked_user_keys=new_keys,
+        update_key=update_key,
+    )
+
+
+def rekey_hardened(authority: AttributeAuthority, revoked_uid: str,
+                   revoked_attributes) -> RekeyResult:
+    """Revocation without handing ``UK2`` to users or the server.
+
+    Runs the standard ReKey, then re-issues every other holder's secret
+    key under the new version key directly. The returned
+    ``reissued_keys`` replace the users' old keys wholesale; no client-
+    side update step is needed (or possible — users never see ``UK2``).
+    """
+    new_keys, update_key = authority.rekey(revoked_uid, revoked_attributes)
+    reissued = {}
+    for (uid, owner_id), held in authority.issued_registry().items():
+        if uid == revoked_uid:
+            continue
+        unqualified = {name.split(":", 1)[1] for name in held}
+        public_key = authority.user_public_key_on_file(uid)
+        reissued[(uid, owner_id)] = authority.keygen(
+            public_key, unqualified, owner_id
+        )
+    return RekeyResult(
+        aid=authority.aid,
+        revoked_uid=revoked_uid,
+        revoked_user_keys=new_keys,
+        update_key=update_key,
+        reissued_keys=reissued,
+    )
+
+
+def strip_uk2(update_key: UpdateKey) -> UpdateKey:
+    """The server's view of the update key in the hardened protocol.
+
+    ReEncrypt only uses ``UK1``; setting ``UK2 = 1`` documents that the
+    server received no usable ratio (1 is the multiplicative identity,
+    not the real α̃/α, which is ≠ 1 whenever α̃ ≠ α).
+    """
+    return UpdateKey(
+        aid=update_key.aid,
+        uk1=dict(update_key.uk1),
+        uk2=1,
+        from_version=update_key.from_version,
+        to_version=update_key.to_version,
+    )

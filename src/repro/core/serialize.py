@@ -1,0 +1,253 @@
+"""Wire formats for every key type of the scheme.
+
+Ciphertexts serialize in :mod:`repro.core.ciphertext`; this module covers
+the key material that actually travels between entities — user public
+keys from the CA, owner secret keys to the AAs, public attribute keys
+and authority public keys to owners, user secret keys to users, and
+update keys / update information during revocation.
+
+Format: a length-prefixed JSON header carrying identifiers, versions and
+the attribute-name order, followed by fixed-width group elements in that
+order. The byte counts agree exactly with :mod:`repro.system.sizes` up
+to the header (identifiers), which both compared schemes share equally.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.keys import (
+    AuthorityPublicKey,
+    CiphertextUpdateInfo,
+    OwnerSecretKey,
+    PublicAttributeKeys,
+    UpdateKey,
+    UserPublicKey,
+    UserSecretKey,
+)
+from repro.errors import SchemeError
+from repro.pairing.group import PairingGroup
+
+
+def _pack(header: dict, body: bytes) -> bytes:
+    raw = json.dumps(header, separators=(",", ":"), sort_keys=True).encode(
+        "utf-8"
+    )
+    return len(raw).to_bytes(4, "big") + raw + body
+
+
+def _unpack(data: bytes) -> tuple:
+    if len(data) < 4:
+        raise SchemeError("truncated key encoding")
+    header_len = int.from_bytes(data[:4], "big")
+    if len(data) < 4 + header_len:
+        raise SchemeError("truncated key header")
+    try:
+        header = json.loads(data[4:4 + header_len].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SchemeError("malformed key header") from exc
+    return header, data[4 + header_len:]
+
+
+def _split_elements(group: PairingGroup, body: bytes, count: int) -> list:
+    width = group.g1_bytes
+    if len(body) != count * width:
+        raise SchemeError(
+            f"key body has {len(body)} bytes; expected {count * width}"
+        )
+    return [
+        group.decode_g1(body[i * width:(i + 1) * width]) for i in range(count)
+    ]
+
+
+# -- UserPublicKey ------------------------------------------------------------
+
+def encode_user_public_key(key: UserPublicKey) -> bytes:
+    return _pack({"kind": "upk", "uid": key.uid}, key.element.to_bytes())
+
+
+def decode_user_public_key(group: PairingGroup, data: bytes) -> UserPublicKey:
+    header, body = _unpack(data)
+    if header.get("kind") != "upk":
+        raise SchemeError("not a user public key encoding")
+    (element,) = _split_elements(group, body, 1)
+    return UserPublicKey(uid=header["uid"], element=element)
+
+
+# -- OwnerSecretKey -------------------------------------------------------------
+
+def encode_owner_secret_key(group: PairingGroup, key: OwnerSecretKey) -> bytes:
+    body = key.g_inv_beta.to_bytes() + group.encode_scalar(key.r_over_beta)
+    return _pack({"kind": "osk", "owner": key.owner_id}, body)
+
+
+def decode_owner_secret_key(group: PairingGroup, data: bytes) -> OwnerSecretKey:
+    header, body = _unpack(data)
+    if header.get("kind") != "osk":
+        raise SchemeError("not an owner secret key encoding")
+    width = group.g1_bytes
+    if len(body) != width + group.scalar_bytes:
+        raise SchemeError("owner secret key body has the wrong length")
+    return OwnerSecretKey(
+        owner_id=header["owner"],
+        g_inv_beta=group.decode_g1(body[:width]),
+        r_over_beta=group.decode_scalar(body[width:]),
+    )
+
+
+# -- AuthorityPublicKey ------------------------------------------------------------
+
+def encode_authority_public_key(key: AuthorityPublicKey) -> bytes:
+    return _pack(
+        {"kind": "apk", "aid": key.aid, "version": key.version},
+        key.value.to_bytes(),
+    )
+
+
+def decode_authority_public_key(group: PairingGroup,
+                                data: bytes) -> AuthorityPublicKey:
+    header, body = _unpack(data)
+    if header.get("kind") != "apk":
+        raise SchemeError("not an authority public key encoding")
+    if len(body) != group.gt_bytes:
+        raise SchemeError("authority public key body has the wrong length")
+    return AuthorityPublicKey(
+        aid=header["aid"],
+        value=group.decode_gt(body),
+        version=int(header["version"]),
+    )
+
+
+# -- PublicAttributeKeys --------------------------------------------------------------
+
+def encode_public_attribute_keys(key: PublicAttributeKeys) -> bytes:
+    names = sorted(key.elements)
+    body = b"".join(key.elements[name].to_bytes() for name in names)
+    return _pack(
+        {"kind": "pak", "aid": key.aid, "version": key.version,
+         "attrs": names},
+        body,
+    )
+
+
+def decode_public_attribute_keys(group: PairingGroup,
+                                 data: bytes) -> PublicAttributeKeys:
+    header, body = _unpack(data)
+    if header.get("kind") != "pak":
+        raise SchemeError("not a public attribute key encoding")
+    names = header["attrs"]
+    elements = dict(zip(names, _split_elements(group, body, len(names))))
+    return PublicAttributeKeys(
+        aid=header["aid"], elements=elements, version=int(header["version"])
+    )
+
+
+# -- UserSecretKey ---------------------------------------------------------------------
+
+def encode_user_secret_key(key: UserSecretKey) -> bytes:
+    names = sorted(key.attribute_keys)
+    body = key.k.to_bytes() + b"".join(
+        key.attribute_keys[name].to_bytes() for name in names
+    )
+    return _pack(
+        {
+            "kind": "usk",
+            "uid": key.uid,
+            "aid": key.aid,
+            "owner": key.owner_id,
+            "version": key.version,
+            "attrs": names,
+        },
+        body,
+    )
+
+
+def decode_user_secret_key(group: PairingGroup, data: bytes) -> UserSecretKey:
+    header, body = _unpack(data)
+    if header.get("kind") != "usk":
+        raise SchemeError("not a user secret key encoding")
+    names = header["attrs"]
+    elements = _split_elements(group, body, 1 + len(names))
+    return UserSecretKey(
+        uid=header["uid"],
+        aid=header["aid"],
+        owner_id=header["owner"],
+        k=elements[0],
+        attribute_keys=dict(zip(names, elements[1:])),
+        version=int(header["version"]),
+    )
+
+
+# -- UpdateKey ----------------------------------------------------------------------------
+
+def encode_update_key(group: PairingGroup, key: UpdateKey) -> bytes:
+    owners = sorted(key.uk1)
+    body = b"".join(key.uk1[owner].to_bytes() for owner in owners)
+    body += group.encode_scalar(key.uk2)
+    return _pack(
+        {
+            "kind": "uk",
+            "aid": key.aid,
+            "owners": owners,
+            "from": key.from_version,
+            "to": key.to_version,
+        },
+        body,
+    )
+
+
+def decode_update_key(group: PairingGroup, data: bytes) -> UpdateKey:
+    header, body = _unpack(data)
+    if header.get("kind") != "uk":
+        raise SchemeError("not an update key encoding")
+    owners = header["owners"]
+    width = group.g1_bytes
+    expected = len(owners) * width + group.scalar_bytes
+    if len(body) != expected:
+        raise SchemeError("update key body has the wrong length")
+    uk1 = {
+        owner: group.decode_g1(body[i * width:(i + 1) * width])
+        for i, owner in enumerate(owners)
+    }
+    uk2 = group.decode_scalar(body[len(owners) * width:])
+    return UpdateKey(
+        aid=header["aid"],
+        uk1=uk1,
+        uk2=uk2,
+        from_version=int(header["from"]),
+        to_version=int(header["to"]),
+    )
+
+
+# -- CiphertextUpdateInfo ----------------------------------------------------------------------
+
+def encode_update_info(info: CiphertextUpdateInfo) -> bytes:
+    names = sorted(info.elements)
+    body = b"".join(info.elements[name].to_bytes() for name in names)
+    return _pack(
+        {
+            "kind": "ui",
+            "aid": info.aid,
+            "ct": info.ciphertext_id,
+            "attrs": names,
+            "from": info.from_version,
+            "to": info.to_version,
+        },
+        body,
+    )
+
+
+def decode_update_info(group: PairingGroup,
+                       data: bytes) -> CiphertextUpdateInfo:
+    header, body = _unpack(data)
+    if header.get("kind") != "ui":
+        raise SchemeError("not an update information encoding")
+    names = header["attrs"]
+    elements = dict(zip(names, _split_elements(group, body, len(names))))
+    return CiphertextUpdateInfo(
+        aid=header["aid"],
+        ciphertext_id=header["ct"],
+        elements=elements,
+        from_version=int(header["from"]),
+        to_version=int(header["to"]),
+    )

@@ -1,0 +1,20 @@
+"""Symmetric cryptography: KDF and the authenticated DEM."""
+
+from repro.crypto.kdf import derive_content_key, hkdf
+from repro.crypto.symmetric import (
+    KEY_LEN,
+    SymmetricCiphertext,
+    decrypt,
+    encrypt,
+    generate_content_key,
+)
+
+__all__ = [
+    "hkdf",
+    "derive_content_key",
+    "KEY_LEN",
+    "SymmetricCiphertext",
+    "encrypt",
+    "decrypt",
+    "generate_content_key",
+]

@@ -1,0 +1,54 @@
+"""HKDF-style key derivation (RFC 5869 shape, SHA-256 based).
+
+Used to (a) derive independent encryption/MAC keys for the data
+encapsulation mechanism from a single content key, and (b) turn a GT
+session element recovered by CP-ABE decryption into a symmetric content
+key (the standard KEM/DEM hybrid the paper sketches in Section V-A).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+_HASH_LEN = 32
+
+
+def hkdf_extract(salt: bytes, input_key_material: bytes) -> bytes:
+    """Extract step: PRK = HMAC-SHA256(salt, IKM)."""
+    if not salt:
+        salt = b"\x00" * _HASH_LEN
+    return hmac.new(salt, input_key_material, hashlib.sha256).digest()
+
+
+def hkdf_expand(pseudo_random_key: bytes, info: bytes, length: int) -> bytes:
+    """Expand step: OKM of ``length`` bytes bound to ``info``."""
+    if length > 255 * _HASH_LEN:
+        raise ValueError("HKDF-Expand output too long")
+    output = b""
+    block = b""
+    counter = 1
+    while len(output) < length:
+        block = hmac.new(
+            pseudo_random_key, block + info + bytes([counter]), hashlib.sha256
+        ).digest()
+        output += block
+        counter += 1
+    return output[:length]
+
+
+def hkdf(input_key_material: bytes, info: bytes, length: int,
+         salt: bytes = b"") -> bytes:
+    """One-call extract-then-expand."""
+    return hkdf_expand(hkdf_extract(salt, input_key_material), info, length)
+
+
+def derive_content_key(session_bytes: bytes, context: bytes = b"") -> bytes:
+    """Map a serialized GT session element to a 32-byte content key.
+
+    The owner encrypts a random GT element under the ABE access structure;
+    both owner and authorized users derive the symmetric content key from
+    it with this function, so the ABE layer never has to embed raw key
+    bytes in a group element.
+    """
+    return hkdf(session_bytes, b"repro.content-key" + context, 32)

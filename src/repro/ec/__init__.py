@@ -1,0 +1,14 @@
+"""Elliptic-curve substrate: supersingular type-A curves and parameters."""
+
+from repro.ec.curve import INFINITY, SupersingularCurve
+from repro.ec.params import PRESETS, SS512, TOY80, TypeAParams, generate_type_a
+
+__all__ = [
+    "INFINITY",
+    "SupersingularCurve",
+    "TypeAParams",
+    "generate_type_a",
+    "TOY80",
+    "SS512",
+    "PRESETS",
+]

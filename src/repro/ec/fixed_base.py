@@ -1,0 +1,64 @@
+"""Fixed-base windowed scalar multiplication.
+
+Exponentiations of the *generator* dominate KeyGen and Encrypt (every
+``g^x`` in the scheme). For a fixed base, precomputing the table
+``T[i][j] = (j · W^i) · P`` for a window width ``w`` (``W = 2^w``)
+reduces a scalar multiplication to at most ``ceil(bits/w)`` point
+additions and no doublings — a 4-6× speedup over double-and-add in this
+pure-Python setting.
+
+The table costs ``(W - 1) · ceil(bits/w)`` precomputed points; for a
+160-bit order and w = 4 that is 600 points, built once per group.
+"""
+
+from __future__ import annotations
+
+from repro.ec.curve import INFINITY, SupersingularCurve
+
+
+class FixedBaseTable:
+    """Precomputed multiples of one point for windowed multiplication."""
+
+    __slots__ = ("curve", "point", "window", "levels")
+
+    def __init__(self, curve: SupersingularCurve, point, order: int,
+                 window: int = 4):
+        if not 1 <= window <= 8:
+            raise ValueError("window width must be in [1, 8]")
+        self.curve = curve
+        self.point = point
+        self.window = window
+        width = 1 << window
+        n_levels = (order.bit_length() + window - 1) // window
+        self.levels = []
+        base = point
+        for _ in range(n_levels):
+            row = [INFINITY]
+            accumulator = INFINITY
+            for _ in range(width - 1):
+                accumulator = curve.add(accumulator, base)
+                row.append(accumulator)
+            self.levels.append(row)
+            # base <- (2^window) * base for the next digit position
+            for _ in range(window):
+                base = curve.double(base)
+
+    def multiply(self, scalar: int):
+        """``scalar · P`` using the precomputed table."""
+        if scalar < 0:
+            return self.curve.neg(self.multiply(-scalar))
+        mask = (1 << self.window) - 1
+        result = INFINITY
+        level = 0
+        while scalar and level < len(self.levels):
+            digit = scalar & mask
+            if digit:
+                result = self.curve.add(result, self.levels[level][digit])
+            scalar >>= self.window
+            level += 1
+        if scalar:
+            # Scalar exceeded the table (not reduced mod order): fall back
+            # for the remaining high part.
+            high = self.curve.mul(self.point, scalar << (self.window * level))
+            result = self.curve.add(result, high)
+        return result

@@ -1,0 +1,145 @@
+"""Type-A pairing parameter generation and fixed presets.
+
+A type-A parameter set (PBC terminology; the paper benchmarks on PBC's
+512-bit "α-curve") consists of:
+
+* a prime group order ``r``;
+* a prime base field modulus ``p`` with ``p ≡ 3 (mod 4)`` and
+  ``p + 1 = h·r`` for an even cofactor ``h`` (we force ``4 | h`` so that
+  ``p ≡ 3 (mod 4)`` holds automatically);
+* the supersingular curve ``y² = x³ + x`` over F_p, whose group of
+  F_p-rational points has order exactly ``p + 1``;
+* a generator ``g`` of the order-``r`` subgroup, obtained by multiplying
+  a deterministic curve point by the cofactor.
+
+Two presets are exported:
+
+* :data:`TOY80` — 80-bit r, 160-bit p. Fast; used throughout the unit and
+  property tests. Offers no real-world security.
+* :data:`SS512` — 160-bit r, 512-bit p. The same sizes as the paper's
+  α-curve (|G| ≈ 512 bits, |GT| ≈ 1024 bits, |Z_p| = 160 bits); used by
+  the benchmark harness.
+
+Both presets were produced by :func:`generate_type_a` with fixed seeds
+and are re-verified at import time (primality, cofactor structure,
+generator order), so a corrupted constant cannot go unnoticed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import ParameterError
+from repro.ec.curve import INFINITY, SupersingularCurve
+from repro.math.field import PrimeField
+from repro.math.primes import is_prime, random_prime
+
+
+@dataclass(frozen=True)
+class TypeAParams:
+    """A complete, validated type-A pairing parameter set."""
+
+    r: int                      # prime order of the pairing groups
+    p: int                      # base field modulus, p + 1 = h * r
+    generator: tuple            # point of order r on y² = x³ + x
+    name: str = "custom"
+    h: int = field(init=False)  # cofactor
+
+    def __post_init__(self):
+        object.__setattr__(self, "h", (self.p + 1) // self.r)
+        _validate(self)
+
+    @property
+    def r_bits(self) -> int:
+        return self.r.bit_length()
+
+    @property
+    def p_bits(self) -> int:
+        return self.p.bit_length()
+
+    def __repr__(self) -> str:
+        return f"TypeAParams({self.name}: r~2^{self.r_bits}, p~2^{self.p_bits})"
+
+
+def _validate(params: TypeAParams) -> None:
+    """Re-verify all structural properties of a parameter set."""
+    r, p = params.r, params.p
+    if not is_prime(r):
+        raise ParameterError("group order r is not prime")
+    if not is_prime(p):
+        raise ParameterError("field modulus p is not prime")
+    if p % 4 != 3:
+        raise ParameterError("p must be ≡ 3 (mod 4)")
+    if (p + 1) % r != 0:
+        raise ParameterError("r must divide p + 1 (curve order)")
+    curve = SupersingularCurve(PrimeField(p, check_prime=False))
+    g = params.generator
+    if not curve.is_on_curve(g) or g is INFINITY:
+        raise ParameterError("generator is not a finite curve point")
+    if curve.mul(g, r) is not INFINITY:
+        raise ParameterError("generator does not have order dividing r")
+    # r is prime and g != O, so ord(g) == r.
+
+
+def generate_type_a(r_bits: int, p_bits: int, seed: int = None) -> TypeAParams:
+    """Generate fresh type-A parameters with the requested sizes.
+
+    Mirrors PBC's ``a_param`` generation: draw a prime ``r``, then search
+    for a cofactor ``h ≡ 0 (mod 4)`` of the right size making
+    ``p = h·r - 1`` prime. A generator is then any cofactor multiple of a
+    random curve point.
+    """
+    if p_bits < r_bits + 4:
+        raise ParameterError("p must be at least a few bits larger than r")
+    rng = random.Random(seed)
+    r = random_prime(r_bits, rng)
+    h_bits = p_bits - r_bits
+    while True:
+        h = rng.getrandbits(h_bits) | (1 << (h_bits - 1))
+        h -= h % 4  # force 4 | h so that p = h*r - 1 ≡ 3 (mod 4)
+        if h == 0:
+            continue
+        p = h * r - 1
+        if p.bit_length() != p_bits or not is_prime(p):
+            continue
+        curve = SupersingularCurve(PrimeField(p, check_prime=False))
+        point = curve.random_point(rng)
+        g = curve.mul(point, h)
+        if g is not INFINITY:
+            return TypeAParams(r=r, p=p, generator=g, name=f"gen{r_bits}-{p_bits}")
+
+
+# ---------------------------------------------------------------------------
+# Fixed presets (generated once with generate_type_a and frozen here so the
+# library imports instantly and tests are deterministic).
+# ---------------------------------------------------------------------------
+
+# generate_type_a(80, 160, seed=20120712)
+_TOY80_R = 0x8BE5EA5F01D1943560CD
+_TOY80_P = 0x82AB3A7FE43647067E8563A38CC0A04EC6E335B7
+_TOY80_G = (
+    0x722152747A717FDF36FEE437CC303D0EEEAC1AD9,
+    0x47253736E079BD800E2791A66FBB6D92BAE7C4B0,
+)
+# generate_type_a(160, 512, seed=20121042)
+_SS512_R = 0x8D3C703ABF4FEE169B3BBF42F8DC79E04FDC8EAF
+_SS512_P = 0x8805805765896C2BB6C66886D9ED5515BB3674941DB4D033B923EDDFB3DBE7CDC54DFC10CFADDDEBCDC5423EDDB6FBADFCD63B5090F5A98A7538F136C95379AF
+_SS512_G = (
+    0x426044C62D03A7799CAB59EFBE137553D320B870ADD3F933BFE11EFEBA2D89D21FCBE5448118417C57FBD2AEE42DC4A720EE8B56A2F996674F9211B916060B88,
+    0x10AD79D7697DBC330740BD9EE6681A74ADFA09FDF30BC4AA322FFA2C862DC851845F09E02FFF2832B2CC47EFBEF10F3F4D99A1CD23FA1F5D913EC6B9DCFF0689,
+)
+
+TOY80: TypeAParams
+SS512: TypeAParams
+
+
+def _build_presets():
+    global TOY80, SS512
+    TOY80 = TypeAParams(r=_TOY80_R, p=_TOY80_P, generator=_TOY80_G, name="TOY80")
+    SS512 = TypeAParams(r=_SS512_R, p=_SS512_P, generator=_SS512_G, name="SS512")
+
+
+_build_presets()
+
+PRESETS = {"TOY80": TOY80, "SS512": SS512}

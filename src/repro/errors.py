@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class. Subclasses partition errors by the
+subsystem that raised them: mathematical preconditions, policy language
+problems, scheme-level protocol violations, and the simulated storage
+system.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class MathError(ReproError):
+    """A mathematical precondition was violated (e.g. non-invertible element)."""
+
+
+class ParameterError(ReproError):
+    """Invalid or inconsistent pairing/curve parameters."""
+
+
+class PolicyError(ReproError):
+    """The access-policy string or structure is malformed."""
+
+
+class PolicyNotSatisfiedError(ReproError):
+    """An attribute set does not satisfy the ciphertext's access structure."""
+
+
+class SchemeError(ReproError):
+    """A protocol step was invoked with inconsistent keys or state."""
+
+
+class RevocationError(SchemeError):
+    """Attribute revocation was requested in an inconsistent state."""
+
+
+class AuthorizationError(ReproError):
+    """An entity attempted an operation it is not authorized to perform."""
+
+
+class IntegrityError(ReproError):
+    """Authenticated decryption failed: the ciphertext was tampered with."""
+
+
+class StorageError(ReproError):
+    """The simulated cloud server was asked for a record it does not hold."""

@@ -1,0 +1,6 @@
+"""Number theory, finite fields and linear algebra substrate."""
+
+from repro.math.field import PrimeField
+from repro.math.field_ext import QuadraticExtension
+
+__all__ = ["PrimeField", "QuadraticExtension"]

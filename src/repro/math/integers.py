@@ -1,0 +1,144 @@
+"""Elementary number-theoretic algorithms on Python integers.
+
+These routines are the lowest layer of the library: everything above
+(finite fields, elliptic curves, pairings) reduces to them. They operate
+on plain ``int`` values so they can be reused for both the base field
+modulus ``p`` and the group order ``r``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MathError
+
+
+def egcd(a: int, b: int) -> tuple:
+    """Extended Euclidean algorithm.
+
+    Returns ``(g, x, y)`` with ``g = gcd(a, b)`` and ``a*x + b*y == g``.
+    Works for negative inputs; ``g`` is always non-negative.
+    """
+    old_r, r = a, b
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_s, s = s, old_s - q * s
+        old_t, t = t, old_t - q * t
+    if old_r < 0:
+        old_r, old_s, old_t = -old_r, -old_s, -old_t
+    return old_r, old_s, old_t
+
+
+def invmod(a: int, m: int) -> int:
+    """Multiplicative inverse of ``a`` modulo ``m``.
+
+    Raises :class:`MathError` if ``gcd(a, m) != 1``.
+    """
+    a %= m
+    if a == 0:
+        raise MathError(f"0 is not invertible modulo {m}")
+    try:
+        return pow(a, -1, m)
+    except ValueError as exc:  # pragma: no cover - same condition as below
+        raise MathError(f"{a} is not invertible modulo {m}") from exc
+
+
+def jacobi(a: int, n: int) -> int:
+    """Jacobi symbol (a/n) for odd positive ``n``.
+
+    For prime ``n`` this is the Legendre symbol: 1 if ``a`` is a nonzero
+    quadratic residue, -1 if a non-residue, 0 if ``a ≡ 0``.
+    """
+    if n <= 0 or n % 2 == 0:
+        raise MathError("Jacobi symbol requires odd positive n")
+    a %= n
+    result = 1
+    while a != 0:
+        while a % 2 == 0:
+            a //= 2
+            if n % 8 in (3, 5):
+                result = -result
+        a, n = n, a
+        if a % 4 == 3 and n % 4 == 3:
+            result = -result
+        a %= n
+    return result if n == 1 else 0
+
+
+def sqrt_mod(a: int, p: int) -> int:
+    """A square root of ``a`` modulo an odd prime ``p`` (Tonelli-Shanks).
+
+    Returns ``x`` with ``x*x ≡ a (mod p)``; the other root is ``p - x``.
+    Raises :class:`MathError` if ``a`` is a non-residue.
+    """
+    a %= p
+    if a == 0:
+        return 0
+    if jacobi(a, p) != 1:
+        raise MathError(f"{a} is not a quadratic residue modulo {p}")
+    if p % 4 == 3:
+        return pow(a, (p + 1) // 4, p)
+    # Tonelli-Shanks for p ≡ 1 (mod 4).
+    q, s = p - 1, 0
+    while q % 2 == 0:
+        q //= 2
+        s += 1
+    z = 2
+    while jacobi(z, p) != -1:
+        z += 1
+    m = s
+    c = pow(z, q, p)
+    t = pow(a, q, p)
+    x = pow(a, (q + 1) // 2, p)
+    while t != 1:
+        t2 = t
+        i = 0
+        while t2 != 1:
+            t2 = t2 * t2 % p
+            i += 1
+            if i == m:
+                raise MathError("Tonelli-Shanks failed; modulus not prime?")
+        b = pow(c, 1 << (m - i - 1), p)
+        m = i
+        c = b * b % p
+        t = t * c % p
+        x = x * b % p
+    return x
+
+
+def crt_pair(r1: int, m1: int, r2: int, m2: int) -> tuple:
+    """Chinese remainder theorem for two congruences.
+
+    Returns ``(r, m)`` with ``r ≡ r1 (mod m1)``, ``r ≡ r2 (mod m2)`` and
+    ``m = lcm(m1, m2)``. Raises :class:`MathError` if inconsistent.
+    """
+    g, x, _ = egcd(m1, m2)
+    if (r2 - r1) % g != 0:
+        raise MathError("CRT congruences are inconsistent")
+    lcm = m1 // g * m2
+    diff = (r2 - r1) // g
+    r = (r1 + m1 * (diff * x % (m2 // g))) % lcm
+    return r, lcm
+
+
+def bit_length(n: int) -> int:
+    """Bit length of ``|n|`` (0 for n == 0); thin alias for readability."""
+    return abs(n).bit_length()
+
+
+def int_to_bytes(n: int, length: int = None) -> bytes:
+    """Big-endian encoding of a non-negative integer.
+
+    When ``length`` is omitted, the minimal length is used (1 byte for 0).
+    """
+    if n < 0:
+        raise MathError("cannot encode a negative integer")
+    if length is None:
+        length = max(1, (n.bit_length() + 7) // 8)
+    return n.to_bytes(length, "big")
+
+
+def bytes_to_int(data: bytes) -> int:
+    """Big-endian decoding, inverse of :func:`int_to_bytes`."""
+    return int.from_bytes(data, "big")

@@ -1,0 +1,126 @@
+"""Linear algebra over Z_r for a prime modulus r.
+
+The LSSS machinery needs to (a) decide whether the all-ones target vector
+``(1, 0, …, 0)`` lies in the span of a set of share-matrix rows and (b)
+produce reconstruction coefficients when it does. Both reduce to solving
+linear systems modulo the (prime) group order, which this module provides
+via straightforward Gaussian elimination.
+
+Matrices are lists of lists of ints; vectors are lists of ints. All
+entries are kept reduced modulo ``mod``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MathError
+from repro.math.integers import invmod
+
+Matrix = list
+Vector = list
+
+
+def _copy_reduced(matrix: Matrix, mod: int) -> Matrix:
+    return [[entry % mod for entry in row] for row in matrix]
+
+
+def rref(matrix: Matrix, mod: int) -> tuple:
+    """Reduced row echelon form of ``matrix`` modulo a prime.
+
+    Returns ``(R, pivots)`` where ``R`` is the RREF and ``pivots`` is the
+    list of pivot column indices (one per nonzero row, in order).
+    """
+    rows = _copy_reduced(matrix, mod)
+    if not rows:
+        return [], []
+    n_rows, n_cols = len(rows), len(rows[0])
+    pivots = []
+    pivot_row = 0
+    for col in range(n_cols):
+        if pivot_row >= n_rows:
+            break
+        chosen = None
+        for i in range(pivot_row, n_rows):
+            if rows[i][col] != 0:
+                chosen = i
+                break
+        if chosen is None:
+            continue
+        rows[pivot_row], rows[chosen] = rows[chosen], rows[pivot_row]
+        inv = invmod(rows[pivot_row][col], mod)
+        rows[pivot_row] = [entry * inv % mod for entry in rows[pivot_row]]
+        for i in range(n_rows):
+            if i != pivot_row and rows[i][col] != 0:
+                factor = rows[i][col]
+                rows[i] = [
+                    (entry - factor * pivot_entry) % mod
+                    for entry, pivot_entry in zip(rows[i], rows[pivot_row])
+                ]
+        pivots.append(col)
+        pivot_row += 1
+    return rows, pivots
+
+
+def rank(matrix: Matrix, mod: int) -> int:
+    """Rank of the matrix over Z_mod."""
+    _, pivots = rref(matrix, mod)
+    return len(pivots)
+
+
+def solve(matrix: Matrix, rhs: Vector, mod: int):
+    """One solution ``x`` of ``matrix · x = rhs (mod mod)``, or ``None``.
+
+    Free variables are set to zero, so the returned solution is the
+    canonical one produced by back-substitution from the RREF of the
+    augmented system.
+    """
+    if not matrix:
+        return None if any(v % mod for v in rhs) else []
+    n_rows, n_cols = len(matrix), len(matrix[0])
+    if len(rhs) != n_rows:
+        raise MathError("dimension mismatch between matrix and right-hand side")
+    augmented = [list(row) + [rhs[i]] for i, row in enumerate(matrix)]
+    reduced, pivots = rref(augmented, mod)
+    # Inconsistent iff a pivot lands in the augmented column.
+    if n_cols in pivots:
+        return None
+    solution = [0] * n_cols
+    for row_index, col in enumerate(pivots):
+        solution[col] = reduced[row_index][n_cols]
+    return solution
+
+
+def solve_combination(rows: Matrix, target: Vector, mod: int):
+    """Coefficients ``w`` with ``Σ w_i · rows[i] = target (mod mod)``, or None.
+
+    This is the LSSS reconstruction problem: it asks for a linear
+    combination of the given *rows* hitting ``target``, i.e. solves the
+    transposed system.
+    """
+    if not rows:
+        return None if any(v % mod for v in target) else []
+    n_cols = len(rows[0])
+    if any(len(row) != n_cols for row in rows):
+        raise MathError("rows must all have the same length")
+    if len(target) != n_cols:
+        raise MathError("target length must match row length")
+    transposed = [[rows[i][j] for i in range(len(rows))] for j in range(n_cols)]
+    return solve(transposed, target, mod)
+
+
+def mat_vec(matrix: Matrix, vector: Vector, mod: int) -> Vector:
+    """Matrix-vector product modulo ``mod``."""
+    if matrix and len(matrix[0]) != len(vector):
+        raise MathError("dimension mismatch in matrix-vector product")
+    return [sum(row[j] * vector[j] for j in range(len(vector))) % mod for row in matrix]
+
+
+def dot(u: Vector, v: Vector, mod: int) -> int:
+    """Inner product modulo ``mod``."""
+    if len(u) != len(v):
+        raise MathError("dimension mismatch in dot product")
+    return sum(a * b for a, b in zip(u, v)) % mod
+
+
+def in_span(rows: Matrix, target: Vector, mod: int) -> bool:
+    """True iff ``target`` is a Z_mod-linear combination of ``rows``."""
+    return solve_combination(rows, target, mod) is not None

@@ -1,0 +1,85 @@
+"""Polynomials over Z_mod and Lagrange interpolation.
+
+The Shamir machinery shared by the threshold access trees (BSW), the
+Chase baseline, and any future threshold construction: random
+polynomials with a fixed constant term, Horner evaluation, and
+interpolation at zero.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import MathError
+from repro.math.integers import invmod
+
+
+@dataclass(frozen=True)
+class Polynomial:
+    """A polynomial over Z_mod, coefficients lowest-degree first."""
+
+    coefficients: tuple
+    mod: int
+
+    def __post_init__(self):
+        if not self.coefficients:
+            raise MathError("a polynomial needs at least one coefficient")
+
+    @classmethod
+    def random_with_constant(cls, constant: int, degree: int, mod: int,
+                             rng: random.Random) -> "Polynomial":
+        """Uniform polynomial of the given degree with f(0) = constant."""
+        if degree < 0:
+            raise MathError("degree must be non-negative")
+        coefficients = [constant % mod] + [
+            rng.randrange(mod) for _ in range(degree)
+        ]
+        return cls(coefficients=tuple(coefficients), mod=mod)
+
+    @property
+    def degree(self) -> int:
+        return len(self.coefficients) - 1
+
+    @property
+    def constant(self) -> int:
+        return self.coefficients[0]
+
+    def evaluate(self, x: int) -> int:
+        """Horner evaluation of f(x) mod mod."""
+        result = 0
+        for coefficient in reversed(self.coefficients):
+            result = (result * x + coefficient) % self.mod
+        return result
+
+    def shares(self, xs) -> dict:
+        """{x: f(x)} for each evaluation point."""
+        return {x: self.evaluate(x) for x in xs}
+
+
+def lagrange_coefficients_at_zero(xs, mod: int) -> dict:
+    """{x_j: Δ_j(0)} such that Σ Δ_j(0)·f(x_j) = f(0) for deg f < |xs|.
+
+    The points must be distinct and nonzero modulo ``mod``.
+    """
+    xs = list(xs)
+    if len(set(x % mod for x in xs)) != len(xs):
+        raise MathError("interpolation points must be distinct mod mod")
+    coefficients = {}
+    for x_j in xs:
+        if x_j % mod == 0:
+            raise MathError("interpolation points must be nonzero")
+        numerator, denominator = 1, 1
+        for x_m in xs:
+            if x_m == x_j:
+                continue
+            numerator = numerator * (-x_m) % mod
+            denominator = denominator * (x_j - x_m) % mod
+        coefficients[x_j] = numerator * invmod(denominator, mod) % mod
+    return coefficients
+
+
+def interpolate_at_zero(points: dict, mod: int) -> int:
+    """Recover f(0) from {x: f(x)} samples (|points| > deg f)."""
+    weights = lagrange_coefficients_at_zero(points.keys(), mod)
+    return sum(weights[x] * y for x, y in points.items()) % mod

@@ -1,0 +1,87 @@
+"""Primality testing and prime generation.
+
+Used once at parameter-generation time (type-A pairing parameters need a
+prime group order ``r`` and a prime base field ``p = h*r - 1``) and at
+import time to re-verify the hard-coded presets.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import MathError
+
+# Small primes for cheap trial division before Miller-Rabin.
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61,
+    67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137,
+    139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+]
+
+# Deterministic Miller-Rabin bases: sufficient for all n < 3.3e24; for
+# larger n they act as 13 strong rounds, complemented by random rounds.
+_DETERMINISTIC_BASES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41]
+
+
+def _miller_rabin_round(n: int, a: int, d: int, s: int) -> bool:
+    """One strong-pseudoprime test of ``n`` to base ``a``. True = passes."""
+    x = pow(a, d, n)
+    if x == 1 or x == n - 1:
+        return True
+    for _ in range(s - 1):
+        x = x * x % n
+        if x == n - 1:
+            return True
+    return False
+
+
+def is_prime(n: int, rounds: int = 16, rng: random.Random = None) -> bool:
+    """Miller-Rabin primality test.
+
+    Deterministic for ``n < 3.3e24``; probabilistic (error < 4^-rounds)
+    beyond that. ``rng`` may be supplied for reproducible random bases.
+    """
+    if n < 2:
+        return False
+    for q in _SMALL_PRIMES:
+        if n == q:
+            return True
+        if n % q == 0:
+            return False
+    d, s = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        s += 1
+    for a in _DETERMINISTIC_BASES:
+        if not _miller_rabin_round(n, a, d, s):
+            return False
+    if n < 3317044064679887385961981:
+        return True
+    rng = rng or random.Random(0xC0FFEE ^ (n & 0xFFFFFFFF))
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        if not _miller_rabin_round(n, a, d, s):
+            return False
+    return True
+
+
+def random_prime(bits: int, rng: random.Random) -> int:
+    """A uniformly chosen prime with exactly ``bits`` bits."""
+    if bits < 2:
+        raise MathError("primes need at least 2 bits")
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if is_prime(candidate):
+            return candidate
+
+
+def next_prime(n: int) -> int:
+    """Smallest prime strictly greater than ``n``."""
+    candidate = n + 1
+    if candidate <= 2:
+        return 2
+    if candidate % 2 == 0:
+        candidate += 1
+    while not is_prime(candidate):
+        candidate += 2
+    return candidate

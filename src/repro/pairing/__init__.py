@@ -1,0 +1,18 @@
+"""Bilinear pairing groups over type-A supersingular curves."""
+
+from repro.ec.params import PRESETS, SS512, TOY80, TypeAParams, generate_type_a
+from repro.pairing.group import G1Element, GTElement, PairingGroup
+from repro.pairing.serialize import ElementSizes, element_sizes
+
+__all__ = [
+    "PairingGroup",
+    "G1Element",
+    "GTElement",
+    "TypeAParams",
+    "generate_type_a",
+    "TOY80",
+    "SS512",
+    "PRESETS",
+    "ElementSizes",
+    "element_sizes",
+]

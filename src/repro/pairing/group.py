@@ -1,0 +1,335 @@
+"""High-level pairing-group API: G, GT, Z_r and the bilinear map.
+
+:class:`PairingGroup` is the facade every scheme in this library builds
+on. It wraps the curve/pairing substrate in two small element classes
+written *multiplicatively* — CP-ABE papers (including the one reproduced
+here) write the source group multiplicatively, so ``a * b`` is the group
+operation and ``a ** k`` is exponentiation, even though the underlying
+group is an elliptic curve.
+
+Example::
+
+    group = PairingGroup(TOY80, seed=1)
+    s = group.random_scalar()
+    lhs = group.pair(group.g ** s, group.g)
+    rhs = group.pair(group.g, group.g) ** s
+    assert lhs == rhs
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+from repro.ec.curve import INFINITY, SupersingularCurve
+from repro.ec.params import TypeAParams
+from repro.errors import MathError
+from repro.math.field import PrimeField
+from repro.math.field_ext import QuadraticExtension
+from repro.pairing.tate import product_of_pairings, tate_pairing
+
+
+class OperationCounter:
+    """Tallies of the dominant group operations performed through a group.
+
+    Used to validate the paper-facing operation-count models
+    (:mod:`repro.analysis.costmodel`) against what the implementation
+    actually does: tests run Encrypt/Decrypt between ``reset()`` calls
+    and compare. Each multi-pairing counts one pairing per input pair
+    (its Miller loops) even though the final exponentiation is shared.
+    """
+
+    __slots__ = ("pairings", "g1_exponentiations", "gt_exponentiations")
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        self.pairings = 0
+        self.g1_exponentiations = 0
+        self.gt_exponentiations = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "pairings": self.pairings,
+            "g1_exponentiations": self.g1_exponentiations,
+            "gt_exponentiations": self.gt_exponentiations,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"OperationCounter(pair={self.pairings}, "
+            f"g1^={self.g1_exponentiations}, gt^={self.gt_exponentiations})"
+        )
+
+
+class G1Element:
+    """An element of the source group G (order r), multiplicative notation."""
+
+    __slots__ = ("group", "point")
+
+    def __init__(self, group: "PairingGroup", point):
+        self.group = group
+        self.point = point
+
+    def __mul__(self, other: "G1Element") -> "G1Element":
+        return G1Element(self.group, self.group.curve.add(self.point, other.point))
+
+    def __truediv__(self, other: "G1Element") -> "G1Element":
+        return G1Element(self.group, self.group.curve.sub(self.point, other.point))
+
+    def __pow__(self, exponent: int) -> "G1Element":
+        group = self.group
+        group.counter.g1_exponentiations += 1
+        exponent %= group.order
+        if self.point == group.params.generator:
+            return G1Element(group, group.generator_table().multiply(exponent))
+        return G1Element(group, group.curve.mul(self.point, exponent))
+
+    def inverse(self) -> "G1Element":
+        return G1Element(self.group, self.group.curve.neg(self.point))
+
+    def is_identity(self) -> bool:
+        return self.point is INFINITY
+
+    def to_bytes(self) -> bytes:
+        return self.group.encode_g1(self)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, G1Element)
+            and self.group.params is other.group.params
+            and self.point == other.point
+        )
+
+    def __hash__(self) -> int:
+        return hash(("G1", self.point))
+
+    def __repr__(self) -> str:
+        if self.point is INFINITY:
+            return "G1(identity)"
+        return f"G1(x=...{self.point[0] & 0xFFFF:04x})"
+
+
+class GTElement:
+    """An element of the target group GT ⊂ F_p²^* (order r)."""
+
+    __slots__ = ("group", "value")
+
+    def __init__(self, group: "PairingGroup", value: tuple):
+        self.group = group
+        self.value = value
+
+    def __mul__(self, other: "GTElement") -> "GTElement":
+        return GTElement(self.group, self.group.ext.mul(self.value, other.value))
+
+    def __truediv__(self, other: "GTElement") -> "GTElement":
+        return GTElement(self.group, self.group.ext.div(self.value, other.value))
+
+    def __pow__(self, exponent: int) -> "GTElement":
+        self.group.counter.gt_exponentiations += 1
+        return GTElement(
+            self.group, self.group.ext.pow(self.value, exponent % self.group.order)
+        )
+
+    def inverse(self) -> "GTElement":
+        return GTElement(self.group, self.group.ext.inv(self.value))
+
+    def is_identity(self) -> bool:
+        return self.group.ext.is_one(self.value)
+
+    def to_bytes(self) -> bytes:
+        return self.group.encode_gt(self)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, GTElement)
+            and self.group.params is other.group.params
+            and self.value == other.value
+        )
+
+    def __hash__(self) -> int:
+        return hash(("GT", self.value))
+
+    def __repr__(self) -> str:
+        return f"GT(...{self.value[0] & 0xFFFF:04x})"
+
+
+class PairingGroup:
+    """A symmetric pairing group (G, GT, e, r) over type-A parameters.
+
+    ``seed`` makes all randomness drawn *through this object* reproducible;
+    pass ``None`` for OS-seeded randomness.
+    """
+
+    def __init__(self, params: TypeAParams, seed=None):
+        self.params = params
+        self.order = params.r
+        self.field = PrimeField(params.p, check_prime=False)
+        self.curve = SupersingularCurve(self.field)
+        self.ext = QuadraticExtension(self.field)
+        self.rng = random.Random(seed)
+        self.counter = OperationCounter()
+        self.g = G1Element(self, params.generator)
+        self._gt_generator = None
+        self._g_table = None
+        self.scalar_bytes = (self.order.bit_length() + 7) // 8
+        self.g1_bytes = self.field.byte_length + 1  # compressed point + tag
+        self.gt_bytes = 2 * self.field.byte_length
+
+    # -- generators and identities ------------------------------------------------
+
+    @property
+    def gt(self) -> GTElement:
+        """The canonical GT generator e(g, g) (computed once, cached)."""
+        if self._gt_generator is None:
+            self._gt_generator = self.pair(self.g, self.g)
+        return self._gt_generator
+
+    def generator_table(self):
+        """Lazily-built fixed-base table for generator exponentiations."""
+        if self._g_table is None:
+            from repro.ec.fixed_base import FixedBaseTable
+
+            self._g_table = FixedBaseTable(
+                self.curve, self.params.generator, self.order
+            )
+        return self._g_table
+
+    def identity_g1(self) -> G1Element:
+        return G1Element(self, INFINITY)
+
+    def identity_gt(self) -> GTElement:
+        return GTElement(self, self.ext.one)
+
+    # -- the bilinear map ---------------------------------------------------------
+
+    def pair(self, a: G1Element, b: G1Element) -> GTElement:
+        """The symmetric Tate pairing e(a, b)."""
+        self.counter.pairings += 1
+        value = tate_pairing(self.curve, self.ext, a.point, b.point, self.order)
+        return GTElement(self, value)
+
+    def pair_prod(self, pairs) -> GTElement:
+        """∏ e(a_i, b_i) with one shared final exponentiation."""
+        point_pairs = [(a.point, b.point) for a, b in pairs]
+        self.counter.pairings += len(point_pairs)
+        value = product_of_pairings(self.curve, self.ext, point_pairs, self.order)
+        return GTElement(self, value)
+
+    # -- sampling ------------------------------------------------------------------
+
+    def random_scalar(self) -> int:
+        """Uniform nonzero exponent in Z_r^*."""
+        return self.rng.randrange(1, self.order)
+
+    def random_g1(self) -> G1Element:
+        return self.g ** self.random_scalar()
+
+    def random_gt(self) -> GTElement:
+        return self.gt ** self.random_scalar()
+
+    # -- hashing -------------------------------------------------------------------
+
+    def _hash_stream(self, parts, domain: bytes, needed: int) -> bytes:
+        """Injective absorb of ``parts`` then SHA-256 expansion to ``needed`` bytes."""
+        hasher = hashlib.sha256(domain)
+        for part in parts:
+            if isinstance(part, str):
+                part = part.encode("utf-8")
+            elif isinstance(part, int):
+                part = part.to_bytes((part.bit_length() + 8) // 8 + 1, "big")
+            elif not isinstance(part, (bytes, bytearray)):
+                raise MathError(f"cannot hash object of type {type(part).__name__}")
+            hasher.update(len(part).to_bytes(4, "big"))
+            hasher.update(part)
+        digest_state = hasher.digest()
+        stream = b""
+        counter = 0
+        while len(stream) < needed:
+            stream += hashlib.sha256(
+                digest_state + counter.to_bytes(4, "big")
+            ).digest()
+            counter += 1
+        return stream[:needed]
+
+    def hash_to_scalar(self, *parts, domain: bytes = b"repro.H") -> int:
+        """H : {0,1}* → Z_r (the paper's random-oracle hash H).
+
+        Accepts str/bytes/int parts; length-prefixes each part so the
+        encoding is injective, then expands SHA-256 output to twice the
+        scalar width before reducing (negligible mod bias).
+        """
+        stream = self._hash_stream(parts, domain, 2 * self.scalar_bytes)
+        return int.from_bytes(stream, "big") % self.order
+
+    def hash_to_g1(self, *parts, domain: bytes = b"repro.H2G") -> G1Element:
+        """H : {0,1}* → G (random oracle into the source group).
+
+        Try-and-increment on candidate x-coordinates, followed by
+        cofactor clearing (multiplying by h = (p+1)/r maps any curve
+        point into the order-r subgroup). Needed by the Lewko-Waters and
+        BSW baselines, which hash global identifiers / attributes to
+        group elements.
+        """
+        cofactor = (self.params.p + 1) // self.order
+        p = self.params.p
+        x_bytes = 2 * self.field.byte_length
+        for counter in range(512):
+            candidate = int.from_bytes(
+                self._hash_stream(
+                    (counter.to_bytes(4, "big"),) + parts, domain, x_bytes
+                ),
+                "big",
+            )
+            x = candidate % p
+            point = self.curve.lift_x(x, parity=candidate & 1)
+            if point is None:
+                continue
+            cleared = self.curve.mul(point, cofactor)
+            if cleared is not INFINITY:
+                return G1Element(self, cleared)
+        raise MathError("hash_to_g1 failed to find a curve point")  # pragma: no cover
+
+    # -- serialization ---------------------------------------------------------------
+
+    def encode_g1(self, element: G1Element) -> bytes:
+        """Compressed point encoding: tag byte (0/2/3) + x-coordinate."""
+        if element.point is INFINITY:
+            return b"\x00" * self.g1_bytes
+        x, y = element.point
+        tag = 2 + (y & 1)
+        return bytes([tag]) + self.field.to_bytes(x)
+
+    def decode_g1(self, data: bytes) -> G1Element:
+        if len(data) != self.g1_bytes:
+            raise MathError("wrong length for a G element encoding")
+        tag = data[0]
+        if tag == 0:
+            if any(data[1:]):
+                raise MathError("malformed identity encoding")
+            return self.identity_g1()
+        if tag not in (2, 3):
+            raise MathError(f"unknown point-compression tag {tag}")
+        x = self.field.from_bytes(data[1:])
+        point = self.curve.lift_x(x, tag - 2)
+        if point is None:
+            raise MathError("x-coordinate is not on the curve")
+        return G1Element(self, point)
+
+    def encode_gt(self, element: GTElement) -> bytes:
+        return self.ext.to_bytes(element.value)
+
+    def decode_gt(self, data: bytes) -> GTElement:
+        return GTElement(self, self.ext.from_bytes(data))
+
+    def encode_scalar(self, value: int) -> bytes:
+        return (value % self.order).to_bytes(self.scalar_bytes, "big")
+
+    def decode_scalar(self, data: bytes) -> int:
+        if len(data) != self.scalar_bytes:
+            raise MathError("wrong length for a scalar encoding")
+        return int.from_bytes(data, "big") % self.order
+
+    def __repr__(self) -> str:
+        return f"PairingGroup({self.params.name})"

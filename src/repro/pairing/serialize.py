@@ -1,0 +1,41 @@
+"""Element-size accounting for the paper's storage/communication tables.
+
+Tables II-IV of the paper express costs in the symbolic units |p| (a Z_p
+scalar), |G| (a source-group element) and |GT| (a target-group element).
+:class:`ElementSizes` turns a parameter set into concrete byte counts so
+the analytic cost model and the measured serialized sizes can be compared
+apples-to-apples.
+
+For a type-A curve with a 512-bit base field (the paper's α-curve):
+|G| = 65 bytes compressed, |GT| = 128 bytes, |p| = 20 bytes — the same
+proportions PBC reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ec.params import TypeAParams
+
+
+@dataclass(frozen=True)
+class ElementSizes:
+    """Concrete byte sizes of the three element kinds for a parameter set."""
+
+    zr: int   # |p| in the paper: a scalar modulo the group order
+    g1: int   # |G|: a compressed source-group element
+    gt: int   # |GT|: a target-group element (F_p², two base-field coords)
+
+    def of(self, n_zr: int = 0, n_g1: int = 0, n_gt: int = 0) -> int:
+        """Total bytes of a bundle of n_zr scalars, n_g1 G and n_gt GT elements."""
+        return n_zr * self.zr + n_g1 * self.g1 + n_gt * self.gt
+
+
+def element_sizes(params: TypeAParams) -> ElementSizes:
+    """Byte sizes of Z_r, G (compressed) and GT elements for ``params``."""
+    field_bytes = (params.p.bit_length() + 7) // 8
+    return ElementSizes(
+        zr=(params.r.bit_length() + 7) // 8,
+        g1=field_bytes + 1,
+        gt=2 * field_bytes,
+    )

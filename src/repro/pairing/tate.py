@@ -1,0 +1,49 @@
+"""The reduced Tate pairing e : G × G → GT on type-A curves.
+
+``e(P, Q) = f_{r,P}(φ(Q))^{(p²-1)/r}`` with the distortion map
+``φ(x, y) = (-x, i·y)``. On the order-r subgroup this pairing is
+*symmetric* (G₁ = G₂ = G), matching the paper's setting ("the bilinear
+pairing applied in our proposed scheme is symmetric, where G₁ = G₂ = G").
+
+The heavy lifting lives in :mod:`repro.pairing.miller`; this module adds
+the degenerate-input handling and a product-of-pairings helper that
+shares one final exponentiation across several Miller loops (used by the
+multi-pairing decryption formulas).
+"""
+
+from __future__ import annotations
+
+from repro.ec.curve import INFINITY, SupersingularCurve
+from repro.math.field_ext import QuadraticExtension
+from repro.pairing.miller import final_exponentiation, miller_loop
+
+
+def tate_pairing(curve: SupersingularCurve, ext: QuadraticExtension,
+                 point_p: tuple, point_q: tuple, order: int) -> tuple:
+    """e(P, Q) as an F_p² element of multiplicative order dividing r."""
+    if point_p is INFINITY or point_q is INFINITY:
+        return ext.one
+    raw = miller_loop(curve, ext, point_p, point_q, order)
+    return final_exponentiation(ext, raw, order)
+
+
+def product_of_pairings(curve: SupersingularCurve, ext: QuadraticExtension,
+                        pairs, order: int) -> tuple:
+    """∏ e(P_i, Q_i) with a single shared final exponentiation.
+
+    ``pairs`` is an iterable of ``(P, Q)`` point pairs. This is the
+    standard multi-pairing optimization: Miller values multiply before
+    the final exponentiation because the latter is a group homomorphism.
+    """
+    accumulator = ext.one
+    nontrivial = False
+    for point_p, point_q in pairs:
+        if point_p is INFINITY or point_q is INFINITY:
+            continue
+        accumulator = ext.mul(
+            accumulator, miller_loop(curve, ext, point_p, point_q, order)
+        )
+        nontrivial = True
+    if not nontrivial:
+        return ext.one
+    return final_exponentiation(ext, accumulator, order)

@@ -1,0 +1,24 @@
+"""Access-policy language: AST, parser, LSSS matrices, threshold trees."""
+
+from repro.policy.ast import And, Attribute, Or, PolicyNode, Threshold
+from repro.policy.estimate import (
+    PolicyEstimate,
+    cheapest_threshold_method,
+    estimate_policy,
+)
+from repro.policy.lsss import LsssMatrix, lsss_from_policy
+from repro.policy.parser import parse
+
+__all__ = [
+    "PolicyNode",
+    "Attribute",
+    "And",
+    "Or",
+    "Threshold",
+    "parse",
+    "LsssMatrix",
+    "lsss_from_policy",
+    "PolicyEstimate",
+    "estimate_policy",
+    "cheapest_threshold_method",
+]

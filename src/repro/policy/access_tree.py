@@ -1,0 +1,143 @@
+"""Threshold access trees with Shamir secret sharing.
+
+This is the access-structure machinery of the BSW CP-ABE baseline
+(Bethencourt-Sahai-Waters, S&P 2007): every internal node is a k-of-n
+threshold gate carrying a random polynomial of degree k-1, leaves carry
+attribute names, and reconstruction walks the tree combining children
+with Lagrange coefficients.
+
+The LSSS machinery in :mod:`repro.policy.lsss` supersedes this for the
+paper's own scheme; the tree form is kept because BSW (and the Hur-Noh
+revocation baseline built on it) natively use it and because expanding
+large thresholds into LSSS matrices is exponential while trees share them
+for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PolicyNotSatisfiedError
+from repro.math.polynomial import Polynomial, lagrange_coefficients_at_zero
+from repro.policy.ast import And, Attribute, Or, PolicyNode, Threshold
+from repro.policy.parser import parse
+
+
+@dataclass(frozen=True)
+class TreeLeaf:
+    """A leaf gate: one attribute, one share."""
+
+    attribute: str
+    index: int  # global leaf index, assigned in DFS order
+
+
+@dataclass(frozen=True)
+class TreeGate:
+    """An internal k-of-n gate."""
+
+    k: int
+    children: tuple
+
+
+def build_tree(policy):
+    """Convert a policy (string or AST) into a threshold tree.
+
+    AND becomes n-of-n, OR becomes 1-of-n, thresholds map directly —
+    *without* combinatorial expansion. Returns ``(root, leaves)`` where
+    ``leaves`` is the DFS-ordered list of :class:`TreeLeaf`.
+    """
+    node = parse(policy)
+    leaves = []
+
+    def convert(current: PolicyNode):
+        if isinstance(current, Attribute):
+            leaf = TreeLeaf(attribute=current.name, index=len(leaves))
+            leaves.append(leaf)
+            return leaf
+        children = tuple(convert(child) for child in current.children)
+        if isinstance(current, And):
+            return TreeGate(k=len(children), children=children)
+        if isinstance(current, Or):
+            return TreeGate(k=1, children=children)
+        assert isinstance(current, Threshold)
+        return TreeGate(k=current.k, children=children)
+
+    root = convert(node)
+    return root, leaves
+
+
+def share_secret(root, secret: int, order: int, rng) -> dict:
+    """Shamir-share ``secret`` down the tree; returns {leaf index: share}.
+
+    Each gate with threshold k draws a random polynomial f of degree k-1
+    with f(0) = its own share; child j receives f(j+1).
+    """
+    shares = {}
+
+    def descend(node, value: int):
+        if isinstance(node, TreeLeaf):
+            shares[node.index] = value % order
+            return
+        polynomial = Polynomial.random_with_constant(
+            value, node.k - 1, order, rng
+        )
+        for position, child in enumerate(node.children, start=1):
+            descend(child, polynomial.evaluate(position))
+
+    descend(root, secret % order)
+    return shares
+
+
+def reconstruction_coefficients(root, attribute_set, order: int) -> dict:
+    """Per-leaf multipliers {leaf index: c_i} with Σ c_i·share_i = secret.
+
+    Chooses, at every satisfied gate, the first k satisfied children (a
+    deterministic minimal selection) and multiplies Lagrange coefficients
+    down the path. Raises :class:`PolicyNotSatisfiedError` if the tree is
+    not satisfied.
+    """
+    attribute_set = set(attribute_set)
+
+    def satisfiable(node) -> bool:
+        if isinstance(node, TreeLeaf):
+            return node.attribute in attribute_set
+        count = sum(satisfiable(child) for child in node.children)
+        return count >= node.k
+
+    if not satisfiable(root):
+        raise PolicyNotSatisfiedError("attribute set does not satisfy the tree")
+
+    coefficients = {}
+
+    def collect(node, multiplier: int):
+        if isinstance(node, TreeLeaf):
+            coefficients[node.index] = (
+                coefficients.get(node.index, 0) + multiplier
+            ) % order
+            return
+        chosen = []
+        for position, child in enumerate(node.children, start=1):
+            if satisfiable(child):
+                chosen.append((position, child))
+                if len(chosen) == node.k:
+                    break
+        lagrange = lagrange_coefficients_at_zero(
+            [position for position, _ in chosen], order
+        )
+        for position, child in chosen:
+            collect(child, multiplier * lagrange[position] % order)
+
+    collect(root, 1)
+    return {index: value for index, value in coefficients.items() if value != 0}
+
+
+def tree_satisfied(root, attribute_set) -> bool:
+    """Fast satisfiability check without building coefficients."""
+    attribute_set = set(attribute_set)
+
+    def satisfiable(node) -> bool:
+        if isinstance(node, TreeLeaf):
+            return node.attribute in attribute_set
+        return sum(satisfiable(child) for child in node.children) >= node.k
+
+    return satisfiable(root)

@@ -1,0 +1,179 @@
+"""Abstract syntax trees for monotone access policies.
+
+A policy is a monotone boolean formula over attribute names, with AND,
+OR and k-of-n threshold gates. Attribute names are strings; in the
+multi-authority setting they carry their authority identifier as a
+prefix (``"aid:attribute"``, see :mod:`repro.core.attributes`), which is
+what makes same-named attributes from different authorities
+distinguishable — the paper's "with the AID, all the attributes are
+distinguishable even though some attributes present the same meaning".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.errors import PolicyError
+
+# Expanding a k-of-n threshold gate into OR-of-ANDs produces C(n, k)
+# branches; beyond this bound the expansion is refused as pathological.
+MAX_THRESHOLD_EXPANSION = 4096
+
+
+class PolicyNode:
+    """Base class for policy AST nodes."""
+
+    def attributes(self):
+        """All attribute names at the leaves (with duplicates, DFS order)."""
+        raise NotImplementedError
+
+    def evaluate(self, attribute_set) -> bool:
+        """Truth value of the formula for a given attribute set."""
+        raise NotImplementedError
+
+    def expand_thresholds(self) -> "PolicyNode":
+        """An equivalent AND/OR-only formula (thresholds expanded)."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Attribute(PolicyNode):
+    """A leaf: satisfied iff the user holds this attribute."""
+
+    name: str
+
+    def __post_init__(self):
+        if not self.name or any(ch.isspace() for ch in self.name):
+            raise PolicyError(f"invalid attribute name {self.name!r}")
+
+    def attributes(self):
+        yield self.name
+
+    def evaluate(self, attribute_set) -> bool:
+        return self.name in attribute_set
+
+    def expand_thresholds(self) -> PolicyNode:
+        return self
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _check_children(children, gate: str):
+    children = tuple(children)
+    if len(children) < 1:
+        raise PolicyError(f"{gate} gate needs at least one child")
+    for child in children:
+        if not isinstance(child, PolicyNode):
+            raise PolicyError(f"{gate} child {child!r} is not a policy node")
+    return children
+
+
+@dataclass(frozen=True, init=False)
+class And(PolicyNode):
+    """Satisfied iff every child is satisfied."""
+
+    children: tuple
+
+    def __init__(self, *children):
+        if len(children) == 1 and isinstance(children[0], (list, tuple)):
+            children = tuple(children[0])
+        object.__setattr__(self, "children", _check_children(children, "AND"))
+
+    def attributes(self):
+        for child in self.children:
+            yield from child.attributes()
+
+    def evaluate(self, attribute_set) -> bool:
+        return all(child.evaluate(attribute_set) for child in self.children)
+
+    def expand_thresholds(self) -> PolicyNode:
+        expanded = [child.expand_thresholds() for child in self.children]
+        return expanded[0] if len(expanded) == 1 else And(expanded)
+
+    def __str__(self) -> str:
+        return "(" + " AND ".join(str(child) for child in self.children) + ")"
+
+
+@dataclass(frozen=True, init=False)
+class Or(PolicyNode):
+    """Satisfied iff at least one child is satisfied."""
+
+    children: tuple
+
+    def __init__(self, *children):
+        if len(children) == 1 and isinstance(children[0], (list, tuple)):
+            children = tuple(children[0])
+        object.__setattr__(self, "children", _check_children(children, "OR"))
+
+    def attributes(self):
+        for child in self.children:
+            yield from child.attributes()
+
+    def evaluate(self, attribute_set) -> bool:
+        return any(child.evaluate(attribute_set) for child in self.children)
+
+    def expand_thresholds(self) -> PolicyNode:
+        expanded = [child.expand_thresholds() for child in self.children]
+        return expanded[0] if len(expanded) == 1 else Or(expanded)
+
+    def __str__(self) -> str:
+        return "(" + " OR ".join(str(child) for child in self.children) + ")"
+
+
+@dataclass(frozen=True, init=False)
+class Threshold(PolicyNode):
+    """Satisfied iff at least ``k`` of the children are satisfied."""
+
+    k: int
+    children: tuple
+
+    def __init__(self, k: int, children):
+        children = _check_children(children, "threshold")
+        if not 1 <= k <= len(children):
+            raise PolicyError(
+                f"threshold {k} out of range for {len(children)} children"
+            )
+        object.__setattr__(self, "k", k)
+        object.__setattr__(self, "children", children)
+
+    def attributes(self):
+        for child in self.children:
+            yield from child.attributes()
+
+    def evaluate(self, attribute_set) -> bool:
+        satisfied = sum(child.evaluate(attribute_set) for child in self.children)
+        return satisfied >= self.k
+
+    def expand_thresholds(self) -> PolicyNode:
+        expanded = [child.expand_thresholds() for child in self.children]
+        if self.k == 1:
+            return Or(expanded) if len(expanded) > 1 else expanded[0]
+        if self.k == len(expanded):
+            return And(expanded) if len(expanded) > 1 else expanded[0]
+        n_branches = _binomial(len(expanded), self.k)
+        if n_branches > MAX_THRESHOLD_EXPANSION:
+            raise PolicyError(
+                f"{self.k}-of-{len(expanded)} expands to {n_branches} branches "
+                f"(limit {MAX_THRESHOLD_EXPANSION}); restructure the policy"
+            )
+        branches = [
+            And(list(combo))
+            for combo in itertools.combinations(expanded, self.k)
+        ]
+        return Or(branches)
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(child) for child in self.children)
+        return f"{self.k} of ({inner})"
+
+
+def _binomial(n: int, k: int) -> int:
+    result = 1
+    for i in range(min(k, n - k)):
+        result = result * (n - i) // (i + 1)
+    return result

@@ -1,0 +1,59 @@
+"""Pre-encryption cost estimation for access policies.
+
+Owners deciding between policy formulations (or threshold methods) can
+price them without running any cryptography: row counts and ciphertext
+bytes follow directly from the LSSS matrix shape and the element sizes
+of the active parameter set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pairing.serialize import ElementSizes
+from repro.policy.lsss import lsss_from_policy
+
+
+@dataclass(frozen=True)
+class PolicyEstimate:
+    """What encrypting under a policy will cost, before encrypting."""
+
+    policy: str
+    threshold_method: str
+    lsss_rows: int                 # l: ciphertext components C_i
+    lsss_columns: int              # matrix width (shares drawn)
+    distinct_attributes: int
+    involved_authorities: int
+    rho_injective: bool
+    ciphertext_bytes: int          # |GT| + (l+1)·|G|
+    encrypt_g1_exponentiations: int
+    encrypt_gt_exponentiations: int
+
+
+def estimate_policy(policy, sizes: ElementSizes,
+                    threshold_method: str = "expand") -> PolicyEstimate:
+    """Price a policy under the reproduced scheme's ciphertext layout."""
+    matrix = lsss_from_policy(policy, threshold_method=threshold_method)
+    labels = matrix.row_labels
+    authorities = {label.split(":", 1)[0] for label in labels if ":" in label}
+    rows = matrix.n_rows
+    return PolicyEstimate(
+        policy=str(matrix.policy),
+        threshold_method=threshold_method,
+        lsss_rows=rows,
+        lsss_columns=matrix.n_cols,
+        distinct_attributes=len(set(labels)),
+        involved_authorities=len(authorities),
+        rho_injective=matrix.is_injective(),
+        ciphertext_bytes=sizes.of(n_g1=rows + 1, n_gt=1),
+        encrypt_g1_exponentiations=1 + 2 * rows,
+        encrypt_gt_exponentiations=1,
+    )
+
+
+def cheapest_threshold_method(policy, sizes: ElementSizes) -> PolicyEstimate:
+    """The better of expand/insert for this policy (fewest rows wins;
+    ties go to expand, the paper-faithful construction)."""
+    expand = estimate_policy(policy, sizes, threshold_method="expand")
+    insert = estimate_policy(policy, sizes, threshold_method="insert")
+    return insert if insert.lsss_rows < expand.lsss_rows else expand

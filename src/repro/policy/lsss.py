@@ -1,0 +1,196 @@
+"""Linear secret-sharing schemes (LSSS) from boolean policies.
+
+Implements the Lewko-Waters conversion (EUROCRYPT 2011, Appendix G) from
+a monotone AND/OR formula to a share-generating matrix ``M`` with a row
+labelling function ρ. Threshold gates are first expanded to AND/OR form
+by :meth:`repro.policy.ast.PolicyNode.expand_thresholds`.
+
+Properties delivered (and property-tested):
+
+* for an *authorized* attribute set there exist constants ``w_i`` with
+  ``Σ w_i · M_i = (1, 0, …, 0)``, hence ``Σ w_i λ_i = s`` for any shares
+  ``λ_i = M_i · v`` with ``v = (s, y_2, …, y_n)``;
+* for an *unauthorized* set, ``(1, 0, …, 0)`` is not in the row span, so
+  the shares reveal nothing about ``s`` (information-theoretically).
+
+The conversion algorithm labels the root with the vector ``(1)`` and a
+counter ``c = 1``. An OR gate passes its vector to both children; an AND
+gate pads its vector to length ``c`` with zeros, gives one child the
+padded vector with ``1`` appended and the other ``(0^c, -1)``, then
+increments ``c``. Leaf vectors, padded to the final ``c``, are the matrix
+rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PolicyError, PolicyNotSatisfiedError
+from repro.math import linalg
+from repro.policy.ast import And, Attribute, Or, PolicyNode, Threshold
+from repro.policy.parser import parse
+
+
+@dataclass(frozen=True)
+class LsssMatrix:
+    """A share-generating matrix with its row-to-attribute labelling ρ."""
+
+    rows: tuple            # tuple of int-tuples, each of length n_cols
+    row_labels: tuple      # ρ: row index -> attribute name
+    n_cols: int
+    policy: PolicyNode     # the originating formula
+    method: str = "expand"  # threshold handling used to build the matrix
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.rows)
+
+    def is_injective(self) -> bool:
+        """True iff ρ maps each attribute to at most one row.
+
+        The paper's construction "limits ρ to be an injective function";
+        the core scheme enforces this by default (see
+        :func:`repro.core.encrypt.encrypt`).
+        """
+        return len(set(self.row_labels)) == len(self.row_labels)
+
+    def rows_for(self, attribute_set):
+        """Indices of rows labelled by attributes the user holds."""
+        attribute_set = set(attribute_set)
+        return [
+            index for index, label in enumerate(self.row_labels)
+            if label in attribute_set
+        ]
+
+    def share(self, secret: int, order: int, rng) -> dict:
+        """Shares {row index: λ_i} of ``secret`` with fresh randomness.
+
+        Draws ``v = (secret, y_2, …, y_n)`` with uniform ``y_j`` and
+        returns ``λ_i = M_i · v mod order``.
+        """
+        vector = [secret % order] + [
+            rng.randrange(order) for _ in range(self.n_cols - 1)
+        ]
+        return {
+            index: linalg.dot(list(row), vector, order)
+            for index, row in enumerate(self.rows)
+        }
+
+    def is_satisfied_by(self, attribute_set, order: int) -> bool:
+        """True iff the attribute set is authorized (target in row span)."""
+        selected = [list(self.rows[i]) for i in self.rows_for(attribute_set)]
+        if not selected:
+            return False
+        target = [1] + [0] * (self.n_cols - 1)
+        return linalg.in_span(selected, target, order)
+
+    def reconstruction_coefficients(self, attribute_set, order: int) -> dict:
+        """Constants {row index: w_i} with Σ w_i·M_i = (1,0,…,0).
+
+        Raises :class:`PolicyNotSatisfiedError` when the set is not
+        authorized. Rows with coefficient 0 are omitted, so decryption
+        only pays for the rows it actually uses.
+        """
+        indices = self.rows_for(attribute_set)
+        selected = [list(self.rows[i]) for i in indices]
+        target = [1] + [0] * (self.n_cols - 1)
+        solution = linalg.solve_combination(selected, target, order) if selected else None
+        if solution is None:
+            raise PolicyNotSatisfiedError(
+                f"attribute set does not satisfy policy {self.policy}"
+            )
+        return {
+            index: coefficient
+            for index, coefficient in zip(indices, solution)
+            if coefficient != 0
+        }
+
+
+def lsss_from_policy(policy, threshold_method: str = "expand") -> LsssMatrix:
+    """Build the LSSS matrix for a policy (string or AST).
+
+    ``threshold_method`` selects how k-of-n gates are handled:
+
+    * ``"expand"`` (default, the paper-faithful route): thresholds are
+      rewritten as OR-of-ANDs first, costing C(n, k) rows per underlying
+      attribute occurrence and making ρ non-injective;
+    * ``"insert"``: thresholds are embedded directly via the Vandermonde
+      insertion construction — a (t, n) gate with parent vector ``v``
+      adds ``t - 1`` fresh columns and gives child ``j`` the row
+      ``(v | j, j², …, j^{t-1})``, exactly n rows total. This keeps ρ
+      injective whenever the gate's subtrees use distinct attributes,
+      so the core scheme can encrypt genuine threshold policies without
+      relaxing the paper's injectivity requirement.
+
+    Both constructions satisfy the LSSS share/reconstruct properties (the
+    property tests exercise them side by side).
+    """
+    if threshold_method not in ("expand", "insert"):
+        raise PolicyError(
+            f"unknown threshold_method {threshold_method!r}; "
+            f"use 'expand' or 'insert'"
+        )
+    node = parse(policy)
+    if threshold_method == "expand":
+        node = node.expand_thresholds()
+    vectors = []   # parallel lists: leaf vectors (variable length) ...
+    labels = []    # ... and their attribute labels
+    counter = [1]  # current vector length c, boxed for the nested function
+
+    def assign_threshold(current, vector: list):
+        """Vandermonde insertion for a native k-of-n gate."""
+        t = current.k
+        children = current.children
+        if t == 1:
+            for child in children:
+                assign(child, list(vector))
+            return
+        base_index = counter[0]
+        counter[0] += t - 1
+        for position, child in enumerate(children, start=1):
+            padded = list(vector) + [0] * (base_index - len(vector))
+            power = position
+            for _ in range(t - 1):
+                padded.append(power)
+                power = power * position
+            assign(child, padded)
+
+    def assign(current: PolicyNode, vector: list):
+        if isinstance(current, Attribute):
+            vectors.append(vector)
+            labels.append(current.name)
+        elif isinstance(current, Or):
+            for child in current.children:
+                assign(child, list(vector))
+        elif isinstance(current, Threshold):
+            assign_threshold(current, vector)
+        elif isinstance(current, And):
+            # Fold an n-ary AND as a chain of binary ANDs. Each binary AND
+            # claims a fresh coordinate index *before* recursing so the +1
+            # given to one child and the -1 kept for the rest stay aligned
+            # even when the recursion grows the counter further.
+            remaining = list(current.children)
+            working = vector
+            while len(remaining) > 1:
+                child = remaining.pop(0)
+                fresh_index = counter[0]
+                counter[0] += 1
+                padded = working + [0] * (fresh_index - len(working))
+                assign(child, padded + [1])
+                working = [0] * fresh_index + [-1]
+            assign(remaining[0], working)
+        else:  # pragma: no cover - expand_thresholds removed Threshold nodes
+            raise PolicyError(f"unexpected node type {type(current).__name__}")
+
+    assign(node, [1])
+    width = counter[0]
+    rows = tuple(
+        tuple(vector + [0] * (width - len(vector))) for vector in vectors
+    )
+    return LsssMatrix(
+        rows=rows,
+        row_labels=tuple(labels),
+        n_cols=width,
+        policy=node,
+        method=threshold_method,
+    )

@@ -1,0 +1,152 @@
+"""Parser for the textual access-policy language.
+
+Grammar (keywords case-insensitive)::
+
+    policy    := or_expr
+    or_expr   := and_expr ( "OR" and_expr )*
+    and_expr  := primary ( "AND" primary )*
+    primary   := ATTRIBUTE
+               | "(" policy ")"
+               | INT "of" "(" policy ( "," policy )* ")"
+
+Attribute tokens may contain letters, digits and ``_ . : @ + / -``; the
+colon is conventionally used to prefix the issuing authority, e.g.
+``"hospital:doctor AND trial:researcher"``.
+
+Examples::
+
+    parse("a AND (b OR c)")
+    parse("2 of (hospital:doctor, trial:researcher, uni:professor)")
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import PolicyError
+from repro.policy.ast import And, Attribute, Or, PolicyNode, Threshold
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<lparen>\()|(?P<rparen>\))|(?P<comma>,)"
+    r"|(?P<word>[A-Za-z0-9_.:@+/-]+))"
+)
+_KEYWORDS = {"and", "or", "of"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str   # 'lparen' | 'rparen' | 'comma' | 'and' | 'or' | 'of' | 'int' | 'attr'
+    text: str
+    position: int
+
+
+def _tokenize(source: str):
+    tokens = []
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            remainder = source[position:].strip()
+            if not remainder:
+                break
+            raise PolicyError(
+                f"unexpected character {remainder[0]!r} at offset {position}"
+            )
+        position = match.end()
+        if match.lastgroup == "word":
+            word = match.group("word")
+            lowered = word.lower()
+            if lowered in _KEYWORDS:
+                tokens.append(_Token(lowered, word, match.start()))
+            elif word.isdigit():
+                tokens.append(_Token("int", word, match.start()))
+            else:
+                tokens.append(_Token("attr", word, match.start()))
+        else:
+            tokens.append(_Token(match.lastgroup, match.group(), match.start()))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens, source: str):
+        self.tokens = tokens
+        self.source = source
+        self.index = 0
+
+    def peek(self):
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def advance(self):
+        token = self.peek()
+        if token is None:
+            raise PolicyError(f"unexpected end of policy: {self.source!r}")
+        self.index += 1
+        return token
+
+    def expect(self, kind: str):
+        token = self.advance()
+        if token.kind != kind:
+            raise PolicyError(
+                f"expected {kind} but found {token.text!r} "
+                f"at offset {token.position} in {self.source!r}"
+            )
+        return token
+
+    def parse_policy(self) -> PolicyNode:
+        node = self.parse_or()
+        leftover = self.peek()
+        if leftover is not None:
+            raise PolicyError(
+                f"trailing input {leftover.text!r} at offset {leftover.position}"
+            )
+        return node
+
+    def parse_or(self) -> PolicyNode:
+        children = [self.parse_and()]
+        while self.peek() is not None and self.peek().kind == "or":
+            self.advance()
+            children.append(self.parse_and())
+        return children[0] if len(children) == 1 else Or(children)
+
+    def parse_and(self) -> PolicyNode:
+        children = [self.parse_primary()]
+        while self.peek() is not None and self.peek().kind == "and":
+            self.advance()
+            children.append(self.parse_primary())
+        return children[0] if len(children) == 1 else And(children)
+
+    def parse_primary(self) -> PolicyNode:
+        token = self.advance()
+        if token.kind == "attr":
+            return Attribute(token.text)
+        if token.kind == "lparen":
+            node = self.parse_or()
+            self.expect("rparen")
+            return node
+        if token.kind == "int":
+            k = int(token.text)
+            self.expect("of")
+            self.expect("lparen")
+            children = [self.parse_or()]
+            while self.peek() is not None and self.peek().kind == "comma":
+                self.advance()
+                children.append(self.parse_or())
+            self.expect("rparen")
+            return Threshold(k, children)
+        raise PolicyError(
+            f"unexpected token {token.text!r} at offset {token.position} "
+            f"in {self.source!r}"
+        )
+
+
+def parse(source) -> PolicyNode:
+    """Parse a policy string into an AST (idempotent on AST input)."""
+    if isinstance(source, PolicyNode):
+        return source
+    if not isinstance(source, str):
+        raise PolicyError(f"cannot parse policy of type {type(source).__name__}")
+    tokens = _tokenize(source)
+    if not tokens:
+        raise PolicyError("empty policy")
+    return _Parser(tokens, source).parse_policy()

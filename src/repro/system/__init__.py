@@ -1,0 +1,43 @@
+"""The simulated cloud-storage deployment (Fig. 1) with byte metering."""
+
+from repro.system.audit import AuditLog, TrafficSummary
+from repro.system.entities import (
+    AuthorityEntity,
+    CaEntity,
+    Entity,
+    OwnerEntity,
+    ServerEntity,
+    UserEntity,
+)
+from repro.system.network import (
+    ROLE_AA,
+    ROLE_CA,
+    ROLE_OWNER,
+    ROLE_SERVER,
+    ROLE_USER,
+    Network,
+)
+from repro.system.records import StoredComponent, StoredRecord
+from repro.system.sizes import measure
+from repro.system.workflow import CloudStorageSystem
+
+__all__ = [
+    "CloudStorageSystem",
+    "AuditLog",
+    "TrafficSummary",
+    "Network",
+    "Entity",
+    "CaEntity",
+    "AuthorityEntity",
+    "OwnerEntity",
+    "UserEntity",
+    "ServerEntity",
+    "StoredRecord",
+    "StoredComponent",
+    "measure",
+    "ROLE_CA",
+    "ROLE_AA",
+    "ROLE_OWNER",
+    "ROLE_USER",
+    "ROLE_SERVER",
+]

@@ -1,0 +1,160 @@
+"""The cost models must agree with the sizes of real serialized objects."""
+
+import pytest
+
+from repro.analysis.costmodel import (
+    SystemShape,
+    decrypt_ops_lewko,
+    decrypt_ops_ours,
+    encrypt_ops_lewko,
+    encrypt_ops_ours,
+    table2_lewko,
+    table2_ours,
+    table3_lewko,
+    table3_ours,
+    table4_lewko,
+    table4_ours,
+)
+from repro.analysis.timing import build_lewko, build_ours
+from repro.ec.params import TOY80
+from repro.pairing.serialize import element_sizes
+from repro.system.sizes import measure
+
+SHAPE = SystemShape(
+    n_authorities=2,
+    attrs_per_authority=3,
+    user_attrs_per_authority=3,
+    policy_rows=6,
+)
+SIZES = element_sizes(TOY80)
+
+
+@pytest.fixture(scope="module")
+def ours():
+    return build_ours(TOY80, SHAPE.n_authorities, SHAPE.attrs_per_authority,
+                      seed=11)
+
+
+@pytest.fixture(scope="module")
+def lewko():
+    return build_lewko(TOY80, SHAPE.n_authorities, SHAPE.attrs_per_authority,
+                       seed=11)
+
+
+class TestOursMeasuredAgainstModel:
+    def test_ciphertext(self, ours):
+        model = table2_ours(SHAPE)["ciphertext"].bytes(SIZES)
+        ciphertext = ours.encrypt()
+        assert ciphertext.element_size_bytes(ours.group) == model
+
+    def test_secret_key(self, ours):
+        model = table2_ours(SHAPE)["secret_key"].bytes(SIZES)
+        measured = sum(
+            measure(key, ours.group) for key in ours.secret_keys.values()
+        )
+        assert measured == model
+
+    def test_public_key(self, ours):
+        # n_A · (n_k·|G| + |GT|): per authority, attribute keys + PK_o.
+        model = table2_ours(SHAPE)["public_key"].bytes(SIZES)
+        group = ours.group
+        measured = SHAPE.n_authorities * (
+            SHAPE.attrs_per_authority * group.g1_bytes + group.gt_bytes
+        )
+        assert measured == model
+
+    def test_authority_key_is_one_scalar(self):
+        assert table2_ours(SHAPE)["authority_key"].bytes(SIZES) == SIZES.zr
+
+
+class TestLewkoMeasuredAgainstModel:
+    def test_ciphertext(self, lewko):
+        model = table2_lewko(SHAPE)["ciphertext"].bytes(SIZES)
+        ciphertext = lewko.encrypt()
+        assert ciphertext.element_size_bytes(lewko.group) == model
+
+    def test_secret_key(self, lewko):
+        model = table2_lewko(SHAPE)["secret_key"].bytes(SIZES)
+        measured = sum(
+            measure(key, lewko.group) for key in lewko.user_keys.values()
+        )
+        assert measured == model
+
+    def test_public_key(self, lewko):
+        model = table2_lewko(SHAPE)["public_key"].bytes(SIZES)
+        measured = sum(
+            measure(pk, lewko.group) for pk in lewko.public_keys.values()
+        )
+        assert measured == model
+
+
+class TestPaperClaims:
+    """The comparative statements of Section VI must hold in the models."""
+
+    def test_our_ciphertext_smaller(self):
+        for rows in (1, 2, 5, 10, 50):
+            shape = SystemShape(2, 3, 3, rows)
+            ours = table2_ours(shape)["ciphertext"].bytes(SIZES)
+            lewko = table2_lewko(shape)["ciphertext"].bytes(SIZES)
+            assert ours < lewko
+
+    def test_our_authority_storage_smaller(self):
+        ours = table3_ours(SHAPE)["authority"].bytes(SIZES)
+        lewko = table3_lewko(SHAPE)["authority"].bytes(SIZES)
+        assert ours < lewko
+
+    def test_our_owner_storage_comparable_or_smaller(self):
+        # Ours: 2|p| + Σ(n_k|G| + |GT|); Lewko: Σ n_k(|GT|+|G|).
+        ours = table3_ours(SHAPE)["owner"].bytes(SIZES)
+        lewko = table3_lewko(SHAPE)["owner"].bytes(SIZES)
+        assert ours < lewko
+
+    def test_user_storage_almost_equal(self):
+        # "the storage overhead on each user is almost the same".
+        ours = table3_ours(SHAPE)["user"].bytes(SIZES)
+        lewko = table3_lewko(SHAPE)["user"].bytes(SIZES)
+        assert abs(ours - lewko) == SHAPE.n_authorities * SIZES.g1
+
+    def test_server_to_user_communication_smaller(self):
+        ours = table4_ours(SHAPE)[("server", "user")].bytes(SIZES)
+        lewko = table4_lewko(SHAPE)[("server", "user")].bytes(SIZES)
+        assert ours < lewko
+
+    def test_aa_to_owner_communication_smaller(self):
+        ours = table4_ours(SHAPE)[("aa", "owner")].bytes(SIZES)
+        lewko = table4_lewko(SHAPE)[("aa", "owner")].bytes(SIZES)
+        assert ours < lewko
+
+
+class TestOperationCounts:
+    def test_encryption_ours_cheaper(self):
+        """Fig 3(a)/4(a) shape: our encryption does fewer exponentiations."""
+        for shape in (SHAPE, SystemShape(5, 5, 5, 25), SystemShape(20, 5, 5, 100)):
+            ours = encrypt_ops_ours(shape)
+            lewko = encrypt_ops_lewko(shape)
+            assert (
+                ours.g1_exponentiations + ours.gt_exponentiations
+                < lewko.g1_exponentiations + lewko.gt_exponentiations
+            )
+
+    def test_decryption_ours_slightly_more(self):
+        """Fig 3(b)/4(b) shape: our decryption pays n_A extra pairings."""
+        for shape in (SHAPE, SystemShape(5, 5, 5, 25), SystemShape(20, 5, 5, 100)):
+            ours = decrypt_ops_ours(shape)
+            lewko = decrypt_ops_lewko(shape)
+            assert ours.pairings == lewko.pairings + shape.n_authorities
+
+    def test_counts_linear_in_rows(self):
+        small = encrypt_ops_ours(SystemShape(1, 1, 1, 10))
+        large = encrypt_ops_ours(SystemShape(1, 1, 1, 20))
+        assert (large.g1_exponentiations - small.g1_exponentiations) == 20
+
+    def test_weighted_prediction(self):
+        ops = decrypt_ops_ours(SystemShape(2, 2, 2, 4))
+        assert ops.weighted(1.0, 0.1, 0.2) == pytest.approx(
+            ops.pairings + 0.2 * ops.gt_exponentiations
+        )
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            SystemShape(0, 1, 1, 1)

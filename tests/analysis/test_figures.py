@@ -1,0 +1,80 @@
+"""Tests for the programmatic figure generator."""
+
+import pytest
+
+from repro.analysis.figures import FIGURES, figure_series, render_ascii
+from repro.ec.params import TOY80
+
+
+@pytest.fixture(scope="module")
+def series_3a():
+    return figure_series("3a", TOY80, [1, 2, 3], seed=5)
+
+
+class TestFigureSeries:
+    def test_point_structure(self, series_3a):
+        assert [point.x for point in series_3a.points] == [1, 2, 3]
+        for point in series_3a.points:
+            assert point.ours_seconds > 0
+            assert point.lewko_seconds > 0
+
+    def test_encryption_monotone_in_size(self, series_3a):
+        times = [point.ours_seconds for point in series_3a.points]
+        assert times[0] < times[-1]
+
+    def test_ours_wins_encryption(self, series_3a):
+        """The Fig 3(a) headline: our encryption is cheaper throughout."""
+        for point in series_3a.points:
+            assert point.ours_seconds < point.lewko_seconds, point
+
+    def test_decrypt_figure_runs(self):
+        series = figure_series("3b", TOY80, [1, 2], seed=5)
+        assert len(series.points) == 2
+        assert series.title.startswith("Fig 3(b)")
+
+    def test_attribute_axis(self):
+        series = figure_series("4a", TOY80, [1], seed=5)
+        assert series.x_label == "attrs_per_authority"
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ValueError):
+            figure_series("5c", TOY80, [1])
+
+    def test_all_figures_registered(self):
+        assert set(FIGURES) == {"3a", "3b", "4a", "4b"}
+
+
+class TestOutputs:
+    def test_csv(self, series_3a):
+        csv = series_3a.to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0] == "n_authorities,ours_seconds,lewko_seconds"
+        assert len(lines) == 4
+
+    def test_ascii(self, series_3a):
+        chart = render_ascii(series_3a)
+        assert "Fig 3(a)" in chart
+        assert "ours" in chart and "lewko" in chart
+        assert "|o" in chart and "|L" in chart
+
+
+class TestScript:
+    def test_generate_figures_script(self, tmp_path, capsys):
+        import importlib.util
+        import pathlib
+
+        script = (
+            pathlib.Path(__file__).parents[2] / "benchmarks"
+            / "generate_figures.py"
+        )
+        spec = importlib.util.spec_from_file_location("genfig", script)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        # Patch the sweep down to stay fast: use TOY80 and tiny sweep by
+        # monkeypatching figure_series input through argv.
+        code = module.main(
+            ["--preset", "TOY80", "--out", str(tmp_path)]
+        )
+        assert code == 0
+        for figure_id in ("3a", "3b", "4a", "4b"):
+            assert (tmp_path / f"fig{figure_id}.csv").exists()

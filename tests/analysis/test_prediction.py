@@ -1,0 +1,85 @@
+"""Primitive timings × operation counts must predict algorithm timings.
+
+This ties Ablation B (per-operation costs) to Figures 3/4 (algorithm
+costs) through the operation-count models: measuring the pairing / G-exp
+/ GT-exp unit costs and weighting them by the model's counts should land
+within a small factor of the actually measured Encrypt/Decrypt times.
+A generous tolerance keeps the test robust to scheduler noise while
+still catching any gross model/implementation divergence.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.costmodel import (
+    SystemShape,
+    decrypt_ops_ours,
+    encrypt_ops_ours,
+)
+from repro.analysis.timing import build_ours
+from repro.ec.params import TOY80
+
+SHAPE = SystemShape(
+    n_authorities=2, attrs_per_authority=4,
+    user_attrs_per_authority=4, policy_rows=8,
+)
+TOLERANCE = 4.0
+
+
+def _best_of(fn, repeats=3):
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    workload = build_ours(TOY80, SHAPE.n_authorities,
+                          SHAPE.attrs_per_authority, seed=23)
+    group = workload.group
+    group.gt  # warm cached generator
+    exponent = group.random_scalar()
+    x, y = group.random_g1(), group.random_g1()
+    base = group.random_g1()  # non-generator base: the common case
+    pairing_cost = _best_of(lambda: group.pair(x, y))
+    g1_cost = _best_of(lambda: base ** exponent)
+    gt_cost = _best_of(lambda: group.gt ** exponent)
+    ciphertext = workload.encrypt()
+    encrypt_time = _best_of(workload.encrypt)
+    decrypt_time = _best_of(lambda: workload.decrypt(ciphertext))
+    return pairing_cost, g1_cost, gt_cost, encrypt_time, decrypt_time
+
+
+class TestPrediction:
+    def test_decrypt_prediction(self, measurements):
+        pairing_cost, g1_cost, gt_cost, _, decrypt_time = measurements
+        predicted = decrypt_ops_ours(SHAPE).weighted(
+            pairing_cost, g1_cost, gt_cost
+        )
+        ratio = decrypt_time / predicted
+        assert 1 / TOLERANCE < ratio < TOLERANCE, (
+            f"decrypt {decrypt_time * 1000:.1f} ms vs predicted "
+            f"{predicted * 1000:.1f} ms"
+        )
+
+    def test_encrypt_prediction(self, measurements):
+        pairing_cost, g1_cost, gt_cost, encrypt_time, _ = measurements
+        predicted = encrypt_ops_ours(SHAPE).weighted(
+            pairing_cost, g1_cost, gt_cost
+        )
+        ratio = encrypt_time / predicted
+        assert 1 / TOLERANCE < ratio < TOLERANCE, (
+            f"encrypt {encrypt_time * 1000:.1f} ms vs predicted "
+            f"{predicted * 1000:.1f} ms"
+        )
+
+    def test_pairings_dominate_decryption(self, measurements):
+        pairing_cost, g1_cost, gt_cost, _, _ = measurements
+        ops = decrypt_ops_ours(SHAPE)
+        pairing_share = ops.pairings * pairing_cost
+        total = ops.weighted(pairing_cost, g1_cost, gt_cost)
+        assert pairing_share / total > 0.8

@@ -1,0 +1,44 @@
+"""Tests for the Table I feature matrix and its checkable claims."""
+
+from repro.analysis.scalability import TABLE1, render_table1, table1_rows
+
+
+class TestTable1:
+    def test_six_schemes(self):
+        assert len(table1_rows()) == 6
+
+    def test_ours_row_claims(self):
+        ours = TABLE1[0]
+        assert not ours.requires_global_authority
+        assert ours.policy_type == "any LSSS"
+        assert ours.collusion_bound == "any"
+        assert ours.implemented_here == "repro.core"
+
+    def test_lewko_matches_ours_scalability(self):
+        """The paper: 'only Lewko's scheme has the same scalability'."""
+        ours = TABLE1[0]
+        lewko = next(row for row in TABLE1 if "Lewko" in row.scheme)
+        assert (
+            lewko.requires_global_authority,
+            lewko.policy_type,
+            lewko.collusion_bound,
+        ) == (
+            ours.requires_global_authority,
+            ours.policy_type,
+            ours.collusion_bound,
+        )
+
+    def test_only_two_fully_scalable_schemes(self):
+        fully = [
+            row for row in TABLE1
+            if not row.requires_global_authority
+            and row.policy_type == "any LSSS"
+            and row.collusion_bound == "any"
+        ]
+        assert len(fully) == 2
+
+    def test_render(self):
+        text = render_table1()
+        assert "Lewko-Waters" in text
+        assert "any LSSS" in text
+        assert len(text.splitlines()) == 8  # header + rule + 6 rows

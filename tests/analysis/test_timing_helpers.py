@@ -1,0 +1,40 @@
+"""Unit tests for the benchmark workload builders."""
+
+from repro.analysis.timing import (
+    and_policy,
+    attribute_names,
+    build_lewko,
+    build_ours,
+)
+from repro.ec.params import TOY80
+
+
+class TestHelpers:
+    def test_attribute_names(self):
+        assert attribute_names(3) == ["attr0", "attr1", "attr2"]
+        assert attribute_names(0) == []
+
+    def test_and_policy(self):
+        policy = and_policy(["a", "b"], 2)
+        assert policy == "a:attr0 AND a:attr1 AND b:attr0 AND b:attr1"
+
+    def test_build_ours_shape(self):
+        workload = build_ours(TOY80, 2, 3, seed=1)
+        assert set(workload.secret_keys) == {"aa0", "aa1"}
+        for key in workload.secret_keys.values():
+            assert len(key.attribute_keys) == 3
+        ciphertext = workload.encrypt()
+        assert ciphertext.n_rows == 6
+
+    def test_build_lewko_shape(self):
+        workload = build_lewko(TOY80, 2, 3, seed=1)
+        assert len(workload.public_keys) == 6
+        assert set(workload.user_keys) == {"aa0", "aa1"}
+        ciphertext = workload.encrypt()
+        assert ciphertext.n_rows == 6
+
+    def test_workloads_are_self_consistent(self):
+        ours = build_ours(TOY80, 1, 2, seed=9)
+        assert ours.decrypt(ours.encrypt()) == ours.message
+        lewko = build_lewko(TOY80, 1, 2, seed=9)
+        assert lewko.decrypt(lewko.encrypt()) == lewko.message

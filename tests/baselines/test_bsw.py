@@ -1,0 +1,94 @@
+"""Tests for the BSW single-authority CP-ABE baseline."""
+
+import pytest
+
+from repro.baselines.bsw import BswScheme
+from repro.errors import PolicyNotSatisfiedError, SchemeError
+
+
+@pytest.fixture()
+def bsw(group):
+    return BswScheme(group)
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "policy,attrs",
+        [
+            ("a", ["a"]),
+            ("a AND b", ["a", "b"]),
+            ("a OR b", ["b"]),
+            ("2 of (a, b, c)", ["a", "c"]),
+            ("3 of (a, b, c, d)", ["a", "b", "d"]),
+            ("a AND (b OR 2 of (c, d, e))", ["a", "d", "e"]),
+        ],
+    )
+    def test_authorized(self, group, bsw, policy, attrs):
+        message = group.random_gt()
+        ciphertext = bsw.encrypt(message, policy)
+        key = bsw.keygen(attrs)
+        assert bsw.decrypt(ciphertext, key) == message
+
+    def test_native_threshold_no_expansion(self, group, bsw):
+        """BSW handles k-of-n natively; leaf count is n, not C(n,k)."""
+        ciphertext = bsw.encrypt(group.random_gt(), "5 of (a,b,c,d,e,f,g,h)")
+        assert ciphertext.n_leaves == 8
+
+    def test_extra_attributes_harmless(self, group, bsw):
+        message = group.random_gt()
+        ciphertext = bsw.encrypt(message, "a AND b")
+        key = bsw.keygen(["a", "b", "c", "d"])
+        assert bsw.decrypt(ciphertext, key) == message
+
+
+class TestFailures:
+    def test_unsatisfying_key(self, group, bsw):
+        ciphertext = bsw.encrypt(group.random_gt(), "a AND b")
+        key = bsw.keygen(["a"])
+        with pytest.raises(PolicyNotSatisfiedError):
+            bsw.decrypt(ciphertext, key)
+
+    def test_empty_attribute_key_rejected(self, bsw):
+        with pytest.raises(SchemeError):
+            bsw.keygen([])
+
+    def test_satisfies_predicate(self, group, bsw):
+        ciphertext = bsw.encrypt(group.random_gt(), "a AND b")
+        assert bsw.satisfies(ciphertext, bsw.keygen(["a", "b"]))
+        assert not bsw.satisfies(ciphertext, bsw.keygen(["a"]))
+
+
+class TestCollusion:
+    def test_keys_are_user_randomized(self, group, bsw):
+        """Two keys for the same attributes differ (fresh t per user) —
+        the randomization that defeats collusion in BSW."""
+        k1 = bsw.keygen(["a"])
+        k2 = bsw.keygen(["a"])
+        assert k1.d != k2.d
+        assert k1.components["a"] != k2.components["a"]
+
+    def test_mixed_key_components_fail(self, group, bsw):
+        """Splicing attribute components from another user's key breaks
+        decryption because the embedded t differs."""
+        from repro.baselines.bsw import BswUserKey
+
+        message = group.random_gt()
+        ciphertext = bsw.encrypt(message, "a AND b")
+        alice = bsw.keygen(["a"])
+        bob = bsw.keygen(["b"])
+        spliced = BswUserKey(
+            d=alice.d,
+            components={**alice.components, **bob.components},
+        )
+        result = bsw.decrypt(ciphertext, spliced)
+        assert result != message
+
+
+class TestIndependence:
+    def test_two_deployments_are_incompatible(self, group):
+        a = BswScheme(group)
+        b = BswScheme(group)
+        message = group.random_gt()
+        ciphertext = a.encrypt(message, "x")
+        key_from_b = b.keygen(["x"])
+        assert b.decrypt(ciphertext, key_from_b) != message

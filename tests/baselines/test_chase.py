@@ -1,0 +1,149 @@
+"""Tests for Chase's multi-authority ABE — including its Table-I flaws."""
+
+import pytest
+
+from repro.baselines import chase
+from repro.errors import PolicyNotSatisfiedError, SchemeError
+
+
+@pytest.fixture()
+def setup(group):
+    central = chase.ChaseCentralAuthority(group)
+    uni = chase.ChaseAuthority(
+        group, "uni", ["prof", "student", "dean"], threshold=2, seed=b"uni"
+    )
+    gov = chase.ChaseAuthority(
+        group, "gov", ["citizen", "official"], threshold=1, seed=b"gov"
+    )
+    central.register_authority(uni)
+    central.register_authority(gov)
+    authorities = {"uni": uni, "gov": gov, "__central__": central}
+    return central, uni, gov, authorities
+
+
+def _encrypt_all(group, setup_tuple):
+    central, uni, gov, authorities = setup_tuple
+    message = group.random_gt()
+    ciphertext = chase.encrypt(
+        group, message,
+        {"uni": ["prof", "student", "dean"], "gov": ["citizen", "official"]},
+        authorities,
+    )
+    return message, ciphertext
+
+
+class TestRoundTrip:
+    def test_authorized(self, group, setup):
+        central, uni, gov, _ = setup
+        message, ciphertext = _encrypt_all(group, setup)
+        keys = {
+            "uni": uni.keygen("bob", ["prof", "dean"]),      # meets d=2
+            "gov": gov.keygen("bob", ["citizen"]),           # meets d=1
+        }
+        result = chase.decrypt(group, ciphertext, central.central_key("bob"),
+                               keys)
+        assert result == message
+
+    def test_extra_attributes_fine(self, group, setup):
+        central, uni, gov, _ = setup
+        message, ciphertext = _encrypt_all(group, setup)
+        keys = {
+            "uni": uni.keygen("ada", ["prof", "student", "dean"]),
+            "gov": gov.keygen("ada", ["citizen", "official"]),
+        }
+        assert chase.decrypt(
+            group, ciphertext, central.central_key("ada"), keys
+        ) == message
+
+    def test_below_threshold_rejected(self, group, setup):
+        central, uni, gov, _ = setup
+        _, ciphertext = _encrypt_all(group, setup)
+        keys = {
+            "uni": uni.keygen("eve", ["prof"]),  # below d=2
+            "gov": gov.keygen("eve", ["citizen"]),
+        }
+        with pytest.raises(PolicyNotSatisfiedError):
+            chase.decrypt(group, ciphertext, central.central_key("eve"), keys)
+
+    def test_missing_authority_rejected(self, group, setup):
+        """AND across ALL involved authorities — the Table I limitation."""
+        central, uni, gov, _ = setup
+        _, ciphertext = _encrypt_all(group, setup)
+        keys = {"uni": uni.keygen("dan", ["prof", "dean"])}
+        with pytest.raises(SchemeError, match="no key from"):
+            chase.decrypt(group, ciphertext, central.central_key("dan"), keys)
+
+
+class TestCollusion:
+    def test_mixed_gids_rejected(self, group, setup):
+        central, uni, gov, _ = setup
+        _, ciphertext = _encrypt_all(group, setup)
+        pooled = {
+            "uni": uni.keygen("alice", ["prof", "dean"]),
+            "gov": gov.keygen("bob", ["citizen"]),
+        }
+        with pytest.raises(SchemeError, match="belongs"):
+            chase.decrypt(group, ciphertext, central.central_key("bob"),
+                          pooled)
+
+    def test_forced_collusion_yields_garbage(self, group, setup):
+        import dataclasses
+
+        central, uni, gov, _ = setup
+        message, ciphertext = _encrypt_all(group, setup)
+        alice_key = uni.keygen("alice", ["prof", "dean"])
+        forged = dataclasses.replace(alice_key, gid="bob")
+        pooled = {"uni": forged, "gov": gov.keygen("bob", ["citizen"])}
+        result = chase.decrypt(group, ciphertext, central.central_key("bob"),
+                               pooled)
+        assert result != message
+
+
+class TestCentralAuthorityFlaw:
+    def test_central_authority_decrypts_everything(self, group, setup):
+        """Table I's criticism, executable: the CA needs no attributes."""
+        central, _, _, _ = setup
+        message, ciphertext = _encrypt_all(group, setup)
+        assert central.central_authority_decrypt(ciphertext) == message
+
+    def test_our_ca_cannot_do_this(self):
+        """Contrast: the reproduced paper's CA holds only identifier
+        state; there is no ciphertext-independent master secret at all
+        (the blinding factor aggregates per-authority version keys)."""
+        from repro.core.ca import CertificateAuthority
+
+        assert not hasattr(CertificateAuthority, "central_authority_decrypt")
+        assert not hasattr(CertificateAuthority, "system_key")
+
+
+class TestApiErrors:
+    def test_threshold_out_of_range(self, group):
+        with pytest.raises(SchemeError):
+            chase.ChaseAuthority(group, "x", ["a"], threshold=2, seed=b"s")
+
+    def test_encrypt_below_threshold(self, group, setup):
+        central, uni, gov, authorities = setup
+        with pytest.raises(SchemeError, match="threshold"):
+            chase.encrypt(group, group.random_gt(), {"uni": ["prof"]},
+                          authorities)
+
+    def test_unknown_attribute(self, group, setup):
+        _, uni, _, _ = setup
+        with pytest.raises(SchemeError):
+            uni.keygen("bob", ["pilot"])
+
+    def test_missing_central(self, group, setup):
+        _, uni, _, _ = setup
+        with pytest.raises(SchemeError, match="central"):
+            chase.encrypt(group, group.random_gt(),
+                          {"uni": ["prof", "dean"]}, {"uni": uni})
+
+    def test_duplicate_authority_registration(self, group, setup):
+        central, uni, _, _ = setup
+        with pytest.raises(SchemeError):
+            central.register_authority(uni)
+
+    def test_prf_deterministic_per_user(self, group, setup):
+        _, uni, _, _ = setup
+        assert uni.user_secret("bob") == uni.user_secret("bob")
+        assert uni.user_secret("bob") != uni.user_secret("alice")

@@ -1,0 +1,149 @@
+"""Tests for the Hur-Noh attribute-group revocation baseline."""
+
+import pytest
+
+from repro.baselines.bsw import BswScheme
+from repro.baselines.hur import HurSystem, decrypt as hur_decrypt
+from repro.errors import AuthorizationError, SchemeError
+
+
+@pytest.fixture()
+def setup(group):
+    bsw = BswScheme(group)
+    hur = HurSystem(bsw, capacity=8, seed=7)
+    keks = {}
+    for uid in ("u1", "u2", "u3"):
+        keks[uid] = hur.register_user(uid)
+        for attribute in ("a", "b"):
+            hur.grant(uid, attribute)
+    return bsw, hur, keks
+
+
+class TestMembership:
+    def test_grant_requires_registration(self, setup):
+        _, hur, _ = setup
+        with pytest.raises(SchemeError):
+            hur.grant("ghost", "a")
+
+    def test_members_tracked(self, setup):
+        _, hur, _ = setup
+        assert hur.members_of("a") == {"u1", "u2", "u3"}
+        assert hur.members_of("unknown") == frozenset()
+
+    def test_group_key_versions(self, setup):
+        _, hur, _ = setup
+        assert hur.group_key_version("a") == 0
+        assert hur.group_key_version("unknown") == -1
+
+
+class TestHeaders:
+    def test_member_unwraps(self, group, setup):
+        _, hur, keks = setup
+        header = hur.header("a")
+        key = HurSystem.unwrap_group_key(header, keks["u1"],
+                                         group.scalar_bytes)
+        assert 1 <= key < group.order
+
+    def test_all_members_get_same_key(self, group, setup):
+        _, hur, keks = setup
+        header = hur.header("a")
+        keys = {
+            uid: HurSystem.unwrap_group_key(header, keks[uid],
+                                            group.scalar_bytes)
+            for uid in ("u1", "u2", "u3")
+        }
+        assert len(set(keys.values())) == 1
+
+    def test_non_member_cannot_unwrap(self, group, setup):
+        _, hur, keks = setup
+        keks_u4 = hur.register_user("u4")  # registered but not granted
+        header = hur.header("a")
+        with pytest.raises(AuthorizationError):
+            HurSystem.unwrap_group_key(header, keks_u4, group.scalar_bytes)
+
+    def test_header_for_unknown_attribute(self, setup):
+        _, hur, _ = setup
+        with pytest.raises(SchemeError):
+            hur.header("unknown")
+
+
+class TestDecryption:
+    def test_member_roundtrip(self, group, setup):
+        bsw, hur, keks = setup
+        message = group.random_gt()
+        stored = [hur.reencrypt(bsw.encrypt(message, "a AND b"))]
+        headers = {attr: hur.header(attr) for attr in ("a", "b")}
+        key = bsw.keygen(["a", "b"])
+        assert hur_decrypt(group, stored[0], key, keks["u1"], headers,
+                           bsw) == message
+
+    def test_reencrypt_requires_group_keys(self, group, setup):
+        bsw, hur, _ = setup
+        ciphertext = bsw.encrypt(group.random_gt(), "a AND zzz")
+        with pytest.raises(SchemeError):
+            hur.reencrypt(ciphertext)
+
+    def test_missing_header_rejected(self, group, setup):
+        bsw, hur, keks = setup
+        stored = [hur.reencrypt(bsw.encrypt(group.random_gt(), "a AND b"))]
+        key = bsw.keygen(["a", "b"])
+        with pytest.raises(SchemeError, match="no header"):
+            hur_decrypt(group, stored[0], key, keks["u1"],
+                        {"a": hur.header("a")}, bsw)
+
+
+class TestRevocation:
+    def test_revoked_user_blocked(self, group, setup):
+        bsw, hur, keks = setup
+        message = group.random_gt()
+        stored = [hur.reencrypt(bsw.encrypt(message, "a AND b"))]
+        headers = {attr: hur.header(attr) for attr in ("a", "b")}
+        key = bsw.keygen(["a", "b"])
+        headers["a"] = hur.revoke("u1", "a", stored)
+        with pytest.raises(AuthorizationError):
+            hur_decrypt(group, stored[0], key, keks["u1"], headers, bsw)
+
+    def test_survivors_keep_access(self, group, setup):
+        bsw, hur, keks = setup
+        message = group.random_gt()
+        stored = [hur.reencrypt(bsw.encrypt(message, "a AND b"))]
+        headers = {attr: hur.header(attr) for attr in ("a", "b")}
+        headers["a"] = hur.revoke("u1", "a", stored)
+        key = bsw.keygen(["a", "b"])
+        assert hur_decrypt(group, stored[0], key, keks["u2"], headers,
+                           bsw) == message
+
+    def test_stale_header_version_detected(self, group, setup):
+        bsw, hur, keks = setup
+        stored = [hur.reencrypt(bsw.encrypt(group.random_gt(), "a AND b"))]
+        old_headers = {attr: hur.header(attr) for attr in ("a", "b")}
+        hur.revoke("u1", "a", stored)
+        key = bsw.keygen(["a", "b"])
+        with pytest.raises(SchemeError, match="version"):
+            hur_decrypt(group, stored[0], key, keks["u2"], old_headers, bsw)
+
+    def test_revoking_nonmember_rejected(self, setup):
+        _, hur, _ = setup
+        hur.register_user("u4")
+        with pytest.raises(SchemeError):
+            hur.revoke("u4", "a", [])
+
+    def test_unaffected_ciphertexts_untouched(self, group, setup):
+        bsw, hur, keks = setup
+        message = group.random_gt()
+        stored = [hur.reencrypt(bsw.encrypt(message, "b"))]
+        before = stored[0]
+        hur.revoke("u1", "a", stored)
+        assert stored[0] is before  # attribute 'a' not in this ciphertext
+
+    def test_multiple_revocations(self, group, setup):
+        bsw, hur, keks = setup
+        message = group.random_gt()
+        stored = [hur.reencrypt(bsw.encrypt(message, "a"))]
+        headers = {"a": hur.revoke("u1", "a", stored)}
+        headers = {"a": hur.revoke("u2", "a", stored)}
+        key = bsw.keygen(["a"])
+        assert hur_decrypt(group, stored[0], key, keks["u3"], headers,
+                           bsw) == message
+        with pytest.raises(AuthorizationError):
+            hur_decrypt(group, stored[0], key, keks["u2"], headers, bsw)

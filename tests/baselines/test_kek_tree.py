@@ -1,0 +1,123 @@
+"""Tests for the KEK binary tree (complete-subtree revocation substrate)."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.kek_tree import KEK_LEN, KekTree
+from repro.errors import SchemeError
+
+
+def _tree(capacity=8, n_users=None, seed=1):
+    tree = KekTree(capacity, random.Random(seed))
+    for i in range(n_users if n_users is not None else capacity):
+        tree.assign_slot(f"u{i}")
+    return tree
+
+
+class TestConstruction:
+    def test_capacity_must_be_power_of_two(self):
+        for bad in (0, 3, 6, 12):
+            with pytest.raises(SchemeError):
+                KekTree(bad)
+        KekTree(1)
+        KekTree(16)
+
+    def test_all_nodes_have_keks(self):
+        tree = KekTree(8, random.Random(0))
+        for node in range(1, 16):
+            assert len(tree.kek(node)) == KEK_LEN
+
+    def test_unknown_node_rejected(self):
+        tree = KekTree(4, random.Random(0))
+        with pytest.raises(SchemeError):
+            tree.kek(99)
+
+
+class TestSlots:
+    def test_assignment_and_lookup(self):
+        tree = _tree(8, 3)
+        assert tree.slot_of("u0") == 0
+        assert tree.leaf_of("u2") == 8 + 2
+        assert tree.users == {"u0", "u1", "u2"}
+
+    def test_duplicate_rejected(self):
+        tree = _tree(8, 1)
+        with pytest.raises(SchemeError):
+            tree.assign_slot("u0")
+
+    def test_full_tree_rejected(self):
+        tree = _tree(2, 2)
+        with pytest.raises(SchemeError):
+            tree.assign_slot("overflow")
+
+    def test_unknown_user_rejected(self):
+        tree = _tree(4, 1)
+        with pytest.raises(SchemeError):
+            tree.slot_of("ghost")
+
+
+class TestPaths:
+    def test_path_length_is_log_plus_one(self):
+        tree = _tree(8)
+        assert len(tree.path_nodes("u0")) == 4  # leaf + 3 ancestors
+
+    def test_path_ends_at_root(self):
+        tree = _tree(8)
+        assert tree.path_nodes("u5")[-1] == 1
+
+    def test_path_keks_match_tree(self):
+        tree = _tree(8)
+        for node, kek in tree.path_keks("u3").items():
+            assert tree.kek(node) == kek
+
+
+class TestMinCover:
+    def _leaves_under(self, tree, node):
+        low = high = node
+        while low < tree.capacity:
+            low, high = 2 * low, 2 * high + 1
+        return set(range(low, high + 1))
+
+    @given(st.integers(0, 2**16 - 1))
+    def test_cover_is_exact_partition(self, membership_bits):
+        tree = _tree(16)
+        members = {f"u{i}" for i in range(16) if membership_bits >> i & 1}
+        cover = tree.min_cover(members)
+        covered = set()
+        for node in cover:
+            leaves = self._leaves_under(tree, node)
+            assert not (covered & leaves), "cover nodes overlap"
+            covered |= leaves
+        assert covered == {tree.leaf_of(uid) for uid in members}
+
+    def test_full_membership_is_root(self):
+        tree = _tree(8)
+        assert tree.min_cover(tree.users) == [1]
+
+    def test_empty_membership(self):
+        tree = _tree(8)
+        assert tree.min_cover(set()) == []
+
+    def test_single_member_is_leaf(self):
+        tree = _tree(8)
+        assert tree.min_cover({"u3"}) == [tree.leaf_of("u3")]
+
+    def test_all_but_one_is_logarithmic(self):
+        tree = _tree(64)
+        members = tree.users - {"u0"}
+        # Complete-subtree bound: log2(64) = 6 nodes for n-1 members.
+        assert tree.cover_size(members) == 6
+
+    def test_cover_only_reaches_members(self):
+        """The security property: a non-member's path never intersects
+        the cover."""
+        tree = _tree(16)
+        members = {f"u{i}" for i in range(16) if i % 3 == 0}
+        cover = set(tree.min_cover(members))
+        for uid in tree.users - members:
+            assert not (cover & set(tree.path_nodes(uid))), uid
+        for uid in members:
+            assert cover & set(tree.path_nodes(uid)), uid

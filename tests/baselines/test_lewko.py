@@ -1,0 +1,150 @@
+"""Tests for the Lewko-Waters decentralized CP-ABE baseline."""
+
+import pytest
+
+from repro.baselines import lewko
+from repro.errors import PolicyError, PolicyNotSatisfiedError, SchemeError
+
+
+@pytest.fixture()
+def setup(group):
+    uni = lewko.LewkoAuthority(group, "uni", ["prof", "student", "dean"])
+    gov = lewko.LewkoAuthority(group, "gov", ["citizen", "official"])
+    public_keys = {}
+    public_keys.update(uni.public_key().elements)
+    public_keys.update(gov.public_key().elements)
+    return uni, gov, public_keys
+
+
+class TestSetup:
+    def test_attributes_qualified(self, setup):
+        uni, _, _ = setup
+        assert "uni:prof" in uni.attributes
+
+    def test_public_key_structure(self, group, setup):
+        uni, _, _ = setup
+        pk = uni.public_key()
+        assert len(pk) == 3
+        entry = pk["uni:prof"]
+        assert (entry.e_alpha ** group.order).is_identity()
+        assert (entry.g_y ** group.order).is_identity()
+
+    def test_empty_authority_rejected(self, group):
+        with pytest.raises(SchemeError):
+            lewko.LewkoAuthority(group, "empty", [])
+
+    def test_secret_size(self, setup):
+        uni, _, _ = setup
+        assert uni.secret_size_scalars() == 6  # 2 per attribute
+
+
+class TestKeyGen:
+    def test_key_algebra(self, group, setup):
+        """K = g^α · H(GID)^y verified against the published values:
+        e(K, g) = e(g,g)^α · e(H(GID), g^y)."""
+        uni, _, _ = setup
+        key = uni.keygen("alice", ["prof"])
+        pk = uni.public_key()["uni:prof"]
+        h_gid = group.hash_to_g1("alice")
+        lhs = group.pair(key.elements["uni:prof"], group.g)
+        rhs = pk.e_alpha * group.pair(h_gid, pk.g_y)
+        assert lhs == rhs
+
+    def test_unknown_attribute_rejected(self, setup):
+        uni, _, _ = setup
+        with pytest.raises(SchemeError):
+            uni.keygen("alice", ["pilot"])
+
+
+class TestEncryptDecrypt:
+    @pytest.mark.parametrize(
+        "policy,attrs",
+        [
+            ("uni:prof", {"uni": ["prof"]}),
+            ("uni:prof AND gov:citizen", {"uni": ["prof"], "gov": ["citizen"]}),
+            ("uni:prof OR uni:dean", {"uni": ["dean"]}),
+            (
+                "(uni:prof AND gov:citizen) OR (uni:dean AND gov:official)",
+                {"uni": ["dean"], "gov": ["official"]},
+            ),
+        ],
+    )
+    def test_roundtrip(self, group, setup, policy, attrs):
+        uni, gov, public_keys = setup
+        authorities = {"uni": uni, "gov": gov}
+        message = group.random_gt()
+        ciphertext = lewko.encrypt(group, message, policy, public_keys)
+        keys = {
+            aid: authorities[aid].keygen("bob", names)
+            for aid, names in attrs.items()
+        }
+        assert lewko.decrypt(group, ciphertext, "bob", keys) == message
+
+    def test_partial_authority_decryption_works(self, group, setup):
+        """Unlike the reproduced scheme, Lewko's decryption only touches
+        the rows it uses — keys from uninvolved authorities are not
+        needed when an OR branch suffices."""
+        uni, gov, public_keys = setup
+        message = group.random_gt()
+        ciphertext = lewko.encrypt(
+            group, message, "uni:prof OR gov:citizen", public_keys
+        )
+        keys = {"uni": uni.keygen("carol", ["prof"])}
+        assert lewko.decrypt(group, ciphertext, "carol", keys) == message
+
+    def test_unsatisfying_attributes_rejected(self, group, setup):
+        uni, gov, public_keys = setup
+        ciphertext = lewko.encrypt(
+            group, group.random_gt(), "uni:prof AND gov:citizen", public_keys
+        )
+        keys = {"uni": uni.keygen("dave", ["student"])}
+        with pytest.raises(PolicyNotSatisfiedError):
+            lewko.decrypt(group, ciphertext, "dave", keys)
+
+    def test_missing_public_keys_rejected(self, group, setup):
+        _, _, public_keys = setup
+        with pytest.raises(PolicyError):
+            lewko.encrypt(group, group.random_gt(), "nasa:astronaut",
+                          public_keys)
+
+
+class TestCollusion:
+    def test_mixed_gids_rejected(self, group, setup):
+        uni, gov, public_keys = setup
+        ciphertext = lewko.encrypt(
+            group, group.random_gt(), "uni:prof AND gov:citizen", public_keys
+        )
+        pooled = {
+            "uni": uni.keygen("alice", ["prof"]),
+            "gov": gov.keygen("bob", ["citizen"]),
+        }
+        with pytest.raises(SchemeError, match="belongs"):
+            lewko.decrypt(group, ciphertext, "bob", pooled)
+
+    def test_forced_mixed_gid_decryption_gives_garbage(self, group, setup):
+        """Even bypassing the GID check by relabelling, the H(GID) terms
+        do not cancel and the result is not the message."""
+        import dataclasses
+
+        uni, gov, public_keys = setup
+        message = group.random_gt()
+        ciphertext = lewko.encrypt(
+            group, message, "uni:prof AND gov:citizen", public_keys
+        )
+        alice_key = uni.keygen("alice", ["prof"])
+        forged = dataclasses.replace(alice_key, gid="bob")
+        pooled = {"uni": forged, "gov": gov.keygen("bob", ["citizen"])}
+        result = lewko.decrypt(group, ciphertext, "bob", pooled)
+        assert result != message
+
+
+class TestSizes:
+    def test_ciphertext_size_formula(self, group, setup):
+        _, _, public_keys = setup
+        ciphertext = lewko.encrypt(
+            group, group.random_gt(), "uni:prof AND gov:citizen", public_keys
+        )
+        l = ciphertext.n_rows
+        expected = (l + 1) * group.gt_bytes + 2 * l * group.g1_bytes
+        assert ciphertext.element_size_bytes(group) == expected
+        assert l == 2

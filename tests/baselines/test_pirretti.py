@@ -1,0 +1,118 @@
+"""Tests for the Pirretti timed re-keying baseline — especially the
+non-immediacy and overhead properties the reproduced paper criticizes."""
+
+import pytest
+
+from repro.baselines.bsw import BswScheme
+from repro.baselines.pirretti import PirrettiSystem, epoch_qualify
+from repro.errors import PolicyNotSatisfiedError, SchemeError
+
+
+@pytest.fixture()
+def system(group):
+    return PirrettiSystem(BswScheme(group))
+
+
+class TestBasics:
+    def test_epoch_qualification(self):
+        assert epoch_qualify("doctor", 3) == "doctor@3"
+        with pytest.raises(SchemeError):
+            epoch_qualify("doctor@3", 4)
+
+    def test_grant_and_decrypt(self, group, system):
+        key = system.grant("bob", ["doctor"])
+        message = group.random_gt()
+        ciphertext = system.encrypt(message, "doctor")
+        assert system.decrypt(ciphertext, key) == message
+
+    def test_policy_structure_preserved(self, group, system):
+        key = system.grant("bob", ["a", "c"])
+        message = group.random_gt()
+        ciphertext = system.encrypt(message, "(a AND c) OR b")
+        assert system.decrypt(ciphertext, key) == message
+
+    def test_threshold_policies(self, group, system):
+        key = system.grant("bob", ["a", "b"])
+        message = group.random_gt()
+        ciphertext = system.encrypt(message, "2 of (a, b, c)")
+        assert system.decrypt(ciphertext, key) == message
+
+
+class TestNonImmediacy:
+    """The weakness: revocation waits for the epoch boundary."""
+
+    def test_revoked_user_keeps_access_within_epoch(self, group, system):
+        key = system.grant("bob", ["doctor"])
+        message = group.random_gt()
+        ciphertext = system.encrypt(message, "doctor")
+        system.revoke("bob", ["doctor"])
+        # Still readable! The revocation has not taken effect.
+        assert system.decrypt(ciphertext, key) == message
+
+    def test_revocation_bites_after_rollover(self, group, system):
+        old_key = system.grant("bob", ["doctor"])
+        system.revoke("bob", ["doctor"])
+        refreshed = system.advance_epoch()
+        assert "bob" not in refreshed  # nothing left to re-issue
+        ciphertext = system.encrypt(group.random_gt(), "doctor")
+        with pytest.raises(PolicyNotSatisfiedError):
+            system.decrypt(ciphertext, old_key)
+
+    def test_stale_key_fails_on_new_epoch_data(self, group, system):
+        old_key = system.grant("bob", ["doctor"])
+        system.advance_epoch()
+        ciphertext = system.encrypt(group.random_gt(), "doctor")
+        with pytest.raises(PolicyNotSatisfiedError):
+            system.decrypt(ciphertext, old_key)
+
+    def test_survivors_get_fresh_keys(self, group, system):
+        system.grant("bob", ["doctor"])
+        system.grant("eve", ["doctor"])
+        system.revoke("bob", ["doctor"])
+        refreshed = system.advance_epoch()
+        message = group.random_gt()
+        ciphertext = system.encrypt(message, "doctor")
+        assert system.decrypt(ciphertext, refreshed["eve"]) == message
+
+
+class TestOverhead:
+    """Every epoch re-issues every surviving user's key."""
+
+    def test_per_epoch_cost_scales_with_users(self, group, system):
+        n_users = 6
+        for index in range(n_users):
+            system.grant(f"u{index}", ["doctor"])
+        baseline = system.keys_issued
+        system.advance_epoch()
+        assert system.keys_issued == baseline + n_users
+        system.advance_epoch()
+        assert system.keys_issued == baseline + 2 * n_users
+
+    def test_contrast_with_papers_update_keys(self, group):
+        """Our scheme's survivor update is O(1) per user *and* done
+        client-side from a broadcast — no per-user issuance at the AA."""
+        from repro.core.scheme import MultiAuthorityABE
+        from repro.ec.params import TOY80
+
+        scheme = MultiAuthorityABE(TOY80, seed=2711)
+        authority = scheme.setup_authority("aa", ["doctor"])
+        scheme.setup_owner("alice")
+        for index in range(6):
+            pk = scheme.register_user(f"u{index}")
+            authority.keygen(pk, ["doctor"], "alice")
+        result = scheme.revoke("aa", "u0", ["doctor"])
+        # One broadcast object regardless of user count:
+        assert len(result.update_key.uk1) == 1  # per owner, not per user
+        assert result.reissued_keys is None
+
+
+class TestErrors:
+    def test_revoke_unknown_user(self, system):
+        with pytest.raises(SchemeError):
+            system.revoke("ghost", ["doctor"])
+
+    def test_issue_with_no_grants(self, system):
+        system.grant("bob", ["doctor"])
+        system.revoke("bob", ["doctor"])
+        with pytest.raises(SchemeError):
+            system._issue("bob")

@@ -1,0 +1,31 @@
+"""Shared fixtures: one session-scoped TOY80 pairing group.
+
+All unit/property tests run on the TOY80 preset (80-bit order, 160-bit
+base field) so a single pairing costs ~5 ms; the SS512 preset that
+matches the paper's α-curve is exercised by a dedicated smoke test and
+by the benchmark harness.
+"""
+
+import random
+
+import pytest
+from hypothesis import settings
+
+from repro.ec.params import TOY80
+from repro.pairing.group import PairingGroup
+
+settings.register_profile("repro", deadline=None, max_examples=25)
+settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def group():
+    """A shared TOY80 pairing group (sampling state is shared; tests must
+    not depend on specific random draws)."""
+    return PairingGroup(TOY80, seed=0x5EED)
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic RNG per test."""
+    return random.Random(0xA11CE)

@@ -1,0 +1,57 @@
+"""Core-test fixtures: a fresh two-authority deployment per test."""
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.core.scheme import MultiAuthorityABE
+from repro.ec.params import TOY80
+
+
+@dataclass
+class Deployment:
+    """A ready-to-use deployment with two authorities, one owner, users."""
+
+    scheme: MultiAuthorityABE
+    hospital: object
+    trial: object
+    owner: object
+    user_public: dict = field(default_factory=dict)   # uid -> UserPublicKey
+    user_keys: dict = field(default_factory=dict)     # uid -> {aid -> sk}
+
+    def add_user(self, uid: str, hospital_attrs=(), trial_attrs=()):
+        public_key = self.scheme.register_user(uid)
+        keys = {}
+        if hospital_attrs:
+            keys["hospital"] = self.hospital.keygen(
+                public_key, hospital_attrs, self.owner.owner_id
+            )
+        if trial_attrs:
+            keys["trial"] = self.trial.keygen(
+                public_key, trial_attrs, self.owner.owner_id
+            )
+        self.user_public[uid] = public_key
+        self.user_keys[uid] = keys
+        return public_key, keys
+
+    def decrypt(self, ciphertext, uid):
+        return self.scheme.decrypt(
+            ciphertext, self.user_public[uid], self.user_keys[uid]
+        )
+
+
+_COUNTER = [0]
+
+
+@pytest.fixture()
+def deployment():
+    _COUNTER[0] += 1
+    scheme = MultiAuthorityABE(TOY80, seed=1000 + _COUNTER[0])
+    hospital = scheme.setup_authority(
+        "hospital", ["doctor", "nurse", "surgeon", "admin"]
+    )
+    trial = scheme.setup_authority("trial", ["researcher", "pi", "monitor"])
+    owner = scheme.setup_owner("alice", [hospital, trial])
+    return Deployment(
+        scheme=scheme, hospital=hospital, trial=trial, owner=owner
+    )

@@ -1,0 +1,48 @@
+"""Tests for attribute naming."""
+
+import pytest
+
+from repro.core.attributes import (
+    authority_of,
+    involved_authorities,
+    qualify,
+    split_attribute,
+    validate_identifier,
+)
+from repro.errors import PolicyError
+
+
+class TestQualify:
+    def test_roundtrip(self):
+        name = qualify("hospital", "doctor")
+        assert name == "hospital:doctor"
+        assert split_attribute(name) == ("hospital", "doctor")
+
+    def test_authority_of(self):
+        assert authority_of("trial:pi") == "trial"
+
+    def test_unqualified_rejected(self):
+        with pytest.raises(PolicyError):
+            split_attribute("doctor")
+
+    def test_bad_fragments_rejected(self):
+        with pytest.raises(PolicyError):
+            qualify("ho spital", "doctor")
+        with pytest.raises(PolicyError):
+            qualify("hospital", "doc tor")
+
+    def test_involved_authorities(self):
+        names = ["a:x", "a:y", "b:z"]
+        assert involved_authorities(names) == frozenset({"a", "b"})
+        assert involved_authorities([]) == frozenset()
+
+
+class TestValidateIdentifier:
+    @pytest.mark.parametrize("good", ["abc", "a-b_c.d", "x@y", "A1+B/2"])
+    def test_accepts(self, good):
+        assert validate_identifier(good) == good
+
+    @pytest.mark.parametrize("bad", ["", "a b", "a:b!", None, 42, "tab\tname"])
+    def test_rejects(self, bad):
+        with pytest.raises(PolicyError):
+            validate_identifier(bad)

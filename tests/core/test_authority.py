@@ -1,0 +1,146 @@
+"""Tests for AttributeAuthority: setup, key material, KeyGen, ReKey."""
+
+import pytest
+
+from repro.core.authority import AttributeAuthority
+from repro.errors import RevocationError, SchemeError
+
+
+class TestSetup:
+    def test_attributes_and_qualification(self, deployment):
+        hospital = deployment.hospital
+        assert "doctor" in hospital.attributes
+        assert hospital.qualified("doctor") == "hospital:doctor"
+        assert "hospital:nurse" in hospital.qualified_attributes()
+
+    def test_unknown_attribute_rejected(self, deployment):
+        with pytest.raises(SchemeError):
+            deployment.hospital.qualified("pilot")
+
+    def test_needs_attributes(self, group):
+        with pytest.raises(SchemeError):
+            AttributeAuthority(group, "empty", [])
+
+    def test_version_key(self, deployment):
+        vk = deployment.hospital.version_key()
+        assert vk.aid == "hospital"
+        assert vk.version == 0
+        assert 1 <= vk.alpha < deployment.scheme.group.order
+
+
+class TestPublishedKeys:
+    def test_authority_public_key_consistent_with_version_key(self, deployment):
+        group = deployment.scheme.group
+        hospital = deployment.hospital
+        apk = hospital.authority_public_key()
+        assert apk.value == group.gt ** hospital.version_key().alpha
+
+    def test_public_attribute_keys_structure(self, deployment):
+        group = deployment.scheme.group
+        hospital = deployment.hospital
+        pak = hospital.public_attribute_keys()
+        alpha = hospital.version_key().alpha
+        for name, element in pak.elements.items():
+            expected = group.g ** (alpha * group.hash_to_scalar(name))
+            assert element == expected
+        assert len(pak) == len(hospital.attributes)
+        assert "hospital:doctor" in pak
+
+
+class TestKeyGen:
+    def test_key_algebra(self, deployment):
+        """Verify K = g^{(u·r + α)/β} via the pairing identity
+        e(K, g^β) = e(PK_UID, g)^r · e(g,g)^α."""
+        group = deployment.scheme.group
+        hospital = deployment.hospital
+        owner = deployment.owner
+        pk, keys = deployment.add_user("u1", hospital_attrs=["doctor"])
+        sk = keys["hospital"]
+        beta = owner.master_key.beta
+        r_exp = owner.master_key.r_exp
+        alpha = hospital.version_key().alpha
+        lhs = group.pair(sk.k, group.g ** beta)
+        rhs = (group.pair(pk.element, group.g) ** r_exp) * (group.gt ** alpha)
+        assert lhs == rhs
+
+    def test_attribute_key_algebra(self, deployment):
+        group = deployment.scheme.group
+        hospital = deployment.hospital
+        pk, keys = deployment.add_user("u2", hospital_attrs=["doctor"])
+        sk = keys["hospital"]
+        alpha = hospital.version_key().alpha
+        h = group.hash_to_scalar("hospital:doctor")
+        assert sk.attribute_keys["hospital:doctor"] == pk.element ** (alpha * h)
+
+    def test_unknown_owner_rejected(self, deployment):
+        pk, _ = deployment.add_user("u3", hospital_attrs=["nurse"])
+        with pytest.raises(SchemeError):
+            deployment.hospital.keygen(pk, ["nurse"], "stranger")
+
+    def test_unknown_attribute_rejected(self, deployment):
+        pk, _ = deployment.add_user("u4", hospital_attrs=["nurse"])
+        with pytest.raises(SchemeError):
+            deployment.hospital.keygen(pk, ["pilot"], "alice")
+
+    def test_registry_tracks_issuance(self, deployment):
+        deployment.add_user("u5", hospital_attrs=["doctor", "nurse"])
+        issued = deployment.hospital.issued_attributes("u5", "alice")
+        assert issued == {"hospital:doctor", "hospital:nurse"}
+
+    def test_key_carries_metadata(self, deployment):
+        _, keys = deployment.add_user("u6", trial_attrs=["pi"])
+        sk = keys["trial"]
+        assert (sk.uid, sk.aid, sk.owner_id, sk.version) == (
+            "u6", "trial", "alice", 0
+        )
+        assert sk.attributes == frozenset({"trial:pi"})
+
+
+class TestRekey:
+    def test_bumps_version_and_alpha(self, deployment):
+        hospital = deployment.hospital
+        deployment.add_user("victim", hospital_attrs=["doctor", "nurse"])
+        old_alpha = hospital.version_key().alpha
+        new_keys, update_key = hospital.rekey("victim", ["doctor"])
+        assert hospital.version == 1
+        assert hospital.version_key().alpha != old_alpha
+        assert update_key.from_version == 0 and update_key.to_version == 1
+
+    def test_revoked_user_gets_reduced_key(self, deployment):
+        hospital = deployment.hospital
+        deployment.add_user("victim", hospital_attrs=["doctor", "nurse"])
+        new_keys, _ = hospital.rekey("victim", ["doctor"])
+        reduced = new_keys["alice"]
+        assert reduced.attributes == frozenset({"hospital:nurse"})
+        assert reduced.version == 1
+
+    def test_full_revocation_drops_registry(self, deployment):
+        hospital = deployment.hospital
+        deployment.add_user("victim", hospital_attrs=["doctor"])
+        new_keys, _ = hospital.rekey("victim", ["doctor"])
+        assert new_keys == {}
+        assert hospital.issued_attributes("victim", "alice") == frozenset()
+
+    def test_uk2_is_alpha_ratio(self, deployment):
+        group = deployment.scheme.group
+        hospital = deployment.hospital
+        deployment.add_user("victim", hospital_attrs=["doctor"])
+        old_alpha = hospital.version_key().alpha
+        _, update_key = hospital.rekey("victim", ["doctor"])
+        new_alpha = hospital.version_key().alpha
+        assert update_key.uk2 * old_alpha % group.order == new_alpha
+
+    def test_uk1_per_owner(self, deployment):
+        hospital = deployment.hospital
+        deployment.add_user("victim", hospital_attrs=["doctor"])
+        _, update_key = hospital.rekey("victim", ["doctor"])
+        assert set(update_key.uk1) == {"alice"}
+
+    def test_unknown_user_rejected(self, deployment):
+        with pytest.raises(RevocationError):
+            deployment.hospital.rekey("ghost", ["doctor"])
+
+    def test_unknown_attribute_rejected(self, deployment):
+        deployment.add_user("victim", hospital_attrs=["doctor"])
+        with pytest.raises(RevocationError):
+            deployment.hospital.rekey("victim", ["pilot"])

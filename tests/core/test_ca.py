@@ -1,0 +1,69 @@
+"""Tests for the certificate authority."""
+
+import pytest
+
+from repro.core.ca import CertificateAuthority
+from repro.errors import SchemeError
+
+
+@pytest.fixture()
+def ca(group):
+    return CertificateAuthority(group)
+
+
+class TestUserRegistration:
+    def test_issues_valid_public_key(self, ca, group):
+        pk = ca.register_user("alice")
+        assert pk.uid == "alice"
+        assert not pk.element.is_identity()
+        assert (pk.element ** group.order).is_identity()
+
+    def test_duplicate_uid_rejected(self, ca):
+        ca.register_user("alice")
+        with pytest.raises(SchemeError):
+            ca.register_user("alice")
+
+    def test_lookup(self, ca):
+        issued = ca.register_user("bob")
+        assert ca.user_public_key("bob") == issued
+        assert ca.is_registered_user("bob")
+        assert not ca.is_registered_user("nobody")
+
+    def test_unknown_lookup_raises(self, ca):
+        with pytest.raises(SchemeError):
+            ca.user_public_key("ghost")
+
+    def test_distinct_users_distinct_keys(self, ca):
+        a = ca.register_user("u1")
+        b = ca.register_user("u2")
+        assert a.element != b.element
+
+    def test_count(self, ca):
+        ca.register_user("u1")
+        ca.register_user("u2")
+        assert ca.user_count == 2
+
+
+class TestAuthorityAndOwnerRegistration:
+    def test_authority(self, ca):
+        assert ca.register_authority("hospital") == "hospital"
+        assert ca.is_registered_authority("hospital")
+        assert ca.authority_count == 1
+
+    def test_duplicate_authority_rejected(self, ca):
+        ca.register_authority("hospital")
+        with pytest.raises(SchemeError):
+            ca.register_authority("hospital")
+
+    def test_owner(self, ca):
+        assert ca.register_owner("alice") == "alice"
+        with pytest.raises(SchemeError):
+            ca.register_owner("alice")
+
+    def test_invalid_identifiers_rejected(self, ca):
+        from repro.errors import PolicyError
+
+        with pytest.raises(PolicyError):
+            ca.register_authority("bad id")
+        with pytest.raises(PolicyError):
+            ca.register_user("")

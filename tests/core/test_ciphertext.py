@@ -1,0 +1,73 @@
+"""Tests for ciphertext structure and serialization."""
+
+import pytest
+
+from repro.core.ciphertext import Ciphertext
+from repro.errors import SchemeError
+
+
+@pytest.fixture()
+def ciphertext(deployment):
+    return deployment.owner.encrypt(
+        deployment.scheme.random_message(),
+        "hospital:doctor AND trial:researcher",
+    )
+
+
+class TestStructure:
+    def test_rows_match_policy(self, ciphertext):
+        assert ciphertext.n_rows == 2
+        assert ciphertext.involved_aids == frozenset({"hospital", "trial"})
+        assert ciphertext.versions == {"hospital": 0, "trial": 0}
+
+    def test_version_of_unknown_authority(self, ciphertext):
+        with pytest.raises(SchemeError):
+            ciphertext.version_of("nasa")
+
+    def test_element_size_formula(self, deployment, ciphertext):
+        group = deployment.scheme.group
+        expected = group.gt_bytes + (ciphertext.n_rows + 1) * group.g1_bytes
+        assert ciphertext.element_size_bytes(group) == expected
+
+    def test_policy_string(self, ciphertext):
+        assert "hospital:doctor" in ciphertext.policy_string
+
+
+class TestSerialization:
+    def test_roundtrip(self, deployment, ciphertext):
+        group = deployment.scheme.group
+        data = ciphertext.to_bytes()
+        decoded = Ciphertext.from_bytes(group, data)
+        assert decoded.ciphertext_id == ciphertext.ciphertext_id
+        assert decoded.owner_id == ciphertext.owner_id
+        assert decoded.c == ciphertext.c
+        assert decoded.c_prime == ciphertext.c_prime
+        assert decoded.c_rows == ciphertext.c_rows
+        assert decoded.versions == ciphertext.versions
+        assert decoded.involved_aids == ciphertext.involved_aids
+        assert decoded.matrix.row_labels == ciphertext.matrix.row_labels
+
+    def test_decoded_ciphertext_still_decrypts(self, deployment):
+        deployment.add_user("u", hospital_attrs=["doctor"],
+                            trial_attrs=["researcher"])
+        message = deployment.scheme.random_message()
+        original = deployment.owner.encrypt(
+            message, "hospital:doctor AND trial:researcher"
+        )
+        decoded = Ciphertext.from_bytes(
+            deployment.scheme.group, original.to_bytes()
+        )
+        assert deployment.decrypt(decoded, "u") == message
+
+    def test_truncated_rejected(self, deployment, ciphertext):
+        group = deployment.scheme.group
+        data = ciphertext.to_bytes()
+        with pytest.raises(SchemeError):
+            Ciphertext.from_bytes(group, data[:-5])
+        with pytest.raises(SchemeError):
+            Ciphertext.from_bytes(group, b"\x00\x00")
+
+    def test_extended_rejected(self, deployment, ciphertext):
+        group = deployment.scheme.group
+        with pytest.raises(SchemeError):
+            Ciphertext.from_bytes(group, ciphertext.to_bytes() + b"\x00")

@@ -1,0 +1,125 @@
+"""Tests for outsourced decryption."""
+
+import pytest
+
+from repro.core.outsourcing import (
+    make_transform_key,
+    server_transform,
+    user_finalize,
+)
+from repro.errors import PolicyNotSatisfiedError, SchemeError
+
+POLICY = "hospital:doctor AND trial:researcher"
+
+
+@pytest.fixture()
+def world(deployment):
+    public, keys = deployment.add_user(
+        "u", hospital_attrs=["doctor"], trial_attrs=["researcher"]
+    )
+    message = deployment.scheme.random_message()
+    ciphertext = deployment.owner.encrypt(message, POLICY)
+    return deployment, public, keys, message, ciphertext
+
+
+class TestCorrectness:
+    def test_roundtrip(self, world):
+        deployment, public, keys, message, ciphertext = world
+        group = deployment.scheme.group
+        transform, retrieval = make_transform_key(group, public, keys)
+        partial = server_transform(group, ciphertext, transform)
+        assert user_finalize(ciphertext, partial, retrieval) == message
+
+    def test_matches_local_decryption(self, world):
+        deployment, public, keys, message, ciphertext = world
+        group = deployment.scheme.group
+        local = deployment.scheme.decrypt(ciphertext, public, keys)
+        transform, retrieval = make_transform_key(group, public, keys)
+        outsourced = user_finalize(
+            ciphertext, server_transform(group, ciphertext, transform),
+            retrieval,
+        )
+        assert local == outsourced == message
+
+    def test_user_does_zero_pairings(self, world):
+        deployment, public, keys, message, ciphertext = world
+        group = deployment.scheme.group
+        transform, retrieval = make_transform_key(group, public, keys)
+        partial = server_transform(group, ciphertext, transform)
+        group.counter.reset()
+        result = user_finalize(ciphertext, partial, retrieval)
+        assert result == message
+        assert group.counter.pairings == 0
+        assert group.counter.gt_exponentiations == 1
+
+    def test_server_does_all_pairings(self, world):
+        deployment, public, keys, message, ciphertext = world
+        group = deployment.scheme.group
+        transform, retrieval = make_transform_key(group, public, keys)
+        group.counter.reset()
+        server_transform(group, ciphertext, transform)
+        # 2 rows used + numerator over 2 authorities = 2*2 + 2 pairings.
+        assert group.counter.pairings == 6
+
+
+class TestSecurity:
+    def test_partial_alone_does_not_reveal_message(self, world):
+        deployment, public, keys, message, ciphertext = world
+        group = deployment.scheme.group
+        transform, _ = make_transform_key(group, public, keys)
+        partial = server_transform(group, ciphertext, transform)
+        # The server's best guess without z: divide C by the partial.
+        assert ciphertext.c / partial != message
+        assert partial != ciphertext.c / message  # i.e. blinding ≠ B itself
+
+    def test_wrong_retrieval_key_fails(self, world):
+        deployment, public, keys, message, ciphertext = world
+        group = deployment.scheme.group
+        transform, retrieval = make_transform_key(group, public, keys)
+        partial = server_transform(group, ciphertext, transform)
+        from repro.core.outsourcing import RetrievalKey
+
+        wrong = RetrievalKey(uid="u", z=retrieval.z + 1)
+        assert user_finalize(ciphertext, partial, wrong) != message
+
+    def test_transform_key_respects_policy(self, world):
+        """The server cannot transform ciphertexts the underlying key
+        does not satisfy."""
+        deployment, public, keys, message, ciphertext = world
+        group = deployment.scheme.group
+        other_ct = deployment.owner.encrypt(
+            deployment.scheme.random_message(),
+            "hospital:nurse AND trial:researcher",
+        )
+        transform, _ = make_transform_key(group, public, keys)
+        with pytest.raises(PolicyNotSatisfiedError):
+            server_transform(group, other_ct, transform)
+
+
+class TestApi:
+    def test_empty_keys_rejected(self, world):
+        deployment, public, keys, message, ciphertext = world
+        with pytest.raises(SchemeError):
+            make_transform_key(deployment.scheme.group, public, {})
+
+    def test_foreign_key_rejected(self, world):
+        deployment, public, keys, message, ciphertext = world
+        other_public, other_keys = deployment.add_user(
+            "w", hospital_attrs=["doctor"]
+        )
+        mixed = {"hospital": other_keys["hospital"], "trial": keys["trial"]}
+        with pytest.raises(SchemeError):
+            make_transform_key(deployment.scheme.group, public, mixed)
+
+    def test_version_discipline_still_enforced(self, world):
+        deployment, public, keys, message, ciphertext = world
+        group = deployment.scheme.group
+        transform, retrieval = make_transform_key(group, public, keys)
+        result = deployment.scheme.revoke("hospital", "u", ["doctor"])
+        ui = deployment.owner.update_info(ciphertext, result.update_key)
+        deployment.owner.apply_update_key(result.update_key)
+        updated = deployment.scheme.reencrypt(
+            ciphertext, result.update_key, ui
+        )
+        with pytest.raises(SchemeError, match="version"):
+            server_transform(group, updated, transform)

@@ -1,0 +1,130 @@
+"""Property-based end-to-end tests: random policies, random attribute sets.
+
+Hypothesis generates random AND/OR formulas over the attributes of two
+authorities plus a random attribute subset for the user; the oracle is
+plain boolean evaluation of the formula. Decryption must succeed exactly
+when the formula evaluates true (given the user holds a key from every
+involved authority — the scheme's structural requirement).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scheme import MultiAuthorityABE
+from repro.ec.params import TOY80
+from repro.errors import PolicyNotSatisfiedError
+from repro.policy.ast import And, Attribute, Or
+from repro.policy.parser import parse
+
+HOSPITAL_ATTRS = ["doctor", "nurse", "surgeon"]
+TRIAL_ATTRS = ["researcher", "pi"]
+UNIVERSE = [f"hospital:{a}" for a in HOSPITAL_ATTRS] + [
+    f"trial:{a}" for a in TRIAL_ATTRS
+]
+
+
+def _policies():
+    leaf = st.sampled_from(UNIVERSE).map(Attribute)
+
+    def extend(children):
+        pairs = st.lists(children, min_size=2, max_size=3)
+        return st.one_of(pairs.map(And), pairs.map(Or))
+
+    return st.recursive(leaf, extend, max_leaves=5)
+
+
+@pytest.fixture(scope="module")
+def world():
+    scheme = MultiAuthorityABE(TOY80, seed=90210)
+    hospital = scheme.setup_authority("hospital", HOSPITAL_ATTRS)
+    trial = scheme.setup_authority("trial", TRIAL_ATTRS)
+    owner = scheme.setup_owner("owner", [hospital, trial])
+    counter = [0]
+
+    def make_user(attribute_subset):
+        counter[0] += 1
+        uid = f"pu{counter[0]}"
+        public = scheme.register_user(uid)
+        hospital_held = [
+            name.split(":")[1]
+            for name in attribute_subset
+            if name.startswith("hospital:")
+        ]
+        trial_held = [
+            name.split(":")[1]
+            for name in attribute_subset
+            if name.startswith("trial:")
+        ]
+        keys = {}
+        # Always take a key from both authorities so the structural
+        # all-involved-authorities requirement never masks the policy
+        # check; keys may cover zero *useful* attributes.
+        keys["hospital"] = hospital.keygen(
+            public, hospital_held or ["nurse"], "owner"
+        )
+        if not hospital_held:
+            # strip the filler attribute so the held set is exact
+            keys["hospital"] = type(keys["hospital"])(
+                uid=keys["hospital"].uid,
+                aid="hospital",
+                owner_id="owner",
+                k=keys["hospital"].k,
+                attribute_keys={},
+                version=keys["hospital"].version,
+            )
+        keys["trial"] = trial.keygen(public, trial_held or ["pi"], "owner")
+        if not trial_held:
+            keys["trial"] = type(keys["trial"])(
+                uid=keys["trial"].uid,
+                aid="trial",
+                owner_id="owner",
+                k=keys["trial"].k,
+                attribute_keys={},
+                version=keys["trial"].version,
+            )
+        return public, keys
+
+    return scheme, owner, make_user
+
+
+@settings(max_examples=20, deadline=None)
+@given(policy=_policies(), membership=st.integers(0, 2 ** len(UNIVERSE) - 1))
+def test_decryption_matches_boolean_oracle(world, policy, membership):
+    scheme, owner, make_user = world
+    held = {
+        UNIVERSE[i] for i in range(len(UNIVERSE)) if membership >> i & 1
+    }
+    formula = parse(str(policy))
+    message = scheme.random_message()
+    ciphertext = owner.encrypt(
+        message, policy, require_injective_rho=False
+    )
+    public, keys = make_user(held)
+    if formula.evaluate(held):
+        assert scheme.decrypt(ciphertext, public, keys) == message
+    else:
+        with pytest.raises(PolicyNotSatisfiedError):
+            scheme.decrypt(ciphertext, public, keys)
+
+
+@settings(max_examples=10, deadline=None)
+@given(policy=_policies())
+def test_full_attribute_set_always_decrypts(world, policy):
+    scheme, owner, make_user = world
+    message = scheme.random_message()
+    ciphertext = owner.encrypt(message, policy, require_injective_rho=False)
+    public, keys = make_user(set(UNIVERSE))
+    assert scheme.decrypt(ciphertext, public, keys) == message
+
+
+@settings(max_examples=10, deadline=None)
+@given(policy=_policies())
+def test_empty_attribute_set_never_decrypts(world, policy):
+    scheme, owner, make_user = world
+    ciphertext = owner.encrypt(
+        scheme.random_message(), policy, require_injective_rho=False
+    )
+    public, keys = make_user(set())
+    with pytest.raises(PolicyNotSatisfiedError):
+        scheme.decrypt(ciphertext, public, keys)

@@ -1,0 +1,289 @@
+"""Attribute revocation: the paper's protocol, its efficiency claims,
+its known vulnerability, and the hardened variant."""
+
+import pytest
+
+from repro.core.authority import apply_update_key
+from repro.core.keys import UserSecretKey
+from repro.core.reencrypt import reencrypt, rows_touched
+from repro.core.revocation import rekey_hardened, rekey_standard, strip_uk2
+from repro.errors import (
+    PolicyNotSatisfiedError,
+    RevocationError,
+    SchemeError,
+)
+
+
+POLICY = "hospital:doctor AND trial:researcher"
+
+
+def _setup(deployment):
+    deployment.add_user("victim", hospital_attrs=["doctor", "nurse"],
+                        trial_attrs=["researcher"])
+    deployment.add_user("survivor", hospital_attrs=["doctor"],
+                        trial_attrs=["researcher"])
+    message = deployment.scheme.random_message()
+    ciphertext = deployment.owner.encrypt(message, POLICY)
+    return message, ciphertext
+
+
+def _run_standard_revocation(deployment, ciphertext):
+    """Revoke victim's doctor attribute; returns (result, new_ciphertext)."""
+    result = rekey_standard(deployment.hospital, "victim", ["doctor"])
+    update_key = result.update_key
+    update_info = deployment.owner.update_info(ciphertext, update_key)
+    deployment.owner.apply_update_key(update_key)
+    new_ciphertext = reencrypt(
+        deployment.scheme.group, ciphertext, update_key, update_info
+    )
+    deployment.owner.note_reencrypted(ciphertext.ciphertext_id, update_key)
+    # Victim gets its reduced key; survivor applies the update key.
+    if "alice" in result.revoked_user_keys:
+        deployment.user_keys["victim"]["hospital"] = result.revoked_user_keys[
+            "alice"
+        ]
+    deployment.user_keys["survivor"]["hospital"] = apply_update_key(
+        deployment.user_keys["survivor"]["hospital"], update_key
+    )
+    return result, new_ciphertext
+
+
+class TestStandardRevocation:
+    def test_revoked_user_loses_access_to_reencrypted_data(self, deployment):
+        message, ciphertext = _setup(deployment)
+        _, new_ciphertext = _run_standard_revocation(deployment, ciphertext)
+        with pytest.raises((PolicyNotSatisfiedError, SchemeError)):
+            deployment.decrypt(new_ciphertext, "victim")
+
+    def test_survivor_keeps_access(self, deployment):
+        message, ciphertext = _setup(deployment)
+        _, new_ciphertext = _run_standard_revocation(deployment, ciphertext)
+        assert deployment.decrypt(new_ciphertext, "survivor") == message
+
+    def test_revoked_user_keeps_unrevoked_attributes(self, deployment):
+        message, ciphertext = _setup(deployment)
+        _run_standard_revocation(deployment, ciphertext)
+        nurse_message = deployment.scheme.random_message()
+        nurse_ciphertext = deployment.owner.encrypt(
+            nurse_message, "hospital:nurse"
+        )
+        assert deployment.decrypt(nurse_ciphertext, "victim") == nurse_message
+
+    def test_new_user_reads_reencrypted_old_data(self, deployment):
+        """Backward compatibility: newly joined users decrypt pre-existing
+        (re-encrypted) ciphertexts."""
+        message, ciphertext = _setup(deployment)
+        _, new_ciphertext = _run_standard_revocation(deployment, ciphertext)
+        deployment.add_user("newbie", hospital_attrs=["doctor"],
+                            trial_attrs=["researcher"])
+        assert deployment.decrypt(new_ciphertext, "newbie") == message
+
+    def test_new_encryptions_blocked_for_revoked(self, deployment):
+        """Forward secrecy: data encrypted after revocation is unreadable
+        with the victim's reduced key."""
+        message, ciphertext = _setup(deployment)
+        _run_standard_revocation(deployment, ciphertext)
+        fresh = deployment.owner.encrypt(
+            deployment.scheme.random_message(), POLICY
+        )
+        with pytest.raises((PolicyNotSatisfiedError, SchemeError)):
+            deployment.decrypt(fresh, "victim")
+
+    def test_stale_key_version_detected(self, deployment):
+        message, ciphertext = _setup(deployment)
+        result, new_ciphertext = _run_standard_revocation(deployment, ciphertext)
+        # A user that never applied the update key gets a clear error.
+        deployment.add_user("laggard", hospital_attrs=["doctor"],
+                            trial_attrs=["researcher"])
+        stale = deployment.user_keys["laggard"]["hospital"]
+        stale_downgraded = UserSecretKey(
+            uid=stale.uid, aid=stale.aid, owner_id=stale.owner_id,
+            k=stale.k, attribute_keys=stale.attribute_keys, version=0,
+        )
+        deployment.user_keys["laggard"]["hospital"] = stale_downgraded
+        with pytest.raises(SchemeError, match="version"):
+            deployment.decrypt(new_ciphertext, "laggard")
+
+    def test_sequential_revocations_chain(self, deployment):
+        message, ciphertext = _setup(deployment)
+        _, ciphertext_v1 = _run_standard_revocation(deployment, ciphertext)
+        # Second revocation at the same authority: survivor loses doctor.
+        result2 = rekey_standard(deployment.hospital, "survivor", ["doctor"])
+        update_key2 = result2.update_key
+        update_info2 = deployment.owner.update_info(ciphertext_v1, update_key2)
+        deployment.owner.apply_update_key(update_key2)
+        ciphertext_v2 = reencrypt(
+            deployment.scheme.group, ciphertext_v1, update_key2, update_info2
+        )
+        deployment.owner.note_reencrypted(
+            ciphertext_v1.ciphertext_id, update_key2
+        )
+        assert ciphertext_v2.version_of("hospital") == 2
+        with pytest.raises((PolicyNotSatisfiedError, SchemeError)):
+            deployment.decrypt(ciphertext_v2, "survivor")
+        # A fresh doctor can still read.
+        deployment.add_user("fresh", hospital_attrs=["doctor"],
+                            trial_attrs=["researcher"])
+        assert deployment.decrypt(ciphertext_v2, "fresh") == message
+
+    def test_unaffected_authority_rows_untouched(self, deployment):
+        message, ciphertext = _setup(deployment)
+        _, new_ciphertext = _run_standard_revocation(deployment, ciphertext)
+        labels = ciphertext.matrix.row_labels
+        for index, label in enumerate(labels):
+            if label.startswith("trial:"):
+                assert new_ciphertext.c_rows[index] == ciphertext.c_rows[index]
+            else:
+                assert new_ciphertext.c_rows[index] != ciphertext.c_rows[index]
+        assert new_ciphertext.c_prime == ciphertext.c_prime
+
+    def test_rows_touched_counts_partial_update(self, deployment):
+        _, ciphertext = _setup(deployment)
+        assert rows_touched(ciphertext, "hospital") == 1
+        assert rows_touched(ciphertext, "trial") == 1
+        assert rows_touched(ciphertext, "nasa") == 0
+
+
+class TestUpdateKeyHandling:
+    def test_apply_update_key_wrong_aid(self, deployment):
+        _setup(deployment)
+        result = rekey_standard(deployment.hospital, "victim", ["doctor"])
+        trial_key = deployment.user_keys["survivor"]["trial"]
+        with pytest.raises(RevocationError):
+            apply_update_key(trial_key, result.update_key)
+
+    def test_apply_update_key_wrong_version(self, deployment):
+        _setup(deployment)
+        result = rekey_standard(deployment.hospital, "victim", ["doctor"])
+        updated = apply_update_key(
+            deployment.user_keys["survivor"]["hospital"], result.update_key
+        )
+        with pytest.raises(RevocationError):
+            apply_update_key(updated, result.update_key)  # double-apply
+
+    def test_update_info_version_discipline(self, deployment):
+        message, ciphertext = _setup(deployment)
+        result = rekey_standard(deployment.hospital, "victim", ["doctor"])
+        deployment.owner.apply_update_key(result.update_key)
+        # After rolling forward, old-version UI can no longer be built.
+        with pytest.raises(RevocationError):
+            deployment.owner.update_info(ciphertext, result.update_key)
+
+    def test_reencrypt_rejects_mismatched_inputs(self, deployment):
+        message, ciphertext = _setup(deployment)
+        result = rekey_standard(deployment.hospital, "victim", ["doctor"])
+        update_info = deployment.owner.update_info(ciphertext, result.update_key)
+        group = deployment.scheme.group
+        other = deployment.owner.encrypt(
+            deployment.scheme.random_message(), POLICY
+        )
+        with pytest.raises(RevocationError, match="targets"):
+            reencrypt(group, other, result.update_key, update_info)
+
+    def test_reencrypt_is_idempotence_guarded(self, deployment):
+        message, ciphertext = _setup(deployment)
+        result = rekey_standard(deployment.hospital, "victim", ["doctor"])
+        update_info = deployment.owner.update_info(ciphertext, result.update_key)
+        group = deployment.scheme.group
+        updated = reencrypt(group, ciphertext, result.update_key, update_info)
+        with pytest.raises(RevocationError, match="version"):
+            reencrypt(group, updated, result.update_key, update_info)
+
+
+class TestKnownVulnerability:
+    def test_revoked_user_with_uk2_regains_capability(self, deployment):
+        """Documents the published flaw: UK2 = α̃/α is broadcast to all
+        non-revoked users; a revoked user who obtains it (collusion with
+        any survivor or the server) can roll its *old* key forward and
+        decrypt again. This test asserts the attack WORKS against the
+        paper's protocol — it is reproduced, not fixed."""
+        message, ciphertext = _setup(deployment)
+        old_victim_key = deployment.user_keys["victim"]["hospital"]
+        result, new_ciphertext = _run_standard_revocation(deployment, ciphertext)
+        leaked_uk2 = result.update_key.uk2        # from any survivor
+        leaked_uk1 = result.update_key.uk1["alice"]
+        forged = UserSecretKey(
+            uid=old_victim_key.uid,
+            aid=old_victim_key.aid,
+            owner_id=old_victim_key.owner_id,
+            k=old_victim_key.k * leaked_uk1,
+            attribute_keys={
+                name: element ** leaked_uk2
+                for name, element in old_victim_key.attribute_keys.items()
+            },
+            version=result.update_key.to_version,
+        )
+        deployment.user_keys["victim"]["hospital"] = forged
+        assert deployment.decrypt(new_ciphertext, "victim") == message
+
+
+class TestHardenedVariant:
+    def test_survivors_get_reissued_keys(self, deployment):
+        message, ciphertext = _setup(deployment)
+        result = rekey_hardened(deployment.hospital, "victim", ["doctor"])
+        assert result.is_hardened
+        assert ("survivor", "alice") in result.reissued_keys
+        assert ("victim", "alice") not in result.reissued_keys
+
+    def test_hardened_end_to_end(self, deployment):
+        message, ciphertext = _setup(deployment)
+        result = rekey_hardened(deployment.hospital, "victim", ["doctor"])
+        update_key = result.update_key
+        update_info = deployment.owner.update_info(ciphertext, update_key)
+        deployment.owner.apply_update_key(update_key)
+        server_key = strip_uk2(update_key)
+        new_ciphertext = reencrypt(
+            deployment.scheme.group, ciphertext, server_key, update_info
+        )
+        deployment.user_keys["survivor"]["hospital"] = result.reissued_keys[
+            ("survivor", "alice")
+        ]
+        deployment.user_keys["victim"]["hospital"] = result.revoked_user_keys[
+            "alice"
+        ]
+        assert deployment.decrypt(new_ciphertext, "survivor") == message
+        with pytest.raises((PolicyNotSatisfiedError, SchemeError)):
+            deployment.decrypt(new_ciphertext, "victim")
+
+    def test_hardened_variant_blocks_the_published_attack(self, deployment):
+        """Replay of TestKnownVulnerability against the hardened flow:
+        the revoked user's best leak is the server's view (UK1 only,
+        UK2 stripped to 1), and the forged key no longer decrypts."""
+        message, ciphertext = _setup(deployment)
+        old_victim_key = deployment.user_keys["victim"]["hospital"]
+        result = rekey_hardened(deployment.hospital, "victim", ["doctor"])
+        update_key = result.update_key
+        update_info = deployment.owner.update_info(ciphertext, update_key)
+        deployment.owner.apply_update_key(update_key)
+        server_view = strip_uk2(update_key)
+        new_ciphertext = reencrypt(
+            deployment.scheme.group, ciphertext, server_view, update_info
+        )
+        # The attacker colludes with the server: it gets UK1 and uk2=1.
+        forged = UserSecretKey(
+            uid=old_victim_key.uid,
+            aid=old_victim_key.aid,
+            owner_id=old_victim_key.owner_id,
+            k=old_victim_key.k * server_view.uk1["alice"],
+            attribute_keys={
+                name: element ** server_view.uk2   # uk2 == 1: no-op
+                for name, element in old_victim_key.attribute_keys.items()
+            },
+            version=server_view.to_version,
+        )
+        deployment.user_keys["victim"]["hospital"] = forged
+        result_message = None
+        try:
+            result_message = deployment.decrypt(new_ciphertext, "victim")
+        except (PolicyNotSatisfiedError, SchemeError):
+            pass
+        assert result_message != message
+
+    def test_strip_uk2_neutralizes_ratio(self, deployment):
+        _setup(deployment)
+        result = rekey_standard(deployment.hospital, "victim", ["doctor"])
+        stripped = strip_uk2(result.update_key)
+        assert stripped.uk2 == 1
+        assert stripped.uk1 == result.update_key.uk1
+        # The attack of TestKnownVulnerability needs the real ratio.
+        assert result.update_key.uk2 != 1

@@ -1,0 +1,53 @@
+"""Larger-shape correctness: many authorities, many attributes, one run.
+
+Not a benchmark — one deterministic end-to-end pass at a size the unit
+tests never reach (8 authorities × 6 attributes, 48 LSSS rows), to catch
+anything that only breaks at scale (index bookkeeping, matrix width,
+coefficient pruning).
+"""
+
+from repro.analysis.timing import and_policy, build_ours
+from repro.ec.params import TOY80
+
+
+class TestScale:
+    def test_large_all_and_roundtrip(self):
+        workload = build_ours(TOY80, 8, 6, seed=99)
+        ciphertext = workload.encrypt()
+        assert ciphertext.n_rows == 48
+        assert len(ciphertext.involved_aids) == 8
+        assert workload.decrypt(ciphertext) == workload.message
+
+    def test_large_mixed_policy(self):
+        workload = build_ours(TOY80, 6, 4, seed=98)
+        aids = [f"aa{k}" for k in range(6)]
+        # A wide OR of per-authority AND clauses; the user holds all
+        # attributes, so the reconstruction picks one branch.
+        clauses = [
+            "(" + " AND ".join(f"{aid}:attr{i}" for i in range(4)) + ")"
+            for aid in aids
+        ]
+        policy = " OR ".join(clauses)
+        message = workload.group.random_gt()
+        ciphertext = workload.owner.encrypt(message, policy)
+        assert ciphertext.n_rows == 24
+        from repro.core.decrypt import decrypt
+
+        recovered = decrypt(
+            workload.group, ciphertext, workload.user_public_key,
+            workload.secret_keys,
+        )
+        assert recovered == message
+
+    def test_coefficients_prune_unused_branches(self):
+        workload = build_ours(TOY80, 4, 3, seed=97)
+        aids = [f"aa{k}" for k in range(4)]
+        policy = " OR ".join(f"{aid}:attr0" for aid in aids)
+        ciphertext = workload.owner.encrypt(
+            workload.group.random_gt(), policy
+        )
+        weights = ciphertext.matrix.reconstruction_coefficients(
+            {f"{aid}:attr0" for aid in aids}, workload.group.order
+        )
+        # OR: a single row suffices; the solver must not use all four.
+        assert len(weights) == 1

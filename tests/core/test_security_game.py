@@ -1,0 +1,171 @@
+"""Tests for the executable Section III-B security game."""
+
+import pytest
+
+from repro.core.security_game import (
+    GameError,
+    SecurityGame,
+    empirical_advantage,
+)
+from repro.ec.params import TOY80
+
+LAYOUT = {"h": ["doctor", "nurse"], "t": ["researcher", "pi"]}
+CHALLENGE_POLICY = "h:doctor AND t:researcher"
+
+
+def fresh_game(corrupted=(), seed=11):
+    return SecurityGame.setup(TOY80, LAYOUT, corrupted, seed=seed)
+
+
+class TestSetup:
+    def test_public_view_covers_all_authorities(self):
+        game = fresh_game()
+        view = game.public_view()
+        assert set(view) == {"h", "t"}
+
+    def test_corrupted_view_exposes_secret_state(self):
+        game = fresh_game(corrupted={"t"})
+        view = game.corrupted_view()
+        assert set(view) == {"t"}
+        assert view["t"].version_key.alpha >= 1
+        assert "owner" in view["t"].owner_secrets
+
+    def test_cannot_corrupt_everything(self):
+        with pytest.raises(GameError):
+            fresh_game(corrupted={"h", "t"})
+
+    def test_cannot_corrupt_unknown(self):
+        with pytest.raises(GameError):
+            fresh_game(corrupted={"nasa"})
+
+
+class TestQueryDiscipline:
+    def test_legal_queries_allowed(self):
+        game = fresh_game()
+        key = game.secret_key_query("adv", "h", ["doctor"])
+        assert key.attributes == frozenset({"h:doctor"})
+        # A nurse key for the same user is also fine (still cannot
+        # decrypt doctor AND researcher).
+        game.secret_key_query("adv", "h", ["nurse"])
+
+    def test_query_to_corrupted_authority_rejected(self):
+        game = fresh_game(corrupted={"t"})
+        with pytest.raises(GameError, match="corrupted"):
+            game.secret_key_query("adv", "t", ["researcher"])
+
+    def test_phase2_query_completing_decryption_rejected(self):
+        game = fresh_game()
+        game.secret_key_query("adv", "h", ["doctor"])
+        game.challenge(
+            game.group.random_gt(), game.group.random_gt(),
+            CHALLENGE_POLICY,
+        )
+        with pytest.raises(GameError, match="rejected"):
+            game.secret_key_query("adv", "t", ["researcher"])
+
+    def test_phase2_query_for_other_user_allowed(self):
+        game = fresh_game()
+        game.secret_key_query("adv", "h", ["doctor"])
+        game.challenge(
+            game.group.random_gt(), game.group.random_gt(),
+            CHALLENGE_POLICY,
+        )
+        # Different UID: its combined set is just t:researcher — legal.
+        game.secret_key_query("other", "t", ["researcher"])
+        with pytest.raises(GameError):
+            game.secret_key_query("other", "h", ["doctor"])
+
+    def test_corrupted_rows_count_toward_constraint(self):
+        game = fresh_game(corrupted={"t"})
+        # t:researcher rows come free with corruption; asking for
+        # h:doctor would complete the challenge structure.
+        game.challenge(
+            game.group.random_gt(), game.group.random_gt(),
+            CHALLENGE_POLICY,
+        )
+        with pytest.raises(GameError, match="rejected"):
+            game.secret_key_query("adv", "h", ["doctor"])
+
+
+class TestChallengeDiscipline:
+    def test_challenge_decryptable_by_prior_queries_rejected(self):
+        game = fresh_game()
+        game.secret_key_query("adv", "h", ["doctor"])
+        game.secret_key_query("adv", "t", ["researcher"])
+        with pytest.raises(GameError, match="illegal challenge"):
+            game.challenge(
+                game.group.random_gt(), game.group.random_gt(),
+                CHALLENGE_POLICY,
+            )
+
+    def test_challenge_decryptable_by_corruption_alone_rejected(self):
+        game = fresh_game(corrupted={"t"})
+        with pytest.raises(GameError, match="corrupted authorities alone"):
+            game.challenge(
+                game.group.random_gt(), game.group.random_gt(),
+                "t:researcher",
+            )
+
+    def test_double_challenge_rejected(self):
+        game = fresh_game()
+        args = (game.group.random_gt(), game.group.random_gt(),
+                CHALLENGE_POLICY)
+        game.challenge(*args)
+        with pytest.raises(GameError):
+            game.challenge(*args)
+
+    def test_guess_requires_challenge(self):
+        game = fresh_game()
+        with pytest.raises(GameError):
+            game.guess(0)
+
+    def test_guess_ends_game(self):
+        game = fresh_game()
+        game.challenge(
+            game.group.random_gt(), game.group.random_gt(),
+            CHALLENGE_POLICY,
+        )
+        game.guess(0)
+        with pytest.raises(GameError):
+            game.guess(1)
+
+
+class TestAdvantage:
+    def test_guessing_adversary_has_no_advantage(self):
+        """A coin-flipping adversary wins ~half its games. 60 trials
+        bound the deviation well below 0.2 with overwhelming margin."""
+
+        def adversary(game, trial):
+            game.challenge(
+                game.group.random_gt(), game.group.random_gt(),
+                CHALLENGE_POLICY,
+            )
+            return trial % 2
+
+        advantage = empirical_advantage(
+            TOY80, adversary, trials=60,
+            authority_layout=LAYOUT, corrupted=frozenset(),
+        )
+        assert advantage < 0.2
+
+    def test_cheating_adversary_wins_outside_the_game(self):
+        """Sanity: an adversary with a *legitimately issued* satisfying
+        key (outside the game's constraints) distinguishes perfectly —
+        i.e. the game's constraint is exactly what forbids this."""
+        game = fresh_game(seed=77)
+        public = game.user_public_key("cheat")
+        # Mint the keys directly at the authorities, bypassing the
+        # challenger's query filter (simulating a broken challenger).
+        keys = {
+            "h": game.authorities["h"].keygen(public, ["doctor"], "owner"),
+            "t": game.authorities["t"].keygen(public, ["researcher"],
+                                              "owner"),
+        }
+        m0 = game.group.random_gt()
+        m1 = game.group.random_gt()
+        ciphertext = game.challenge(m0, m1, CHALLENGE_POLICY)
+        from repro.core.decrypt import decrypt
+
+        recovered = decrypt(game.group, ciphertext, public, keys)
+        bit = 1 if recovered == m1 else 0
+        assert game.guess(bit)

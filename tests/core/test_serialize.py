@@ -1,0 +1,157 @@
+"""Round-trip tests for key wire formats."""
+
+import pytest
+
+from repro.core import serialize
+from repro.core.revocation import rekey_standard
+from repro.errors import SchemeError
+
+
+@pytest.fixture()
+def material(deployment):
+    """One of everything that serializes."""
+    public, keys = deployment.add_user(
+        "u", hospital_attrs=["doctor", "nurse"], trial_attrs=["researcher"]
+    )
+    ciphertext = deployment.owner.encrypt(
+        deployment.scheme.random_message(),
+        "hospital:doctor AND trial:researcher",
+    )
+    result = rekey_standard(deployment.hospital, "u", ["nurse"])
+    update_info = deployment.owner.update_info(ciphertext, result.update_key)
+    return {
+        "group": deployment.scheme.group,
+        "user_public": public,
+        "user_secret": keys["hospital"],
+        "owner_secret": deployment.owner.secret_key,
+        "authority_public": deployment.trial.authority_public_key(),
+        "attribute_public": deployment.trial.public_attribute_keys(),
+        "update_key": result.update_key,
+        "update_info": update_info,
+    }
+
+
+class TestRoundTrips:
+    def test_user_public_key(self, material):
+        group = material["group"]
+        data = serialize.encode_user_public_key(material["user_public"])
+        decoded = serialize.decode_user_public_key(group, data)
+        assert decoded == material["user_public"]
+
+    def test_user_secret_key(self, material):
+        group = material["group"]
+        original = material["user_secret"]
+        decoded = serialize.decode_user_secret_key(
+            group, serialize.encode_user_secret_key(original)
+        )
+        assert decoded == original
+
+    def test_owner_secret_key(self, material):
+        group = material["group"]
+        original = material["owner_secret"]
+        decoded = serialize.decode_owner_secret_key(
+            group, serialize.encode_owner_secret_key(group, original)
+        )
+        assert decoded == original
+
+    def test_authority_public_key(self, material):
+        group = material["group"]
+        original = material["authority_public"]
+        decoded = serialize.decode_authority_public_key(
+            group, serialize.encode_authority_public_key(original)
+        )
+        assert decoded == original
+
+    def test_public_attribute_keys(self, material):
+        group = material["group"]
+        original = material["attribute_public"]
+        decoded = serialize.decode_public_attribute_keys(
+            group, serialize.encode_public_attribute_keys(original)
+        )
+        assert decoded.aid == original.aid
+        assert decoded.version == original.version
+        assert decoded.elements == original.elements
+
+    def test_update_key(self, material):
+        group = material["group"]
+        original = material["update_key"]
+        decoded = serialize.decode_update_key(
+            group, serialize.encode_update_key(group, original)
+        )
+        assert decoded.aid == original.aid
+        assert decoded.uk1 == original.uk1
+        assert decoded.uk2 == original.uk2
+        assert (decoded.from_version, decoded.to_version) == (
+            original.from_version, original.to_version,
+        )
+
+    def test_update_info(self, material):
+        group = material["group"]
+        original = material["update_info"]
+        decoded = serialize.decode_update_info(
+            group, serialize.encode_update_info(original)
+        )
+        assert decoded == original
+
+
+class TestDecodedKeysStillWork:
+    def test_decrypt_with_deserialized_keys(self, deployment):
+        public, keys = deployment.add_user(
+            "w", hospital_attrs=["doctor"], trial_attrs=["researcher"]
+        )
+        message = deployment.scheme.random_message()
+        ciphertext = deployment.owner.encrypt(
+            message, "hospital:doctor AND trial:researcher"
+        )
+        group = deployment.scheme.group
+        revived = {
+            aid: serialize.decode_user_secret_key(
+                group, serialize.encode_user_secret_key(key)
+            )
+            for aid, key in keys.items()
+        }
+        revived_public = serialize.decode_user_public_key(
+            group, serialize.encode_user_public_key(public)
+        )
+        assert deployment.scheme.decrypt(
+            ciphertext, revived_public, revived
+        ) == message
+
+
+class TestMalformedInputs:
+    def test_truncated(self, material):
+        group = material["group"]
+        data = serialize.encode_user_secret_key(material["user_secret"])
+        with pytest.raises(SchemeError):
+            serialize.decode_user_secret_key(group, data[:-3])
+        with pytest.raises(SchemeError):
+            serialize.decode_user_secret_key(group, b"\x00\x00")
+
+    def test_wrong_kind_rejected(self, material):
+        group = material["group"]
+        data = serialize.encode_user_public_key(material["user_public"])
+        with pytest.raises(SchemeError, match="not a user secret key"):
+            serialize.decode_user_secret_key(group, data)
+        with pytest.raises(SchemeError, match="not an update key"):
+            serialize.decode_update_key(group, data)
+
+    def test_garbage_header_rejected(self, material):
+        group = material["group"]
+        bogus = (10).to_bytes(4, "big") + b"not-json!!" + b"\x00" * 8
+        with pytest.raises(SchemeError, match="malformed"):
+            serialize.decode_user_public_key(group, bogus)
+
+    @pytest.mark.parametrize(
+        "decoder",
+        [
+            serialize.decode_owner_secret_key,
+            serialize.decode_authority_public_key,
+            serialize.decode_update_info,
+            serialize.decode_public_attribute_keys,
+        ],
+    )
+    def test_cross_kind_rejection(self, material, decoder):
+        group = material["group"]
+        data = serialize.encode_user_public_key(material["user_public"])
+        with pytest.raises(SchemeError):
+            decoder(group, data)

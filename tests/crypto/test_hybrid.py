@@ -1,0 +1,37 @@
+"""Tests for the KEM/DEM glue."""
+
+import pytest
+
+from repro.crypto.hybrid import content_key_for, open_sealed, seal
+from repro.errors import IntegrityError
+
+
+class TestHybrid:
+    def test_roundtrip(self, group):
+        session = group.random_gt()
+        body = seal(session, "rec/c", b"payload")
+        assert open_sealed(session, "rec/c", body) == b"payload"
+
+    def test_wrong_session_rejected(self, group):
+        session = group.random_gt()
+        other = group.random_gt()
+        body = seal(session, "rec/c", b"payload")
+        with pytest.raises(IntegrityError):
+            open_sealed(other, "rec/c", body)
+
+    def test_wrong_context_rejected(self, group):
+        session = group.random_gt()
+        body = seal(session, "rec/c", b"payload")
+        with pytest.raises(IntegrityError):
+            open_sealed(session, "rec/other", body)
+
+    def test_content_key_binds_both_inputs(self, group):
+        session = group.random_gt()
+        other = group.random_gt()
+        assert content_key_for(session, "a") != content_key_for(session, "b")
+        assert content_key_for(session, "a") != content_key_for(other, "a")
+        assert len(content_key_for(session, "a")) == 32
+
+    def test_deterministic_key_derivation(self, group):
+        session = group.random_gt()
+        assert content_key_for(session, "x") == content_key_for(session, "x")

@@ -1,0 +1,67 @@
+"""Tests for HKDF, including the RFC 5869 SHA-256 test vector."""
+
+import pytest
+
+from repro.crypto.kdf import derive_content_key, hkdf, hkdf_expand, hkdf_extract
+
+
+class TestRfc5869Vectors:
+    def test_case_1(self):
+        ikm = bytes.fromhex("0b" * 22)
+        salt = bytes.fromhex("000102030405060708090a0b0c")
+        info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+        prk = hkdf_extract(salt, ikm)
+        assert prk == bytes.fromhex(
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        )
+        okm = hkdf_expand(prk, info, 42)
+        assert okm == bytes.fromhex(
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865"
+        )
+
+    def test_case_3_empty_salt_and_info(self):
+        ikm = bytes.fromhex("0b" * 22)
+        prk = hkdf_extract(b"", ikm)
+        assert prk == bytes.fromhex(
+            "19ef24a32c717b167f33a91d6f648bdf96596776afdb6377ac434c1c293ccb04"
+        )
+        okm = hkdf_expand(prk, b"", 42)
+        assert okm == bytes.fromhex(
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8"
+        )
+
+
+class TestHkdfApi:
+    def test_requested_length(self):
+        for length in (1, 16, 32, 33, 64, 255):
+            assert len(hkdf(b"key", b"info", length)) == length
+
+    def test_too_long_raises(self):
+        with pytest.raises(ValueError):
+            hkdf_expand(b"\x00" * 32, b"", 255 * 32 + 1)
+
+    def test_info_separates_outputs(self):
+        assert hkdf(b"k", b"a", 32) != hkdf(b"k", b"b", 32)
+
+    def test_salt_changes_output(self):
+        assert hkdf(b"k", b"i", 32, salt=b"s1") != hkdf(b"k", b"i", 32, salt=b"s2")
+
+    def test_deterministic(self):
+        assert hkdf(b"k", b"i", 32) == hkdf(b"k", b"i", 32)
+
+
+class TestContentKeyDerivation:
+    def test_length_and_determinism(self):
+        key = derive_content_key(b"session-bytes", b"ctx")
+        assert len(key) == 32
+        assert key == derive_content_key(b"session-bytes", b"ctx")
+
+    def test_context_separation(self):
+        assert derive_content_key(b"s", b"record/a") != derive_content_key(
+            b"s", b"record/b"
+        )
+
+    def test_session_separation(self):
+        assert derive_content_key(b"s1") != derive_content_key(b"s2")

@@ -1,0 +1,113 @@
+"""Tests for the authenticated DEM (SHA-256-CTR + HMAC)."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.symmetric import (
+    KEY_LEN,
+    SymmetricCiphertext,
+    decrypt,
+    encrypt,
+    generate_content_key,
+)
+from repro.errors import IntegrityError
+
+KEY = bytes(range(32))
+OTHER_KEY = bytes(range(1, 33))
+
+
+class TestRoundTrip:
+    @given(st.binary(max_size=4096))
+    def test_roundtrip(self, plaintext):
+        assert decrypt(KEY, encrypt(KEY, plaintext)) == plaintext
+
+    def test_empty_plaintext(self):
+        assert decrypt(KEY, encrypt(KEY, b"")) == b""
+
+    def test_large_plaintext(self):
+        data = bytes(random.Random(1).getrandbits(8) for _ in range(100_000))
+        assert decrypt(KEY, encrypt(KEY, data)) == data
+
+    def test_fixed_nonce_is_deterministic(self):
+        nonce = b"\x01" * 16
+        assert (
+            encrypt(KEY, b"data", nonce).to_bytes()
+            == encrypt(KEY, b"data", nonce).to_bytes()
+        )
+
+    def test_fresh_nonce_randomizes(self):
+        assert encrypt(KEY, b"data").to_bytes() != encrypt(KEY, b"data").to_bytes()
+
+
+class TestSecurityProperties:
+    def test_ciphertext_differs_from_plaintext(self):
+        plaintext = b"top secret medical record" * 10
+        assert encrypt(KEY, plaintext).body != plaintext
+
+    def test_wrong_key_rejected(self):
+        ct = encrypt(KEY, b"hello")
+        with pytest.raises(IntegrityError):
+            decrypt(OTHER_KEY, ct)
+
+    @given(st.binary(min_size=1, max_size=128), st.integers(0, 10**6))
+    def test_tampered_body_rejected(self, plaintext, position_seed):
+        ct = encrypt(KEY, plaintext)
+        position = position_seed % len(ct.body)
+        tampered_body = bytearray(ct.body)
+        tampered_body[position] ^= 0x01
+        tampered = SymmetricCiphertext(
+            nonce=ct.nonce, body=bytes(tampered_body), tag=ct.tag
+        )
+        with pytest.raises(IntegrityError):
+            decrypt(KEY, tampered)
+
+    def test_tampered_nonce_rejected(self):
+        ct = encrypt(KEY, b"payload")
+        tampered = SymmetricCiphertext(
+            nonce=bytes(b ^ 1 for b in ct.nonce), body=ct.body, tag=ct.tag
+        )
+        with pytest.raises(IntegrityError):
+            decrypt(KEY, tampered)
+
+    def test_tampered_tag_rejected(self):
+        ct = encrypt(KEY, b"payload")
+        tampered = SymmetricCiphertext(
+            nonce=ct.nonce, body=ct.body, tag=bytes(b ^ 1 for b in ct.tag)
+        )
+        with pytest.raises(IntegrityError):
+            decrypt(KEY, tampered)
+
+
+class TestApi:
+    def test_wrong_key_length_raises(self):
+        with pytest.raises(ValueError):
+            encrypt(b"short", b"x")
+
+    def test_wrong_nonce_length_raises(self):
+        with pytest.raises(ValueError):
+            encrypt(KEY, b"x", nonce=b"short")
+
+    @given(st.binary(max_size=256))
+    def test_wire_format_roundtrip(self, plaintext):
+        ct = encrypt(KEY, plaintext)
+        parsed = SymmetricCiphertext.from_bytes(ct.to_bytes())
+        assert decrypt(KEY, parsed) == plaintext
+
+    def test_from_bytes_too_short(self):
+        with pytest.raises(IntegrityError):
+            SymmetricCiphertext.from_bytes(b"\x00" * 10)
+
+    def test_len_accounts_overhead(self):
+        ct = encrypt(KEY, b"1234")
+        assert len(ct) == 16 + 4 + 32
+
+    def test_generate_content_key(self):
+        assert len(generate_content_key()) == KEY_LEN
+        rng = random.Random(5)
+        a = generate_content_key(rng)
+        b = generate_content_key(random.Random(5))
+        assert a == b
+        assert generate_content_key() != generate_content_key()

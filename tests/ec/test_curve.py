@@ -1,0 +1,145 @@
+"""Tests for the supersingular curve group law."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ec.curve import INFINITY, SupersingularCurve
+from repro.ec.params import TOY80
+from repro.errors import MathError, ParameterError
+from repro.math.field import PrimeField
+
+FIELD = PrimeField(TOY80.p, check_prime=False)
+CURVE = SupersingularCurve(FIELD)
+G = TOY80.generator
+R = TOY80.r
+
+scalars = st.integers(1, R - 1)
+
+
+def mul(k):
+    return CURVE.mul(G, k)
+
+
+class TestConstruction:
+    def test_requires_3_mod_4(self):
+        with pytest.raises(ParameterError):
+            SupersingularCurve(PrimeField(13))
+
+    def test_generator_on_curve(self):
+        assert CURVE.is_on_curve(G)
+
+    def test_check_rejects_off_curve(self):
+        with pytest.raises(MathError):
+            CURVE.check((1, 1))
+
+    def test_infinity_on_curve(self):
+        assert CURVE.is_on_curve(INFINITY)
+
+
+class TestGroupLaw:
+    @given(scalars, scalars)
+    def test_add_commutative(self, a, b):
+        assert CURVE.add(mul(a), mul(b)) == CURVE.add(mul(b), mul(a))
+
+    @given(scalars, scalars, scalars)
+    def test_add_associative(self, a, b, c):
+        left = CURVE.add(CURVE.add(mul(a), mul(b)), mul(c))
+        right = CURVE.add(mul(a), CURVE.add(mul(b), mul(c)))
+        assert left == right
+
+    @given(scalars)
+    def test_identity(self, a):
+        point = mul(a)
+        assert CURVE.add(point, INFINITY) == point
+        assert CURVE.add(INFINITY, point) == point
+
+    @given(scalars)
+    def test_inverse(self, a):
+        point = mul(a)
+        assert CURVE.add(point, CURVE.neg(point)) is INFINITY
+
+    @given(scalars)
+    def test_double_matches_add(self, a):
+        point = mul(a)
+        assert CURVE.double(point) == CURVE.add(point, point)
+
+    @given(scalars, scalars)
+    def test_mul_homomorphism(self, a, b):
+        assert CURVE.add(mul(a), mul(b)) == mul((a + b) % R)
+
+    @given(scalars)
+    def test_results_stay_on_curve(self, a):
+        assert CURVE.is_on_curve(mul(a))
+
+    def test_generator_has_order_r(self):
+        assert CURVE.mul(G, R) is INFINITY
+        assert CURVE.mul(G, 1) == G
+
+    @given(scalars)
+    def test_negative_scalar(self, a):
+        assert CURVE.mul(G, -a) == CURVE.neg(mul(a))
+
+    def test_mul_zero(self):
+        assert CURVE.mul(G, 0) is INFINITY
+        assert CURVE.mul(INFINITY, 12345) is INFINITY
+
+    @given(scalars)
+    def test_sub(self, a):
+        assert CURVE.sub(mul(a), mul(a)) is INFINITY
+
+
+class TestPointConstruction:
+    def test_lift_x_roundtrip(self):
+        x, y = G
+        lifted = CURVE.lift_x(x, parity=y % 2)
+        assert lifted == G
+
+    def test_lift_x_other_parity_is_negation(self):
+        x, y = G
+        lifted = CURVE.lift_x(x, parity=(y + 1) % 2)
+        assert lifted == CURVE.neg(G)
+
+    def test_lift_x_non_residue_returns_none(self):
+        found_none = any(
+            CURVE.lift_x(x) is None for x in range(2, 200)
+        )
+        assert found_none
+
+    def test_random_point_on_curve(self):
+        rng = random.Random(4)
+        for _ in range(10):
+            assert CURVE.is_on_curve(CURVE.random_point(rng))
+
+    @given(st.integers(0, R - 1))
+    def test_jacobian_mul_matches_affine_reference(self, scalar):
+        """The Jacobian fast path must agree with plain affine
+        double-and-add for every scalar."""
+        def affine_mul(point, k):
+            result = INFINITY
+            addend = point
+            while k:
+                if k & 1:
+                    result = CURVE.add(result, addend)
+                addend = CURVE.double(addend)
+                k >>= 1
+            return result
+
+        assert CURVE.mul(G, scalar) == affine_mul(G, scalar)
+
+    def test_jacobian_handles_add_to_negation(self):
+        # Scalar path that forces the H == 0, r != 0 branch cannot occur
+        # for prime-order points, but near-order scalars stress the
+        # doubling-heavy paths.
+        for scalar in (R - 1, R - 2, (R + 1) // 2):
+            assert CURVE.is_on_curve(CURVE.mul(G, scalar))
+            assert CURVE.add(CURVE.mul(G, R - 1), G) is INFINITY
+
+    def test_full_group_order(self):
+        # #E(F_p) = p + 1 for this supersingular family: any point killed
+        # by p + 1.
+        rng = random.Random(5)
+        point = CURVE.random_point(rng)
+        assert CURVE.mul(point, TOY80.p + 1) is INFINITY

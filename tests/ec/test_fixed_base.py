@@ -1,0 +1,65 @@
+"""The fixed-base table must agree with plain double-and-add everywhere."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ec.curve import INFINITY, SupersingularCurve
+from repro.ec.fixed_base import FixedBaseTable
+from repro.ec.params import TOY80
+from repro.math.field import PrimeField
+
+FIELD = PrimeField(TOY80.p, check_prime=False)
+CURVE = SupersingularCurve(FIELD)
+TABLE = FixedBaseTable(CURVE, TOY80.generator, TOY80.r)
+
+
+class TestCorrectness:
+    @given(st.integers(0, TOY80.r - 1))
+    def test_matches_double_and_add(self, scalar):
+        assert TABLE.multiply(scalar) == CURVE.mul(TOY80.generator, scalar)
+
+    def test_zero(self):
+        assert TABLE.multiply(0) is INFINITY
+
+    def test_one(self):
+        assert TABLE.multiply(1) == TOY80.generator
+
+    def test_order_kills(self):
+        assert TABLE.multiply(TOY80.r) is INFINITY
+
+    @given(st.integers(1, TOY80.r - 1))
+    def test_negative_scalar(self, scalar):
+        assert TABLE.multiply(-scalar) == CURVE.neg(TABLE.multiply(scalar))
+
+    def test_oversized_scalar_falls_back(self):
+        big = TOY80.r * 3 + 12345
+        assert TABLE.multiply(big) == CURVE.mul(TOY80.generator, big)
+
+    @pytest.mark.parametrize("window", [1, 2, 3, 5, 8])
+    def test_other_window_widths(self, window):
+        table = FixedBaseTable(CURVE, TOY80.generator, TOY80.r, window=window)
+        for scalar in (1, 2, 255, 256, TOY80.r - 1, TOY80.r // 3):
+            assert table.multiply(scalar) == CURVE.mul(
+                TOY80.generator, scalar
+            ), (window, scalar)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            FixedBaseTable(CURVE, TOY80.generator, TOY80.r, window=0)
+        with pytest.raises(ValueError):
+            FixedBaseTable(CURVE, TOY80.generator, TOY80.r, window=9)
+
+
+class TestGroupIntegration:
+    def test_generator_pow_uses_table(self, group):
+        table = group.generator_table()
+        assert group.generator_table() is table  # cached
+        scalar = 0x1234567890ABCDEF
+        assert (group.g ** scalar).point == group.curve.mul(
+            group.params.generator, scalar
+        )
+
+    def test_non_generator_pow_unaffected(self, group):
+        element = group.g ** 7
+        assert (element ** 3) == group.g ** 21

@@ -1,0 +1,76 @@
+"""Tests for type-A parameter generation and the frozen presets."""
+
+import pytest
+
+from repro.ec.curve import INFINITY, SupersingularCurve
+from repro.ec.params import PRESETS, SS512, TOY80, TypeAParams, generate_type_a
+from repro.errors import ParameterError
+from repro.math.field import PrimeField
+from repro.math.primes import is_prime
+
+
+class TestPresets:
+    @pytest.mark.parametrize("params", [TOY80, SS512], ids=["TOY80", "SS512"])
+    def test_structure(self, params):
+        assert is_prime(params.r)
+        assert is_prime(params.p)
+        assert params.p % 4 == 3
+        assert (params.p + 1) % params.r == 0
+        assert params.h == (params.p + 1) // params.r
+
+    def test_bit_sizes_match_names(self):
+        assert TOY80.r_bits == 80 and TOY80.p_bits == 160
+        assert SS512.r_bits == 160 and SS512.p_bits == 512
+
+    @pytest.mark.parametrize("params", [TOY80, SS512], ids=["TOY80", "SS512"])
+    def test_generator_order(self, params):
+        curve = SupersingularCurve(PrimeField(params.p, check_prime=False))
+        assert curve.is_on_curve(params.generator)
+        assert curve.mul(params.generator, params.r) is INFINITY
+
+    def test_registry(self):
+        assert PRESETS["TOY80"] is TOY80
+        assert PRESETS["SS512"] is SS512
+
+
+class TestValidation:
+    def test_rejects_composite_r(self):
+        with pytest.raises(ParameterError):
+            TypeAParams(r=TOY80.r + 1, p=TOY80.p, generator=TOY80.generator)
+
+    def test_rejects_wrong_cofactor(self):
+        with pytest.raises(ParameterError):
+            TypeAParams(r=5, p=TOY80.p, generator=TOY80.generator)
+
+    def test_rejects_off_curve_generator(self):
+        with pytest.raises(ParameterError):
+            TypeAParams(r=TOY80.r, p=TOY80.p, generator=(1, 1))
+
+    def test_rejects_wrong_order_generator(self):
+        # A random full-group point is (overwhelmingly) not killed by r.
+        curve = SupersingularCurve(PrimeField(TOY80.p, check_prime=False))
+        import random
+
+        point = curve.random_point(random.Random(1))
+        if curve.mul(point, TOY80.r) is INFINITY:  # pragma: no cover
+            pytest.skip("improbable: random point landed in subgroup")
+        with pytest.raises(ParameterError):
+            TypeAParams(r=TOY80.r, p=TOY80.p, generator=point)
+
+
+class TestGeneration:
+    def test_generate_small(self):
+        params = generate_type_a(24, 48, seed=77)
+        assert params.r_bits == 24
+        assert params.p_bits == 48
+        curve = SupersingularCurve(PrimeField(params.p, check_prime=False))
+        assert curve.mul(params.generator, params.r) is INFINITY
+
+    def test_deterministic_with_seed(self):
+        a = generate_type_a(20, 40, seed=3)
+        b = generate_type_a(20, 40, seed=3)
+        assert (a.r, a.p, a.generator) == (b.r, b.p, b.generator)
+
+    def test_rejects_tight_sizes(self):
+        with pytest.raises(ParameterError):
+            generate_type_a(20, 22, seed=1)

@@ -1,0 +1,108 @@
+"""Tests for the prime field F_p context."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MathError
+from repro.math.field import PrimeField
+
+P = 0x82AB3A7FE43647067E8563A38CC0A04EC6E335B7  # TOY80 base field prime
+FIELD = PrimeField(P, check_prime=False)
+
+elements = st.integers(0, P - 1)
+nonzero = st.integers(1, P - 1)
+
+
+class TestConstruction:
+    def test_rejects_even(self):
+        with pytest.raises(MathError):
+            PrimeField(10)
+
+    def test_rejects_composite(self):
+        with pytest.raises(MathError):
+            PrimeField(91)  # 7 * 13
+
+    def test_byte_length(self):
+        assert FIELD.byte_length == 20
+        assert PrimeField(13).byte_length == 1
+
+    def test_equality_and_hash(self):
+        other = PrimeField(P, check_prime=False)
+        assert FIELD == other
+        assert hash(FIELD) == hash(other)
+        assert FIELD != PrimeField(13)
+
+
+class TestFieldAxioms:
+    @given(elements, elements, elements)
+    def test_add_associative_commutative(self, a, b, c):
+        assert FIELD.add(FIELD.add(a, b), c) == FIELD.add(a, FIELD.add(b, c))
+        assert FIELD.add(a, b) == FIELD.add(b, a)
+
+    @given(elements, elements, elements)
+    def test_mul_distributes(self, a, b, c):
+        assert FIELD.mul(a, FIELD.add(b, c)) == FIELD.add(
+            FIELD.mul(a, b), FIELD.mul(a, c)
+        )
+
+    @given(elements)
+    def test_additive_inverse(self, a):
+        assert FIELD.add(a, FIELD.neg(a)) == 0
+
+    @given(nonzero)
+    def test_multiplicative_inverse(self, a):
+        assert FIELD.mul(a, FIELD.inv(a)) == 1
+
+    @given(nonzero, nonzero)
+    def test_div_mul_roundtrip(self, a, b):
+        assert FIELD.mul(FIELD.div(a, b), b) == a
+
+    @given(elements)
+    def test_square_matches_mul(self, a):
+        assert FIELD.square(a) == FIELD.mul(a, a)
+
+    @given(elements, st.integers(0, 2**40))
+    def test_pow_matches_python(self, a, e):
+        assert FIELD.pow(a, e) == pow(a, e, P)
+
+
+class TestSqrt:
+    @given(elements)
+    def test_sqrt_of_square(self, a):
+        square = FIELD.square(a)
+        root = FIELD.sqrt(square)
+        assert FIELD.square(root) == square
+
+    @given(nonzero)
+    def test_is_square_consistent(self, a):
+        assert FIELD.is_square(FIELD.square(a))
+
+    def test_zero_is_square(self):
+        assert FIELD.is_square(0)
+        assert FIELD.sqrt(0) == 0
+
+    def test_exactly_half_nonzero_are_squares(self):
+        field = PrimeField(103)
+        squares = sum(field.is_square(a) for a in range(1, 103))
+        assert squares == 51
+
+
+class TestCodecAndSampling:
+    @given(elements)
+    def test_bytes_roundtrip(self, a):
+        encoded = FIELD.to_bytes(a)
+        assert len(encoded) == FIELD.byte_length
+        assert FIELD.from_bytes(encoded) == a
+
+    def test_from_bytes_rejects_out_of_range(self):
+        with pytest.raises(MathError):
+            FIELD.from_bytes(b"\xff" * FIELD.byte_length)
+
+    def test_random_in_range(self):
+        rng = random.Random(3)
+        for _ in range(100):
+            assert 0 <= FIELD.random(rng) < P
+            assert 1 <= FIELD.random_nonzero(rng) < P

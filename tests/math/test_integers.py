@@ -1,0 +1,132 @@
+"""Unit and property tests for repro.math.integers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MathError
+from repro.math.integers import (
+    bytes_to_int,
+    crt_pair,
+    egcd,
+    int_to_bytes,
+    invmod,
+    jacobi,
+    sqrt_mod,
+)
+
+P_3MOD4 = 0x82AB3A7FE43647067E8563A38CC0A04EC6E335B7  # TOY80 base field prime
+P_1MOD4 = 1000000000000000000000007 * 0 + 13  # small p ≡ 1 (mod 4)
+P_1MOD4_BIG = 2**89 - 1  # not prime; replaced below
+PRIME_1MOD4 = 1000003 * 0 + 1000033  # 1000033 ≡ 1 (mod 4), prime
+
+
+class TestEgcd:
+    @given(st.integers(-10**12, 10**12), st.integers(-10**12, 10**12))
+    def test_bezout_identity(self, a, b):
+        g, x, y = egcd(a, b)
+        assert a * x + b * y == g
+        assert g >= 0
+        if a or b:
+            assert a % g == 0 and b % g == 0
+
+    def test_zero_zero(self):
+        assert egcd(0, 0)[0] == 0
+
+    def test_coprime(self):
+        g, x, _ = egcd(17, 31)
+        assert g == 1
+        assert 17 * x % 31 == 1
+
+
+class TestInvmod:
+    @given(st.integers(1, P_3MOD4 - 1))
+    def test_inverse_property(self, a):
+        assert a * invmod(a, P_3MOD4) % P_3MOD4 == 1
+
+    def test_zero_raises(self):
+        with pytest.raises(MathError):
+            invmod(0, 97)
+
+    def test_non_coprime_raises(self):
+        with pytest.raises(MathError):
+            invmod(6, 9)
+
+    def test_negative_input(self):
+        assert (-3) * invmod(-3, 97) % 97 == 1
+
+
+class TestJacobi:
+    def test_squares_are_residues(self):
+        for x in range(1, 97):
+            assert jacobi(x * x % 97, 97) == 1
+
+    def test_zero(self):
+        assert jacobi(0, 97) == 0
+
+    def test_known_non_residue(self):
+        # 5 is a non-residue mod 7 (squares mod 7: 1,2,4).
+        assert jacobi(5, 7) == -1
+
+    def test_even_modulus_raises(self):
+        with pytest.raises(MathError):
+            jacobi(3, 8)
+
+    @given(st.integers(1, 10**6), st.integers(1, 10**6))
+    def test_multiplicative_in_numerator(self, a, b):
+        n = 1000003  # odd prime
+        assert jacobi(a * b, n) == jacobi(a, n) * jacobi(b, n)
+
+
+class TestSqrtMod:
+    @given(st.integers(0, P_3MOD4 - 1))
+    def test_roundtrip_3mod4(self, x):
+        root = sqrt_mod(x * x % P_3MOD4, P_3MOD4)
+        assert root * root % P_3MOD4 == x * x % P_3MOD4
+
+    @given(st.integers(0, PRIME_1MOD4 - 1))
+    def test_roundtrip_1mod4(self, x):
+        assert PRIME_1MOD4 % 4 == 1
+        root = sqrt_mod(x * x % PRIME_1MOD4, PRIME_1MOD4)
+        assert root * root % PRIME_1MOD4 == x * x % PRIME_1MOD4
+
+    def test_non_residue_raises(self):
+        with pytest.raises(MathError):
+            sqrt_mod(5, 7)
+
+    def test_zero(self):
+        assert sqrt_mod(0, 97) == 0
+
+
+class TestCrt:
+    @given(st.integers(0, 10**9))
+    def test_recovers_value(self, x):
+        m1, m2 = 10007, 10009
+        r, m = crt_pair(x % m1, m1, x % m2, m2)
+        assert m == m1 * m2
+        assert r == x % m
+
+    def test_inconsistent_raises(self):
+        with pytest.raises(MathError):
+            crt_pair(1, 4, 2, 6)  # x≡1 mod 4 implies odd; x≡2 mod 6 even
+
+    def test_consistent_non_coprime(self):
+        r, m = crt_pair(3, 4, 1, 6)
+        assert m == 12
+        assert r % 4 == 3 and r % 6 == 1
+
+
+class TestByteCodec:
+    @given(st.integers(0, 2**256))
+    def test_roundtrip(self, n):
+        assert bytes_to_int(int_to_bytes(n)) == n
+
+    def test_fixed_length(self):
+        assert int_to_bytes(1, 4) == b"\x00\x00\x00\x01"
+
+    def test_zero_is_one_byte(self):
+        assert int_to_bytes(0) == b"\x00"
+
+    def test_negative_raises(self):
+        with pytest.raises(MathError):
+            int_to_bytes(-1)

@@ -1,0 +1,121 @@
+"""Tests for linear algebra over Z_r."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MathError
+from repro.math.linalg import (
+    dot,
+    in_span,
+    mat_vec,
+    rank,
+    rref,
+    solve,
+    solve_combination,
+)
+
+MOD = 0x8BE5EA5F01D1943560CD  # TOY80 group order (prime)
+
+small_dims = st.integers(1, 5)
+
+
+def _random_matrix(rng, rows, cols, mod=MOD):
+    return [[rng.randrange(mod) for _ in range(cols)] for _ in range(rows)]
+
+
+class TestRref:
+    def test_identity_stays(self):
+        eye = [[1, 0], [0, 1]]
+        reduced, pivots = rref(eye, MOD)
+        assert reduced == eye
+        assert pivots == [0, 1]
+
+    def test_pivot_columns_are_unit(self):
+        rng = random.Random(2)
+        matrix = _random_matrix(rng, 4, 6)
+        reduced, pivots = rref(matrix, MOD)
+        for row_index, col in enumerate(pivots):
+            column = [reduced[i][col] for i in range(len(reduced))]
+            expected = [0] * len(reduced)
+            expected[row_index] = 1
+            assert column == expected
+
+    def test_empty(self):
+        assert rref([], MOD) == ([], [])
+
+    def test_rank_of_duplicated_rows(self):
+        matrix = [[1, 2, 3], [2, 4, 6], [1, 0, 1]]
+        assert rank(matrix, MOD) == 2
+
+
+class TestSolve:
+    @given(st.integers(0, 2**31), small_dims, small_dims)
+    def test_solution_satisfies_system(self, seed, rows, cols):
+        rng = random.Random(seed)
+        matrix = _random_matrix(rng, rows, cols)
+        x_true = [rng.randrange(MOD) for _ in range(cols)]
+        rhs = mat_vec(matrix, x_true, MOD)
+        solution = solve(matrix, rhs, MOD)
+        assert solution is not None
+        assert mat_vec(matrix, solution, MOD) == rhs
+
+    def test_inconsistent_returns_none(self):
+        matrix = [[1, 0], [1, 0]]
+        assert solve(matrix, [1, 2], MOD) is None
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(MathError):
+            solve([[1, 2]], [1, 2], MOD)
+
+    def test_empty_matrix(self):
+        assert solve([], [], MOD) == []
+
+
+class TestSolveCombination:
+    @given(st.integers(0, 2**31), small_dims, small_dims)
+    def test_combination_hits_target(self, seed, n_rows, n_cols):
+        rng = random.Random(seed)
+        rows = _random_matrix(rng, n_rows, n_cols)
+        weights_true = [rng.randrange(MOD) for _ in range(n_rows)]
+        target = [
+            sum(weights_true[i] * rows[i][j] for i in range(n_rows)) % MOD
+            for j in range(n_cols)
+        ]
+        weights = solve_combination(rows, target, MOD)
+        assert weights is not None
+        for j in range(n_cols):
+            combo = sum(weights[i] * rows[i][j] for i in range(n_rows)) % MOD
+            assert combo == target[j]
+
+    def test_unreachable_target(self):
+        rows = [[1, 0, 0], [0, 1, 0]]
+        assert solve_combination(rows, [0, 0, 1], MOD) is None
+
+    def test_ragged_rows_raise(self):
+        with pytest.raises(MathError):
+            solve_combination([[1, 2], [1]], [1, 1], MOD)
+
+    def test_empty_rows(self):
+        assert solve_combination([], [0, 0], MOD) == []
+        assert solve_combination([], [1, 0], MOD) is None
+
+
+class TestHelpers:
+    def test_dot(self):
+        assert dot([1, 2, 3], [4, 5, 6], 100) == 32
+
+    def test_dot_dimension_mismatch(self):
+        with pytest.raises(MathError):
+            dot([1], [1, 2], MOD)
+
+    def test_in_span(self):
+        rows = [[1, 1], [0, 2]]
+        assert in_span(rows, [1, 0], MOD)
+        assert not in_span([[1, 0]], [0, 1], MOD)
+
+    def test_mat_vec_mismatch(self):
+        with pytest.raises(MathError):
+            mat_vec([[1, 2]], [1], MOD)

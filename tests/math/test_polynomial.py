@@ -1,0 +1,82 @@
+"""Tests for polynomials over Z_mod and Lagrange interpolation."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MathError
+from repro.math.polynomial import (
+    Polynomial,
+    interpolate_at_zero,
+    lagrange_coefficients_at_zero,
+)
+
+MOD = 0x8BE5EA5F01D1943560CD
+
+
+class TestPolynomial:
+    @given(st.integers(0, MOD - 1), st.integers(0, 6), st.integers(0, 2**32))
+    def test_constant_term(self, constant, degree, seed):
+        polynomial = Polynomial.random_with_constant(
+            constant, degree, MOD, random.Random(seed)
+        )
+        assert polynomial.evaluate(0) == constant
+        assert polynomial.constant == constant
+        assert polynomial.degree == degree
+
+    def test_horner_matches_naive(self):
+        polynomial = Polynomial(coefficients=(3, 1, 4, 1, 5), mod=MOD)
+        x = 0xABCDEF
+        naive = sum(
+            coefficient * pow(x, power, MOD)
+            for power, coefficient in enumerate(polynomial.coefficients)
+        ) % MOD
+        assert polynomial.evaluate(x) == naive
+
+    def test_shares(self):
+        polynomial = Polynomial(coefficients=(7, 2), mod=MOD)
+        shares = polynomial.shares([1, 2, 3])
+        assert shares == {1: 9, 2: 11, 3: 13}
+
+    def test_empty_rejected(self):
+        with pytest.raises(MathError):
+            Polynomial(coefficients=(), mod=MOD)
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(MathError):
+            Polynomial.random_with_constant(1, -1, MOD, random.Random(0))
+
+
+class TestInterpolation:
+    @given(
+        st.integers(0, MOD - 1),
+        st.integers(1, 5),
+        st.integers(0, 2**32),
+    )
+    def test_threshold_reconstruction(self, secret, degree, seed):
+        rng = random.Random(seed)
+        polynomial = Polynomial.random_with_constant(secret, degree, MOD, rng)
+        xs = rng.sample(range(1, 100), degree + 1)
+        points = polynomial.shares(xs)
+        assert interpolate_at_zero(points, MOD) == secret
+
+    def test_coefficients_sum_property(self):
+        weights = lagrange_coefficients_at_zero([1, 2, 3], MOD)
+        # Interpolating the constant polynomial f ≡ 1 must give 1.
+        assert sum(weights.values()) % MOD == 1
+
+    def test_too_few_points_give_wrong_answer(self):
+        rng = random.Random(5)
+        polynomial = Polynomial.random_with_constant(123, 3, MOD, rng)
+        points = polynomial.shares([1, 2, 3])  # need 4 for degree 3
+        assert interpolate_at_zero(points, MOD) != 123
+
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(MathError):
+            lagrange_coefficients_at_zero([1, 1, 2], MOD)
+
+    def test_zero_point_rejected(self):
+        with pytest.raises(MathError):
+            lagrange_coefficients_at_zero([0, 1], MOD)

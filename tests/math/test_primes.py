@@ -1,0 +1,77 @@
+"""Tests for repro.math.primes."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MathError
+from repro.math.primes import is_prime, next_prime, random_prime
+
+
+def _sieve(limit):
+    flags = [True] * limit
+    flags[0] = flags[1] = False
+    for i in range(2, int(limit**0.5) + 1):
+        if flags[i]:
+            for j in range(i * i, limit, i):
+                flags[j] = False
+    return [i for i, is_p in enumerate(flags) if is_p]
+
+
+class TestIsPrime:
+    def test_matches_sieve_below_10000(self):
+        primes = set(_sieve(10000))
+        for n in range(10000):
+            assert is_prime(n) == (n in primes), n
+
+    def test_known_large_primes(self):
+        assert is_prime(2**127 - 1)          # Mersenne prime M127
+        assert is_prime(2**255 - 19)          # curve25519 prime
+        assert not is_prime(2**128 + 1)       # F7 is composite
+        assert not is_prime(2**127 - 3)
+
+    def test_carmichael_numbers_rejected(self):
+        for n in (561, 1105, 1729, 2465, 2821, 6601, 8911, 825265):
+            assert not is_prime(n)
+
+    def test_strong_pseudoprimes_rejected(self):
+        # 3215031751 is a strong pseudoprime to bases 2, 3, 5, 7.
+        assert not is_prime(3215031751)
+
+    @given(st.integers(2, 10**6), st.integers(2, 10**6))
+    def test_products_are_composite(self, a, b):
+        assert not is_prime(a * b)
+
+
+class TestRandomPrime:
+    def test_bit_length_exact(self):
+        rng = random.Random(1)
+        for bits in (8, 16, 32, 64):
+            p = random_prime(bits, rng)
+            assert p.bit_length() == bits
+            assert is_prime(p)
+
+    def test_deterministic_with_seed(self):
+        assert random_prime(32, random.Random(7)) == random_prime(
+            32, random.Random(7)
+        )
+
+    def test_too_small_raises(self):
+        with pytest.raises(MathError):
+            random_prime(1, random.Random(0))
+
+
+class TestNextPrime:
+    def test_small_values(self):
+        assert next_prime(0) == 2
+        assert next_prime(2) == 3
+        assert next_prime(3) == 5
+        assert next_prime(13) == 17
+
+    @given(st.integers(0, 10**6))
+    def test_is_prime_and_greater(self, n):
+        p = next_prime(n)
+        assert p > n
+        assert is_prime(p)

@@ -1,0 +1,51 @@
+"""End-to-end pairing pipeline on freshly generated parameters.
+
+Guards the parameter *generator*: the frozen presets are re-validated at
+import, but only this test proves that arbitrary generate_type_a output
+yields a working pairing group and a working scheme.
+"""
+
+import pytest
+
+from repro.core.scheme import MultiAuthorityABE
+from repro.ec.params import generate_type_a
+from repro.pairing.group import PairingGroup
+
+
+@pytest.fixture(scope="module")
+def fresh_params():
+    return generate_type_a(32, 64, seed=271828)
+
+
+class TestFreshParameters:
+    def test_bilinearity(self, fresh_params):
+        group = PairingGroup(fresh_params, seed=3)
+        a, b = group.random_scalar(), group.random_scalar()
+        assert group.pair(group.g ** a, group.g ** b) == group.gt ** (a * b)
+
+    def test_non_degenerate(self, fresh_params):
+        group = PairingGroup(fresh_params, seed=3)
+        assert not group.pair(group.g, group.g).is_identity()
+
+    def test_hash_to_g1_lands_in_subgroup(self, fresh_params):
+        group = PairingGroup(fresh_params, seed=3)
+        point = group.hash_to_g1("anything")
+        assert (point ** group.order).is_identity()
+        assert not point.is_identity()
+
+    def test_full_scheme_on_fresh_params(self, fresh_params):
+        scheme = MultiAuthorityABE(fresh_params, seed=4)
+        authority = scheme.setup_authority("aa", ["x", "y"])
+        owner = scheme.setup_owner("o", [authority])
+        pk = scheme.register_user("u")
+        keys = {"aa": authority.keygen(pk, ["x"], "o")}
+        message = scheme.random_message()
+        ciphertext = owner.encrypt(message, "aa:x")
+        assert scheme.decrypt(ciphertext, pk, keys) == message
+
+    def test_serialization_sizes_scale(self, fresh_params):
+        group = PairingGroup(fresh_params, seed=5)
+        assert group.g1_bytes == (fresh_params.p.bit_length() + 7) // 8 + 1
+        assert group.gt_bytes == 2 * ((fresh_params.p.bit_length() + 7) // 8)
+        element = group.g ** 12345
+        assert group.decode_g1(group.encode_g1(element)) == element

@@ -1,0 +1,40 @@
+"""Tests for element-size accounting."""
+
+from repro.ec.params import SS512, TOY80
+from repro.pairing.group import PairingGroup
+from repro.pairing.serialize import ElementSizes, element_sizes
+
+
+class TestElementSizes:
+    def test_ss512_matches_paper_proportions(self):
+        sizes = element_sizes(SS512)
+        # 512-bit base field: |G| = 64+1 compressed, |GT| = 128, |p| = 20.
+        assert sizes.g1 == 65
+        assert sizes.gt == 128
+        assert sizes.zr == 20
+
+    def test_toy80(self):
+        sizes = element_sizes(TOY80)
+        assert sizes.g1 == 21
+        assert sizes.gt == 40
+        assert sizes.zr == 10
+
+    def test_of_arithmetic(self):
+        sizes = ElementSizes(zr=2, g1=3, gt=5)
+        assert sizes.of() == 0
+        assert sizes.of(n_zr=1, n_g1=2, n_gt=3) == 2 + 6 + 15
+
+    def test_matches_group_encodings(self, group):
+        sizes = element_sizes(group.params)
+        assert sizes.g1 == len(group.encode_g1(group.g))
+        assert sizes.gt == len(group.encode_gt(group.gt))
+        assert sizes.zr == len(group.encode_scalar(1))
+
+    def test_consistent_with_group_attributes(self):
+        group = PairingGroup(TOY80, seed=0)
+        sizes = element_sizes(TOY80)
+        assert (sizes.g1, sizes.gt, sizes.zr) == (
+            group.g1_bytes,
+            group.gt_bytes,
+            group.scalar_bytes,
+        )

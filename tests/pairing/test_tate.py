@@ -1,0 +1,95 @@
+"""Property tests for the reduced Tate pairing."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ec.curve import INFINITY, SupersingularCurve
+from repro.ec.params import TOY80
+from repro.math.field import PrimeField
+from repro.math.field_ext import QuadraticExtension
+from repro.pairing.tate import product_of_pairings, tate_pairing
+
+FIELD = PrimeField(TOY80.p, check_prime=False)
+CURVE = SupersingularCurve(FIELD)
+EXT = QuadraticExtension(FIELD)
+G = TOY80.generator
+R = TOY80.r
+
+scalars = st.integers(1, R - 1)
+
+
+def pair(p, q):
+    return tate_pairing(CURVE, EXT, p, q, R)
+
+
+class TestBilinearity:
+    @given(scalars, scalars)
+    def test_left_linear(self, a, b):
+        pa, pb = CURVE.mul(G, a), CURVE.mul(G, b)
+        lhs = pair(CURVE.add(pa, pb), G)
+        rhs = EXT.mul(pair(pa, G), pair(pb, G))
+        assert lhs == rhs
+
+    @given(scalars, scalars)
+    def test_right_linear(self, a, b):
+        pa, pb = CURVE.mul(G, a), CURVE.mul(G, b)
+        lhs = pair(G, CURVE.add(pa, pb))
+        rhs = EXT.mul(pair(G, pa), pair(G, pb))
+        assert lhs == rhs
+
+    @given(scalars, scalars)
+    def test_exponent_bilinearity(self, a, b):
+        lhs = pair(CURVE.mul(G, a), CURVE.mul(G, b))
+        rhs = EXT.pow(pair(G, G), a * b % R)
+        assert lhs == rhs
+
+    @given(scalars, scalars)
+    def test_symmetry(self, a, b):
+        pa, pb = CURVE.mul(G, a), CURVE.mul(G, b)
+        assert pair(pa, pb) == pair(pb, pa)
+
+
+class TestStructure:
+    def test_non_degenerate(self):
+        value = pair(G, G)
+        assert value != EXT.one
+
+    def test_order_divides_r(self):
+        assert EXT.pow(pair(G, G), R) == EXT.one
+
+    def test_generator_pairing_has_full_order(self):
+        # e(g,g) generates GT: its order is exactly r (r prime, value != 1).
+        value = pair(G, G)
+        assert value != EXT.one
+        assert EXT.pow(value, R) == EXT.one
+
+    def test_infinity_inputs(self):
+        assert pair(INFINITY, G) == EXT.one
+        assert pair(G, INFINITY) == EXT.one
+        assert pair(INFINITY, INFINITY) == EXT.one
+
+    @given(scalars)
+    def test_inverse_argument(self, a):
+        pa = CURVE.mul(G, a)
+        assert pair(CURVE.neg(pa), G) == EXT.inv(pair(pa, G))
+
+
+class TestProductOfPairings:
+    @given(scalars, scalars, scalars)
+    def test_matches_individual_product(self, a, b, c):
+        pairs = [
+            (CURVE.mul(G, a), G),
+            (CURVE.mul(G, b), CURVE.mul(G, c)),
+        ]
+        combined = product_of_pairings(CURVE, EXT, pairs, R)
+        separate = EXT.mul(
+            pair(pairs[0][0], pairs[0][1]), pair(pairs[1][0], pairs[1][1])
+        )
+        assert combined == separate
+
+    def test_empty_product_is_one(self):
+        assert product_of_pairings(CURVE, EXT, [], R) == EXT.one
+
+    def test_skips_infinity_pairs(self):
+        pairs = [(INFINITY, G), (G, G)]
+        assert product_of_pairings(CURVE, EXT, pairs, R) == pair(G, G)

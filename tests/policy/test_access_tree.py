@@ -1,0 +1,106 @@
+"""Tests for threshold access trees (the BSW substrate)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.errors import PolicyNotSatisfiedError
+from repro.policy.access_tree import (
+    TreeGate,
+    TreeLeaf,
+    build_tree,
+    reconstruction_coefficients,
+    share_secret,
+    tree_satisfied,
+)
+
+ORDER = 0x8BE5EA5F01D1943560CD
+
+POLICIES = [
+    "a",
+    "a AND b",
+    "a OR b",
+    "2 of (a, b, c)",
+    "3 of (a, b, c, d)",
+    "a AND (b OR 2 of (c, d, e))",
+    "2 of (a AND b, c, d OR e)",
+]
+
+
+def _universe(leaves):
+    return sorted({leaf.attribute for leaf in leaves})
+
+
+class TestBuildTree:
+    def test_and_becomes_n_of_n(self):
+        root, leaves = build_tree("a AND b AND c")
+        assert isinstance(root, TreeGate)
+        assert root.k == 3
+        assert len(leaves) == 3
+
+    def test_or_becomes_1_of_n(self):
+        root, _ = build_tree("a OR b")
+        assert root.k == 1
+
+    def test_threshold_not_expanded(self):
+        root, leaves = build_tree("5 of (a, b, c, d, e, f, g, h, i)")
+        assert root.k == 5
+        assert len(leaves) == 9  # no combinatorial blowup
+
+    def test_leaf_indices_dfs(self):
+        _, leaves = build_tree("a AND (b OR c)")
+        assert [leaf.index for leaf in leaves] == [0, 1, 2]
+        assert [leaf.attribute for leaf in leaves] == ["a", "b", "c"]
+
+    def test_single_leaf(self):
+        root, leaves = build_tree("only")
+        assert isinstance(root, TreeLeaf)
+        assert len(leaves) == 1
+
+
+class TestShareReconstruct:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_reconstruction_matches_evaluation(self, policy):
+        rng = random.Random(hash(policy) & 0xFFFF)
+        root, leaves = build_tree(policy)
+        secret = rng.randrange(ORDER)
+        shares = share_secret(root, secret, ORDER, rng)
+        universe = _universe(leaves)
+        from repro.policy.parser import parse
+
+        formula = parse(policy)
+        for size in range(len(universe) + 1):
+            for subset_tuple in itertools.combinations(universe, size):
+                subset = set(subset_tuple)
+                if formula.evaluate(subset):
+                    weights = reconstruction_coefficients(root, subset, ORDER)
+                    recovered = (
+                        sum(weights[i] * shares[i] for i in weights) % ORDER
+                    )
+                    assert recovered == secret, (policy, subset)
+                    assert tree_satisfied(root, subset)
+                else:
+                    assert not tree_satisfied(root, subset)
+                    with pytest.raises(PolicyNotSatisfiedError):
+                        reconstruction_coefficients(root, subset, ORDER)
+
+    def test_used_leaves_hold_attributes(self):
+        root, leaves = build_tree("a OR (b AND c)")
+        weights = reconstruction_coefficients(root, {"b", "c"}, ORDER)
+        used = {leaves[i].attribute for i in weights}
+        assert used <= {"b", "c"}
+
+    def test_duplicate_attribute_leaves(self):
+        # The same attribute may appear at several leaves of a tree.
+        root, leaves = build_tree("(a AND b) OR (a AND c)")
+        rng = random.Random(3)
+        secret = 777
+        shares = share_secret(root, secret, ORDER, rng)
+        weights = reconstruction_coefficients(root, {"a", "c"}, ORDER)
+        assert sum(weights[i] * shares[i] for i in weights) % ORDER == secret
+
+    def test_shares_cover_all_leaves(self):
+        root, leaves = build_tree("2 of (a, b, c, d)")
+        shares = share_secret(root, 1, ORDER, random.Random(0))
+        assert set(shares) == {leaf.index for leaf in leaves}

@@ -1,0 +1,116 @@
+"""Tests for the policy AST."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.policy.ast import And, Attribute, Or, Threshold
+
+
+class TestAttribute:
+    def test_evaluate(self):
+        leaf = Attribute("a")
+        assert leaf.evaluate({"a", "b"})
+        assert not leaf.evaluate({"b"})
+
+    def test_rejects_empty_and_whitespace(self):
+        with pytest.raises(PolicyError):
+            Attribute("")
+        with pytest.raises(PolicyError):
+            Attribute("a b")
+
+    def test_attributes_iter(self):
+        assert list(Attribute("x").attributes()) == ["x"]
+
+
+class TestAndOr:
+    def test_and_semantics(self):
+        node = And(Attribute("a"), Attribute("b"))
+        assert node.evaluate({"a", "b"})
+        assert not node.evaluate({"a"})
+
+    def test_or_semantics(self):
+        node = Or(Attribute("a"), Attribute("b"))
+        assert node.evaluate({"b"})
+        assert not node.evaluate({"c"})
+
+    def test_list_constructor(self):
+        node = And([Attribute("a"), Attribute("b")])
+        assert len(node.children) == 2
+
+    def test_empty_children_rejected(self):
+        with pytest.raises(PolicyError):
+            And()
+        with pytest.raises(PolicyError):
+            Or([])
+
+    def test_non_node_child_rejected(self):
+        with pytest.raises(PolicyError):
+            And(Attribute("a"), "b")
+
+    def test_attributes_duplicates_preserved(self):
+        node = Or(Attribute("a"), And(Attribute("a"), Attribute("b")))
+        assert list(node.attributes()) == ["a", "a", "b"]
+
+    def test_str_roundtrippable_shape(self):
+        node = And(Attribute("a"), Or(Attribute("b"), Attribute("c")))
+        assert str(node) == "(a AND (b OR c))"
+
+
+class TestThreshold:
+    def test_semantics(self):
+        node = Threshold(2, [Attribute("a"), Attribute("b"), Attribute("c")])
+        assert node.evaluate({"a", "c"})
+        assert not node.evaluate({"b"})
+
+    def test_out_of_range_k(self):
+        leaves = [Attribute("a"), Attribute("b")]
+        with pytest.raises(PolicyError):
+            Threshold(0, leaves)
+        with pytest.raises(PolicyError):
+            Threshold(3, leaves)
+
+    def test_str(self):
+        node = Threshold(2, [Attribute("a"), Attribute("b"), Attribute("c")])
+        assert str(node) == "2 of (a, b, c)"
+
+
+class TestExpandThresholds:
+    @pytest.mark.parametrize(
+        "k,n", [(1, 3), (2, 3), (3, 3), (2, 4), (3, 5)]
+    )
+    def test_equivalence_exhaustive(self, k, n):
+        import itertools
+
+        leaves = [Attribute(f"x{i}") for i in range(n)]
+        node = Threshold(k, leaves)
+        expanded = node.expand_thresholds()
+        universe = [f"x{i}" for i in range(n)]
+        for size in range(n + 1):
+            for subset in itertools.combinations(universe, size):
+                assert node.evaluate(set(subset)) == expanded.evaluate(
+                    set(subset)
+                ), (k, n, subset)
+
+    def test_nested_thresholds(self):
+        inner = Threshold(2, [Attribute("a"), Attribute("b"), Attribute("c")])
+        outer = And(inner, Attribute("d"))
+        expanded = outer.expand_thresholds()
+        assert expanded.evaluate({"a", "b", "d"})
+        assert not expanded.evaluate({"a", "b"})
+
+    def test_k1_becomes_or(self):
+        node = Threshold(1, [Attribute("a"), Attribute("b")])
+        assert isinstance(node.expand_thresholds(), Or)
+
+    def test_kn_becomes_and(self):
+        node = Threshold(2, [Attribute("a"), Attribute("b")])
+        assert isinstance(node.expand_thresholds(), And)
+
+    def test_expansion_bound(self):
+        leaves = [Attribute(f"x{i}") for i in range(30)]
+        with pytest.raises(PolicyError, match="branches"):
+            Threshold(15, leaves).expand_thresholds()
+
+    def test_idempotent_on_and_or(self):
+        node = And(Attribute("a"), Or(Attribute("b"), Attribute("c")))
+        assert node.expand_thresholds() == node

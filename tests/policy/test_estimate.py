@@ -1,0 +1,73 @@
+"""The policy estimator must agree with actual encryption outputs."""
+
+import pytest
+
+from repro.core.scheme import MultiAuthorityABE
+from repro.ec.params import TOY80
+from repro.pairing.serialize import element_sizes
+from repro.policy.estimate import cheapest_threshold_method, estimate_policy
+
+SIZES = element_sizes(TOY80)
+
+
+class TestEstimates:
+    @pytest.mark.parametrize(
+        "policy,rows",
+        [
+            ("a:x", 1),
+            ("a:x AND a:y", 2),
+            ("a:x OR b:y", 2),
+            ("2 of (a:x, a:y, a:z)", 6),
+        ],
+    )
+    def test_row_counts(self, policy, rows):
+        estimate = estimate_policy(policy, SIZES)
+        assert estimate.lsss_rows == rows
+
+    def test_insert_method(self):
+        estimate = estimate_policy(
+            "3 of (a:v, a:w, a:x, a:y, a:z)", SIZES,
+            threshold_method="insert",
+        )
+        assert estimate.lsss_rows == 5
+        assert estimate.rho_injective
+
+    def test_authority_and_attribute_counts(self):
+        estimate = estimate_policy("a:x AND (b:y OR a:z)", SIZES)
+        assert estimate.involved_authorities == 2
+        assert estimate.distinct_attributes == 3
+
+    def test_matches_real_encryption(self):
+        scheme = MultiAuthorityABE(TOY80, seed=909)
+        authority = scheme.setup_authority("a", ["x", "y", "z"])
+        owner = scheme.setup_owner("o", [authority])
+        policy = "a:x AND (a:y OR a:z)"
+        estimate = estimate_policy(policy, SIZES)
+        group = scheme.group
+        message = scheme.random_message()
+        group.counter.reset()
+        ciphertext = owner.encrypt(message, policy)
+        assert ciphertext.n_rows == estimate.lsss_rows
+        assert (
+            ciphertext.element_size_bytes(group)
+            == estimate.ciphertext_bytes
+        )
+        assert (
+            group.counter.g1_exponentiations
+            == estimate.encrypt_g1_exponentiations
+        )
+        assert (
+            group.counter.gt_exponentiations
+            == estimate.encrypt_gt_exponentiations
+        )
+
+
+class TestCheapestMethod:
+    def test_threshold_prefers_insert(self):
+        best = cheapest_threshold_method("3 of (a:v, a:w, a:x, a:y)", SIZES)
+        assert best.threshold_method == "insert"
+        assert best.lsss_rows == 4
+
+    def test_plain_formula_prefers_expand(self):
+        best = cheapest_threshold_method("a:x AND a:y", SIZES)
+        assert best.threshold_method == "expand"  # tie goes to faithful

@@ -1,0 +1,159 @@
+"""Property tests for the LSSS machinery — the heart of the access control."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PolicyNotSatisfiedError
+from repro.policy.ast import And, Attribute, Or
+from repro.policy.lsss import lsss_from_policy
+
+ORDER = 0x8BE5EA5F01D1943560CD  # TOY80 group order
+
+POLICIES = [
+    "a",
+    "a AND b",
+    "a OR b",
+    "a AND (b OR c)",
+    "(a AND b) OR (c AND d)",
+    "a AND b AND c AND d",
+    "a OR b OR c",
+    "(a OR b) AND (c OR d) AND e",
+    "2 of (a, b, c)",
+    "2 of (a AND b, c, d)",
+]
+
+
+def _universe(matrix):
+    return sorted(set(matrix.row_labels))
+
+
+def _all_subsets(universe):
+    for size in range(len(universe) + 1):
+        yield from (set(c) for c in itertools.combinations(universe, size))
+
+
+class TestConstruction:
+    def test_single_attribute_matrix(self):
+        matrix = lsss_from_policy("a")
+        assert matrix.rows == ((1,),)
+        assert matrix.row_labels == ("a",)
+
+    def test_or_shares_vector(self):
+        matrix = lsss_from_policy("a OR b")
+        assert matrix.rows == ((1,), (1,))
+
+    def test_and_introduces_column(self):
+        matrix = lsss_from_policy("a AND b")
+        assert matrix.n_cols == 2
+        assert len(matrix.rows) == 2
+        # Rows sum to the target (1, 0).
+        total = [
+            sum(row[j] for row in matrix.rows) % ORDER
+            for j in range(matrix.n_cols)
+        ]
+        assert total == [1, 0]
+
+    def test_row_count_equals_expanded_leaves(self):
+        matrix = lsss_from_policy("2 of (a, b, c)")
+        # expands to (a^b) v (a^c) v (b^c): 6 rows
+        assert matrix.n_rows == 6
+
+    def test_injectivity_detection(self):
+        assert lsss_from_policy("a AND b").is_injective()
+        assert not lsss_from_policy("2 of (a, b, c)").is_injective()
+
+
+class TestSatisfiability:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_matches_boolean_evaluation(self, policy):
+        matrix = lsss_from_policy(policy)
+        formula = matrix.policy
+        for subset in _all_subsets(_universe(matrix)):
+            assert matrix.is_satisfied_by(subset, ORDER) == formula.evaluate(
+                subset
+            ), (policy, subset)
+
+    def test_empty_set_never_satisfies(self):
+        for policy in POLICIES:
+            assert not lsss_from_policy(policy).is_satisfied_by(set(), ORDER)
+
+
+class TestShareReconstruct:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_reconstruction_recovers_secret(self, policy):
+        rng = random.Random(hash(policy) & 0xFFFF)
+        matrix = lsss_from_policy(policy)
+        formula = matrix.policy
+        secret = rng.randrange(ORDER)
+        shares = matrix.share(secret, ORDER, rng)
+        for subset in _all_subsets(_universe(matrix)):
+            if not formula.evaluate(subset):
+                continue
+            weights = matrix.reconstruction_coefficients(subset, ORDER)
+            recovered = (
+                sum(weights[i] * shares[i] for i in weights) % ORDER
+            )
+            assert recovered == secret, (policy, subset)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_unauthorized_raises(self, policy):
+        matrix = lsss_from_policy(policy)
+        formula = matrix.policy
+        for subset in _all_subsets(_universe(matrix)):
+            if formula.evaluate(subset):
+                continue
+            with pytest.raises(PolicyNotSatisfiedError):
+                matrix.reconstruction_coefficients(subset, ORDER)
+
+    @given(st.integers(0, ORDER - 1), st.integers(0, 2**32))
+    def test_share_randomness_hides_secret_for_single_and_branch(
+        self, secret, seed
+    ):
+        # For "a AND b" neither share alone determines the secret: two
+        # different sharings of the same secret give different shares.
+        rng1 = random.Random(seed)
+        rng2 = random.Random(seed + 1)
+        matrix = lsss_from_policy("a AND b")
+        shares1 = matrix.share(secret, ORDER, rng1)
+        shares2 = matrix.share(secret, ORDER, rng2)
+        # Equal only with probability 1/ORDER; treat equality as failure.
+        assert shares1 != shares2
+
+    def test_coefficients_only_use_held_rows(self):
+        matrix = lsss_from_policy("a OR (b AND c)")
+        weights = matrix.reconstruction_coefficients({"a"}, ORDER)
+        assert set(weights) <= set(matrix.rows_for({"a"}))
+
+    def test_zero_coefficients_pruned(self):
+        matrix = lsss_from_policy("a OR b")
+        weights = matrix.reconstruction_coefficients({"a", "b"}, ORDER)
+        assert all(value != 0 for value in weights.values())
+
+
+class TestDeepFormulas:
+    def test_deep_nesting(self):
+        policy = "a AND (b OR (c AND (d OR (e AND f))))"
+        matrix = lsss_from_policy(policy)
+        rng = random.Random(7)
+        secret = rng.randrange(ORDER)
+        shares = matrix.share(secret, ORDER, rng)
+        weights = matrix.reconstruction_coefficients(
+            {"a", "c", "e", "f"}, ORDER
+        )
+        assert sum(weights[i] * shares[i] for i in weights) % ORDER == secret
+
+    def test_wide_and(self):
+        names = [f"x{i}" for i in range(20)]
+        matrix = lsss_from_policy(" AND ".join(names))
+        assert matrix.n_rows == 20
+        assert matrix.n_cols == 20
+        rng = random.Random(8)
+        secret = 12345
+        shares = matrix.share(secret, ORDER, rng)
+        weights = matrix.reconstruction_coefficients(set(names), ORDER)
+        assert sum(weights[i] * shares[i] for i in weights) % ORDER == secret
+        assert not matrix.is_satisfied_by(set(names[:-1]), ORDER)

@@ -1,0 +1,142 @@
+"""Tests for the policy parser."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PolicyError
+from repro.policy.ast import And, Attribute, Or, PolicyNode, Threshold
+from repro.policy.parser import parse
+
+
+class TestBasics:
+    def test_single_attribute(self):
+        assert parse("doctor") == Attribute("doctor")
+
+    def test_qualified_attribute(self):
+        assert parse("hospital:doctor") == Attribute("hospital:doctor")
+
+    def test_and(self):
+        assert parse("a AND b") == And(Attribute("a"), Attribute("b"))
+
+    def test_or(self):
+        assert parse("a OR b") == Or(Attribute("a"), Attribute("b"))
+
+    def test_case_insensitive_keywords(self):
+        assert parse("a and b") == parse("a AND b")
+        assert parse("a Or b") == parse("a OR b")
+
+    def test_precedence_and_binds_tighter(self):
+        node = parse("a OR b AND c")
+        assert node == Or(Attribute("a"), And(Attribute("b"), Attribute("c")))
+
+    def test_parentheses(self):
+        node = parse("(a OR b) AND c")
+        assert node == And(Or(Attribute("a"), Attribute("b")), Attribute("c"))
+
+    def test_nary_chains_flatten(self):
+        node = parse("a AND b AND c")
+        assert isinstance(node, And)
+        assert len(node.children) == 3
+
+    def test_idempotent_on_ast(self):
+        node = And(Attribute("a"), Attribute("b"))
+        assert parse(node) is node
+
+
+class TestThresholds:
+    def test_basic(self):
+        node = parse("2 of (a, b, c)")
+        assert node == Threshold(
+            2, [Attribute("a"), Attribute("b"), Attribute("c")]
+        )
+
+    def test_nested_expressions_in_threshold(self):
+        node = parse("2 of (a AND b, c, d OR e)")
+        assert isinstance(node, Threshold)
+        assert node.k == 2
+        assert isinstance(node.children[0], And)
+        assert isinstance(node.children[2], Or)
+
+    def test_threshold_inside_formula(self):
+        node = parse("x AND 1 of (y, z)")
+        assert isinstance(node, And)
+        assert isinstance(node.children[1], Threshold)
+
+    def test_of_requires_paren(self):
+        with pytest.raises(PolicyError):
+            parse("2 of a, b")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "a AND",
+            "AND a",
+            "a b",
+            "(a OR b",
+            "a)",
+            "a %% b",
+            "a OR OR b",
+            "2 of ()",
+            "5 of (a, b)",
+            "a,b",
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(PolicyError):
+            parse(bad)
+
+    def test_rejects_non_string(self):
+        with pytest.raises(PolicyError):
+            parse(42)
+
+
+# -- round-trip property: str(ast) parses back to an equivalent formula ------
+
+attribute_names = st.sampled_from(
+    ["a", "b", "c", "hospital:doctor", "trial:researcher", "x_1", "y.z"]
+)
+
+
+def policies(max_depth=3):
+    leaf = attribute_names.map(Attribute)
+
+    def extend(children_strategy):
+        lists = st.lists(children_strategy, min_size=2, max_size=3)
+        return st.one_of(
+            lists.map(lambda cs: And(cs)),
+            lists.map(lambda cs: Or(cs)),
+            lists.map(lambda cs: Threshold(1, cs)),
+            st.lists(children_strategy, min_size=2, max_size=4).flatmap(
+                lambda cs: st.integers(1, len(cs)).map(
+                    lambda k: Threshold(k, cs)
+                )
+            ),
+        )
+
+    return st.recursive(leaf, extend, max_leaves=8)
+
+
+class TestRoundTrip:
+    @given(policies())
+    def test_str_parse_roundtrip(self, node):
+        reparsed = parse(str(node))
+        assert reparsed == node or _equivalent(reparsed, node)
+
+
+def _equivalent(a: PolicyNode, b: PolicyNode) -> bool:
+    """Semantic equivalence over the full attribute universe of both."""
+    import itertools
+
+    universe = sorted(set(a.attributes()) | set(b.attributes()))
+    if len(universe) > 6:
+        universe = universe[:6]  # bounded exhaustive check
+    for size in range(len(universe) + 1):
+        for subset in itertools.combinations(universe, size):
+            if a.evaluate(set(subset)) != b.evaluate(set(subset)):
+                return False
+    return True

@@ -1,0 +1,85 @@
+"""Unit tests for individual entity actors."""
+
+import pytest
+
+from repro.ec.params import TOY80
+from repro.errors import SchemeError, StorageError
+from repro.system.workflow import CloudStorageSystem
+
+
+@pytest.fixture()
+def system():
+    deployment = CloudStorageSystem(TOY80, seed=31)
+    deployment.add_authority("hospital", ["doctor"])
+    deployment.add_owner("alice")
+    deployment.add_user("bob")
+    return deployment
+
+
+class TestUserEntity:
+    def test_rejects_foreign_public_key(self, system):
+        bob = system.users["bob"]
+        system.add_user("eve")
+        eve_pk = system.users["eve"].public_key
+        with pytest.raises(SchemeError):
+            bob.receive_public_key(eve_pk)
+
+    def test_rejects_foreign_secret_key(self, system):
+        system.add_user("eve")
+        system.issue_keys("eve", "hospital", ["doctor"], "alice")
+        eve_key = system.users["eve"].secret_keys_for("alice")["hospital"]
+        with pytest.raises(SchemeError):
+            system.users["bob"].receive_secret_key(eve_key)
+
+    def test_key_bookkeeping(self, system):
+        system.issue_keys("bob", "hospital", ["doctor"], "alice")
+        bob = system.users["bob"]
+        assert bob.has_keys_from("hospital")
+        assert not bob.has_keys_from("trial")
+        assert set(bob.secret_keys_for("alice")) == {"hospital"}
+        bob.drop_keys("hospital", "alice")
+        assert not bob.has_keys_from("hospital")
+
+
+class TestServerEntity:
+    def test_unknown_record(self, system):
+        with pytest.raises(StorageError):
+            system.server.record("nope")
+
+    def test_record_ids(self, system):
+        system.issue_keys("bob", "hospital", ["doctor"], "alice")
+        system.upload("alice", "r1", {"c": (b"x", "hospital:doctor")})
+        assert system.server.record_ids == {"r1"}
+
+    def test_duplicate_record_id_rejected(self, system):
+        system.issue_keys("bob", "hospital", ["doctor"], "alice")
+        system.upload("alice", "r1", {"c": (b"x", "hospital:doctor")})
+        record = system.server.record("r1")
+        with pytest.raises(StorageError, match="already exists"):
+            system.server.store(record)
+        # Explicit replacement is allowed.
+        system.server.store(record, replace=True)
+        assert system.server.record("r1") is record
+
+    def test_reencrypt_unknown_ciphertext(self, system):
+        system.issue_keys("bob", "hospital", ["doctor"], "alice")
+        system.upload("alice", "r1", {"c": (b"x", "hospital:doctor")})
+        result = system.authorities["hospital"].core.rekey("bob", ["doctor"])
+        _, update_key = result
+        with pytest.raises(StorageError):
+            system.server.reencrypt("ghost-ct", update_key, None)
+
+
+class TestAuthorityEntity:
+    def test_issue_key_routes_through_network(self, system):
+        before = system.network.messages_between("aa", "user")
+        system.issue_keys("bob", "hospital", ["doctor"], "alice")
+        assert system.network.messages_between("aa", "user") == before + 1
+
+    def test_entity_names_and_roles(self, system):
+        assert system.authorities["hospital"].role == "aa"
+        assert system.owners["alice"].role == "owner"
+        assert system.users["bob"].role == "user"
+        assert system.server.role == "server"
+        assert system.ca.role == "ca"
+        assert repr(system.server) == "ServerEntity('cloud')"

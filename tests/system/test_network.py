@@ -1,0 +1,78 @@
+"""Tests for the byte-metered network fabric."""
+
+import pytest
+
+from repro.system.network import (
+    ROLE_AA,
+    ROLE_OWNER,
+    ROLE_USER,
+    Network,
+    role_pair,
+)
+
+
+class _Stub:
+    def __init__(self, name, role):
+        self.name = name
+        self.role = role
+
+
+@pytest.fixture()
+def network(group):
+    return Network(group)
+
+
+class TestSend:
+    def test_returns_payload(self, network, group):
+        aa = _Stub("AA:h", ROLE_AA)
+        user = _Stub("user:bob", ROLE_USER)
+        payload = group.g
+        assert network.send(aa, user, "key", payload) is payload
+
+    def test_logs_entry(self, network, group):
+        aa = _Stub("AA:h", ROLE_AA)
+        user = _Stub("user:bob", ROLE_USER)
+        network.send(aa, user, "key", group.g)
+        entry = network.log[0]
+        assert entry.sender == "AA:h"
+        assert entry.recipient_role == ROLE_USER
+        assert entry.kind == "key"
+        assert entry.size_bytes == group.g1_bytes
+
+    def test_channel_aggregation_is_symmetric(self, network, group):
+        aa = _Stub("AA:h", ROLE_AA)
+        user = _Stub("user:bob", ROLE_USER)
+        network.send(aa, user, "key", group.g)
+        network.send(user, aa, "ack", b"ok")
+        assert network.messages_between(ROLE_AA, ROLE_USER) == 2
+        assert (
+            network.bytes_between(ROLE_USER, ROLE_AA)
+            == group.g1_bytes + 2
+        )
+
+    def test_bytes_by_kind(self, network, group):
+        aa = _Stub("AA:h", ROLE_AA)
+        owner = _Stub("owner:alice", ROLE_OWNER)
+        network.send(aa, owner, "pk", group.gt)
+        network.send(aa, owner, "pk", group.gt)
+        network.send(owner, aa, "sk", b"xy")
+        assert network.bytes_by_kind() == {
+            "pk": 2 * group.gt_bytes,
+            "sk": 2,
+        }
+
+    def test_total_and_reset(self, network, group):
+        aa = _Stub("AA:h", ROLE_AA)
+        user = _Stub("user:bob", ROLE_USER)
+        network.send(aa, user, "key", b"1234")
+        assert network.total_bytes() == 4
+        network.reset()
+        assert network.total_bytes() == 0
+        assert network.log == []
+        assert network.messages_between(ROLE_AA, ROLE_USER) == 0
+
+
+class TestRolePair:
+    def test_canonical_order(self):
+        assert role_pair("user", "aa") == role_pair("aa", "user")
+        assert role_pair("aa", "user") == ("aa", "user")

@@ -1,0 +1,83 @@
+"""Tests for the Fig. 2 record format."""
+
+import pytest
+
+from repro.core.scheme import MultiAuthorityABE
+from repro.crypto import symmetric
+from repro.ec.params import TOY80
+from repro.errors import StorageError
+from repro.system.records import StoredComponent, StoredRecord
+
+
+@pytest.fixture(scope="module")
+def record():
+    scheme = MultiAuthorityABE(TOY80, seed=555)
+    hospital = scheme.setup_authority("hospital", ["doctor"])
+    owner = scheme.setup_owner("alice", [hospital])
+    components = {}
+    for name in ("a", "b"):
+        ct = owner.encrypt(
+            scheme.random_message(), "hospital:doctor",
+            ciphertext_id=f"rec/{name}",
+        )
+        components[name] = StoredComponent(
+            name=name,
+            abe_ciphertext=ct,
+            data_ciphertext=symmetric.encrypt(bytes(32), b"payload-" + name.encode()),
+        )
+    return scheme, StoredRecord(
+        record_id="rec", owner_id="alice", components=components
+    )
+
+
+class TestStoredRecord:
+    def test_component_lookup(self, record):
+        _, stored = record
+        assert stored.component("a").name == "a"
+        assert stored.component_names() == ("a", "b")
+
+    def test_missing_component_raises(self, record):
+        _, stored = record
+        with pytest.raises(StorageError):
+            stored.component("zz")
+
+    def test_payload_size_sums_components(self, record):
+        scheme, stored = record
+        group = scheme.group
+        total = sum(
+            component.payload_size_bytes(group)
+            for component in stored.components.values()
+        )
+        assert stored.payload_size_bytes(group) == total
+
+    def test_component_size_formula(self, record):
+        scheme, stored = record
+        group = scheme.group
+        component = stored.component("a")
+        expected = component.abe_ciphertext.element_size_bytes(group) + len(
+            component.data_ciphertext
+        )
+        assert component.payload_size_bytes(group) == expected
+
+    def test_with_component_replaces(self, record):
+        scheme, stored = record
+        replacement = StoredComponent(
+            name="a",
+            abe_ciphertext=stored.component("a").abe_ciphertext,
+            data_ciphertext=symmetric.encrypt(bytes(32), b"new"),
+        )
+        updated = stored.with_component(replacement)
+        assert updated.component("a") is replacement
+        assert updated.component("b") is stored.component("b")
+        # original untouched
+        assert stored.component("a") is not replacement
+
+    def test_with_component_unknown_name(self, record):
+        _, stored = record
+        bogus = StoredComponent(
+            name="zz",
+            abe_ciphertext=stored.component("a").abe_ciphertext,
+            data_ciphertext=stored.component("a").data_ciphertext,
+        )
+        with pytest.raises(StorageError):
+            stored.with_component(bogus)

@@ -1,0 +1,115 @@
+"""Tests for the payload size model."""
+
+import pytest
+
+from repro.baselines import lewko
+from repro.baselines.bsw import BswScheme
+from repro.core.scheme import MultiAuthorityABE
+from repro.ec.params import TOY80
+from repro.system.sizes import UnmeasurablePayload, measure
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    scheme = MultiAuthorityABE(TOY80, seed=777)
+    hospital = scheme.setup_authority("hospital", ["doctor", "nurse"])
+    owner = scheme.setup_owner("alice", [hospital])
+    pk = scheme.register_user("bob")
+    sk = hospital.keygen(pk, ["doctor", "nurse"], "alice")
+    ct = owner.encrypt(
+        scheme.random_message(), "hospital:doctor AND hospital:nurse"
+    )
+    return scheme, hospital, owner, pk, sk, ct
+
+
+class TestPrimitives:
+    def test_scalars_and_elements(self, group):
+        assert measure(None, group) == 0
+        assert measure(True, group) == 1
+        assert measure(b"abcd", group) == 4
+        assert measure("héllo", group) == len("héllo".encode("utf-8"))
+        assert measure(42, group) == group.scalar_bytes
+        assert measure(group.g, group) == group.g1_bytes
+        assert measure(group.gt, group) == group.gt_bytes
+
+    def test_containers_sum(self, group):
+        assert measure([group.g, group.g], group) == 2 * group.g1_bytes
+        assert measure({"k": group.g}, group) == 1 + group.g1_bytes
+
+    def test_unknown_type_raises(self, group):
+        with pytest.raises(UnmeasurablePayload):
+            measure(object(), group)
+
+
+class TestCorePayloads:
+    def test_user_public_key(self, deployment):
+        scheme, _, _, pk, _, _ = deployment
+        g = scheme.group
+        assert measure(pk, g) == g.g1_bytes + 3  # + len("bob")
+
+    def test_user_secret_key(self, deployment):
+        scheme, _, _, _, sk, _ = deployment
+        g = scheme.group
+        assert measure(sk, g) == (1 + 2) * g.g1_bytes  # K + 2 attribute keys
+
+    def test_public_attribute_keys(self, deployment):
+        scheme, hospital, _, _, _, _ = deployment
+        g = scheme.group
+        assert measure(hospital.public_attribute_keys(), g) == 2 * g.g1_bytes
+
+    def test_authority_public_key(self, deployment):
+        scheme, hospital, _, _, _, _ = deployment
+        g = scheme.group
+        assert measure(hospital.authority_public_key(), g) == g.gt_bytes
+
+    def test_owner_secret_key(self, deployment):
+        scheme, _, owner, _, _, _ = deployment
+        g = scheme.group
+        assert (
+            measure(owner.secret_key, g)
+            == g.g1_bytes + g.scalar_bytes + len("alice")
+        )
+
+    def test_version_key(self, deployment):
+        scheme, hospital, _, _, _, _ = deployment
+        g = scheme.group
+        assert measure(hospital.version_key(), g) == g.scalar_bytes
+
+    def test_ciphertext_matches_formula(self, deployment):
+        scheme, _, _, _, _, ct = deployment
+        g = scheme.group
+        assert measure(ct, g) == g.gt_bytes + (ct.n_rows + 1) * g.g1_bytes
+
+    def test_update_key_and_info(self, deployment):
+        scheme, hospital, owner, _, _, ct = deployment
+        g = scheme.group
+        pk = scheme.register_user("victim")
+        hospital.keygen(pk, ["doctor"], "alice")
+        result = scheme.revoke("hospital", "victim", ["doctor"])
+        assert (
+            measure(result.update_key, g)
+            == len(result.update_key.uk1) * g.g1_bytes + g.scalar_bytes
+        )
+        info = owner.update_info(ct, result.update_key)
+        assert measure(info, g) == len(info.elements) * g.g1_bytes
+
+
+class TestBaselinePayloads:
+    def test_lewko_sizes(self, group):
+        authority = lewko.LewkoAuthority(group, "uni", ["a", "b", "c"])
+        public = authority.public_key()
+        assert measure(public, group) == 3 * (group.gt_bytes + group.g1_bytes)
+        key = authority.keygen("gid", ["a", "b"])
+        assert measure(key, group) == 2 * group.g1_bytes
+        ct = lewko.encrypt(
+            group, group.random_gt(), "uni:a AND uni:b", public.elements
+        )
+        assert measure(ct, group) == ct.element_size_bytes(group)
+
+    def test_bsw_sizes(self, group):
+        bsw = BswScheme(group)
+        key = bsw.keygen(["a", "b"])
+        assert measure(key, group) == 5 * group.g1_bytes
+        ct = bsw.encrypt(group.random_gt(), "a AND b")
+        assert measure(ct, group) == group.gt_bytes + 5 * group.g1_bytes
+        assert measure(bsw.public_key, group) == group.g1_bytes + group.gt_bytes

@@ -1,0 +1,149 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestDemo:
+    def test_end_to_end(self):
+        code, output = run(["demo", "--preset", "TOY80", "--seed", "3"])
+        assert code == 0
+        assert "bob reads        : b'the plan'" in output
+        assert "denied (PolicyNotSatisfiedError)" in output
+        assert "bob post-revoke  : denied" in output
+
+
+class TestTables:
+    def test_default_shape(self):
+        code, output = run(["tables", "--preset", "SS512"])
+        assert code == 0
+        assert "Table I" in output
+        assert "Table II" in output
+        assert "Table III" in output
+        assert "Table IV" in output
+        assert "Lewko-Waters" in output
+        # SS512 headline ciphertext size appears (l=25 → 1818 bytes).
+        assert "1818" in output
+
+    def test_custom_shape(self):
+        code, output = run(
+            ["tables", "--authorities", "2", "--attributes", "3",
+             "--rows", "6"]
+        )
+        assert code == 0
+
+    def test_shape_validation_propagates(self):
+        with pytest.raises(ValueError):
+            run(["tables", "--authorities", "0"])
+
+
+class TestPrimitives:
+    def test_runs_and_reports(self):
+        code, output = run(
+            ["primitives", "--preset", "TOY80", "--samples", "2"]
+        )
+        assert code == 0
+        assert "pairing" in output
+        assert "hash to G" in output
+        assert "ms" in output
+
+
+class TestFigures:
+    def test_single_figure(self):
+        code, output = run(
+            ["figures", "--preset", "TOY80", "--sweep", "1,2",
+             "--only", "3a"]
+        )
+        assert code == 0
+        assert "Fig 3(a)" in output
+        assert "Fig 3(b)" not in output
+        assert "ours" in output and "lewko" in output
+
+
+class TestParams:
+    def test_generates_valid_parameters(self):
+        code, output = run(
+            ["params", "--rbits", "24", "--pbits", "48", "--seed", "5"]
+        )
+        assert code == 0
+        assert output.startswith("r = 0x")
+        # Parse back and validate the divisibility structure.
+        lines = dict(
+            line.split(" = ", 1) for line in output.splitlines()
+            if " = " in line and not line.startswith("g")
+        )
+        r = int(lines["r"], 16)
+        p = int(lines["p"], 16)
+        assert (p + 1) % r == 0
+
+
+class TestReport:
+    def test_stdout_report(self):
+        code, output = run(
+            ["report", "--preset", "TOY80", "--authorities", "2",
+             "--attributes", "2"]
+        )
+        assert code == 0
+        assert "# Reproduction report — preset TOY80" in output
+        assert "## Table I" in output
+        assert "## Table IV" in output
+        assert "| pairing |" in output
+
+    def test_file_output(self, tmp_path):
+        target = tmp_path / "report.md"
+        code, output = run(
+            ["report", "--preset", "TOY80", "--authorities", "2",
+             "--attributes", "2", "--output", str(target)]
+        )
+        assert code == 0
+        assert target.exists()
+        text = target.read_text()
+        assert "Table III" in text
+
+    def test_measured_matches_model_in_report(self):
+        """The measured columns in the report equal the model columns
+        for the components with live objects."""
+        from repro.analysis.costmodel import SystemShape
+        from repro.analysis.report import generate_report
+        from repro.ec.params import TOY80 as params
+
+        shape = SystemShape(2, 2, 2, 4)
+        text = generate_report(params, shape)
+        for line in text.splitlines():
+            if line.startswith("| secret_key") or line.startswith(
+                "| ciphertext"
+            ):
+                cells = [cell.strip() for cell in line.split("|")[1:-1]]
+                assert cells[1] == cells[2], line   # ours model == measured
+                assert cells[3] == cells[4], line   # lewko model == measured
+
+
+class TestInfo:
+    def test_lists_presets(self):
+        code, output = run(["info"])
+        assert code == 0
+        assert "TOY80" in output and "SS512" in output
+        assert "|GT|=128B" in output  # SS512
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_unknown_preset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--preset", "NOPE"])
