@@ -182,7 +182,11 @@ def encrypt(group: PairingGroup, message: GTElement, policy,
         r_x = group.random_scalar()
         c1 = (group.gt ** lambda_shares[index]) * (pk.e_alpha ** r_x)
         c2 = group.g ** r_x
-        c3 = (pk.g_y ** r_x) * (group.g ** omega_shares[index])
+        # g^{y_ρ(x)·r_x} · g^{ω_x} as one two-term multiexp (counted as
+        # the same 2 G exponentiations the separate products would be).
+        c3 = group.multiexp_g1(
+            (pk.g_y, group.g), (r_x, omega_shares[index])
+        )
         rows.append(LewkoCiphertextRow(c1=c1, c2=c2, c3=c3))
     c0 = message * (group.gt ** s)
     return LewkoCiphertext(c0=c0, rows=tuple(rows), matrix=matrix)
@@ -209,14 +213,17 @@ def decrypt(group: PairingGroup, ciphertext: LewkoCiphertext, gid: str,
         set(merged), order
     )
     h_gid = group.hash_to_g1(gid)
+    # H(GID) is the first argument of one pairing per row: cache its
+    # Miller lines once. Each row's ratio of pairings becomes a 2-way
+    # multi-pairing (e(K, C2)⁻¹ = e(K⁻¹, C2)) with one shared final
+    # exponentiation; the counters still record 2 pairings per row.
+    group.prepare_pairing(h_gid)
     accumulator = group.identity_gt()
     for index, coefficient in coefficients.items():
         label = ciphertext.matrix.row_labels[index]
         row = ciphertext.rows[index]
-        term = (
-            row.c1
-            * group.pair(h_gid, row.c3)
-            / group.pair(merged[label], row.c2)
+        term = row.c1 * group.pair_prod(
+            [(h_gid, row.c3), (merged[label].inverse(), row.c2)]
         )
         accumulator = accumulator * (term ** coefficient)
     return ciphertext.c0 / accumulator

@@ -96,6 +96,13 @@ class LewkoOwnerEntity(Entity):
 
     def learn_public_keys(self, public: lewko.LewkoAuthorityPublicKey):
         self._public_keys.update(public.elements)
+        # Every upload exponentiates each policy attribute's e(g,g)^{α_i}
+        # and g^{y_i}: precompute fixed-base tables once per learned key
+        # so the per-ciphertext cost drops to table lookups.
+        group = self.network.group
+        for pk in public.elements.values():
+            group.register_gt_base(pk.e_alpha)
+            group.register_g1_base(pk.g_y)
 
     def upload(self, server: "LewkoServerEntity", record_id: str,
                components: dict) -> LewkoStoredRecord:

@@ -154,9 +154,15 @@ class AttributeAuthority:
                 f"authority {self.aid!r} does not manage {sorted(unknown)}"
             )
         pk_uid = user_public_key.element
-        # K = PK_UID^{r/β} · (g^{1/β})^α = g^{(u·r + α)/β}
-        k = (pk_uid ** owner_secret.r_over_beta) * (
-            owner_secret.g_inv_beta ** self._alpha
+        # PK_UID is exponentiated once per attribute plus once for K; a
+        # fixed-base table amortizes across this KeyGen and any later
+        # ones for the same user (other owners, re-keying).
+        self.group.register_g1_base(pk_uid)
+        # K = PK_UID^{r/β} · (g^{1/β})^α = g^{(u·r + α)/β}, as one
+        # two-term multi-exponentiation (still counted as 2 G exps).
+        k = self.group.multiexp_g1(
+            (pk_uid, owner_secret.g_inv_beta),
+            (owner_secret.r_over_beta, self._alpha),
         )
         attribute_keys = {}
         for name in attribute_set:

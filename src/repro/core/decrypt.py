@@ -79,18 +79,32 @@ def decrypt(group: PairingGroup, ciphertext: Ciphertext,
     n_involved = len(ciphertext.involved_aids)
     pk_uid = user_public_key.element
 
-    # Numerator: ∏_k e(C', K_{UID,AID_k})
-    numerator = group.identity_gt()
-    for aid in ciphertext.involved_aids:
-        numerator = numerator * group.pair(ciphertext.c_prime, secret_keys[aid].k)
+    # C' appears in every pairing of Eq. (1) and PK_UID in every row
+    # term: cache their Miller-loop line coefficients once, so each of
+    # the n_A + 2l pairings below replays stored lines instead of
+    # walking the chain. Counters are unchanged — the work per pairing
+    # shrinks, not the number of pairings.
+    group.prepare_pairing(ciphertext.c_prime)
+    group.prepare_pairing(pk_uid)
 
-    # Denominator: ∏_k ∏_i (e(C_i, PK_UID) · e(C', K_{ρ(i)}))^{w_i·n_A}
+    # Numerator: ∏_k e(C', K_{UID,AID_k}) — one shared final exponentiation.
+    numerator = group.pair_prod(
+        [(ciphertext.c_prime, secret_keys[aid].k)
+         for aid in ciphertext.involved_aids]
+    )
+
+    # Denominator: ∏_k ∏_i (e(C_i, PK_UID) · e(C', K_{ρ(i)}))^{w_i·n_A};
+    # each row's two pairings share a final exponentiation before the
+    # per-row GT exponentiation the paper's equation requires.
     denominator = group.identity_gt()
     for index, w in coefficients.items():
         label = matrix.row_labels[index]
         key = secret_keys[authority_of(label)]
-        term = group.pair(ciphertext.c_rows[index], pk_uid) * group.pair(
-            ciphertext.c_prime, key.attribute_keys[label]
+        term = group.pair_prod(
+            [
+                (ciphertext.c_rows[index], pk_uid),
+                (ciphertext.c_prime, key.attribute_keys[label]),
+            ]
         )
         denominator = denominator * (term ** (w * n_involved % order))
 
@@ -113,14 +127,23 @@ def decrypt_fast(group: PairingGroup, ciphertext: Ciphertext,
     for aid in ciphertext.involved_aids:
         k_product = k_product * secret_keys[aid].k
 
-    c_combined = group.identity_g1()
-    key_combined = group.identity_g1()
-    for index, w in coefficients.items():
-        exponent = w * n_involved % order
-        label = matrix.row_labels[index]
-        key = secret_keys[authority_of(label)]
-        c_combined = c_combined * (ciphertext.c_rows[index] ** exponent)
-        key_combined = key_combined * (key.attribute_keys[label] ** exponent)
+    # Both combined points are multi-exponentiations over the used rows:
+    # one interleaved doubling chain each (Pippenger buckets for wide
+    # policies) instead of a scalar multiplication per row. Counted as
+    # one G exponentiation per row, exactly like the naive loop.
+    used = sorted(coefficients.items())
+    exponents = [w * n_involved % order for _, w in used]
+    c_combined = group.multiexp_g1(
+        [ciphertext.c_rows[index] for index, _ in used], exponents
+    )
+    key_combined = group.multiexp_g1(
+        [
+            secret_keys[authority_of(matrix.row_labels[index])]
+            .attribute_keys[matrix.row_labels[index]]
+            for index, _ in used
+        ],
+        exponents,
+    )
 
     # e(C', ∏K_k) / (e(∏C_i^{w_i·n_A}, PK_UID) · e(C', ∏K_x^{w_i·n_A}))
     # computed as a 3-way multi-pairing with one final exponentiation.

@@ -105,15 +105,24 @@ def server_transform(group: PairingGroup, ciphertext: Ciphertext,
         _held_attributes(ciphertext, keys), order
     )
     n_involved = len(ciphertext.involved_aids)
-    numerator = group.identity_gt()
-    for aid in ciphertext.involved_aids:
-        numerator = numerator * group.pair(ciphertext.c_prime, keys[aid].k)
+    # Same Eq. (1) structure as repro.core.decrypt.decrypt: prepare the
+    # two arguments that repeat across every pairing, batch the
+    # numerator, and share each row's final exponentiation.
+    group.prepare_pairing(ciphertext.c_prime)
+    group.prepare_pairing(public.element)
+    numerator = group.pair_prod(
+        [(ciphertext.c_prime, keys[aid].k)
+         for aid in ciphertext.involved_aids]
+    )
     denominator = group.identity_gt()
     for index, w in coefficients.items():
         label = matrix.row_labels[index]
         key = keys[authority_of(label)]
-        term = group.pair(ciphertext.c_rows[index], public.element) * group.pair(
-            ciphertext.c_prime, key.attribute_keys[label]
+        term = group.pair_prod(
+            [
+                (ciphertext.c_rows[index], public.element),
+                (ciphertext.c_prime, key.attribute_keys[label]),
+            ]
         )
         denominator = denominator * (term ** (w * n_involved % order))
     return numerator / denominator

@@ -66,6 +66,7 @@ class DataOwner:
         )
         self._authority_keys = {}   # aid -> AuthorityPublicKey
         self._attribute_keys = {}   # aid -> PublicAttributeKeys
+        self._blinding_cache = {}   # ((aid, version), ...) -> GTElement
         self._records = {}          # ciphertext id -> EncryptionRecord
         self._retired = set()       # ciphertext ids no longer stored
         self._counter = itertools.count()
@@ -90,9 +91,33 @@ class DataOwner:
             raise SchemeError("authority key bundle has mismatched versions")
         self._authority_keys[authority_public_key.aid] = authority_public_key
         self._attribute_keys[public_attribute_keys.aid] = public_attribute_keys
+        # Every Encrypt exponentiates each policy attribute's PK_x; a
+        # fixed-base table per public attribute key amortizes that across
+        # this owner's lifetime of ciphertexts.
+        for element in public_attribute_keys.elements.values():
+            self.group.register_g1_base(element)
 
     def known_authorities(self) -> frozenset:
         return frozenset(self._authority_keys)
+
+    def _blinding_for(self, involved) -> GTElement:
+        """``∏_k e(g,g)^{α_k}`` over the involved authorities, cached per
+        (authority, version) set with a GT fixed-base table — the product
+        and its table survive across every Encrypt under the same policy
+        authorities until one of them re-keys."""
+        cache_key = tuple(sorted(
+            (aid, self._authority_keys[aid].version) for aid in involved
+        ))
+        blinding = self._blinding_cache.get(cache_key)
+        if blinding is None:
+            blinding = self.group.identity_gt()
+            for aid, _ in cache_key:
+                blinding = blinding * self._authority_keys[aid].value
+            self.group.register_gt_base(blinding)
+            if len(self._blinding_cache) >= 64:
+                self._blinding_cache.pop(next(iter(self._blinding_cache)))
+            self._blinding_cache[cache_key] = blinding
+        return blinding
 
     # -- Encrypt (Phase 3) ------------------------------------------------------------
 
@@ -131,21 +156,26 @@ class DataOwner:
         s = group.random_scalar()
         shares = matrix.share(s, order, group.rng)
 
-        # C = m · (∏_k e(g,g)^{α_k})^s
-        blinding = group.identity_gt()
-        for aid in involved:
-            blinding = blinding * self._authority_keys[aid].value
+        # C = m · (∏_k e(g,g)^{α_k})^s — the product is cached with a GT
+        # fixed-base table across ciphertexts (same involved authorities).
+        blinding = self._blinding_for(involved)
         c = message * (blinding ** s)
         # C' = g^{βs}
         beta_s = self._master.beta * s % order
         c_prime = group.g ** beta_s
-        # C_i = g^{r·λ_i} · PK_{ρ(i)}^{-βs}
+        # C_i = g^{r·λ_i} · PK_{ρ(i)}^{-βs} as one two-term multiexp per
+        # row: the shared doubling chain plus the fixed-base tables for g
+        # and PK_x replace two full scalar multiplications and a point
+        # addition. Still counted as 2 G exponentiations per row.
+        neg_beta_s = -beta_s % order
         rows = []
         for index, label in enumerate(matrix.row_labels):
             aid = authority_of(label)
             pk_x = self._attribute_keys[aid][label]
-            g_r_lambda = group.g ** (self._master.r_exp * shares[index] % order)
-            rows.append(g_r_lambda * (pk_x ** (-beta_s % order)))
+            rows.append(group.multiexp_g1(
+                (group.g, pk_x),
+                (self._master.r_exp * shares[index] % order, neg_beta_s),
+            ))
 
         if ciphertext_id is None:
             ciphertext_id = f"{self.owner_id}/ct{next(self._counter)}"

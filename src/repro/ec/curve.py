@@ -16,9 +16,106 @@ import random
 
 from repro.errors import MathError, ParameterError
 from repro.math.field import PrimeField
+from repro.math.integers import batch_invmod
 
 Point = tuple  # (x, y) affine coordinates; None is the point at infinity
 INFINITY = None
+
+# Jacobian coordinates (X, Y, Z) represent the affine point (X/Z², Y/Z³);
+# Z == 0 encodes the point at infinity (canonically (1, 1, 0)).
+_JAC_INFINITY = (1, 1, 0)
+
+
+def _jac_double(point, p):
+    """Double a Jacobian point on y² = x³ + x (a = 1), inversion-free."""
+    x, y, z = point
+    if z == 0 or y == 0:
+        return _JAC_INFINITY
+    yy = y * y % p
+    s = 4 * x * yy % p
+    zz = z * z % p
+    m = (3 * x * x + zz * zz) % p  # a = 1 contributes Z⁴
+    nx = (m * m - 2 * s) % p
+    ny = (m * (s - nx) - 8 * yy * yy) % p
+    nz = 2 * y * z % p
+    return (nx, ny, nz)
+
+
+def _jac_add_affine(point, affine, p):
+    """Mixed addition: Jacobian accumulator + affine point, inversion-free."""
+    if affine is INFINITY:
+        return point
+    ax, ay = affine
+    x, y, z = point
+    if z == 0:
+        return (ax, ay, 1)
+    zz = z * z % p
+    u2 = ax * zz % p
+    s2 = ay * zz * z % p
+    h = (u2 - x) % p
+    r = (s2 - y) % p
+    if h == 0:
+        if r == 0:
+            return _jac_double(point, p)
+        return _JAC_INFINITY
+    hh = h * h % p
+    hhh = h * hh % p
+    v = x * hh % p
+    nx = (r * r - hhh - 2 * v) % p
+    ny = (r * (v - nx) - y * hhh) % p
+    nz = z * h % p
+    return (nx, ny, nz)
+
+
+def _jac_add(point1, point2, p):
+    """Full Jacobian + Jacobian addition, inversion-free."""
+    x1, y1, z1 = point1
+    if z1 == 0:
+        return point2
+    x2, y2, z2 = point2
+    if z2 == 0:
+        return point1
+    z1z1 = z1 * z1 % p
+    z2z2 = z2 * z2 % p
+    u1 = x1 * z2z2 % p
+    u2 = x2 * z1z1 % p
+    s1 = y1 * z2z2 * z2 % p
+    s2 = y2 * z1z1 * z1 % p
+    h = (u2 - u1) % p
+    r = (s2 - s1) % p
+    if h == 0:
+        if r == 0:
+            return _jac_double(point1, p)
+        return _JAC_INFINITY
+    hh = h * h % p
+    hhh = h * hh % p
+    v = u1 * hh % p
+    nx = (r * r - hhh - 2 * v) % p
+    ny = (r * (v - nx) - s1 * hhh) % p
+    nz = z1 * z2 * h % p
+    return (nx, ny, nz)
+
+
+def _wnaf(scalar: int, width: int) -> list:
+    """Width-``w`` non-adjacent form of a non-negative scalar.
+
+    Returns little-endian digits, each zero or odd in
+    ``(-2^(w-1), 2^(w-1))``; at most one in ``width`` digits is nonzero.
+    """
+    digits = []
+    modulus = 1 << width
+    half = 1 << (width - 1)
+    while scalar:
+        if scalar & 1:
+            digit = scalar % modulus
+            if digit >= half:
+                digit -= modulus
+            scalar -= digit
+        else:
+            digit = 0
+        digits.append(digit)
+        scalar >>= 1
+    return digits
 
 
 class SupersingularCurve:
@@ -89,72 +186,182 @@ class SupersingularCurve:
     def sub(self, point1, point2):
         return self.add(point1, self.neg(point2))
 
-    def mul(self, point, scalar: int):
-        """Scalar multiplication in Jacobian coordinates.
+    # -- coordinate conversion --------------------------------------------------
 
-        Projective (Jacobian) doubling and mixed addition avoid the
-        per-step modular inversion of affine arithmetic; a single
-        inversion converts back at the end. 3-4× faster than affine
-        double-and-add at 512-bit field sizes.
+    def to_affine(self, jacobian):
+        """Convert one Jacobian point to affine (single inversion)."""
+        x, y, z = jacobian
+        if z == 0:
+            return INFINITY
+        p = self.p
+        z_inv = pow(z, -1, p)
+        z_inv2 = z_inv * z_inv % p
+        return (x * z_inv2 % p, y * z_inv2 * z_inv % p)
+
+    def batch_normalize(self, jacobian_points) -> list:
+        """Convert many Jacobian points to affine with ONE inversion.
+
+        Montgomery batch inversion over the Z coordinates; points at
+        infinity (Z == 0) come back as ``INFINITY``.
+        """
+        jacobian_points = list(jacobian_points)
+        p = self.p
+        finite = [(i, pt) for i, pt in enumerate(jacobian_points) if pt[2] != 0]
+        result = [INFINITY] * len(jacobian_points)
+        if not finite:
+            return result
+        inverses = batch_invmod([pt[2] for _, pt in finite], p)
+        for (index, (x, y, _)), z_inv in zip(finite, inverses):
+            z_inv2 = z_inv * z_inv % p
+            result[index] = (x * z_inv2 % p, y * z_inv2 * z_inv % p)
+        return result
+
+    def _odd_multiples(self, point, count: int) -> list:
+        """Affine [P, 3P, 5P, ..., (2·count-1)P] via one batch inversion."""
+        p = self.p
+        jac = [(point[0], point[1], 1)]
+        twice = _jac_double(jac[0], p)
+        for _ in range(count - 1):
+            jac.append(_jac_add(jac[-1], twice, p))
+        return self.batch_normalize(jac)
+
+    def mul(self, point, scalar: int):
+        """Scalar multiplication: wNAF sliding window over Jacobian coordinates.
+
+        Window-4 non-adjacent form cuts the addition count of plain
+        double-and-add roughly in half; all curve arithmetic is
+        inversion-free, with a single inversion converting back to affine
+        at the end. Exact — returns precisely ``[scalar]·point``.
         """
         if point is INFINITY or scalar == 0:
             return INFINITY
         if scalar < 0:
             point = self.neg(point)
             scalar = -scalar
+        if point[1] == 0:
+            # 2-torsion: 2P = O, so [k]P collapses to parity.
+            return point if scalar & 1 else INFINITY
         p = self.p
-        ax, ay = point  # affine base for mixed additions
-        # Accumulator in Jacobian coordinates; Z == 0 encodes infinity.
-        rx, ry, rz = 0, 1, 0
-        for bit_index in range(scalar.bit_length() - 1, -1, -1):
-            # Double the accumulator.
-            if rz != 0:
-                if ry == 0:
-                    rx, ry, rz = 0, 1, 0
+        if scalar.bit_length() <= 4:
+            # Tiny scalars: plain double-and-add, no precomputation.
+            acc = _JAC_INFINITY
+            for bit_index in range(scalar.bit_length() - 1, -1, -1):
+                acc = _jac_double(acc, p)
+                if (scalar >> bit_index) & 1:
+                    acc = _jac_add_affine(acc, point, p)
+            return self.to_affine(acc)
+        width = 4
+        table = self._odd_multiples(point, 1 << (width - 2))
+        digits = _wnaf(scalar, width)
+        acc = _JAC_INFINITY
+        for digit in reversed(digits):
+            acc = _jac_double(acc, p)
+            if digit:
+                if digit > 0:
+                    entry = table[digit >> 1]
                 else:
-                    yy = ry * ry % p
-                    s = 4 * rx * yy % p
-                    zz = rz * rz % p
-                    m = (3 * rx * rx + zz * zz) % p  # a = 1
-                    nx = (m * m - 2 * s) % p
-                    ny = (m * (s - nx) - 8 * yy * yy) % p
-                    nz = 2 * ry * rz % p
-                    rx, ry, rz = nx, ny, nz
-            if (scalar >> bit_index) & 1:
-                if rz == 0:
-                    rx, ry, rz = ax, ay, 1
+                    entry = table[(-digit) >> 1]
+                    if entry is not INFINITY:
+                        entry = (entry[0], -entry[1] % p)
+                acc = _jac_add_affine(acc, entry, p)
+        return self.to_affine(acc)
+
+    def multi_mul(self, pairs):
+        """Multi-scalar multiplication ``Σ [k_i]·P_i`` (Straus/Pippenger).
+
+        ``pairs`` is an iterable of ``(point, scalar)``. Small batches use
+        Straus/Shamir interleaving (one shared doubling chain, wNAF digits
+        per point); large batches switch to Pippenger's bucket method.
+        Exact, like :meth:`mul`.
+        """
+        return self.to_affine(self.multi_mul_jacobian(pairs))
+
+    def multi_mul_jacobian(self, pairs):
+        """:meth:`multi_mul` without the final affine conversion."""
+        p = self.p
+        prepared = []
+        torsion_acc = _JAC_INFINITY
+        for point, scalar in pairs:
+            if point is INFINITY or scalar == 0:
+                continue
+            if scalar < 0:
+                point = self.neg(point)
+                scalar = -scalar
+            if point[1] == 0:
+                if scalar & 1:
+                    torsion_acc = _jac_add_affine(torsion_acc, point, p)
+                continue
+            prepared.append((point, scalar))
+        if not prepared:
+            return torsion_acc
+        if len(prepared) >= 32:
+            acc = self._pippenger(prepared)
+        else:
+            acc = self._straus(prepared)
+        if torsion_acc[2] != 0:
+            acc = _jac_add(acc, torsion_acc, p)
+        return acc
+
+    def _straus(self, prepared):
+        """Interleaved wNAF: one doubling chain shared by every scalar."""
+        p = self.p
+        width = 4
+        tables = []
+        digit_rows = []
+        for point, scalar in prepared:
+            tables.append(self._odd_multiples(point, 1 << (width - 2)))
+            digit_rows.append(_wnaf(scalar, width))
+        length = max(len(row) for row in digit_rows)
+        acc = _JAC_INFINITY
+        for position in range(length - 1, -1, -1):
+            acc = _jac_double(acc, p)
+            for table, digits in zip(tables, digit_rows):
+                if position >= len(digits):
+                    continue
+                digit = digits[position]
+                if not digit:
+                    continue
+                if digit > 0:
+                    entry = table[digit >> 1]
                 else:
-                    # Mixed addition: accumulator (Jacobian) + base (affine).
-                    zz = rz * rz % p
-                    u2 = ax * zz % p
-                    s2 = ay * zz * rz % p
-                    h = (u2 - rx) % p
-                    r = (s2 - ry) % p
-                    if h == 0:
-                        if r == 0:
-                            # Doubling case: P + P.
-                            yy = ry * ry % p
-                            s = 4 * rx * yy % p
-                            m = (3 * rx * rx + zz * zz) % p
-                            nx = (m * m - 2 * s) % p
-                            ny = (m * (s - nx) - 8 * yy * yy) % p
-                            nz = 2 * ry * rz % p
-                            rx, ry, rz = nx, ny, nz
-                        else:
-                            rx, ry, rz = 0, 1, 0  # P + (-P) = O
-                    else:
-                        hh = h * h % p
-                        hhh = h * hh % p
-                        v = rx * hh % p
-                        nx = (r * r - hhh - 2 * v) % p
-                        ny = (r * (v - nx) - ry * hhh) % p
-                        nz = rz * h % p
-                        rx, ry, rz = nx, ny, nz
-        if rz == 0:
-            return INFINITY
-        z_inv = pow(rz, -1, p)
-        z_inv2 = z_inv * z_inv % p
-        return (rx * z_inv2 % p, ry * z_inv2 * z_inv % p)
+                    entry = table[(-digit) >> 1]
+                    if entry is not INFINITY:
+                        entry = (entry[0], -entry[1] % p)
+                acc = _jac_add_affine(acc, entry, p)
+        return acc
+
+    def _pippenger(self, prepared):
+        """Bucket method for large batches: O(bits/c · (n + 2^c)) additions."""
+        p = self.p
+        n = len(prepared)
+        c = max(2, n.bit_length() - 2)  # ~log2(n), the classic choice
+        max_bits = max(scalar.bit_length() for _, scalar in prepared)
+        n_windows = (max_bits + c - 1) // c
+        mask = (1 << c) - 1
+        acc = _JAC_INFINITY
+        for window in range(n_windows - 1, -1, -1):
+            for _ in range(c):
+                acc = _jac_double(acc, p)
+            buckets = [None] * (mask + 1)
+            shift = window * c
+            for point, scalar in prepared:
+                digit = (scalar >> shift) & mask
+                if digit == 0:
+                    continue
+                existing = buckets[digit]
+                if existing is None:
+                    buckets[digit] = (point[0], point[1], 1)
+                else:
+                    buckets[digit] = _jac_add_affine(existing, point, p)
+            running = _JAC_INFINITY
+            window_sum = _JAC_INFINITY
+            for digit in range(mask, 0, -1):
+                bucket = buckets[digit]
+                if bucket is not None:
+                    running = _jac_add(running, bucket, p)
+                window_sum = _jac_add(window_sum, running, p)
+            acc = _jac_add(acc, window_sum, p)
+        return acc
 
     # -- point construction ---------------------------------------------------
 

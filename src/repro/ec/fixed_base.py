@@ -8,12 +8,23 @@ additions and no doublings — a 4-6× speedup over double-and-add in this
 pure-Python setting.
 
 The table costs ``(W - 1) · ceil(bits/w)`` precomputed points; for a
-160-bit order and w = 4 that is 600 points, built once per group.
+160-bit order and w = 4 that is 600 points (~75 KB at 512-bit p), built
+once per base. Construction walks the whole table in Jacobian
+coordinates and converts every entry to affine with ONE Montgomery batch
+inversion; ``multiply`` accumulates the affine entries into a Jacobian
+accumulator (inversion-free mixed additions) and pays a single inversion
+at the end.
 """
 
 from __future__ import annotations
 
-from repro.ec.curve import INFINITY, SupersingularCurve
+from repro.ec.curve import (
+    INFINITY,
+    _JAC_INFINITY,
+    SupersingularCurve,
+    _jac_add,
+    _jac_add_affine,
+)
 
 
 class FixedBaseTable:
@@ -30,35 +41,53 @@ class FixedBaseTable:
         self.window = window
         width = 1 << window
         n_levels = (order.bit_length() + window - 1) // window
-        self.levels = []
-        base = point
+        p = curve.p
+        # Walk every entry in Jacobian coordinates: row[j] = j·(W^i·P),
+        # chained by additions; the next level's base W^(i+1)·P is one
+        # more addition past the last row entry. One batch inversion at
+        # the end converts the whole table to affine.
+        flat = []
+        base = (point[0], point[1], 1) if point is not INFINITY else _JAC_INFINITY
         for _ in range(n_levels):
+            accumulator = base
+            flat.append(accumulator)
+            for _ in range(width - 2):
+                accumulator = _jac_add(accumulator, base, p)
+                flat.append(accumulator)
+            base = _jac_add(accumulator, base, p)  # W · (level base)
+        affine = curve.batch_normalize(flat)
+        self.levels = []
+        for level in range(n_levels):
             row = [INFINITY]
-            accumulator = INFINITY
-            for _ in range(width - 1):
-                accumulator = curve.add(accumulator, base)
-                row.append(accumulator)
+            row.extend(affine[level * (width - 1):(level + 1) * (width - 1)])
             self.levels.append(row)
-            # base <- (2^window) * base for the next digit position
-            for _ in range(window):
-                base = curve.double(base)
 
     def multiply(self, scalar: int):
         """``scalar · P`` using the precomputed table."""
+        return self.curve.to_affine(self.multiply_jacobian(scalar))
+
+    def multiply_jacobian(self, scalar: int):
+        """:meth:`multiply` without the final affine conversion.
+
+        Lets callers (the multi-exponentiation fast path) combine several
+        table-based partial results with a single shared inversion.
+        """
         if scalar < 0:
-            return self.curve.neg(self.multiply(-scalar))
+            x, y, z = self.multiply_jacobian(-scalar)
+            return (x, -y % self.curve.p, z)
+        p = self.curve.p
         mask = (1 << self.window) - 1
-        result = INFINITY
+        result = _JAC_INFINITY
         level = 0
         while scalar and level < len(self.levels):
             digit = scalar & mask
             if digit:
-                result = self.curve.add(result, self.levels[level][digit])
+                result = _jac_add_affine(result, self.levels[level][digit], p)
             scalar >>= self.window
             level += 1
         if scalar:
             # Scalar exceeded the table (not reduced mod order): fall back
             # for the remaining high part.
             high = self.curve.mul(self.point, scalar << (self.window * level))
-            result = self.curve.add(result, high)
+            result = _jac_add_affine(result, high, p)
         return result

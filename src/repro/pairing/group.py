@@ -21,12 +21,25 @@ from __future__ import annotations
 import hashlib
 import random
 
-from repro.ec.curve import INFINITY, SupersingularCurve
+from repro.ec.curve import (
+    _JAC_INFINITY,
+    INFINITY,
+    SupersingularCurve,
+    _jac_add,
+)
 from repro.ec.params import TypeAParams
 from repro.errors import MathError
 from repro.math.field import PrimeField
 from repro.math.field_ext import QuadraticExtension
-from repro.pairing.tate import product_of_pairings, tate_pairing
+from repro.pairing.miller import final_exponentiation, miller_loop
+
+# Caps on the per-group precomputation caches. Each fixed-base table is
+# ~75 KB and each prepared pairing ~45 KB at SS512 sizes, so the caps
+# bound cache memory at a few tens of MB; eviction is oldest-first.
+MAX_G1_TABLES = 256
+MAX_GT_TABLES = 256
+MAX_PREPARED_PAIRINGS = 256
+MAX_HASH_POINT_CACHE = 4096
 
 
 class OperationCounter:
@@ -82,8 +95,9 @@ class G1Element:
         group = self.group
         group.counter.g1_exponentiations += 1
         exponent %= group.order
-        if self.point == group.params.generator:
-            return G1Element(group, group.generator_table().multiply(exponent))
+        table = group._g1_table_for(self.point)
+        if table is not None:
+            return G1Element(group, table.multiply(exponent))
         return G1Element(group, group.curve.mul(self.point, exponent))
 
     def inverse(self) -> "G1Element":
@@ -127,10 +141,13 @@ class GTElement:
         return GTElement(self.group, self.group.ext.div(self.value, other.value))
 
     def __pow__(self, exponent: int) -> "GTElement":
-        self.group.counter.gt_exponentiations += 1
-        return GTElement(
-            self.group, self.group.ext.pow(self.value, exponent % self.group.order)
-        )
+        group = self.group
+        group.counter.gt_exponentiations += 1
+        exponent %= group.order
+        table = group._gt_table_for(self.value)
+        if table is not None:
+            return GTElement(group, table.pow(exponent))
+        return GTElement(group, group.ext.pow(self.value, exponent))
 
     def inverse(self) -> "GTElement":
         return GTElement(self.group, self.group.ext.inv(self.value))
@@ -173,6 +190,10 @@ class PairingGroup:
         self.g = G1Element(self, params.generator)
         self._gt_generator = None
         self._g_table = None
+        self._g1_tables = {}     # point -> FixedBaseTable
+        self._gt_tables = {}     # F_p² value -> GTFixedBaseTable
+        self._prepared = {}      # point -> PreparedPairing
+        self._h2g_cache = {}     # (domain, parts) -> subgroup point
         self.scalar_bytes = (self.order.bit_length() + 7) // 8
         self.g1_bytes = self.field.byte_length + 1  # compressed point + tag
         self.gt_bytes = 2 * self.field.byte_length
@@ -194,6 +215,7 @@ class PairingGroup:
             self._g_table = FixedBaseTable(
                 self.curve, self.params.generator, self.order
             )
+            self._g1_tables.setdefault(self.params.generator, self._g_table)
         return self._g_table
 
     def identity_g1(self) -> G1Element:
@@ -202,20 +224,161 @@ class PairingGroup:
     def identity_gt(self) -> GTElement:
         return GTElement(self, self.ext.one)
 
+    # -- precomputation registries -------------------------------------------------
+
+    def _g1_table_for(self, point):
+        table = self._g1_tables.get(point)
+        if table is None and point == self.params.generator:
+            table = self.generator_table()
+        return table
+
+    def _gt_table_for(self, value):
+        table = self._gt_tables.get(value)
+        if table is None and self._gt_generator is not None \
+                and value == self._gt_generator.value:
+            # The GT generator e(g, g) is exponentiated by every Encrypt;
+            # build its table on first use.
+            table = self.register_gt_base(self._gt_generator)
+        return table
+
+    @staticmethod
+    def _bounded_insert(cache: dict, limit: int, key, value):
+        if len(cache) >= limit:
+            cache.pop(next(iter(cache)))  # oldest-first eviction
+        cache[key] = value
+
+    def register_g1_base(self, element: G1Element, window: int = 4):
+        """Precompute a fixed-base table for a G element that will be
+        exponentiated repeatedly (public attribute keys, user keys...).
+
+        Build cost is a few hundred point additions plus one inversion
+        (~15 ms at SS512); each later exponentiation of the registered
+        base drops to ``bits/window`` inversion-free additions. Returns
+        the table (reusing an existing one when already registered).
+        """
+        table = self._g1_tables.get(element.point)
+        if table is None and element.point is not INFINITY:
+            from repro.ec.fixed_base import FixedBaseTable
+
+            table = FixedBaseTable(
+                self.curve, element.point, self.order, window=window
+            )
+            self._bounded_insert(
+                self._g1_tables, MAX_G1_TABLES, element.point, table
+            )
+        return table
+
+    def register_gt_base(self, element: GTElement, window: int = 4):
+        """Precompute a windowed-exponentiation table for a GT element
+        (the cached e(g,g), per-authority e(g,g)^{α_k} products...)."""
+        table = self._gt_tables.get(element.value)
+        if table is None and not self.ext.is_zero(element.value):
+            from repro.pairing.gt_table import GTFixedBaseTable
+
+            table = GTFixedBaseTable(
+                self.ext, element.value, self.order, window=window
+            )
+            self._bounded_insert(
+                self._gt_tables, MAX_GT_TABLES, element.value, table
+            )
+        return table
+
+    def prepare_pairing(self, element: G1Element):
+        """Cache the Miller-loop line coefficients of a pairing argument.
+
+        Later ``pair``/``pair_prod`` calls that involve the prepared
+        element (on either side — the pairing is symmetric) replay the
+        cached lines instead of recomputing the chain, cutting ~2/3 of
+        the per-pairing work. Returns the :class:`PreparedPairing`.
+        """
+        prepared = self._prepared.get(element.point)
+        if prepared is None:
+            from repro.pairing.prepared import PreparedPairing
+
+            prepared = PreparedPairing(
+                self.curve, self.ext, element.point, self.order
+            )
+            self._bounded_insert(
+                self._prepared, MAX_PREPARED_PAIRINGS, element.point, prepared
+            )
+        return prepared
+
     # -- the bilinear map ---------------------------------------------------------
+
+    def _miller_raw(self, point_p, point_q):
+        """Unreduced Miller value, via cached line coefficients when the
+        first or (by symmetry) second argument has been prepared.
+        Returns None for a trivial (infinity-input) pairing."""
+        if point_p is INFINITY or point_q is INFINITY:
+            return None
+        prepared = self._prepared.get(point_p)
+        if prepared is not None:
+            return prepared.miller(point_q)
+        prepared = self._prepared.get(point_q)
+        if prepared is not None:  # e(P, Q) = e(Q, P) on this curve
+            return prepared.miller(point_p)
+        return miller_loop(self.curve, self.ext, point_p, point_q, self.order)
 
     def pair(self, a: G1Element, b: G1Element) -> GTElement:
         """The symmetric Tate pairing e(a, b)."""
         self.counter.pairings += 1
-        value = tate_pairing(self.curve, self.ext, a.point, b.point, self.order)
-        return GTElement(self, value)
+        raw = self._miller_raw(a.point, b.point)
+        if raw is None:
+            return GTElement(self, self.ext.one)
+        return GTElement(self, final_exponentiation(self.ext, raw, self.order))
 
     def pair_prod(self, pairs) -> GTElement:
         """∏ e(a_i, b_i) with one shared final exponentiation."""
         point_pairs = [(a.point, b.point) for a, b in pairs]
         self.counter.pairings += len(point_pairs)
-        value = product_of_pairings(self.curve, self.ext, point_pairs, self.order)
-        return GTElement(self, value)
+        accumulator = None
+        for point_p, point_q in point_pairs:
+            raw = self._miller_raw(point_p, point_q)
+            if raw is None:
+                continue
+            accumulator = (
+                raw if accumulator is None else self.ext.mul(accumulator, raw)
+            )
+        if accumulator is None:
+            return GTElement(self, self.ext.one)
+        return GTElement(
+            self, final_exponentiation(self.ext, accumulator, self.order)
+        )
+
+    def multiexp_g1(self, elements, scalars) -> G1Element:
+        """∏ elementᵢ^{scalarᵢ} in G with one shared doubling chain.
+
+        Straus/Shamir interleaving (Pippenger buckets for large batches)
+        plus fixed-base tables for any registered bases; a single modular
+        inversion converts the result back to affine. Counts
+        ``len(elements)`` G exponentiations — the same operations the
+        naive per-element ``**`` loop would record — so the cost-model
+        validation stays meaningful.
+        """
+        elements = list(elements)
+        scalars = list(scalars)
+        if len(elements) != len(scalars):
+            raise MathError("multiexp_g1 needs one scalar per element")
+        self.counter.g1_exponentiations += len(elements)
+        p = self.params.p
+        accumulator = _JAC_INFINITY
+        rest = []
+        for element, scalar in zip(elements, scalars):
+            scalar %= self.order
+            if scalar == 0 or element.point is INFINITY:
+                continue
+            table = self._g1_table_for(element.point)
+            if table is not None:
+                accumulator = _jac_add(
+                    accumulator, table.multiply_jacobian(scalar), p
+                )
+            else:
+                rest.append((element.point, scalar))
+        if rest:
+            accumulator = _jac_add(
+                accumulator, self.curve.multi_mul_jacobian(rest), p
+            )
+        return G1Element(self, self.curve.to_affine(accumulator))
 
     # -- sampling ------------------------------------------------------------------
 
@@ -238,7 +401,17 @@ class PairingGroup:
             if isinstance(part, str):
                 part = part.encode("utf-8")
             elif isinstance(part, int):
-                part = part.to_bytes((part.bit_length() + 8) // 8 + 1, "big")
+                if part < 0:
+                    # Sign-prefix the magnitude: non-negative encodings
+                    # below always lead with a 0x00 byte, so the 0x01
+                    # prefix keeps the map injective (and int.to_bytes
+                    # would raise OverflowError on negatives).
+                    magnitude = -part
+                    part = b"\x01" + magnitude.to_bytes(
+                        (magnitude.bit_length() + 8) // 8 + 1, "big"
+                    )
+                else:
+                    part = part.to_bytes((part.bit_length() + 8) // 8 + 1, "big")
             elif not isinstance(part, (bytes, bytearray)):
                 raise MathError(f"cannot hash object of type {type(part).__name__}")
             hasher.update(len(part).to_bytes(4, "big"))
@@ -270,8 +443,19 @@ class PairingGroup:
         cofactor clearing (multiplying by h = (p+1)/r maps any curve
         point into the order-r subgroup). Needed by the Lewko-Waters and
         BSW baselines, which hash global identifiers / attributes to
-        group elements.
+        group elements. Results are memoized — the same identifier is
+        hashed on every KeyGen *and* every Decrypt row, and the
+        try-and-increment loop costs a square root plus a cofactor
+        multiplication each time.
         """
+        key = (domain, parts)
+        try:
+            cached = self._h2g_cache.get(key)
+        except TypeError:  # unhashable part (bytearray...): skip the cache
+            key = None
+            cached = None
+        if cached is not None:
+            return G1Element(self, cached)
         cofactor = (self.params.p + 1) // self.order
         p = self.params.p
         x_bytes = 2 * self.field.byte_length
@@ -288,6 +472,10 @@ class PairingGroup:
                 continue
             cleared = self.curve.mul(point, cofactor)
             if cleared is not INFINITY:
+                if key is not None:
+                    self._bounded_insert(
+                        self._h2g_cache, MAX_HASH_POINT_CACHE, key, cleared
+                    )
                 return G1Element(self, cleared)
         raise MathError("hash_to_g1 failed to find a curve point")  # pragma: no cover
 
@@ -315,6 +503,11 @@ class PairingGroup:
         point = self.curve.lift_x(x, tag - 2)
         if point is None:
             raise MathError("x-coordinate is not on the curve")
+        # Subgroup validation: the curve has order p + 1 = h·r, and points
+        # outside the order-r subgroup would make pairings land outside GT
+        # (small-subgroup confinement). Cost: one scalar multiplication.
+        if self.curve.mul(point, self.order) is not INFINITY:
+            raise MathError("point is not in the order-r subgroup")
         return G1Element(self, point)
 
     def encode_gt(self, element: GTElement) -> bytes:

@@ -1,0 +1,71 @@
+"""Fixed-base windowed exponentiation in GT ⊂ F_p²^*.
+
+The cached GT generator ``e(g, g)`` appears in every Encrypt
+(``C = m·e(g,g)^s``), and the per-authority public keys
+``e(g,g)^{α_k}`` are exponentiated by every owner; both are *fixed
+bases* exponentiated with fresh scalars, the exact shape fixed-base
+tables accelerate. This is the multiplicative-group analogue of
+:class:`repro.ec.fixed_base.FixedBaseTable`: ``levels[i][j] =
+base^(j·W^i)`` for window width ``w`` (``W = 2^w``), so one
+exponentiation costs at most ``ceil(bits/w)`` F_p² multiplications and
+zero squarings — roughly 4× fewer base-field multiplications than
+square-and-multiply.
+
+Memory: ``(W-1)·ceil(bits/w)`` F_p² elements; for a 160-bit order and
+w = 4 that is 600 elements (~75 KB at 512-bit p), built once per base
+with ~600 F_p² multiplications.
+"""
+
+from __future__ import annotations
+
+from repro.math.field_ext import Fp2Element, QuadraticExtension
+
+
+class GTFixedBaseTable:
+    """Precomputed powers of one F_p² element for windowed exponentiation."""
+
+    __slots__ = ("ext", "base", "window", "levels")
+
+    def __init__(self, ext: QuadraticExtension, base: Fp2Element, order: int,
+                 window: int = 4):
+        if not 1 <= window <= 8:
+            raise ValueError("window width must be in [1, 8]")
+        self.ext = ext
+        self.base = base
+        self.window = window
+        width = 1 << window
+        n_levels = (order.bit_length() + window - 1) // window
+        mul = ext.mul
+        self.levels = []
+        level_base = base
+        for _ in range(n_levels):
+            row = [ext.one]
+            accumulator = ext.one
+            for _ in range(width - 1):
+                accumulator = mul(accumulator, level_base)
+                row.append(accumulator)
+            self.levels.append(row)
+            # level_base ← level_base^(2^window) for the next digit position.
+            level_base = mul(accumulator, level_base)
+
+    def pow(self, exponent: int) -> Fp2Element:
+        """``base^exponent`` using the precomputed table."""
+        if exponent < 0:
+            return self.ext.inv(self.pow(-exponent))
+        ext = self.ext
+        mul = ext.mul
+        mask = (1 << self.window) - 1
+        result = ext.one
+        level = 0
+        while exponent and level < len(self.levels):
+            digit = exponent & mask
+            if digit:
+                result = mul(result, self.levels[level][digit])
+            exponent >>= self.window
+            level += 1
+        if exponent:
+            # Exponent exceeded the table (not reduced mod order): fall
+            # back for the remaining high part.
+            high = ext.pow(self.base, exponent << (self.window * level))
+            result = mul(result, high)
+        return result

@@ -130,3 +130,32 @@ class TestByteCodec:
     def test_negative_raises(self):
         with pytest.raises(MathError):
             int_to_bytes(-1)
+
+
+class TestBatchInvmod:
+    @given(st.lists(st.integers(1, P_3MOD4 - 1), min_size=1, max_size=20))
+    def test_matches_invmod(self, values):
+        from repro.math.integers import batch_invmod
+
+        assert batch_invmod(values, P_3MOD4) == [
+            invmod(v, P_3MOD4) for v in values
+        ]
+
+    def test_empty(self):
+        from repro.math.integers import batch_invmod
+
+        assert batch_invmod([], P_3MOD4) == []
+
+    def test_zero_raises(self):
+        from repro.math.integers import batch_invmod
+
+        with pytest.raises(MathError):
+            batch_invmod([1, 0, 2], P_3MOD4)
+
+    def test_unreduced_inputs(self):
+        from repro.math.integers import batch_invmod
+
+        values = [P_3MOD4 + 2, -3]
+        assert batch_invmod(values, P_3MOD4) == [
+            invmod(v, P_3MOD4) for v in values
+        ]

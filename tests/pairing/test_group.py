@@ -4,6 +4,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
+from repro.ec.curve import INFINITY
 from repro.ec.params import SS512, TOY80
 from repro.errors import MathError
 from repro.pairing.group import PairingGroup
@@ -98,6 +99,26 @@ class TestHashing:
         assert group.hash_to_g1("alice") == group.hash_to_g1("alice")
         assert group.hash_to_g1("alice") != group.hash_to_g1("bob")
 
+    def test_hash_accepts_negative_int(self, group):
+        # Negative ints previously crashed int.to_bytes with OverflowError.
+        value = group.hash_to_scalar(-42)
+        assert 0 <= value < group.order
+        assert value == group.hash_to_scalar(-42)
+
+    def test_hash_sign_distinguishes(self, group):
+        # The sign prefix must keep the encoding injective: -n, n and the
+        # byte string that n alone absorbs as must all hash apart.
+        assert group.hash_to_scalar(-42) != group.hash_to_scalar(42)
+        magnitude = (42).to_bytes(2, "big")
+        assert group.hash_to_scalar(-42) != group.hash_to_scalar(
+            b"\x01" + b"\x00" + magnitude
+        )
+
+    def test_hash_to_g1_memoized_identical_object(self, group):
+        first = group.hash_to_g1("memo-check")
+        second = group.hash_to_g1("memo-check")
+        assert first.point is second.point
+
 
 class TestSerialization:
     @given(scalars)
@@ -134,6 +155,27 @@ class TestSerialization:
         data = b"\x00" + b"\x01" * (group.g1_bytes - 1)
         with pytest.raises(MathError):
             group.decode_g1(data)
+
+    def test_g1_accepts_subgroup_points(self, group):
+        # Valid order-r points (including hash outputs) must round-trip.
+        element = group.hash_to_g1("subgroup-ok")
+        assert group.decode_g1(group.encode_g1(element)) == element
+
+    def test_g1_rejects_out_of_subgroup_point(self, group):
+        # Find a curve point outside the order-r subgroup: the curve has
+        # p + 1 = h·r points, so a random lift lands outside the subgroup
+        # with overwhelming probability. Encode it directly.
+        for x in range(2, 500):
+            point = group.curve.lift_x(x)
+            if point is None:
+                continue
+            if group.curve.mul(point, group.order) is INFINITY:
+                continue  # genuinely in the subgroup; keep looking
+            data = bytes([2 + (point[1] & 1)]) + group.field.to_bytes(x)
+            with pytest.raises(MathError):
+                group.decode_g1(data)
+            return
+        pytest.fail("no out-of-subgroup x found in range")  # pragma: no cover
 
     @given(scalars)
     def test_gt_roundtrip(self, group, a):
