@@ -6,6 +6,8 @@ Commands:
 * ``tables``     — print the Table I-IV cost models for a given shape
 * ``primitives`` — time the pairing substrate's primitive operations
 * ``params``     — generate fresh type-A pairing parameters
+* ``serve``      — run the networked cloud-storage service (asyncio TCP)
+* ``client``     — talk to a running service (ping / stats / list / smoke)
 * ``info``       — show the built-in parameter presets
 
 Everything the CLI does is also available (with more control) through
@@ -192,6 +194,85 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service.server import StorageService
+    from repro.service.store import RecordStore
+
+    out = args.out
+    group = PairingGroup(PRESETS[args.preset], seed=args.seed)
+
+    async def run() -> int:
+        store = RecordStore(args.root, group)
+        service = StorageService(
+            group, store, host=args.host, port=args.port,
+            idle_timeout=args.idle_timeout,
+        )
+        await service.start()
+        print(
+            f"repro service listening on {service.host}:{service.port} "
+            f"(preset {args.preset}, root {args.root})",
+            file=out, flush=True,
+        )
+        try:
+            if args.max_seconds > 0:
+                await asyncio.wait_for(service.serve_forever(),
+                                       args.max_seconds)
+            else:
+                await service.serve_forever()
+        except asyncio.TimeoutError:
+            print("max runtime reached; shutting down", file=out, flush=True)
+        finally:
+            await service.stop()
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        print("interrupted; shut down", file=out, flush=True)
+        return 0
+
+
+def _cmd_client(args) -> int:
+    import asyncio
+    import json as json_module
+
+    from repro.service.client import BaseClient, ServiceConnection
+
+    out = args.out
+    params = PRESETS[args.preset]
+    if args.action == "smoke":
+        from repro.service.smoke import run_smoke
+
+        return asyncio.run(run_smoke(
+            params, args.host, args.port, out=out, seed=args.seed
+        ))
+
+    group = PairingGroup(params, seed=args.seed)
+
+    async def run() -> int:
+        connection = ServiceConnection(
+            group, args.host, args.port, role="user", name="cli"
+        )
+        client = BaseClient(await connection.connect())
+        try:
+            if args.action == "ping":
+                print("pong" if await client.ping() else "no pong",
+                      file=out)
+            elif args.action == "stats":
+                print(json_module.dumps(await client.stats(), indent=2),
+                      file=out)
+            else:  # list
+                for record_id in await client.list_records():
+                    print(record_id, file=out)
+        finally:
+            await client.close()
+        return 0
+
+    return asyncio.run(run())
+
+
 def _cmd_info(args) -> int:
     out = args.out
     for name, params in sorted(PRESETS.items()):
@@ -259,6 +340,36 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--output", default="",
                         help="file path (default: stdout)")
     report.set_defaults(handler=_cmd_report)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the cloud-storage service on a TCP socket"
+    )
+    _add_preset_argument(serve)
+    serve.add_argument("--seed", type=int, default=None)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7468,
+                       help="TCP port (0 picks an ephemeral port)")
+    serve.add_argument("--root", default="repro-data",
+                       help="record-store directory (created if absent)")
+    serve.add_argument("--idle-timeout", type=float, default=30.0,
+                       dest="idle_timeout",
+                       help="per-connection idle timeout in seconds")
+    serve.add_argument("--max-seconds", type=float, default=0,
+                       dest="max_seconds",
+                       help="auto-shutdown after this many seconds (0 = run "
+                            "until interrupted; useful for CI)")
+    serve.set_defaults(handler=_cmd_serve)
+
+    client = subparsers.add_parser(
+        "client", help="talk to a running repro service"
+    )
+    _add_preset_argument(client)
+    client.add_argument("action", choices=["ping", "stats", "list", "smoke"],
+                        help="smoke runs the full upload/read/revoke cycle")
+    client.add_argument("--seed", type=int, default=None)
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, default=7468)
+    client.set_defaults(handler=_cmd_client)
 
     info = subparsers.add_parser("info", help="show built-in presets")
     info.set_defaults(handler=_cmd_info)

@@ -92,11 +92,19 @@ class Ciphertext:
         except (UnicodeDecodeError, json.JSONDecodeError, KeyError,
                 TypeError) as exc:
             raise SchemeError("malformed ciphertext header") from exc
-        if not isinstance(versions, dict):
+        if not all(isinstance(value, str)
+                   for value in (ciphertext_id, owner_id, policy)):
             raise SchemeError("malformed ciphertext header")
-        matrix = lsss_from_policy(
-            policy, threshold_method=header.get("lsss", "expand")
-        )
+        if not isinstance(versions, dict) or not all(
+            isinstance(aid, str)
+            and isinstance(v, int) and not isinstance(v, bool)
+            for aid, v in versions.items()
+        ):
+            raise SchemeError("malformed ciphertext header")
+        method = header.get("lsss", "expand")
+        if not isinstance(method, str):
+            raise SchemeError("malformed ciphertext header")
+        matrix = lsss_from_policy(policy, threshold_method=method)
         offset = 4 + header_len
         gt_len, g1_len = group.gt_bytes, group.g1_bytes
         expected = gt_len + g1_len * (1 + matrix.n_rows)

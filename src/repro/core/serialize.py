@@ -37,16 +37,55 @@ def _pack(header: dict, body: bytes) -> bytes:
 
 
 def _unpack(data: bytes) -> tuple:
+    """Split a length-prefixed JSON header from its binary body.
+
+    Every failure mode of a hostile encoding — truncated prefix,
+    oversized declared length, undecodable/invalid JSON, or a header
+    that is valid JSON but not an object — raises :class:`SchemeError`;
+    no stdlib exception ever escapes to the caller.
+    """
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise SchemeError("key encodings must be bytes")
+    data = bytes(data)
     if len(data) < 4:
         raise SchemeError("truncated key encoding")
     header_len = int.from_bytes(data[:4], "big")
-    if len(data) < 4 + header_len:
+    if header_len > len(data) - 4:
         raise SchemeError("truncated key header")
     try:
         header = json.loads(data[4:4 + header_len].decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise SchemeError("malformed key header") from exc
+    if not isinstance(header, dict):
+        raise SchemeError("key header is not a JSON object")
     return header, data[4 + header_len:]
+
+
+def _header_str(header: dict, key: str) -> str:
+    value = header.get(key)
+    if not isinstance(value, str):
+        raise SchemeError(f"key header field {key!r} missing or not a string")
+    return value
+
+
+def _header_int(header: dict, key: str) -> int:
+    value = header.get(key)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SchemeError(f"key header field {key!r} missing or not an integer")
+    return value
+
+
+def _header_str_list(header: dict, key: str) -> list:
+    value = header.get(key)
+    if not isinstance(value, list) or not all(
+        isinstance(item, str) for item in value
+    ):
+        raise SchemeError(
+            f"key header field {key!r} missing or not a list of strings"
+        )
+    if len(set(value)) != len(value):
+        raise SchemeError(f"key header field {key!r} has duplicate entries")
+    return value
 
 
 def _split_elements(group: PairingGroup, body: bytes, count: int) -> list:
@@ -71,7 +110,7 @@ def decode_user_public_key(group: PairingGroup, data: bytes) -> UserPublicKey:
     if header.get("kind") != "upk":
         raise SchemeError("not a user public key encoding")
     (element,) = _split_elements(group, body, 1)
-    return UserPublicKey(uid=header["uid"], element=element)
+    return UserPublicKey(uid=_header_str(header, "uid"), element=element)
 
 
 # -- OwnerSecretKey -------------------------------------------------------------
@@ -89,7 +128,7 @@ def decode_owner_secret_key(group: PairingGroup, data: bytes) -> OwnerSecretKey:
     if len(body) != width + group.scalar_bytes:
         raise SchemeError("owner secret key body has the wrong length")
     return OwnerSecretKey(
-        owner_id=header["owner"],
+        owner_id=_header_str(header, "owner"),
         g_inv_beta=group.decode_g1(body[:width]),
         r_over_beta=group.decode_scalar(body[width:]),
     )
@@ -112,9 +151,9 @@ def decode_authority_public_key(group: PairingGroup,
     if len(body) != group.gt_bytes:
         raise SchemeError("authority public key body has the wrong length")
     return AuthorityPublicKey(
-        aid=header["aid"],
+        aid=_header_str(header, "aid"),
         value=group.decode_gt(body),
-        version=int(header["version"]),
+        version=_header_int(header, "version"),
     )
 
 
@@ -135,10 +174,12 @@ def decode_public_attribute_keys(group: PairingGroup,
     header, body = _unpack(data)
     if header.get("kind") != "pak":
         raise SchemeError("not a public attribute key encoding")
-    names = header["attrs"]
+    names = _header_str_list(header, "attrs")
     elements = dict(zip(names, _split_elements(group, body, len(names))))
     return PublicAttributeKeys(
-        aid=header["aid"], elements=elements, version=int(header["version"])
+        aid=_header_str(header, "aid"),
+        elements=elements,
+        version=_header_int(header, "version"),
     )
 
 
@@ -166,15 +207,15 @@ def decode_user_secret_key(group: PairingGroup, data: bytes) -> UserSecretKey:
     header, body = _unpack(data)
     if header.get("kind") != "usk":
         raise SchemeError("not a user secret key encoding")
-    names = header["attrs"]
+    names = _header_str_list(header, "attrs")
     elements = _split_elements(group, body, 1 + len(names))
     return UserSecretKey(
-        uid=header["uid"],
-        aid=header["aid"],
-        owner_id=header["owner"],
+        uid=_header_str(header, "uid"),
+        aid=_header_str(header, "aid"),
+        owner_id=_header_str(header, "owner"),
         k=elements[0],
         attribute_keys=dict(zip(names, elements[1:])),
-        version=int(header["version"]),
+        version=_header_int(header, "version"),
     )
 
 
@@ -200,7 +241,7 @@ def decode_update_key(group: PairingGroup, data: bytes) -> UpdateKey:
     header, body = _unpack(data)
     if header.get("kind") != "uk":
         raise SchemeError("not an update key encoding")
-    owners = header["owners"]
+    owners = _header_str_list(header, "owners")
     width = group.g1_bytes
     expected = len(owners) * width + group.scalar_bytes
     if len(body) != expected:
@@ -211,11 +252,11 @@ def decode_update_key(group: PairingGroup, data: bytes) -> UpdateKey:
     }
     uk2 = group.decode_scalar(body[len(owners) * width:])
     return UpdateKey(
-        aid=header["aid"],
+        aid=_header_str(header, "aid"),
         uk1=uk1,
         uk2=uk2,
-        from_version=int(header["from"]),
-        to_version=int(header["to"]),
+        from_version=_header_int(header, "from"),
+        to_version=_header_int(header, "to"),
     )
 
 
@@ -242,12 +283,12 @@ def decode_update_info(group: PairingGroup,
     header, body = _unpack(data)
     if header.get("kind") != "ui":
         raise SchemeError("not an update information encoding")
-    names = header["attrs"]
+    names = _header_str_list(header, "attrs")
     elements = dict(zip(names, _split_elements(group, body, len(names))))
     return CiphertextUpdateInfo(
-        aid=header["aid"],
-        ciphertext_id=header["ct"],
+        aid=_header_str(header, "aid"),
+        ciphertext_id=_header_str(header, "ct"),
         elements=elements,
-        from_version=int(header["from"]),
-        to_version=int(header["to"]),
+        from_version=_header_int(header, "from"),
+        to_version=_header_int(header, "to"),
     )

@@ -45,4 +45,8 @@ class IntegrityError(ReproError):
 
 
 class StorageError(ReproError):
-    """The simulated cloud server was asked for a record it does not hold."""
+    """The cloud server was asked for a record it does not hold."""
+
+
+class ProtocolError(ReproError):
+    """A wire-protocol frame was malformed, unexpected, or over-sized."""

@@ -514,7 +514,18 @@ class PairingGroup:
         return self.ext.to_bytes(element.value)
 
     def decode_gt(self, data: bytes) -> GTElement:
-        return GTElement(self, self.ext.from_bytes(data))
+        if len(data) != self.gt_bytes:
+            raise MathError("wrong length for a GT element encoding")
+        value = self.ext.from_bytes(data)
+        # Subgroup validation, mirroring decode_g1: GT is the order-r
+        # subgroup of F_p²^*, and accepting values outside it would let a
+        # hostile peer smuggle small-subgroup elements through the wire
+        # formats. Cost: one F_p² exponentiation.
+        if self.ext.is_zero(value):
+            raise MathError("0 is not a GT element")
+        if not self.ext.is_one(self.ext.pow(value, self.order)):
+            raise MathError("value is not in the order-r subgroup of F_p²")
+        return GTElement(self, value)
 
     def encode_scalar(self, value: int) -> bytes:
         return (value % self.order).to_bytes(self.scalar_bytes, "big")

@@ -1,0 +1,44 @@
+"""A real networked deployment of the paper's cloud-storage framework.
+
+Where :mod:`repro.system` simulates the five entity types in-process,
+this package runs the cloud-server role on an actual asyncio TCP socket
+with a persistent content-addressed record store, and provides client
+wrappers for the owner / user / authority roles that drive the same
+upload → read → revoke → re-encrypt lifecycle over the wire:
+
+* :mod:`repro.service.protocol` — length-prefixed framed wire protocol
+  (version-negotiating hello, typed error frames); message bodies reuse
+  the byte formats of :mod:`repro.core.serialize`,
+  :mod:`repro.core.ciphertext` and :mod:`repro.system.records`.
+* :mod:`repro.service.store` — SHA-256-keyed blob store with two-level
+  sharded directories, atomic tmp-file-then-rename writes and a bounded
+  LRU read cache, plus the record/ciphertext index on top of it.
+* :mod:`repro.service.server` — the asyncio server hosting the paper's
+  server role (Fig. 1): store/fetch records, serve public keys, proxy
+  ReEncrypt (Section V-C), per-connection timeouts, graceful shutdown.
+* :mod:`repro.service.client` — ``OwnerClient`` / ``UserClient`` /
+  ``AuthorityClient`` wrappers over one connection each.
+
+Every payload-bearing frame is metered through the same
+:class:`repro.system.meter.Meter` accounting the simulation uses, so
+Table IV communication costs can be measured on real traffic.
+"""
+
+from repro.service.client import (
+    AuthorityClient,
+    OwnerClient,
+    ServiceConnection,
+    UserClient,
+)
+from repro.service.server import StorageService
+from repro.service.store import BlobStore, RecordStore
+
+__all__ = [
+    "AuthorityClient",
+    "BlobStore",
+    "OwnerClient",
+    "RecordStore",
+    "ServiceConnection",
+    "StorageService",
+    "UserClient",
+]

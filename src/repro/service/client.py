@@ -1,0 +1,432 @@
+"""Client-side library for the networked storage service.
+
+:class:`ServiceConnection` owns one framed TCP connection: it speaks
+the hello negotiation, sends requests, maps typed ERROR frames back
+into the library's exception hierarchy, and meters every
+payload-bearing transfer through a :class:`repro.system.meter.Meter`
+with the same role/kind vocabulary the in-process simulation uses — so
+a client-side meter and the server's meter tell the same Table IV
+story for the same workload.
+
+On top of it, the three role wrappers mirror the simulation entities
+(:mod:`repro.system.entities`) over real I/O:
+
+* :class:`OwnerClient` — hybrid-encrypts and uploads Fig. 2 records,
+  reads its own data back via the ledger, replaces components, deletes
+  records, and drives the owner side of Section V-C revocation
+  (pushing the update key + per-ciphertext update information so the
+  server re-encrypts);
+* :class:`UserClient` — holds issued keys, downloads components and
+  decrypts end-to-end;
+* :class:`AuthorityClient` — publishes authority/attribute public keys
+  into the server's key directory.
+
+Key issuance itself (AA → user) stays out-of-band, exactly as in the
+paper: the server is never on the path of any secret key.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.core.authority import AttributeAuthority, apply_update_key
+from repro.core.decrypt import decrypt as abe_decrypt
+from repro.core.keys import UpdateKey, UserPublicKey
+from repro.core.owner import DataOwner
+from repro.core.serialize import (
+    decode_authority_public_key,
+    decode_public_attribute_keys,
+    encode_authority_public_key,
+    encode_public_attribute_keys,
+    encode_update_info,
+    encode_update_key,
+)
+from repro.crypto.hybrid import open_sealed, seal
+from repro.errors import AuthorizationError, ProtocolError, SchemeError
+from repro.pairing.group import PairingGroup
+from repro.service import protocol
+from repro.service.protocol import MessageType
+from repro.system.meter import ROLE_SERVER, Meter
+from repro.system.records import StoredComponent, StoredRecord
+
+
+class ServiceConnection:
+    """One framed, metered client connection to a :class:`StorageService`."""
+
+    def __init__(self, group: PairingGroup, host: str, port: int, *,
+                 role: str, name: str, meter: Meter = None,
+                 timeout: float = 30.0,
+                 max_frame: int = protocol.MAX_FRAME_BYTES):
+        self.group = group
+        self.host = host
+        self.port = port
+        self.role = role
+        self.name = name
+        self.meter = meter if meter is not None else Meter(group)
+        self.timeout = timeout
+        self.max_frame = max_frame
+        self.server_name = None
+        self.version = None
+        self._reader = None
+        self._writer = None
+
+    @property
+    def connected(self) -> bool:
+        return self._writer is not None
+
+    async def connect(self) -> "ServiceConnection":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        msg_type, body = await self._roundtrip(
+            MessageType.HELLO,
+            protocol.hello_body(self.group.params.name, self.role, self.name),
+        )
+        if msg_type is MessageType.ERROR:
+            protocol.raise_error(body)
+        if msg_type is not MessageType.HELLO_ACK:
+            raise ProtocolError(f"expected HELLO_ACK, got {msg_type.name}")
+        ack = protocol.decode_json(body)
+        self.version = ack.get("version")
+        if self.version not in protocol.PROTOCOL_VERSIONS:
+            raise ProtocolError(
+                f"server chose unsupported protocol version {self.version!r}"
+            )
+        self.server_name = protocol.json_str(ack, "server")
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._reader = self._writer = None
+
+    async def __aenter__(self) -> "ServiceConnection":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def _roundtrip(self, msg_type: MessageType,
+                         body: bytes = b"") -> tuple:
+        if self._writer is None:
+            raise ProtocolError("connection is not open")
+        sent = await protocol.write_frame(self._writer, msg_type, body)
+        self.meter.record_wire(sent)
+        reply_type, reply = await asyncio.wait_for(
+            protocol.read_frame(self._reader, self.max_frame), self.timeout
+        )
+        self.meter.record_wire(5 + len(reply))
+        return reply_type, reply
+
+    async def request(self, msg_type: MessageType, body: bytes = b"",
+                      expect: MessageType = None) -> tuple:
+        """Send one request; raise the mapped exception on ERROR frames."""
+        reply_type, reply = await self._roundtrip(msg_type, body)
+        if reply_type is MessageType.ERROR:
+            protocol.raise_error(reply)
+        if expect is not None and reply_type is not expect:
+            raise ProtocolError(
+                f"expected a {expect.name} reply, got {reply_type.name}"
+            )
+        return reply_type, reply
+
+    # -- metering (same vocabulary as Network.send) -----------------------
+
+    def meter_send(self, kind: str, payload) -> None:
+        self.meter.record(self.name, self.role,
+                          self.server_name or "server", ROLE_SERVER,
+                          kind, payload)
+
+    def meter_receive(self, kind: str, payload) -> None:
+        self.meter.record(self.server_name or "server", ROLE_SERVER,
+                          self.name, self.role, kind, payload)
+
+
+class BaseClient:
+    """Shared plumbing: ping, stats, record listing."""
+
+    def __init__(self, connection: ServiceConnection):
+        self.connection = connection
+        self.group = connection.group
+
+    async def close(self) -> None:
+        await self.connection.close()
+
+    async def ping(self) -> bool:
+        _, body = await self.connection.request(
+            MessageType.PING, b"hello", expect=MessageType.PONG
+        )
+        return body == b"hello"
+
+    async def stats(self) -> dict:
+        _, body = await self.connection.request(
+            MessageType.STATS, expect=MessageType.STATS_REPLY
+        )
+        return protocol.decode_json(body)
+
+    async def list_records(self) -> list:
+        _, body = await self.connection.request(
+            MessageType.LIST_RECORDS, expect=MessageType.RECORD_IDS
+        )
+        records = protocol.decode_json(body).get("records")
+        if not isinstance(records, list):
+            raise ProtocolError("malformed record listing")
+        return records
+
+    async def _fetch_component(self, record_id: str,
+                               component_name: str) -> StoredComponent:
+        """The metered download shared by user reads and owner self-reads."""
+        self.connection.meter_send(
+            "read-request", f"{record_id}/{component_name}"
+        )
+        _, body = await self.connection.request(
+            MessageType.FETCH_COMPONENT,
+            protocol.encode_json(
+                {"record": record_id, "component": component_name}
+            ),
+            expect=MessageType.COMPONENT,
+        )
+        component = StoredComponent.from_bytes(self.group, body)
+        self.connection.meter_receive("component-download", component)
+        return component
+
+
+class OwnerClient(BaseClient):
+    """The data-owner role against a live server (cf. ``OwnerEntity``)."""
+
+    def __init__(self, connection: ServiceConnection, core: DataOwner):
+        super().__init__(connection)
+        self.core = core
+
+    @property
+    def owner_id(self) -> str:
+        return self.core.owner_id
+
+    async def learn_authorities(self, aid: str) -> None:
+        """Fetch an authority's public keys from the server's directory."""
+        _, body = await self.connection.request(
+            MessageType.GET_AUTHORITY_KEYS,
+            protocol.encode_json({"aid": aid}),
+            expect=MessageType.AUTHORITY_KEYS,
+        )
+        apk_raw, pak_raw = protocol.unpack_parts(body, 2)
+        apk = decode_authority_public_key(self.group, apk_raw)
+        pak = decode_public_attribute_keys(self.group, pak_raw)
+        self.connection.meter_receive("authority-public-key", apk)
+        self.connection.meter_receive("public-attribute-keys", pak)
+        self.core.learn_authority(apk, pak)
+
+    async def upload(self, record_id: str, components: dict) -> StoredRecord:
+        """Encrypt and upload one Fig. 2 record (cf. ``OwnerEntity.upload``).
+
+        ``components`` maps a component name to ``(plaintext, policy)``.
+        """
+        stored = {}
+        for component_name, (plaintext, policy) in components.items():
+            ciphertext_id = f"{record_id}/{component_name}"
+            session = self.group.random_gt()
+            abe_ciphertext = self.core.encrypt(
+                session, policy, ciphertext_id=ciphertext_id
+            )
+            stored[component_name] = StoredComponent(
+                name=component_name,
+                abe_ciphertext=abe_ciphertext,
+                data_ciphertext=seal(session, ciphertext_id, plaintext),
+            )
+        record = StoredRecord(
+            record_id=record_id, owner_id=self.owner_id, components=stored
+        )
+        self.connection.meter_send("store-record", record)
+        await self.connection.request(
+            MessageType.STORE_RECORD, record.to_bytes(),
+            expect=MessageType.OK,
+        )
+        return record
+
+    async def read_own(self, record_id: str, component_name: str) -> bytes:
+        """Read own data back via the ledger — no ABE keys involved."""
+        component = await self._fetch_component(record_id, component_name)
+        ciphertext = component.abe_ciphertext
+        if ciphertext.owner_id != self.owner_id:
+            raise SchemeError("not this owner's record")
+        blinding = self.core.recover_session(ciphertext.ciphertext_id)
+        session = ciphertext.c / blinding
+        return open_sealed(
+            session, ciphertext.ciphertext_id, component.data_ciphertext
+        )
+
+    async def update_component(self, record_id: str, component_name: str,
+                               plaintext: bytes, policy) -> StoredComponent:
+        """Replace one component's data under a fresh versioned id."""
+        suffix = 0
+        while True:
+            ciphertext_id = f"{record_id}/{component_name}#v{suffix}"
+            if ciphertext_id not in self.core.ciphertext_ids:
+                break
+            suffix += 1
+        session = self.group.random_gt()
+        abe_ciphertext = self.core.encrypt(
+            session, policy, ciphertext_id=ciphertext_id
+        )
+        component = StoredComponent(
+            name=component_name,
+            abe_ciphertext=abe_ciphertext,
+            data_ciphertext=seal(session, ciphertext_id, plaintext),
+        )
+        old_id = f"{record_id}/{component_name}"
+        self.connection.meter_send("update-component", component)
+        await self.connection.request(
+            MessageType.REPLACE_COMPONENT,
+            protocol.pack_parts(
+                protocol.encode_json({"record": record_id}),
+                component.to_bytes(),
+            ),
+            expect=MessageType.OK,
+        )
+        for candidate in (old_id,) + tuple(
+            f"{old_id}#v{n}" for n in range(suffix)
+        ):
+            if candidate in self.core.ciphertext_ids \
+                    and not self.core.is_retired(candidate):
+                self.core.retire_record(candidate)
+        return component
+
+    async def delete_record(self, record_id: str) -> None:
+        """Remove a record server-side and retire its ledger entries."""
+        self.connection.meter_send("delete-record", record_id)
+        await self.connection.request(
+            MessageType.DELETE_RECORD,
+            protocol.encode_json({"record": record_id}),
+            expect=MessageType.OK,
+        )
+        prefix = f"{record_id}/"
+        for ciphertext_id in self.core.ciphertext_ids:
+            if ciphertext_id.startswith(prefix) \
+                    and not self.core.is_retired(ciphertext_id):
+                self.core.retire_record(ciphertext_id)
+
+    async def push_revocation_updates(self, update_key: UpdateKey,
+                                      include_uk2: bool = True) -> list:
+        """Owner side of Section V-C Phase 2, over the wire.
+
+        For every owned ciphertext involving the re-keyed authority,
+        send the update key and the ledger-derived update information;
+        the server runs ReEncrypt in place. Mirrors
+        ``OwnerEntity.push_revocation_updates`` frame-for-send.
+        """
+        from repro.core.revocation import strip_uk2
+
+        server_key = update_key if include_uk2 else strip_uk2(update_key)
+        key_raw = encode_update_key(self.group, server_key)
+        updated = []
+        for ciphertext_id in self.core.records_involving(update_key.aid):
+            record = self.core.record(ciphertext_id)
+            if record.versions[update_key.aid] != update_key.from_version:
+                continue  # already past this version (defensive)
+            update_info = self.core.update_info_for_record(
+                ciphertext_id, update_key
+            )
+            self.connection.meter_send("update-key", server_key)
+            self.connection.meter_send("update-info", update_info)
+            await self.connection.request(
+                MessageType.REENCRYPT,
+                protocol.pack_parts(
+                    ciphertext_id.encode("utf-8"),
+                    key_raw,
+                    encode_update_info(update_info),
+                ),
+                expect=MessageType.OK,
+            )
+            self.core.note_reencrypted(ciphertext_id, update_key)
+            updated.append(ciphertext_id)
+        self.core.apply_update_key(update_key)
+        return updated
+
+
+class UserClient(BaseClient):
+    """The data-consumer role against a live server (cf. ``UserEntity``)."""
+
+    def __init__(self, connection: ServiceConnection, uid: str):
+        super().__init__(connection)
+        self.uid = uid
+        self.public_key = None
+        self._secret_keys = {}  # owner id -> {aid -> UserSecretKey}
+
+    def receive_public_key(self, public_key: UserPublicKey) -> None:
+        if public_key.uid != self.uid:
+            raise SchemeError("received a public key for a different UID")
+        self.public_key = public_key
+
+    def receive_secret_key(self, secret_key) -> None:
+        if secret_key.uid != self.uid:
+            raise SchemeError("received a secret key for a different UID")
+        self._secret_keys.setdefault(secret_key.owner_id, {})[
+            secret_key.aid
+        ] = secret_key
+
+    def secret_keys_for(self, owner_id: str) -> dict:
+        return dict(self._secret_keys.get(owner_id, {}))
+
+    def has_keys_from(self, aid: str) -> bool:
+        return any(aid in keys for keys in self._secret_keys.values())
+
+    def apply_update_key(self, update_key: UpdateKey) -> None:
+        """Roll every matching key forward (non-revoked user path)."""
+        for owner_id, keys in self._secret_keys.items():
+            key = keys.get(update_key.aid)
+            if key is not None and key.version == update_key.from_version:
+                if owner_id in update_key.uk1:
+                    keys[update_key.aid] = apply_update_key(key, update_key)
+
+    def drop_keys(self, aid: str, owner_id: str) -> None:
+        self._secret_keys.get(owner_id, {}).pop(aid, None)
+
+    async def read(self, record_id: str, component_name: str) -> bytes:
+        """Download one component and decrypt it end-to-end."""
+        component = await self._fetch_component(record_id, component_name)
+        abe_ciphertext = component.abe_ciphertext
+        keys = self._secret_keys.get(abe_ciphertext.owner_id)
+        if not keys:
+            raise AuthorizationError(
+                f"user {self.uid!r} holds no keys scoped to owner "
+                f"{abe_ciphertext.owner_id!r}"
+            )
+        session = abe_decrypt(
+            self.group, abe_ciphertext, self.public_key, keys
+        )
+        return open_sealed(
+            session, abe_ciphertext.ciphertext_id, component.data_ciphertext
+        )
+
+
+class AuthorityClient(BaseClient):
+    """An attribute authority publishing into the server's key directory."""
+
+    def __init__(self, connection: ServiceConnection,
+                 core: AttributeAuthority):
+        super().__init__(connection)
+        self.core = core
+
+    @property
+    def aid(self) -> str:
+        return self.core.aid
+
+    async def publish_keys(self) -> None:
+        """Push this AA's current public key material to the server."""
+        apk = self.core.authority_public_key()
+        pak = self.core.public_attribute_keys()
+        self.connection.meter_send("authority-public-key", apk)
+        self.connection.meter_send("public-attribute-keys", pak)
+        await self.connection.request(
+            MessageType.PUT_AUTHORITY_KEYS,
+            protocol.pack_parts(
+                protocol.encode_json({"aid": self.aid}),
+                encode_authority_public_key(apk),
+                encode_public_attribute_keys(pak),
+            ),
+            expect=MessageType.OK,
+        )

@@ -1,0 +1,260 @@
+"""The framed wire protocol of the storage service.
+
+Frame layout (everything big-endian)::
+
+    +----------------+-----------+----------------------+
+    | length (4 B)   | type (1B) | body (length-1 bytes)|
+    +----------------+-----------+----------------------+
+
+``length`` covers the type byte plus the body, so an empty-bodied frame
+has ``length == 1``. Frames larger than the receiver's ``max_frame``
+are a protocol error. Message *bodies* reuse the byte formats the rest
+of the library already defines — :meth:`repro.system.records.
+StoredRecord.to_bytes`, :mod:`repro.core.serialize`, … — so the service
+adds framing, not a second serialization layer.
+
+A session starts with a version-negotiating ``HELLO``/``HELLO_ACK``
+exchange (the client offers its supported protocol versions and its
+pairing preset; the server picks the highest common version and
+confirms the preset). Failures travel as typed ``ERROR`` frames whose
+``code`` maps back to the library's exception hierarchy on the client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from enum import IntEnum
+
+from repro.errors import (
+    AuthorizationError,
+    IntegrityError,
+    MathError,
+    PolicyError,
+    PolicyNotSatisfiedError,
+    ProtocolError,
+    ReproError,
+    RevocationError,
+    SchemeError,
+    StorageError,
+)
+
+#: Protocol versions this build can speak, in preference order.
+PROTOCOL_VERSIONS = (1,)
+
+#: Default upper bound on one frame (type byte + body).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_HEADER_LEN = 4
+
+
+class MessageType(IntEnum):
+    """The type byte of every frame."""
+
+    HELLO = 0x01
+    HELLO_ACK = 0x02
+    OK = 0x03
+    ERROR = 0x04
+    PING = 0x05
+    PONG = 0x06
+
+    STORE_RECORD = 0x10
+    FETCH_RECORD = 0x11
+    RECORD = 0x12
+    FETCH_COMPONENT = 0x13
+    COMPONENT = 0x14
+    LIST_RECORDS = 0x15
+    RECORD_IDS = 0x16
+    DELETE_RECORD = 0x17
+    REPLACE_COMPONENT = 0x18
+
+    PUT_AUTHORITY_KEYS = 0x20
+    GET_AUTHORITY_KEYS = 0x21
+    AUTHORITY_KEYS = 0x22
+
+    REENCRYPT = 0x30
+
+    STATS = 0x40
+    STATS_REPLY = 0x41
+
+
+# -- error frames -------------------------------------------------------------
+
+# code string <-> exception class; PROTOCOL's ProtocolError is the
+# fallback for codes minted by a newer peer.
+_ERROR_CODES = {
+    "storage": StorageError,
+    "scheme": SchemeError,
+    "revocation": RevocationError,
+    "authorization": AuthorizationError,
+    "policy": PolicyError,
+    "policy-not-satisfied": PolicyNotSatisfiedError,
+    "integrity": IntegrityError,
+    "math": MathError,
+    "protocol": ProtocolError,
+}
+_CODE_FOR_EXCEPTION = [
+    (RevocationError, "revocation"),          # before SchemeError (subclass)
+    (PolicyNotSatisfiedError, "policy-not-satisfied"),
+    (StorageError, "storage"),
+    (SchemeError, "scheme"),
+    (AuthorizationError, "authorization"),
+    (PolicyError, "policy"),
+    (IntegrityError, "integrity"),
+    (MathError, "math"),
+    (ProtocolError, "protocol"),
+]
+
+
+def code_for_exception(exc: ReproError) -> str:
+    for cls, code in _CODE_FOR_EXCEPTION:
+        if isinstance(exc, cls):
+            return code
+    return "protocol"
+
+
+def encode_error(exc: ReproError) -> bytes:
+    """The ERROR frame body for a library exception."""
+    return encode_json({"code": code_for_exception(exc), "message": str(exc)})
+
+
+def raise_error(body: bytes):
+    """Decode an ERROR frame body and raise the matching exception."""
+    payload = decode_json(body)
+    code = payload.get("code")
+    message = payload.get("message", "")
+    if not isinstance(message, str):
+        message = repr(message)
+    raise _ERROR_CODES.get(code, ProtocolError)(message)
+
+
+# -- body helpers -------------------------------------------------------------
+
+def encode_json(obj) -> bytes:
+    return json.dumps(obj, separators=(",", ":"), sort_keys=True).encode(
+        "utf-8"
+    )
+
+
+def decode_json(body: bytes) -> dict:
+    try:
+        obj = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError("frame body is not valid JSON") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError("frame body is not a JSON object")
+    return obj
+
+
+def json_str(obj: dict, key: str) -> str:
+    value = obj.get(key)
+    if not isinstance(value, str):
+        raise ProtocolError(f"frame field {key!r} missing or not a string")
+    return value
+
+
+def pack_parts(*parts: bytes) -> bytes:
+    """Concatenate byte strings with 4-byte length prefixes."""
+    return b"".join(
+        len(part).to_bytes(4, "big") + part for part in parts
+    )
+
+
+def unpack_parts(body: bytes, count: int) -> list:
+    """Split a :func:`pack_parts` body back into exactly ``count`` parts."""
+    parts = []
+    offset = 0
+    for _ in range(count):
+        if offset + 4 > len(body):
+            raise ProtocolError("truncated multi-part frame body")
+        length = int.from_bytes(body[offset:offset + 4], "big")
+        offset += 4
+        if length > len(body) - offset:
+            raise ProtocolError("truncated multi-part frame body")
+        parts.append(body[offset:offset + length])
+        offset += length
+    if offset != len(body):
+        raise ProtocolError("trailing bytes after multi-part frame body")
+    return parts
+
+
+# -- framing ------------------------------------------------------------------
+
+def encode_frame(msg_type: int, body: bytes = b"") -> bytes:
+    """One wire frame: length prefix, type byte, body."""
+    length = 1 + len(body)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds the maximum")
+    return length.to_bytes(_HEADER_LEN, "big") + bytes([msg_type]) + body
+
+
+def decode_frame_type(type_byte: int) -> MessageType:
+    try:
+        return MessageType(type_byte)
+    except ValueError:
+        raise ProtocolError(f"unknown frame type 0x{type_byte:02x}") from None
+
+
+async def read_frame(reader: asyncio.StreamReader,
+                     max_frame: int = MAX_FRAME_BYTES) -> tuple:
+    """Read one ``(MessageType, body)`` frame from a stream.
+
+    Raises :class:`ProtocolError` on malformed/oversized frames and
+    :class:`asyncio.IncompleteReadError` when the peer disconnects
+    mid-frame (callers treat that as a dropped connection, not an
+    application error).
+    """
+    header = await reader.readexactly(_HEADER_LEN)
+    length = int.from_bytes(header, "big")
+    if length < 1:
+        raise ProtocolError("frame length must cover the type byte")
+    if length > max_frame:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {max_frame}-byte maximum"
+        )
+    payload = await reader.readexactly(length)
+    return decode_frame_type(payload[0]), payload[1:]
+
+
+async def write_frame(writer: asyncio.StreamWriter, msg_type: int,
+                      body: bytes = b"") -> int:
+    """Write one frame and drain; returns the raw bytes put on the wire."""
+    frame = encode_frame(msg_type, body)
+    writer.write(frame)
+    await writer.drain()
+    return len(frame)
+
+
+# -- hello negotiation --------------------------------------------------------
+
+def hello_body(preset: str, role: str, name: str,
+               versions=PROTOCOL_VERSIONS) -> bytes:
+    return encode_json({
+        "versions": list(versions),
+        "preset": preset,
+        "role": role,
+        "name": name,
+    })
+
+
+def negotiate(hello: dict, server_preset: str,
+              supported=PROTOCOL_VERSIONS) -> int:
+    """Server-side version/preset negotiation; returns the chosen version."""
+    offered = hello.get("versions")
+    if not isinstance(offered, list) or not all(
+        isinstance(v, int) and not isinstance(v, bool) for v in offered
+    ):
+        raise ProtocolError("hello offers no valid protocol versions")
+    common = sorted(set(offered) & set(supported))
+    if not common:
+        raise ProtocolError(
+            f"no common protocol version (client offers {sorted(offered)}, "
+            f"server speaks {sorted(supported)})"
+        )
+    preset = json_str(hello, "preset")
+    if preset != server_preset:
+        raise ProtocolError(
+            f"pairing preset mismatch: client uses {preset!r}, "
+            f"server uses {server_preset!r}"
+        )
+    return common[-1]

@@ -1,0 +1,356 @@
+"""The asyncio TCP server hosting the paper's cloud-server role.
+
+One :class:`StorageService` is the Fig. 1 "Server" box made real: it
+stores Fig. 2 records in a persistent :class:`repro.service.store.
+RecordStore`, serves component downloads, acts as the public-key
+directory authorities publish into, and executes the Section V-C proxy
+``ReEncrypt`` on stored ciphertexts when an owner pushes an update key
+plus update information — all without ever holding a decryption key or
+content key, exactly like the simulated :class:`repro.system.entities.
+ServerEntity`.
+
+Connections are concurrent (one coroutine per client), each protected
+by a hello timeout and a per-request idle timeout. Application errors
+travel back as typed ERROR frames and leave the connection open;
+protocol violations answer with an ERROR frame and close it; a peer
+that disconnects mid-frame just gets cleaned up. ``stop()`` shuts the
+listener and every live session down gracefully.
+
+Every payload-bearing frame is metered through a
+:class:`repro.system.meter.Meter` with the *same role-pair/kind
+vocabulary the in-process simulation uses*, so a workload replayed over
+this server reproduces the simulation's Table IV counters exactly
+(frame headers are tallied separately as ``meter.wire_bytes``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.core.reencrypt import reencrypt as abe_reencrypt
+from repro.core.serialize import (
+    decode_authority_public_key,
+    decode_public_attribute_keys,
+    decode_update_info,
+    decode_update_key,
+)
+from repro.errors import ProtocolError, ReproError
+from repro.pairing.group import PairingGroup
+from repro.service import protocol
+from repro.service.protocol import MessageType
+from repro.service.store import RecordStore
+from repro.system.meter import ROLE_SERVER, Meter
+from repro.system.records import StoredComponent, StoredRecord
+
+#: Roles a client may claim in its hello.
+_CLIENT_ROLES = frozenset({"owner", "user", "aa", "ca"})
+
+
+class _Session:
+    """Per-connection state: negotiated identity plus the streams."""
+
+    __slots__ = ("reader", "writer", "peer_name", "peer_role", "version")
+
+    def __init__(self, reader, writer):
+        self.reader = reader
+        self.writer = writer
+        self.peer_name = "?"
+        self.peer_role = "?"
+        self.version = None
+
+
+class StorageService:
+    """The networked cloud server: storage, key directory, ReEncrypt."""
+
+    def __init__(self, group: PairingGroup, store: RecordStore, *,
+                 name: str = "cloud", host: str = "127.0.0.1", port: int = 0,
+                 meter: Meter = None, idle_timeout: float = 30.0,
+                 hello_timeout: float = 10.0,
+                 max_frame: int = protocol.MAX_FRAME_BYTES):
+        self.group = group
+        self.store = store
+        self.name = name
+        self.role = ROLE_SERVER
+        self.host = host
+        self.port = port
+        self.preset = group.params.name
+        self.meter = meter if meter is not None else Meter(group)
+        self.idle_timeout = idle_timeout
+        self.hello_timeout = hello_timeout
+        self.max_frame = max_frame
+        self._server = None
+        self._sessions = set()
+        self._tasks = set()
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (port 0 → ephemeral)."""
+        self._server = await asyncio.start_server(
+            self._accept, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, close every live session."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for session in list(self._sessions):
+            session.writer.close()
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._sessions.clear()
+        self._tasks.clear()
+
+    @property
+    def connection_count(self) -> int:
+        return len(self._sessions)
+
+    # -- connection handling ----------------------------------------------
+
+    async def _accept(self, reader, writer):
+        session = _Session(reader, writer)
+        task = asyncio.current_task()
+        self._sessions.add(session)
+        self._tasks.add(task)
+        try:
+            await self._run_session(session)
+        except (asyncio.IncompleteReadError, ConnectionError,
+                asyncio.TimeoutError, TimeoutError):
+            pass  # peer vanished or went idle: drop the session quietly
+        except asyncio.CancelledError:  # server shutting down
+            pass
+        finally:
+            self._sessions.discard(session)
+            self._tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _run_session(self, session: _Session) -> None:
+        try:
+            await asyncio.wait_for(self._handshake(session),
+                                   self.hello_timeout)
+        except ProtocolError as exc:
+            await self._send(session, MessageType.ERROR,
+                             protocol.encode_error(exc))
+            return
+        while True:
+            try:
+                msg_type, body = await asyncio.wait_for(
+                    protocol.read_frame(session.reader, self.max_frame),
+                    self.idle_timeout,
+                )
+            except ProtocolError as exc:
+                # Oversized/garbled framing: answer, then drop the peer.
+                await self._send(session, MessageType.ERROR,
+                                 protocol.encode_error(exc))
+                return
+            self.meter.record_wire(5 + len(body))
+            try:
+                await self._dispatch(session, msg_type, body)
+            except ProtocolError as exc:
+                await self._send(session, MessageType.ERROR,
+                                 protocol.encode_error(exc))
+                return  # protocol violations end the session
+            except ReproError as exc:
+                # Application errors are answered, not fatal.
+                await self._send(session, MessageType.ERROR,
+                                 protocol.encode_error(exc))
+
+    async def _handshake(self, session: _Session) -> None:
+        msg_type, body = await protocol.read_frame(
+            session.reader, self.max_frame
+        )
+        self.meter.record_wire(5 + len(body))
+        if msg_type is not MessageType.HELLO:
+            raise ProtocolError("expected a HELLO frame first")
+        hello = protocol.decode_json(body)
+        session.version = protocol.negotiate(hello, self.preset)
+        role = protocol.json_str(hello, "role")
+        if role not in _CLIENT_ROLES:
+            raise ProtocolError(f"unknown client role {role!r}")
+        session.peer_role = role
+        session.peer_name = protocol.json_str(hello, "name")
+        await self._send(session, MessageType.HELLO_ACK, protocol.encode_json(
+            {"version": session.version, "preset": self.preset,
+             "server": self.name}
+        ))
+
+    async def _send(self, session: _Session, msg_type: MessageType,
+                    body: bytes = b"") -> None:
+        try:
+            sent = await protocol.write_frame(session.writer, msg_type, body)
+        except (ConnectionError, OSError):
+            return  # peer already gone; the read side will notice
+        self.meter.record_wire(sent)
+
+    # -- metering ---------------------------------------------------------
+
+    def _meter_in(self, session: _Session, kind: str, payload) -> None:
+        """A payload the peer sent us (peer → server)."""
+        self.meter.record(session.peer_name, session.peer_role,
+                          self.name, self.role, kind, payload)
+
+    def _meter_out(self, session: _Session, kind: str, payload) -> None:
+        """A payload we send the peer (server → peer)."""
+        self.meter.record(self.name, self.role,
+                          session.peer_name, session.peer_role, kind, payload)
+
+    # -- request dispatch -------------------------------------------------
+
+    async def _dispatch(self, session: _Session, msg_type: MessageType,
+                        body: bytes) -> None:
+        handler = self._HANDLERS.get(msg_type)
+        if handler is None:
+            raise ProtocolError(
+                f"unexpected frame type {msg_type.name} in a session"
+            )
+        await handler(self, session, body)
+
+    async def _handle_ping(self, session, body):
+        await self._send(session, MessageType.PONG, body)
+
+    async def _handle_store_record(self, session, body):
+        record = StoredRecord.from_bytes(self.group, body)
+        self._meter_in(session, "store-record", record)
+        self.store.put(record)
+        await self._send(session, MessageType.OK)
+
+    async def _handle_fetch_record(self, session, body):
+        request = protocol.decode_json(body)
+        record_id = protocol.json_str(request, "record")
+        self._meter_in(session, "read-request", record_id)
+        record = self.store.get(record_id)
+        self._meter_out(session, "record-download", record)
+        await self._send(session, MessageType.RECORD, record.to_bytes())
+
+    async def _handle_fetch_component(self, session, body):
+        request = protocol.decode_json(body)
+        record_id = protocol.json_str(request, "record")
+        component_name = protocol.json_str(request, "component")
+        # Same metered request string as the simulation's read path.
+        self._meter_in(session, "read-request",
+                       f"{record_id}/{component_name}")
+        component = self.store.get(record_id).component(component_name)
+        self._meter_out(session, "component-download", component)
+        await self._send(session, MessageType.COMPONENT,
+                         component.to_bytes())
+
+    async def _handle_list_records(self, session, body):
+        await self._send(session, MessageType.RECORD_IDS,
+                         protocol.encode_json(
+                             {"records": self.store.record_ids()}
+                         ))
+
+    async def _handle_delete_record(self, session, body):
+        request = protocol.decode_json(body)
+        record_id = protocol.json_str(request, "record")
+        self._meter_in(session, "delete-record", record_id)
+        self.store.delete(record_id)
+        await self._send(session, MessageType.OK)
+
+    async def _handle_replace_component(self, session, body):
+        header_raw, component_raw = protocol.unpack_parts(body, 2)
+        request = protocol.decode_json(header_raw)
+        record_id = protocol.json_str(request, "record")
+        component = StoredComponent.from_bytes(self.group, component_raw)
+        self._meter_in(session, "update-component", component)
+        self.store.replace_component(record_id, component)
+        await self._send(session, MessageType.OK)
+
+    async def _handle_put_authority_keys(self, session, body):
+        header_raw, apk_raw, pak_raw = protocol.unpack_parts(body, 3)
+        request = protocol.decode_json(header_raw)
+        aid = protocol.json_str(request, "aid")
+        # Decode to validate and meter in simulation units; store raw.
+        apk = decode_authority_public_key(self.group, apk_raw)
+        pak = decode_public_attribute_keys(self.group, pak_raw)
+        if apk.aid != aid or pak.aid != aid:
+            raise ProtocolError("published keys disagree on the AID")
+        self._meter_in(session, "authority-public-key", apk)
+        self._meter_in(session, "public-attribute-keys", pak)
+        self.store.put_authority_keys(
+            aid, protocol.pack_parts(apk_raw, pak_raw)
+        )
+        await self._send(session, MessageType.OK)
+
+    async def _handle_get_authority_keys(self, session, body):
+        request = protocol.decode_json(body)
+        aid = protocol.json_str(request, "aid")
+        blob = self.store.get_authority_keys(aid)
+        apk_raw, pak_raw = protocol.unpack_parts(blob, 2)
+        self._meter_out(session, "authority-public-key",
+                        decode_authority_public_key(self.group, apk_raw))
+        self._meter_out(session, "public-attribute-keys",
+                        decode_public_attribute_keys(self.group, pak_raw))
+        await self._send(session, MessageType.AUTHORITY_KEYS, blob)
+
+    async def _handle_reencrypt(self, session, body):
+        id_raw, key_raw, info_raw = protocol.unpack_parts(body, 3)
+        try:
+            ciphertext_id = id_raw.decode("utf-8")
+        except UnicodeDecodeError:
+            raise ProtocolError("ciphertext id is not valid UTF-8") from None
+        update_key = decode_update_key(self.group, key_raw)
+        update_info = decode_update_info(self.group, info_raw)
+        self._meter_in(session, "update-key", update_key)
+        self._meter_in(session, "update-info", update_info)
+        record_id, component_name = self.store.locate_ciphertext(
+            ciphertext_id
+        )
+        record = self.store.get(record_id)
+        component = record.component(component_name)
+        updated = abe_reencrypt(
+            self.group, component.abe_ciphertext, update_key, update_info
+        )
+        self.store.replace_component(record_id, StoredComponent(
+            name=component_name,
+            abe_ciphertext=updated,
+            data_ciphertext=component.data_ciphertext,
+        ))
+        await self._send(session, MessageType.OK)
+
+    async def _handle_stats(self, session, body):
+        await self._send(session, MessageType.STATS_REPLY,
+                         protocol.encode_json(self.stats()))
+
+    def stats(self) -> dict:
+        """A JSON-friendly snapshot of storage and traffic counters."""
+        return {
+            "server": self.name,
+            "preset": self.preset,
+            "records": len(self.store),
+            "authorities": self.store.authority_ids(),
+            "storage_bytes": self.store.storage_bytes(),
+            "connections": self.connection_count,
+            "wire_bytes": self.meter.wire_bytes,
+            "channels": self.meter.channel_summary(),
+            "by_kind": self.meter.bytes_by_kind(),
+        }
+
+    _HANDLERS = {
+        MessageType.PING: _handle_ping,
+        MessageType.STORE_RECORD: _handle_store_record,
+        MessageType.FETCH_RECORD: _handle_fetch_record,
+        MessageType.FETCH_COMPONENT: _handle_fetch_component,
+        MessageType.LIST_RECORDS: _handle_list_records,
+        MessageType.DELETE_RECORD: _handle_delete_record,
+        MessageType.REPLACE_COMPONENT: _handle_replace_component,
+        MessageType.PUT_AUTHORITY_KEYS: _handle_put_authority_keys,
+        MessageType.GET_AUTHORITY_KEYS: _handle_get_authority_keys,
+        MessageType.REENCRYPT: _handle_reencrypt,
+        MessageType.STATS: _handle_stats,
+    }

@@ -1,0 +1,139 @@
+"""The end-to-end smoke cycle against a live server.
+
+Drives the full lifecycle of the paper over a real socket: an authority
+publishes keys into the server's directory, an owner learns them from
+the server and uploads a multi-component record, users download and
+decrypt, an attribute is revoked, the owner pushes update keys so the
+server proxy-re-encrypts, and finally the revoked user's read fails
+while a surviving user still decrypts bit-identical plaintext.
+
+Used by ``repro client smoke`` and by the CI service-integration job;
+returns a process exit code (0 = every step behaved).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.authority import AttributeAuthority
+from repro.core.ca import CertificateAuthority
+from repro.core.owner import DataOwner
+from repro.core.revocation import rekey_standard
+from repro.errors import ReproError
+from repro.pairing.group import PairingGroup
+from repro.service.client import (
+    AuthorityClient,
+    OwnerClient,
+    ServiceConnection,
+    UserClient,
+)
+
+
+class SmokeFailure(ReproError):
+    """A smoke step did not behave as the protocol requires."""
+
+
+async def run_smoke(params, host: str, port: int, *, out=None,
+                    seed=None) -> int:
+    """Run upload → read → revoke → re-encrypt → revoked-read-fails."""
+    out = out or sys.stdout
+    group = PairingGroup(params, seed=seed)
+
+    def step(label: str) -> None:
+        print(f"ok: {label}", file=out, flush=True)
+
+    # Local trust fabric: CA, one AA, one owner, two users. Only the
+    # cloud-server role lives across the socket.
+    ca = CertificateAuthority(group)
+    aa = AttributeAuthority(group, "hospital", ["doctor", "nurse"])
+    ca.register_authority("hospital")
+    owner_core = DataOwner(group, "alice")
+    ca.register_owner("alice")
+    aa.register_owner(owner_core.secret_key)
+    bob_pk = ca.register_user("bob")
+    carol_pk = ca.register_user("carol")
+
+    def connection(role, name):
+        return ServiceConnection(group, host, port, role=role, name=name)
+
+    aa_client = AuthorityClient(
+        await connection("aa", "AA:hospital").connect(), aa
+    )
+    owner_client = OwnerClient(
+        await connection("owner", "owner:alice").connect(), owner_core
+    )
+    bob = UserClient(await connection("user", "user:bob").connect(), "bob")
+    carol = UserClient(
+        await connection("user", "user:carol").connect(), "carol"
+    )
+    try:
+        if not await owner_client.ping():
+            raise SmokeFailure("server did not answer the ping")
+        step(f"connected to {owner_client.connection.server_name} "
+             f"at {host}:{port}")
+
+        await aa_client.publish_keys()
+        await owner_client.learn_authorities("hospital")
+        step("authority keys published and fetched via the server")
+
+        bob.receive_public_key(bob_pk)
+        carol.receive_public_key(carol_pk)
+        bob.receive_secret_key(aa.keygen(bob_pk, ["doctor"], "alice"))
+        carol.receive_secret_key(
+            aa.keygen(carol_pk, ["doctor", "nurse"], "alice")
+        )
+        step("user keys issued (out-of-band, as in the paper)")
+
+        note = b"MRI shows nothing acute."
+        plan = b"Rest, fluids, follow-up in two weeks."
+        await owner_client.upload("record", {
+            "doctor-note": (note, "hospital:doctor"),
+            "care-plan": (plan, "hospital:doctor OR hospital:nurse"),
+        })
+        step("owner uploaded a 2-component record")
+
+        if await bob.read("record", "doctor-note") != note:
+            raise SmokeFailure("bob's decryption is not bit-identical")
+        if await carol.read("record", "care-plan") != plan:
+            raise SmokeFailure("carol's decryption is not bit-identical")
+        if await owner_client.read_own("record", "care-plan") != plan:
+            raise SmokeFailure("owner self-read failed")
+        step("authorized reads recovered bit-identical plaintext")
+
+        result = rekey_standard(aa, "bob", ["doctor"])
+        update_key = result.update_key
+        for new_key in result.revoked_user_keys.values():
+            bob.receive_secret_key(new_key)
+        if "alice" not in result.revoked_user_keys:
+            bob.drop_keys("hospital", "alice")
+        carol.apply_update_key(update_key)
+        updated = await owner_client.push_revocation_updates(update_key)
+        if not updated:
+            raise SmokeFailure("no ciphertexts were re-encrypted")
+        step(f"revoked bob's 'doctor'; server re-encrypted "
+             f"{len(updated)} ciphertexts")
+
+        try:
+            await bob.read("record", "doctor-note")
+            raise SmokeFailure("revoked user still decrypts")
+        except (ReproError) as exc:
+            if isinstance(exc, SmokeFailure):
+                raise
+        step("revoked user's read now fails")
+
+        if await carol.read("record", "doctor-note") != note:
+            raise SmokeFailure("surviving user lost access after ReEncrypt")
+        step("surviving user still decrypts bit-identical plaintext")
+
+        stats = await owner_client.stats()
+        step(f"server stats: {stats['records']} records, "
+             f"{stats['storage_bytes']} payload bytes, "
+             f"{stats['wire_bytes']} wire bytes")
+    except SmokeFailure as exc:
+        print(f"FAIL: {exc}", file=out, flush=True)
+        return 1
+    finally:
+        for client in (aa_client, owner_client, bob, carol):
+            await client.close()
+    print("smoke cycle passed", file=out, flush=True)
+    return 0

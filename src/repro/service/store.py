@@ -1,0 +1,283 @@
+"""Persistent content-addressed storage for the service deployment.
+
+Two layers:
+
+* :class:`BlobStore` — an immutable blob pool keyed by SHA-256. Blobs
+  live in two-level sharded directories (``objects/ab/cd/<hex>``) so no
+  single directory grows unboundedly; writes go to a private ``tmp/``
+  file that is fsynced and then atomically :func:`os.replace`d into
+  place, so a crash mid-write can never leave a partial object under a
+  valid name (leftover tmp files are swept on open). Reads verify the
+  digest — silent disk corruption surfaces as :class:`StorageError`,
+  never as garbage ciphertext — and go through a bounded LRU cache.
+
+* :class:`RecordStore` — the server's view: named, mutable record refs
+  (``refs/<quoted-record-id>`` → blob digest) over the blob pool, plus
+  the ciphertext-id index ReEncrypt needs. Replacing a record writes
+  the new blob, atomically repoints the ref, then garbage-collects the
+  old blob once nothing references it. Re-opening an existing root
+  rebuilds all indexes from disk.
+
+The on-disk record bytes are exactly
+:meth:`repro.system.records.StoredRecord.to_bytes` — the same format
+:meth:`repro.system.entities.ServerEntity.export_state` uses — so blobs
+move freely between the simulation and the service.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from urllib.parse import quote, unquote
+
+from repro.errors import StorageError
+from repro.pairing.group import PairingGroup
+from repro.system.records import StoredComponent, StoredRecord
+
+
+class BlobStore:
+    """SHA-256-keyed blob pool: sharded dirs, atomic writes, LRU reads."""
+
+    def __init__(self, root, *, cache_entries: int = 128,
+                 cache_bytes: int = 32 * 1024 * 1024):
+        self.root = Path(root)
+        self.objects_dir = self.root / "objects"
+        self.tmp_dir = self.root / "tmp"
+        self.objects_dir.mkdir(parents=True, exist_ok=True)
+        self.tmp_dir.mkdir(parents=True, exist_ok=True)
+        # Interrupted writes leave orphans only in tmp/; sweep them.
+        for leftover in self.tmp_dir.iterdir():
+            leftover.unlink()
+        self.cache_entries = max(1, cache_entries)
+        self.cache_bytes = cache_bytes
+        self._cache = OrderedDict()  # digest -> blob
+        self._cache_total = 0
+
+    def _path(self, digest: str) -> Path:
+        return self.objects_dir / digest[:2] / digest[2:4] / digest
+
+    # -- cache ------------------------------------------------------------
+
+    def _cache_put(self, digest: str, blob: bytes) -> None:
+        if len(blob) > self.cache_bytes:
+            return
+        if digest in self._cache:
+            self._cache.move_to_end(digest)
+            return
+        self._cache[digest] = blob
+        self._cache_total += len(blob)
+        while (len(self._cache) > self.cache_entries
+               or self._cache_total > self.cache_bytes):
+            _, evicted = self._cache.popitem(last=False)
+            self._cache_total -= len(evicted)
+
+    def _cache_drop(self, digest: str) -> None:
+        blob = self._cache.pop(digest, None)
+        if blob is not None:
+            self._cache_total -= len(blob)
+
+    def cache_stats(self) -> dict:
+        return {"entries": len(self._cache), "bytes": self._cache_total}
+
+    # -- storage ----------------------------------------------------------
+
+    def put(self, blob: bytes) -> str:
+        """Store a blob; returns its hex digest. Idempotent."""
+        digest = hashlib.sha256(blob).hexdigest()
+        path = self._path(digest)
+        if not path.exists():
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=self.tmp_dir)
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp_name, path)
+            except BaseException:
+                if os.path.exists(tmp_name):
+                    os.unlink(tmp_name)
+                raise
+        self._cache_put(digest, blob)
+        return digest
+
+    def get(self, digest: str) -> bytes:
+        blob = self._cache.get(digest)
+        if blob is not None:
+            self._cache.move_to_end(digest)
+            return blob
+        try:
+            blob = self._path(digest).read_bytes()
+        except FileNotFoundError:
+            raise StorageError(f"no blob {digest!r}") from None
+        if hashlib.sha256(blob).hexdigest() != digest:
+            raise StorageError(f"blob {digest!r} is corrupted on disk")
+        self._cache_put(digest, blob)
+        return blob
+
+    def contains(self, digest: str) -> bool:
+        return digest in self._cache or self._path(digest).exists()
+
+    def delete(self, digest: str) -> None:
+        self._cache_drop(digest)
+        try:
+            self._path(digest).unlink()
+        except FileNotFoundError:
+            pass
+
+    def digests(self) -> list:
+        return sorted(
+            path.name
+            for path in self.objects_dir.glob("??/??/*")
+            if path.is_file()
+        )
+
+
+def _atomic_write(directory: Path, path: Path, data: bytes) -> None:
+    """tmp-file-then-rename write for small metadata files (refs)."""
+    fd, tmp_name = tempfile.mkstemp(dir=directory)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        if os.path.exists(tmp_name):
+            os.unlink(tmp_name)
+        raise
+
+
+class RecordStore:
+    """The server's persistent record table over a :class:`BlobStore`."""
+
+    def __init__(self, root, group: PairingGroup, *,
+                 cache_entries: int = 128,
+                 cache_bytes: int = 32 * 1024 * 1024):
+        self.root = Path(root)
+        self.group = group
+        self.blobs = BlobStore(self.root, cache_entries=cache_entries,
+                               cache_bytes=cache_bytes)
+        self.refs_dir = self.root / "refs"
+        self.keys_dir = self.root / "keys"
+        self.refs_dir.mkdir(parents=True, exist_ok=True)
+        self.keys_dir.mkdir(parents=True, exist_ok=True)
+        self._refs = {}              # record id -> digest
+        self._ciphertext_index = {}  # ciphertext id -> (record id, name)
+        for ref_path in self.refs_dir.iterdir():
+            record_id = unquote(ref_path.name)
+            digest = ref_path.read_text("ascii").strip()
+            self._refs[record_id] = digest
+            self._index_record(self._decode(digest))
+
+    def _ref_path(self, record_id: str) -> Path:
+        return self.refs_dir / quote(record_id, safe="")
+
+    def _decode(self, digest: str) -> StoredRecord:
+        return StoredRecord.from_bytes(self.group, self.blobs.get(digest))
+
+    def _index_record(self, record: StoredRecord) -> None:
+        for name, component in record.components.items():
+            self._ciphertext_index[component.abe_ciphertext.ciphertext_id] = (
+                record.record_id, name
+            )
+
+    def _unindex_record(self, record: StoredRecord) -> None:
+        for component in record.components.values():
+            self._ciphertext_index.pop(
+                component.abe_ciphertext.ciphertext_id, None
+            )
+
+    def _collect(self, digest: str) -> None:
+        """Drop a blob no ref points at any more."""
+        if digest not in self._refs.values():
+            self.blobs.delete(digest)
+
+    # -- records ----------------------------------------------------------
+
+    def put(self, record: StoredRecord, replace: bool = False) -> str:
+        """Persist a record; returns the blob digest."""
+        old_digest = self._refs.get(record.record_id)
+        if old_digest is not None and not replace:
+            raise StorageError(
+                f"record {record.record_id!r} already exists "
+                f"(pass replace=True to overwrite)"
+            )
+        if old_digest is not None:
+            self._unindex_record(self._decode(old_digest))
+        digest = self.blobs.put(record.to_bytes())
+        _atomic_write(self.blobs.tmp_dir, self._ref_path(record.record_id),
+                      digest.encode("ascii"))
+        self._refs[record.record_id] = digest
+        self._index_record(record)
+        if old_digest is not None and old_digest != digest:
+            self._collect(old_digest)
+        return digest
+
+    def get(self, record_id: str) -> StoredRecord:
+        digest = self._refs.get(record_id)
+        if digest is None:
+            raise StorageError(f"no record {record_id!r}")
+        return self._decode(digest)
+
+    def delete(self, record_id: str) -> None:
+        digest = self._refs.get(record_id)
+        if digest is None:
+            raise StorageError(f"no record {record_id!r}")
+        self._unindex_record(self._decode(digest))
+        del self._refs[record_id]
+        self._ref_path(record_id).unlink(missing_ok=True)
+        self._collect(digest)
+
+    def replace_component(self, record_id: str,
+                          component: StoredComponent) -> StoredRecord:
+        """Swap one component and persist the updated record."""
+        updated = self.get(record_id).with_component(component)
+        self.put(updated, replace=True)
+        return updated
+
+    def record_ids(self) -> list:
+        return sorted(self._refs)
+
+    def __contains__(self, record_id: str) -> bool:
+        return record_id in self._refs
+
+    def __len__(self) -> int:
+        return len(self._refs)
+
+    def locate_ciphertext(self, ciphertext_id: str) -> tuple:
+        """``(record id, component name)`` holding a ciphertext id."""
+        try:
+            return self._ciphertext_index[ciphertext_id]
+        except KeyError:
+            raise StorageError(f"no ciphertext {ciphertext_id!r}") from None
+
+    def ciphertext_ids(self) -> frozenset:
+        return frozenset(self._ciphertext_index)
+
+    def storage_bytes(self) -> int:
+        """Total stored payload — the Table III 'server' row, measured."""
+        return sum(
+            self._decode(digest).payload_size_bytes(self.group)
+            for digest in self._refs.values()
+        )
+
+    # -- authority key directory ------------------------------------------
+
+    def put_authority_keys(self, aid: str, blob: bytes) -> None:
+        _atomic_write(self.blobs.tmp_dir,
+                      self.keys_dir / quote(aid, safe=""), blob)
+
+    def get_authority_keys(self, aid: str) -> bytes:
+        try:
+            return (self.keys_dir / quote(aid, safe="")).read_bytes()
+        except FileNotFoundError:
+            raise StorageError(
+                f"no published keys for authority {aid!r}"
+            ) from None
+
+    def authority_ids(self) -> list:
+        return sorted(unquote(path.name) for path in self.keys_dir.iterdir())

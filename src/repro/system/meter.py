@@ -1,0 +1,123 @@
+"""Role-pair byte metering, shared by the simulation and the service.
+
+The paper's communication-cost analysis (Table IV) counts the bytes that
+travel between role pairs — AA↔User, AA↔Owner, Server↔User,
+Server↔Owner. :class:`Meter` is the accounting object both deployment
+modes share: the in-process simulation's :class:`repro.system.network.
+Network` records every ``send`` through it, and the asyncio service
+(:mod:`repro.service`) records every payload-bearing frame through an
+identical instance — so the same workload produces the same counters
+whether it runs in-process or over a real socket.
+
+Payloads are measured with :mod:`repro.system.sizes`, i.e. in the
+group-element byte units of Tables II–IV, not in raw frame bytes (frame
+headers are transport bookkeeping both deployments share equally; the
+service tracks raw frame bytes separately as ``wire_bytes``).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.pairing.group import PairingGroup
+from repro.system.sizes import measure
+
+# Canonical role names used by the Table IV aggregation.
+ROLE_CA = "ca"
+ROLE_AA = "aa"
+ROLE_OWNER = "owner"
+ROLE_USER = "user"
+ROLE_SERVER = "server"
+
+
+@dataclass(frozen=True)
+class MessageLogEntry:
+    """One recorded transfer."""
+
+    sender: str
+    sender_role: str
+    recipient: str
+    recipient_role: str
+    kind: str
+    size_bytes: int
+
+
+@dataclass
+class ChannelStats:
+    """Aggregate traffic between one (unordered) pair of roles."""
+
+    messages: int = 0
+    bytes: int = 0
+
+    def add(self, size: int) -> None:
+        self.messages += 1
+        self.bytes += size
+
+
+def role_pair(role_a: str, role_b: str) -> tuple:
+    """Unordered, canonical key for a role pair (AA↔User == User↔AA)."""
+    return tuple(sorted((role_a, role_b)))
+
+
+class Meter:
+    """Append-only transfer log plus per-role-pair aggregates."""
+
+    def __init__(self, group: PairingGroup):
+        self.group = group
+        self.log = []
+        self.channels = defaultdict(ChannelStats)
+        self.wire_bytes = 0  # raw frame bytes (service deployments only)
+
+    def record(self, sender: str, sender_role: str, recipient: str,
+               recipient_role: str, kind: str, payload) -> int:
+        """Measure one payload transfer and fold it into the counters.
+
+        Returns the measured size so callers can reuse it.
+        """
+        size = measure(payload, self.group)
+        self.log.append(MessageLogEntry(
+            sender=sender,
+            sender_role=sender_role,
+            recipient=recipient,
+            recipient_role=recipient_role,
+            kind=kind,
+            size_bytes=size,
+        ))
+        self.channels[role_pair(sender_role, recipient_role)].add(size)
+        return size
+
+    def record_wire(self, n_bytes: int) -> None:
+        """Count raw transport bytes (frame headers included)."""
+        self.wire_bytes += n_bytes
+
+    # -- reporting -------------------------------------------------------------
+
+    def bytes_between(self, role_a: str, role_b: str) -> int:
+        return self.channels[role_pair(role_a, role_b)].bytes
+
+    def messages_between(self, role_a: str, role_b: str) -> int:
+        return self.channels[role_pair(role_a, role_b)].messages
+
+    def bytes_by_kind(self) -> dict:
+        totals = defaultdict(int)
+        for entry in self.log:
+            totals[entry.kind] += entry.size_bytes
+        return dict(totals)
+
+    def total_bytes(self) -> int:
+        return sum(entry.size_bytes for entry in self.log)
+
+    def channel_summary(self) -> dict:
+        """JSON-friendly dump: ``"a<->b" -> {"messages": n, "bytes": n}``."""
+        return {
+            "<->".join(pair): {"messages": stats.messages,
+                               "bytes": stats.bytes}
+            for pair, stats in sorted(self.channels.items())
+        }
+
+    def reset(self) -> None:
+        """Clear counters (e.g. after setup, before the measured phase)."""
+        self.log.clear()
+        self.channels.clear()
+        self.wire_bytes = 0

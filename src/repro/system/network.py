@@ -1,11 +1,11 @@
 """Byte-metered message passing between simulated entities.
 
-The paper's communication-cost analysis (Table IV) counts the bytes that
-travel between role pairs — AA↔User, AA↔Owner, Server↔User,
-Server↔Owner. :class:`Network` is the single chokepoint every
-cross-entity transfer goes through in the simulation: it measures the
-payload with :mod:`repro.system.sizes`, appends a log entry, updates the
-per-role-pair counters, and hands the payload to the recipient.
+:class:`Network` is the single chokepoint every cross-entity transfer
+goes through in the in-process simulation: it hands the payload to the
+recipient and records the transfer on a :class:`repro.system.meter.
+Meter` — the same accounting object the asyncio service deployment
+(:mod:`repro.service`) uses, so the Table IV role-pair counters are
+directly comparable between the two modes.
 
 The network is synchronous and lossless — the paper measures sizes and
 local crypto time, not latency or loss (see DESIGN.md §2).
@@ -13,90 +13,57 @@ local crypto time, not latency or loss (see DESIGN.md §2).
 
 from __future__ import annotations
 
-from collections import defaultdict
-from dataclasses import dataclass, field
-
 from repro.pairing.group import PairingGroup
-from repro.system.sizes import measure
-
-# Canonical role names used by the Table IV aggregation.
-ROLE_CA = "ca"
-ROLE_AA = "aa"
-ROLE_OWNER = "owner"
-ROLE_USER = "user"
-ROLE_SERVER = "server"
-
-
-@dataclass(frozen=True)
-class MessageLogEntry:
-    """One recorded transfer."""
-
-    sender: str
-    sender_role: str
-    recipient: str
-    recipient_role: str
-    kind: str
-    size_bytes: int
+from repro.system.meter import (  # noqa: F401  (re-exported legacy names)
+    ROLE_AA,
+    ROLE_CA,
+    ROLE_OWNER,
+    ROLE_SERVER,
+    ROLE_USER,
+    ChannelStats,
+    MessageLogEntry,
+    Meter,
+    role_pair,
+)
 
 
-@dataclass
-class ChannelStats:
-    """Aggregate traffic between one (unordered) pair of roles."""
-
-    messages: int = 0
-    bytes: int = 0
-
-    def add(self, size: int) -> None:
-        self.messages += 1
-        self.bytes += size
-
-
-def role_pair(role_a: str, role_b: str) -> tuple:
-    """Unordered, canonical key for a role pair (AA↔User == User↔AA)."""
-    return tuple(sorted((role_a, role_b)))
-
-
-@dataclass
 class Network:
-    """The metering fabric all entities share."""
+    """The metering fabric all simulated entities share."""
 
-    group: PairingGroup
-    log: list = field(default_factory=list)
-    channels: dict = field(default_factory=lambda: defaultdict(ChannelStats))
+    def __init__(self, group: PairingGroup, meter: Meter = None):
+        self.group = group
+        self.meter = meter if meter is not None else Meter(group)
 
     def send(self, sender, recipient, kind: str, payload):
         """Record a transfer and return the payload (synchronous delivery)."""
-        size = measure(payload, self.group)
-        entry = MessageLogEntry(
-            sender=sender.name,
-            sender_role=sender.role,
-            recipient=recipient.name,
-            recipient_role=recipient.role,
-            kind=kind,
-            size_bytes=size,
+        self.meter.record(
+            sender.name, sender.role, recipient.name, recipient.role,
+            kind, payload,
         )
-        self.log.append(entry)
-        self.channels[role_pair(sender.role, recipient.role)].add(size)
         return payload
 
-    # -- reporting -------------------------------------------------------------
+    # -- reporting (delegates to the meter) ------------------------------------
+
+    @property
+    def log(self) -> list:
+        return self.meter.log
+
+    @property
+    def channels(self) -> dict:
+        return self.meter.channels
 
     def bytes_between(self, role_a: str, role_b: str) -> int:
-        return self.channels[role_pair(role_a, role_b)].bytes
+        return self.meter.bytes_between(role_a, role_b)
 
     def messages_between(self, role_a: str, role_b: str) -> int:
-        return self.channels[role_pair(role_a, role_b)].messages
+        return self.meter.messages_between(role_a, role_b)
 
     def bytes_by_kind(self) -> dict:
-        totals = defaultdict(int)
-        for entry in self.log:
-            totals[entry.kind] += entry.size_bytes
-        return dict(totals)
+        return self.meter.bytes_by_kind()
 
     def total_bytes(self) -> int:
-        return sum(entry.size_bytes for entry in self.log)
+        return self.meter.total_bytes()
 
     def reset(self) -> None:
         """Clear counters (e.g. after setup, before the measured phase)."""
-        self.log.clear()
-        self.channels.clear()
+        self.meter.reset()

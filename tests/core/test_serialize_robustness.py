@@ -1,0 +1,270 @@
+"""Corrupted- and truncated-input behaviour of every key decoder.
+
+The contract (hardened in this change): a hostile or damaged encoding
+fed to any ``decode_*`` or to ``Ciphertext.from_bytes`` raises
+:class:`SchemeError` — never ``json.JSONDecodeError``, ``KeyError``,
+``IndexError`` or any other stdlib leak.
+"""
+
+import json
+
+import pytest
+
+from repro.core.authority import AttributeAuthority
+from repro.core.ca import CertificateAuthority
+from repro.core.ciphertext import Ciphertext
+from repro.core.owner import DataOwner
+from repro.core.revocation import rekey_standard
+from repro.core.serialize import (
+    decode_authority_public_key,
+    decode_owner_secret_key,
+    decode_public_attribute_keys,
+    decode_update_info,
+    decode_update_key,
+    decode_user_public_key,
+    decode_user_secret_key,
+    encode_authority_public_key,
+    encode_owner_secret_key,
+    encode_public_attribute_keys,
+    encode_update_info,
+    encode_update_key,
+    encode_user_public_key,
+    encode_user_secret_key,
+)
+from repro.errors import ReproError, SchemeError
+
+
+@pytest.fixture(scope="module")
+def material(group):
+    """One valid encoding of every wire format, plus its decoder."""
+    ca = CertificateAuthority(group)
+    aa = AttributeAuthority(group, "hospital", ["doctor", "nurse"])
+    ca.register_authority("hospital")
+    owner = DataOwner(group, "alice")
+    ca.register_owner("alice")
+    aa.register_owner(owner.secret_key)
+    owner.learn_authority(
+        aa.authority_public_key(), aa.public_attribute_keys()
+    )
+    upk = ca.register_user("bob")
+    usk = aa.keygen(upk, ["doctor", "nurse"], "alice")
+    ciphertext = owner.encrypt(
+        group.random_gt(), "hospital:doctor AND hospital:nurse",
+        ciphertext_id="ct-1",
+    )
+    update_key = rekey_standard(aa, "bob", ["doctor"]).update_key
+    update_info = owner.update_info_for_record("ct-1", update_key)
+    return {
+        "upk": (encode_user_public_key(upk), decode_user_public_key),
+        "osk": (encode_owner_secret_key(group, owner.secret_key),
+                decode_owner_secret_key),
+        "apk": (encode_authority_public_key(aa.authority_public_key()),
+                decode_authority_public_key),
+        "pak": (encode_public_attribute_keys(aa.public_attribute_keys()),
+                decode_public_attribute_keys),
+        "usk": (encode_user_secret_key(usk), decode_user_secret_key),
+        "uk": (encode_update_key(group, update_key), decode_update_key),
+        "ui": (encode_update_info(update_info), decode_update_info),
+        "ct": (ciphertext.to_bytes(),
+               lambda g, data: Ciphertext.from_bytes(g, data)),
+    }
+
+
+KINDS = ["upk", "osk", "apk", "pak", "usk", "uk", "ui", "ct"]
+
+
+def rewrite_header(data: bytes, mutate) -> bytes:
+    """Decode the JSON header, apply ``mutate``, re-pack unchanged body."""
+    header_len = int.from_bytes(data[:4], "big")
+    header = json.loads(data[4:4 + header_len])
+    body = data[4 + header_len:]
+    mutate(header)
+    raw = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    return len(raw).to_bytes(4, "big") + raw + body
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_roundtrips_before_corruption(group, material, kind):
+    encoded, decode = material[kind]
+    decoded = decode(group, encoded)
+    assert decoded is not None
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_truncated_prefix(group, material, kind):
+    _, decode = material[kind]
+    for n in range(4):
+        with pytest.raises(SchemeError):
+            decode(group, b"\x00" * n)
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_truncation_at_every_boundary(group, material, kind):
+    encoded, decode = material[kind]
+    header_len = int.from_bytes(encoded[:4], "big")
+    # Cut inside the length prefix, inside the header, at the header
+    # boundary, and inside the element body.
+    for cut in (2, 4 + header_len // 2, 4 + header_len, len(encoded) - 1):
+        with pytest.raises(SchemeError):
+            decode(group, encoded[:cut])
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_oversized_declared_header_length(group, material, kind):
+    encoded, decode = material[kind]
+    huge = (0xFFFFFFFF).to_bytes(4, "big") + encoded[4:]
+    with pytest.raises(SchemeError):
+        decode(group, huge)
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_header_is_not_json(group, material, kind):
+    encoded, decode = material[kind]
+    header_len = int.from_bytes(encoded[:4], "big")
+    garbled = encoded[:4] + b"\xff" * header_len + encoded[4 + header_len:]
+    with pytest.raises(SchemeError):
+        decode(group, garbled)
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_header_is_json_but_not_an_object(group, material, kind):
+    _, decode = material[kind]
+    raw = b"[1,2,3]"
+    with pytest.raises(SchemeError):
+        decode(group, len(raw).to_bytes(4, "big") + raw)
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_trailing_garbage_after_body(group, material, kind):
+    encoded, decode = material[kind]
+    with pytest.raises(SchemeError):
+        decode(group, encoded + b"\x00")
+
+
+@pytest.mark.parametrize("kind", [k for k in KINDS if k != "ct"])
+def test_non_bytes_input(group, material, kind):
+    _, decode = material[kind]
+    for bogus in (None, "string", 7, ["bytes"]):
+        with pytest.raises(SchemeError):
+            decode(group, bogus)
+
+
+@pytest.mark.parametrize("kind", [k for k in KINDS if k != "ct"])
+def test_wrong_kind_tag_is_rejected(group, material, kind):
+    """Every decoder refuses the other decoders' encodings."""
+    for other, (encoded, _) in material.items():
+        if other in (kind, "ct"):
+            continue
+        _, decode = material[kind]
+        with pytest.raises(SchemeError):
+            decode(group, encoded)
+
+
+# -- header field typing ------------------------------------------------------
+
+def expect_rejected(group, decode, corrupted):
+    with pytest.raises(SchemeError):
+        decode(group, corrupted)
+
+
+def test_upk_uid_must_be_a_string(group, material):
+    encoded, decode = material["upk"]
+    expect_rejected(group, decode, rewrite_header(
+        encoded, lambda h: h.__setitem__("uid", 42)
+    ))
+    expect_rejected(group, decode, rewrite_header(
+        encoded, lambda h: h.pop("uid")
+    ))
+
+
+def test_apk_version_must_be_an_integer(group, material):
+    encoded, decode = material["apk"]
+    for bad in ("1", True, None, 1.5):
+        expect_rejected(group, decode, rewrite_header(
+            encoded, lambda h: h.__setitem__("version", bad)
+        ))
+
+
+def test_pak_attrs_must_be_a_clean_string_list(group, material):
+    encoded, decode = material["pak"]
+    for bad in ("doctor", {"doctor": 1}, [1, 2], ["doctor", "doctor"]):
+        expect_rejected(group, decode, rewrite_header(
+            encoded, lambda h: h.__setitem__("attrs", bad)
+        ))
+
+
+def test_usk_versions_and_ids(group, material):
+    encoded, decode = material["usk"]
+    for field, bad in (("uid", 1), ("aid", None), ("owner", []),
+                       ("version", "2"), ("attrs", "doctor")):
+        expect_rejected(group, decode, rewrite_header(
+            encoded, lambda h: h.__setitem__(field, bad)
+        ))
+
+
+def test_uk_owner_list_and_versions(group, material):
+    encoded, decode = material["uk"]
+    for field, bad in (("owners", "alice"), ("owners", ["a", "a"]),
+                       ("from", "0"), ("to", False), ("aid", 9)):
+        expect_rejected(group, decode, rewrite_header(
+            encoded, lambda h: h.__setitem__(field, bad)
+        ))
+
+
+def test_ui_fields(group, material):
+    encoded, decode = material["ui"]
+    for field, bad in (("ct", 3), ("aid", []), ("attrs", ["x", "x"]),
+                       ("from", None), ("to", "1")):
+        expect_rejected(group, decode, rewrite_header(
+            encoded, lambda h: h.__setitem__(field, bad)
+        ))
+
+
+def test_body_with_wrong_element_count(group, material):
+    encoded, decode = material["pak"]
+    with pytest.raises(SchemeError, match="body"):
+        decode(group, encoded[:-group.g1_bytes])
+
+
+# -- Ciphertext.from_bytes ----------------------------------------------------
+
+def test_ciphertext_header_field_typing(group, material):
+    encoded, _ = material["ct"]
+
+    def corrupt(field, value):
+        return rewrite_header(
+            encoded, lambda h: h.__setitem__(field, value)
+        )
+
+    for field, bad in (("id", 7), ("owner", None), ("policy", ["or"]),
+                       ("versions", "hospital"), ("versions", {"a": "1"}),
+                       ("versions", {"a": True}), ("lsss", 3)):
+        with pytest.raises(SchemeError, match="malformed ciphertext"):
+            Ciphertext.from_bytes(group, corrupt(field, bad))
+
+
+def test_ciphertext_missing_header_field(group, material):
+    encoded, _ = material["ct"]
+    for field in ("id", "owner", "policy", "versions"):
+        corrupted = rewrite_header(encoded, lambda h: h.pop(field))
+        with pytest.raises(SchemeError, match="malformed ciphertext"):
+            Ciphertext.from_bytes(group, corrupted)
+
+
+def test_ciphertext_body_length_mismatch(group, material):
+    encoded, _ = material["ct"]
+    with pytest.raises(SchemeError, match="wrong length"):
+        Ciphertext.from_bytes(group, encoded[:-1])
+    with pytest.raises(SchemeError, match="wrong length"):
+        Ciphertext.from_bytes(group, encoded + b"\x01")
+
+
+def test_ciphertext_garbage_policy_stays_a_library_error(group, material):
+    """An unparseable policy surfaces as PolicyError — still inside the
+    library's hierarchy, never a stdlib leak."""
+    encoded, _ = material["ct"]
+    corrupted = rewrite_header(
+        encoded, lambda h: h.__setitem__("policy", "((((")
+    )
+    with pytest.raises(ReproError):
+        Ciphertext.from_bytes(group, corrupted)

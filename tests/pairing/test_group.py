@@ -218,3 +218,34 @@ class TestSS512Smoke:
         group = PairingGroup(SS512, seed=1)
         a, b = group.random_scalar(), group.random_scalar()
         assert group.pair(group.g ** a, group.g ** b) == group.gt ** (a * b)
+
+
+class TestGtDecodingValidation:
+    """decode_gt mirrors decode_g1: length, zero, and subgroup checks."""
+
+    def test_wrong_length_rejected(self, group):
+        for n in (0, 1, group.gt_bytes - 1, group.gt_bytes + 1):
+            with pytest.raises(MathError, match="length"):
+                group.decode_gt(b"\x00" * n)
+
+    def test_zero_rejected(self, group):
+        with pytest.raises(MathError, match="0 is not"):
+            group.decode_gt(b"\x00" * group.gt_bytes)
+
+    def test_out_of_subgroup_rejected(self, group):
+        half = group.gt_bytes // 2
+        # (2, 3) is a unit of F_p² but (for these parameters) not in the
+        # order-r subgroup — the guard below keeps the test honest.
+        data = (2).to_bytes(half, "big") + (3).to_bytes(half, "big")
+        value = group.ext.from_bytes(data)
+        assert not group.ext.is_one(group.ext.pow(value, group.order))
+        with pytest.raises(MathError, match="subgroup"):
+            group.decode_gt(data)
+
+    def test_identity_is_accepted(self, group):
+        identity = group.gt ** group.order
+        assert group.decode_gt(identity.to_bytes()).is_identity()
+
+    def test_valid_elements_still_roundtrip(self, group):
+        element = group.random_gt()
+        assert group.decode_gt(element.to_bytes()) == element

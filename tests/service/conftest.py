@@ -1,0 +1,82 @@
+"""Shared helpers for the service-deployment tests.
+
+``Scenario`` builds the local trust fabric (CA, one AA, an owner, two
+users) the way the simulation's workflow does, so server tests only
+exercise what actually crosses the socket: storage, downloads, the key
+directory and proxy ReEncrypt.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.authority import AttributeAuthority
+from repro.core.ca import CertificateAuthority
+from repro.core.owner import DataOwner
+from repro.crypto.hybrid import seal
+from repro.service.server import StorageService
+from repro.service.store import RecordStore
+from repro.system.records import StoredComponent, StoredRecord
+
+
+class Scenario:
+    """CA + one AA ('hospital') + owner 'alice' + users bob/carol."""
+
+    def __init__(self, group):
+        self.group = group
+        self.ca = CertificateAuthority(group)
+        self.aa = AttributeAuthority(group, "hospital", ["doctor", "nurse"])
+        self.ca.register_authority("hospital")
+        self.owner_core = DataOwner(group, "alice")
+        self.ca.register_owner("alice")
+        self.aa.register_owner(self.owner_core.secret_key)
+        self.owner_core.learn_authority(
+            self.aa.authority_public_key(), self.aa.public_attribute_keys()
+        )
+        self.bob_pk = self.ca.register_user("bob")
+        self.carol_pk = self.ca.register_user("carol")
+        self.bob_sk = self.aa.keygen(self.bob_pk, ["doctor"], "alice")
+        self.carol_sk = self.aa.keygen(
+            self.carol_pk, ["doctor", "nurse"], "alice"
+        )
+
+    def make_record(self, record_id="record", components=None) -> StoredRecord:
+        """An owner-encrypted Fig. 2 record, without any network I/O."""
+        if components is None:
+            components = {"note": (b"plaintext body", "hospital:doctor")}
+        stored = {}
+        for name, (plaintext, policy) in components.items():
+            ciphertext_id = f"{record_id}/{name}"
+            session = self.group.random_gt()
+            stored[name] = StoredComponent(
+                name=name,
+                abe_ciphertext=self.owner_core.encrypt(
+                    session, policy, ciphertext_id=ciphertext_id
+                ),
+                data_ciphertext=seal(session, ciphertext_id, plaintext),
+            )
+        return StoredRecord(
+            record_id=record_id, owner_id="alice", components=stored
+        )
+
+
+@pytest.fixture()
+def scenario(group):
+    return Scenario(group)
+
+
+@pytest.fixture()
+def store_root(tmp_path):
+    return tmp_path / "store"
+
+
+def run(coro):
+    """Run one async test scenario to completion."""
+    return asyncio.run(coro)
+
+
+async def start_service(group, root, **kwargs) -> StorageService:
+    """A running server on an ephemeral localhost port."""
+    service = StorageService(group, RecordStore(root, group), **kwargs)
+    await service.start()
+    return service

@@ -1,0 +1,119 @@
+"""The service reproduces the simulation's Table IV byte counters.
+
+The same workload — upload a 2-component record, three authorized
+reads, revoke one attribute with server-side ReEncrypt, one surviving
+read — runs once through the in-process :class:`CloudStorageSystem`
+and once over a real socket. Every payload that touches the server
+role must be metered identically: same sender/recipient, same kind,
+same size, same order.
+"""
+
+from repro.core.revocation import rekey_standard
+from repro.ec.params import TOY80
+from repro.service.client import OwnerClient, ServiceConnection, UserClient
+from repro.system.meter import ROLE_SERVER, Meter
+from repro.system.workflow import CloudStorageSystem
+
+from .conftest import run, start_service
+
+NOTE = b"MRI shows nothing acute."
+PLAN = b"Rest, fluids, follow-up in two weeks."
+COMPONENTS = {
+    "note": (NOTE, "hospital:doctor"),
+    "plan": (PLAN, "hospital:doctor OR hospital:nurse"),
+}
+
+
+def run_simulation():
+    sim = CloudStorageSystem(TOY80, seed=0xBEEF)
+    sim.add_authority("hospital", ["doctor", "nurse"])
+    sim.add_owner("alice")
+    sim.add_user("bob")
+    sim.add_user("carol")
+    sim.issue_keys("bob", "hospital", ["doctor"], "alice")
+    sim.issue_keys("carol", "hospital", ["doctor", "nurse"], "alice")
+
+    sim.upload("alice", "record", COMPONENTS)
+    assert sim.read("bob", "record", "note") == NOTE
+    assert sim.read("carol", "record", "plan") == PLAN
+    assert sim.read_own("alice", "record", "plan") == PLAN
+    sim.revoke("hospital", "bob", ["doctor"])
+    assert sim.read("carol", "record", "note") == NOTE
+    return sim
+
+
+async def run_service(scenario, store_root):
+    group = scenario.group
+    client_meter = Meter(group)  # one meter shared by every client
+    service = await start_service(group, store_root)
+
+    def connection(role, name):
+        return ServiceConnection(group, service.host, service.port,
+                                 role=role, name=name, meter=client_meter)
+
+    owner = OwnerClient(
+        await connection("owner", "owner:alice").connect(),
+        scenario.owner_core,
+    )
+    bob = UserClient(await connection("user", "user:bob").connect(), "bob")
+    bob.receive_public_key(scenario.bob_pk)
+    bob.receive_secret_key(scenario.bob_sk)
+    carol = UserClient(
+        await connection("user", "user:carol").connect(), "carol"
+    )
+    carol.receive_public_key(scenario.carol_pk)
+    carol.receive_secret_key(scenario.carol_sk)
+
+    try:
+        await owner.upload("record", COMPONENTS)
+        assert await bob.read("record", "note") == NOTE
+        assert await carol.read("record", "plan") == PLAN
+        assert await owner.read_own("record", "plan") == PLAN
+        result = rekey_standard(scenario.aa, "bob", ["doctor"])
+        bob.drop_keys("hospital", "alice")
+        carol.apply_update_key(result.update_key)
+        updated = await owner.push_revocation_updates(result.update_key)
+        assert len(updated) == 2
+        assert await carol.read("record", "note") == NOTE
+    finally:
+        for client in (owner, bob, carol):
+            await client.close()
+        await service.stop()
+    return client_meter, service.meter
+
+
+def server_log(meter):
+    """Only the transfers that touch the server role."""
+    return [entry for entry in meter.log
+            if ROLE_SERVER in (entry.sender_role, entry.recipient_role)]
+
+
+def test_service_counters_match_the_simulation(scenario, store_root):
+    sim = run_simulation()
+    client_meter, server_meter = run(run_service(scenario, store_root))
+
+    # The strongest form of parity: the metered transfer logs are
+    # identical entry-for-entry (sender, roles, kind, measured size).
+    assert client_meter.log == server_log(sim.network.meter)
+
+    # Both ends of the socket tell the same story.
+    assert server_meter.log == client_meter.log
+
+    # And the Table IV aggregates line up per role-pair channel.
+    for role in ("owner", "user"):
+        assert client_meter.bytes_between(role, "server") == \
+            sim.network.bytes_between(role, "server")
+        assert client_meter.messages_between(role, "server") == \
+            sim.network.messages_between(role, "server")
+
+    # Per-kind totals for the kinds that only travel via the server.
+    sim_kinds = sim.network.bytes_by_kind()
+    service_kinds = client_meter.bytes_by_kind()
+    for kind in ("store-record", "read-request", "component-download",
+                 "update-info"):
+        assert service_kinds[kind] == sim_kinds[kind], kind
+
+    # The service additionally accounts raw transport bytes, which the
+    # in-process simulation has no notion of.
+    assert client_meter.wire_bytes > client_meter.total_bytes()
+    assert sim.network.meter.wire_bytes == 0

@@ -76,3 +76,62 @@ class TestRolePair:
     def test_canonical_order(self):
         assert role_pair("user", "aa") == role_pair("aa", "user")
         assert role_pair("aa", "user") == ("aa", "user")
+
+
+class TestSharedMeter:
+    """The Network delegates to a Meter that other transports can share."""
+
+    def test_network_owns_a_meter_by_default(self, network):
+        from repro.system.meter import Meter
+
+        assert isinstance(network.meter, Meter)
+        assert network.log is network.meter.log
+
+    def test_injected_meter_is_shared(self, group):
+        from repro.system.meter import Meter
+
+        meter = Meter(group)
+        net_a = Network(group, meter=meter)
+        net_b = Network(group, meter=meter)
+        aa = _Stub("AA:h", ROLE_AA)
+        user = _Stub("user:bob", ROLE_USER)
+        net_a.send(aa, user, "key", b"1234")
+        net_b.send(user, aa, "ack", b"56")
+        # Both networks fold into the one shared accounting object.
+        assert meter.total_bytes() == 6
+        assert network_totals(net_a) == network_totals(net_b) == 6
+        assert meter.messages_between(ROLE_AA, ROLE_USER) == 2
+
+    def test_direct_meter_records_join_network_records(self, group):
+        from repro.system.meter import Meter
+
+        meter = Meter(group)
+        network = Network(group, meter=meter)
+        aa = _Stub("AA:h", ROLE_AA)
+        user = _Stub("user:bob", ROLE_USER)
+        network.send(aa, user, "key", b"1234")
+        meter.record("user:bob", ROLE_USER, "AA:h", ROLE_AA, "ack", b"56")
+        assert network.total_bytes() == 6
+        assert network.bytes_by_kind() == {"key": 4, "ack": 2}
+
+    def test_wire_bytes_are_separate_from_payload_bytes(self, network):
+        aa = _Stub("AA:h", ROLE_AA)
+        user = _Stub("user:bob", ROLE_USER)
+        network.send(aa, user, "key", b"1234")
+        network.meter.record_wire(100)
+        assert network.total_bytes() == 4
+        assert network.meter.wire_bytes == 100
+        network.reset()
+        assert network.meter.wire_bytes == 0
+
+    def test_channel_summary_shape(self, network):
+        aa = _Stub("AA:h", ROLE_AA)
+        user = _Stub("user:bob", ROLE_USER)
+        network.send(aa, user, "key", b"1234")
+        assert network.meter.channel_summary() == {
+            "aa<->user": {"messages": 1, "bytes": 4}
+        }
+
+
+def network_totals(network):
+    return network.total_bytes()

@@ -147,3 +147,50 @@ class TestParser:
     def test_unknown_preset(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["demo", "--preset", "NOPE"])
+
+
+class TestService:
+    def test_serve_then_client_ping_and_smoke(self, tmp_path):
+        import re
+        import threading
+        import time
+
+        server_out = io.StringIO()
+        server = threading.Thread(
+            target=main,
+            args=(["serve", "--preset", "TOY80", "--port", "0",
+                   "--root", str(tmp_path / "store"),
+                   "--max-seconds", "60"],),
+            kwargs={"out": server_out},
+            daemon=True,
+        )
+        server.start()
+        port = None
+        for _ in range(200):
+            match = re.search(
+                r"listening on 127\.0\.0\.1:(\d+)", server_out.getvalue()
+            )
+            if match:
+                port = int(match.group(1))
+                break
+            time.sleep(0.05)
+        assert port is not None, server_out.getvalue()
+
+        code, output = run(
+            ["client", "ping", "--preset", "TOY80", "--port", str(port)]
+        )
+        assert code == 0
+        assert "pong" in output
+
+        code, output = run(
+            ["client", "smoke", "--preset", "TOY80", "--port", str(port)]
+        )
+        assert code == 0
+        assert "smoke cycle passed" in output
+        assert "revoked user's read now fails" in output
+
+        code, output = run(
+            ["client", "list", "--preset", "TOY80", "--port", str(port)]
+        )
+        assert code == 0
+        assert "record" in output
