@@ -207,12 +207,13 @@ def _cmd_serve(args) -> int:
         store = RecordStore(args.root, group)
         service = StorageService(
             group, store, host=args.host, port=args.port,
-            idle_timeout=args.idle_timeout,
+            idle_timeout=args.idle_timeout, read_only=args.read_only,
         )
         await service.start()
+        mode = " [read-only]" if args.read_only else ""
         print(
             f"repro service listening on {service.host}:{service.port} "
-            f"(preset {args.preset}, root {args.root})",
+            f"(preset {args.preset}, root {args.root}){mode}",
             file=out, flush=True,
         )
         try:
@@ -243,17 +244,34 @@ def _cmd_client(args) -> int:
     out = args.out
     params = PRESETS[args.preset]
     if args.action == "smoke":
+        from repro.service.faults import FaultSpec
         from repro.service.smoke import run_smoke
 
+        chaos = None
+        timeout = args.timeout
+        if args.chaos_seed is not None:
+            chaos = FaultSpec(
+                drop=args.chaos_drop, delay=args.chaos_delay,
+                corrupt=args.chaos_corrupt, truncate=args.chaos_truncate,
+                duplicate=args.chaos_duplicate,
+                delay_seconds=args.chaos_delay_seconds,
+            )
+            if timeout is None:
+                # The injected delays must overrun the client timeout,
+                # or the delay fault would never be visible.
+                timeout = max(0.25, args.chaos_delay_seconds / 2)
         return asyncio.run(run_smoke(
-            params, args.host, args.port, out=out, seed=args.seed
+            params, args.host, args.port, out=out, seed=args.seed,
+            chaos=chaos, chaos_seed=args.chaos_seed or 0,
+            timeout=30.0 if timeout is None else timeout,
         ))
 
     group = PairingGroup(params, seed=args.seed)
 
     async def run() -> int:
         connection = ServiceConnection(
-            group, args.host, args.port, role="user", name="cli"
+            group, args.host, args.port, role="user", name="cli",
+            timeout=30.0 if args.timeout is None else args.timeout,
         )
         client = BaseClient(await connection.connect())
         try:
@@ -262,6 +280,9 @@ def _cmd_client(args) -> int:
                       file=out)
             elif args.action == "stats":
                 print(json_module.dumps(await client.stats(), indent=2),
+                      file=out)
+            elif args.action == "health":
+                print(json_module.dumps(await client.health(), indent=2),
                       file=out)
             else:  # list
                 for record_id in await client.list_records():
@@ -354,6 +375,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--idle-timeout", type=float, default=30.0,
                        dest="idle_timeout",
                        help="per-connection idle timeout in seconds")
+    serve.add_argument("--read-only", action="store_true",
+                       help="refuse writes (typed, retryable errors) while "
+                            "serving reads")
     serve.add_argument("--max-seconds", type=float, default=0,
                        dest="max_seconds",
                        help="auto-shutdown after this many seconds (0 = run "
@@ -364,11 +388,32 @@ def build_parser() -> argparse.ArgumentParser:
         "client", help="talk to a running repro service"
     )
     _add_preset_argument(client)
-    client.add_argument("action", choices=["ping", "stats", "list", "smoke"],
+    client.add_argument("action",
+                        choices=["ping", "stats", "health", "list", "smoke"],
                         help="smoke runs the full upload/read/revoke cycle")
     client.add_argument("--seed", type=int, default=None)
     client.add_argument("--host", default="127.0.0.1")
     client.add_argument("--port", type=int, default=7468)
+    client.add_argument("--timeout", type=float, default=None,
+                        help="per-request client timeout in seconds")
+    chaos = client.add_argument_group(
+        "chaos", "seeded fault injection for the smoke cycle "
+                 "(enabled by --chaos-seed)"
+    )
+    chaos.add_argument("--chaos-seed", type=int, default=None,
+                       help="run smoke through a ChaosProxy with this seed")
+    chaos.add_argument("--chaos-drop", type=float, default=0.06,
+                       help="per-reply-frame connection-drop rate")
+    chaos.add_argument("--chaos-delay", type=float, default=0.04,
+                       help="per-reply-frame delay rate (past the timeout)")
+    chaos.add_argument("--chaos-corrupt", type=float, default=0.04,
+                       help="per-reply-frame corruption rate")
+    chaos.add_argument("--chaos-truncate", type=float, default=0.03,
+                       help="per-reply-frame truncation rate")
+    chaos.add_argument("--chaos-duplicate", type=float, default=0.05,
+                       help="per-reply-frame duplication rate")
+    chaos.add_argument("--chaos-delay-seconds", type=float, default=1.0,
+                       help="how long a delayed reply is held back")
     client.set_defaults(handler=_cmd_client)
 
     info = subparsers.add_parser("info", help="show built-in presets")

@@ -48,5 +48,16 @@ class StorageError(ReproError):
     """The cloud server was asked for a record it does not hold."""
 
 
+class UnavailableError(StorageError):
+    """The server cannot apply writes right now (read-only mode, disk
+    failure); the request is safe to retry later."""
+
+
 class ProtocolError(ReproError):
     """A wire-protocol frame was malformed, unexpected, or over-sized."""
+
+
+class TransportError(ProtocolError):
+    """The connection failed mid-exchange (dropped, timed out, or the
+    reply frame was garbled) before a usable reply arrived; the request
+    may be retried on a fresh connection."""

@@ -18,6 +18,12 @@ upload → read → revoke → re-encrypt lifecycle over the wire:
   ReEncrypt (Section V-C), per-connection timeouts, graceful shutdown.
 * :mod:`repro.service.client` — ``OwnerClient`` / ``UserClient`` /
   ``AuthorityClient`` wrappers over one connection each.
+* :mod:`repro.service.retry` — ``RetryPolicy`` (exponential backoff +
+  jitter), ``RetryLog``, and the server-side ``IdempotencyTable`` that
+  makes retried mutations apply exactly once.
+* :mod:`repro.service.faults` — ``ChaosProxy``, a deterministic seeded
+  fault injector (drops, delays, corruption, truncation, duplication)
+  for reproducing every failure mode in tests.
 
 Every payload-bearing frame is metered through the same
 :class:`repro.system.meter.Meter` accounting the simulation uses, so
@@ -30,14 +36,21 @@ from repro.service.client import (
     ServiceConnection,
     UserClient,
 )
+from repro.service.faults import ChaosProxy, FaultSpec
+from repro.service.retry import IdempotencyTable, RetryLog, RetryPolicy
 from repro.service.server import StorageService
 from repro.service.store import BlobStore, RecordStore
 
 __all__ = [
     "AuthorityClient",
     "BlobStore",
+    "ChaosProxy",
+    "FaultSpec",
+    "IdempotencyTable",
     "OwnerClient",
     "RecordStore",
+    "RetryLog",
+    "RetryPolicy",
     "ServiceConnection",
     "StorageService",
     "UserClient",

@@ -8,6 +8,16 @@ with the same role/kind vocabulary the in-process simulation uses — so
 a client-side meter and the server's meter tell the same Table IV
 story for the same workload.
 
+With a :class:`repro.service.retry.RetryPolicy` attached, the
+connection is fault-tolerant: a dropped, timed-out, or garbled exchange
+closes the broken socket, reconnects (re-HELLO included), and re-sends
+the request under exponential backoff — mutating requests carry a
+stable idempotency key across retries so the server applies them
+exactly once. Replies are matched to requests by the v2 sequence
+number; late or duplicated frames are discarded (and logged), never
+consumed as the answer to the next request. Every recovery action is
+recorded in :attr:`ServiceConnection.retry_log`.
+
 On top of it, the three role wrappers mirror the simulation entities
 (:mod:`repro.system.entities`) over real I/O:
 
@@ -42,10 +52,22 @@ from repro.core.serialize import (
     encode_update_key,
 )
 from repro.crypto.hybrid import open_sealed, seal
-from repro.errors import AuthorizationError, ProtocolError, SchemeError
+from repro.errors import (
+    AuthorizationError,
+    ProtocolError,
+    SchemeError,
+    TransportError,
+    UnavailableError,
+)
 from repro.pairing.group import PairingGroup
 from repro.service import protocol
 from repro.service.protocol import MessageType
+from repro.service.retry import (
+    RetryLog,
+    RetryPolicy,
+    is_retryable,
+    new_idempotency_key,
+)
 from repro.system.meter import ROLE_SERVER, Meter
 from repro.system.records import StoredComponent, StoredRecord
 
@@ -53,10 +75,15 @@ from repro.system.records import StoredComponent, StoredRecord
 class ServiceConnection:
     """One framed, metered client connection to a :class:`StorageService`."""
 
+    #: Bound on stale/duplicated frames discarded per exchange before
+    #: the connection is declared hopelessly desynced.
+    MAX_STALE_FRAMES = 32
+
     def __init__(self, group: PairingGroup, host: str, port: int, *,
                  role: str, name: str, meter: Meter = None,
                  timeout: float = 30.0,
-                 max_frame: int = protocol.MAX_FRAME_BYTES):
+                 max_frame: int = protocol.MAX_FRAME_BYTES,
+                 retry: RetryPolicy = None, retry_log: RetryLog = None):
         self.group = group
         self.host = host
         self.port = port
@@ -65,35 +92,68 @@ class ServiceConnection:
         self.meter = meter if meter is not None else Meter(group)
         self.timeout = timeout
         self.max_frame = max_frame
+        self.retry = retry
+        self.retry_log = retry_log if retry_log is not None else RetryLog()
         self.server_name = None
         self.version = None
         self._reader = None
         self._writer = None
+        self._send_seq = 0
 
     @property
     def connected(self) -> bool:
         return self._writer is not None
 
     async def connect(self) -> "ServiceConnection":
+        """Connect and negotiate; with a retry policy, keeps trying."""
+        attempt = 1
+        while True:
+            try:
+                return await self._connect_once()
+            except Exception as exc:
+                if not await self._backoff("HELLO", attempt, exc):
+                    raise
+                attempt += 1
+
+    async def _connect_once(self) -> "ServiceConnection":
+        """One connection attempt: TCP connect plus the HELLO exchange."""
+        await self.close()  # never reuse a half-dead socket
         self._reader, self._writer = await asyncio.open_connection(
             self.host, self.port
         )
-        msg_type, body = await self._roundtrip(
-            MessageType.HELLO,
-            protocol.hello_body(self.group.params.name, self.role, self.name),
-        )
-        if msg_type is MessageType.ERROR:
-            protocol.raise_error(body)
-        if msg_type is not MessageType.HELLO_ACK:
-            raise ProtocolError(f"expected HELLO_ACK, got {msg_type.name}")
-        ack = protocol.decode_json(body)
-        self.version = ack.get("version")
-        if self.version not in protocol.PROTOCOL_VERSIONS:
-            raise ProtocolError(
-                f"server chose unsupported protocol version {self.version!r}"
+        try:
+            sent = await protocol.write_frame(
+                self._writer, MessageType.HELLO,
+                protocol.hello_body(self.group.params.name, self.role,
+                                    self.name),
             )
-        self.server_name = protocol.json_str(ack, "server")
-        return self
+            self.meter.record_wire(sent)
+            try:
+                msg_type, body = await asyncio.wait_for(
+                    protocol.read_frame(self._reader, self.max_frame),
+                    self.timeout,
+                )
+            except ProtocolError as exc:
+                raise TransportError(f"garbled HELLO_ACK: {exc}") from exc
+            self.meter.record_wire(5 + len(body))
+            if msg_type is MessageType.ERROR:
+                protocol.raise_error(body)
+            if msg_type is not MessageType.HELLO_ACK:
+                raise ProtocolError(
+                    f"expected HELLO_ACK, got {msg_type.name}"
+                )
+            ack = protocol.decode_json(body)
+            self.version = ack.get("version")
+            if self.version not in protocol.PROTOCOL_VERSIONS:
+                raise ProtocolError(
+                    f"server chose unsupported protocol version "
+                    f"{self.version!r}"
+                )
+            self.server_name = protocol.json_str(ack, "server")
+            return self
+        except BaseException:
+            await self.close()
+            raise
 
     async def close(self) -> None:
         if self._writer is not None:
@@ -110,29 +170,124 @@ class ServiceConnection:
     async def __aexit__(self, *exc_info) -> None:
         await self.close()
 
+    async def _backoff(self, request: str, attempt: int,
+                       exc: BaseException) -> bool:
+        """Log and sleep before a retry; False when out of budget."""
+        if self.retry is None or not is_retryable(exc):
+            return False
+        if not self.retry.attempts_left(attempt):
+            self.retry_log.note("exhausted", request, attempt=attempt,
+                                cause=repr(exc))
+            return False
+        delay = self.retry.backoff(attempt)
+        self.retry_log.note("retry", request, attempt=attempt,
+                            cause=repr(exc), delay=delay)
+        await asyncio.sleep(delay)
+        return True
+
     async def _roundtrip(self, msg_type: MessageType,
                          body: bytes = b"") -> tuple:
         if self._writer is None:
-            raise ProtocolError("connection is not open")
-        sent = await protocol.write_frame(self._writer, msg_type, body)
-        self.meter.record_wire(sent)
-        reply_type, reply = await asyncio.wait_for(
-            protocol.read_frame(self._reader, self.max_frame), self.timeout
-        )
-        self.meter.record_wire(5 + len(reply))
-        return reply_type, reply
+            raise TransportError(
+                "connection is not open (closed or never connected)"
+            )
+        use_seq = self.version is not None and self.version >= 2
+        seq = None
+        if use_seq:
+            seq = self._send_seq
+            # Masked below the SEQ_BROADCAST sentinel.
+            self._send_seq = (self._send_seq + 1) & 0x7FFFFFFF
+        try:
+            sent = await protocol.write_frame(self._writer, msg_type, body,
+                                              seq=seq)
+            self.meter.record_wire(sent)
+            for _ in range(self.MAX_STALE_FRAMES):
+                try:
+                    if use_seq:
+                        reply_type, reply_seq, reply = await asyncio.wait_for(
+                            protocol.read_seq_frame(self._reader,
+                                                    self.max_frame),
+                            self.timeout,
+                        )
+                    else:
+                        reply_type, reply = await asyncio.wait_for(
+                            protocol.read_frame(self._reader, self.max_frame),
+                            self.timeout,
+                        )
+                        reply_seq = seq
+                except ProtocolError as exc:
+                    # The reply *frame* is garbled (chaos, bad peer): the
+                    # stream is unusable, unlike a typed ERROR body.
+                    raise TransportError(
+                        f"garbled reply frame: {exc}"
+                    ) from exc
+                self.meter.record_wire(5 + (4 if use_seq else 0) + len(reply))
+                if reply_seq == seq or reply_seq == protocol.SEQ_BROADCAST:
+                    return reply_type, reply
+                # A late or duplicated reply to an earlier exchange:
+                # discard it instead of desyncing the session.
+                self.retry_log.note(
+                    "discard", msg_type.name,
+                    cause=f"stale reply seq {reply_seq} (awaiting {seq})",
+                )
+            raise TransportError(
+                f"gave up after {self.MAX_STALE_FRAMES} stale frames"
+            )
+        except BaseException:
+            # Timeouts included: once an exchange fails mid-flight the
+            # stream may still carry its late reply, so the connection
+            # must be closed, never reused.
+            await self.close()
+            raise
 
     async def request(self, msg_type: MessageType, body: bytes = b"",
                       expect: MessageType = None) -> tuple:
-        """Send one request; raise the mapped exception on ERROR frames."""
-        reply_type, reply = await self._roundtrip(msg_type, body)
-        if reply_type is MessageType.ERROR:
-            protocol.raise_error(reply)
-        if expect is not None and reply_type is not expect:
-            raise ProtocolError(
-                f"expected a {expect.name} reply, got {reply_type.name}"
-            )
-        return reply_type, reply
+        """Send one request; raise the mapped exception on ERROR frames.
+
+        With a retry policy, transport failures reconnect (full
+        re-HELLO) and re-send under backoff; mutating requests keep one
+        idempotency key across every retry so the server applies them
+        exactly once. A typed ``unavailable`` ERROR (read-only server)
+        is retried the same way; all other ERRORs raise immediately.
+        """
+        attempt = 1
+        key = None
+        while True:
+            unsafe_when_sent = False
+            try:
+                if not self.connected and self.retry is not None:
+                    await self._connect_once()
+                wire_body = body
+                if msg_type in protocol.MUTATION_TYPES:
+                    if self.version is not None and self.version >= 2:
+                        if key is None:
+                            key = new_idempotency_key()
+                        wire_body = protocol.wrap_idempotency(key, body)
+                    else:
+                        # A v1 server cannot deduplicate: once the
+                        # request may have been applied, never re-send.
+                        unsafe_when_sent = True
+                reply_type, reply = await self._roundtrip(msg_type, wire_body)
+            except Exception as exc:
+                if unsafe_when_sent and not isinstance(exc, UnavailableError):
+                    raise
+                if not await self._backoff(msg_type.name, attempt, exc):
+                    raise
+                attempt += 1
+                continue
+            if reply_type is MessageType.ERROR:
+                try:
+                    protocol.raise_error(reply)
+                except UnavailableError as exc:
+                    if not await self._backoff(msg_type.name, attempt, exc):
+                        raise
+                    attempt += 1
+                    continue
+            if expect is not None and reply_type is not expect:
+                raise ProtocolError(
+                    f"expected a {expect.name} reply, got {reply_type.name}"
+                )
+            return reply_type, reply
 
     # -- metering (same vocabulary as Network.send) -----------------------
 
@@ -161,6 +316,13 @@ class BaseClient:
             MessageType.PING, b"hello", expect=MessageType.PONG
         )
         return body == b"hello"
+
+    async def health(self) -> dict:
+        """The server's heartbeat: ``status`` is ``ok`` or ``read-only``."""
+        _, body = await self.connection.request(
+            MessageType.HEALTH, expect=MessageType.HEALTH_REPLY
+        )
+        return protocol.decode_json(body)
 
     async def stats(self) -> dict:
         _, body = await self.connection.request(

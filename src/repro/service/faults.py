@@ -1,0 +1,219 @@
+"""Deterministic, seed-driven fault injection between client and server.
+
+:class:`ChaosProxy` is a real TCP proxy that sits on the wire in front
+of a :class:`repro.service.server.StorageService`. Requests (client →
+server) are forwarded verbatim; replies (server → client) are parsed at
+frame granularity so every injected failure is a *well-defined* wire
+event:
+
+* ``drop``      — the connection is severed at a frame boundary, after
+  the server already processed the request (the nasty case for
+  mutations: only idempotency keys make the retry safe);
+* ``delay``     — the reply is held back for ``delay_seconds``, long
+  enough to push a client past its timeout;
+* ``corrupt``   — the reply's type byte has its high bit flipped, so the
+  client sees an unknown frame type (a garbled reply, not a typed
+  error);
+* ``truncate``  — the frame header promises the full reply but only
+  half the payload arrives before the connection closes;
+* ``duplicate`` — the reply frame is sent twice, exercising the v2
+  sequence-number discard path.
+
+Every decision is drawn from a :class:`random.Random` seeded per
+connection from the proxy seed, so a failing run replays exactly. A
+``schedule`` mapping (global reply-frame index → fault name) overrides
+the dice for tests that need one specific fault at one specific
+moment. Everything injected is recorded in :attr:`ChaosProxy.injected`
+so tests can cross-check the client's retry log against ground truth.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+_FAULTS = ("drop", "delay", "corrupt", "truncate", "duplicate")
+
+
+class FaultSpec:
+    """Per-frame fault probabilities (plus the delay duration)."""
+
+    def __init__(self, *, drop: float = 0.0, delay: float = 0.0,
+                 corrupt: float = 0.0, truncate: float = 0.0,
+                 duplicate: float = 0.0, delay_seconds: float = 1.5):
+        self.drop = drop
+        self.delay = delay
+        self.corrupt = corrupt
+        self.truncate = truncate
+        self.duplicate = duplicate
+        self.delay_seconds = delay_seconds
+        if sum(self.rates().values()) > 1.0:
+            raise ValueError("fault rates must sum to at most 1")
+
+    def rates(self) -> dict:
+        return {name: getattr(self, name) for name in _FAULTS}
+
+    def draw(self, rng: random.Random):
+        """One fault decision: a fault name, or ``None`` to forward."""
+        roll = rng.random()
+        for name, rate in self.rates().items():
+            if roll < rate:
+                return name
+            roll -= rate
+        return None
+
+
+class ChaosProxy:
+    """A frame-aware TCP proxy injecting seeded faults into replies."""
+
+    def __init__(self, upstream_host: str, upstream_port: int, *,
+                 spec: FaultSpec = None, seed: int = 0,
+                 schedule: dict = None, host: str = "127.0.0.1"):
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.spec = spec if spec is not None else FaultSpec()
+        self.seed = seed
+        self.schedule = dict(schedule or {})
+        self.host = host
+        self.port = None
+        self.injected = []       # [{conn, frame, fault, frame_type}, ...]
+        self._server = None
+        self._tasks = set()
+        self._conn_tasks = set()
+        self._writers = set()
+        self._conn_counter = 0
+        self._reply_counter = 0  # global reply-frame index (schedule key)
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> "ChaosProxy":
+        self._server = await asyncio.start_server(self._accept, self.host, 0)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._writers):
+            writer.close()
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        # Let the per-connection handlers finish their teardown so no
+        # half-cancelled task survives into loop shutdown.
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._tasks.clear()
+        self._conn_tasks.clear()
+        self._writers.clear()
+
+    def fault_counts(self) -> dict:
+        counts = {}
+        for fault in self.injected:
+            counts[fault["fault"]] = counts.get(fault["fault"], 0) + 1
+        return counts
+
+    # -- per-connection plumbing ------------------------------------------
+
+    async def _accept(self, client_reader, client_writer):
+        self._conn_tasks.add(asyncio.current_task())
+        try:
+            await self._relay(client_reader, client_writer)
+        except asyncio.CancelledError:
+            # Proxy/loop shutdown mid-teardown: _relay's finally already
+            # closed both writers; ending quietly keeps the cancellation
+            # out of asyncio's connection-callback plumbing.
+            pass
+        finally:
+            self._conn_tasks.discard(asyncio.current_task())
+
+    async def _relay(self, client_reader, client_writer):
+        conn_index = self._conn_counter
+        self._conn_counter += 1
+        self._writers.add(client_writer)
+        try:
+            upstream_reader, upstream_writer = await asyncio.open_connection(
+                self.upstream_host, self.upstream_port
+            )
+        except OSError:
+            client_writer.close()
+            self._writers.discard(client_writer)
+            return
+        self._writers.add(upstream_writer)
+        rng = random.Random(f"{self.seed}:{conn_index}")
+        pumps = [
+            asyncio.ensure_future(
+                self._pump_requests(client_reader, upstream_writer)
+            ),
+            asyncio.ensure_future(
+                self._pump_replies(upstream_reader, client_writer,
+                                   conn_index, rng)
+            ),
+        ]
+        self._tasks.update(pumps)
+        try:
+            # Either direction ending (EOF, injected drop, error) tears
+            # the whole relayed connection down, like a real middlebox.
+            await asyncio.wait(pumps, return_when=asyncio.FIRST_COMPLETED)
+        finally:
+            for pump in pumps:
+                pump.cancel()
+                self._tasks.discard(pump)
+            for writer in (client_writer, upstream_writer):
+                writer.close()
+                self._writers.discard(writer)
+            await asyncio.gather(*pumps, return_exceptions=True)
+
+    async def _pump_requests(self, client_reader, upstream_writer):
+        """client → server: forwarded verbatim, no frame parsing."""
+        try:
+            while True:
+                chunk = await client_reader.read(65536)
+                if not chunk:
+                    return
+                upstream_writer.write(chunk)
+                await upstream_writer.drain()
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            return
+
+    async def _pump_replies(self, upstream_reader, client_writer,
+                            conn_index, rng):
+        """server → client: one fault decision per reply frame."""
+        try:
+            while True:
+                header = await upstream_reader.readexactly(4)
+                length = int.from_bytes(header, "big")
+                payload = await upstream_reader.readexactly(length)
+                frame_index = self._reply_counter
+                self._reply_counter += 1
+                if frame_index in self.schedule:
+                    fault = self.schedule[frame_index]
+                else:
+                    fault = self.spec.draw(rng)
+                if fault is not None:
+                    self.injected.append({
+                        "conn": conn_index,
+                        "frame": frame_index,
+                        "fault": fault,
+                        "frame_type": payload[0] if payload else None,
+                    })
+                if fault == "drop":
+                    return
+                if fault == "truncate":
+                    client_writer.write(header + payload[:length // 2])
+                    await client_writer.drain()
+                    return
+                if fault == "delay":
+                    await asyncio.sleep(self.spec.delay_seconds)
+                elif fault == "corrupt":
+                    payload = bytes([payload[0] ^ 0x80]) + payload[1:]
+                frame = header + payload
+                if fault == "duplicate":
+                    frame += frame
+                client_writer.write(frame)
+                await client_writer.drain()
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            return

@@ -18,6 +18,20 @@ exchange (the client offers its supported protocol versions and its
 pairing preset; the server picks the highest common version and
 confirms the preset). Failures travel as typed ``ERROR`` frames whose
 ``code`` maps back to the library's exception hierarchy on the client.
+
+Protocol **version 2** adds the fault-tolerance layer:
+
+* every post-hello frame carries a 4-byte big-endian **sequence
+  number** right after the type byte; the server echoes the request's
+  sequence number on its reply, so a client can discard late or
+  duplicated replies instead of consuming them as the answer to the
+  *next* request;
+* mutating requests (:data:`MUTATION_TYPES`) wrap their body in an
+  **idempotency envelope** — a client-generated key the server uses to
+  deduplicate retried mutations, so a retry across a reconnect is
+  applied exactly once.
+
+Version 1 peers keep speaking the original unadorned frames.
 """
 
 from __future__ import annotations
@@ -37,15 +51,27 @@ from repro.errors import (
     RevocationError,
     SchemeError,
     StorageError,
+    UnavailableError,
 )
 
 #: Protocol versions this build can speak, in preference order.
-PROTOCOL_VERSIONS = (1,)
+PROTOCOL_VERSIONS = (2, 1)
 
 #: Default upper bound on one frame (type byte + body).
 MAX_FRAME_BYTES = 16 * 1024 * 1024
 
+#: Upper bound on a HELLO/HELLO_ACK frame: negotiation happens before
+#: any per-session state exists, so the handshake never needs (or gets)
+#: the full frame budget.
+HELLO_MAX_BYTES = 4096
+
 _HEADER_LEN = 4
+_SEQ_LEN = 4
+
+#: v2 sentinel sequence number for replies that answer no particular
+#: request (e.g. an ERROR for a frame the server could not even parse);
+#: clients accept it for whatever exchange is in flight.
+SEQ_BROADCAST = 0xFFFFFFFF
 
 
 class MessageType(IntEnum):
@@ -57,6 +83,8 @@ class MessageType(IntEnum):
     ERROR = 0x04
     PING = 0x05
     PONG = 0x06
+    HEALTH = 0x07
+    HEALTH_REPLY = 0x08
 
     STORE_RECORD = 0x10
     FETCH_RECORD = 0x11
@@ -78,12 +106,29 @@ class MessageType(IntEnum):
     STATS_REPLY = 0x41
 
 
+#: Requests that change server state *and* carry a version-2
+#: idempotency envelope, so a retry across a reconnect is applied
+#: exactly once.
+MUTATION_TYPES = frozenset({
+    MessageType.STORE_RECORD,
+    MessageType.DELETE_RECORD,
+    MessageType.REPLACE_COMPONENT,
+    MessageType.REENCRYPT,
+})
+
+#: Everything that writes to the store (gated by read-only mode).
+#: PUT_AUTHORITY_KEYS is a naturally idempotent overwrite, so it is
+#: write-gated but needs no dedup envelope.
+WRITE_TYPES = MUTATION_TYPES | {MessageType.PUT_AUTHORITY_KEYS}
+
+
 # -- error frames -------------------------------------------------------------
 
 # code string <-> exception class; PROTOCOL's ProtocolError is the
 # fallback for codes minted by a newer peer.
 _ERROR_CODES = {
     "storage": StorageError,
+    "unavailable": UnavailableError,
     "scheme": SchemeError,
     "revocation": RevocationError,
     "authorization": AuthorizationError,
@@ -96,6 +141,7 @@ _ERROR_CODES = {
 _CODE_FOR_EXCEPTION = [
     (RevocationError, "revocation"),          # before SchemeError (subclass)
     (PolicyNotSatisfiedError, "policy-not-satisfied"),
+    (UnavailableError, "unavailable"),        # before StorageError (subclass)
     (StorageError, "storage"),
     (SchemeError, "scheme"),
     (AuthorizationError, "authorization"),
@@ -178,14 +224,37 @@ def unpack_parts(body: bytes, count: int) -> list:
     return parts
 
 
+# -- idempotency envelope (protocol version 2) --------------------------------
+
+def wrap_idempotency(key: str, body: bytes) -> bytes:
+    """Prefix a mutating request body with its idempotency key."""
+    return pack_parts(key.encode("utf-8"), body)
+
+
+def unwrap_idempotency(body: bytes) -> tuple:
+    """``(key, inner body)`` of an idempotency-wrapped request."""
+    key_raw, inner = unpack_parts(body, 2)
+    try:
+        key = key_raw.decode("utf-8")
+    except UnicodeDecodeError:
+        raise ProtocolError("idempotency key is not valid UTF-8") from None
+    if not key or len(key) > 200:
+        raise ProtocolError("idempotency key is empty or oversized")
+    return key, inner
+
+
 # -- framing ------------------------------------------------------------------
 
-def encode_frame(msg_type: int, body: bytes = b"") -> bytes:
-    """One wire frame: length prefix, type byte, body."""
-    length = 1 + len(body)
+def encode_frame(msg_type: int, body: bytes = b"", seq: int = None) -> bytes:
+    """One wire frame: length prefix, type byte, [v2 seq], body."""
+    seq_raw = b"" if seq is None else (seq & 0xFFFFFFFF).to_bytes(
+        _SEQ_LEN, "big"
+    )
+    length = 1 + len(seq_raw) + len(body)
     if length > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame of {length} bytes exceeds the maximum")
-    return length.to_bytes(_HEADER_LEN, "big") + bytes([msg_type]) + body
+    return (length.to_bytes(_HEADER_LEN, "big") + bytes([msg_type])
+            + seq_raw + body)
 
 
 def decode_frame_type(type_byte: int) -> MessageType:
@@ -195,31 +264,59 @@ def decode_frame_type(type_byte: int) -> MessageType:
         raise ProtocolError(f"unknown frame type 0x{type_byte:02x}") from None
 
 
-async def read_frame(reader: asyncio.StreamReader,
-                     max_frame: int = MAX_FRAME_BYTES) -> tuple:
-    """Read one ``(MessageType, body)`` frame from a stream.
-
-    Raises :class:`ProtocolError` on malformed/oversized frames and
-    :class:`asyncio.IncompleteReadError` when the peer disconnects
-    mid-frame (callers treat that as a dropped connection, not an
-    application error).
-    """
+async def _read_payload(reader: asyncio.StreamReader, max_frame: int,
+                        drain_oversized: bool) -> bytes:
     header = await reader.readexactly(_HEADER_LEN)
     length = int.from_bytes(header, "big")
     if length < 1:
         raise ProtocolError("frame length must cover the type byte")
     if length > max_frame:
+        if drain_oversized:
+            # Consume the declared payload so the typed ERROR reply is
+            # not torn down by a kernel reset over unread bytes.
+            remaining = length
+            while remaining > 0:
+                chunk = await reader.read(min(remaining, 65536))
+                if not chunk:
+                    break
+                remaining -= len(chunk)
         raise ProtocolError(
             f"frame of {length} bytes exceeds the {max_frame}-byte maximum"
         )
-    payload = await reader.readexactly(length)
+    return await reader.readexactly(length)
+
+
+async def read_frame(reader: asyncio.StreamReader,
+                     max_frame: int = MAX_FRAME_BYTES, *,
+                     drain_oversized: bool = False) -> tuple:
+    """Read one ``(MessageType, body)`` frame from a stream.
+
+    Raises :class:`ProtocolError` on malformed/oversized frames and
+    :class:`asyncio.IncompleteReadError` when the peer disconnects
+    mid-frame (callers treat that as a dropped connection, not an
+    application error). With ``drain_oversized`` an oversized payload is
+    read and discarded before raising, so an ERROR reply can still be
+    delivered.
+    """
+    payload = await _read_payload(reader, max_frame, drain_oversized)
     return decode_frame_type(payload[0]), payload[1:]
 
 
+async def read_seq_frame(reader: asyncio.StreamReader,
+                         max_frame: int = MAX_FRAME_BYTES) -> tuple:
+    """Read one v2 ``(MessageType, seq, body)`` frame from a stream."""
+    payload = await _read_payload(reader, max_frame, False)
+    msg_type = decode_frame_type(payload[0])
+    if len(payload) < 1 + _SEQ_LEN:
+        raise ProtocolError("v2 frame is too short for a sequence number")
+    seq = int.from_bytes(payload[1:1 + _SEQ_LEN], "big")
+    return msg_type, seq, payload[1 + _SEQ_LEN:]
+
+
 async def write_frame(writer: asyncio.StreamWriter, msg_type: int,
-                      body: bytes = b"") -> int:
+                      body: bytes = b"", seq: int = None) -> int:
     """Write one frame and drain; returns the raw bytes put on the wire."""
-    frame = encode_frame(msg_type, body)
+    frame = encode_frame(msg_type, body, seq)
     writer.write(frame)
     await writer.drain()
     return len(frame)

@@ -1,0 +1,147 @@
+"""Retry policy, retry logging, and idempotent-request deduplication.
+
+The client side uses :class:`RetryPolicy` (exponential backoff with
+deterministic jitter, a bounded attempt budget) plus
+:func:`is_retryable` to decide which failures are worth a reconnect —
+transport-level breakage (:class:`repro.errors.TransportError`, dropped
+connections, timeouts) and the server's typed
+:class:`repro.errors.UnavailableError` are retryable; every other
+application error is final. Each :class:`repro.service.client.
+ServiceConnection` keeps a :class:`RetryLog` so tests (and the chaos
+smoke cycle) can assert that every injected fault was seen and
+recovered from.
+
+The server side uses :class:`IdempotencyTable`, a bounded LRU of
+``idempotency key -> cached reply``: a mutating request retried across
+a reconnect replays the reply that the lost original earned, instead of
+being applied a second time (exactly-once semantics for `store`,
+`replace`, `delete`, and ReEncrypt).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from collections import Counter, OrderedDict
+
+from repro.errors import TransportError, UnavailableError
+
+#: Exception types a retry can fix: the connection broke (OSError covers
+#: ConnectionError and friends), the peer vanished mid-frame
+#: (IncompleteReadError is an EOFError), the reply timed out or was
+#: garbled (TransportError), or the server said "retry later"
+#: (UnavailableError). Everything else is a final answer.
+RETRYABLE_EXCEPTIONS = (
+    OSError,
+    EOFError,
+    TimeoutError,
+    TransportError,
+    UnavailableError,
+)
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Whether a failed request may be re-sent on a fresh connection."""
+    return isinstance(exc, RETRYABLE_EXCEPTIONS)
+
+
+def new_idempotency_key() -> str:
+    """A fresh client-generated key for one logical mutation."""
+    return os.urandom(16).hex()
+
+
+class RetryPolicy:
+    """Exponential backoff with jitter and a bounded attempt budget.
+
+    ``attempt`` is 1-based: ``backoff(1)`` is the delay after the first
+    failure. With a seeded ``rng`` the jitter — and therefore the whole
+    retry schedule — is deterministic, which the fault-injection tests
+    rely on.
+    """
+
+    def __init__(self, *, max_attempts: int = 5, base_delay: float = 0.05,
+                 max_delay: float = 2.0, multiplier: float = 2.0,
+                 jitter: float = 0.25, rng: random.Random = None):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.multiplier = multiplier
+        self.jitter = jitter
+        self.rng = rng if rng is not None else random.Random()
+
+    def attempts_left(self, attempt: int) -> bool:
+        """Whether another attempt fits the budget after ``attempt``."""
+        return attempt < self.max_attempts
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to sleep after the ``attempt``-th failure."""
+        delay = min(self.max_delay,
+                    self.base_delay * self.multiplier ** (attempt - 1))
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * self.rng.random() - 1.0)
+        return max(0.0, delay)
+
+
+class RetryLog:
+    """A flat, append-only trail of everything the retry layer did."""
+
+    def __init__(self):
+        self.entries = []
+
+    def note(self, event: str, request: str, *, attempt: int = 0,
+             cause: str = "", delay: float = 0.0) -> None:
+        self.entries.append({
+            "event": event,        # retry | discard | exhausted | fatal
+            "request": request,
+            "attempt": attempt,
+            "cause": cause,
+            "delay": round(delay, 4),
+        })
+
+    def events(self, event: str) -> list:
+        return [e for e in self.entries if e["event"] == event]
+
+    def counts(self) -> Counter:
+        return Counter(e["event"] for e in self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+
+class IdempotencyTable:
+    """Bounded LRU of idempotency key -> ``(reply type, reply body)``.
+
+    The bound keeps the table from growing with traffic; a key only
+    needs to survive for the client's retry window, so an LRU of a few
+    thousand entries is plenty even under heavy load.
+    """
+
+    def __init__(self, max_entries: int = 4096):
+        self.max_entries = max(1, max_entries)
+        self._replies = OrderedDict()
+        self.hits = 0
+
+    def get(self, key: str):
+        """The cached reply for a replayed key, or ``None``."""
+        reply = self._replies.get(key)
+        if reply is not None:
+            self._replies.move_to_end(key)
+            self.hits += 1
+        return reply
+
+    def put(self, key: str, reply: tuple) -> None:
+        self._replies[key] = reply
+        self._replies.move_to_end(key)
+        while len(self._replies) > self.max_entries:
+            self._replies.popitem(last=False)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._replies
+
+    def __len__(self) -> int:
+        return len(self._replies)

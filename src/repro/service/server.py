@@ -16,6 +16,16 @@ protocol violations answer with an ERROR frame and close it; a peer
 that disconnects mid-frame just gets cleaned up. ``stop()`` shuts the
 listener and every live session down gracefully.
 
+Fault tolerance (protocol version 2): replies echo the request's
+sequence number so clients can discard stale frames; mutating requests
+carry idempotency keys deduplicated through a bounded
+:class:`repro.service.retry.IdempotencyTable`, making a retry across a
+reconnect apply exactly once; and when a storage *write* fails at the
+OS level (disk full, permission loss) the server degrades to
+**read-only mode** — fetches keep serving while every write answers a
+typed, retryable ``unavailable`` ERROR. A ``HEALTH`` heartbeat reports
+the current mode.
+
 Every payload-bearing frame is metered through a
 :class:`repro.system.meter.Meter` with the *same role-pair/kind
 vocabulary the in-process simulation uses*, so a workload replayed over
@@ -34,10 +44,16 @@ from repro.core.serialize import (
     decode_update_info,
     decode_update_key,
 )
-from repro.errors import ProtocolError, ReproError
+from repro.errors import (
+    ProtocolError,
+    ReproError,
+    StorageError,
+    UnavailableError,
+)
 from repro.pairing.group import PairingGroup
 from repro.service import protocol
 from repro.service.protocol import MessageType
+from repro.service.retry import IdempotencyTable
 from repro.service.store import RecordStore
 from repro.system.meter import ROLE_SERVER, Meter
 from repro.system.records import StoredComponent, StoredRecord
@@ -49,7 +65,8 @@ _CLIENT_ROLES = frozenset({"owner", "user", "aa", "ca"})
 class _Session:
     """Per-connection state: negotiated identity plus the streams."""
 
-    __slots__ = ("reader", "writer", "peer_name", "peer_role", "version")
+    __slots__ = ("reader", "writer", "peer_name", "peer_role", "version",
+                 "reply_seq")
 
     def __init__(self, reader, writer):
         self.reader = reader
@@ -57,6 +74,7 @@ class _Session:
         self.peer_name = "?"
         self.peer_role = "?"
         self.version = None
+        self.reply_seq = None  # v2: echo of the in-flight request's seq
 
 
 class StorageService:
@@ -66,7 +84,8 @@ class StorageService:
                  name: str = "cloud", host: str = "127.0.0.1", port: int = 0,
                  meter: Meter = None, idle_timeout: float = 30.0,
                  hello_timeout: float = 10.0,
-                 max_frame: int = protocol.MAX_FRAME_BYTES):
+                 max_frame: int = protocol.MAX_FRAME_BYTES,
+                 read_only: bool = False, dedup_entries: int = 4096):
         self.group = group
         self.store = store
         self.name = name
@@ -78,6 +97,8 @@ class StorageService:
         self.idle_timeout = idle_timeout
         self.hello_timeout = hello_timeout
         self.max_frame = max_frame
+        self.read_only = read_only
+        self.dedup = IdempotencyTable(dedup_entries)
         self._server = None
         self._sessions = set()
         self._tasks = set()
@@ -147,18 +168,31 @@ class StorageService:
             await self._send(session, MessageType.ERROR,
                              protocol.encode_error(exc))
             return
+        seq_frames = session.version is not None and session.version >= 2
         while True:
             try:
-                msg_type, body = await asyncio.wait_for(
-                    protocol.read_frame(session.reader, self.max_frame),
-                    self.idle_timeout,
-                )
+                if seq_frames:
+                    msg_type, seq, body = await asyncio.wait_for(
+                        protocol.read_seq_frame(session.reader,
+                                                self.max_frame),
+                        self.idle_timeout,
+                    )
+                    session.reply_seq = seq
+                else:
+                    msg_type, body = await asyncio.wait_for(
+                        protocol.read_frame(session.reader, self.max_frame),
+                        self.idle_timeout,
+                    )
             except ProtocolError as exc:
                 # Oversized/garbled framing: answer, then drop the peer.
+                # The request's seq is unknowable, so broadcast.
+                session.reply_seq = (
+                    protocol.SEQ_BROADCAST if seq_frames else None
+                )
                 await self._send(session, MessageType.ERROR,
                                  protocol.encode_error(exc))
                 return
-            self.meter.record_wire(5 + len(body))
+            self.meter.record_wire(5 + (4 if seq_frames else 0) + len(body))
             try:
                 await self._dispatch(session, msg_type, body)
             except ProtocolError as exc:
@@ -171,8 +205,12 @@ class StorageService:
                                  protocol.encode_error(exc))
 
     async def _handshake(self, session: _Session) -> None:
+        # The hello is capped well below max_frame: nothing is allocated
+        # for the session until negotiation succeeds, and an oversized
+        # hello earns a typed ERROR (drained first), not a silent drop.
         msg_type, body = await protocol.read_frame(
-            session.reader, self.max_frame
+            session.reader, min(self.max_frame, protocol.HELLO_MAX_BYTES),
+            drain_oversized=True,
         )
         self.meter.record_wire(5 + len(body))
         if msg_type is not MessageType.HELLO:
@@ -192,7 +230,8 @@ class StorageService:
     async def _send(self, session: _Session, msg_type: MessageType,
                     body: bytes = b"") -> None:
         try:
-            sent = await protocol.write_frame(session.writer, msg_type, body)
+            sent = await protocol.write_frame(session.writer, msg_type, body,
+                                              seq=session.reply_seq)
         except (ConnectionError, OSError):
             return  # peer already gone; the read side will notice
         self.meter.record_wire(sent)
@@ -218,10 +257,55 @@ class StorageService:
             raise ProtocolError(
                 f"unexpected frame type {msg_type.name} in a session"
             )
-        await handler(self, session, body)
+        if msg_type in protocol.WRITE_TYPES and self.read_only:
+            raise UnavailableError(
+                "server is in read-only mode; writes are refused but "
+                "reads keep serving — retry later"
+            )
+        key = None
+        if (msg_type in protocol.MUTATION_TYPES
+                and session.version is not None and session.version >= 2):
+            key, body = protocol.unwrap_idempotency(body)
+            cached = self.dedup.get(key)
+            if cached is not None:
+                # A retried mutation: replay the reply the lost original
+                # earned, without applying the mutation again.
+                await self._send(session, *cached)
+                return
+        try:
+            await handler(self, session, body)
+        except ProtocolError:
+            raise  # ends the session; nothing worth caching
+        except UnavailableError:
+            raise  # transient by definition: the retry must re-attempt
+        except ReproError as exc:
+            if key is not None:
+                self.dedup.put(
+                    key, (MessageType.ERROR, protocol.encode_error(exc))
+                )
+            raise
+        except OSError as exc:
+            if msg_type in protocol.WRITE_TYPES:
+                # The disk stopped accepting writes: degrade instead of
+                # corrupting state or hanging up. Not cached — once the
+                # disk recovers, the same key must be applicable.
+                self.read_only = True
+                raise UnavailableError(
+                    f"storage write failed ({exc}); server is now "
+                    f"read-only — retry later"
+                ) from exc
+            raise StorageError(f"storage read failed: {exc}") from exc
+        else:
+            # Every mutating handler acknowledges with an empty OK.
+            if key is not None:
+                self.dedup.put(key, (MessageType.OK, b""))
 
     async def _handle_ping(self, session, body):
         await self._send(session, MessageType.PONG, body)
+
+    async def _handle_health(self, session, body):
+        await self._send(session, MessageType.HEALTH_REPLY,
+                         protocol.encode_json(self.health()))
 
     async def _handle_store_record(self, session, body):
         record = StoredRecord.from_bytes(self.group, body)
@@ -327,6 +411,16 @@ class StorageService:
         await self._send(session, MessageType.STATS_REPLY,
                          protocol.encode_json(self.stats()))
 
+    def health(self) -> dict:
+        """The heartbeat payload: current mode and coarse liveness."""
+        return {
+            "server": self.name,
+            "status": "read-only" if self.read_only else "ok",
+            "read_only": self.read_only,
+            "records": len(self.store),
+            "connections": self.connection_count,
+        }
+
     def stats(self) -> dict:
         """A JSON-friendly snapshot of storage and traffic counters."""
         return {
@@ -336,6 +430,9 @@ class StorageService:
             "authorities": self.store.authority_ids(),
             "storage_bytes": self.store.storage_bytes(),
             "connections": self.connection_count,
+            "read_only": self.read_only,
+            "dedup_entries": len(self.dedup),
+            "dedup_hits": self.dedup.hits,
             "wire_bytes": self.meter.wire_bytes,
             "channels": self.meter.channel_summary(),
             "by_kind": self.meter.bytes_by_kind(),
@@ -343,6 +440,7 @@ class StorageService:
 
     _HANDLERS = {
         MessageType.PING: _handle_ping,
+        MessageType.HEALTH: _handle_health,
         MessageType.STORE_RECORD: _handle_store_record,
         MessageType.FETCH_RECORD: _handle_fetch_record,
         MessageType.FETCH_COMPONENT: _handle_fetch_component,

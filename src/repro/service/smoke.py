@@ -7,12 +7,20 @@ decrypt, an attribute is revoked, the owner pushes update keys so the
 server proxy-re-encrypts, and finally the revoked user's read fails
 while a surviving user still decrypts bit-identical plaintext.
 
-Used by ``repro client smoke`` and by the CI service-integration job;
-returns a process exit code (0 = every step behaved).
+With ``chaos`` set, the whole cycle runs through a seeded
+:class:`repro.service.faults.ChaosProxy` with retrying connections: the
+cycle must complete *despite* injected connection drops, delays past
+the client timeout, corrupted/truncated/duplicated frames — and the
+transcript ends with the injected-fault and retry-log tallies so every
+recovery is visible.
+
+Used by ``repro client smoke`` (plus the CI ``chaos`` job) and returns
+a process exit code (0 = every step behaved).
 """
 
 from __future__ import annotations
 
+import random
 import sys
 
 from repro.core.authority import AttributeAuthority
@@ -27,20 +35,37 @@ from repro.service.client import (
     ServiceConnection,
     UserClient,
 )
+from repro.service.faults import ChaosProxy, FaultSpec
+from repro.service.retry import RetryPolicy
 
 
 class SmokeFailure(ReproError):
     """A smoke step did not behave as the protocol requires."""
 
 
-async def run_smoke(params, host: str, port: int, *, out=None,
-                    seed=None) -> int:
+async def run_smoke(params, host: str, port: int, *, out=None, seed=None,
+                    chaos: FaultSpec = None, chaos_seed: int = 0,
+                    chaos_schedule: dict = None, retry: RetryPolicy = None,
+                    timeout: float = 30.0, report: dict = None) -> int:
     """Run upload → read → revoke → re-encrypt → revoked-read-fails."""
     out = out or sys.stdout
     group = PairingGroup(params, seed=seed)
 
     def step(label: str) -> None:
         print(f"ok: {label}", file=out, flush=True)
+
+    proxy = None
+    if chaos is not None:
+        proxy = ChaosProxy(host, port, spec=chaos, seed=chaos_seed,
+                           schedule=chaos_schedule)
+        await proxy.start()
+        host, port = proxy.host, proxy.port
+        if retry is None:
+            retry = RetryPolicy(max_attempts=8,
+                                rng=random.Random(chaos_seed))
+        step(f"chaos proxy on {host}:{port} (seed {chaos_seed}, "
+             + ", ".join(f"{k}={v}" for k, v in chaos.rates().items() if v)
+             + ")")
 
     # Local trust fabric: CA, one AA, one owner, two users. Only the
     # cloud-server role lives across the socket.
@@ -53,20 +78,26 @@ async def run_smoke(params, host: str, port: int, *, out=None,
     bob_pk = ca.register_user("bob")
     carol_pk = ca.register_user("carol")
 
-    def connection(role, name):
-        return ServiceConnection(group, host, port, role=role, name=name)
+    async def connection(role, name):
+        conn = ServiceConnection(group, host, port, role=role, name=name,
+                                 timeout=timeout, retry=retry)
+        return await conn.connect()
 
-    aa_client = AuthorityClient(
-        await connection("aa", "AA:hospital").connect(), aa
-    )
-    owner_client = OwnerClient(
-        await connection("owner", "owner:alice").connect(), owner_core
-    )
-    bob = UserClient(await connection("user", "user:bob").connect(), "bob")
-    carol = UserClient(
-        await connection("user", "user:carol").connect(), "carol"
-    )
+    clients = []
     try:
+        aa_client = AuthorityClient(
+            await connection("aa", "AA:hospital"), aa
+        )
+        clients.append(aa_client)
+        owner_client = OwnerClient(
+            await connection("owner", "owner:alice"), owner_core
+        )
+        clients.append(owner_client)
+        bob = UserClient(await connection("user", "user:bob"), "bob")
+        clients.append(bob)
+        carol = UserClient(await connection("user", "user:carol"), "carol")
+        clients.append(carol)
+
         if not await owner_client.ping():
             raise SmokeFailure("server did not answer the ping")
         step(f"connected to {owner_client.connection.server_name} "
@@ -129,11 +160,42 @@ async def run_smoke(params, host: str, port: int, *, out=None,
         step(f"server stats: {stats['records']} records, "
              f"{stats['storage_bytes']} payload bytes, "
              f"{stats['wire_bytes']} wire bytes")
+
+        if proxy is not None:
+            entries = [entry for client in clients
+                       for entry in client.connection.retry_log]
+            counts = {}
+            for entry in entries:
+                counts[entry["event"]] = counts.get(entry["event"], 0) + 1
+            for fault in proxy.injected:
+                print(f"  fault: conn {fault['conn']} frame "
+                      f"{fault['frame']} {fault['fault']} "
+                      f"(type 0x{fault['frame_type'] or 0:02x})",
+                      file=out, flush=True)
+            for entry in entries:
+                print(f"  {entry['event']}: {entry['request']} "
+                      f"attempt {entry['attempt']} — {entry['cause']}",
+                      file=out, flush=True)
+            step(f"chaos survived: {len(proxy.injected)} injected faults "
+                 f"{proxy.fault_counts()}, retry log {counts or '{}'}")
+            if report is not None:
+                report["injected"] = list(proxy.injected)
+                report["fault_counts"] = proxy.fault_counts()
+                report["retry_entries"] = entries
+                report["retry_counts"] = counts
+            if stats["dedup_hits"]:
+                step(f"idempotent replay: {stats['dedup_hits']} retried "
+                     f"mutations deduplicated server-side")
     except SmokeFailure as exc:
         print(f"FAIL: {exc}", file=out, flush=True)
         return 1
+    except (ReproError, OSError) as exc:
+        print(f"FAIL: cycle died with {exc!r}", file=out, flush=True)
+        return 1
     finally:
-        for client in (aa_client, owner_client, bob, carol):
+        for client in clients:
             await client.close()
+        if proxy is not None:
+            await proxy.stop()
     print("smoke cycle passed", file=out, flush=True)
     return 0

@@ -199,19 +199,27 @@ class RecordStore:
     # -- records ----------------------------------------------------------
 
     def put(self, record: StoredRecord, replace: bool = False) -> str:
-        """Persist a record; returns the blob digest."""
+        """Persist a record; returns the blob digest.
+
+        Ordered for crash safety: the new blob lands first, then the
+        ref repoints atomically, and only then is the old blob eligible
+        for collection. A crash (or write failure) at any point leaves
+        the previous record fully readable — the worst case is an
+        orphaned blob that :meth:`gc` reclaims later.
+        """
         old_digest = self._refs.get(record.record_id)
         if old_digest is not None and not replace:
             raise StorageError(
                 f"record {record.record_id!r} already exists "
                 f"(pass replace=True to overwrite)"
             )
-        if old_digest is not None:
-            self._unindex_record(self._decode(old_digest))
+        old_record = None if old_digest is None else self._decode(old_digest)
         digest = self.blobs.put(record.to_bytes())
         _atomic_write(self.blobs.tmp_dir, self._ref_path(record.record_id),
                       digest.encode("ascii"))
         self._refs[record.record_id] = digest
+        if old_record is not None:
+            self._unindex_record(old_record)
         self._index_record(record)
         if old_digest is not None and old_digest != digest:
             self._collect(old_digest)
@@ -264,6 +272,63 @@ class RecordStore:
             self._decode(digest).payload_size_bytes(self.group)
             for digest in self._refs.values()
         )
+
+    # -- crash-recovery auditing ------------------------------------------
+
+    def check(self) -> dict:
+        """Audit every on-disk invariant after a crash or reopen.
+
+        Returns a report mapping each invariant to its violations:
+        refs whose blob is missing or fails digest verification, blobs
+        no ref points at (the residue of a crash between blob write and
+        ref repoint, or mid-GC), and ciphertext-index entries that
+        disagree with the records on disk. ``report["ok"]`` is True iff
+        everything holds.
+        """
+        report = {
+            "records": len(self._refs),
+            "missing_blobs": [],
+            "corrupt_blobs": [],
+            "orphan_blobs": [],
+            "index_mismatches": [],
+        }
+        index = {}
+        for record_id, digest in sorted(self._refs.items()):
+            if not self.blobs.contains(digest):
+                report["missing_blobs"].append(record_id)
+                continue
+            try:
+                record = self._decode(digest)
+            except StorageError:
+                report["corrupt_blobs"].append(record_id)
+                continue
+            for name, component in record.components.items():
+                index[component.abe_ciphertext.ciphertext_id] = (
+                    record_id, name
+                )
+        if index != self._ciphertext_index:
+            report["index_mismatches"] = sorted(
+                set(index.items()) ^ set(self._ciphertext_index.items())
+            )
+        referenced = set(self._refs.values())
+        report["orphan_blobs"] = [
+            digest for digest in self.blobs.digests()
+            if digest not in referenced
+        ]
+        report["ok"] = not (report["missing_blobs"]
+                            or report["corrupt_blobs"]
+                            or report["orphan_blobs"]
+                            or report["index_mismatches"])
+        return report
+
+    def gc(self) -> list:
+        """Delete every unreferenced blob; returns the digests removed."""
+        referenced = set(self._refs.values())
+        removed = [digest for digest in self.blobs.digests()
+                   if digest not in referenced]
+        for digest in removed:
+            self.blobs.delete(digest)
+        return removed
 
     # -- authority key directory ------------------------------------------
 

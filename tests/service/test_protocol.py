@@ -211,3 +211,98 @@ def test_negotiate_rejects_malformed_version_list():
     for versions in ({}, "1", [True], ["1"]):
         with pytest.raises(ProtocolError, match="versions"):
             negotiate({"versions": versions, "preset": "TOY80"}, "TOY80")
+
+
+# -- v2 sequenced frames ------------------------------------------------------
+
+def read_seq_framed(data: bytes, **kwargs):
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await protocol.read_seq_frame(reader, **kwargs)
+
+    return run(scenario())
+
+
+def test_seq_frame_roundtrip():
+    frame = encode_frame(MessageType.PONG, b"body", seq=7)
+    msg_type, seq, body = read_seq_framed(frame)
+    assert msg_type is MessageType.PONG
+    assert seq == 7
+    assert body == b"body"
+
+
+def test_seq_frame_broadcast_sentinel_roundtrips():
+    frame = encode_frame(MessageType.ERROR, b"", seq=protocol.SEQ_BROADCAST)
+    _, seq, _ = read_seq_framed(frame)
+    assert seq == protocol.SEQ_BROADCAST
+
+
+def test_seq_frame_too_short_for_sequence():
+    # A v1 frame (no seq) read through the v2 parser must not crash
+    # with an index error but raise a typed protocol error.
+    with pytest.raises(ProtocolError, match="sequence"):
+        read_seq_framed(encode_frame(MessageType.PING, b"ab"))
+
+
+def test_seq_is_masked_to_32_bits():
+    frame = encode_frame(MessageType.PING, b"", seq=0x1_0000_0003)
+    _, seq, _ = read_seq_framed(frame)
+    assert seq == 3
+
+
+# -- idempotency envelope -----------------------------------------------------
+
+def test_idempotency_envelope_roundtrip():
+    key, inner = protocol.unwrap_idempotency(
+        protocol.wrap_idempotency("abc123", b"\x00payload")
+    )
+    assert key == "abc123"
+    assert inner == b"\x00payload"
+
+
+def test_idempotency_rejects_bad_keys():
+    with pytest.raises(ProtocolError, match="empty or oversized"):
+        protocol.unwrap_idempotency(protocol.wrap_idempotency("", b"x"))
+    with pytest.raises(ProtocolError, match="empty or oversized"):
+        protocol.unwrap_idempotency(
+            protocol.wrap_idempotency("k" * 201, b"x")
+        )
+    with pytest.raises(ProtocolError, match="UTF-8"):
+        protocol.unwrap_idempotency(pack_parts(b"\xff\xfe", b"x"))
+
+
+def test_idempotency_rejects_truncated_envelope():
+    with pytest.raises(ProtocolError, match="truncated"):
+        protocol.unwrap_idempotency(b"\x00\x00\x00\x09abc")
+
+
+# -- oversized-frame draining -------------------------------------------------
+
+def test_drain_oversized_leaves_stream_aligned():
+    """With drain_oversized the declared payload is consumed, so the
+    next frame on the stream is still readable after the error."""
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(encode_frame(MessageType.PING, b"x" * 100)
+                         + encode_frame(MessageType.PONG, b"next"))
+        reader.feed_eof()
+        with pytest.raises(ProtocolError, match="maximum"):
+            await read_frame(reader, 16, drain_oversized=True)
+        return await read_frame(reader)
+
+    assert run(scenario()) == (MessageType.PONG, b"next")
+
+
+# -- unavailable error code ---------------------------------------------------
+
+def test_unavailable_error_code_roundtrip():
+    from repro.errors import StorageError, UnavailableError
+
+    # UnavailableError subclasses StorageError but must keep its own
+    # code so clients classify it as retryable.
+    assert code_for_exception(UnavailableError("x")) == "unavailable"
+    assert code_for_exception(StorageError("x")) == "storage"
+    with pytest.raises(UnavailableError, match="read-only"):
+        protocol.raise_error(encode_error(UnavailableError("read-only")))

@@ -246,3 +246,96 @@ def test_storage_bytes_counts_payload(group, scenario, store_root):
     record = scenario.make_record("r")
     store.put(record)
     assert store.storage_bytes() == record.payload_size_bytes(group)
+
+
+# -- replace/gc interleavings & crash-recovery audit (satellite) ---------------
+
+def test_gc_never_collects_referenced_blobs(group, scenario, store_root):
+    """An interleaved replace + gc only reclaims true orphans."""
+    store = RecordStore(store_root, group)
+    keep = store.put(scenario.make_record("keep"))
+    old = store.put(scenario.make_record("mutating"))
+    replacement = scenario.make_record("mutating-v2").components["note"]
+    new = store.put(
+        store.get("mutating").with_component(replacement), replace=True
+    )
+    orphan = store.blobs.put(b"stray bytes no ref points at")
+    assert store.gc() == sorted({orphan})
+    # Every referenced blob survived the sweep.
+    for digest in (keep, new):
+        assert store.blobs.contains(digest)
+    assert not store.blobs.contains(old)      # collected by the replace
+    assert store.get("keep") and store.get("mutating")
+    assert store.check()["ok"]
+
+
+def test_replace_with_identical_bytes_keeps_the_blob(group, scenario,
+                                                     store_root):
+    store = RecordStore(store_root, group)
+    record = scenario.make_record("r")
+    digest = store.put(record)
+    assert store.put(record, replace=True) == digest
+    assert store.blobs.contains(digest)
+    assert store.get("r").to_bytes() == record.to_bytes()
+    assert store.check()["ok"]
+
+
+def test_check_flags_orphans_and_gc_clears_them(group, scenario, store_root):
+    store = RecordStore(store_root, group)
+    store.put(scenario.make_record("r"))
+    orphan = store.blobs.put(b"left behind by a crash")
+    report = store.check()
+    assert not report["ok"]
+    assert report["orphan_blobs"] == [orphan]
+    assert not report["missing_blobs"] and not report["index_mismatches"]
+    assert store.gc() == [orphan]
+    assert store.check()["ok"]
+
+
+def test_check_flags_missing_and_corrupt_blobs(group, scenario, store_root):
+    store = RecordStore(store_root, group)
+    gone = store.put(scenario.make_record("gone"))
+    bad = store.put(scenario.make_record("bad"))
+    store.blobs._path(gone).unlink()
+    store.blobs._path(bad).write_bytes(b"scrambled")
+    store.blobs._cache.clear()
+    store.blobs._cache_total = 0
+    report = store.check()
+    assert report["missing_blobs"] == ["gone"]
+    assert report["corrupt_blobs"] == ["bad"]
+    assert not report["ok"]
+
+
+def test_failed_replace_leaves_old_record_readable(group, scenario,
+                                                   store_root, monkeypatch):
+    """A write failure between blob write and ref repoint is invisible
+    to readers: the ref still resolves to the old record, and the only
+    residue is an orphaned new blob."""
+    from repro.service import store as store_mod
+
+    store = RecordStore(store_root, group)
+    record = scenario.make_record("r")
+    store.put(record)
+    replacement = scenario.make_record("r-v2").components["note"]
+
+    real_write = store_mod._atomic_write
+
+    def failing_ref_write(directory, path, data):
+        if path.parent.name == "refs":
+            raise OSError("disk died mid-repoint")
+        real_write(directory, path, data)
+
+    monkeypatch.setattr(store_mod, "_atomic_write", failing_ref_write)
+    with pytest.raises(OSError):
+        store.replace_component("r", replacement)
+    monkeypatch.undo()
+
+    reopened = RecordStore(store_root, group)
+    assert reopened.get("r").to_bytes() == record.to_bytes()
+    assert reopened.locate_ciphertext("r/note") == ("r", "note")
+    report = reopened.check()
+    assert len(report["orphan_blobs"]) == 1
+    assert not report["missing_blobs"] and not report["index_mismatches"]
+    assert reopened.gc() == report["orphan_blobs"]
+    assert reopened.check()["ok"]
+    assert reopened.get("r").to_bytes() == record.to_bytes()
