@@ -1,0 +1,307 @@
+"""Benchmark: the parallel batch engine vs the sequential ReEncrypt path.
+
+Two phases, both gated on bit-identical outputs:
+
+* **Phase A — amortized pairing, no pool.** The same batch of
+  ciphertexts re-encrypted (a) the paper's way, one cold
+  ``e(UK1, C')`` Tate pairing per ciphertext, and (b) through
+  :func:`repro.parallel.batch.batch_outcomes`, which prepares the
+  Miller lines of the fixed ``UK1`` argument once, replays them per
+  ciphertext and batches the final exponentiations behind one modular
+  inversion. Every output byte must match; the speedup is pure
+  amortization (pool size 0).
+
+* **Phase B — bulk sweep over a live service.** A ≥200-record TOY80
+  store revoked twice from identical starting states: once with the
+  sequential per-ciphertext ``REENCRYPT`` loop
+  (:meth:`OwnerClient.push_revocation_updates`, one fully-validated
+  round trip per ciphertext) and once with a single
+  ``REENCRYPT_SWEEP`` request against a 4-worker service. The stores
+  are file-copies of each other and the owner ledger is restored
+  between runs, so the resulting record files must be byte-identical;
+  the sweep must be ≥3x faster (gate skipped with ``--smoke``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_sweep.py
+    PYTHONPATH=src python benchmarks/bench_parallel_sweep.py --smoke \
+        --out /tmp/smoke.json
+
+Writes ``BENCH_parallel_sweep.json`` (or ``--out``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.core.reencrypt import reencrypt
+from repro.core.revocation import rekey_standard
+from repro.core.scheme import MultiAuthorityABE
+from repro.ec.params import TOY80
+from repro.parallel.batch import UPDATED, batch_outcomes
+
+SPEEDUP_GATE = 3.0
+
+
+# -- phase A: amortized pairing at pool size 0 --------------------------------
+
+def phase_a(n_ciphertexts: int) -> dict:
+    scheme = MultiAuthorityABE(TOY80, seed=0xA3A)
+    hospital = scheme.setup_authority("hospital", ["doctor", "nurse"])
+    owner = scheme.setup_owner("alice", [hospital])
+    victim = scheme.register_user("victim")
+    hospital.keygen(victim, ["doctor"], "alice")
+
+    ciphertexts = [
+        owner.encrypt(scheme.random_message(), "hospital:doctor",
+                      ciphertext_id=f"ct-{index:04d}")
+        for index in range(n_ciphertexts)
+    ]
+    update_key = rekey_standard(hospital, "victim", ["doctor"]).update_key
+    update_infos = [owner.update_info(ct, update_key) for ct in ciphertexts]
+    group = scheme.group
+
+    start = time.perf_counter()
+    naive = [
+        reencrypt(group, ct, update_key, ui).to_bytes()
+        for ct, ui in zip(ciphertexts, update_infos)
+    ]
+    naive_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    outcomes = batch_outcomes(group, ciphertexts, update_key, update_infos)
+    amortized_seconds = time.perf_counter() - start
+
+    assert all(o.status == UPDATED for o in outcomes)
+    identical = [o.ciphertext.to_bytes() for o in outcomes] == naive
+    return {
+        "ciphertexts": n_ciphertexts,
+        "naive_seconds": round(naive_seconds, 6),
+        "amortized_pool0_seconds": round(amortized_seconds, 6),
+        "amortized_speedup_pool0": round(naive_seconds / amortized_seconds, 3),
+        "outputs_bit_identical": identical,
+    }
+
+
+# -- phase B: sequential REENCRYPT loop vs one pooled sweep -------------------
+
+def _snapshot_owner(owner):
+    return (dict(owner._records), dict(owner._authority_keys),
+            dict(owner._attribute_keys))
+
+
+def _restore_owner(owner, snapshot):
+    owner._records, owner._authority_keys, owner._attribute_keys = (
+        dict(snapshot[0]), dict(snapshot[1]), dict(snapshot[2])
+    )
+
+
+async def _populate(group, scenario, root, n_records: int) -> list:
+    from repro.service.server import StorageService
+    from repro.service.store import RecordStore
+
+    service = StorageService(group, RecordStore(root, group),
+                             host="127.0.0.1", port=0)
+    await service.start()
+    owner = await _owner_client(scenario, service)
+    record_ids = []
+    try:
+        for index in range(n_records):
+            record_id = f"rec-{index:04d}"
+            await owner.upload(record_id, {
+                "note": (f"payload {index}".encode("utf-8"),
+                         "hospital:doctor"),
+            })
+            record_ids.append(record_id)
+    finally:
+        await owner.close()
+        await service.stop()
+    return record_ids
+
+
+async def _owner_client(scenario, service):
+    from repro.service.client import OwnerClient, ServiceConnection
+
+    conn = ServiceConnection(scenario["group"], service.host, service.port,
+                             role="owner", name="owner:alice", timeout=60.0)
+    return OwnerClient(await conn.connect(), scenario["owner"])
+
+
+def _build_scenario():
+    from repro.core.authority import AttributeAuthority
+    from repro.core.ca import CertificateAuthority
+    from repro.core.owner import DataOwner
+    from repro.pairing.group import PairingGroup
+
+    group = PairingGroup(TOY80, seed=0xB5B)
+    ca = CertificateAuthority(group)
+    aa = AttributeAuthority(group, "hospital", ["doctor", "nurse"])
+    ca.register_authority("hospital")
+    owner = DataOwner(group, "alice")
+    ca.register_owner("alice")
+    aa.register_owner(owner.secret_key)
+    owner.learn_authority(aa.authority_public_key(),
+                          aa.public_attribute_keys())
+    victim = ca.register_user("victim")
+    aa.keygen(victim, ["doctor"], "alice")
+    return {"group": group, "ca": ca, "aa": aa, "owner": owner}
+
+
+async def _run_sequential(scenario, root) -> float:
+    from repro.service.server import StorageService
+    from repro.service.store import RecordStore
+
+    group = scenario["group"]
+    service = StorageService(group, RecordStore(root, group),
+                             host="127.0.0.1", port=0)
+    await service.start()
+    owner = await _owner_client(scenario, service)
+    try:
+        start = time.perf_counter()
+        updated = await owner.push_revocation_updates(
+            scenario["update_key"]
+        )
+        elapsed = time.perf_counter() - start
+    finally:
+        await owner.close()
+        await service.stop()
+    assert len(updated) == scenario["n_records"]
+    return elapsed
+
+
+async def _run_sweep(scenario, root, workers: int) -> float:
+    from repro.service.server import StorageService
+    from repro.service.store import RecordStore
+
+    group = scenario["group"]
+    service = StorageService(group, RecordStore(root, group),
+                             host="127.0.0.1", port=0, workers=workers,
+                             sweep_chunk=64)
+    await service.start()
+    owner = await _owner_client(scenario, service)
+    try:
+        start = time.perf_counter()
+        summary = await owner.sweep_revocation(scenario["update_key"])
+        elapsed = time.perf_counter() - start
+    finally:
+        await owner.close()
+        await service.stop()
+    assert len(summary["updated"]) == scenario["n_records"]
+    assert not summary["errors"] and not summary["missing"]
+    return elapsed
+
+
+def _record_blobs(group, root, record_ids) -> list:
+    from repro.service.store import RecordStore
+
+    store = RecordStore(root, group)
+    return [store.get_record_bytes(record_id) for record_id in record_ids]
+
+
+def phase_b(n_records: int, workers: int) -> dict:
+    scenario = _build_scenario()
+    group = scenario["group"]
+    with tempfile.TemporaryDirectory() as base:
+        root_seq = os.path.join(base, "store-seq")
+        root_sweep = os.path.join(base, "store-sweep")
+        record_ids = asyncio.run(
+            _populate(group, scenario, root_seq, n_records)
+        )
+        shutil.copytree(root_seq, root_sweep)
+
+        update_key = rekey_standard(
+            scenario["aa"], "victim", ["doctor"]
+        ).update_key
+        scenario["update_key"] = update_key
+        scenario["n_records"] = n_records
+
+        snapshot = _snapshot_owner(scenario["owner"])
+        sequential_seconds = asyncio.run(_run_sequential(scenario, root_seq))
+        _restore_owner(scenario["owner"], snapshot)
+        sweep_seconds = asyncio.run(_run_sweep(scenario, root_sweep, workers))
+
+        identical = (
+            _record_blobs(group, root_seq, record_ids)
+            == _record_blobs(group, root_sweep, record_ids)
+        )
+    return {
+        "records": n_records,
+        "workers": workers,
+        "sweep_chunk": 64,
+        "sequential_seconds": round(sequential_seconds, 6),
+        "sweep_seconds": round(sweep_seconds, 6),
+        "speedup": round(sequential_seconds / sweep_seconds, 3),
+        "outputs_bit_identical": identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small workload, no speedup gate (CI)")
+    parser.add_argument("--records", type=int, default=None,
+                        help="phase-B store size (default 200, smoke 24)")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--out", default=os.path.join(
+        os.path.dirname(__file__), os.pardir, "BENCH_parallel_sweep.json"))
+    args = parser.parse_args(argv)
+
+    n_phase_a = 16 if args.smoke else 64
+    n_records = args.records or (24 if args.smoke else 200)
+
+    print(f"phase A: {n_phase_a} ciphertexts, naive vs amortized (pool 0)",
+          flush=True)
+    result_a = phase_a(n_phase_a)
+    print(f"  naive {result_a['naive_seconds']:.3f}s, amortized "
+          f"{result_a['amortized_pool0_seconds']:.3f}s -> "
+          f"{result_a['amortized_speedup_pool0']}x, bit-identical: "
+          f"{result_a['outputs_bit_identical']}", flush=True)
+
+    print(f"phase B: {n_records} records, sequential loop vs "
+          f"{args.workers}-worker sweep", flush=True)
+    result_b = phase_b(n_records, args.workers)
+    print(f"  sequential {result_b['sequential_seconds']:.3f}s, sweep "
+          f"{result_b['sweep_seconds']:.3f}s -> {result_b['speedup']}x, "
+          f"bit-identical: {result_b['outputs_bit_identical']}", flush=True)
+
+    report = {
+        "preset": "TOY80",
+        "smoke": args.smoke,
+        "phase_a": result_a,
+        "phase_b": result_b,
+        "outputs_bit_identical": (
+            result_a["outputs_bit_identical"]
+            and result_b["outputs_bit_identical"]
+        ),
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {os.path.abspath(args.out)}", flush=True)
+
+    if not report["outputs_bit_identical"]:
+        print("FAIL: parallel outputs diverge from the sequential path",
+              flush=True)
+        return 1
+    if result_a["amortized_speedup_pool0"] <= 1.0:
+        print("FAIL: amortized path is not beating the naive pairing loop",
+              flush=True)
+        return 1
+    if not args.smoke and result_b["speedup"] < SPEEDUP_GATE:
+        print(f"FAIL: sweep speedup {result_b['speedup']}x is below the "
+              f"{SPEEDUP_GATE}x gate", flush=True)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

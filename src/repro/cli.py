@@ -7,7 +7,8 @@ Commands:
 * ``primitives`` — time the pairing substrate's primitive operations
 * ``params``     — generate fresh type-A pairing parameters
 * ``serve``      — run the networked cloud-storage service (asyncio TCP)
-* ``client``     — talk to a running service (ping / stats / list / smoke)
+* ``client``     — talk to a running service (ping / stats / list /
+  smoke / sweep)
 * ``info``       — show the built-in parameter presets
 
 Everything the CLI does is also available (with more control) through
@@ -208,9 +209,12 @@ def _cmd_serve(args) -> int:
         service = StorageService(
             group, store, host=args.host, port=args.port,
             idle_timeout=args.idle_timeout, read_only=args.read_only,
+            workers=args.workers, sweep_chunk=args.sweep_chunk,
         )
         await service.start()
         mode = " [read-only]" if args.read_only else ""
+        if args.workers:
+            mode += f" [{args.workers} crypto workers]"
         print(
             f"repro service listening on {service.host}:{service.port} "
             f"(preset {args.preset}, root {args.root}){mode}",
@@ -243,9 +247,9 @@ def _cmd_client(args) -> int:
 
     out = args.out
     params = PRESETS[args.preset]
-    if args.action == "smoke":
+    if args.action in ("smoke", "sweep"):
         from repro.service.faults import FaultSpec
-        from repro.service.smoke import run_smoke
+        from repro.service.smoke import run_smoke, run_sweep_cycle
 
         chaos = None
         timeout = args.timeout
@@ -260,6 +264,13 @@ def _cmd_client(args) -> int:
                 # The injected delays must overrun the client timeout,
                 # or the delay fault would never be visible.
                 timeout = max(0.25, args.chaos_delay_seconds / 2)
+        if args.action == "sweep":
+            return asyncio.run(run_sweep_cycle(
+                params, args.host, args.port, out=out, seed=args.seed,
+                records=args.records,
+                chaos=chaos, chaos_seed=args.chaos_seed or 0,
+                timeout=30.0 if timeout is None else timeout,
+            ))
         return asyncio.run(run_smoke(
             params, args.host, args.port, out=out, seed=args.seed,
             chaos=chaos, chaos_seed=args.chaos_seed or 0,
@@ -378,6 +389,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--read-only", action="store_true",
                        help="refuse writes (typed, retryable errors) while "
                             "serving reads")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="crypto process-pool size for bulk sweeps "
+                            "(0 = run sweeps inline on the offload thread)")
+    serve.add_argument("--sweep-chunk", type=int, default=16,
+                       dest="sweep_chunk",
+                       help="records re-encrypted per sweep chunk / "
+                            "progress frame (default 16)")
     serve.add_argument("--max-seconds", type=float, default=0,
                        dest="max_seconds",
                        help="auto-shutdown after this many seconds (0 = run "
@@ -389,15 +407,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_preset_argument(client)
     client.add_argument("action",
-                        choices=["ping", "stats", "health", "list", "smoke"],
-                        help="smoke runs the full upload/read/revoke cycle")
+                        choices=["ping", "stats", "health", "list", "smoke",
+                                 "sweep"],
+                        help="smoke runs the full upload/read/revoke cycle; "
+                             "sweep bulk-revokes many records in one "
+                             "REENCRYPT_SWEEP request")
     client.add_argument("--seed", type=int, default=None)
+    client.add_argument("--records", type=int, default=24,
+                        help="records to populate for the sweep cycle "
+                             "(default 24)")
     client.add_argument("--host", default="127.0.0.1")
     client.add_argument("--port", type=int, default=7468)
     client.add_argument("--timeout", type=float, default=None,
                         help="per-request client timeout in seconds")
     chaos = client.add_argument_group(
-        "chaos", "seeded fault injection for the smoke cycle "
+        "chaos", "seeded fault injection for the smoke/sweep cycles "
                  "(enabled by --chaos-seed)"
     )
     chaos.add_argument("--chaos-seed", type=int, default=None,

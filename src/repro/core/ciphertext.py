@@ -77,7 +77,12 @@ class Ciphertext:
         return len(header).to_bytes(4, "big") + header + body
 
     @classmethod
-    def from_bytes(cls, group: PairingGroup, data: bytes) -> "Ciphertext":
+    def from_bytes(cls, group: PairingGroup, data: bytes, *,
+                   validate: bool = True) -> "Ciphertext":
+        """Decode; ``validate=False`` skips the per-element subgroup
+        checks and is reserved for bytes this process already validated
+        (store-internal re-reads are digest-verified and were fully
+        checked when they first crossed the wire)."""
         if len(data) < 4:
             raise SchemeError("truncated ciphertext")
         header_len = int.from_bytes(data[:4], "big")
@@ -110,13 +115,16 @@ class Ciphertext:
         expected = gt_len + g1_len * (1 + matrix.n_rows)
         if len(data) - offset != expected:
             raise SchemeError("ciphertext body has the wrong length")
-        c = group.decode_gt(data[offset:offset + gt_len])
+        c = group.decode_gt(data[offset:offset + gt_len],
+                            check_subgroup=validate)
         offset += gt_len
-        c_prime = group.decode_g1(data[offset:offset + g1_len])
+        c_prime = group.decode_g1(data[offset:offset + g1_len],
+                                  check_subgroup=validate)
         offset += g1_len
         rows = []
         for _ in range(matrix.n_rows):
-            rows.append(group.decode_g1(data[offset:offset + g1_len]))
+            rows.append(group.decode_g1(data[offset:offset + g1_len],
+                                        check_subgroup=validate))
             offset += g1_len
         from repro.core.attributes import involved_authorities
 

@@ -67,6 +67,8 @@ class DataOwner:
         self._authority_keys = {}   # aid -> AuthorityPublicKey
         self._attribute_keys = {}   # aid -> PublicAttributeKeys
         self._blinding_cache = {}   # ((aid, version), ...) -> GTElement
+        self._ui_ratio_cache = {}   # (aid, from, to) -> (update_key, ratios)
+        self._policy_label_cache = {}  # policy string -> frozenset(labels)
         self._records = {}          # ciphertext id -> EncryptionRecord
         self._retired = set()       # ciphertext ids no longer stored
         self._counter = itertools.count()
@@ -99,6 +101,14 @@ class DataOwner:
 
     def known_authorities(self) -> frozenset:
         return frozenset(self._authority_keys)
+
+    def authority_version(self, aid: str) -> int:
+        """The version of this owner's cached public key for ``aid``."""
+        if aid not in self._authority_keys:
+            raise RevocationError(
+                f"owner {self.owner_id!r} knows no authority {aid!r}"
+            )
+        return self._authority_keys[aid].version
 
     def _blinding_for(self, involved) -> GTElement:
         """``∏_k e(g,g)^{α_k}`` over the involved authorities, cached per
@@ -274,15 +284,17 @@ class DataOwner:
                 "owner's cached public keys are not at the update key's "
                 "source version; apply updates in order"
             )
-        new_keys = apply_update_to_public_keys(old_keys, update_key)
+        ratios = self._ui_ratios(aid, update_key, old_keys)
         beta_s = self._master.beta * record.s % self.group.order
-        labels = set(lsss_from_policy(record.policy).row_labels)
+        labels = self._policy_label_cache.get(record.policy)
+        if labels is None:
+            labels = frozenset(lsss_from_policy(record.policy).row_labels)
+            self._policy_label_cache[record.policy] = labels
         elements = {}
         for label in labels:
             if authority_of(label) != aid:
                 continue
-            ratio = old_keys[label] / new_keys[label]
-            elements[label] = ratio ** beta_s
+            elements[label] = ratios[label] ** beta_s
         return CiphertextUpdateInfo(
             aid=aid,
             ciphertext_id=ciphertext_id,
@@ -290,6 +302,30 @@ class DataOwner:
             from_version=update_key.from_version,
             to_version=update_key.to_version,
         )
+
+    def _ui_ratios(self, aid: str, update_key: UpdateKey,
+                   old_keys) -> dict:
+        """``{x: PK_x / PK̃_x}`` for one update key, computed once.
+
+        A bulk revocation calls :meth:`update_info_for_record` for every
+        ciphertext under the same update key; the ratio bases depend only
+        on the key epoch, so they (and their fixed-base tables — each
+        ciphertext exponentiates the same bases by its own ``βs``) are
+        shared across the whole sweep instead of being rebuilt per
+        ciphertext.
+        """
+        cache_key = (aid, update_key.from_version, update_key.to_version)
+        cached = self._ui_ratio_cache.get(cache_key)
+        if cached is not None and cached[0] is update_key:
+            return cached[1]
+        new_keys = apply_update_to_public_keys(old_keys, update_key)
+        ratios = {}
+        for label in old_keys.elements:
+            ratio = old_keys[label] / new_keys[label]
+            self.group.register_g1_base(ratio)
+            ratios[label] = ratio
+        self._ui_ratio_cache[cache_key] = (update_key, ratios)
+        return ratios
 
     def records_involving(self, aid: str) -> list:
         """Ids of this owner's *live* ciphertexts involving the authority."""

@@ -22,10 +22,13 @@ from repro.errors import RevocationError
 from repro.pairing.group import PairingGroup
 
 
-def reencrypt(group: PairingGroup, ciphertext: Ciphertext,
-              update_key: UpdateKey,
-              update_info: CiphertextUpdateInfo) -> Ciphertext:
-    """The ReEncrypt algorithm; returns the version-bumped ciphertext."""
+def check_reencrypt_inputs(ciphertext: Ciphertext, update_key: UpdateKey,
+                           update_info: CiphertextUpdateInfo):
+    """Validate one (ciphertext, UK, UI) triple; returns ``UK1_owner``.
+
+    Shared by the sequential path and :mod:`repro.parallel.batch` so both
+    reject exactly the same inputs with exactly the same errors.
+    """
     aid = update_key.aid
     if update_info.aid != aid:
         raise RevocationError("update key and update information disagree on AID")
@@ -52,8 +55,22 @@ def reencrypt(group: PairingGroup, ciphertext: Ciphertext,
         raise RevocationError(
             f"update key carries no UK1 for owner {ciphertext.owner_id!r}"
         )
+    return uk1
 
-    new_c = ciphertext.c * group.pair(uk1, ciphertext.c_prime)
+
+def apply_update(ciphertext: Ciphertext, update_key: UpdateKey,
+                 update_info: CiphertextUpdateInfo,
+                 pairing_factor) -> Ciphertext:
+    """Fold a precomputed ``e(UK1_owner, C')`` into a checked ciphertext.
+
+    ``pairing_factor`` is the one expensive input; computing it once per
+    owner (batched, with prepared Miller lines) is the whole point of
+    :func:`repro.parallel.batch.reencrypt_batch` — and because this
+    function is shared, the batch output is bit-identical to the
+    sequential one.
+    """
+    aid = update_key.aid
+    new_c = ciphertext.c * pairing_factor
     new_rows = []
     for index, label in enumerate(ciphertext.matrix.row_labels):
         if authority_of(label) == aid:
@@ -78,6 +95,17 @@ def reencrypt(group: PairingGroup, ciphertext: Ciphertext,
         matrix=ciphertext.matrix,
         involved_aids=ciphertext.involved_aids,
         versions=versions,
+    )
+
+
+def reencrypt(group: PairingGroup, ciphertext: Ciphertext,
+              update_key: UpdateKey,
+              update_info: CiphertextUpdateInfo) -> Ciphertext:
+    """The ReEncrypt algorithm; returns the version-bumped ciphertext."""
+    uk1 = check_reencrypt_inputs(ciphertext, update_key, update_info)
+    return apply_update(
+        ciphertext, update_key, update_info,
+        group.pair(uk1, ciphertext.c_prime),
     )
 
 

@@ -88,14 +88,17 @@ def _header_str_list(header: dict, key: str) -> list:
     return value
 
 
-def _split_elements(group: PairingGroup, body: bytes, count: int) -> list:
+def _split_elements(group: PairingGroup, body: bytes, count: int, *,
+                    check_subgroup: bool = True) -> list:
     width = group.g1_bytes
     if len(body) != count * width:
         raise SchemeError(
             f"key body has {len(body)} bytes; expected {count * width}"
         )
     return [
-        group.decode_g1(body[i * width:(i + 1) * width]) for i in range(count)
+        group.decode_g1(body[i * width:(i + 1) * width],
+                        check_subgroup=check_subgroup)
+        for i in range(count)
     ]
 
 
@@ -237,7 +240,8 @@ def encode_update_key(group: PairingGroup, key: UpdateKey) -> bytes:
     )
 
 
-def decode_update_key(group: PairingGroup, data: bytes) -> UpdateKey:
+def decode_update_key(group: PairingGroup, data: bytes, *,
+                      check_subgroup: bool = True) -> UpdateKey:
     header, body = _unpack(data)
     if header.get("kind") != "uk":
         raise SchemeError("not an update key encoding")
@@ -247,7 +251,8 @@ def decode_update_key(group: PairingGroup, data: bytes) -> UpdateKey:
     if len(body) != expected:
         raise SchemeError("update key body has the wrong length")
     uk1 = {
-        owner: group.decode_g1(body[i * width:(i + 1) * width])
+        owner: group.decode_g1(body[i * width:(i + 1) * width],
+                               check_subgroup=check_subgroup)
         for i, owner in enumerate(owners)
     }
     uk2 = group.decode_scalar(body[len(owners) * width:])
@@ -278,13 +283,15 @@ def encode_update_info(info: CiphertextUpdateInfo) -> bytes:
     )
 
 
-def decode_update_info(group: PairingGroup,
-                       data: bytes) -> CiphertextUpdateInfo:
+def decode_update_info(group: PairingGroup, data: bytes, *,
+                       check_subgroup: bool = True) -> CiphertextUpdateInfo:
     header, body = _unpack(data)
     if header.get("kind") != "ui":
         raise SchemeError("not an update information encoding")
     names = _header_str_list(header, "attrs")
-    elements = dict(zip(names, _split_elements(group, body, len(names))))
+    elements = dict(zip(names, _split_elements(
+        group, body, len(names), check_subgroup=check_subgroup
+    )))
     return CiphertextUpdateInfo(
         aid=_header_str(header, "aid"),
         ciphertext_id=_header_str(header, "ct"),
@@ -292,3 +299,62 @@ def decode_update_info(group: PairingGroup,
         from_version=_header_int(header, "from"),
         to_version=_header_int(header, "to"),
     )
+
+
+def peek_update_info(data: bytes) -> dict:
+    """Header fields of a UI encoding without decoding any group element.
+
+    The bulk sweep uses this to match update information to the store's
+    ciphertext-id index (and to meter it in Table II units) before the
+    expensive element decode happens in a worker. Returns
+    ``{"aid", "ct", "from", "to", "attrs"}``.
+    """
+    header, _ = _unpack(data)
+    if header.get("kind") != "ui":
+        raise SchemeError("not an update information encoding")
+    return {
+        "aid": _header_str(header, "aid"),
+        "ct": _header_str(header, "ct"),
+        "from": _header_int(header, "from"),
+        "to": _header_int(header, "to"),
+        "attrs": _header_str_list(header, "attrs"),
+    }
+
+
+def decode_update_infos(group: PairingGroup, blobs) -> list:
+    """Decode many UI encodings with one shared subgroup check.
+
+    All element encodings across the batch are validated together via
+    :meth:`repro.pairing.group.PairingGroup.decode_g1_batch` — one
+    random-linear-combination check instead of one scalar multiplication
+    per element. Malformed encodings raise :class:`SchemeError` exactly
+    as :func:`decode_update_info` would.
+    """
+    parsed = []
+    element_blobs = []
+    width = group.g1_bytes
+    for data in blobs:
+        header, body = _unpack(data)
+        if header.get("kind") != "ui":
+            raise SchemeError("not an update information encoding")
+        names = _header_str_list(header, "attrs")
+        if len(body) != len(names) * width:
+            raise SchemeError(
+                f"key body has {len(body)} bytes; "
+                f"expected {len(names) * width}"
+            )
+        parsed.append((header, names))
+        element_blobs.extend(
+            body[i * width:(i + 1) * width] for i in range(len(names))
+        )
+    elements = iter(group.decode_g1_batch(element_blobs))
+    infos = []
+    for header, names in parsed:
+        infos.append(CiphertextUpdateInfo(
+            aid=_header_str(header, "aid"),
+            ciphertext_id=_header_str(header, "ct"),
+            elements={name: next(elements) for name in names},
+            from_version=_header_int(header, "from"),
+            to_version=_header_int(header, "to"),
+        ))
+    return infos

@@ -21,6 +21,7 @@ from repro.math.field_ext import QuadraticExtension
 from repro.pairing.miller import (
     evaluate_line_steps,
     final_exponentiation,
+    final_exponentiation_many,
     line_coefficients,
 )
 
@@ -54,6 +55,33 @@ class PreparedPairing:
         if self.point is INFINITY or q_point is INFINITY:
             return self.ext.one
         return final_exponentiation(self.ext, self.miller(q_point), self.order)
+
+    def pair_many(self, q_points) -> list:
+        """``[e(P, Q) for Q in q_points]`` with batched final exponentiation.
+
+        The Miller replays run per point; the final exponentiations share
+        one modular inversion via
+        :func:`repro.pairing.miller.final_exponentiation_many`. Each
+        entry is bit-identical to :meth:`pair` of the same point — this
+        is what makes batch ReEncrypt byte-for-byte equal to the
+        sequential path.
+        """
+        q_points = list(q_points)
+        if self.point is INFINITY:
+            return [self.ext.one for _ in q_points]
+        raws = []
+        slots = []  # positions of the non-trivial pairings
+        results = [self.ext.one] * len(q_points)
+        for index, q_point in enumerate(q_points):
+            if q_point is INFINITY:
+                continue
+            raws.append(self.miller(q_point))
+            slots.append(index)
+        for index, reduced in zip(
+            slots, final_exponentiation_many(self.ext, raws, self.order)
+        ):
+            results[index] = reduced
+        return results
 
     def __repr__(self) -> str:
         return (

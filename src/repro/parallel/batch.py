@@ -1,0 +1,422 @@
+"""Batch ReEncrypt with amortized pairing, inline or across a pool.
+
+One attribute revocation makes the server re-encrypt every ciphertext of
+every involved owner. The sequential path pays, per ciphertext, one full
+pairing ``e(UK1_owner, C')`` plus per-element decode validation. This
+module amortizes all of it:
+
+* ``UK1_owner`` is *fixed per owner* across the whole batch, so its
+  Miller line coefficients are prepared once
+  (:meth:`repro.pairing.group.PairingGroup.prepare_pairing`) and
+  replayed against every ciphertext's ``C'`` — ~2/3 of each pairing
+  gone;
+* the final exponentiations of a whole owner-batch share one modular
+  inversion (:meth:`repro.pairing.prepared.PreparedPairing.pair_many`);
+* wire-sourced update information is subgroup-validated with one
+  random-linear-combination check per chunk instead of one scalar
+  multiplication per element
+  (:func:`repro.core.serialize.decode_update_infos`).
+
+Failures stay **per-item**: a version-mismatched or malformed entry
+becomes an ``error`` outcome with the library's typed exception; the
+rest of the batch is unaffected. A ciphertext already at the update
+key's target version reports ``already-current`` — that is what makes a
+retried sweep chunk idempotent.
+
+Every path — inline, pooled, and the service sweep — funnels through
+the same :func:`repro.core.reencrypt.check_reencrypt_inputs` /
+:func:`repro.core.reencrypt.apply_update` pair, so outputs are
+bit-identical regardless of pool size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ciphertext import Ciphertext
+from repro.core.keys import CiphertextUpdateInfo, UpdateKey
+from repro.core.reencrypt import apply_update, check_reencrypt_inputs
+from repro.core.serialize import (
+    decode_update_info,
+    decode_update_infos,
+    decode_update_key,
+    encode_update_info,
+    encode_update_key,
+)
+from repro.errors import ReproError, SchemeError, StorageError
+from repro.pairing.group import GTElement, PairingGroup
+from repro.parallel.pool import CryptoPool, chunked
+from repro.system.records import StoredRecord
+
+#: Outcome statuses.
+UPDATED = "updated"
+ALREADY_CURRENT = "already-current"
+ERROR = "error"
+
+# Typed error codes for raw (cross-process) outcomes — the same strings
+# the service's ERROR frames use, minted locally so this layer stays
+# below repro.service.
+_RAW_ERROR_CODES = (
+    ("RevocationError", "revocation"),
+    ("PolicyNotSatisfiedError", "policy-not-satisfied"),
+    ("UnavailableError", "unavailable"),
+    ("StorageError", "storage"),
+    ("SchemeError", "scheme"),
+    ("AuthorizationError", "authorization"),
+    ("PolicyError", "policy"),
+    ("IntegrityError", "integrity"),
+    ("MathError", "math"),
+)
+
+
+def error_code(exc: ReproError) -> str:
+    for name, code in _RAW_ERROR_CODES:
+        if any(cls.__name__ == name for cls in type(exc).__mro__):
+            return code
+    return "protocol"
+
+
+@dataclass(frozen=True)
+class ReencryptOutcome:
+    """Per-item result of a batch re-encryption."""
+
+    ciphertext_id: str
+    status: str                       # updated | already-current | error
+    ciphertext: Ciphertext = None     # the updated ciphertext (if updated)
+    error: ReproError = None          # the typed failure (if error)
+
+    @property
+    def error_codename(self) -> str:
+        return None if self.error is None else error_code(self.error)
+
+
+def _outcome_error(ciphertext_id: str, exc: ReproError) -> ReencryptOutcome:
+    return ReencryptOutcome(ciphertext_id=ciphertext_id, status=ERROR,
+                            error=exc)
+
+
+def _is_already_current(ciphertext: Ciphertext, update_key: UpdateKey,
+                        update_info: CiphertextUpdateInfo) -> bool:
+    """True when the ciphertext already sits at the key's target version.
+
+    Only an exact match of ciphertext id and version window counts — a
+    UI addressed at the wrong ciphertext must surface as an error, not a
+    silent skip.
+    """
+    aid = update_key.aid
+    return (
+        update_info.aid == aid
+        and update_info.ciphertext_id == ciphertext.ciphertext_id
+        and ciphertext.versions.get(aid) == update_key.to_version
+        and (update_info.from_version, update_info.to_version)
+        == (update_key.from_version, update_key.to_version)
+    )
+
+
+def batch_outcomes(group: PairingGroup, ciphertexts, update_key: UpdateKey,
+                   update_infos) -> list:
+    """The object-level batch core: amortized pairing, per-item errors.
+
+    ``ciphertexts`` and ``update_infos`` are aligned sequences. Returns
+    one :class:`ReencryptOutcome` per input, in input order.
+    """
+    ciphertexts = list(ciphertexts)
+    update_infos = list(update_infos)
+    if len(ciphertexts) != len(update_infos):
+        raise SchemeError(
+            "need exactly one update information per ciphertext"
+        )
+    outcomes = [None] * len(ciphertexts)
+    by_owner = {}  # owner id -> [(index, ciphertext, update_info)]
+    for index, (ciphertext, update_info) in enumerate(
+        zip(ciphertexts, update_infos)
+    ):
+        if _is_already_current(ciphertext, update_key, update_info):
+            outcomes[index] = ReencryptOutcome(
+                ciphertext_id=ciphertext.ciphertext_id,
+                status=ALREADY_CURRENT,
+            )
+            continue
+        try:
+            check_reencrypt_inputs(ciphertext, update_key, update_info)
+        except ReproError as exc:
+            outcomes[index] = _outcome_error(ciphertext.ciphertext_id, exc)
+            continue
+        by_owner.setdefault(ciphertext.owner_id, []).append(
+            (index, ciphertext, update_info)
+        )
+    for owner_id, entries in by_owner.items():
+        # The fixed first argument of every pairing in this owner-batch:
+        # prepare its Miller lines once, replay per ciphertext, and
+        # share one inversion across the final exponentiations.
+        prepared = group.prepare_pairing(update_key.uk1[owner_id])
+        factors = prepared.pair_many(
+            [ciphertext.c_prime.point for _, ciphertext, _ in entries]
+        )
+        group.counter.pairings += len(entries)
+        for (index, ciphertext, update_info), factor in zip(entries, factors):
+            try:
+                updated = apply_update(
+                    ciphertext, update_key, update_info,
+                    GTElement(group, factor),
+                )
+            except ReproError as exc:
+                outcomes[index] = _outcome_error(
+                    ciphertext.ciphertext_id, exc
+                )
+            else:
+                outcomes[index] = ReencryptOutcome(
+                    ciphertext_id=ciphertext.ciphertext_id,
+                    status=UPDATED,
+                    ciphertext=updated,
+                )
+    return outcomes
+
+
+# -- raw (bytes-level) jobs: what actually crosses the process boundary ------
+
+# Per-process cache of decoded update keys, keyed by their raw bytes.
+# A sweep ships the same UK with every chunk; decoding it once per
+# process keeps the per-chunk overhead at a dict lookup.
+_UK_CACHE = {}
+_UK_CACHE_LIMIT = 8
+
+
+def _cached_update_key(group: PairingGroup, uk_raw: bytes) -> UpdateKey:
+    key = (id(group), uk_raw)
+    update_key = _UK_CACHE.get(key)
+    if update_key is None:
+        # Trusted decode: the caller (batch API or sweep dispatcher)
+        # validated these bytes before fanning them out.
+        update_key = decode_update_key(group, uk_raw, check_subgroup=False)
+        if len(_UK_CACHE) >= _UK_CACHE_LIMIT:
+            _UK_CACHE.pop(next(iter(_UK_CACHE)))
+        _UK_CACHE[key] = update_key
+    return update_key
+
+
+def _decode_ui_batch(group: PairingGroup, ui_raws, validate: bool) -> list:
+    """Decode UIs; returns aligned ``[(info | None, exc | None)]``.
+
+    Validated decodes run as one batch with a shared subgroup check;
+    if the batch fails (one malformed entry), each UI is re-decoded
+    individually so only the offending items turn into errors.
+    """
+    ui_raws = list(ui_raws)
+    if validate:
+        try:
+            return [(info, None)
+                    for info in decode_update_infos(group, ui_raws)]
+        except ReproError:
+            pass  # isolate the culprit(s) below
+    results = []
+    for raw in ui_raws:
+        try:
+            results.append((
+                decode_update_info(group, raw, check_subgroup=validate),
+                None,
+            ))
+        except ReproError as exc:
+            results.append((None, exc))
+    return results
+
+
+def reencrypt_chunk_raw(group: PairingGroup, uk_raw: bytes, items,
+                        validate_uis: bool = False) -> list:
+    """One pooled chunk of ciphertext-level work, bytes in / bytes out.
+
+    ``items`` is ``[(ciphertext_bytes, ui_bytes), ...]``; returns
+    ``[(ciphertext_id, status, payload), ...]`` where ``payload`` is the
+    updated ciphertext bytes for ``updated``, ``None`` for
+    ``already-current`` and ``(code, message)`` for ``error``. Runs
+    identically inline and in a worker; nothing unpicklable crosses the
+    boundary (the group ships as parameter ints, see
+    ``PairingGroup.__reduce__``).
+    """
+    update_key = _cached_update_key(group, uk_raw)
+    decoded = []
+    for ct_raw, _ in items:
+        # Trusted decode: batch callers hold the objects these bytes
+        # came from; sweep callers read them from the digest-verified
+        # store, which validated them at ingest.
+        decoded.append(Ciphertext.from_bytes(group, ct_raw, validate=False))
+    uis = _decode_ui_batch(group, [ui_raw for _, ui_raw in items],
+                           validate_uis)
+    ciphertexts, infos, slots = [], [], []
+    results = [None] * len(items)
+    for index, (ciphertext, (info, exc)) in enumerate(zip(decoded, uis)):
+        if exc is not None:
+            results[index] = (ciphertext.ciphertext_id, ERROR,
+                              (error_code(exc), str(exc)))
+            continue
+        ciphertexts.append(ciphertext)
+        infos.append(info)
+        slots.append(index)
+    outcomes = batch_outcomes(group, ciphertexts, update_key, infos)
+    for index, outcome in zip(slots, outcomes):
+        if outcome.status == UPDATED:
+            payload = outcome.ciphertext.to_bytes()
+        elif outcome.status == ALREADY_CURRENT:
+            payload = None
+        else:
+            payload = (outcome.error_codename, str(outcome.error))
+        results[index] = (outcome.ciphertext_id, outcome.status, payload)
+    return results
+
+
+def reencrypt_records_raw(group: PairingGroup, uk_raw: bytes, tasks,
+                          validate_uis: bool = True) -> list:
+    """One pooled chunk of the service sweep: whole records in, out.
+
+    ``tasks`` is ``[(record_bytes, [(component_name, ui_bytes), ...])]``.
+    Returns one ``(new_record_bytes_or_None, item_results)`` per task,
+    where ``item_results`` is ``[(ciphertext_id, status, code, message)]``
+    (``code``/``message`` are ``None`` unless ``status == "error"``).
+    ``new_record_bytes`` is ``None`` when no component changed.
+
+    Record bytes come from the digest-verified store and decode trusted;
+    update information arrived over the wire and is batch-validated here
+    (off the server's event loop). The update key must have been
+    validated by the caller before fan-out.
+    """
+    update_key = _cached_update_key(group, uk_raw)
+    records = [
+        StoredRecord.from_bytes(group, record_raw, validate=False)
+        for record_raw, _ in tasks
+    ]
+    ui_raws = [ui_raw for _, targets in tasks for _, ui_raw in targets]
+    uis = iter(_decode_ui_batch(group, ui_raws, validate_uis))
+    # entry: (task index, component, decoded UI) per targeted ciphertext
+    entries = []
+    item_results = [[] for _ in tasks]
+    for task_index, (record, (_, targets)) in enumerate(zip(records, tasks)):
+        for component_name, _ in targets:
+            info, exc = next(uis)
+            component = record.components.get(component_name)
+            if component is None:
+                exc = StorageError(
+                    f"record {record.record_id!r} has no component "
+                    f"{component_name!r}"
+                )
+            if exc is not None:
+                ciphertext_id = (
+                    "?" if info is None and component is None
+                    else (info.ciphertext_id if info is not None
+                          else component.abe_ciphertext.ciphertext_id)
+                )
+                item_results[task_index].append(
+                    (ciphertext_id, ERROR, error_code(exc), str(exc))
+                )
+                continue
+            entries.append((task_index, component, info))
+    outcomes = batch_outcomes(
+        group,
+        [component.abe_ciphertext for _, component, _ in entries],
+        update_key,
+        [info for _, _, info in entries],
+    )
+    updated_records = {}  # task index -> evolving StoredRecord
+    for (task_index, component, _), outcome in zip(entries, outcomes):
+        if outcome.status == UPDATED:
+            record = updated_records.get(task_index, records[task_index])
+            updated_records[task_index] = record.with_component(
+                type(component)(
+                    name=component.name,
+                    abe_ciphertext=outcome.ciphertext,
+                    data_ciphertext=component.data_ciphertext,
+                )
+            )
+            item_results[task_index].append(
+                (outcome.ciphertext_id, UPDATED, None, None)
+            )
+        elif outcome.status == ALREADY_CURRENT:
+            item_results[task_index].append(
+                (outcome.ciphertext_id, ALREADY_CURRENT, None, None)
+            )
+        else:
+            item_results[task_index].append(
+                (outcome.ciphertext_id, ERROR, outcome.error_codename,
+                 str(outcome.error))
+            )
+    return [
+        (
+            updated_records[task_index].to_bytes()
+            if task_index in updated_records else None,
+            item_results[task_index],
+        )
+        for task_index in range(len(tasks))
+    ]
+
+
+# -- the public batch API -----------------------------------------------------
+
+def reencrypt_batch(group: PairingGroup, ciphertexts,
+                    update_key: UpdateKey, update_infos, *,
+                    pool: CryptoPool = None, chunk_size: int = 32) -> list:
+    """Re-encrypt many ciphertexts under one update key.
+
+    Returns one :class:`ReencryptOutcome` per ciphertext, in order.
+    With no pool (or an inline pool) the batch runs in-process; with a
+    live :class:`CryptoPool` the items are encoded, fanned out in
+    chunks, and decoded back — outputs are bit-identical either way,
+    for any pool size and chunk size.
+    """
+    ciphertexts = list(ciphertexts)
+    update_infos = list(update_infos)
+    if len(ciphertexts) != len(update_infos):
+        raise SchemeError(
+            "need exactly one update information per ciphertext"
+        )
+    if pool is None or pool.inline:
+        return batch_outcomes(group, ciphertexts, update_key, update_infos)
+    uk_raw = encode_update_key(group, update_key)
+    items = [
+        (ciphertext.to_bytes(), encode_update_info(update_info))
+        for ciphertext, update_info in zip(ciphertexts, update_infos)
+    ]
+    raw_results = pool.map_jobs(
+        reencrypt_chunk_raw,
+        [(group, uk_raw, chunk) for chunk in chunked(items, chunk_size)],
+    )
+    outcomes = []
+    for (ciphertext_id, status, payload), ciphertext in zip(
+        (result for chunk in raw_results for result in chunk), ciphertexts
+    ):
+        if status == UPDATED:
+            outcomes.append(ReencryptOutcome(
+                ciphertext_id=ciphertext_id,
+                status=UPDATED,
+                ciphertext=Ciphertext.from_bytes(group, payload,
+                                                 validate=False),
+            ))
+        elif status == ALREADY_CURRENT:
+            outcomes.append(ReencryptOutcome(
+                ciphertext_id=ciphertext_id, status=ALREADY_CURRENT,
+            ))
+        else:
+            code, message = payload
+            outcomes.append(_outcome_error(
+                ciphertext_id, _EXCEPTION_FOR_CODE.get(code, SchemeError)(
+                    message
+                )
+            ))
+    return outcomes
+
+
+def _exception_table() -> dict:
+    from repro import errors
+
+    return {
+        "revocation": errors.RevocationError,
+        "policy-not-satisfied": errors.PolicyNotSatisfiedError,
+        "unavailable": errors.UnavailableError,
+        "storage": errors.StorageError,
+        "scheme": errors.SchemeError,
+        "authorization": errors.AuthorizationError,
+        "policy": errors.PolicyError,
+        "integrity": errors.IntegrityError,
+        "math": errors.MathError,
+    }
+
+
+_EXCEPTION_FOR_CODE = _exception_table()

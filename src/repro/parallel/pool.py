@@ -1,0 +1,95 @@
+"""A process pool for crypto jobs, with an inline size-0 mode.
+
+:class:`CryptoPool` wraps :class:`concurrent.futures.ProcessPoolExecutor`
+with the three properties the batch engine needs:
+
+* **pool size 0 is a first-class mode** — jobs run inline in the calling
+  process through the *same* job functions the workers run, so results
+  are bit-identical across pool sizes by construction and single-core
+  deployments skip process overhead entirely;
+* **lazy start** — no worker process exists until the first pooled job,
+  so constructing a server with ``--workers N`` costs nothing if no
+  sweep ever arrives;
+* **fork start method when available** — workers inherit the parent's
+  imported modules copy-on-write instead of re-importing the library
+  per process (on platforms without ``fork`` the default start method
+  is used; job functions only ever receive picklable arguments, so both
+  work).
+
+Job functions must be module-level (picklable by reference) and
+pure-ish: everything they need arrives in their arguments. The
+:class:`repro.pairing.group.PairingGroup` argument pickles as parameter
+integers and rebuilds per process (see ``PairingGroup.__reduce__``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+
+def chunked(items, size: int) -> list:
+    """Split a sequence into order-preserving chunks of at most ``size``."""
+    items = list(items)
+    if size <= 0:
+        raise ValueError("chunk size must be positive")
+    return [items[start:start + size] for start in range(0, len(items), size)]
+
+
+class CryptoPool:
+    """A lazily-started process pool; ``workers=0`` runs jobs inline."""
+
+    def __init__(self, workers: int = 0):
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.workers = workers
+        self._executor = None
+
+    @property
+    def inline(self) -> bool:
+        return self.workers == 0
+
+    @property
+    def executor(self) -> ProcessPoolExecutor:
+        """The live executor (started on first use; inline pools have none)."""
+        if self.inline:
+            raise ValueError("an inline pool has no executor")
+        if self._executor is None:
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                context = None
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=context
+            )
+        return self._executor
+
+    def map_jobs(self, fn, jobs) -> list:
+        """Run ``fn(*args)`` for every argument tuple; results in order.
+
+        Inline pools call ``fn`` directly; pooled runs submit every job
+        up front and collect results in submission order, so the output
+        is independent of worker scheduling.
+        """
+        jobs = list(jobs)
+        if self.inline:
+            return [fn(*args) for args in jobs]
+        futures = [self.executor.submit(fn, *args) for args in jobs]
+        return [future.result() for future in futures]
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "CryptoPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        state = "inline" if self.inline else (
+            "idle" if self._executor is None else "running"
+        )
+        return f"CryptoPool(workers={self.workers}, {state})"

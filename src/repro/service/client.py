@@ -240,6 +240,111 @@ class ServiceConnection:
             await self.close()
             raise
 
+    async def _stream_roundtrip(self, msg_type: MessageType, body: bytes,
+                                progress: MessageType,
+                                on_progress) -> tuple:
+        """One exchange whose reply may be preceded by progress frames.
+
+        Progress frames matching the request's sequence number are
+        decoded and handed to ``on_progress`` without ending the
+        exchange; the per-frame timeout restarts on each, so a long
+        sweep stays alive as long as the server keeps streaming.
+        """
+        if self._writer is None:
+            raise TransportError(
+                "connection is not open (closed or never connected)"
+            )
+        seq = self._send_seq
+        self._send_seq = (self._send_seq + 1) & 0x7FFFFFFF
+        try:
+            sent = await protocol.write_frame(self._writer, msg_type, body,
+                                              seq=seq)
+            self.meter.record_wire(sent)
+            stale = 0
+            while True:
+                try:
+                    reply_type, reply_seq, reply = await asyncio.wait_for(
+                        protocol.read_seq_frame(self._reader,
+                                                self.max_frame),
+                        self.timeout,
+                    )
+                except ProtocolError as exc:
+                    raise TransportError(
+                        f"garbled reply frame: {exc}"
+                    ) from exc
+                self.meter.record_wire(9 + len(reply))
+                if reply_seq != seq and reply_seq != protocol.SEQ_BROADCAST:
+                    stale += 1
+                    self.retry_log.note(
+                        "discard", msg_type.name,
+                        cause=f"stale reply seq {reply_seq} (awaiting {seq})",
+                    )
+                    if stale >= self.MAX_STALE_FRAMES:
+                        raise TransportError(
+                            f"gave up after {stale} stale frames"
+                        )
+                    continue
+                if reply_type is progress:
+                    payload = protocol.decode_json(reply)
+                    if on_progress is not None:
+                        on_progress(payload)
+                    continue
+                return reply_type, reply
+        except BaseException:
+            await self.close()
+            raise
+
+    async def request_stream(self, msg_type: MessageType, body: bytes = b"",
+                             *, final: MessageType, progress: MessageType,
+                             on_progress=None) -> bytes:
+        """Send one v2 request answered by progress frames plus a final.
+
+        Same retry/idempotency discipline as :meth:`request`: transport
+        failures (including a dropped progress frame severing the
+        connection) reconnect and re-send under the *same* idempotency
+        key, so the server either resumes idempotently or replays the
+        cached final reply — possibly with no progress frames at all.
+        Returns the final frame's body.
+        """
+        attempt = 1
+        key = None
+        while True:
+            try:
+                if not self.connected and self.retry is not None:
+                    await self._connect_once()
+                if self.version is None or self.version < 2:
+                    raise ProtocolError(
+                        f"{msg_type.name} requires protocol version 2"
+                    )
+                wire_body = body
+                if msg_type in protocol.MUTATION_TYPES:
+                    if key is None:
+                        key = new_idempotency_key()
+                    wire_body = protocol.wrap_idempotency(key, body)
+                reply_type, reply = await self._stream_roundtrip(
+                    msg_type, wire_body, progress, on_progress
+                )
+            except ProtocolError:
+                raise  # speaking the wrong protocol; retrying won't help
+            except Exception as exc:
+                if not await self._backoff(msg_type.name, attempt, exc):
+                    raise
+                attempt += 1
+                continue
+            if reply_type is MessageType.ERROR:
+                try:
+                    protocol.raise_error(reply)
+                except UnavailableError as exc:
+                    if not await self._backoff(msg_type.name, attempt, exc):
+                        raise
+                    attempt += 1
+                    continue
+            if reply_type is not final:
+                raise ProtocolError(
+                    f"expected a {final.name} reply, got {reply_type.name}"
+                )
+            return reply
+
     async def request(self, msg_type: MessageType, body: bytes = b"",
                       expect: MessageType = None) -> tuple:
         """Send one request; raise the mapped exception on ERROR frames.
@@ -507,6 +612,66 @@ class OwnerClient(BaseClient):
             updated.append(ciphertext_id)
         self.core.apply_update_key(update_key)
         return updated
+
+    async def sweep_revocation(self, update_key: UpdateKey, *,
+                               include_uk2: bool = True,
+                               on_progress=None) -> dict:
+        """Revoke across every owned ciphertext in ONE sweep request.
+
+        The bulk counterpart of :meth:`push_revocation_updates`: the
+        update key and every ledger-derived update information travel in
+        a single ``REENCRYPT_SWEEP`` frame, the server re-encrypts
+        matching records chunk-by-chunk through its crypto pool (one
+        amortized pairing preparation per owner instead of one cold
+        pairing per ciphertext), and progress frames stream back through
+        ``on_progress``. The ledger is rolled forward for every
+        ciphertext the server reports ``updated`` *or*
+        ``already-current`` (a retried sweep may find some records
+        already swept). Returns the server's summary dict.
+        """
+        from repro.core.revocation import strip_uk2
+
+        server_key = update_key if include_uk2 else strip_uk2(update_key)
+        ui_raws = []
+        sent_ids = set()
+        for ciphertext_id in self.core.records_involving(update_key.aid):
+            record = self.core.record(ciphertext_id)
+            if record.versions[update_key.aid] != update_key.from_version:
+                continue  # already past this version (defensive)
+            update_info = self.core.update_info_for_record(
+                ciphertext_id, update_key
+            )
+            self.connection.meter_send("update-info", update_info)
+            ui_raws.append(encode_update_info(update_info))
+            sent_ids.add(ciphertext_id)
+        summary = {"requested": 0, "records": 0, "updated": [],
+                   "already_current": [], "missing": [], "errors": {}}
+        if ui_raws:
+            self.connection.meter_send("update-key", server_key)
+            body = protocol.pack_parts(
+                protocol.encode_json({"n": len(ui_raws)}),
+                encode_update_key(self.group, server_key),
+                *ui_raws,
+            )
+            reply = await self.connection.request_stream(
+                MessageType.REENCRYPT_SWEEP, body,
+                final=MessageType.SWEEP_DONE,
+                progress=MessageType.SWEEP_PROGRESS,
+                on_progress=on_progress,
+            )
+            summary = protocol.decode_json(reply)
+            swept = list(summary.get("updated", ())) + list(
+                summary.get("already_current", ())
+            )
+            for ciphertext_id in swept:
+                if (ciphertext_id in sent_ids
+                        and self.core.record(ciphertext_id).versions.get(
+                            update_key.aid) == update_key.from_version):
+                    self.core.note_reencrypted(ciphertext_id, update_key)
+        if self.core.authority_version(update_key.aid) \
+                == update_key.from_version:
+            self.core.apply_update_key(update_key)
+        return summary
 
 
 class UserClient(BaseClient):

@@ -101,6 +101,9 @@ class MessageType(IntEnum):
     AUTHORITY_KEYS = 0x22
 
     REENCRYPT = 0x30
+    REENCRYPT_SWEEP = 0x31
+    SWEEP_PROGRESS = 0x32
+    SWEEP_DONE = 0x33
 
     STATS = 0x40
     STATS_REPLY = 0x41
@@ -114,6 +117,7 @@ MUTATION_TYPES = frozenset({
     MessageType.DELETE_RECORD,
     MessageType.REPLACE_COMPONENT,
     MessageType.REENCRYPT,
+    MessageType.REENCRYPT_SWEEP,
 })
 
 #: Everything that writes to the store (gated by read-only mode).
@@ -221,6 +225,29 @@ def unpack_parts(body: bytes, count: int) -> list:
         offset += length
     if offset != len(body):
         raise ProtocolError("trailing bytes after multi-part frame body")
+    return parts
+
+
+def unpack_all_parts(body: bytes, max_parts: int = 1 << 20) -> list:
+    """Split a :func:`pack_parts` body of *unknown* part count.
+
+    The bulk-sweep request carries one update information per targeted
+    ciphertext, so its part count is data-dependent; every other
+    multi-part body keeps using the exact-count :func:`unpack_parts`.
+    """
+    parts = []
+    offset = 0
+    while offset < len(body):
+        if offset + 4 > len(body):
+            raise ProtocolError("truncated multi-part frame body")
+        length = int.from_bytes(body[offset:offset + 4], "big")
+        offset += 4
+        if length > len(body) - offset:
+            raise ProtocolError("truncated multi-part frame body")
+        parts.append(body[offset:offset + length])
+        offset += length
+        if len(parts) > max_parts:
+            raise ProtocolError("multi-part frame body has too many parts")
     return parts
 
 

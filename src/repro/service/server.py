@@ -31,11 +31,27 @@ Every payload-bearing frame is metered through a
 vocabulary the in-process simulation uses*, so a workload replayed over
 this server reproduces the simulation's Table IV counters exactly
 (frame headers are tallied separately as ``meter.wire_bytes``).
+
+Parallel execution: pairing-heavy work never runs on the event loop.
+Single-record operations (ReEncrypt, record decodes) run on a
+one-thread **offload executor** — one thread, so store mutations stay
+serialized with each other while PING/HEALTH latency stays bounded by
+the interpreter's thread-switch interval instead of by a multi-second
+pairing burst. The v2 ``REENCRYPT_SWEEP`` op re-encrypts every matched
+ciphertext in one request: update information is matched to the store's
+ciphertext-id index by header peek (no group math), records are fanned
+out chunk-by-chunk to a :class:`repro.parallel.pool.CryptoPool`
+(``workers=0`` routes chunks through the offload thread instead — same
+code, same bytes), each finished chunk is applied with the crash-safe
+:meth:`repro.service.store.RecordStore.replace_record_bytes` ordering,
+and a ``SWEEP_PROGRESS`` frame streams back per chunk before the final
+``SWEEP_DONE`` summary.
 """
 
 from __future__ import annotations
 
 import asyncio
+from concurrent.futures import BrokenExecutor, ThreadPoolExecutor
 
 from repro.core.reencrypt import reencrypt as abe_reencrypt
 from repro.core.serialize import (
@@ -43,14 +59,18 @@ from repro.core.serialize import (
     decode_public_attribute_keys,
     decode_update_info,
     decode_update_key,
+    peek_update_info,
 )
 from repro.errors import (
     ProtocolError,
     ReproError,
+    SchemeError,
     StorageError,
     UnavailableError,
 )
 from repro.pairing.group import PairingGroup
+from repro.parallel.batch import ALREADY_CURRENT, UPDATED, reencrypt_records_raw
+from repro.parallel.pool import CryptoPool, chunked
 from repro.service import protocol
 from repro.service.protocol import MessageType
 from repro.service.retry import IdempotencyTable
@@ -85,7 +105,10 @@ class StorageService:
                  meter: Meter = None, idle_timeout: float = 30.0,
                  hello_timeout: float = 10.0,
                  max_frame: int = protocol.MAX_FRAME_BYTES,
-                 read_only: bool = False, dedup_entries: int = 4096):
+                 read_only: bool = False, dedup_entries: int = 4096,
+                 workers: int = 0, sweep_chunk: int = 16):
+        if sweep_chunk <= 0:
+            raise ValueError("sweep_chunk must be positive")
         self.group = group
         self.store = store
         self.name = name
@@ -99,6 +122,12 @@ class StorageService:
         self.max_frame = max_frame
         self.read_only = read_only
         self.dedup = IdempotencyTable(dedup_entries)
+        self.pool = CryptoPool(workers)
+        self.sweep_chunk = sweep_chunk
+        # One thread: store mutations serialize with each other, and
+        # pairing bursts leave the event loop free for PING/HEALTH.
+        self._cpu = ThreadPoolExecutor(max_workers=1,
+                                       thread_name_prefix="repro-crypto")
         self._server = None
         self._sessions = set()
         self._tasks = set()
@@ -132,6 +161,8 @@ class StorageService:
             await asyncio.gather(*self._tasks, return_exceptions=True)
         self._sessions.clear()
         self._tasks.clear()
+        self.pool.shutdown()
+        self._cpu.shutdown(wait=False, cancel_futures=True)
 
     @property
     def connection_count(self) -> int:
@@ -273,7 +304,7 @@ class StorageService:
                 await self._send(session, *cached)
                 return
         try:
-            await handler(self, session, body)
+            reply = await handler(self, session, body)
         except ProtocolError:
             raise  # ends the session; nothing worth caching
         except UnavailableError:
@@ -296,9 +327,20 @@ class StorageService:
                 ) from exc
             raise StorageError(f"storage read failed: {exc}") from exc
         else:
-            # Every mutating handler acknowledges with an empty OK.
+            # A mutating handler may return the (type, body) it answered
+            # with, so a deduplicated retry replays that exact reply
+            # (the sweep caches its SWEEP_DONE summary this way); plain
+            # handlers return None and cache the empty OK.
             if key is not None:
-                self.dedup.put(key, (MessageType.OK, b""))
+                self.dedup.put(
+                    key, reply if reply is not None else (MessageType.OK, b"")
+                )
+
+    async def _offload(self, fn, *args):
+        """Run one blocking crypto/storage job on the offload thread."""
+        return await asyncio.get_running_loop().run_in_executor(
+            self._cpu, fn, *args
+        )
 
     async def _handle_ping(self, session, body):
         await self._send(session, MessageType.PONG, body)
@@ -308,16 +350,19 @@ class StorageService:
                          protocol.encode_json(self.health()))
 
     async def _handle_store_record(self, session, body):
-        record = StoredRecord.from_bytes(self.group, body)
+        # Decoding a multi-row record is pairing-substrate work (one
+        # subgroup check per element): off the loop.
+        record = await self._offload(StoredRecord.from_bytes, self.group,
+                                     body)
         self._meter_in(session, "store-record", record)
-        self.store.put(record)
+        await self._offload(self.store.put, record)
         await self._send(session, MessageType.OK)
 
     async def _handle_fetch_record(self, session, body):
         request = protocol.decode_json(body)
         record_id = protocol.json_str(request, "record")
         self._meter_in(session, "read-request", record_id)
-        record = self.store.get(record_id)
+        record = await self._offload(self.store.get, record_id)
         self._meter_out(session, "record-download", record)
         await self._send(session, MessageType.RECORD, record.to_bytes())
 
@@ -328,7 +373,8 @@ class StorageService:
         # Same metered request string as the simulation's read path.
         self._meter_in(session, "read-request",
                        f"{record_id}/{component_name}")
-        component = self.store.get(record_id).component(component_name)
+        record = await self._offload(self.store.get, record_id)
+        component = record.component(component_name)
         self._meter_out(session, "component-download", component)
         await self._send(session, MessageType.COMPONENT,
                          component.to_bytes())
@@ -343,16 +389,18 @@ class StorageService:
         request = protocol.decode_json(body)
         record_id = protocol.json_str(request, "record")
         self._meter_in(session, "delete-record", record_id)
-        self.store.delete(record_id)
+        await self._offload(self.store.delete, record_id)
         await self._send(session, MessageType.OK)
 
     async def _handle_replace_component(self, session, body):
         header_raw, component_raw = protocol.unpack_parts(body, 2)
         request = protocol.decode_json(header_raw)
         record_id = protocol.json_str(request, "record")
-        component = StoredComponent.from_bytes(self.group, component_raw)
+        component = await self._offload(StoredComponent.from_bytes,
+                                        self.group, component_raw)
         self._meter_in(session, "update-component", component)
-        self.store.replace_component(record_id, component)
+        await self._offload(self.store.replace_component, record_id,
+                            component)
         await self._send(session, MessageType.OK)
 
     async def _handle_put_authority_keys(self, session, body):
@@ -388,10 +436,17 @@ class StorageService:
             ciphertext_id = id_raw.decode("utf-8")
         except UnicodeDecodeError:
             raise ProtocolError("ciphertext id is not valid UTF-8") from None
-        update_key = decode_update_key(self.group, key_raw)
-        update_info = decode_update_info(self.group, info_raw)
+        update_key, update_info = await self._offload(
+            self._reencrypt_one, ciphertext_id, key_raw, info_raw
+        )
         self._meter_in(session, "update-key", update_key)
         self._meter_in(session, "update-info", update_info)
+        await self._send(session, MessageType.OK)
+
+    def _reencrypt_one(self, ciphertext_id, key_raw, info_raw):
+        """The synchronous single-record ReEncrypt (offload thread)."""
+        update_key = decode_update_key(self.group, key_raw)
+        update_info = decode_update_info(self.group, info_raw)
         record_id, component_name = self.store.locate_ciphertext(
             ciphertext_id
         )
@@ -405,7 +460,113 @@ class StorageService:
             abe_ciphertext=updated,
             data_ciphertext=component.data_ciphertext,
         ))
-        await self._send(session, MessageType.OK)
+        return update_key, update_info
+
+    async def _handle_reencrypt_sweep(self, session, body):
+        """Bulk revocation: one UK, many UIs, chunked through the pool.
+
+        Matching is by encoding-header peek against the ciphertext-id
+        index — no group element decodes on the loop. Each chunk's
+        output is applied with the no-decode ``replace_record_bytes``
+        ordering (valid because ReEncrypt preserves every ciphertext id
+        and component name), then a progress frame streams back. The
+        final summary is both sent and returned, so a deduplicated
+        retry replays it verbatim.
+        """
+        parts = protocol.unpack_all_parts(body)
+        if len(parts) < 2:
+            raise ProtocolError(
+                "sweep body needs a header and an update key"
+            )
+        request = protocol.decode_json(parts[0])
+        declared = request.get("n")
+        uk_raw, ui_raws = parts[1], parts[2:]
+        if (isinstance(declared, bool) or not isinstance(declared, int)
+                or declared != len(ui_raws)):
+            raise ProtocolError(
+                "sweep header disagrees with the update-information count"
+            )
+        # Validate the update key once, off the loop; the workers then
+        # decode it trusted (and cache it per process).
+        update_key = await self._offload(decode_update_key, self.group,
+                                         uk_raw)
+        self._meter_in(session, "update-key", update_key)
+        matched = {}   # record id -> [(component name, ui raw)]
+        missing, errors = [], {}
+        for index, ui_raw in enumerate(ui_raws):
+            try:
+                head = peek_update_info(ui_raw)
+            except SchemeError as exc:
+                errors[f"ui[{index}]"] = {"code": "scheme",
+                                          "message": str(exc)}
+                continue
+            try:
+                record_id, component_name = self.store.locate_ciphertext(
+                    head["ct"]
+                )
+            except StorageError:
+                missing.append(head["ct"])
+                continue
+            matched.setdefault(record_id, []).append((component_name,
+                                                      ui_raw))
+            self.meter.record_sized(
+                session.peer_name, session.peer_role, self.name, self.role,
+                "update-info", len(head["attrs"]) * self.group.g1_bytes,
+            )
+        record_ids = sorted(matched)
+        loop = asyncio.get_running_loop()
+        executor = self._cpu if self.pool.inline else self.pool.executor
+        pending = []
+        for chunk_ids in chunked(record_ids, self.sweep_chunk):
+            tasks = [
+                (self.store.get_record_bytes(record_id), matched[record_id])
+                for record_id in chunk_ids
+            ]
+            pending.append((chunk_ids, loop.run_in_executor(
+                executor, reencrypt_records_raw, self.group, uk_raw, tasks
+            )))
+        updated, already_current = [], []
+        done = 0
+        for chunk_ids, future in pending:
+            try:
+                results = await future
+            except BrokenExecutor as exc:
+                raise UnavailableError(
+                    f"crypto pool failed mid-sweep ({exc}); retry later"
+                ) from exc
+            for record_id, (new_blob, item_results) in zip(chunk_ids,
+                                                           results):
+                if new_blob is not None:
+                    self.store.replace_record_bytes(record_id, new_blob)
+                for ciphertext_id, status, code, message in item_results:
+                    if status == UPDATED:
+                        updated.append(ciphertext_id)
+                    elif status == ALREADY_CURRENT:
+                        already_current.append(ciphertext_id)
+                    else:
+                        errors[ciphertext_id] = {"code": code,
+                                                 "message": message}
+            done += len(chunk_ids)
+            await self._send(
+                session, MessageType.SWEEP_PROGRESS, protocol.encode_json({
+                    "done": done,
+                    "total": len(record_ids),
+                    "updated": len(updated),
+                    "already_current": len(already_current),
+                    "errors": len(errors),
+                    "missing": len(missing),
+                })
+            )
+        summary = protocol.encode_json({
+            "requested": declared,
+            "records": len(record_ids),
+            "updated": sorted(updated),
+            "already_current": sorted(already_current),
+            "missing": sorted(missing),
+            "errors": errors,
+        })
+        await self._send(session, MessageType.SWEEP_DONE, summary)
+        return MessageType.SWEEP_DONE, summary
 
     async def _handle_stats(self, session, body):
         await self._send(session, MessageType.STATS_REPLY,
@@ -419,6 +580,7 @@ class StorageService:
             "read_only": self.read_only,
             "records": len(self.store),
             "connections": self.connection_count,
+            "workers": self.pool.workers,
         }
 
     def stats(self) -> dict:
@@ -431,6 +593,7 @@ class StorageService:
             "storage_bytes": self.store.storage_bytes(),
             "connections": self.connection_count,
             "read_only": self.read_only,
+            "workers": self.pool.workers,
             "dedup_entries": len(self.dedup),
             "dedup_hits": self.dedup.hits,
             "wire_bytes": self.meter.wire_bytes,
@@ -450,5 +613,6 @@ class StorageService:
         MessageType.PUT_AUTHORITY_KEYS: _handle_put_authority_keys,
         MessageType.GET_AUTHORITY_KEYS: _handle_get_authority_keys,
         MessageType.REENCRYPT: _handle_reencrypt,
+        MessageType.REENCRYPT_SWEEP: _handle_reencrypt_sweep,
         MessageType.STATS: _handle_stats,
     }

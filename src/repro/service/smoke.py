@@ -16,6 +16,12 @@ recovery is visible.
 
 Used by ``repro client smoke`` (plus the CI ``chaos`` job) and returns
 a process exit code (0 = every step behaved).
+
+:func:`run_sweep_cycle` is the bulk-revocation counterpart used by
+``repro client sweep``: it populates many records, revokes once, pushes
+the whole revocation through a single ``REENCRYPT_SWEEP`` request
+(streamed progress included) and verifies every ciphertext version
+bumped — optionally through the same chaos proxy.
 """
 
 from __future__ import annotations
@@ -198,4 +204,150 @@ async def run_smoke(params, host: str, port: int, *, out=None, seed=None,
         if proxy is not None:
             await proxy.stop()
     print("smoke cycle passed", file=out, flush=True)
+    return 0
+
+
+async def run_sweep_cycle(params, host: str, port: int, *,
+                          records: int = 12, out=None, seed=None,
+                          chaos: FaultSpec = None, chaos_seed: int = 0,
+                          chaos_schedule: dict = None,
+                          retry: RetryPolicy = None, timeout: float = 30.0,
+                          report: dict = None) -> int:
+    """Populate → revoke → one bulk sweep → verify every version bumped."""
+    out = out or sys.stdout
+    group = PairingGroup(params, seed=seed)
+
+    def step(label: str) -> None:
+        print(f"ok: {label}", file=out, flush=True)
+
+    proxy = None
+    if chaos is not None:
+        proxy = ChaosProxy(host, port, spec=chaos, seed=chaos_seed,
+                           schedule=chaos_schedule)
+        await proxy.start()
+        host, port = proxy.host, proxy.port
+        if retry is None:
+            retry = RetryPolicy(max_attempts=8,
+                                rng=random.Random(chaos_seed))
+        step(f"chaos proxy on {host}:{port} (seed {chaos_seed})")
+
+    ca = CertificateAuthority(group)
+    aa = AttributeAuthority(group, "hospital", ["doctor", "nurse"])
+    ca.register_authority("hospital")
+    owner_core = DataOwner(group, "alice")
+    ca.register_owner("alice")
+    aa.register_owner(owner_core.secret_key)
+    bob_pk = ca.register_user("bob")
+    carol_pk = ca.register_user("carol")
+
+    async def connection(role, name):
+        conn = ServiceConnection(group, host, port, role=role, name=name,
+                                 timeout=timeout, retry=retry)
+        return await conn.connect()
+
+    clients = []
+    progress_frames = []
+    try:
+        aa_client = AuthorityClient(
+            await connection("aa", "AA:hospital"), aa
+        )
+        clients.append(aa_client)
+        owner_client = OwnerClient(
+            await connection("owner", "owner:alice"), owner_core
+        )
+        clients.append(owner_client)
+        bob = UserClient(await connection("user", "user:bob"), "bob")
+        clients.append(bob)
+        carol = UserClient(await connection("user", "user:carol"), "carol")
+        clients.append(carol)
+
+        await aa_client.publish_keys()
+        await owner_client.learn_authorities("hospital")
+        bob.receive_public_key(bob_pk)
+        carol.receive_public_key(carol_pk)
+        bob.receive_secret_key(aa.keygen(bob_pk, ["doctor"], "alice"))
+        carol.receive_secret_key(
+            aa.keygen(carol_pk, ["doctor", "nurse"], "alice")
+        )
+        step("trust fabric up (1 AA, 1 owner, 2 users)")
+
+        policies = ("hospital:doctor", "hospital:doctor OR hospital:nurse")
+        for index in range(records):
+            await owner_client.upload(f"rec-{index:04d}", {
+                "note": (f"note {index}".encode("utf-8"),
+                         policies[index % len(policies)]),
+            })
+        step(f"owner uploaded {records} records")
+
+        result = rekey_standard(aa, "bob", ["doctor"])
+        update_key = result.update_key
+        for new_key in result.revoked_user_keys.values():
+            bob.receive_secret_key(new_key)
+        if "alice" not in result.revoked_user_keys:
+            bob.drop_keys("hospital", "alice")
+        carol.apply_update_key(update_key)
+
+        def on_progress(frame: dict) -> None:
+            progress_frames.append(frame)
+            print(f"  sweep progress: {frame['done']}/{frame['total']} "
+                  f"records ({frame['updated']} updated)",
+                  file=out, flush=True)
+
+        summary = await owner_client.sweep_revocation(
+            update_key, on_progress=on_progress
+        )
+        swept = set(summary.get("updated", ())) | set(
+            summary.get("already_current", ())
+        )
+        if len(swept) != records or summary.get("errors"):
+            raise SmokeFailure(
+                f"sweep covered {len(swept)}/{records} ciphertexts "
+                f"(errors: {summary.get('errors')})"
+            )
+        step(f"one sweep re-encrypted {len(summary['updated'])} ciphertexts "
+             f"across {summary['records']} records "
+             f"({len(progress_frames)} progress frames)")
+
+        for index in (0, records // 2, records - 1):
+            component = await owner_client._fetch_component(
+                f"rec-{index:04d}", "note"
+            )
+            if component.abe_ciphertext.version_of("hospital") != \
+                    update_key.to_version:
+                raise SmokeFailure(
+                    f"rec-{index:04d} was not rolled to version "
+                    f"{update_key.to_version}"
+                )
+        step("sampled records verified at the new version")
+
+        try:
+            await bob.read("rec-0000", "note")
+            raise SmokeFailure("revoked user still decrypts after the sweep")
+        except ReproError as exc:
+            if isinstance(exc, SmokeFailure):
+                raise
+        if await carol.read("rec-0001", "note") != b"note 1":
+            raise SmokeFailure("surviving user lost access after the sweep")
+        step("revoked read fails; surviving read is bit-identical")
+
+        if proxy is not None:
+            step(f"chaos survived: {len(proxy.injected)} injected faults "
+                 f"{proxy.fault_counts()}")
+        if report is not None:
+            report["summary"] = summary
+            report["progress_frames"] = list(progress_frames)
+            if proxy is not None:
+                report["injected"] = list(proxy.injected)
+    except SmokeFailure as exc:
+        print(f"FAIL: {exc}", file=out, flush=True)
+        return 1
+    except (ReproError, OSError) as exc:
+        print(f"FAIL: sweep cycle died with {exc!r}", file=out, flush=True)
+        return 1
+    finally:
+        for client in clients:
+            await client.close()
+        if proxy is not None:
+            await proxy.stop()
+    print("sweep cycle passed", file=out, flush=True)
     return 0

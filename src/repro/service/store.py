@@ -89,14 +89,19 @@ class BlobStore:
         digest = hashlib.sha256(blob).hexdigest()
         path = self._path(digest)
         if not path.exists():
-            path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp_name = tempfile.mkstemp(dir=self.tmp_dir)
             try:
                 with os.fdopen(fd, "wb") as handle:
                     handle.write(blob)
                     handle.flush()
                     os.fsync(handle.fileno())
-                os.replace(tmp_name, path)
+                try:
+                    os.replace(tmp_name, path)
+                except FileNotFoundError:
+                    # First blob in this shard: create the directory
+                    # lazily instead of stat-ing it on every put.
+                    path.parent.mkdir(parents=True, exist_ok=True)
+                    os.replace(tmp_name, path)
             except BaseException:
                 if os.path.exists(tmp_name):
                     os.unlink(tmp_name)
@@ -166,11 +171,12 @@ class RecordStore:
         self.refs_dir.mkdir(parents=True, exist_ok=True)
         self.keys_dir.mkdir(parents=True, exist_ok=True)
         self._refs = {}              # record id -> digest
+        self._refcounts = {}         # digest -> number of refs pointing at it
         self._ciphertext_index = {}  # ciphertext id -> (record id, name)
         for ref_path in self.refs_dir.iterdir():
             record_id = unquote(ref_path.name)
             digest = ref_path.read_text("ascii").strip()
-            self._refs[record_id] = digest
+            self._set_ref(record_id, digest)
             self._index_record(self._decode(digest))
 
     def _ref_path(self, record_id: str) -> Path:
@@ -191,9 +197,27 @@ class RecordStore:
                 component.abe_ciphertext.ciphertext_id, None
             )
 
+    def _set_ref(self, record_id: str, digest: str) -> None:
+        """Point a record id at a digest, keeping the refcounts exact."""
+        old = self._refs.get(record_id)
+        if old is not None:
+            self._refcounts[old] -= 1
+            if not self._refcounts[old]:
+                del self._refcounts[old]
+        self._refs[record_id] = digest
+        self._refcounts[digest] = self._refcounts.get(digest, 0) + 1
+
+    def _drop_ref(self, record_id: str) -> None:
+        digest = self._refs.pop(record_id)
+        self._refcounts[digest] -= 1
+        if not self._refcounts[digest]:
+            del self._refcounts[digest]
+
     def _collect(self, digest: str) -> None:
-        """Drop a blob no ref points at any more."""
-        if digest not in self._refs.values():
+        """Drop a blob no ref points at any more (O(1) via refcounts —
+        a bulk sweep replaces every record, so a scan of ``_refs`` here
+        would make revocation quadratic in the store size)."""
+        if digest not in self._refcounts:
             self.blobs.delete(digest)
 
     # -- records ----------------------------------------------------------
@@ -217,7 +241,7 @@ class RecordStore:
         digest = self.blobs.put(record.to_bytes())
         _atomic_write(self.blobs.tmp_dir, self._ref_path(record.record_id),
                       digest.encode("ascii"))
-        self._refs[record.record_id] = digest
+        self._set_ref(record.record_id, digest)
         if old_record is not None:
             self._unindex_record(old_record)
         self._index_record(record)
@@ -231,12 +255,47 @@ class RecordStore:
             raise StorageError(f"no record {record_id!r}")
         return self._decode(digest)
 
+    def get_record_bytes(self, record_id: str) -> bytes:
+        """The digest-verified raw blob of a record, no element decode.
+
+        The bulk sweep reads records this way and decodes them trusted
+        inside a worker — the digest check here is what justifies
+        skipping the per-element subgroup checks there.
+        """
+        digest = self._refs.get(record_id)
+        if digest is None:
+            raise StorageError(f"no record {record_id!r}")
+        return self.blobs.get(digest)
+
+    def replace_record_bytes(self, record_id: str, blob: bytes) -> str:
+        """Repoint an existing record at pre-encoded bytes; returns the
+        new digest.
+
+        Same crash-safe ordering as :meth:`put` with ``replace=True``
+        (blob first, atomic ref repoint, then collect the old blob), but
+        with *no* decode of either record. Only valid when the
+        replacement preserves the record's ciphertext-id → component
+        mapping, so the index needs no maintenance — ReEncrypt does:
+        ids, component names and symmetric bodies are invariant under
+        it. Callers that change the mapping must use :meth:`put`.
+        """
+        old_digest = self._refs.get(record_id)
+        if old_digest is None:
+            raise StorageError(f"no record {record_id!r}")
+        digest = self.blobs.put(blob)
+        _atomic_write(self.blobs.tmp_dir, self._ref_path(record_id),
+                      digest.encode("ascii"))
+        self._set_ref(record_id, digest)
+        if old_digest != digest:
+            self._collect(old_digest)
+        return digest
+
     def delete(self, record_id: str) -> None:
         digest = self._refs.get(record_id)
         if digest is None:
             raise StorageError(f"no record {record_id!r}")
         self._unindex_record(self._decode(digest))
-        del self._refs[record_id]
+        self._drop_ref(record_id)
         self._ref_path(record_id).unlink(missing_ok=True)
         self._collect(digest)
 

@@ -17,6 +17,7 @@ service tracks raw frame bytes separately as ``wire_bytes``).
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 from dataclasses import dataclass
 
@@ -61,13 +62,22 @@ def role_pair(role_a: str, role_b: str) -> tuple:
 
 
 class Meter:
-    """Append-only transfer log plus per-role-pair aggregates."""
+    """Append-only transfer log plus per-role-pair aggregates.
+
+    Thread-safe: the service records transfers from the event loop, its
+    offload thread, and benchmark harnesses concurrently, so every
+    counter update (and every snapshot read) happens under one lock —
+    ``log.append`` alone is atomic in CPython, but the log/channel/
+    wire-byte triple must move together or aggregates drift from the
+    log under contention.
+    """
 
     def __init__(self, group: PairingGroup):
         self.group = group
         self.log = []
         self.channels = defaultdict(ChannelStats)
         self.wire_bytes = 0  # raw frame bytes (service deployments only)
+        self._lock = threading.Lock()
 
     def record(self, sender: str, sender_role: str, recipient: str,
                recipient_role: str, kind: str, payload) -> int:
@@ -75,49 +85,69 @@ class Meter:
 
         Returns the measured size so callers can reuse it.
         """
-        size = measure(payload, self.group)
-        self.log.append(MessageLogEntry(
+        return self.record_sized(sender, sender_role, recipient,
+                                 recipient_role, kind,
+                                 measure(payload, self.group))
+
+    def record_sized(self, sender: str, sender_role: str, recipient: str,
+                     recipient_role: str, kind: str, size: int) -> int:
+        """Fold an already-measured transfer into the counters.
+
+        For callers that know a payload's Table II size without holding
+        the decoded object (the sweep meters update information from
+        encoding headers; its elements only ever decode inside workers).
+        """
+        entry = MessageLogEntry(
             sender=sender,
             sender_role=sender_role,
             recipient=recipient,
             recipient_role=recipient_role,
             kind=kind,
             size_bytes=size,
-        ))
-        self.channels[role_pair(sender_role, recipient_role)].add(size)
+        )
+        with self._lock:
+            self.log.append(entry)
+            self.channels[role_pair(sender_role, recipient_role)].add(size)
         return size
 
     def record_wire(self, n_bytes: int) -> None:
         """Count raw transport bytes (frame headers included)."""
-        self.wire_bytes += n_bytes
+        with self._lock:
+            self.wire_bytes += n_bytes
 
     # -- reporting -------------------------------------------------------------
 
     def bytes_between(self, role_a: str, role_b: str) -> int:
-        return self.channels[role_pair(role_a, role_b)].bytes
+        with self._lock:
+            return self.channels[role_pair(role_a, role_b)].bytes
 
     def messages_between(self, role_a: str, role_b: str) -> int:
-        return self.channels[role_pair(role_a, role_b)].messages
+        with self._lock:
+            return self.channels[role_pair(role_a, role_b)].messages
 
     def bytes_by_kind(self) -> dict:
         totals = defaultdict(int)
-        for entry in self.log:
-            totals[entry.kind] += entry.size_bytes
+        with self._lock:
+            for entry in self.log:
+                totals[entry.kind] += entry.size_bytes
         return dict(totals)
 
     def total_bytes(self) -> int:
-        return sum(entry.size_bytes for entry in self.log)
+        with self._lock:
+            return sum(entry.size_bytes for entry in self.log)
 
     def channel_summary(self) -> dict:
         """JSON-friendly dump: ``"a<->b" -> {"messages": n, "bytes": n}``."""
-        return {
-            "<->".join(pair): {"messages": stats.messages,
-                               "bytes": stats.bytes}
-            for pair, stats in sorted(self.channels.items())
-        }
+        with self._lock:
+            return {
+                "<->".join(pair): {"messages": stats.messages,
+                                   "bytes": stats.bytes}
+                for pair, stats in sorted(self.channels.items())
+            }
 
     def reset(self) -> None:
         """Clear counters (e.g. after setup, before the measured phase)."""
-        self.log.clear()
-        self.channels.clear()
-        self.wire_bytes = 0
+        with self._lock:
+            self.log.clear()
+            self.channels.clear()
+            self.wire_bytes = 0

@@ -47,7 +47,8 @@ class StoredComponent:
         )
 
     @classmethod
-    def from_bytes(cls, group: PairingGroup, blob: bytes) -> "StoredComponent":
+    def from_bytes(cls, group: PairingGroup, blob: bytes, *,
+                   validate: bool = True) -> "StoredComponent":
         parts = []
         offset = 0
         for _ in range(3):
@@ -64,7 +65,8 @@ class StoredComponent:
         name, abe, data = parts
         return cls(
             name=name.decode("utf-8"),
-            abe_ciphertext=Ciphertext.from_bytes(group, abe),
+            abe_ciphertext=Ciphertext.from_bytes(group, abe,
+                                                 validate=validate),
             data_ciphertext=SymmetricCiphertext.from_bytes(data),
         )
 
@@ -123,7 +125,11 @@ class StoredRecord:
         return blob
 
     @classmethod
-    def from_bytes(cls, group: PairingGroup, blob: bytes) -> "StoredRecord":
+    def from_bytes(cls, group: PairingGroup, blob: bytes, *,
+                   validate: bool = True) -> "StoredRecord":
+        """Decode a record; ``validate=False`` (trusted, store-internal
+        bytes only) skips the per-element subgroup checks, which dominate
+        decode time for multi-row policies."""
         def take(offset):
             if offset + 4 > len(blob):
                 raise StorageError("truncated stored record")
@@ -142,7 +148,8 @@ class StoredRecord:
         components = {}
         for _ in range(count):
             encoded, offset = take(offset)
-            component = StoredComponent.from_bytes(group, encoded)
+            component = StoredComponent.from_bytes(group, encoded,
+                                                   validate=validate)
             components[component.name] = component
         if offset != len(blob):
             raise StorageError("trailing bytes after stored record")

@@ -1,0 +1,66 @@
+"""Batch substrate primitives must be bit-identical to their scalar
+counterparts — that identity is what lets the parallel ReEncrypt engine
+claim byte-for-byte equality with the paper's sequential path."""
+
+import pytest
+
+from repro.ec.curve import INFINITY
+from repro.errors import MathError
+from repro.pairing.miller import (
+    final_exponentiation,
+    final_exponentiation_many,
+)
+
+
+def test_pair_many_matches_pair(group):
+    fixed = group.random_g1()
+    prepared = group.prepare_pairing(fixed)
+    others = [group.random_g1() for _ in range(5)]
+    batched = prepared.pair_many([q.point for q in others])
+    for q, value in zip(others, batched):
+        assert value == group.pair(fixed, q).value
+
+
+def test_pair_many_handles_empty_and_identity(group):
+    prepared = group.prepare_pairing(group.random_g1())
+    assert prepared.pair_many([]) == []
+    [value] = prepared.pair_many([INFINITY])
+    assert value == group.identity_gt().value
+
+
+def test_final_exponentiation_many_matches_scalar(group):
+    ext = group.ext
+    values = [group.random_g1() for _ in range(4)]
+    raws = [group.prepare_pairing(v).miller(group.g.point) for v in values]
+    batched = final_exponentiation_many(ext, raws, group.order)
+    assert batched == [
+        final_exponentiation(ext, raw, group.order) for raw in raws
+    ]
+    assert final_exponentiation_many(ext, [], group.order) == []
+
+
+def test_decode_g1_batch_matches_per_point(group):
+    elements = [group.random_g1() for _ in range(6)]
+    blobs = [group.encode_g1(e) for e in elements]
+    decoded = group.decode_g1_batch(blobs)
+    assert [group.encode_g1(d) for d in decoded] == blobs
+
+
+def _out_of_subgroup_blob(group) -> bytes:
+    """Encode a curve point that is NOT in the order-r subgroup (the
+    curve has h·r points, so small-x lifts usually land outside)."""
+    for x in range(2, 500):
+        point = group.curve.lift_x(x)
+        if point is None:
+            continue
+        if group.curve.mul(point, group.order) is INFINITY:
+            continue
+        return bytes([2 + (point[1] & 1)]) + group.field.to_bytes(x)
+    pytest.fail("no out-of-subgroup x found in range")  # pragma: no cover
+
+
+def test_decode_g1_batch_names_the_bad_element(group):
+    blobs = [group.encode_g1(group.random_g1()) for _ in range(3)]
+    blobs.insert(1, _out_of_subgroup_blob(group))
+    with pytest.raises(MathError, match="batch element 1"):
+        group.decode_g1_batch(blobs)

@@ -1,0 +1,59 @@
+"""Fixtures for the parallel batch-engine tests.
+
+One module-scoped revocation scenario: a single-authority deployment,
+six live ciphertexts under two policies, one standard rekey and the
+matching per-ciphertext update information — enough to exercise the
+batch engine's already-current / updated / error triage without paying
+for a fresh deployment per test.
+"""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.revocation import rekey_standard
+from repro.core.scheme import MultiAuthorityABE
+from repro.ec.params import TOY80
+
+N_CIPHERTEXTS = 6
+
+
+@dataclass
+class BatchScenario:
+    scheme: object
+    hospital: object
+    owner: object
+    messages: list
+    ciphertexts: list
+    update_key: object
+    update_infos: list
+
+    @property
+    def group(self):
+        return self.scheme.group
+
+
+@pytest.fixture(scope="module")
+def batch():
+    scheme = MultiAuthorityABE(TOY80, seed=0xBA7C)
+    hospital = scheme.setup_authority("hospital", ["doctor", "nurse"])
+    owner = scheme.setup_owner("alice", [hospital])
+    victim_pk = scheme.register_user("victim")
+    hospital.keygen(victim_pk, ["doctor"], "alice")
+
+    policies = ("hospital:doctor", "hospital:doctor OR hospital:nurse")
+    messages = [scheme.random_message() for _ in range(N_CIPHERTEXTS)]
+    ciphertexts = [
+        owner.encrypt(message, policies[index % len(policies)],
+                      ciphertext_id=f"ct-{index:02d}")
+        for index, message in enumerate(messages)
+    ]
+
+    result = rekey_standard(hospital, "victim", ["doctor"])
+    update_key = result.update_key
+    update_infos = [owner.update_info(ct, update_key) for ct in ciphertexts]
+    return BatchScenario(
+        scheme=scheme, hospital=hospital, owner=owner, messages=messages,
+        ciphertexts=ciphertexts, update_key=update_key,
+        update_infos=update_infos,
+    )

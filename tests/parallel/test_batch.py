@@ -1,0 +1,123 @@
+"""Batch ReEncrypt: bit-identity with the sequential path, per-item
+typed errors, and already-current triage — inline and pooled."""
+
+import pytest
+
+from repro.core.reencrypt import reencrypt
+from repro.errors import RevocationError, SchemeError
+from repro.parallel.batch import (
+    ALREADY_CURRENT,
+    ERROR,
+    UPDATED,
+    batch_outcomes,
+    reencrypt_batch,
+)
+from repro.parallel.pool import CryptoPool
+
+
+def _sequential_expected(batch):
+    """The reference: the paper's one-at-a-time ReEncrypt."""
+    return [
+        reencrypt(batch.group, ct, batch.update_key, ui).to_bytes()
+        for ct, ui in zip(batch.ciphertexts, batch.update_infos)
+    ]
+
+
+@pytest.mark.parametrize("workers", [0, 1, 4])
+@pytest.mark.parametrize("chunk_size", [1, 2, 5])
+def test_bit_identical_across_pool_and_chunk_sizes(batch, workers,
+                                                   chunk_size):
+    expected = _sequential_expected(batch)
+    with CryptoPool(workers) as pool:
+        outcomes = reencrypt_batch(
+            batch.group, batch.ciphertexts, batch.update_key,
+            batch.update_infos, pool=pool, chunk_size=chunk_size,
+        )
+    assert [o.status for o in outcomes] == [UPDATED] * len(expected)
+    assert [o.ciphertext.to_bytes() for o in outcomes] == expected
+    assert [o.ciphertext_id for o in outcomes] \
+        == [ct.ciphertext_id for ct in batch.ciphertexts]
+
+
+def test_amortized_pairing_still_bumps_versions(batch):
+    outcomes = batch_outcomes(batch.group, batch.ciphertexts,
+                              batch.update_key, batch.update_infos)
+    to_version = batch.update_key.to_version
+    for outcome in outcomes:
+        assert outcome.ciphertext.version_of("hospital") == to_version
+
+
+@pytest.mark.parametrize("workers", [0, 1])
+def test_wrong_target_rejected_per_item_rest_unaffected(batch, workers):
+    """One mismatched update-info poisons only its own slot."""
+    expected = _sequential_expected(batch)
+    bad_infos = list(batch.update_infos)
+    bad_infos[2] = batch.update_infos[3]  # UI for a different ciphertext
+    with CryptoPool(workers) as pool:
+        outcomes = reencrypt_batch(
+            batch.group, batch.ciphertexts, batch.update_key, bad_infos,
+            pool=pool, chunk_size=2,
+        )
+    assert outcomes[2].status == ERROR
+    assert outcomes[2].ciphertext is None
+    assert isinstance(outcomes[2].error, RevocationError)
+    assert outcomes[2].error_codename == "revocation"
+    for index in (0, 1, 3, 4, 5):
+        assert outcomes[index].status == UPDATED
+        assert outcomes[index].ciphertext.to_bytes() == expected[index]
+
+
+@pytest.mark.parametrize("workers", [0, 1])
+def test_version_mismatch_rejected_per_item(batch, workers):
+    """An already-rolled ciphertext fails the next epoch's check when its
+    update information still targets the old epoch."""
+    rolled = reencrypt(batch.group, batch.ciphertexts[1], batch.update_key,
+                       batch.update_infos[1])
+    cts = list(batch.ciphertexts)
+    cts[1] = rolled  # at to_version, but ui[1] says from_version
+    bad_infos = list(batch.update_infos)
+    bad_infos[1] = batch.update_infos[1]
+
+    # With its own (matching) UI the rolled ciphertext is already-current,
+    # not an error: the sweep can be replayed harmlessly.
+    with CryptoPool(workers) as pool:
+        outcomes = reencrypt_batch(batch.group, cts, batch.update_key,
+                                   bad_infos, pool=pool, chunk_size=2)
+    assert outcomes[1].status == ALREADY_CURRENT
+    assert outcomes[1].ciphertext is None
+    assert all(o.status == UPDATED for i, o in enumerate(outcomes)
+               if i != 1)
+
+    # But a UI for a *different* version pair is a typed per-item error.
+    doubled = reencrypt(batch.group, rolled, *_next_epoch(batch, rolled))
+    cts[1] = doubled  # two versions ahead of ui[1]
+    with CryptoPool(workers) as pool:
+        outcomes = reencrypt_batch(batch.group, cts, batch.update_key,
+                                   bad_infos, pool=pool, chunk_size=2)
+    assert outcomes[1].status == ERROR
+    assert outcomes[1].error_codename == "revocation"
+    assert all(o.status == UPDATED for i, o in enumerate(outcomes)
+               if i != 1)
+
+
+def _next_epoch(batch, ciphertext):
+    """A second rekey (version 1 -> 2) plus matching update info."""
+    from repro.core.revocation import rekey_standard
+
+    if not hasattr(batch, "_epoch2"):
+        batch.owner.apply_update_key(batch.update_key)
+        batch.owner.note_reencrypted(ciphertext.ciphertext_id,
+                                     batch.update_key)
+        victim2 = batch.scheme.register_user("victim2")
+        batch.hospital.keygen(victim2, ["doctor"], "alice")
+        batch._epoch2 = rekey_standard(
+            batch.hospital, "victim2", ["doctor"]
+        ).update_key
+    update_key = batch._epoch2
+    return update_key, batch.owner.update_info(ciphertext, update_key)
+
+
+def test_length_mismatch_is_a_scheme_error(batch):
+    with pytest.raises(SchemeError):
+        reencrypt_batch(batch.group, batch.ciphertexts, batch.update_key,
+                        batch.update_infos[:-1])

@@ -1,0 +1,42 @@
+"""Pickling a PairingGroup ships parameters, not precomputation.
+
+The process pool sends the group with every job, so the pickle must be
+a few ints (curve parameters) — never the megabytes of fixed-base
+tables or Miller-line caches, which each worker rebuilds lazily.
+"""
+
+import pickle
+
+from repro.ec.params import TOY80
+from repro.pairing.group import PairingGroup
+
+
+def test_pickle_is_parameter_sized(group):
+    group.gt  # warm the generator pairing so caches exist to (not) ship
+    blob = pickle.dumps(group)
+    assert len(blob) < 1024, f"group pickle grew to {len(blob)} bytes"
+
+
+def test_round_trip_is_usable(group):
+    rebuilt = pickle.loads(pickle.dumps(group))
+    assert rebuilt.params.r == group.params.r
+    assert rebuilt.params.p == group.params.p
+    x, y = group.random_g1(), group.random_g1()
+    assert rebuilt.pair(x, y).value == group.pair(x, y).value
+    # Elements encoded by one instance decode under the other.
+    encoded = group.encode_g1(x)
+    assert rebuilt.encode_g1(rebuilt.decode_g1(encoded)) == encoded
+
+
+def test_rebuilds_share_one_registry_instance(group):
+    blob = pickle.dumps(group)
+    assert pickle.loads(blob) is pickle.loads(blob)
+
+
+def test_registry_keys_on_parameters_not_instances(group):
+    other = PairingGroup(TOY80, seed=9)
+    # Same curve parameters -> same registry slot, whichever instance
+    # (or seed) produced the pickle.
+    assert pickle.loads(pickle.dumps(other)) is pickle.loads(
+        pickle.dumps(group)
+    )

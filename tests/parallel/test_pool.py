@@ -1,0 +1,49 @@
+"""CryptoPool: inline fast path, process fan-out, ordering, lifecycle."""
+
+import pytest
+
+from repro.parallel.pool import CryptoPool, chunked
+
+
+def _affine(x, a, b):
+    """Module-level so the process pool can pickle it."""
+    return a * x + b
+
+
+def test_chunked_partitions_in_order():
+    assert chunked([1, 2, 3, 4, 5], 2) == [[1, 2], [3, 4], [5]]
+    assert chunked([], 3) == []
+    assert chunked([1, 2], 10) == [[1, 2]]
+
+
+def test_chunked_rejects_nonpositive_size():
+    with pytest.raises(ValueError):
+        chunked([1], 0)
+
+
+def test_inline_pool_runs_in_caller():
+    pool = CryptoPool(0)
+    assert pool.inline
+    assert pool.map_jobs(_affine, [(x, 2, 1) for x in range(5)]) \
+        == [2 * x + 1 for x in range(5)]
+    with pytest.raises(ValueError):
+        pool.executor
+
+
+def test_negative_workers_rejected():
+    with pytest.raises(ValueError):
+        CryptoPool(-1)
+
+
+def test_pooled_results_keep_submission_order():
+    with CryptoPool(2) as pool:
+        assert not pool.inline
+        jobs = [(x, 3, -1) for x in range(20)]
+        assert pool.map_jobs(_affine, jobs) == [3 * x - 1 for x in range(20)]
+
+
+def test_shutdown_is_idempotent():
+    pool = CryptoPool(1)
+    pool.map_jobs(_affine, [(1, 1, 0)])
+    pool.shutdown()
+    pool.shutdown()

@@ -1,0 +1,61 @@
+"""Meter under contention: the service records transfers from the event
+loop, its offload thread, and pool callbacks at once — counters must
+stay exact, not merely close."""
+
+import threading
+
+from repro.system.meter import Meter, role_pair
+
+
+THREADS = 8
+PER_THREAD = 400
+
+
+def test_concurrent_records_keep_exact_totals(group):
+    meter = Meter(group)
+    barrier = threading.Barrier(THREADS)
+
+    def hammer(index):
+        barrier.wait()
+        for step in range(PER_THREAD):
+            meter.record_sized(f"sender-{index}", "owner",
+                               "cloud", "server", "blob", 3)
+            meter.record_wire(7)
+
+    workers = [threading.Thread(target=hammer, args=(i,))
+               for i in range(THREADS)]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+
+    total = THREADS * PER_THREAD
+    assert len(meter.log) == total
+    assert meter.total_bytes() == 3 * total
+    assert meter.bytes_between("owner", "server") == 3 * total
+    assert meter.messages_between("owner", "server") == total
+    assert meter.wire_bytes == 7 * total
+    # The log and the channel aggregates moved together.
+    channel = meter.channels[role_pair("owner", "server")]
+    assert (channel.messages, channel.bytes) == (total, 3 * total)
+
+
+def test_concurrent_reads_during_writes_never_crash(group):
+    meter = Meter(group)
+    stop = threading.Event()
+
+    def reader():
+        while not stop.is_set():
+            meter.total_bytes()
+            meter.channel_summary()
+            meter.bytes_by_kind()
+
+    observer = threading.Thread(target=reader)
+    observer.start()
+    try:
+        for step in range(2000):
+            meter.record_sized("a", "aa", "u", "user", "key", 1)
+    finally:
+        stop.set()
+        observer.join()
+    assert meter.total_bytes() == 2000
