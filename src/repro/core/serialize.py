@@ -322,13 +322,14 @@ def peek_update_info(data: bytes) -> dict:
 
 
 def decode_update_infos(group: PairingGroup, blobs) -> list:
-    """Decode many UI encodings with one shared subgroup check.
+    """Decode many UI encodings in one pass.
 
-    All element encodings across the batch are validated together via
-    :meth:`repro.pairing.group.PairingGroup.decode_g1_batch` — one
-    random-linear-combination check instead of one scalar multiplication
-    per element. Malformed encodings raise :class:`SchemeError` exactly
-    as :func:`decode_update_info` would.
+    All element encodings across the batch go through
+    :meth:`repro.pairing.group.PairingGroup.decode_g1_batch`, which
+    subgroup-checks every point individually (a combined
+    random-linear-combination check is unsound against the curve's
+    small-order residuals — see that method). Malformed encodings raise
+    :class:`SchemeError` exactly as :func:`decode_update_info` would.
     """
     parsed = []
     element_blobs = []

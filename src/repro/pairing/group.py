@@ -562,45 +562,32 @@ class PairingGroup:
         return G1Element(self, point)
 
     def decode_g1_batch(self, blobs) -> list:
-        """Decode many G encodings with one shared subgroup check.
+        """Decode many G encodings, subgroup-checking every point.
 
-        Each blob is lifted onto the curve individually (malformed
-        encodings raise exactly as :meth:`decode_g1` would), then the
-        order-r membership of the whole batch is established with a
-        single random-linear-combination check: ``r · Σ δᵢ·Pᵢ = O`` with
-        fresh 64-bit odd ``δᵢ``, evaluated as one Straus/Pippenger
-        multi-scalar multiplication plus one length-r multiplication —
-        ~4x cheaper per point than the per-point check. Valid batches
-        always pass (``r·Pᵢ = O`` makes every combination vanish); a bad
-        batch escapes detection with probability ≲ 2⁻⁶³, and a failed
-        combination falls back to per-point checks so the error names
-        the offending element.
+        Each blob is lifted onto the curve exactly as :meth:`decode_g1`
+        would (malformed encodings raise identically), then order-r
+        membership is established **per point**, with failures naming
+        the offending index. A shared random-linear-combination check
+        (``r · Σ δᵢ·Pᵢ = O``) was deliberately rejected: the cofactor
+        ``h = (p+1)/r`` is divisible by 4 (``generate_type_a`` forces
+        it), so the residual group contains order-2 elements — two bad
+        points carrying the same order-2 component cancel under any
+        same-parity coefficients, and even uniform coefficients pass a
+        nonzero residual with probability 1/q for every small prime
+        ``q | h``. With unknown small factors in ``h``, no single
+        combined check is sound, so untrusted points are checked one
+        by one.
         """
-        blobs = list(blobs)
         decoded = [
             self.decode_g1(blob, check_subgroup=False) for blob in blobs
         ]
-        pairs = [
-            (element.point, self.rng.getrandbits(64) | 1)
-            for element in decoded
-            if element.point is not INFINITY
-        ]
-        if pairs:
-            combined = self.curve.to_affine(
-                self.curve.multi_mul_jacobian(pairs)
-            )
-            if self.curve.mul(combined, self.order) is not INFINITY:
-                for index, element in enumerate(decoded):
-                    if element.point is not INFINITY and self.curve.mul(
-                        element.point, self.order
-                    ) is not INFINITY:
-                        raise MathError(
-                            f"batch element {index} is not in the order-r "
-                            f"subgroup"
-                        )
+        for index, element in enumerate(decoded):
+            if element.point is not INFINITY and self.curve.mul(
+                element.point, self.order
+            ) is not INFINITY:
                 raise MathError(
-                    "batch subgroup check failed"
-                )  # pragma: no cover - RLC false positive (~2^-63)
+                    f"batch element {index} is not in the order-r subgroup"
+                )
         return decoded
 
     def encode_gt(self, element: GTElement) -> bytes:

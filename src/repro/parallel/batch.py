@@ -12,10 +12,11 @@ module amortizes all of it:
   gone;
 * the final exponentiations of a whole owner-batch share one modular
   inversion (:meth:`repro.pairing.prepared.PreparedPairing.pair_many`);
-* wire-sourced update information is subgroup-validated with one
-  random-linear-combination check per chunk instead of one scalar
-  multiplication per element
-  (:func:`repro.core.serialize.decode_update_infos`).
+* wire-sourced update information is subgroup-validated **per element**
+  (:func:`repro.core.serialize.decode_update_infos`) — the cofactor has
+  small even factors, so no combined random-linear-combination check is
+  sound against small-order residuals — but that validation runs inside
+  the workers, off the service's event loop.
 
 Failures stay **per-item**: a version-mismatched or malformed entry
 becomes an ``error`` outcome with the library's typed exception; the
@@ -31,6 +32,7 @@ bit-identical regardless of pool size.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 
 from repro.core.ciphertext import Ciphertext
@@ -175,23 +177,28 @@ def batch_outcomes(group: PairingGroup, ciphertexts, update_key: UpdateKey,
 
 # -- raw (bytes-level) jobs: what actually crosses the process boundary ------
 
-# Per-process cache of decoded update keys, keyed by their raw bytes.
+# Per-process cache of decoded update keys: group -> {uk raw: UpdateKey}.
 # A sweep ships the same UK with every chunk; decoding it once per
-# process keeps the per-chunk overhead at a dict lookup.
-_UK_CACHE = {}
+# process keeps the per-chunk overhead at a dict lookup. Keyed weakly by
+# the group *instance* — never by id(), whose values are reused after
+# garbage collection — so a cached key can neither outlive the group its
+# elements belong to nor leak into a lookalike group at the same address.
+_UK_CACHE = weakref.WeakKeyDictionary()
 _UK_CACHE_LIMIT = 8
 
 
 def _cached_update_key(group: PairingGroup, uk_raw: bytes) -> UpdateKey:
-    key = (id(group), uk_raw)
-    update_key = _UK_CACHE.get(key)
+    per_group = _UK_CACHE.get(group)
+    if per_group is None:
+        per_group = _UK_CACHE[group] = {}
+    update_key = per_group.get(uk_raw)
     if update_key is None:
         # Trusted decode: the caller (batch API or sweep dispatcher)
         # validated these bytes before fanning them out.
         update_key = decode_update_key(group, uk_raw, check_subgroup=False)
-        if len(_UK_CACHE) >= _UK_CACHE_LIMIT:
-            _UK_CACHE.pop(next(iter(_UK_CACHE)))
-        _UK_CACHE[key] = update_key
+        if len(per_group) >= _UK_CACHE_LIMIT:
+            per_group.pop(next(iter(per_group)))
+        per_group[uk_raw] = update_key
     return update_key
 
 

@@ -7,14 +7,18 @@ with the three properties the batch engine needs:
   process through the *same* job functions the workers run, so results
   are bit-identical across pool sizes by construction and single-core
   deployments skip process overhead entirely;
-* **lazy start** — no worker process exists until the first pooled job,
-  so constructing a server with ``--workers N`` costs nothing if no
-  sweep ever arrives;
-* **fork start method when available** — workers inherit the parent's
-  imported modules copy-on-write instead of re-importing the library
-  per process (on platforms without ``fork`` the default start method
-  is used; job functions only ever receive picklable arguments, so both
-  work).
+* **lazy start, explicit warm-up** — no worker process exists until the
+  first pooled job (constructing a pool costs nothing), and callers
+  that know traffic is coming call :meth:`CryptoPool.warm` to boot the
+  full worker complement up front, keeping spawn + import time off the
+  first job's critical path (the service does this at start);
+* **fork-safe start method** — workers come from a ``forkserver``
+  context (falling back to ``spawn``), never from a bare ``fork``: the
+  pool starts lazily, typically after the server has grown an event
+  loop and an offload thread, and forking a multi-threaded process can
+  deadlock children on locks held mid-fork. Workers therefore re-import
+  the library once per process; job functions only ever receive
+  picklable arguments, so every start method behaves identically.
 
 Job functions must be module-level (picklable by reference) and
 pure-ish: everything they need arrives in their arguments. The
@@ -25,7 +29,17 @@ integers and rebuilds per process (see ``PairingGroup.__reduce__``).
 from __future__ import annotations
 
 import multiprocessing
+import time
 from concurrent.futures import ProcessPoolExecutor
+
+
+def _warm_worker(hold_seconds: float) -> None:
+    """A do-nothing job whose only effect is forcing a worker to boot.
+
+    The short hold keeps an already-booted worker from draining the
+    whole warm-up queue before its siblings have spawned.
+    """
+    time.sleep(hold_seconds)
 
 
 def chunked(items, size: int) -> list:
@@ -55,14 +69,38 @@ class CryptoPool:
         if self.inline:
             raise ValueError("an inline pool has no executor")
         if self._executor is None:
+            # Never bare ``fork``: by the time a lazy pool starts, the
+            # calling process usually has threads (asyncio loop, the
+            # server's offload thread), and forked children can deadlock
+            # on locks those threads held at fork time. ``forkserver``
+            # forks workers from a clean single-threaded helper instead;
+            # ``spawn`` is the portable fallback.
             try:
-                context = multiprocessing.get_context("fork")
+                context = multiprocessing.get_context("forkserver")
             except ValueError:  # pragma: no cover - non-POSIX platforms
-                context = None
+                context = multiprocessing.get_context("spawn")
             self._executor = ProcessPoolExecutor(
                 max_workers=self.workers, mp_context=context
             )
         return self._executor
+
+    def warm(self, hold_seconds: float = 0.05) -> None:
+        """Boot every worker now (a no-op for inline pools).
+
+        The executor spawns workers lazily, which would bill
+        ``forkserver`` start-up and per-worker library imports to the
+        first pooled job — for the service, the first sweep. One held
+        job per worker forces the full complement to boot up front
+        (the server calls this at start).
+        """
+        if self.inline:
+            return
+        futures = [
+            self.executor.submit(_warm_worker, hold_seconds)
+            for _ in range(self.workers)
+        ]
+        for future in futures:
+            future.result()
 
     def map_jobs(self, fn, jobs) -> list:
         """Run ``fn(*args)`` for every argument tuple; results in order.

@@ -136,6 +136,11 @@ class StorageService:
 
     async def start(self) -> None:
         """Bind and start accepting connections (port 0 → ephemeral)."""
+        if not self.pool.inline:
+            # Boot the pool's workers before traffic arrives: spawning
+            # them lazily would bill forkserver start-up and per-worker
+            # library imports to the first sweep.
+            await self._offload(self.pool.warm)
         self._server = await asyncio.start_server(
             self._accept, self.host, self.port
         )
@@ -516,47 +521,56 @@ class StorageService:
         record_ids = sorted(matched)
         loop = asyncio.get_running_loop()
         executor = self._cpu if self.pool.inline else self.pool.executor
-        pending = []
-        for chunk_ids in chunked(record_ids, self.sweep_chunk):
-            tasks = [
-                (self.store.get_record_bytes(record_id), matched[record_id])
-                for record_id in chunk_ids
-            ]
-            pending.append((chunk_ids, loop.run_in_executor(
-                executor, reencrypt_records_raw, self.group, uk_raw, tasks
+        # Every chunk runs read → re-encrypt → write-back as its own
+        # task: the store legs go through the offload thread (the one
+        # thread ALL store mutations run on — see __init__) while the
+        # pairing-heavy middle leg goes to the pool, so chunks pipeline
+        # without ever touching the store from the event-loop thread.
+        pending = [
+            (chunk_ids, asyncio.ensure_future(self._sweep_chunk(
+                loop, executor, uk_raw, chunk_ids, matched
             )))
+            for chunk_ids in chunked(record_ids, self.sweep_chunk)
+        ]
         updated, already_current = [], []
         done = 0
-        for chunk_ids, future in pending:
-            try:
-                results = await future
-            except BrokenExecutor as exc:
-                raise UnavailableError(
-                    f"crypto pool failed mid-sweep ({exc}); retry later"
-                ) from exc
-            for record_id, (new_blob, item_results) in zip(chunk_ids,
-                                                           results):
-                if new_blob is not None:
-                    self.store.replace_record_bytes(record_id, new_blob)
-                for ciphertext_id, status, code, message in item_results:
-                    if status == UPDATED:
-                        updated.append(ciphertext_id)
-                    elif status == ALREADY_CURRENT:
-                        already_current.append(ciphertext_id)
-                    else:
-                        errors[ciphertext_id] = {"code": code,
-                                                 "message": message}
-            done += len(chunk_ids)
-            await self._send(
-                session, MessageType.SWEEP_PROGRESS, protocol.encode_json({
-                    "done": done,
-                    "total": len(record_ids),
-                    "updated": len(updated),
-                    "already_current": len(already_current),
-                    "errors": len(errors),
-                    "missing": len(missing),
-                })
-            )
+        try:
+            for chunk_ids, future in pending:
+                try:
+                    results = await future
+                except BrokenExecutor as exc:
+                    raise UnavailableError(
+                        f"crypto pool failed mid-sweep ({exc}); retry later"
+                    ) from exc
+                for _, item_results in results:
+                    for ciphertext_id, status, code, message in item_results:
+                        if status == UPDATED:
+                            updated.append(ciphertext_id)
+                        elif status == ALREADY_CURRENT:
+                            already_current.append(ciphertext_id)
+                        else:
+                            errors[ciphertext_id] = {"code": code,
+                                                     "message": message}
+                done += len(chunk_ids)
+                await self._send(
+                    session, MessageType.SWEEP_PROGRESS,
+                    protocol.encode_json({
+                        "done": done,
+                        "total": len(record_ids),
+                        "updated": len(updated),
+                        "already_current": len(already_current),
+                        "errors": len(errors),
+                        "missing": len(missing),
+                    })
+                )
+        except BaseException:
+            # Don't leave chunk tasks running (or their exceptions
+            # unretrieved) behind a failed sweep.
+            for _, future in pending:
+                future.cancel()
+            await asyncio.gather(*(future for _, future in pending),
+                                 return_exceptions=True)
+            raise
         summary = protocol.encode_json({
             "requested": declared,
             "records": len(record_ids),
@@ -567,6 +581,33 @@ class StorageService:
         })
         await self._send(session, MessageType.SWEEP_DONE, summary)
         return MessageType.SWEEP_DONE, summary
+
+    async def _sweep_chunk(self, loop, executor, uk_raw, chunk_ids, matched):
+        """Read, re-encrypt, and write back one sweep chunk.
+
+        Both store legs run on the offload thread via :meth:`_offload`,
+        keeping every store mutation in the process on that single
+        thread (and the fsync-heavy replace off the event loop); only
+        the pairing-heavy middle leg runs in the pool executor.
+        """
+        tasks = await self._offload(self._sweep_read_chunk, chunk_ids,
+                                    matched)
+        results = await loop.run_in_executor(
+            executor, reencrypt_records_raw, self.group, uk_raw, tasks
+        )
+        await self._offload(self._sweep_apply_chunk, chunk_ids, results)
+        return results
+
+    def _sweep_read_chunk(self, chunk_ids, matched):
+        return [
+            (self.store.get_record_bytes(record_id), matched[record_id])
+            for record_id in chunk_ids
+        ]
+
+    def _sweep_apply_chunk(self, chunk_ids, results):
+        for record_id, (new_blob, _) in zip(chunk_ids, results):
+            if new_blob is not None:
+                self.store.replace_record_bytes(record_id, new_blob)
 
     async def _handle_stats(self, session, body):
         await self._send(session, MessageType.STATS_REPLY,

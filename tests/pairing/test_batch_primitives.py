@@ -64,3 +64,23 @@ def test_decode_g1_batch_names_the_bad_element(group):
     blobs.insert(1, _out_of_subgroup_blob(group))
     with pytest.raises(MathError, match="batch element 1"):
         group.decode_g1_batch(blobs)
+
+
+def test_decode_g1_batch_rejects_paired_two_torsion(group):
+    # Regression: the cofactor is divisible by 4, so (0, 0) is an
+    # order-2 curve point outside the order-r subgroup. Two points
+    # carrying that same residual cancel it in any linear combination
+    # with same-parity coefficients, which defeated a batched
+    # random-linear-combination subgroup check deterministically — the
+    # per-point check must reject both.
+    torsion = (0, 0)
+    assert group.curve.is_on_curve(torsion)
+    assert group.curve.mul(torsion, 2) is INFINITY
+    blobs = []
+    for _ in range(2):
+        point = group.curve.add(group.random_g1().point, torsion)
+        blobs.append(
+            bytes([2 + (point[1] & 1)]) + group.field.to_bytes(point[0])
+        )
+    with pytest.raises(MathError, match="batch element 0"):
+        group.decode_g1_batch(blobs)

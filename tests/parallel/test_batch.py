@@ -121,3 +121,28 @@ def test_length_mismatch_is_a_scheme_error(batch):
     with pytest.raises(SchemeError):
         reencrypt_batch(batch.group, batch.ciphertexts, batch.update_key,
                         batch.update_infos[:-1])
+
+
+def test_uk_cache_binds_to_the_group_instance(batch):
+    """Regression: the per-process UpdateKey cache must die with its
+    group. Keying by id(group) let a freshly-built group alias a dead
+    group's recycled id and pick up elements bound to the old instance;
+    the weak per-instance keying decodes anew for every new group."""
+    import gc
+
+    from repro.core.serialize import encode_update_key
+    from repro.ec.params import TOY80
+    from repro.pairing.group import PairingGroup
+    from repro.parallel.batch import _UK_CACHE, _cached_update_key
+
+    uk_raw = encode_update_key(batch.group, batch.update_key)
+    group_a = PairingGroup(TOY80)
+    cached_a = _cached_update_key(group_a, uk_raw)
+    assert _cached_update_key(group_a, uk_raw) is cached_a
+    assert group_a in _UK_CACHE
+    del cached_a, group_a
+    gc.collect()
+    group_b = PairingGroup(TOY80)
+    assert group_b not in _UK_CACHE
+    cached_b = _cached_update_key(group_b, uk_raw)
+    assert all(el.group is group_b for el in cached_b.uk1.values())

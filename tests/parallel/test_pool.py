@@ -47,3 +47,14 @@ def test_shutdown_is_idempotent():
     pool.map_jobs(_affine, [(1, 1, 0)])
     pool.shutdown()
     pool.shutdown()
+
+
+def test_warm_boots_workers_and_is_inline_noop():
+    inline = CryptoPool(0)
+    inline.warm()  # must not try to build an executor
+    with pytest.raises(ValueError):
+        inline.executor
+    with CryptoPool(2) as pool:
+        pool.warm(hold_seconds=0.01)
+        assert pool.map_jobs(_affine, [(x, 1, 1) for x in range(4)]) \
+            == [x + 1 for x in range(4)]
