@@ -8,7 +8,7 @@ Commands:
 * ``params``     — generate fresh type-A pairing parameters
 * ``serve``      — run the networked cloud-storage service (asyncio TCP)
 * ``client``     — talk to a running service (ping / stats / list /
-  smoke / sweep)
+  smoke / sweep / bench-encrypt)
 * ``info``       — show the built-in parameter presets
 
 Everything the CLI does is also available (with more control) through
@@ -247,6 +247,14 @@ def _cmd_client(args) -> int:
 
     out = args.out
     params = PRESETS[args.preset]
+    if args.action == "bench-encrypt":
+        from repro.service.smoke import run_bench_encrypt
+
+        return asyncio.run(run_bench_encrypt(
+            params, args.host, args.port, out=out, seed=args.seed,
+            components=args.components,
+            timeout=30.0 if args.timeout is None else args.timeout,
+        ))
     if args.action in ("smoke", "sweep"):
         from repro.service.faults import FaultSpec
         from repro.service.smoke import run_smoke, run_sweep_cycle
@@ -408,14 +416,19 @@ def build_parser() -> argparse.ArgumentParser:
     _add_preset_argument(client)
     client.add_argument("action",
                         choices=["ping", "stats", "health", "list", "smoke",
-                                 "sweep"],
+                                 "sweep", "bench-encrypt"],
                         help="smoke runs the full upload/read/revoke cycle; "
                              "sweep bulk-revokes many records in one "
-                             "REENCRYPT_SWEEP request")
+                             "REENCRYPT_SWEEP request; bench-encrypt times "
+                             "the session engine against the cold Encrypt "
+                             "path over a live upload")
     client.add_argument("--seed", type=int, default=None)
     client.add_argument("--records", type=int, default=24,
                         help="records to populate for the sweep cycle "
                              "(default 24)")
+    client.add_argument("--components", type=int, default=8,
+                        help="components to encrypt in the bench-encrypt "
+                             "cycle (default 8)")
     client.add_argument("--host", default="127.0.0.1")
     client.add_argument("--port", type=int, default=7468)
     client.add_argument("--timeout", type=float, default=None,

@@ -53,6 +53,7 @@ class AttributeAuthority:
         self._user_public = {}     # uid -> UserPublicKey
         # (uid, owner id) -> set of qualified attributes currently held
         self._issued = {}
+        self._keygen_sessions = {}  # (owner id, attrs) -> KeyGenSession
 
     # -- identifiers and naming -----------------------------------------------
 
@@ -169,8 +170,7 @@ class AttributeAuthority:
             qualified_name = qualify(self.aid, name)
             exponent = self._alpha * self.group.hash_to_scalar(qualified_name)
             attribute_keys[qualified_name] = pk_uid ** exponent
-        self._user_public[user_public_key.uid] = user_public_key
-        self._issued[(user_public_key.uid, owner_id)] = frozenset(attribute_keys)
+        self.note_issued(user_public_key, owner_id, attribute_keys)
         return UserSecretKey(
             uid=user_public_key.uid,
             aid=self.aid,
@@ -179,6 +179,73 @@ class AttributeAuthority:
             attribute_keys=attribute_keys,
             version=self._version,
         )
+
+    def note_issued(self, user_public_key: UserPublicKey, owner_id: str,
+                    qualified_names) -> None:
+        """Record one key issuance in the AA's registries.
+
+        The single registry entry point shared by :meth:`keygen` and
+        :class:`repro.fastpath.keygen.KeyGenSession`, so ReKey's
+        holdings scan sees identical state whichever path issued the
+        key.
+        """
+        self._user_public[user_public_key.uid] = user_public_key
+        self._issued[(user_public_key.uid, owner_id)] = frozenset(
+            qualified_names
+        )
+
+    def keygen_session_material(self, owner_id: str, attributes) -> tuple:
+        """Snapshot for a :class:`~repro.fastpath.keygen.KeyGenSession`.
+
+        Validates the owner/attribute set exactly as :meth:`keygen`
+        would, then returns ``(qualified names, exponents, K constant)``
+        where ``exponents[0] = r/β`` (the ``K`` component's per-user
+        exponent), ``exponents[1:]`` are ``α·H(x)`` per attribute in
+        the returned name order, and the constant is ``(g^{1/β})^α`` —
+        keeping ``α`` itself encapsulated in the authority.
+        """
+        owner_secret = self._owner_keys.get(owner_id)
+        if owner_secret is None:
+            raise SchemeError(
+                f"authority {self.aid!r} has no secret key from owner "
+                f"{owner_id!r}"
+            )
+        attribute_set = set(attributes)
+        unknown = attribute_set - self._attributes
+        if unknown:
+            raise SchemeError(
+                f"authority {self.aid!r} does not manage {sorted(unknown)}"
+            )
+        qualified = tuple(sorted(
+            qualify(self.aid, name) for name in attribute_set
+        ))
+        order = self.group.order
+        exponents = [owner_secret.r_over_beta] + [
+            self._alpha * self.group.hash_to_scalar(name) % order
+            for name in qualified
+        ]
+        return qualified, exponents, owner_secret.g_inv_beta ** self._alpha
+
+    def keygen_session(self, owner_id: str, attributes):
+        """A cached :class:`~repro.fastpath.keygen.KeyGenSession` for
+        bulk onboarding over a fixed attribute set.
+
+        Sessions are keyed by (owner, attribute set) and snapshotted at
+        the current key version; once :meth:`rekey` bumps the version
+        the cached session goes stale and is rebuilt here under the
+        fresh ``α`` (a stale session refuses to issue on its own).
+        """
+        from repro.fastpath.keygen import KeyGenSession
+
+        cache_key = (owner_id, frozenset(attributes))
+        session = self._keygen_sessions.get(cache_key)
+        if session is not None and session.version == self._version:
+            return session
+        session = KeyGenSession(self, owner_id, attributes)
+        if len(self._keygen_sessions) >= 32:
+            self._keygen_sessions.pop(next(iter(self._keygen_sessions)))
+        self._keygen_sessions[cache_key] = session
+        return session
 
     def issued_attributes(self, uid: str, owner_id: str) -> frozenset:
         return self._issued.get((uid, owner_id), frozenset())

@@ -69,6 +69,7 @@ class DataOwner:
         self._blinding_cache = {}   # ((aid, version), ...) -> GTElement
         self._ui_ratio_cache = {}   # (aid, from, to) -> (update_key, ratios)
         self._policy_label_cache = {}  # policy string -> frozenset(labels)
+        self._sessions = {}         # (policy, method, injective) -> session
         self._records = {}          # ciphertext id -> EncryptionRecord
         self._retired = set()       # ciphertext ids no longer stored
         self._counter = itertools.count()
@@ -129,6 +130,27 @@ class DataOwner:
             self._blinding_cache[cache_key] = blinding
         return blinding
 
+    def authority_blinding(self, involved) -> GTElement:
+        """``∏_k e(g,g)^{α_k}`` at the current key versions (cached)."""
+        missing = set(involved) - set(self._authority_keys)
+        if missing:
+            raise SchemeError(
+                f"owner {self.owner_id!r} has no public keys for authorities "
+                f"{sorted(missing)}"
+            )
+        return self._blinding_for(involved)
+
+    def public_attribute_key(self, label: str):
+        """The cached ``PK_x`` for one qualified attribute label."""
+        aid = authority_of(label)
+        keys = self._attribute_keys.get(aid)
+        if keys is None:
+            raise SchemeError(
+                f"owner {self.owner_id!r} has no public keys for "
+                f"authority {aid!r}"
+            )
+        return keys[label]
+
     # -- Encrypt (Phase 3) ------------------------------------------------------------
 
     def encrypt(self, message: GTElement, policy, *,
@@ -187,16 +209,9 @@ class DataOwner:
                 (self._master.r_exp * shares[index] % order, neg_beta_s),
             ))
 
-        if ciphertext_id is None:
-            ciphertext_id = f"{self.owner_id}/ct{next(self._counter)}"
-        if ciphertext_id in self._records:
-            raise SchemeError(f"ciphertext id {ciphertext_id!r} already used")
         versions = {aid: self._authority_keys[aid].version for aid in involved}
-        self._records[ciphertext_id] = EncryptionRecord(
-            ciphertext_id=ciphertext_id,
-            s=s,
-            policy=str(matrix.policy),
-            versions=dict(versions),
+        ciphertext_id = self.note_encryption(
+            ciphertext_id, s, str(matrix.policy), dict(versions)
         )
         return Ciphertext(
             ciphertext_id=ciphertext_id,
@@ -208,6 +223,63 @@ class DataOwner:
             involved_aids=involved,
             versions=versions,
         )
+
+    def note_encryption(self, ciphertext_id, s: int, policy: str,
+                        versions: dict) -> str:
+        """Reserve a ciphertext id and ledger one encryption exponent.
+
+        The single ledger entry point shared by the cold
+        :meth:`encrypt` path and :class:`repro.fastpath.session.
+        EncryptionSession` — revocation (which replays ``s`` from the
+        ledger) sees identical records whichever path produced the
+        ciphertext. Returns the (possibly auto-assigned) id.
+        """
+        if ciphertext_id is None:
+            ciphertext_id = f"{self.owner_id}/ct{next(self._counter)}"
+        if ciphertext_id in self._records:
+            raise SchemeError(f"ciphertext id {ciphertext_id!r} already used")
+        self._records[ciphertext_id] = EncryptionRecord(
+            ciphertext_id=ciphertext_id,
+            s=s,
+            policy=policy,
+            versions=dict(versions),
+        )
+        return ciphertext_id
+
+    def session_for(self, policy, *, threshold_method: str = "expand",
+                    require_injective_rho: bool = True, pool=None):
+        """An :class:`~repro.fastpath.session.EncryptionSession` for a
+        policy, cached per (policy, threshold method, injectivity) and
+        keyed to the involved authorities' key versions.
+
+        Repeated calls under one policy return the same live session
+        (its offline pool included). The moment revocation rolls any
+        involved authority's key version forward the cached session
+        goes stale and is rebuilt here against the new public keys —
+        the cache can never hand back a session that would encrypt
+        under a revoked version (the session itself re-checks on every
+        ``encrypt`` as a second line of defense).
+        """
+        from repro.fastpath.session import EncryptionSession
+
+        matrix = lsss_from_policy(policy, threshold_method=threshold_method)
+        cache_key = (
+            str(matrix.policy), threshold_method, require_injective_rho
+        )
+        session = self._sessions.get(cache_key)
+        if session is not None and session.is_current():
+            if pool is not None:
+                session.pool = pool
+            return session
+        session = EncryptionSession(
+            self, policy, threshold_method=threshold_method,
+            require_injective_rho=require_injective_rho, pool=pool,
+            matrix=matrix,
+        )
+        if len(self._sessions) >= 32:
+            self._sessions.pop(next(iter(self._sessions)))
+        self._sessions[cache_key] = session
+        return session
 
     def record(self, ciphertext_id: str) -> EncryptionRecord:
         try:

@@ -86,6 +86,24 @@ class MultiAuthorityABE:
         """A uniform GT element — the session element of the KEM/DEM hybrid."""
         return self.group.random_gt()
 
+    # -- fast-path sessions (repro.fastpath) -----------------------------------------
+
+    @staticmethod
+    def encryption_session(owner: DataOwner, policy, **kwargs):
+        """A cached per-policy encryption session (online/offline split).
+
+        Convenience for :meth:`repro.core.owner.DataOwner.session_for`;
+        see :class:`repro.fastpath.session.EncryptionSession`.
+        """
+        return owner.session_for(policy, **kwargs)
+
+    def keygen_session(self, aid: str, owner_id: str, attributes):
+        """A cached bulk-onboarding KeyGen session at the named AA.
+
+        See :class:`repro.fastpath.keygen.KeyGenSession`.
+        """
+        return self._authorities[aid].keygen_session(owner_id, attributes)
+
     # -- Decrypt / ReEncrypt (thin wrappers keeping one import site) -----------------
 
     def decrypt(self, ciphertext: Ciphertext, user_public_key: UserPublicKey,

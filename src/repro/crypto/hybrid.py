@@ -33,6 +33,24 @@ def seal(session: GTElement, context: str,
     return symmetric.encrypt(content_key_for(session, context), plaintext)
 
 
+def encrypt_with_session(encryption_session, ciphertext_id: str,
+                         plaintext: bytes) -> tuple:
+    """The full KEM/DEM write path through one encryption session.
+
+    Draws a fresh GT session element, ABE-encrypts it via the
+    per-policy :class:`repro.fastpath.session.EncryptionSession` (no
+    re-parse, no per-call LSSS conversion — the historical hybrid path
+    re-parsed the policy string on every component), and seals the
+    plaintext under the derived content key. Returns
+    ``(abe_ciphertext, sealed_body)``.
+    """
+    session_element = encryption_session.group.random_gt()
+    abe_ciphertext = encryption_session.encrypt(
+        session_element, ciphertext_id=ciphertext_id
+    )
+    return abe_ciphertext, seal(session_element, ciphertext_id, plaintext)
+
+
 def open_sealed(session: GTElement, context: str,
                 body: symmetric.SymmetricCiphertext) -> bytes:
     """Decrypt one data component; IntegrityError on any mismatch."""

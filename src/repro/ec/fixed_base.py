@@ -24,7 +24,9 @@ from repro.ec.curve import (
     SupersingularCurve,
     _jac_add,
     _jac_add_affine,
+    _jac_double,
 )
+from repro.math.integers import batch_invmod
 
 
 class FixedBaseTable:
@@ -91,3 +93,151 @@ class FixedBaseTable:
             high = self.curve.mul(self.point, scalar << (self.window * level))
             result = _jac_add_affine(result, high, p)
         return result
+
+
+def affine_doubling_chain(curve: SupersingularCurve, point,
+                          length: int) -> list:
+    """``[P, 2P, 4P, …]`` (``length`` entries) in affine, one inversion.
+
+    The shared precomputation every :class:`BatchExponentiator` program
+    walks. It depends only on the *point*, so callers serving several
+    exponentiators with one base (joint multi-authority KeyGen) build
+    it once at the longest required length and pass it to each
+    :meth:`BatchExponentiator.powers_jacobian`.
+    """
+    if point is INFINITY or length <= 0:
+        return [INFINITY] * max(length, 0)
+    p = curve.p
+    chain_jac = []
+    current = (point[0], point[1], 1)
+    for _ in range(length):
+        chain_jac.append(current)
+        current = _jac_double(current, p)
+    return curve.batch_normalize(chain_jac)
+
+
+def affine_doubling_chains(curve: SupersingularCurve, points,
+                           length: int) -> list:
+    """Doubling chains for *many* points, entirely in affine coordinates.
+
+    The sequential dependency inside one chain (each level doubles the
+    previous) rules out batching an inversion *within* it — that is why
+    :func:`affine_doubling_chain` goes through Jacobian space and pays a
+    final ``length``-entry normalization. Across *independent* points
+    the levels line up, so each level doubles every live chain with ONE
+    Montgomery batch inversion: an affine double costs 2M + 2S plus the
+    amortized ~3M inversion share, beating the Jacobian build + final
+    normalize whenever two or more chains are needed (the bulk
+    onboarding loop in :func:`repro.fastpath.keygen.issue_joint`).
+    """
+    points = list(points)
+    if length <= 0:
+        return [[] for _ in points]
+    p = curve.p
+    current = list(points)
+    chains = [[point] for point in current]
+    for _ in range(length - 1):
+        for index, point in enumerate(current):
+            # A zero ordinate doubles to infinity (order-2 point); the
+            # prime-order subgroups never hit this, but stay total.
+            if point is not INFINITY and point[1] % p == 0:
+                current[index] = INFINITY
+        live = [i for i, point in enumerate(current) if point is not INFINITY]
+        inverses = batch_invmod([2 * current[i][1] for i in live], p)
+        for index, inverse in zip(live, inverses):
+            x, y = current[index]
+            slope = (3 * x * x + 1) * inverse % p  # a = 1
+            nx = (slope * slope - 2 * x) % p
+            current[index] = (nx, (slope * (x - nx) - y) % p)
+        for chain, point in zip(chains, current):
+            chain.append(point)
+    return chains
+
+
+def _naf_program(exponent: int) -> tuple:
+    """2-NAF recoding of a non-negative exponent as (level, sign) pairs.
+
+    ``scalar·P = Σ sign · 2^level · P`` with no two adjacent levels used,
+    so an n-bit exponent averages n/3 nonzero terms — each one mixed
+    addition against a shared doubling chain, with the negative terms
+    costing only an affine negation.
+    """
+    program = []
+    level = 0
+    while exponent:
+        if exponent & 1:
+            if exponent & 3 == 3:
+                program.append((level, -1))
+                exponent += 1
+            else:
+                program.append((level, 1))
+                exponent -= 1
+        exponent >>= 1
+        level += 1
+    return tuple(program)
+
+
+class BatchExponentiator:
+    """Many *fixed* exponents applied to a *varying* base point.
+
+    The dual of :class:`FixedBaseTable`: KeyGen raises each user's
+    ``PK_UID`` (a fresh base every call) to the same ``|S| + 1``
+    session-fixed exponents, so a per-base window table would cost more
+    to build than it saves. Instead the exponents are recoded to 2-NAF
+    *once* (at session setup), and each base pays one shared doubling
+    chain ``P, 2P, 4P, …`` — normalized to affine with a single batch
+    inversion — that every program then walks with ~bits/3 mixed
+    additions. For ~10 exponents that replaces a table build (hundreds
+    of additions) or 10 independent double-and-add runs with
+    ``bits`` doublings + ``~bits/3`` additions per exponent.
+    """
+
+    __slots__ = ("curve", "order", "exponents", "programs", "chain_length")
+
+    def __init__(self, curve: SupersingularCurve, order: int, exponents):
+        self.curve = curve
+        self.order = order
+        self.exponents = tuple(e % order for e in exponents)
+        self.programs = tuple(_naf_program(e) for e in self.exponents)
+        # The NAF of e can carry one level past e.bit_length(); size the
+        # chain to the highest level any program touches.
+        self.chain_length = 1 + max(
+            (prog[-1][0] for prog in self.programs if prog), default=0
+        )
+
+    def powers_jacobian(self, point, chain=None) -> list:
+        """``[e·P for e in exponents]`` as Jacobian points (one inversion).
+
+        ``chain`` is an optional precomputed
+        :func:`affine_doubling_chain` of ``point`` with at least
+        ``self.chain_length`` entries, letting several exponentiators
+        over the same base (joint KeyGen across authorities) share the
+        dominant doubling cost. Callers that post-process results
+        (mixed-adding a constant, as KeyGen's ``K`` does) fold their own
+        work in before normalizing everything with
+        :meth:`SupersingularCurve.batch_normalize`.
+        """
+        if point is INFINITY:
+            return [_JAC_INFINITY] * len(self.exponents)
+        p = self.curve.p
+        if chain is None:
+            chain = affine_doubling_chain(self.curve, point, self.chain_length)
+        elif len(chain) < self.chain_length:
+            raise ValueError(
+                f"doubling chain has {len(chain)} entries; "
+                f"{self.chain_length} required"
+            )
+        results = []
+        for program in self.programs:
+            accumulator = _JAC_INFINITY
+            for level, sign in program:
+                doubled = chain[level]
+                if sign < 0 and doubled is not INFINITY:
+                    doubled = (doubled[0], -doubled[1] % p)
+                accumulator = _jac_add_affine(accumulator, doubled, p)
+            results.append(accumulator)
+        return results
+
+    def powers(self, point, chain=None) -> list:
+        """``[e·P for e in exponents]`` in affine (two batch inversions)."""
+        return self.curve.batch_normalize(self.powers_jacobian(point, chain))

@@ -1,0 +1,175 @@
+"""Bulk-onboarding KeyGen sessions for one attribute authority.
+
+An AA onboarding users issues ``SK_{UID,AID}`` over the *same*
+attribute universe again and again; only the base ``PK_UID`` changes
+per user, while every exponent — ``r/β`` for ``K`` and ``α·H(x)`` per
+attribute — is fixed for the (owner, attribute-set, key-version)
+triple. The cold path treats each call independently: it builds a
+fixed-base window table for ``PK_UID`` (hundreds of point additions)
+that only ever serves that one user's handful of exponentiations.
+
+:class:`KeyGenSession` inverts the precomputation: the *exponents* are
+recoded to 2-NAF once at session setup
+(:class:`repro.ec.fixed_base.BatchExponentiator`), and each user costs
+one shared doubling chain for ``PK_UID`` plus ~bits/3 mixed additions
+per exponent. Batch entry points amortize further: ``issue_batch``
+builds all users' chains level-by-level in affine with one batch
+inversion per level, and :func:`issue_joint` lets every authority
+onboarding the same users walk ONE chain per user — the
+multi-authority shape the paper's deployment implies. ``K``'s second factor
+``(g^{1/β})^α`` is constant across the session and folded in with a
+single mixed addition before normalization. Issued keys are *exactly*
+equal to the cold :meth:`repro.core.authority.AttributeAuthority.keygen`
+output, and the authority's registries are updated identically.
+
+**Revocation safety**: the session snapshots the authority's key
+version (``α`` epoch) at setup; :meth:`KeyGenSession.issue` raises
+:class:`repro.errors.RevocationError` once ReKey bumps the version, so
+a stale session can never issue keys under a revoked ``α``.
+"""
+
+from __future__ import annotations
+
+from repro.core.keys import UserPublicKey, UserSecretKey
+from repro.ec.curve import _jac_add_affine
+from repro.ec.fixed_base import BatchExponentiator, affine_doubling_chains
+from repro.errors import RevocationError, SchemeError
+from repro.pairing.group import G1Element
+
+
+class KeyGenSession:
+    """Amortized KeyGen for one (owner, attribute-set, key-version)."""
+
+    def __init__(self, authority, owner_id: str, attributes):
+        self.authority = authority
+        self.group = authority.group
+        self.owner_id = owner_id
+        names, exponents, k_const = authority.keygen_session_material(
+            owner_id, attributes
+        )
+        #: Authority key version (α epoch) this session was built for.
+        self.version = authority.version
+        #: Qualified attribute names, in issued-key order.
+        self.qualified_names = names
+        # Exponent 0 is r/β (the K component), then one per attribute.
+        self._exponentiator = BatchExponentiator(
+            self.group.curve, self.group.order, exponents
+        )
+        self._k_const_point = k_const.point  # (g^{1/β})^α, affine
+        self.stats = {"issued": 0}
+
+    def _check_current(self) -> None:
+        if self.authority.version != self.version:
+            raise RevocationError(
+                f"keygen session is stale: authority {self.authority.aid!r} "
+                f"rolled from version {self.version} to "
+                f"{self.authority.version}; create a fresh session"
+            )
+
+    def issue(self, user_public_key: UserPublicKey,
+              chain=None) -> UserSecretKey:
+        """Issue one user's secret key (identical to cold ``keygen``).
+
+        Unlike the cold path, no fixed-base table is registered for
+        ``PK_UID`` — the session's shared-chain walk already amortizes
+        this user's exponentiations, and a per-user table would cost
+        more than the key it serves. ``chain`` is an optional
+        precomputed doubling chain of ``PK_UID`` (see
+        :func:`issue_joint`), shared when several authorities onboard
+        the same user.
+        """
+        self._check_current()
+        group = self.group
+        p = group.params.p
+        jacobians = self._exponentiator.powers_jacobian(
+            user_public_key.element.point, chain
+        )
+        # K = PK_UID^{r/β} · (g^{1/β})^α — fold the constant factor in
+        # before the shared normalization.
+        k_jac = _jac_add_affine(jacobians[0], self._k_const_point, p)
+        affine = group.curve.batch_normalize([k_jac] + jacobians[1:])
+        # Mirror the cold path's operation accounting: one two-term
+        # multiexp for K (2 G exps) plus one per attribute key.
+        group.counter.g1_exponentiations += len(self.qualified_names) + 2
+        attribute_keys = {
+            name: G1Element(group, point)
+            for name, point in zip(self.qualified_names, affine[1:])
+        }
+        self.authority.note_issued(
+            user_public_key, self.owner_id, attribute_keys
+        )
+        self.stats["issued"] += 1
+        return UserSecretKey(
+            uid=user_public_key.uid,
+            aid=self.authority.aid,
+            owner_id=self.owner_id,
+            k=G1Element(group, affine[0]),
+            attribute_keys=attribute_keys,
+            version=self.version,
+        )
+
+    def issue_batch(self, user_public_keys) -> list:
+        """Issue keys for many users (bulk onboarding), in order.
+
+        The users' doubling chains are independent, so they are built
+        level-by-level in affine with one batch inversion per level
+        (:func:`repro.ec.fixed_base.affine_doubling_chains`) — cheaper
+        than the per-user Jacobian build + normalize whenever the batch
+        has two or more users.
+        """
+        user_public_keys = list(user_public_keys)
+        chains = affine_doubling_chains(
+            self.group.curve,
+            [public_key.element.point for public_key in user_public_keys],
+            self._exponentiator.chain_length,
+        )
+        return [
+            self.issue(public_key, chain)
+            for public_key, chain in zip(user_public_keys, chains)
+        ]
+
+
+def issue_joint(sessions, user_public_keys) -> list:
+    """Issue keys from several sessions to each user, one chain per user.
+
+    The multi-authority onboarding shape: every AA involved in an
+    owner's policies keys the same users, and the doubling chain for
+    ``PK_UID`` — the dominant per-user cost of a lone session — depends
+    only on the point, never on an authority's exponents. Building it
+    once (at the longest length any session needs) and walking it from
+    each session's programs drops the marginal cost of every authority
+    after the first to ~bits/3 additions per exponent.
+
+    Returns one ``{aid: UserSecretKey}`` dict per user, in input order.
+    Sessions must come from distinct authorities over one pairing
+    group; each is staleness-checked per issue exactly as
+    :meth:`KeyGenSession.issue` alone would be.
+    """
+    sessions = list(sessions)
+    if not sessions:
+        return []
+    group = sessions[0].group
+    aids = [session.authority.aid for session in sessions]
+    if len(set(aids)) != len(aids):
+        raise SchemeError("joint issuance needs distinct authorities")
+    for session in sessions[1:]:
+        if session.group is not group:
+            raise SchemeError(
+                "joint issuance needs sessions over one pairing group"
+            )
+    length = max(
+        session._exponentiator.chain_length for session in sessions
+    )
+    user_public_keys = list(user_public_keys)
+    chains = affine_doubling_chains(
+        group.curve,
+        [public_key.element.point for public_key in user_public_keys],
+        length,
+    )
+    return [
+        {
+            session.authority.aid: session.issue(public_key, chain)
+            for session in sessions
+        }
+        for public_key, chain in zip(user_public_keys, chains)
+    ]

@@ -434,6 +434,33 @@ class PairingGroup:
         """Uniform nonzero exponent in Z_r^*."""
         return self.rng.randrange(1, self.order)
 
+    def random_scalars(self, count: int, *, nonzero: bool = True) -> list:
+        """``count`` independent uniform exponents from ONE RNG call.
+
+        The offline randomization pools draw whole share vectors at
+        once; pulling one ``getrandbits`` block of ``count`` widths
+        amortizes the RNG bookkeeping that ``randrange`` pays per
+        scalar. Each scalar is reduced from twice the order's bit width,
+        so the modular bias is ≤ 2^-|r| (the same head-room
+        :meth:`hash_to_scalar` uses); with ``nonzero`` (the default,
+        matching :meth:`random_scalar`) zeros are resampled.
+        """
+        if count < 0:
+            raise MathError("cannot draw a negative number of scalars")
+        if count == 0:
+            return []
+        width = 2 * self.scalar_bytes * 8
+        mask = (1 << width) - 1
+        block = self.rng.getrandbits(width * count)
+        scalars = []
+        for _ in range(count):
+            value = (block & mask) % self.order
+            block >>= width
+            while nonzero and value == 0:  # pragma: no cover - p < 2^-|r|
+                value = self.rng.getrandbits(width) % self.order
+            scalars.append(value)
+        return scalars
+
     def random_g1(self) -> G1Element:
         return self.g ** self.random_scalar()
 

@@ -106,8 +106,38 @@ class LsssMatrix:
         }
 
 
-def lsss_from_policy(policy, threshold_method: str = "expand") -> LsssMatrix:
+# Bounded memo of matrices built from *string* policies, keyed by
+# (source, threshold method). LsssMatrix is a frozen dataclass over
+# tuples, so one shared instance per policy is safe; the Lewko-Waters
+# conversion (and the parse feeding it) then runs once per policy
+# instead of once per Encrypt. AST inputs are not memoized — nodes
+# hash by structure but callers rarely resubmit identical trees.
+MAX_LSSS_CACHE = 256
+_lsss_cache = {}
+_lsss_stats = {"hits": 0, "misses": 0}
+
+
+def lsss_cache_stats() -> dict:
+    """Hit/miss counters of the string-policy LSSS memo (a copy)."""
+    return dict(_lsss_stats)
+
+
+def clear_lsss_cache() -> None:
+    """Drop the LSSS memo and zero its counters (test isolation)."""
+    _lsss_cache.clear()
+    _lsss_stats["hits"] = 0
+    _lsss_stats["misses"] = 0
+
+
+def lsss_from_policy(policy, threshold_method: str = "expand",
+                     meter=None) -> LsssMatrix:
     """Build the LSSS matrix for a policy (string or AST).
+
+    String policies are memoized in a bounded cache (see
+    :func:`lsss_cache_stats`); ``meter``, when given, is a duck-typed
+    counter sink — every call bumps its ``lsss-cache-hit`` or
+    ``lsss-cache-miss`` counter via ``meter.bump`` (kept duck-typed so
+    the policy layer needs no import of :mod:`repro.system.meter`).
 
     ``threshold_method`` selects how k-of-n gates are handled:
 
@@ -130,6 +160,18 @@ def lsss_from_policy(policy, threshold_method: str = "expand") -> LsssMatrix:
             f"unknown threshold_method {threshold_method!r}; "
             f"use 'expand' or 'insert'"
         )
+    cache_key = None
+    if isinstance(policy, str):
+        cache_key = (policy, threshold_method)
+        cached = _lsss_cache.get(cache_key)
+        if cached is not None:
+            _lsss_stats["hits"] += 1
+            if meter is not None:
+                meter.bump("lsss-cache-hit")
+            return cached
+        _lsss_stats["misses"] += 1
+        if meter is not None:
+            meter.bump("lsss-cache-miss")
     node = parse(policy)
     if threshold_method == "expand":
         node = node.expand_thresholds()
@@ -187,10 +229,15 @@ def lsss_from_policy(policy, threshold_method: str = "expand") -> LsssMatrix:
     rows = tuple(
         tuple(vector + [0] * (width - len(vector))) for vector in vectors
     )
-    return LsssMatrix(
+    matrix = LsssMatrix(
         rows=rows,
         row_labels=tuple(labels),
         n_cols=width,
         policy=node,
         method=threshold_method,
     )
+    if cache_key is not None:
+        if len(_lsss_cache) >= MAX_LSSS_CACHE:
+            _lsss_cache.pop(next(iter(_lsss_cache)))
+        _lsss_cache[cache_key] = matrix
+    return matrix

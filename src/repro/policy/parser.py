@@ -140,13 +140,48 @@ class _Parser:
         )
 
 
+# Bounded memo of successful parses. Policy nodes are immutable (frozen
+# dataclasses over tuples), so returning the same AST object to every
+# caller is safe; an owner encrypting a stream of data items under one
+# policy string tokenizes it exactly once. Eviction is oldest-first,
+# matching the group-level precomputation caches.
+MAX_PARSE_CACHE = 256
+_parse_cache = {}
+_parse_stats = {"hits": 0, "misses": 0}
+
+
+def parse_cache_stats() -> dict:
+    """Hit/miss counters of the string-policy parse memo (a copy)."""
+    return dict(_parse_stats)
+
+
+def clear_parse_cache() -> None:
+    """Drop the parse memo and zero its counters (test isolation)."""
+    _parse_cache.clear()
+    _parse_stats["hits"] = 0
+    _parse_stats["misses"] = 0
+
+
 def parse(source) -> PolicyNode:
-    """Parse a policy string into an AST (idempotent on AST input)."""
+    """Parse a policy string into an AST (idempotent on AST input).
+
+    String parses are memoized in a bounded cache — see
+    :func:`parse_cache_stats`. Failures are not cached.
+    """
     if isinstance(source, PolicyNode):
         return source
     if not isinstance(source, str):
         raise PolicyError(f"cannot parse policy of type {type(source).__name__}")
+    node = _parse_cache.get(source)
+    if node is not None:
+        _parse_stats["hits"] += 1
+        return node
+    _parse_stats["misses"] += 1
     tokens = _tokenize(source)
     if not tokens:
         raise PolicyError("empty policy")
-    return _Parser(tokens, source).parse_policy()
+    node = _Parser(tokens, source).parse_policy()
+    if len(_parse_cache) >= MAX_PARSE_CACHE:
+        _parse_cache.pop(next(iter(_parse_cache)))
+    _parse_cache[source] = node
+    return node

@@ -51,7 +51,7 @@ from repro.core.serialize import (
     encode_update_info,
     encode_update_key,
 )
-from repro.crypto.hybrid import open_sealed, seal
+from repro.crypto.hybrid import encrypt_with_session, open_sealed
 from repro.errors import (
     AuthorizationError,
     ProtocolError,
@@ -491,18 +491,21 @@ class OwnerClient(BaseClient):
         """Encrypt and upload one Fig. 2 record (cf. ``OwnerEntity.upload``).
 
         ``components`` maps a component name to ``(plaintext, policy)``.
+        Components sharing a policy reuse one cached
+        :class:`~repro.fastpath.session.EncryptionSession`, so the
+        policy is parsed and precomputed once per policy string rather
+        than once per component.
         """
         stored = {}
         for component_name, (plaintext, policy) in components.items():
             ciphertext_id = f"{record_id}/{component_name}"
-            session = self.group.random_gt()
-            abe_ciphertext = self.core.encrypt(
-                session, policy, ciphertext_id=ciphertext_id
+            abe_ciphertext, body = encrypt_with_session(
+                self.core.session_for(policy), ciphertext_id, plaintext
             )
             stored[component_name] = StoredComponent(
                 name=component_name,
                 abe_ciphertext=abe_ciphertext,
-                data_ciphertext=seal(session, ciphertext_id, plaintext),
+                data_ciphertext=body,
             )
         record = StoredRecord(
             record_id=record_id, owner_id=self.owner_id, components=stored
@@ -535,14 +538,13 @@ class OwnerClient(BaseClient):
             if ciphertext_id not in self.core.ciphertext_ids:
                 break
             suffix += 1
-        session = self.group.random_gt()
-        abe_ciphertext = self.core.encrypt(
-            session, policy, ciphertext_id=ciphertext_id
+        abe_ciphertext, body = encrypt_with_session(
+            self.core.session_for(policy), ciphertext_id, plaintext
         )
         component = StoredComponent(
             name=component_name,
             abe_ciphertext=abe_ciphertext,
-            data_ciphertext=seal(session, ciphertext_id, plaintext),
+            data_ciphertext=body,
         )
         old_id = f"{record_id}/{component_name}"
         self.connection.meter_send("update-component", component)

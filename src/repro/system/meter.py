@@ -77,7 +77,29 @@ class Meter:
         self.log = []
         self.channels = defaultdict(ChannelStats)
         self.wire_bytes = 0  # raw frame bytes (service deployments only)
+        self.counters = defaultdict(int)  # named event tallies (bump)
         self._lock = threading.Lock()
+
+    def bump(self, name: str, n: int = 1) -> None:
+        """Count one named event (cache hits, pool refills, …).
+
+        The byte channels above model the paper's Table IV; these
+        free-form counters carry implementation telemetry — e.g. the
+        policy layer's ``lsss-cache-hit``/``lsss-cache-miss`` — through
+        the same thread-safe object the stats endpoints already expose.
+        """
+        with self._lock:
+            self.counters[name] += n
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            # .get, not [] — reading must not materialize a zero entry
+            # in the defaultdict (keeps counter_summary() clean).
+            return self.counters.get(name, 0)
+
+    def counter_summary(self) -> dict:
+        with self._lock:
+            return dict(self.counters)
 
     def record(self, sender: str, sender_role: str, recipient: str,
                recipient_role: str, kind: str, payload) -> int:
@@ -151,3 +173,4 @@ class Meter:
             self.log.clear()
             self.channels.clear()
             self.wire_bytes = 0
+            self.counters.clear()

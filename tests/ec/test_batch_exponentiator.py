@@ -1,0 +1,97 @@
+"""Shared-NAF-chain batch exponentiation and batched affine chains."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ec.curve import INFINITY, SupersingularCurve
+from repro.ec.fixed_base import (
+    BatchExponentiator,
+    _naf_program,
+    affine_doubling_chain,
+    affine_doubling_chains,
+)
+from repro.ec.params import TOY80
+from repro.math.field import PrimeField
+
+FIELD = PrimeField(TOY80.p, check_prime=False)
+CURVE = SupersingularCurve(FIELD)
+G = TOY80.generator
+
+
+def _reconstruct(program):
+    return sum(sign << level for level, sign in program)
+
+
+class TestNafProgram:
+    @given(st.integers(0, TOY80.r - 1))
+    def test_reconstructs_exponent(self, exponent):
+        assert _reconstruct(_naf_program(exponent)) == exponent
+
+    @given(st.integers(0, TOY80.r - 1))
+    def test_no_adjacent_levels(self, exponent):
+        levels = [level for level, _ in _naf_program(exponent)]
+        assert all(b - a >= 2 for a, b in zip(levels, levels[1:]))
+
+    def test_zero_is_empty(self):
+        assert _naf_program(0) == ()
+
+
+class TestBatchExponentiator:
+    EXPONENTS = [0, 1, 2, 3, 12345, TOY80.r - 1, TOY80.r // 2]
+
+    def test_matches_double_and_add(self):
+        batch = BatchExponentiator(CURVE, TOY80.r, self.EXPONENTS)
+        for power, exponent in zip(batch.powers(G), self.EXPONENTS):
+            assert power == CURVE.mul(G, exponent)
+
+    @given(st.lists(st.integers(0, TOY80.r * 2), min_size=1, max_size=6))
+    def test_random_exponent_sets(self, exponents):
+        batch = BatchExponentiator(CURVE, TOY80.r, exponents)
+        for power, exponent in zip(batch.powers(G), exponents):
+            assert power == CURVE.mul(G, exponent % TOY80.r)
+
+    def test_infinity_base(self):
+        batch = BatchExponentiator(CURVE, TOY80.r, [1, 2, 3])
+        assert batch.powers(INFINITY) == [INFINITY] * 3
+
+    def test_precomputed_chain_matches_internal(self):
+        batch = BatchExponentiator(CURVE, TOY80.r, self.EXPONENTS)
+        chain = affine_doubling_chain(CURVE, G, batch.chain_length)
+        assert batch.powers(G, chain) == batch.powers(G)
+
+    def test_short_chain_rejected(self):
+        batch = BatchExponentiator(CURVE, TOY80.r, [TOY80.r - 1])
+        chain = affine_doubling_chain(CURVE, G, batch.chain_length - 1)
+        with pytest.raises(ValueError):
+            batch.powers(G, chain)
+
+
+class TestAffineDoublingChains:
+    def test_matches_single_chain(self):
+        points = [CURVE.mul(G, scalar) for scalar in (1, 7, 12345)]
+        chains = affine_doubling_chains(CURVE, points, 30)
+        for point, chain in zip(points, chains):
+            assert chain == affine_doubling_chain(CURVE, point, 30)
+
+    def test_chain_entries_are_doublings(self):
+        (chain,) = affine_doubling_chains(CURVE, [G], 20)
+        for level, point in enumerate(chain):
+            assert point == CURVE.mul(G, 1 << level)
+
+    def test_infinity_and_empty(self):
+        assert affine_doubling_chains(CURVE, [], 5) == []
+        assert affine_doubling_chains(CURVE, [INFINITY], 3) \
+            == [[INFINITY] * 3]
+        assert affine_doubling_chains(CURVE, [G], 0) == [[]]
+
+    def test_order_two_point_terminates(self):
+        # y = 0 doubles to infinity and must stay there, not crash the
+        # batch inversion.
+        x = next(
+            x for x in range(TOY80.p)
+            if (x * x * x + x) % TOY80.p == 0
+        )
+        chains = affine_doubling_chains(CURVE, [(x, 0), G], 4)
+        assert chains[0] == [(x, 0), INFINITY, INFINITY, INFINITY]
+        assert chains[1][3] == CURVE.mul(G, 8)

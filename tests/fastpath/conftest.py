@@ -1,0 +1,42 @@
+"""Fastpath fixtures: a two-authority deployment with one keyed reader."""
+
+import pytest
+
+from repro.core.scheme import MultiAuthorityABE
+from repro.ec.params import TOY80
+
+_COUNTER = [0]
+
+
+class Fabric:
+    """Scheme + two authorities + owner + a reader holding every attribute."""
+
+    def __init__(self, seed):
+        self.scheme = MultiAuthorityABE(TOY80, seed=seed)
+        self.hospital = self.scheme.setup_authority(
+            "hospital", ["doctor", "nurse", "surgeon"]
+        )
+        self.trial = self.scheme.setup_authority(
+            "trial", ["researcher", "pi"]
+        )
+        self.owner = self.scheme.setup_owner(
+            "alice", [self.hospital, self.trial]
+        )
+        self.bob_pk = self.scheme.register_user("bob")
+        self.bob_keys = {
+            "hospital": self.hospital.keygen(
+                self.bob_pk, ["doctor", "nurse", "surgeon"], "alice"
+            ),
+            "trial": self.trial.keygen(
+                self.bob_pk, ["researcher", "pi"], "alice"
+            ),
+        }
+
+    def decrypt(self, ciphertext):
+        return self.scheme.decrypt(ciphertext, self.bob_pk, self.bob_keys)
+
+
+@pytest.fixture()
+def fabric():
+    _COUNTER[0] += 1
+    return Fabric(7000 + _COUNTER[0])

@@ -1,0 +1,122 @@
+"""Behavior of :class:`repro.fastpath.session.EncryptionSession`."""
+
+import pytest
+
+from repro.errors import PolicyError, SchemeError
+
+POLICY = "hospital:doctor AND trial:researcher"
+
+
+class TestSessionOutput:
+    def test_ciphertext_decrypts(self, fabric):
+        session = fabric.owner.session_for(POLICY)
+        message = fabric.scheme.random_message()
+        ciphertext = session.encrypt(message)
+        assert fabric.decrypt(ciphertext) == message
+
+    def test_layout_identical_to_cold(self, fabric):
+        message = fabric.scheme.random_message()
+        cold = fabric.owner.encrypt(message, POLICY, ciphertext_id="ct-cold")
+        session = fabric.owner.session_for(POLICY)
+        fast = session.encrypt(message, ciphertext_id="ct-fast")
+        cold_raw, fast_raw = cold.to_bytes(), fast.to_bytes()
+        assert len(fast_raw) == len(cold_raw)
+        # Byte-identical layout: header fields, row count, element sizes.
+        assert fast.versions == cold.versions
+        assert str(fast.matrix.policy) == str(cold.matrix.policy)
+        assert len(fast.c_rows) == len(cold.c_rows)
+        restored = type(fast).from_bytes(fabric.scheme.group, fast_raw)
+        assert restored.c == fast.c
+        assert restored.c_rows == fast.c_rows
+
+    def test_ledger_entry_matches_cold_semantics(self, fabric):
+        session = fabric.owner.session_for(POLICY)
+        message = fabric.scheme.random_message()
+        ciphertext = session.encrypt(message, ciphertext_id="ledgered")
+        record = fabric.owner.record("ledgered")
+        assert record.versions == dict(ciphertext.versions)
+        # The recoverable KEM session element is C / blinding^s = message.
+        assert ciphertext.c / fabric.owner.recover_session("ledgered") \
+            == message
+
+    def test_duplicate_ciphertext_id_rejected(self, fabric):
+        session = fabric.owner.session_for(POLICY)
+        session.encrypt(fabric.scheme.random_message(), ciphertext_id="dup")
+        with pytest.raises(SchemeError):
+            session.encrypt(
+                fabric.scheme.random_message(), ciphertext_id="dup"
+            )
+        with pytest.raises(SchemeError):
+            fabric.owner.encrypt(
+                fabric.scheme.random_message(), POLICY, ciphertext_id="dup"
+            )
+
+
+class TestPool:
+    def test_inline_fallback_counts_misses(self, fabric):
+        session = fabric.owner.session_for(POLICY)
+        session.encrypt(fabric.scheme.random_message())
+        assert session.stats["pool_misses"] == 1
+
+    def test_refill_feeds_online_phase(self, fabric):
+        session = fabric.owner.session_for(POLICY)
+        session.refill(3)
+        messages = [fabric.scheme.random_message() for _ in range(3)]
+        ciphertexts = [session.encrypt(message) for message in messages]
+        assert session.stats == {"offline": 3, "online": 3, "pool_misses": 0}
+        for message, ciphertext in zip(messages, ciphertexts):
+            assert fabric.decrypt(ciphertext) == message
+
+    def test_pooled_and_inline_bundles_agree(self):
+        # Scalars are drawn by the session (seeded group RNG) in the
+        # same order whether a bundle is pooled or built inline, so two
+        # identically-seeded fabrics must emit identical ciphertexts.
+        from tests.fastpath.conftest import Fabric
+
+        pooled_fabric, inline_fabric = Fabric(424242), Fabric(424242)
+        pooled_session = pooled_fabric.owner.session_for(POLICY)
+        inline_session = inline_fabric.owner.session_for(POLICY)
+        pooled_message = pooled_fabric.scheme.random_message()
+        inline_message = inline_fabric.scheme.random_message()
+        pooled_session.refill(1)
+        pooled = pooled_session.encrypt(pooled_message, ciphertext_id="twin")
+        inline = inline_session.encrypt(inline_message, ciphertext_id="twin")
+        assert pooled_message == inline_message
+        assert pooled.to_bytes() == inline.to_bytes()
+        assert inline_session.stats["pool_misses"] == 1
+        assert pooled_session.stats["pool_misses"] == 0
+
+
+class TestCaching:
+    def test_session_for_returns_cached(self, fabric):
+        first = fabric.owner.session_for(POLICY)
+        assert fabric.owner.session_for(POLICY) is first
+
+    def test_canonicalized_policies_share_a_session(self, fabric):
+        first = fabric.owner.session_for(POLICY)
+        spaced = "hospital:doctor  AND  trial:researcher"
+        assert fabric.owner.session_for(spaced) is first
+
+    def test_facade_entry_point(self, fabric):
+        session = fabric.scheme.encryption_session(fabric.owner, POLICY)
+        assert session is fabric.owner.session_for(POLICY)
+
+
+class TestValidation:
+    def test_unknown_authority_rejected(self, fabric):
+        with pytest.raises(SchemeError):
+            fabric.owner.session_for("elsewhere:doctor")
+
+    def test_non_injective_rho_rejected(self, fabric):
+        with pytest.raises(PolicyError):
+            fabric.owner.session_for(
+                "2 of (hospital:doctor, hospital:nurse, trial:researcher)"
+            )
+
+    def test_threshold_via_insert_method(self, fabric):
+        session = fabric.owner.session_for(
+            "2 of (hospital:doctor, hospital:nurse, trial:researcher)",
+            threshold_method="insert",
+        )
+        message = fabric.scheme.random_message()
+        assert fabric.decrypt(session.encrypt(message)) == message

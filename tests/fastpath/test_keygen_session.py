@@ -1,0 +1,115 @@
+"""Behavior of :class:`repro.fastpath.keygen.KeyGenSession` / joint issue."""
+
+import pytest
+
+from repro.core.scheme import MultiAuthorityABE
+from repro.ec.params import TOY80
+from repro.errors import SchemeError
+from repro.fastpath import issue_joint
+
+
+def _keys_equal(fast, cold):
+    return (
+        fast.uid == cold.uid
+        and fast.aid == cold.aid
+        and fast.owner_id == cold.owner_id
+        and fast.version == cold.version
+        and fast.k == cold.k
+        and fast.attribute_keys == cold.attribute_keys
+    )
+
+
+class TestIssue:
+    def test_issue_matches_cold_exactly(self, fabric):
+        carol = fabric.scheme.register_user("carol")
+        cold = fabric.hospital.keygen(carol, ["doctor", "nurse"], "alice")
+        session = fabric.hospital.keygen_session(
+            "alice", ["doctor", "nurse"]
+        )
+        assert _keys_equal(session.issue(carol), cold)
+
+    def test_issue_batch_matches_loop(self, fabric):
+        users = [
+            fabric.scheme.register_user(f"u{i}") for i in range(4)
+        ]
+        cold = [
+            fabric.trial.keygen(pk, ["researcher"], "alice") for pk in users
+        ]
+        session = fabric.trial.keygen_session("alice", ["researcher"])
+        fast = session.issue_batch(users)
+        assert all(_keys_equal(f, c) for f, c in zip(fast, cold))
+        assert session.stats["issued"] == 4
+
+    def test_registry_updated_like_cold(self, fabric):
+        carol = fabric.scheme.register_user("carol")
+        session = fabric.hospital.keygen_session("alice", ["doctor"])
+        session.issue(carol)
+        assert fabric.hospital.issued_attributes("carol", "alice") \
+            == frozenset({"hospital:doctor"})
+        assert fabric.hospital.user_public_key_on_file("carol") == carol
+
+    def test_session_cached_per_owner_and_set(self, fabric):
+        first = fabric.hospital.keygen_session("alice", ["doctor", "nurse"])
+        second = fabric.hospital.keygen_session("alice", ["nurse", "doctor"])
+        assert second is first
+        assert fabric.hospital.keygen_session("alice", ["doctor"]) is not first
+
+    def test_facade_entry_point(self, fabric):
+        session = fabric.scheme.keygen_session("trial", "alice", ["pi"])
+        assert session is fabric.trial.keygen_session("alice", ["pi"])
+
+
+class TestIssueJoint:
+    def test_matches_per_session_issuance(self, fabric):
+        users = [fabric.scheme.register_user(f"j{i}") for i in range(3)]
+        cold = [
+            {
+                "hospital": fabric.hospital.keygen(
+                    pk, ["doctor", "nurse"], "alice"
+                ),
+                "trial": fabric.trial.keygen(pk, ["researcher"], "alice"),
+            }
+            for pk in users
+        ]
+        sessions = [
+            fabric.hospital.keygen_session("alice", ["doctor", "nurse"]),
+            fabric.trial.keygen_session("alice", ["researcher"]),
+        ]
+        joint = issue_joint(sessions, users)
+        assert len(joint) == 3
+        for fast, reference in zip(joint, cold):
+            assert set(fast) == {"hospital", "trial"}
+            assert _keys_equal(fast["hospital"], reference["hospital"])
+            assert _keys_equal(fast["trial"], reference["trial"])
+
+    def test_joint_keys_decrypt(self, fabric):
+        dave = fabric.scheme.register_user("dave")
+        sessions = [
+            fabric.hospital.keygen_session("alice", ["doctor"]),
+            fabric.trial.keygen_session("alice", ["researcher"]),
+        ]
+        (keys,) = issue_joint(sessions, [dave])
+        message = fabric.scheme.random_message()
+        ciphertext = fabric.owner.encrypt(
+            message, "hospital:doctor AND trial:researcher"
+        )
+        assert fabric.scheme.decrypt(ciphertext, dave, keys) == message
+
+    def test_empty_inputs(self, fabric):
+        assert issue_joint([], [fabric.bob_pk]) == []
+        session = fabric.hospital.keygen_session("alice", ["doctor"])
+        assert issue_joint([session], []) == []
+
+    def test_duplicate_authorities_rejected(self, fabric):
+        session = fabric.hospital.keygen_session("alice", ["doctor"])
+        with pytest.raises(SchemeError):
+            issue_joint([session, session], [fabric.bob_pk])
+
+    def test_mixed_groups_rejected(self, fabric):
+        other = MultiAuthorityABE(TOY80, seed=99)
+        other.setup_authority("clinic", ["medic"])
+        other_owner = other.setup_owner("olga", [other.authority("clinic")])
+        foreign = other.authority("clinic").keygen_session("olga", ["medic"])
+        native = fabric.hospital.keygen_session("alice", ["doctor"])
+        with pytest.raises(SchemeError):
+            issue_joint([native, foreign], [fabric.bob_pk])

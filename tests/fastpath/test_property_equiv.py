@@ -1,0 +1,88 @@
+"""Property: session ciphertexts are indistinguishable from cold ones.
+
+Every policy shape the repo's policy tests exercise must decrypt the
+same whether the ciphertext came from ``DataOwner.encrypt`` or from an
+:class:`EncryptionSession` — through the standard Decrypt, the
+prepared-pairing fast path, AND the outsourced transform/finalize
+pipeline — and must serialize to the same size. TOY-80 covers the full
+shape matrix; one SS512 case smoke-checks the paper-sized curve.
+"""
+
+import pytest
+
+from repro.core.outsourcing import (
+    make_transform_key,
+    server_transform,
+    user_finalize,
+)
+from repro.core.scheme import MultiAuthorityABE
+from repro.ec.params import SS512, TOY80
+
+# The shapes from tests/policy (AND/OR nesting, thresholds), qualified
+# over the two-fabric authorities. Thresholds use the injectivity-
+# preserving insertion construction, as the core scheme requires.
+POLICY_SHAPES = [
+    ("hospital:doctor", "expand"),
+    ("hospital:doctor AND trial:researcher", "expand"),
+    ("hospital:doctor OR hospital:nurse", "expand"),
+    ("hospital:doctor AND (trial:researcher OR trial:pi)", "expand"),
+    ("(hospital:doctor AND hospital:nurse) OR (trial:researcher AND trial:pi)",
+     "expand"),
+    ("hospital:doctor AND hospital:nurse AND hospital:surgeon", "expand"),
+    ("2 of (hospital:doctor, hospital:nurse, trial:researcher)", "insert"),
+    ("2 of (hospital:doctor AND trial:pi, hospital:nurse, trial:researcher)",
+     "insert"),
+]
+
+
+def _assert_equivalent(fabric, policy, threshold_method):
+    scheme, owner = fabric.scheme, fabric.owner
+    message = scheme.random_message()
+    cold = owner.encrypt(
+        message, policy, ciphertext_id="eq-cold",
+        threshold_method=threshold_method,
+    )
+    session = owner.session_for(policy, threshold_method=threshold_method)
+    fast = session.encrypt(message, ciphertext_id="eq-sess")
+    assert len(fast.to_bytes()) == len(cold.to_bytes())
+
+    for ciphertext in (cold, fast):
+        assert scheme.decrypt(
+            ciphertext, fabric.bob_pk, fabric.bob_keys
+        ) == message
+        assert scheme.decrypt_fast(
+            ciphertext, fabric.bob_pk, fabric.bob_keys
+        ) == message
+        transform_key, retrieval_key = make_transform_key(
+            scheme.group, fabric.bob_pk, fabric.bob_keys
+        )
+        partial = server_transform(scheme.group, ciphertext, transform_key)
+        assert user_finalize(ciphertext, partial, retrieval_key) == message
+
+
+@pytest.mark.parametrize("policy,threshold_method", POLICY_SHAPES)
+def test_session_equals_cold_toy80(fabric, policy, threshold_method):
+    _assert_equivalent(fabric, policy, threshold_method)
+
+
+def test_session_equals_cold_ss512():
+    scheme = MultiAuthorityABE(SS512, seed=512512)
+    hospital = scheme.setup_authority("hospital", ["doctor", "nurse"])
+    trial = scheme.setup_authority("trial", ["researcher"])
+    owner = scheme.setup_owner("alice", [hospital, trial])
+    bob = scheme.register_user("bob")
+    keys = {
+        "hospital": hospital.keygen(bob, ["doctor", "nurse"], "alice"),
+        "trial": trial.keygen(bob, ["researcher"], "alice"),
+    }
+
+    class _Fabric:
+        pass
+
+    fabric = _Fabric()
+    fabric.scheme, fabric.owner = scheme, owner
+    fabric.bob_pk, fabric.bob_keys = bob, keys
+    _assert_equivalent(
+        fabric, "hospital:doctor AND (trial:researcher OR hospital:nurse)",
+        "expand",
+    )

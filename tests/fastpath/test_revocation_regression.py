@@ -1,0 +1,98 @@
+"""Regression: sessions must go stale the moment a key version rolls.
+
+The dangerous failure mode of per-policy precomputation is a cached
+session silently emitting ciphertexts (or keys) under a revoked α
+epoch. These tests pin the contract: once the owner applies an
+authority's update key (UKeyGen / ReKey), the old
+:class:`EncryptionSession` refuses to encrypt OR refill, and
+``session_for`` transparently rebuilds against the rolled-forward
+version; a :class:`KeyGenSession` refuses the instant the authority
+itself bumps its version.
+"""
+
+import pytest
+
+from repro.core.authority import apply_update_key
+from repro.core.revocation import rekey_standard
+from repro.errors import RevocationError
+from repro.fastpath import issue_joint
+
+POLICY = "hospital:doctor AND trial:researcher"
+
+
+def _revoke_doctor(fabric):
+    """Revoke a third party's hospital:doctor, rolling hospital to v1."""
+    eve = fabric.scheme.register_user("eve")
+    fabric.hospital.keygen(eve, ["doctor"], "alice")
+    return rekey_standard(fabric.hospital, "eve", ["doctor"])
+
+
+class TestEncryptionSessionStaleness:
+    def test_stale_session_refuses_encrypt_and_refill(self, fabric):
+        session = fabric.owner.session_for(POLICY)
+        session.refill(2)
+        session.encrypt(fabric.scheme.random_message())
+        result = _revoke_doctor(fabric)
+        fabric.owner.apply_update_key(result.update_key)
+        assert not session.is_current()
+        with pytest.raises(RevocationError):
+            session.encrypt(fabric.scheme.random_message())
+        with pytest.raises(RevocationError):
+            session.refill(1)
+
+    def test_session_for_rebuilds_with_rolled_version(self, fabric):
+        stale = fabric.owner.session_for(POLICY)
+        result = _revoke_doctor(fabric)
+        fabric.owner.apply_update_key(result.update_key)
+        fresh = fabric.owner.session_for(POLICY)
+        assert fresh is not stale
+        ciphertext = fresh.encrypt(fabric.scheme.random_message())
+        assert ciphertext.versions["hospital"] == 1
+        assert ciphertext.versions["trial"] == 0
+
+    def test_fresh_ciphertext_decrypts_with_updated_key(self, fabric):
+        result = _revoke_doctor(fabric)
+        fabric.owner.apply_update_key(result.update_key)
+        fabric.bob_keys["hospital"] = apply_update_key(
+            fabric.bob_keys["hospital"], result.update_key
+        )
+        session = fabric.owner.session_for(POLICY)
+        message = fabric.scheme.random_message()
+        assert fabric.decrypt(session.encrypt(message)) == message
+
+    def test_pre_apply_window_matches_cold_semantics(self, fabric):
+        # Until the owner itself applies the update key, its cached
+        # public keys are still the old epoch: both paths keep emitting
+        # version-0 ciphertexts (which the revocation sweep re-encrypts),
+        # and neither may raise.
+        session = fabric.owner.session_for(POLICY)
+        _revoke_doctor(fabric)
+        from_session = session.encrypt(fabric.scheme.random_message())
+        from_cold = fabric.owner.encrypt(
+            fabric.scheme.random_message(), POLICY
+        )
+        assert from_session.versions == from_cold.versions
+        assert from_session.versions["hospital"] == 0
+
+
+class TestKeyGenSessionStaleness:
+    def test_stale_keygen_session_refuses(self, fabric):
+        session = fabric.hospital.keygen_session("alice", ["doctor"])
+        _revoke_doctor(fabric)
+        carol = fabric.scheme.register_user("carol")
+        with pytest.raises(RevocationError):
+            session.issue(carol)
+        with pytest.raises(RevocationError):
+            issue_joint([session], [carol])
+
+    def test_keygen_session_rebuilds_at_new_version(self, fabric):
+        stale = fabric.hospital.keygen_session("alice", ["doctor"])
+        _revoke_doctor(fabric)
+        fresh = fabric.hospital.keygen_session("alice", ["doctor"])
+        assert fresh is not stale
+        carol = fabric.scheme.register_user("carol")
+        issued = fresh.issue(carol)
+        assert issued.version == 1
+        cold = fabric.hospital.keygen(carol, ["doctor"], "alice")
+        assert issued.k == cold.k
+        assert issued.attribute_keys == cold.attribute_keys

@@ -1,0 +1,62 @@
+"""Batched scalar sampling (``PairingGroup.random_scalars``)."""
+
+import pytest
+
+from repro.ec.params import TOY80
+from repro.errors import MathError
+from repro.pairing.group import PairingGroup
+
+
+class TestContract:
+    def test_range_and_count(self, group):
+        scalars = group.random_scalars(100)
+        assert len(scalars) == 100
+        assert all(0 < s < group.order for s in scalars)
+
+    def test_zero_allowed_when_requested(self, group):
+        scalars = group.random_scalars(50, nonzero=False)
+        assert all(0 <= s < group.order for s in scalars)
+
+    def test_empty_and_invalid_counts(self, group):
+        assert group.random_scalars(0) == []
+        with pytest.raises(MathError):
+            group.random_scalars(-1)
+
+    def test_deterministic_under_seed(self):
+        first = PairingGroup(TOY80, seed=31337).random_scalars(20)
+        second = PairingGroup(TOY80, seed=31337).random_scalars(20)
+        assert first == second
+        assert PairingGroup(TOY80, seed=31338).random_scalars(20) != first
+
+
+class TestStatisticalSanity:
+    """Coarse uniformity checks — loose bounds, deterministic seed."""
+
+    N = 4000
+
+    @pytest.fixture(scope="class")
+    def sample(self):
+        return PairingGroup(TOY80, seed=0xD1CE).random_scalars(self.N)
+
+    def test_mean_near_half_order(self, sample):
+        mean = sum(sample) / len(sample)
+        assert 0.45 < mean / TOY80.r < 0.55
+
+    def test_halves_balanced(self, sample):
+        upper = sum(1 for s in sample if s >= TOY80.r // 2)
+        assert 0.45 < upper / len(sample) < 0.55
+
+    def test_top_byte_spread(self, sample):
+        # Scalars are reduced mod an 80-bit order; the top 4 bits should
+        # hit every bucket for 4000 draws.
+        shift = TOY80.r.bit_length() - 4
+        buckets = {s >> shift for s in sample}
+        assert len(buckets) >= 8
+
+    def test_no_collisions(self, sample):
+        # 4000 draws from an 80-bit space: a repeat means broken masking.
+        assert len(set(sample)) == self.N
+
+    def test_extremes_reached(self, sample):
+        assert min(sample) < TOY80.r * 0.05
+        assert max(sample) > TOY80.r * 0.95

@@ -1,0 +1,95 @@
+"""The bounded parse / LSSS memo caches and their counters."""
+
+import pytest
+
+from repro.policy import lsss as lsss_module
+from repro.policy import parser as parser_module
+from repro.policy.ast import Attribute
+from repro.policy.lsss import (
+    clear_lsss_cache,
+    lsss_cache_stats,
+    lsss_from_policy,
+)
+from repro.policy.parser import (
+    MAX_PARSE_CACHE,
+    clear_parse_cache,
+    parse,
+    parse_cache_stats,
+)
+from repro.errors import PolicyError
+from repro.system.meter import Meter
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_parse_cache()
+    clear_lsss_cache()
+    yield
+    clear_parse_cache()
+    clear_lsss_cache()
+
+
+class TestParseCache:
+    def test_hit_returns_same_ast(self):
+        first = parse("a AND (b OR c)")
+        second = parse("a AND (b OR c)")
+        assert second is first
+        assert parse_cache_stats() == {"hits": 1, "misses": 1}
+
+    def test_ast_passthrough_skips_cache(self):
+        node = Attribute("a")
+        assert parse(node) is node
+        assert parse_cache_stats() == {"hits": 0, "misses": 0}
+
+    def test_failures_not_cached(self):
+        for _ in range(2):
+            with pytest.raises(PolicyError):
+                parse("a AND")
+        assert parse_cache_stats()["misses"] == 2
+        assert len(parser_module._parse_cache) == 0
+
+    def test_bounded_eviction(self):
+        for index in range(MAX_PARSE_CACHE + 10):
+            parse(f"attr{index}")
+        assert len(parser_module._parse_cache) == MAX_PARSE_CACHE
+        # Oldest-first: the earliest entries were evicted.
+        assert "attr0" not in parser_module._parse_cache
+        assert f"attr{MAX_PARSE_CACHE + 9}" in parser_module._parse_cache
+
+    def test_clear_resets_counters(self):
+        parse("a")
+        parse("a")
+        clear_parse_cache()
+        assert parse_cache_stats() == {"hits": 0, "misses": 0}
+
+
+class TestLsssCache:
+    def test_hit_returns_same_matrix(self):
+        first = lsss_from_policy("a AND b")
+        second = lsss_from_policy("a AND b")
+        assert second is first
+        assert lsss_cache_stats() == {"hits": 1, "misses": 1}
+
+    def test_threshold_method_keys_separately(self):
+        expand = lsss_from_policy("2 of (a, b, c)", "expand")
+        insert = lsss_from_policy("2 of (a, b, c)", "insert")
+        assert expand is not insert
+        assert lsss_cache_stats() == {"hits": 0, "misses": 2}
+
+    def test_ast_input_not_cached(self):
+        node = Attribute("a")
+        lsss_from_policy(node)
+        assert lsss_cache_stats() == {"hits": 0, "misses": 0}
+
+    def test_meter_counters_bumped(self, group):
+        meter = Meter(group)
+        lsss_from_policy("a AND b", meter=meter)
+        lsss_from_policy("a AND b", meter=meter)
+        lsss_from_policy("a AND b", meter=meter)
+        assert meter.counter("lsss-cache-miss") == 1
+        assert meter.counter("lsss-cache-hit") == 2
+
+    def test_bounded_eviction(self):
+        for index in range(lsss_module.MAX_LSSS_CACHE + 5):
+            lsss_from_policy(f"attr{index}")
+        assert len(lsss_module._lsss_cache) == lsss_module.MAX_LSSS_CACHE

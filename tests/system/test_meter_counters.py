@@ -1,0 +1,51 @@
+"""Named event counters on the Meter (cache hits, pool stats, …)."""
+
+import threading
+
+from repro.system.meter import Meter
+
+
+def test_bump_and_read(group):
+    meter = Meter(group)
+    meter.bump("lsss-cache-hit")
+    meter.bump("lsss-cache-hit", 4)
+    meter.bump("lsss-cache-miss")
+    assert meter.counter("lsss-cache-hit") == 5
+    assert meter.counter("lsss-cache-miss") == 1
+    assert meter.counter("never-bumped") == 0
+
+
+def test_summary_is_a_snapshot(group):
+    meter = Meter(group)
+    meter.bump("x", 2)
+    summary = meter.counter_summary()
+    assert summary == {"x": 2}
+    summary["x"] = 99
+    assert meter.counter("x") == 2
+
+
+def test_reset_clears_counters(group):
+    meter = Meter(group)
+    meter.bump("x")
+    meter.reset()
+    assert meter.counter("x") == 0
+    assert meter.counter_summary() == {}
+
+
+def test_concurrent_bumps_stay_exact(group):
+    meter = Meter(group)
+    threads = 6
+    per_thread = 500
+    barrier = threading.Barrier(threads)
+
+    def hammer():
+        barrier.wait()
+        for _ in range(per_thread):
+            meter.bump("contended")
+
+    workers = [threading.Thread(target=hammer) for _ in range(threads)]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    assert meter.counter("contended") == threads * per_thread
