@@ -7,11 +7,13 @@ one AA bulk-onboarding 32 users over a 10-attribute set.
 * **Encrypt** — the cold path (:meth:`DataOwner.encrypt`, warm tables)
   versus the session engine's split: the *offline* phase precomputes 64
   message-independent bundles, the *online* phase consumes them with
-  one GT multiplication per message. The gated metric is the
-  **online (request-path) speedup** — the figure that matters when
-  refills run in the background on the crypto pool and overlap I/O;
-  the fully-amortized figure (setup + offline + online) is reported
-  alongside, un-gated.
+  one GT multiplication per message. Two gated metrics: the **online
+  (request-path) speedup** — the figure that matters when refills run
+  in the background on the crypto pool and overlap I/O — and the
+  **fully-amortized speedup** (setup + offline + online against the
+  cold loop), the ROADMAP's total-throughput target. Each leg is
+  timed best-of-``ENCRYPT_RUNS`` with a fresh session (setup
+  included) per offline rep.
 * **KeyGen** — a cold ``keygen`` loop versus joint session issuance
   (:func:`repro.fastpath.issue_joint`, setup included): both
   authorities onboard every user sharing one doubling chain per
@@ -54,10 +56,13 @@ from repro.core.outsourcing import (
 )
 from repro.core.owner import DataOwner
 from repro.ec.params import PRESETS
-from repro.fastpath import issue_joint
+from repro.fastpath import EncryptionSession, issue_joint
 from repro.pairing.group import PairingGroup
 
+from bench_common import arith_metadata, counter_summary
+
 N_MESSAGES = 64
+ENCRYPT_RUNS = 3                 # best-of-N noise estimator per leg
 N_USERS = 32
 ATTRS_PER_AUTHORITY = 5          # x 2 authorities = the 10-attribute policy
 SEED = 1234
@@ -156,34 +161,48 @@ def run(preset_name: str, out_path: str, smoke: bool) -> dict:
           f"({keygen_speedup:.2f}x), all keys identical")
 
     # -- Encrypt: cold loop vs offline/online split -------------------------
+    # Each leg runs ENCRYPT_RUNS times and the gate compares the best
+    # run of each — the min is the standard noise estimator (cf.
+    # ``timeit``; same scheme as bench_parallel_sweep): scheduler
+    # hiccups only ever make a run slower. Every offline rep builds a
+    # FRESH session, so setup (LSSS resolution, the session's wide
+    # generator table) is inside every offline sample, not amortized
+    # away across reps.
     messages = [group.random_gt() for _ in range(N_MESSAGES)]
     owner.encrypt(group.random_gt(), policy,
                   ciphertext_id="bench/warmup-00")  # warm tables, both sides
 
-    start = time.perf_counter()
-    cold_cts = [
-        owner.encrypt(message, policy, ciphertext_id=f"bench/cold-{i:03d}")
-        for i, message in enumerate(messages)
-    ]
-    encrypt_cold_s = time.perf_counter() - start
+    cold_samples, offline_samples, online_samples = [], [], []
+    cold_cts = session_cts = None
+    for rep in range(ENCRYPT_RUNS):
+        start = time.perf_counter()
+        cold_cts = [
+            owner.encrypt(message, policy,
+                          ciphertext_id=f"bench/cold-{rep}-{i:03d}")
+            for i, message in enumerate(messages)
+        ]
+        cold_samples.append(time.perf_counter() - start)
 
-    start = time.perf_counter()
-    session = owner.session_for(policy)
-    session.refill(N_MESSAGES)
-    offline_s = time.perf_counter() - start
+        start = time.perf_counter()
+        session = EncryptionSession(owner, policy)
+        session.refill(N_MESSAGES)
+        offline_samples.append(time.perf_counter() - start)
 
-    start = time.perf_counter()
-    session_cts = [
-        session.encrypt(message, ciphertext_id=f"bench/sess-{i:03d}")
-        for i, message in enumerate(messages)
-    ]
-    online_s = time.perf_counter() - start
-    if session.stats["pool_misses"]:
-        raise AssertionError("online phase fell back to inline bundles")
+        start = time.perf_counter()
+        session_cts = [
+            session.encrypt(message, ciphertext_id=f"bench/sess-{rep}-{i:03d}")
+            for i, message in enumerate(messages)
+        ]
+        online_samples.append(time.perf_counter() - start)
+        if session.stats["pool_misses"]:
+            raise AssertionError("online phase fell back to inline bundles")
 
+    encrypt_cold_s = min(cold_samples)
+    offline_s = min(offline_samples)
+    online_s = min(online_samples)
     online_speedup = encrypt_cold_s / online_s
     amortized_speedup = encrypt_cold_s / (offline_s + online_s)
-    print(f"[encrypt-session] encrypt: {N_MESSAGES} msgs, "
+    print(f"[encrypt-session] encrypt: {N_MESSAGES} msgs x{ENCRYPT_RUNS}, "
           f"{n_attrs}-attribute policy: cold {encrypt_cold_s:.3f}s, "
           f"offline {offline_s:.3f}s + online {online_s:.3f}s "
           f"(online {online_speedup:.1f}x, amortized "
@@ -206,14 +225,17 @@ def run(preset_name: str, out_path: str, smoke: bool) -> dict:
           f"(direct + outsourced) and serialize identically to cold")
 
     encrypt_gate = 1.5 if smoke else 3.0
+    amortized_gate = 1.2 if smoke else 2.0
     keygen_gate = 1.2 if smoke else 2.0
     report = {
         "benchmark": "encryption session engine (online/offline split)",
         "generated_by": "benchmarks/bench_encrypt_session.py",
         "preset": preset_name,
         "smoke": smoke,
+        "arithmetic": arith_metadata(group),
         "workload": {
             "messages": N_MESSAGES,
+            "encrypt_runs": ENCRYPT_RUNS,
             "policy_attributes": n_attrs,
             "policy": policy,
             "keygen_users": N_USERS,
@@ -223,6 +245,9 @@ def run(preset_name: str, out_path: str, smoke: bool) -> dict:
             "cold_s": round(encrypt_cold_s, 6),
             "offline_s": round(offline_s, 6),
             "online_s": round(online_s, 6),
+            "cold_samples_s": [round(v, 6) for v in cold_samples],
+            "offline_samples_s": [round(v, 6) for v in offline_samples],
+            "online_samples_s": [round(v, 6) for v in online_samples],
             "online_speedup": round(online_speedup, 2),
             "amortized_speedup": round(amortized_speedup, 2),
         },
@@ -239,8 +264,10 @@ def run(preset_name: str, out_path: str, smoke: bool) -> dict:
         },
         "gates": {
             "encrypt_online_floor": encrypt_gate,
+            "encrypt_amortized_floor": amortized_gate,
             "keygen_floor": keygen_gate,
         },
+        "op_counts": counter_summary(group),
     }
     with open(out_path, "w") as handle:
         json.dump(report, handle, indent=2)
@@ -269,6 +296,13 @@ def main():
         failures.append(
             f"encrypt online speedup {report['encrypt']['online_speedup']}x "
             f"< {report['gates']['encrypt_online_floor']}x"
+        )
+    if (report["encrypt"]["amortized_speedup"]
+            < report["gates"]["encrypt_amortized_floor"]):
+        failures.append(
+            f"encrypt amortized speedup "
+            f"{report['encrypt']['amortized_speedup']}x "
+            f"< {report['gates']['encrypt_amortized_floor']}x"
         )
     if report["keygen"]["speedup"] < report["gates"]["keygen_floor"]:
         failures.append(

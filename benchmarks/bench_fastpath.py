@@ -42,6 +42,8 @@ from repro.math.field_ext import QuadraticExtension
 from repro.pairing.group import PairingGroup
 from repro.pairing.miller import miller_loop_affine
 
+from bench_common import arith_metadata, counter_summary
+
 FIXED_AUTHORITIES = 5
 ATTRIBUTE_SWEEP = [2, 5, 10, 15, 20]
 
@@ -206,6 +208,7 @@ def run(preset_name: str, out_path: str) -> dict:
         "benchmark": "precomputation & multi-exponentiation fast path",
         "generated_by": "benchmarks/bench_fastpath.py",
         "preset": preset_name,
+        "arithmetic": arith_metadata(fast.group),
         "fixed_authorities": FIXED_AUTHORITIES,
         "workload": "Fig 4(a)/4(b): all-AND policy, 5 authorities, "
                     "attrs/AA sweep; warm caches; best of N rounds",
@@ -215,6 +218,7 @@ def run(preset_name: str, out_path: str) -> dict:
             "encrypt_speedup_at_5x5": at_5x5["encrypt"]["speedup"],
             "decrypt_speedup_at_5x5": at_5x5["decrypt"]["speedup"],
         },
+        "op_counts": counter_summary(fast.group),
     }
     with open(out_path, "w") as handle:
         json.dump(report, handle, indent=2)

@@ -12,14 +12,15 @@ Two phases, both gated on bit-identical outputs:
   amortization (pool size 0).
 
 * **Phase B — bulk sweep over a live service.** A ≥200-record TOY80
-  store revoked twice from identical starting states: once with the
-  sequential per-ciphertext ``REENCRYPT`` loop
+  store revoked from identical starting states: with the sequential
+  per-ciphertext ``REENCRYPT`` loop
   (:meth:`OwnerClient.push_revocation_updates`, one fully-validated
-  round trip per ciphertext) and once with a single
-  ``REENCRYPT_SWEEP`` request against a 4-worker service. The stores
-  are file-copies of each other and the owner ledger is restored
-  between runs, so the resulting record files must be byte-identical;
-  the sweep must be ≥3x faster (gate skipped with ``--smoke``).
+  round trip per ciphertext) and with a single ``REENCRYPT_SWEEP``
+  request against an auto-sized service pool. Each leg runs cold and
+  warm; the stores are file-copies of each other and the owner ledger
+  is restored between runs, so the resulting record files must be
+  byte-identical, and the warm sweep must be ≥6x faster than the warm
+  sequential loop (gate skipped with ``--smoke``).
 
 Usage::
 
@@ -49,7 +50,14 @@ from repro.core.scheme import MultiAuthorityABE
 from repro.ec.params import TOY80
 from repro.parallel.batch import UPDATED, batch_outcomes
 
-SPEEDUP_GATE = 3.0
+from bench_common import arith_metadata, counter_summary
+
+SPEEDUP_GATE = 6.0
+# One service-side chunk per sweep at the bench's record count: the
+# chunked pipeline exists for progress reporting and bounded memory on
+# big stores, but every extra chunk costs offload hops and batch-call
+# constants, so the bench runs the whole sweep as a single batch.
+SWEEP_CHUNK = 256
 
 
 # -- phase A: amortized pairing at pool size 0 --------------------------------
@@ -178,14 +186,14 @@ async def _run_sequential(scenario, root) -> float:
     return elapsed
 
 
-async def _run_sweep(scenario, root, workers: int) -> float:
+async def _run_sweep(scenario, root, workers, sweep_chunk: int = SWEEP_CHUNK) -> float:
     from repro.service.server import StorageService
     from repro.service.store import RecordStore
 
     group = scenario["group"]
     service = StorageService(group, RecordStore(root, group),
                              host="127.0.0.1", port=0, workers=workers,
-                             sweep_chunk=64)
+                             sweep_chunk=sweep_chunk)
     await service.start()
     owner = await _owner_client(scenario, service)
     try:
@@ -208,39 +216,71 @@ def _record_blobs(group, root, record_ids) -> list:
 
 
 def phase_b(n_records: int, workers: int) -> dict:
+    """Each leg runs several times from identical store copies: once
+    cold (first touch of every code path and cache) and then warm
+    (generator tables, prepared pairings and the page cache primed —
+    the steady state a long-lived service sweeps in). The gate compares
+    the best warm run of each leg — the min is the standard noise
+    estimator (cf. ``timeit``): scheduling hiccups and writeback stalls
+    only ever make a run *slower*. Cold numbers and every warm sample
+    are reported alongside. ``os.sync()`` before every timed run keeps
+    setup writeback (populate + copytree) out of the measured
+    durability barriers."""
     scenario = _build_scenario()
     group = scenario["group"]
+    warm_runs = 3
     with tempfile.TemporaryDirectory() as base:
-        root_seq = os.path.join(base, "store-seq")
-        root_sweep = os.path.join(base, "store-sweep")
+        root_seed = os.path.join(base, "store-seed")
         record_ids = asyncio.run(
-            _populate(group, scenario, root_seq, n_records)
+            _populate(group, scenario, root_seed, n_records)
         )
-        shutil.copytree(root_seq, root_sweep)
-
         update_key = rekey_standard(
             scenario["aa"], "victim", ["doctor"]
         ).update_key
         scenario["update_key"] = update_key
         scenario["n_records"] = n_records
-
         snapshot = _snapshot_owner(scenario["owner"])
-        sequential_seconds = asyncio.run(_run_sequential(scenario, root_seq))
-        _restore_owner(scenario["owner"], snapshot)
-        sweep_seconds = asyncio.run(_run_sweep(scenario, root_sweep, workers))
+
+        def fresh_root(name):
+            root = os.path.join(base, name)
+            shutil.copytree(root_seed, root)
+            _restore_owner(scenario["owner"], snapshot)
+            os.sync()
+            return root
+
+        sequential_runs = []
+        for run in range(1 + warm_runs):
+            root_seq = fresh_root(f"seq-{run}")
+            sequential_runs.append(
+                asyncio.run(_run_sequential(scenario, root_seq))
+            )
+        sweep_runs = []
+        for run in range(1 + warm_runs):
+            root_sweep = fresh_root(f"sweep-{run}")
+            sweep_runs.append(
+                asyncio.run(_run_sweep(scenario, root_sweep, workers))
+            )
 
         identical = (
             _record_blobs(group, root_seq, record_ids)
             == _record_blobs(group, root_sweep, record_ids)
         )
+    sequential_seconds = min(sequential_runs[1:])
+    sweep_seconds = min(sweep_runs[1:])
     return {
         "records": n_records,
         "workers": workers,
-        "sweep_chunk": 64,
+        "sweep_chunk": SWEEP_CHUNK,
+        "sequential_cold_seconds": round(sequential_runs[0], 6),
+        "sequential_warm_samples": [round(t, 6)
+                                    for t in sequential_runs[1:]],
         "sequential_seconds": round(sequential_seconds, 6),
+        "sweep_cold_seconds": round(sweep_runs[0], 6),
+        "sweep_warm_samples": [round(t, 6) for t in sweep_runs[1:]],
         "sweep_seconds": round(sweep_seconds, 6),
         "speedup": round(sequential_seconds / sweep_seconds, 3),
         "outputs_bit_identical": identical,
+        "op_counts": counter_summary(group),
     }
 
 
@@ -250,11 +290,15 @@ def main(argv=None) -> int:
                         help="small workload, no speedup gate (CI)")
     parser.add_argument("--records", type=int, default=None,
                         help="phase-B store size (default 200, smoke 24)")
-    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--workers", default="auto",
+                        help='pool size for the sweep service: an int, '
+                             'or "auto" for cores-1 (inline on 1-core '
+                             'machines)')
     parser.add_argument("--out", default=os.path.join(
         os.path.dirname(__file__), os.pardir, "BENCH_parallel_sweep.json"))
     args = parser.parse_args(argv)
 
+    workers = args.workers if args.workers == "auto" else int(args.workers)
     n_phase_a = 16 if args.smoke else 64
     n_records = args.records or (24 if args.smoke else 200)
 
@@ -267,15 +311,21 @@ def main(argv=None) -> int:
           f"{result_a['outputs_bit_identical']}", flush=True)
 
     print(f"phase B: {n_records} records, sequential loop vs "
-          f"{args.workers}-worker sweep", flush=True)
-    result_b = phase_b(n_records, args.workers)
-    print(f"  sequential {result_b['sequential_seconds']:.3f}s, sweep "
-          f"{result_b['sweep_seconds']:.3f}s -> {result_b['speedup']}x, "
+          f"sweep (workers={workers})", flush=True)
+    result_b = phase_b(n_records, workers)
+    print(f"  sequential {result_b['sequential_seconds']:.3f}s (cold "
+          f"{result_b['sequential_cold_seconds']:.3f}s), sweep "
+          f"{result_b['sweep_seconds']:.3f}s (cold "
+          f"{result_b['sweep_cold_seconds']:.3f}s) -> "
+          f"{result_b['speedup']}x warm, "
           f"bit-identical: {result_b['outputs_bit_identical']}", flush=True)
+
+    from repro.pairing.group import PairingGroup
 
     report = {
         "preset": "TOY80",
         "smoke": args.smoke,
+        "arithmetic": arith_metadata(PairingGroup(TOY80, seed=0xB5B)),
         "phase_a": result_a,
         "phase_b": result_b,
         "outputs_bit_identical": (

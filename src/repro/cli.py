@@ -328,6 +328,12 @@ def build_parser() -> argparse.ArgumentParser:
         description="Multi-authority CP-ABE access control (Yang-Jia, "
                     "ICDCS 2012) — reproduction toolkit",
     )
+    parser.add_argument(
+        "--arith-backend", choices=("auto", "pure", "gmpy2"), default=None,
+        help="big-integer arithmetic core (default: REPRO_ARITH_BACKEND "
+             "env, else auto — gmpy2 when installed, pure otherwise; "
+             "requesting gmpy2 explicitly fails if it is not installed)",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     demo = subparsers.add_parser("demo", help="run an end-to-end demo")
@@ -463,6 +469,15 @@ def main(argv=None, out=None) -> int:
     """Entry point; ``out`` overrides stdout for testing."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.arith_backend is not None:
+        from repro.errors import MathError
+        from repro.math.backend import resolve_backend, set_backend
+        set_backend(args.arith_backend)
+        try:
+            resolve_backend()  # fail fast on a hard gmpy2 request
+        except MathError as exc:
+            set_backend(None)
+            parser.error(str(exc))
     args.out = out or sys.stdout
     return args.handler(args)
 

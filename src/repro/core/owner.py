@@ -33,9 +33,10 @@ from repro.core.keys import (
     PublicAttributeKeys,
     UpdateKey,
 )
+from repro.ec.batch_affine import batch_affine_sums, table_entries
 from repro.errors import PolicyError, RevocationError, SchemeError
 from repro.math.integers import invmod
-from repro.pairing.group import GTElement, PairingGroup
+from repro.pairing.group import G1Element, GTElement, PairingGroup
 from repro.policy.lsss import lsss_from_policy
 
 
@@ -338,6 +339,65 @@ class DataOwner:
         determine the affected attribute labels; the owner never has to
         download its ciphertexts back from the server to revoke.
         """
+        ratios, beta_s, labels = self._ui_plan(ciphertext_id, update_key)
+        elements = {label: ratios[label] ** beta_s for label in labels}
+        return CiphertextUpdateInfo(
+            aid=update_key.aid,
+            ciphertext_id=ciphertext_id,
+            elements=elements,
+            from_version=update_key.from_version,
+            to_version=update_key.to_version,
+        )
+
+    def update_infos_for_records(self, ciphertext_ids,
+                                 update_key: UpdateKey) -> list:
+        """Bulk :meth:`update_info_for_record` with shared inversions.
+
+        Element-identical to the per-record method (same validation,
+        same points), but the fixed-base walks of every
+        ``UI_x = (PK_x / PK̃_x)^{βs}`` across the batch advance
+        level-synchronized through
+        :func:`repro.ec.batch_affine.batch_affine_sums`, so each affine
+        addition round shares ONE modular inversion across the whole
+        revocation sweep instead of paying it per element.
+        """
+        ciphertext_ids = list(ciphertext_ids)
+        plans = [
+            self._ui_plan(ciphertext_id, update_key)
+            for ciphertext_id in ciphertext_ids
+        ]
+        group = self.group
+        element_maps = [{} for _ in plans]
+        entry_lists = []
+        slots = []  # (plan index, label) aligned with entry_lists
+        for index, (ratios, beta_s, labels) in enumerate(plans):
+            for label in labels:
+                ratio = ratios[label]
+                table = group._g1_table_for(ratio.point)
+                if table is None:  # table evicted: per-element fallback
+                    element_maps[index][label] = ratio ** beta_s
+                    continue
+                entry_lists.append(table_entries(table, beta_s))
+                slots.append((index, label))
+        if entry_lists:
+            points = batch_affine_sums(group.curve, entry_lists)
+            group.counter.g1_exponentiations += len(entry_lists)
+            for (index, label), point in zip(slots, points):
+                element_maps[index][label] = G1Element(group, point)
+        return [
+            CiphertextUpdateInfo(
+                aid=update_key.aid,
+                ciphertext_id=ciphertext_id,
+                elements=elements,
+                from_version=update_key.from_version,
+                to_version=update_key.to_version,
+            )
+            for ciphertext_id, elements in zip(ciphertext_ids, element_maps)
+        ]
+
+    def _ui_plan(self, ciphertext_id: str, update_key: UpdateKey):
+        """Validate one record against an update key; returns the
+        ``(ratios, βs, affected labels)`` its update information needs."""
         aid = update_key.aid
         record = self.record(ciphertext_id)
         if aid not in record.versions:
@@ -362,18 +422,10 @@ class DataOwner:
         if labels is None:
             labels = frozenset(lsss_from_policy(record.policy).row_labels)
             self._policy_label_cache[record.policy] = labels
-        elements = {}
-        for label in labels:
-            if authority_of(label) != aid:
-                continue
-            elements[label] = ratios[label] ** beta_s
-        return CiphertextUpdateInfo(
-            aid=aid,
-            ciphertext_id=ciphertext_id,
-            elements=elements,
-            from_version=update_key.from_version,
-            to_version=update_key.to_version,
-        )
+        affected = [
+            label for label in labels if authority_of(label) == aid
+        ]
+        return ratios, beta_s, affected
 
     def _ui_ratios(self, aid: str, update_key: UpdateKey,
                    old_keys) -> dict:

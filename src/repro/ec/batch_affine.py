@@ -1,0 +1,438 @@
+"""Level-synchronized batched *affine* EC arithmetic.
+
+The Jacobian fast paths in :mod:`repro.ec.curve` avoid inversions by
+carrying denominators in the Z coordinate — at ~11 base-field
+multiplications per mixed addition. When MANY independent additions
+run in lockstep, Montgomery batch inversion changes the trade: a plain
+affine addition costs ~4 multiplications plus an amortized ~3 for its
+share of ONE inversion per *round* (all chains advance one step per
+round), so each step drops from ~11M to ~7M. The inversion is *fused*
+into the round loops rather than delegated to
+:func:`repro.math.integers.batch_invmod`: the prefix products
+accumulate while denominators are discovered and the shared inverse
+unwinds inside the apply pass, so no denominator list, zip walk, or
+re-reduction pass exists per round — at these operand sizes that
+bookkeeping costs as much as the saved multiplications. This is the
+standard trick from large MSM implementations, applied to the two
+batch shapes this codebase has:
+
+* :func:`batch_affine_sums` — N independent "sum this list of affine
+  points" problems (the offline-bundle refill: every fixed-base table
+  walk of a whole refill advances together);
+* :func:`batch_same_scalar_mults` — N points times ONE shared scalar
+  (the subgroup check ``r·P = O`` over a decoded batch: the add and
+  double denominators of a double-and-add round share one inversion).
+
+Everything here is exact affine group arithmetic — results are
+bit-identical to the Jacobian paths, which the differential tests
+assert point by point.
+"""
+
+from __future__ import annotations
+
+from repro.ec.curve import INFINITY, SupersingularCurve
+from repro.math.integers import invmod
+
+
+def batch_affine_sums(curve: SupersingularCurve, entry_lists) -> list:
+    """Sum each list of affine points; one batch inversion per round.
+
+    ``entry_lists[i]`` is a sequence of affine points (``INFINITY``
+    entries are skipped). Returns one affine point (or ``INFINITY``)
+    per list. All accumulators advance level-synchronized: round ``k``
+    folds every list's ``k``-th entry in, with all chord/tangent
+    denominators inverted together.
+    """
+    p = curve.p
+    count = len(entry_lists)
+    lists = [entries if isinstance(entries, list) else list(entries)
+             for entries in entry_lists]
+    lens = [len(entries) for entries in lists]
+    # Accumulators live in flat coordinate arrays with a parallel
+    # infinity flag — per-round tuple unpacking and per-add result
+    # tuples would dominate over the F_p math at these operand sizes
+    # (same layout rationale as batch_same_scalar_mults below). Slots
+    # are walked longest-chain-first, so the live set at every round is
+    # a prefix of one sorted order: expiry is two counter decrements at
+    # the round boundary instead of a length test and a survivor append
+    # per slot per round.
+    axs = [0] * count
+    ays = [0] * count
+    inf = [True] * count
+    order = sorted(range(count), key=lens.__getitem__, reverse=True)
+    n_live = count
+    while n_live and lens[order[n_live - 1]] == 0:
+        n_live -= 1
+    level = 0
+    while n_live:
+        # Phase 1: fetch this round's entry per live slot; resolve the
+        # inversion-free cases (copy / skip / cancel) immediately; each
+        # genuine chord or tangent folds its denominator into the
+        # running prefix product as it is discovered. Denominators are
+        # never ≡ 0: a chord has ex ≠ ax, and a tangent with ay == 0
+        # (2-torsion) lands in the cancellation branch since 2·ay ≡ 0.
+        # ``prefixes[j]`` holds the product of denominators BEFORE row
+        # ``j`` (appended before the fold), so the apply pass unwinds
+        # one shared inverse right-to-left with rows and prefixes
+        # zipped in lockstep. Tangent rows put the doubling numerator
+        # 3·ax² + 1 (a = 1 curve) in the ``num`` field, so the apply
+        # pass is one uniform slope/chord formula — for a tangent
+        # ``ex == ax`` makes ``slope² - ax - ex`` the doubling x.
+        rows = []   # (slot, ax, ay, ex, num, denom)
+        prefixes = []
+        acc = 1
+        pend = rows.append
+        pref = prefixes.append
+        for slot in order[:n_live]:
+            entry = lists[slot][level]
+            if entry is INFINITY:
+                continue
+            ex, ey = entry
+            if inf[slot]:
+                inf[slot] = False
+                axs[slot] = ex
+                ays[slot] = ey
+                continue
+            ax = axs[slot]
+            ay = ays[slot]
+            if ax == ex:
+                if (ay + ey) % p == 0:
+                    inf[slot] = True       # acc = -entry
+                    continue
+                denom = ay + ay            # acc == entry: tangent
+                num = (3 * ax * ax + 1) % p
+            else:
+                denom = ex - ax
+                num = ey - ay
+            pref(acc)
+            acc = acc * denom % p
+            pend((slot, ax, ay, ex, num, denom))
+        if rows:
+            acc_inv = invmod(acc, p)
+            for (slot, ax, ay, ex, num, denom), prefix in zip(
+                    reversed(rows), reversed(prefixes)):
+                inv = prefix * acc_inv % p
+                acc_inv = acc_inv * denom % p
+                slope = num * inv % p
+                nx = (slope * slope - ax - ex) % p
+                axs[slot] = nx
+                ays[slot] = (slope * (ax - nx) - ay) % p
+        level += 1
+        while n_live and lens[order[n_live - 1]] == level:
+            n_live -= 1
+    return [INFINITY if inf[slot] else (axs[slot], ays[slot])
+            for slot in range(count)]
+
+
+def table_entries(table, scalar: int) -> list:
+    """The fixed-base table points whose sum is ``scalar · base``.
+
+    The digit walk of :meth:`repro.ec.fixed_base.FixedBaseTable.
+    multiply_jacobian`, reified as a point list so many walks can be
+    accumulated together by :func:`batch_affine_sums`. ``scalar`` must
+    be reduced below the table's range (callers reduce mod the group
+    order).
+    """
+    entries = []
+    window = table.window
+    levels = table.levels
+    if window == 4 and scalar > 0:
+        # Nibble fast path for the default window: one ``to_bytes``
+        # replaces the big-int shift per digit (each ``>>= 4`` copies
+        # the whole remaining scalar), and the byte loop runs at C
+        # speed. Digits beyond the scalar's top bit are zero, so the
+        # guarded level indexes never run past the table.
+        append = entries.append
+        level = 0
+        for byte in scalar.to_bytes((scalar.bit_length() + 7) // 8,
+                                    "little"):
+            digit = byte & 15
+            if digit:
+                append(levels[level][digit])
+            digit = byte >> 4
+            if digit:
+                append(levels[level + 1][digit])
+            level += 2
+        return entries
+    mask = (1 << window) - 1
+    level = 0
+    while scalar:
+        digit = scalar & mask
+        if digit:
+            entries.append(levels[level][digit])
+        scalar >>= window
+        level += 1
+    return entries
+
+
+def batch_table_walks(curve: SupersingularCurve, walks) -> list:
+    """One affine point per multi-leg fixed-base walk, all batched.
+
+    ``walks[i]`` is a sequence of ``(table, scalar)`` legs; the result
+    is the sum of every leg's digit points — i.e. the product
+    ``Π base_leg^(scalar_leg)`` in additive notation. This fuses
+    :func:`table_entries` generation with the level-synchronized
+    accumulation of :func:`batch_affine_sums`: digit points land
+    directly in per-level buckets (no per-walk entry list, no per-round
+    chain indexing or live-set management), and the first digit of a
+    walk initializes its accumulator in place of an explicit infinity
+    flag. Scalars must be non-negative and reduced below the table
+    range; table entries are affine non-infinity points by
+    construction (a fixed-base table stores nonzero multiples of an
+    order-``r`` base). Exact affine group arithmetic — bit-identical
+    to per-walk Jacobian multiplication.
+    """
+    p = curve.p
+    count = len(walks)
+    axs = [None] * count    # None == accumulator at infinity
+    ays = [0] * count
+    # Each leg gets its own bucket range (a running per-walk level
+    # offset), so a slot contributes at most ONE entry per bucket —
+    # the invariant the snapshot-then-apply round scheme needs (two
+    # same-round folds of one slot would both capture the same
+    # accumulator state). This mirrors concatenating the legs' entry
+    # chains end to end.
+    n_buckets = 0
+    for legs in walks:
+        depth = sum(len(table.levels) for table, _ in legs)
+        if depth > n_buckets:
+            n_buckets = depth
+    buckets = [[] for _ in range(n_buckets)]  # flat [slot, entry, ...]
+    for slot, legs in enumerate(walks):
+        started = False
+        offset = 0
+        for table, scalar in legs:
+            levels = table.levels
+            if table.window == 4 and scalar > 0:
+                # Nibble fast path (see table_entries above).
+                level = offset
+                for byte in scalar.to_bytes(
+                        (scalar.bit_length() + 7) // 8, "little"):
+                    digit = byte & 15
+                    if digit:
+                        entry = levels[level - offset][digit]
+                        if started:
+                            bucket = buckets[level]
+                            bucket.append(slot)
+                            bucket.append(entry)
+                        else:
+                            axs[slot], ays[slot] = entry
+                            started = True
+                    digit = byte >> 4
+                    if digit:
+                        entry = levels[level + 1 - offset][digit]
+                        if started:
+                            bucket = buckets[level + 1]
+                            bucket.append(slot)
+                            bucket.append(entry)
+                        else:
+                            axs[slot], ays[slot] = entry
+                            started = True
+                    level += 2
+                offset += len(levels)
+                continue
+            if table.window == 8 and scalar > 0:
+                # Byte fast path: one byte IS one digit.
+                level = offset
+                for digit in scalar.to_bytes(
+                        (scalar.bit_length() + 7) // 8, "little"):
+                    if digit:
+                        entry = levels[level - offset][digit]
+                        if started:
+                            bucket = buckets[level]
+                            bucket.append(slot)
+                            bucket.append(entry)
+                        else:
+                            axs[slot], ays[slot] = entry
+                            started = True
+                    level += 1
+                offset += len(levels)
+                continue
+            mask = (1 << table.window) - 1
+            level = 0
+            while scalar:
+                digit = scalar & mask
+                if digit:
+                    entry = levels[level][digit]
+                    if started:
+                        bucket = buckets[offset + level]
+                        bucket.append(slot)
+                        bucket.append(entry)
+                    else:
+                        axs[slot], ays[slot] = entry
+                        started = True
+                scalar >>= table.window
+                level += 1
+            offset += len(levels)
+    for bucket in buckets:
+        if not bucket:
+            continue
+        # Same fused prefix-product round as batch_affine_sums: the
+        # ``ax is None`` test replaces the infinity flag (it only fires
+        # after a cancellation, since generation seeded the first
+        # digit), and folding order within a round is irrelevant —
+        # point addition is commutative and each inverse is the exact
+        # inverse of its own denominator.
+        rows = []
+        prefixes = []
+        acc = 1
+        pend = rows.append
+        pref = prefixes.append
+        it = iter(bucket)
+        for slot, entry in zip(it, it):
+            ex, ey = entry
+            ax = axs[slot]
+            if ax is None:
+                axs[slot] = ex
+                ays[slot] = ey
+                continue
+            ay = ays[slot]
+            if ax == ex:
+                if (ay + ey) % p == 0:
+                    axs[slot] = None       # acc = -entry
+                    continue
+                denom = ay + ay            # acc == entry: tangent
+                num = (3 * ax * ax + 1) % p
+            else:
+                denom = ex - ax
+                num = ey - ay
+            pref(acc)
+            acc = acc * denom % p
+            pend((slot, ax, ay, ex, num, denom))
+        if rows:
+            acc_inv = invmod(acc, p)
+            for (slot, ax, ay, ex, num, denom), prefix in zip(
+                    reversed(rows), reversed(prefixes)):
+                inv = prefix * acc_inv % p
+                acc_inv = acc_inv * denom % p
+                slope = num * inv % p
+                nx = (slope * slope - ax - ex) % p
+                axs[slot] = nx
+                ays[slot] = (slope * (ax - nx) - ay) % p
+    return [INFINITY if axs[slot] is None else (axs[slot], ays[slot])
+            for slot in range(count)]
+
+
+def batch_same_scalar_mults(curve: SupersingularCurve, points,
+                            scalar: int) -> list:
+    """``[scalar·P for P in points]`` sharing inversions across points.
+
+    LSB-first signed-digit (NAF) double-and-add where, each round, the
+    additions (into the accumulators) and the doublings (of the running
+    powers) contribute their denominators to ONE batch inversion.
+    Scalar multiplication has a unique result whatever the addition
+    chain, so the NAF recoding — which cuts the add rounds from the
+    scalar's Hamming weight to ~bits/3 (negation is free on the curve)
+    — returns exactly the points the binary ladder would. Intended for
+    the subgroup check ``r·P = O`` over a whole decoded batch; exact
+    for arbitrary curve points (2-torsion hits — possible for points
+    *outside* the order-r subgroup — collapse to ``INFINITY``, exactly
+    as the per-point path behaves).
+    """
+    points = list(points)
+    if scalar < 0:
+        raise ValueError("batch_same_scalar_mults needs a non-negative scalar")
+    p = curve.p
+    count = len(points)
+    accs = [INFINITY] * count
+    # The running powers live in flat coordinate arrays (canonical
+    # affine coordinates, like every point this module handles);
+    # ``alive`` lists the indices whose power is not yet INFINITY, so
+    # the per-round loops never test or unpack per-point tuples — at
+    # TOY80/SS512 operand sizes that bookkeeping, not the F_p math, is
+    # the dominant cost.
+    cxs = [0] * count
+    cys = [0] * count
+    alive = []
+    for index, point in enumerate(points):
+        if point is not INFINITY:
+            cxs[index], cys[index] = point
+            alive.append(index)
+    # Non-adjacent form, least-significant digit first: digits in
+    # {-1, 0, 1}, no two adjacent digits non-zero.
+    naf = []
+    remaining = scalar
+    while remaining:
+        if remaining & 1:
+            digit = 2 - (remaining & 3)
+            naf.append(digit)
+            remaining -= digit
+        else:
+            naf.append(0)
+        remaining >>= 1
+    n_rounds = len(naf)
+    for round_index in range(n_rounds):
+        last = round_index + 1 == n_rounds
+        digit = naf[round_index]
+        # One fused prefix-product chain covers the round's adds AND
+        # doubles (same scheme as batch_affine_sums above: prefixes[j]
+        # is the denominator product before row j, the apply pass
+        # unwinds one shared inverse right-to-left). Apply order is
+        # irrelevant: add rows capture every operand they need, and
+        # each power doubles at most once per round.
+        rows = []   # (kind, index, ax, ay, cx, num, denom);
+        #             kind 0 chord add / 1 tangent add / 2 double
+        prefixes = [1]
+        acc = 1
+        survivors = []
+        pend = rows.append
+        pref = prefixes.append
+        if digit:
+            negate = digit < 0
+            for index in alive:
+                cx = cxs[index]
+                cy = cys[index]
+                ey = (p - cy) % p if negate else cy
+                point = accs[index]
+                if point is INFINITY:
+                    accs[index] = (cx, ey)
+                    continue
+                ax, ay = point
+                if ax == cx:
+                    if (ay + ey) % p == 0:
+                        accs[index] = INFINITY
+                        continue
+                    denom = ay + ay
+                    num = 0
+                    kind = 1
+                else:
+                    denom = cx - ax
+                    num = ey - ay
+                    kind = 0
+                acc = acc * denom % p
+                pref(acc)
+                pend((kind, index, ax, ay, cx, num, denom))
+        if not last:
+            keep = survivors.append
+            for index in alive:
+                cy = cys[index]
+                if cy == 0:
+                    continue  # 2-torsion: the power collapses to O
+                keep(index)
+                cx = cxs[index]
+                denom = cy + cy
+                acc = acc * denom % p
+                pref(acc)
+                pend((2, index, cx, cy, 0, 0, denom))
+        if rows:
+            acc_inv = invmod(acc, p)
+            for j in range(len(rows) - 1, -1, -1):
+                kind, index, ax, ay, cx, num, denom = rows[j]
+                inv = prefixes[j] * acc_inv % p
+                acc_inv = acc_inv * denom % p
+                if kind == 2:
+                    # ax, ay hold the running power's coordinates.
+                    slope = (3 * ax * ax + 1) * inv % p
+                    nx = (slope * slope - ax - ax) % p
+                    cys[index] = (slope * (ax - nx) - ay) % p
+                    cxs[index] = nx
+                    continue
+                if kind:
+                    slope = (3 * ax * ax + 1) * inv % p
+                else:
+                    slope = num * inv % p
+                nx = (slope * slope - ax - cx) % p
+                accs[index] = (nx, (slope * (ax - nx) - ay) % p)
+        if not last:
+            alive = survivors
+    return accs

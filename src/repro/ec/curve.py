@@ -374,9 +374,18 @@ class SupersingularCurve:
         p = self.p
         x %= p
         rhs = (x * x * x + x) % p
-        if not self.field.is_square(rhs):
-            return None
-        y = self.field.sqrt(rhs)
+        if p & 3 == 3:
+            # p ≡ 3 (mod 4) — always true for these supersingular
+            # curves: a^((p+1)/4) is the root when one exists, so one
+            # verifying multiplication replaces the Jacobi-symbol
+            # residue test (point decodes do this on every wire read).
+            y = pow(rhs, (p + 1) >> 2, p)
+            if y * y % p != rhs:
+                return None
+        else:  # pragma: no cover - not reachable with Type-A parameters
+            if not self.field.is_square(rhs):
+                return None
+            y = self.field.sqrt(rhs)
         if y % 2 != parity % 2:
             y = (-y) % p
         return (x, y)

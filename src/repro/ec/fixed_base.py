@@ -26,7 +26,7 @@ from repro.ec.curve import (
     _jac_add_affine,
     _jac_double,
 )
-from repro.math.integers import batch_invmod
+from repro.math.integers import batch_invmod, invmod
 
 
 class FixedBaseTable:
@@ -63,6 +63,88 @@ class FixedBaseTable:
             row = [INFINITY]
             row.extend(affine[level * (width - 1):(level + 1) * (width - 1)])
             self.levels.append(row)
+
+    @classmethod
+    def doubled_window(cls, table: "FixedBaseTable") -> "FixedBaseTable":
+        """A window-``2w`` table composed from a window-``w`` table.
+
+        Entry ``(d_lo + W·d_hi) · (W²)^k · P`` is ONE affine addition
+        ``levels[2k][d_lo] + levels[2k+1][d_hi]`` of existing entries.
+        Every such pair is an independent chord — the two operands are
+        distinct nonzero multiples ``d_lo`` and ``W·d_hi`` (≤ ``W² - 1``
+        apart, far below the group order) of the same order-``r``
+        point, so neither equality nor negation can occur — which lets
+        the ENTIRE build share a single modular inversion: ~4 field
+        multiplications per entry, against ~11 for a from-scratch
+        Jacobian build. Halving the digit count per walk only pays off
+        for a heavily reused base (each walk saves ~``bits/(2w)``
+        additions), so encryption sessions build this for the
+        *generator* and amortize it across their offline refills, while
+        one-shot bases keep the plain window table.
+
+        Requires ``2w ≤ 8`` (the class invariant) and a base of prime
+        order greater than ``W²`` — true for every group this library
+        instantiates.
+        """
+        if 2 * table.window > 8:
+            raise ValueError("doubled window would exceed the [1, 8] range")
+        curve = table.curve
+        p = curve.p
+        width = 1 << table.window
+        old = table.levels
+        n_old = len(old)
+        if table.point is INFINITY:
+            doubled = cls.__new__(cls)
+            doubled.curve = curve
+            doubled.point = INFINITY
+            doubled.window = 2 * table.window
+            doubled.levels = [[INFINITY] * (width * width)
+                              for _ in range((n_old + 1) // 2)]
+            return doubled
+        new_levels = []
+        pend = []       # (row, index, ax, ay, ex, ey, denom)
+        prefixes = []
+        acc = 1
+        for k in range(0, n_old, 2):
+            lo = old[k]
+            if k + 1 == n_old:
+                # Odd level count: the top window-2w digit never
+                # exceeds W - 1 (scalars are reduced below the order),
+                # so the spill entries above it are never indexed.
+                new_levels.append(
+                    list(lo) + [INFINITY] * (width * width - width))
+                continue
+            hi = old[k + 1]
+            row = [INFINITY] * (width * width)
+            row[:width] = lo                    # d_hi == 0 (and row[0])
+            for d_hi in range(1, width):
+                base_index = width * d_hi
+                entry = hi[d_hi]
+                row[base_index] = entry         # d_lo == 0
+                ax, ay = entry
+                for d_lo in range(1, width):
+                    ex, ey = lo[d_lo]
+                    prefixes.append(acc)
+                    denom = ex - ax
+                    acc = acc * denom % p
+                    pend.append((row, base_index + d_lo,
+                                 ax, ay, ex, ey, denom))
+            new_levels.append(row)
+        if pend:
+            acc_inv = invmod(acc, p)
+            for (row, index, ax, ay, ex, ey, denom), prefix in zip(
+                    reversed(pend), reversed(prefixes)):
+                inv = prefix * acc_inv % p
+                acc_inv = acc_inv * denom % p
+                slope = (ey - ay) * inv % p
+                nx = (slope * slope - ax - ex) % p
+                row[index] = (nx, (slope * (ax - nx) - ay) % p)
+        doubled = cls.__new__(cls)
+        doubled.curve = curve
+        doubled.point = table.point
+        doubled.window = 2 * table.window
+        doubled.levels = new_levels
+        return doubled
 
     def multiply(self, scalar: int):
         """``scalar · P`` using the precomputed table."""

@@ -47,6 +47,8 @@ from dataclasses import dataclass
 
 from repro.core.attributes import authority_of, involved_authorities
 from repro.core.ciphertext import Ciphertext
+from repro.ec.batch_affine import batch_table_walks
+from repro.ec.fixed_base import FixedBaseTable
 from repro.errors import PolicyError, RevocationError, SchemeError
 from repro.pairing.group import G1Element, GTElement, PairingGroup
 from repro.policy.lsss import LsssMatrix, lsss_from_policy
@@ -146,6 +148,13 @@ class EncryptionSession:
             self.group.register_g1_base(pk_x)
             pk_elements.append(pk_x)
         self._pk_elements = tuple(pk_elements)
+        #: Window-8 generator table, composed lazily from the group's
+        #: window-4 table on the first batch refill (offline-phase
+        #: work, amortized across every later refill). The generator
+        #: backs 11 of the 21 walks per bundle (C' plus every row's
+        #: ``g^{r·λ_i}`` leg), so halving its digit count pays for the
+        #: one-inversion build within a fraction of one refill.
+        self._g_table_wide = None
         self._bundles = deque()
         self._pending = []   # in-flight futures from refill_background
         self.stats = {"offline": 0, "online": 0, "pool_misses": 0}
@@ -200,18 +209,101 @@ class EncryptionSession:
     def refill(self, count: int = DEFAULT_POOL_TARGET) -> int:
         """Top the offline pool up to ``count`` bundles, inline.
 
+        Multi-bundle refills run as ONE shared-randomness batch build:
+        every fixed-base table walk of the whole refill (each bundle's
+        ``C'`` plus a two-leg walk per LSSS row) advances
+        level-synchronized through
+        :func:`repro.ec.batch_affine.batch_table_walks`, replacing
+        ~11M Jacobian mixed additions with ~7M batched affine ones;
+        generator legs ride the session's lazily-built window-8 table
+        (:meth:`repro.ec.fixed_base.FixedBaseTable.doubled_window`).
+        Scalars are drawn in the exact per-bundle order of
+        :func:`_bundle_job`, and the affine group sums are the same
+        points, so the bundles — and the ciphertexts built from them —
+        are bit-identical to the sequential path.
+
         Returns the number of bundles computed. Raises
         :class:`RevocationError` instead of precomputing under a stale
         key version.
         """
         self._check_current()
         self._harvest()
-        computed = 0
-        while len(self._bundles) + len(self._pending) < count:
-            self._bundles.append(_bundle_job(*self._job_args()))
-            computed += 1
-        self.stats["offline"] += computed
-        return computed
+        need = count - len(self._bundles) - len(self._pending)
+        if need <= 0:
+            return 0
+        batch = self._refill_batch(need)
+        if batch is None:  # a row base lost its table (cache eviction)
+            computed = 0
+            while len(self._bundles) + len(self._pending) < count:
+                self._bundles.append(_bundle_job(*self._job_args()))
+                computed += 1
+            self.stats["offline"] += computed
+            return computed
+        self._bundles.extend(batch)
+        self.stats["offline"] += need
+        return need
+
+    def _refill_batch(self, count: int):
+        """``count`` bundles via one level-synchronized batch build.
+
+        Returns ``None`` when a row base has no fixed-base table (the
+        group's bounded table cache evicted it), in which case the
+        caller falls back to per-bundle jobs.
+        """
+        group = self.group
+        g_table = self._g_table_wide
+        if g_table is None:
+            g_table = FixedBaseTable.doubled_window(group.generator_table())
+            self._g_table_wide = g_table
+        pk_tables = [
+            group._g1_table_for(pk.point) for pk in self._pk_elements
+        ]
+        if any(table is None for table in pk_tables):
+            return None
+        order = group.order
+        matrix_rows = self.matrix.rows
+        n_rows = len(matrix_rows)
+        beta = self.owner.master_key.beta
+        r_exp = self.owner.master_key.r_exp
+        # All randomness first, in _bundle_job's per-bundle draw order.
+        drawn = [self._draw_scalars() for _ in range(count)]
+        walks = []
+        meta = []
+        for scalars in drawn:
+            vector = [value % order for value in scalars]
+            s = vector[0]
+            shares = [
+                sum(m * v for m, v in zip(row, vector)) % order
+                for row in matrix_rows
+            ]
+            beta_s = beta * s % order
+            neg_beta_s = -beta_s % order
+            walks.append(((g_table, beta_s),))  # C'
+            for pk_table, lam in zip(pk_tables, shares):
+                walks.append((
+                    (g_table, r_exp * lam % order),
+                    (pk_table, neg_beta_s),
+                ))
+            meta.append((s, shares))
+        points = batch_table_walks(group.curve, walks)
+        # Mirror the sequential path's counters: one g^x per C' plus a
+        # 2-element multiexp per row (multiexp counts its input size).
+        group.counter.g1_exponentiations += count * (1 + 2 * n_rows)
+        bundles = []
+        index = 0
+        for s, shares in meta:
+            c_blind = self.blinding ** s  # counts the GT exponentiation
+            c_prime = G1Element(group, points[index])
+            index += 1
+            rows = tuple(
+                G1Element(group, points[index + offset])
+                for offset in range(n_rows)
+            )
+            index += n_rows
+            bundles.append(OfflineBundle(
+                s=s, c_blind=c_blind, c_prime=c_prime, rows=rows,
+            ))
+        return bundles
 
     def refill_background(self, count: int = DEFAULT_POOL_TARGET) -> int:
         """Top the pool up to ``count`` bundles on the crypto pool.

@@ -56,19 +56,21 @@ def batch_invmod(values, m: int) -> list:
     values = list(values)
     if not values:
         return []
-    prefix = [0] * len(values)
+    count = len(values)
+    prefix = [0] * count
     acc = 1
-    for index, value in enumerate(values):
-        value %= m
+    for index in range(count):
+        value = values[index] % m
         if value == 0:
             raise MathError(f"0 is not invertible modulo {m}")
+        values[index] = value  # keep the reduced form for the back pass
         acc = acc * value % m
         prefix[index] = acc
     acc_inv = invmod(acc, m)
-    inverses = [0] * len(values)
-    for index in range(len(values) - 1, 0, -1):
+    inverses = [0] * count
+    for index in range(count - 1, 0, -1):
         inverses[index] = prefix[index - 1] * acc_inv % m
-        acc_inv = acc_inv * (values[index] % m) % m
+        acc_inv = acc_inv * values[index] % m
     inverses[0] = acc_inv
     return inverses
 

@@ -1,0 +1,113 @@
+"""Montgomery-form arithmetic for F_p (REDC).
+
+Montgomery representation maps ``a ↦ a·R mod p`` for ``R = 2^k > p``,
+turning every modular multiplication into one integer multiply plus a
+*Montgomery reduction* (REDC) — two multiplies by numbers no wider than
+``p`` and a shift, with no division. For fixed-width limb arithmetic
+this beats ``%`` decisively; the trade-off in CPython is discussed at
+the bottom of this docstring.
+
+Invariants (documented here, asserted by
+``tests/math/test_montgomery.py``):
+
+* ``R = 2^k`` with ``k = p.bit_length() + 2``, so ``R > 4p``. REDC of
+  any ``t < R·p`` returns ``t·R⁻¹ mod p`` in ``[0, 2p)``; one
+  conditional subtraction makes it canonical. Choosing ``R > 4p``
+  (rather than the minimal ``R > p``) leaves two bits of headroom so
+  *lazy* operands in ``[0, 2p)`` can be multiplied without overflowing
+  the ``t < R·p`` precondition: ``(2p)·(2p) = 4p² < R·p``.
+* ``n' = -p⁻¹ mod R`` is precomputed once; REDC is then
+  ``m = (t·n') mod R;  u = (t + m·p) / R``, exact because
+  ``t + m·p ≡ 0 (mod R)`` by construction.
+* ``one = R mod p`` is the Montgomery image of 1; conversions are
+  ``to_mont(a) = a·R mod p`` (one mul + one %) and
+  ``from_mont(â) = REDC(â)``.
+
+Lazy-reduction bound: additive combinations of canonical Montgomery
+values stay REDC-safe as long as each multiplication operand is kept
+below ``2p`` — i.e. one conditional subtraction per *addition chain*,
+not per add. The Miller-loop line evaluation uses this to fold its
+``a - b·x`` combination into a single reduction.
+
+**CPython measurement (this container, see DESIGN.md):** pure-Python
+REDC loses to the builtin ``%`` — 1.50µs vs 1.18µs per 512-bit mul,
+0.50µs vs 0.25µs at 80 bits — because CPython's long division is
+already C code and REDC's two extra big-int multiplies cost more than
+the division they avoid. Montgomery form is therefore OFF by default
+(``REPRO_MONTGOMERY=0``) and exists as a correctness-verified
+representation for backends where single-mul latency dominates; the
+differential tests keep it byte-identical so flipping it on is safe.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MathError
+from repro.math.integers import invmod
+
+
+class MontgomeryContext:
+    """Precomputed REDC constants and Montgomery-domain operations.
+
+    Values in the Montgomery domain are plain ints (``a·R mod p``);
+    callers must not mix domains — ``to_mont``/``from_mont`` are the
+    only crossings, placed at serialize boundaries by the callers.
+    """
+
+    __slots__ = ("p", "k", "R", "mask", "n_prime", "one", "r2", "redcs")
+
+    def __init__(self, p: int):
+        if p < 3 or p % 2 == 0:
+            raise MathError("Montgomery form requires an odd modulus")
+        self.p = p
+        # +2 bits of headroom: operands < 2p keep t = a·b < 4p² < R·p.
+        self.k = p.bit_length() + 2
+        self.R = 1 << self.k
+        self.mask = self.R - 1
+        self.n_prime = (-invmod(p, self.R)) & self.mask
+        self.one = self.R % p
+        self.r2 = self.R * self.R % p  # to_mont via REDC(a·r2)
+        self.redcs = 0  # cumulative REDC count (see OperationCounter)
+
+    # -- domain crossings ---------------------------------------------------
+
+    def to_mont(self, a: int) -> int:
+        return a * self.R % self.p
+
+    def from_mont(self, a: int) -> int:
+        return self.redc(a)
+
+    # -- core reduction -----------------------------------------------------
+
+    def redc(self, t: int) -> int:
+        """``t·R⁻¹ mod p`` for any ``0 <= t < R·p``."""
+        p = self.p
+        m = (t & self.mask) * self.n_prime & self.mask
+        u = (t + m * p) >> self.k
+        self.redcs += 1
+        return u - p if u >= p else u
+
+    # -- Montgomery-domain arithmetic ---------------------------------------
+    # add/sub/neg are domain-agnostic (the map a ↦ aR is linear).
+
+    def mul(self, a: int, b: int) -> int:
+        return self.redc(a * b)
+
+    def square(self, a: int) -> int:
+        return self.redc(a * a)
+
+    def pow(self, a: int, e: int) -> int:
+        """Montgomery-domain exponentiation (square-and-multiply)."""
+        if e < 0:
+            return self.pow(self.inv(a), -e)
+        result = self.one
+        redc = self.redc
+        while e:
+            if e & 1:
+                result = redc(result * a)
+            a = redc(a * a)
+            e >>= 1
+        return result
+
+    def inv(self, a: int) -> int:
+        """Inverse staying in the domain: (aR)⁻¹·R² = a⁻¹·R (mod p)."""
+        return invmod(a, self.p) * self.r2 % self.p

@@ -27,6 +27,7 @@ from repro.ec.curve import (
     SupersingularCurve,
     _jac_add,
 )
+from repro.ec.batch_affine import batch_same_scalar_mults
 from repro.ec.params import TypeAParams
 from repro.errors import MathError
 from repro.math.field import PrimeField
@@ -50,15 +51,20 @@ MAX_HASH_POINT_CACHE = 4096
 _GROUP_REGISTRY = {}
 
 
-def _rebuild_group(cls, r: int, p: int, generator: tuple, name: str):
+def _rebuild_group(cls, r: int, p: int, generator: tuple, name: str,
+                   backend: str = "auto"):
     """Reconstruct (or fetch the per-process instance of) a pickled group.
 
     Presets resolve to the module singletons in
     :data:`repro.ec.params.PRESETS` so element equality — which compares
     ``params`` by identity — keeps working across a pickle round-trip
-    within one process.
+    within one process. The arithmetic backend name travels with the
+    pickle, so CryptoPool workers and background refill processes
+    compute with the same backend as the parent (``auto`` re-resolves
+    per process: a worker without gmpy2 degrades to pure and still
+    produces byte-identical results).
     """
-    key = (cls, r, p, generator)
+    key = (cls, r, p, generator, backend)
     group = _GROUP_REGISTRY.get(key)
     if group is None:
         from repro.ec.params import PRESETS, TypeAParams
@@ -70,7 +76,7 @@ def _rebuild_group(cls, r: int, p: int, generator: tuple, name: str):
             params = preset
         else:
             params = TypeAParams(r=r, p=p, generator=generator, name=name)
-        group = cls(params)
+        group = cls(params, backend=backend)
         _GROUP_REGISTRY[key] = group
     return group
 
@@ -85,7 +91,8 @@ class OperationCounter:
     (its Miller loops) even though the final exponentiation is shared.
     """
 
-    __slots__ = ("pairings", "g1_exponentiations", "gt_exponentiations")
+    __slots__ = ("pairings", "g1_exponentiations", "gt_exponentiations",
+                 "fp_muls", "fp_invs", "redcs")
 
     def __init__(self):
         self.reset()
@@ -94,12 +101,25 @@ class OperationCounter:
         self.pairings = 0
         self.g1_exponentiations = 0
         self.gt_exponentiations = 0
+        # Base-field telemetry (PR 6): multiplications/inversions routed
+        # through PrimeField methods and REDC reductions when Montgomery
+        # form is active. The inlined hot loops (curve.py, miller.py)
+        # deliberately bypass the counter — instrumenting them would
+        # slow the operations being measured — so these tally the
+        # *managed* arithmetic: field API calls, batch inversions, and
+        # the whole Montgomery path (every mont op is a REDC).
+        self.fp_muls = 0
+        self.fp_invs = 0
+        self.redcs = 0
 
     def snapshot(self) -> dict:
         return {
             "pairings": self.pairings,
             "g1_exponentiations": self.g1_exponentiations,
             "gt_exponentiations": self.gt_exponentiations,
+            "fp_muls": self.fp_muls,
+            "fp_invs": self.fp_invs,
+            "redcs": self.redcs,
         }
 
     def __repr__(self) -> str:
@@ -212,14 +232,18 @@ class PairingGroup:
     pass ``None`` for OS-seeded randomness.
     """
 
-    def __init__(self, params: TypeAParams, seed=None):
+    def __init__(self, params: TypeAParams, seed=None, *, backend=None):
         self.params = params
         self.order = params.r
-        self.field = PrimeField(params.p, check_prime=False)
+        self.backend_requested = backend  # travels with the pickle
+        self.field = PrimeField(params.p, check_prime=False, backend=backend)
+        self.backend_name = self.field.backend_name
+        self.montgomery = self.field.mont is not None
         self.curve = SupersingularCurve(self.field)
         self.ext = QuadraticExtension(self.field)
         self.rng = random.Random(seed)
         self.counter = OperationCounter()
+        self.field.counter = self.counter  # fp_muls/fp_invs telemetry
         self.g = G1Element(self, params.generator)
         self._gt_generator = None
         self._g_table = None
@@ -241,10 +265,25 @@ class PairingGroup:
         shipped: a round-tripped group draws fresh randomness.
         """
         params = self.params
+        backend = self.backend_requested
         return (
             _rebuild_group,
-            (type(self), params.r, params.p, params.generator, params.name),
+            (type(self), params.r, int(params.p), params.generator,
+             params.name, "auto" if backend is None else backend),
         )
+
+    def op_counts(self) -> dict:
+        """Operation-counter snapshot including Montgomery REDC tallies.
+
+        REDCs accumulate inside the :class:`~repro.math.montgomery.
+        MontgomeryContext` (the reduction is too hot to route through a
+        shared counter object); this merges them into the snapshot the
+        benches publish.
+        """
+        snap = self.counter.snapshot()
+        if self.field.mont is not None:
+            snap["redcs"] += self.field.mont.redcs
+        return snap
 
     # -- generators and identities ------------------------------------------------
 
@@ -408,7 +447,7 @@ class PairingGroup:
         if len(elements) != len(scalars):
             raise MathError("multiexp_g1 needs one scalar per element")
         self.counter.g1_exponentiations += len(elements)
-        p = self.params.p
+        p = self.field.p  # backend-wrapped modulus
         accumulator = _JAC_INFINITY
         rest = []
         for element, scalar in zip(elements, scalars):
@@ -608,10 +647,20 @@ class PairingGroup:
         decoded = [
             self.decode_g1(blob, check_subgroup=False) for blob in blobs
         ]
-        for index, element in enumerate(decoded):
-            if element.point is not INFINITY and self.curve.mul(
-                element.point, self.order
-            ) is not INFINITY:
+        # The per-point checks share one scalar (the group order), so the
+        # whole batch runs as level-synchronized affine double-and-add
+        # with ONE batch inversion per bit round instead of per-point
+        # Jacobian ladders — same r·Pᵢ results, point by point.
+        indices = [
+            index for index, element in enumerate(decoded)
+            if element.point is not INFINITY
+        ]
+        products = batch_same_scalar_mults(
+            self.curve, [decoded[index].point for index in indices],
+            self.order,
+        )
+        for index, product in zip(indices, products):
+            if product is not INFINITY:
                 raise MathError(
                     f"batch element {index} is not in the order-r subgroup"
                 )

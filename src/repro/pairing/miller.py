@@ -135,16 +135,134 @@ def evaluate_line_steps(ext: QuadraticExtension, steps: list,
     p = ext.p
     xq, yq = q_point
     x_eval = -xq % p
-    f = ext.one
-    square = ext.square
-    mul = ext.mul
+    # The F_p² square/multiply are inlined (Karatsuba over locals, no
+    # tuples between steps): per-step call overhead was the measured
+    # bottleneck of batch re-encryption's pairing replay. Each line
+    # component takes exactly one reduction — the lazy-reduction shape
+    # the Montgomery variant below shares. Bit-identical to
+    # ``mul(square(f), line)`` per step.
+    fr, fi = 1, 0
     for kind, a, b, c in steps:
-        line = ((a - b * x_eval) % p, c * yq % p)
-        if kind == _DOUBLE:
-            f = mul(square(f), line)
+        lr = (a - b * x_eval) % p
+        li = c * yq % p
+        if kind:  # _ADD: f · line
+            sa, sb = fr, fi
+        else:     # _DOUBLE: f² · line
+            sa = (fr + fi) * (fr - fi) % p
+            sb = 2 * fr * fi % p
+        ac = sa * lr
+        bd = sb * li
+        cross = (sa + sb) * (lr + li) - ac - bd
+        fr = (ac - bd) % p
+        fi = cross % p
+    return (fr, fi)
+
+
+def evaluate_line_steps_many(ext: QuadraticExtension, steps: list,
+                             q_points) -> list:
+    """Replay one cached coefficient list against MANY second arguments.
+
+    Step-outer batching: each ``(kind, A, B, C)`` triple is unpacked
+    once per *step* instead of once per (step, point) pair, and the
+    accumulators live in flat parallel arrays — the per-step Python
+    overhead of :func:`evaluate_line_steps` amortizes across the whole
+    batch. Entry ``i`` is bit-identical to
+    ``evaluate_line_steps(ext, steps, q_points[i])``: the arithmetic
+    per point is the same operation sequence, only the loop nesting is
+    transposed.
+    """
+    q_points = list(q_points)
+    results = [None] * len(q_points)
+    live = []
+    for index, q_point in enumerate(q_points):
+        if q_point is INFINITY or not steps:
+            results[index] = ext.one
         else:
-            f = mul(f, line)
-    return f
+            live.append(index)
+    if not live:
+        return results
+    p = ext.p
+    x_evals = [-q_points[i][0] % p for i in live]
+    yqs = [q_points[i][1] for i in live]
+    count = len(live)
+    frs = [1] * count
+    fis = [0] * count
+    indices = range(count)
+    for kind, a, b, c in steps:
+        if kind:  # _ADD: f · line
+            for j in indices:
+                lr = (a - b * x_evals[j]) % p
+                li = c * yqs[j] % p
+                sa = frs[j]
+                sb = fis[j]
+                ac = sa * lr
+                bd = sb * li
+                cross = (sa + sb) * (lr + li) - ac - bd
+                frs[j] = (ac - bd) % p
+                fis[j] = cross % p
+        else:     # _DOUBLE: f² · line
+            for j in indices:
+                lr = (a - b * x_evals[j]) % p
+                li = c * yqs[j] % p
+                fr = frs[j]
+                fi = fis[j]
+                sa = (fr + fi) * (fr - fi) % p
+                sb = 2 * fr * fi % p
+                ac = sa * lr
+                bd = sb * li
+                cross = (sa + sb) * (lr + li) - ac - bd
+                frs[j] = (ac - bd) % p
+                fis[j] = cross % p
+    for position, index in enumerate(live):
+        results[index] = (frs[position], fis[position])
+    return results
+
+
+def mont_line_steps(steps: list, mont) -> list:
+    """Pre-convert cached line coefficients into the Montgomery domain.
+
+    Done once per prepared first argument; replays then run REDC-only
+    (:func:`evaluate_line_steps_mont`).
+    """
+    to_mont = mont.to_mont
+    return [(kind, to_mont(a), to_mont(b), to_mont(c))
+            for kind, a, b, c in steps]
+
+
+def evaluate_line_steps_mont(ext: QuadraticExtension, mont_steps: list,
+                             q_point: tuple, mont) -> tuple:
+    """Montgomery-domain replay; returns a *canonical* F_p² element.
+
+    ``mont_steps`` holds ``(kind, Â, B̂, Ĉ)`` with coefficients already
+    in the domain; the second argument converts on entry, the
+    accumulator leaves the domain only on return — the conversion
+    boundary of the pairing fast path. Bit-identical to
+    :func:`evaluate_line_steps` on the same inputs.
+    """
+    if q_point is INFINITY or not mont_steps:
+        return ext.one
+    p = ext.p
+    redc = mont.redc
+    xq, yq = q_point
+    x_eval = mont.to_mont(-xq % p)
+    yq_m = mont.to_mont(yq)
+    fr, fi = mont.one, 0
+    for kind, a, b, c in mont_steps:
+        lr = (a - redc(b * x_eval)) % p
+        li = redc(c * yq_m)
+        if kind:
+            sa, sb = fr, fi
+        else:
+            # + p bias keeps the REDC input non-negative (operand < 2p,
+            # inside the context's lazy-reduction headroom).
+            sa = redc((fr + fi) * (fr - fi + p))
+            sb = redc(2 * fr * fi)
+        ac = redc(sa * lr)
+        bd = redc(sb * li)
+        cross = redc((sa + sb) * (lr + li)) - ac - bd
+        fr = (ac - bd) % p
+        fi = cross % p
+    return (redc(fr), redc(fi))
 
 
 def miller_loop(curve: SupersingularCurve, ext: QuadraticExtension,
@@ -159,8 +277,12 @@ def miller_loop(curve: SupersingularCurve, ext: QuadraticExtension,
     """
     if point is INFINITY or q_point is INFINITY:
         return ext.one
-    return evaluate_line_steps(ext, line_coefficients(curve, point, order),
-                               q_point)
+    steps = line_coefficients(curve, point, order)
+    mont = ext.base.mont
+    if mont is not None:
+        return evaluate_line_steps_mont(ext, mont_line_steps(steps, mont),
+                                        q_point, mont)
+    return evaluate_line_steps(ext, steps, q_point)
 
 
 def miller_loop_affine(curve: SupersingularCurve, ext: QuadraticExtension,
@@ -247,10 +369,52 @@ def final_exponentiation_many(ext: QuadraticExtension, values: list,
         raise MathError("0 is not invertible in F_p²")
     norm_invs = batch_invmod(norms, p)
     cofactor = (p + 1) // order
-    results = []
+    powereds = []
     for value, ninv in zip(values, norm_invs):
         a, b = value
         inverse = (a * ninv % p, -b * ninv % p)
-        powered = ext.mul(ext.conjugate(value), inverse)
-        results.append(ext.pow(powered, cofactor))
-    return results
+        powereds.append(ext.mul(ext.conjugate(value), inverse))
+    if ext.base.mont is not None:
+        return [ext.pow(powered, cofactor) for powered in powereds]
+    return _pow_many_shared_exponent(ext, powereds, cofactor)
+
+
+def _pow_many_shared_exponent(ext: QuadraticExtension, values: list,
+                              exponent: int) -> list:
+    """``[v ** exponent for v in values]``, vectorized across the batch.
+
+    MSB-first square-and-multiply transposed step-outer: every exponent
+    bit squares (and, when set, multiplies) ALL accumulators in one flat
+    inlined-Karatsuba loop, removing the per-operation call overhead of
+    ``ext.pow``. Modular exponentiation has a unique result whatever
+    the addition chain, so each entry is bit-identical to
+    ``ext.pow(values[i], exponent)``.
+    """
+    if exponent == 0:
+        return [ext.one for _ in values]
+    if exponent < 0:
+        raise MathError("negative exponents need an explicit inverse")
+    p = ext.p
+    frs = [value[0] for value in values]
+    fis = [value[1] for value in values]
+    base_rs = list(frs)
+    base_is = list(fis)
+    indices = range(len(values))
+    for bit_index in range(exponent.bit_length() - 2, -1, -1):
+        for j in indices:
+            fr = frs[j]
+            fi = fis[j]
+            frs[j] = (fr + fi) * (fr - fi) % p
+            fis[j] = 2 * fr * fi % p
+        if (exponent >> bit_index) & 1:
+            for j in indices:
+                sa = frs[j]
+                sb = fis[j]
+                br = base_rs[j]
+                bi = base_is[j]
+                ac = sa * br
+                bd = sb * bi
+                cross = (sa + sb) * (br + bi) - ac - bd
+                frs[j] = (ac - bd) % p
+                fis[j] = cross % p
+    return list(zip(frs, fis))

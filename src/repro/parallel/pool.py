@@ -29,16 +29,41 @@ integers and rebuilds per process (see ``PairingGroup.__reduce__``).
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 
 
-def _warm_worker(hold_seconds: float) -> None:
-    """A do-nothing job whose only effect is forcing a worker to boot.
+def resolve_workers(workers) -> int:
+    """Resolve a worker count, with ``"auto"`` sized to the machine.
 
+    ``"auto"`` maps to ``cpu_count - 1`` (one core stays with the event
+    loop / offload thread), which on a single-core machine is ``0`` —
+    the inline mode, where pooled processes would only add pickle and
+    scheduling overhead on top of time-slicing one core.
+    """
+    if workers == "auto":
+        return max(0, (os.cpu_count() or 1) - 1)
+    if not isinstance(workers, int) or isinstance(workers, bool):
+        raise ValueError("workers must be an int or 'auto'")
+    return workers
+
+
+def _warm_worker(hold_seconds: float, group=None) -> None:
+    """Boot a worker and pre-pay its per-process crypto setup.
+
+    Spawned workers import the library from scratch, and the first real
+    job additionally rebuilds the pickled group (primality checks,
+    generator tables). Importing the batch-job module and rebuilding the
+    group *here* moves that cost out of the first sweep's timed window.
     The short hold keeps an already-booted worker from draining the
     whole warm-up queue before its siblings have spawned.
     """
+    import repro.parallel.batch  # noqa: F401 - import cost is the point
+    if group is not None:
+        # Unpickling already rebuilt it; touching the generator table
+        # forces the fixed-base precomputation the first job would pay.
+        group.generator_table()
     time.sleep(hold_seconds)
 
 
@@ -53,7 +78,8 @@ def chunked(items, size: int) -> list:
 class CryptoPool:
     """A lazily-started process pool; ``workers=0`` runs jobs inline."""
 
-    def __init__(self, workers: int = 0):
+    def __init__(self, workers=0):
+        workers = resolve_workers(workers)
         if workers < 0:
             raise ValueError("workers must be >= 0")
         self.workers = workers
@@ -84,19 +110,20 @@ class CryptoPool:
             )
         return self._executor
 
-    def warm(self, hold_seconds: float = 0.05) -> None:
+    def warm(self, hold_seconds: float = 0.05, group=None) -> None:
         """Boot every worker now (a no-op for inline pools).
 
         The executor spawns workers lazily, which would bill
-        ``forkserver`` start-up and per-worker library imports to the
-        first pooled job — for the service, the first sweep. One held
-        job per worker forces the full complement to boot up front
-        (the server calls this at start).
+        ``forkserver`` start-up, per-worker library imports, and — when
+        ``group`` is passed — the per-process group rebuild to the
+        first pooled job (for the service, the first sweep). One held
+        job per worker forces the full complement to boot and warm up
+        front (the server calls this at start with its group).
         """
         if self.inline:
             return
         futures = [
-            self.executor.submit(_warm_worker, hold_seconds)
+            self.executor.submit(_warm_worker, hold_seconds, group)
             for _ in range(self.workers)
         ]
         for future in futures:

@@ -634,18 +634,21 @@ class OwnerClient(BaseClient):
         from repro.core.revocation import strip_uk2
 
         server_key = update_key if include_uk2 else strip_uk2(update_key)
+        eligible = [
+            ciphertext_id
+            for ciphertext_id in self.core.records_involving(update_key.aid)
+            if self.core.record(ciphertext_id).versions[update_key.aid]
+            == update_key.from_version  # skip already-past (defensive)
+        ]
         ui_raws = []
-        sent_ids = set()
-        for ciphertext_id in self.core.records_involving(update_key.aid):
-            record = self.core.record(ciphertext_id)
-            if record.versions[update_key.aid] != update_key.from_version:
-                continue  # already past this version (defensive)
-            update_info = self.core.update_info_for_record(
-                ciphertext_id, update_key
-            )
+        # Bulk UI computation: the whole sweep's exponentiations share
+        # batched inversions (see DataOwner.update_infos_for_records).
+        for update_info in self.core.update_infos_for_records(
+            eligible, update_key
+        ):
             self.connection.meter_send("update-info", update_info)
             ui_raws.append(encode_update_info(update_info))
-            sent_ids.add(ciphertext_id)
+        sent_ids = set(eligible)
         summary = {"requested": 0, "records": 0, "updated": [],
                    "already_current": [], "missing": [], "errors": {}}
         if ui_raws:

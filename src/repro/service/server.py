@@ -106,7 +106,7 @@ class StorageService:
                  hello_timeout: float = 10.0,
                  max_frame: int = protocol.MAX_FRAME_BYTES,
                  read_only: bool = False, dedup_entries: int = 4096,
-                 workers: int = 0, sweep_chunk: int = 16):
+                 workers=0, sweep_chunk: int = 16):
         if sweep_chunk <= 0:
             raise ValueError("sweep_chunk must be positive")
         self.group = group
@@ -138,9 +138,10 @@ class StorageService:
         """Bind and start accepting connections (port 0 → ephemeral)."""
         if not self.pool.inline:
             # Boot the pool's workers before traffic arrives: spawning
-            # them lazily would bill forkserver start-up and per-worker
-            # library imports to the first sweep.
-            await self._offload(self.pool.warm)
+            # them lazily would bill forkserver start-up, per-worker
+            # library imports, and the per-process group rebuild to the
+            # first sweep.
+            await self._offload(self.pool.warm, 0.05, self.group)
         self._server = await asyncio.start_server(
             self._accept, self.host, self.port
         )
@@ -571,6 +572,10 @@ class StorageService:
             await asyncio.gather(*(future for _, future in pending),
                                  return_exceptions=True)
             raise
+        # The durability barrier the per-chunk applies deferred: every
+        # repoint lands on disk before SWEEP_DONE acknowledges the
+        # sweep (a failed sweep leaves old blobs for gc instead).
+        await self._offload(self.store.commit_replacements)
         summary = protocol.encode_json({
             "requested": declared,
             "records": len(record_ids),
@@ -605,9 +610,17 @@ class StorageService:
         ]
 
     def _sweep_apply_chunk(self, chunk_ids, results):
-        for record_id, (new_blob, _) in zip(chunk_ids, results):
-            if new_blob is not None:
-                self.store.replace_record_bytes(record_id, new_blob)
+        # Deferred group-commit: chunks rename into place with no sync
+        # barrier; the sweep runs commit_replacements once before the
+        # final summary, so SWEEP_DONE still means durable.
+        self.store.replace_record_bytes_many(
+            [
+                (record_id, new_blob)
+                for record_id, (new_blob, _) in zip(chunk_ids, results)
+                if new_blob is not None
+            ],
+            durable=False,
+        )
 
     async def _handle_stats(self, session, body):
         await self._send(session, MessageType.STATS_REPLY,

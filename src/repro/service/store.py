@@ -15,8 +15,14 @@ Two layers:
   (``refs/<quoted-record-id>`` → blob digest) over the blob pool, plus
   the ciphertext-id index ReEncrypt needs. Replacing a record writes
   the new blob, atomically repoints the ref, then garbage-collects the
-  old blob once nothing references it. Re-opening an existing root
-  rebuilds all indexes from disk.
+  old blob once nothing references it. Bulk replacement
+  (:meth:`RecordStore.replace_record_bytes_many`) publishes all of a
+  batch's repoints AND the new blob bytes as one atomically-renamed
+  ``refbatches/<seq>`` pack file instead of per-record blob and ref
+  writes; pack files overlay the loose refs at open (their embedded
+  blobs served by offset) and are folded back into loose refs and
+  loose blobs before any loose-ref mutation. Re-opening an existing
+  root rebuilds all indexes from disk.
 
 The on-disk record bytes are exactly
 :meth:`repro.system.records.StoredRecord.to_bytes` — the same format
@@ -55,6 +61,9 @@ class BlobStore:
         self.cache_bytes = cache_bytes
         self._cache = OrderedDict()  # digest -> blob
         self._cache_total = 0
+        # Blobs living inside refpack files (see RecordStore's bulk
+        # replacement): digest -> (pack path, byte offset, length).
+        self._packs = {}
 
     def _path(self, digest: str) -> Path:
         return self.objects_dir / digest[:2] / digest[2:4] / digest
@@ -117,28 +126,104 @@ class BlobStore:
         try:
             blob = self._path(digest).read_bytes()
         except FileNotFoundError:
-            raise StorageError(f"no blob {digest!r}") from None
-        if hashlib.sha256(blob).hexdigest() != digest:
-            raise StorageError(f"blob {digest!r} is corrupted on disk")
+            blob = None
+        if blob is not None and hashlib.sha256(blob).hexdigest() != digest:
+            # A bad loose copy with a live pack entry is a
+            # half-materialized compaction (interrupted before its sync
+            # barrier) — the pack it was copied from is authoritative.
+            # With no pack entry it is disk corruption.
+            if digest in self._packs:
+                blob = None
+            else:
+                raise StorageError(f"blob {digest!r} is corrupted on disk")
+        if blob is None:
+            blob = self._read_packed(digest)
+            if blob is None:
+                raise StorageError(f"no blob {digest!r}")
         self._cache_put(digest, blob)
         return blob
 
     def contains(self, digest: str) -> bool:
-        return digest in self._cache or self._path(digest).exists()
+        return (digest in self._cache or digest in self._packs
+                or self._path(digest).exists())
 
     def delete(self, digest: str) -> None:
         self._cache_drop(digest)
+        # Dropping the pack entry unreferences the packed bytes; the
+        # dead span is physically reclaimed when compaction deletes the
+        # whole pack file.
+        self._packs.pop(digest, None)
         try:
             self._path(digest).unlink()
         except FileNotFoundError:
             pass
 
     def digests(self) -> list:
-        return sorted(
+        loose = {
             path.name
             for path in self.objects_dir.glob("??/??/*")
             if path.is_file()
-        )
+        }
+        return sorted(loose | set(self._packs))
+
+    # -- packed blobs ------------------------------------------------------
+
+    def register_packed(self, digest: str, path, offset: int,
+                        length: int) -> None:
+        """Serve ``digest`` from ``length`` bytes at ``offset`` of a
+        refpack file (verified against the digest on every read)."""
+        self._packs[digest] = (path, offset, length)
+
+    def clear_packed(self) -> None:
+        """Forget every pack entry (compaction deletes the pack files
+        after materializing the still-referenced blobs loose)."""
+        self._packs.clear()
+
+    def _read_packed(self, digest: str):
+        entry = self._packs.get(digest)
+        if entry is None:
+            return None
+        path, offset, length = entry
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            blob = handle.read(length)
+        if hashlib.sha256(blob).hexdigest() != digest:
+            raise StorageError(f"packed blob {digest!r} is corrupted on disk")
+        return blob
+
+
+_REFPACK_MAGIC = b"refpack1\n"
+
+
+def _iter_refpack(path: Path):
+    """Yield ``(record_id, digest, blob_offset, blob_length)`` per entry.
+
+    Refpack layout (all integers big-endian u32): the magic line, then
+    repeated ``id_len | id_utf8 | 64-byte hex digest | blob_len | blob``.
+    Entries later in a pack (and in later packs) supersede earlier ones
+    for the same record id.
+    """
+    data = path.read_bytes()
+    if not data.startswith(_REFPACK_MAGIC):
+        raise StorageError(f"refpack {path.name!r} has a bad header")
+    pos = len(_REFPACK_MAGIC)
+    end = len(data)
+    try:
+        while pos < end:
+            id_len = int.from_bytes(data[pos:pos + 4], "big")
+            pos += 4
+            record_id = data[pos:pos + id_len].decode("utf-8")
+            pos += id_len
+            digest = data[pos:pos + 64].decode("ascii")
+            pos += 64
+            blob_len = int.from_bytes(data[pos:pos + 4], "big")
+            pos += 4
+            if pos + blob_len > end:
+                raise StorageError(f"refpack {path.name!r} is truncated")
+            yield record_id, digest, pos, blob_len
+            pos += blob_len
+    except (UnicodeDecodeError, IndexError) as exc:
+        raise StorageError(f"refpack {path.name!r} is corrupted") from exc
 
 
 def _atomic_write(directory: Path, path: Path, data: bytes) -> None:
@@ -168,14 +253,33 @@ class RecordStore:
                                cache_bytes=cache_bytes)
         self.refs_dir = self.root / "refs"
         self.keys_dir = self.root / "keys"
+        self.refbatch_dir = self.root / "refbatches"
         self.refs_dir.mkdir(parents=True, exist_ok=True)
         self.keys_dir.mkdir(parents=True, exist_ok=True)
+        self.refbatch_dir.mkdir(parents=True, exist_ok=True)
         self._refs = {}              # record id -> digest
         self._refcounts = {}         # digest -> number of refs pointing at it
         self._ciphertext_index = {}  # ciphertext id -> (record id, name)
+        self._pending_collect = []   # old digests awaiting commit_replacements
+        self._deferred_unlinks = []  # dead loose blobs awaiting reclamation
+        # Replay order: loose refs first, then refpack files in
+        # sequence order — each pack repoints ids whose loose refs are
+        # stale (and whose old blobs may already be collected), so the
+        # overlay must resolve before anything is decoded. The packs
+        # carry their blobs inline; register them so reads resolve.
+        refs = {}
         for ref_path in self.refs_dir.iterdir():
-            record_id = unquote(ref_path.name)
-            digest = ref_path.read_text("ascii").strip()
+            refs[unquote(ref_path.name)] = ref_path.read_text("ascii").strip()
+        self._refbatch_files = sorted(self.refbatch_dir.iterdir())
+        for batch_path in self._refbatch_files:
+            for record_id, digest, offset, length in _iter_refpack(batch_path):
+                refs[record_id] = digest
+                self.blobs.register_packed(digest, batch_path, offset, length)
+        self._refbatch_seq = (
+            int(self._refbatch_files[-1].name) + 1
+            if self._refbatch_files else 0
+        )
+        for record_id, digest in refs.items():
             self._set_ref(record_id, digest)
             self._index_record(self._decode(digest))
 
@@ -213,6 +317,55 @@ class RecordStore:
         if not self._refcounts[digest]:
             del self._refcounts[digest]
 
+    def _compact_refbatches(self) -> None:
+        """Fold live refpack files back into loose refs and blobs.
+
+        Must run before any *loose*-ref mutation: open-time replay is
+        loose refs first, then packs, so a fresh loose write (or a
+        ref unlink) for an id that a surviving pack file also names
+        would be overridden on the next open. For every packed id the
+        current blob is materialized as a loose object (atomic rename,
+        so a crash never leaves a torn blob under a valid name — and a
+        renamed-but-unsynced one is outranked by the still-live pack
+        entry, see :meth:`BlobStore.get`) and the loose ref is
+        rewritten at the current in-memory digest. One ``os.sync()``
+        makes it all durable, then the pack files are removed
+        oldest-first — replaying whatever suffix a crash leaves behind
+        still converges to this exact state, because later packs carry
+        the newer digests and their blobs.
+        """
+        self._reclaim_dead_blobs()
+        if not self._refbatch_files:
+            return
+        record_ids = set()
+        for batch_path in self._refbatch_files:
+            for record_id, _, _, _ in _iter_refpack(batch_path):
+                record_ids.add(record_id)
+        blobs = self.blobs
+        tmp_dir = str(blobs.tmp_dir)
+        tag = f"compact-{os.getpid()}"
+        for index, record_id in enumerate(record_ids):
+            digest = self._refs[record_id]
+            blob_path = blobs._path(digest)
+            if not blob_path.exists():
+                tmp_name = os.path.join(tmp_dir, f"{tag}-blob-{index}")
+                with open(tmp_name, "wb") as handle:
+                    handle.write(blobs.get(digest))
+                try:
+                    os.replace(tmp_name, blob_path)
+                except FileNotFoundError:
+                    blob_path.parent.mkdir(parents=True, exist_ok=True)
+                    os.replace(tmp_name, blob_path)
+            tmp_name = os.path.join(tmp_dir, f"{tag}-{index}")
+            with open(tmp_name, "wb") as handle:
+                handle.write(digest.encode("ascii"))
+            os.replace(tmp_name, self._ref_path(record_id))
+        os.sync()
+        for batch_path in self._refbatch_files:
+            batch_path.unlink()
+        self._refbatch_files = []
+        blobs.clear_packed()
+
     def _collect(self, digest: str) -> None:
         """Drop a blob no ref points at any more (O(1) via refcounts —
         a bulk sweep replaces every record, so a scan of ``_refs`` here
@@ -231,6 +384,7 @@ class RecordStore:
         the previous record fully readable — the worst case is an
         orphaned blob that :meth:`gc` reclaims later.
         """
+        self._compact_refbatches()
         old_digest = self._refs.get(record.record_id)
         if old_digest is not None and not replace:
             raise StorageError(
@@ -279,6 +433,7 @@ class RecordStore:
         ids, component names and symmetric bodies are invariant under
         it. Callers that change the mapping must use :meth:`put`.
         """
+        self._compact_refbatches()
         old_digest = self._refs.get(record_id)
         if old_digest is None:
             raise StorageError(f"no record {record_id!r}")
@@ -290,7 +445,140 @@ class RecordStore:
             self._collect(old_digest)
         return digest
 
+    def replace_record_bytes_many(self, items, durable: bool = True) -> list:
+        """Repoint many existing records as ONE durability group.
+
+        Byte-wise identical to calling :meth:`replace_record_bytes` per
+        ``(record_id, blob)`` pair; what changes is the file schedule.
+        The per-record path pays two fsyncs, a blob file creation and
+        two ref metadata ops per record — at sweep scale that is the
+        dominant storage cost. Here the whole batch — every repoint
+        AND every new blob's bytes — is serialized into ONE refpack
+        file (see :func:`_iter_refpack`) that a single ``os.replace``
+        publishes under ``refbatches/``. Packs are replayed over the
+        loose refs on open (their blobs served by offset through
+        :meth:`BlobStore.register_packed`) and folded back into loose
+        refs and blobs by :meth:`_compact_refbatches` before any
+        loose-ref mutation. The batch is made durable by the single
+        ``os.sync()`` barrier in :meth:`commit_replacements` — called
+        here when ``durable`` (the default), or deferred by a
+        multi-batch caller (the sweep) that commits once after its
+        last batch.
+
+        Crash-safety invariants versus the per-record path:
+
+        * refs and blobs publish in ONE atomic rename — there is no
+          blob-before-ref ordering to maintain, and a visible pack can
+          never name a blob it does not fully contain (a truncated
+          rename target is impossible; a crash before the rename
+          leaves only a tmp file that open-time sweeping removes);
+        * an old blob is only *unlinked* by :meth:`commit_replacements`,
+          after the sync barrier has made every repoint that released
+          it durable;
+        * the whole batch lands atomically, so each record reads back
+          at its old or its new bytes, never in between — strictly
+          coarser than the per-record path, whose crash mid-loop loses
+          a suffix of the repoints.
+
+        What deferral trades away is durable-on-return per batch: until
+        the commit runs, an applied batch can be lost (never torn) by a
+        crash. Callers that defer must commit before acknowledging the
+        work. Returns the new digests in input order.
+        """
+        items = list(items)
+        if not items:
+            return []
+        # Any unlinks the previous batch's commit deferred are paid
+        # here, at the head of the NEXT bulk mutation — reclamation
+        # amortizes across sweeps instead of sitting inside each
+        # sweep's acknowledgement window.
+        self._reclaim_dead_blobs()
+        blobs = self.blobs
+        new_digests = []
+        old_digests = []
+        for record_id, blob in items:
+            old = self._refs.get(record_id)
+            if old is None:
+                raise StorageError(f"no record {record_id!r}")
+            old_digests.append(old)
+        chunks = [_REFPACK_MAGIC]
+        offsets = []  # blob byte offset per item, aligned with items
+        pos = len(_REFPACK_MAGIC)
+        for record_id, blob in items:
+            digest = hashlib.sha256(blob).hexdigest()
+            new_digests.append(digest)
+            encoded_id = record_id.encode("utf-8")
+            chunks.append(len(encoded_id).to_bytes(4, "big"))
+            chunks.append(encoded_id)
+            chunks.append(digest.encode("ascii"))
+            chunks.append(len(blob).to_bytes(4, "big"))
+            pos += 4 + len(encoded_id) + 64 + 4
+            offsets.append(pos)
+            chunks.append(blob)
+            pos += len(blob)
+        tag = f"batch-{os.getpid()}"
+        batch_tmp = os.path.join(str(blobs.tmp_dir), f"{tag}-refs")
+        batch_path = self.refbatch_dir / f"{self._refbatch_seq:08d}"
+        try:
+            with open(batch_tmp, "wb") as handle:
+                handle.write(b"".join(chunks))
+            os.replace(batch_tmp, batch_path)
+        except BaseException:
+            if os.path.exists(batch_tmp):
+                os.unlink(batch_tmp)
+            raise
+        self._refbatch_seq += 1
+        self._refbatch_files.append(batch_path)
+        for (record_id, blob), digest, offset in zip(items, new_digests,
+                                                     offsets):
+            self._set_ref(record_id, digest)
+            blobs.register_packed(digest, batch_path, offset, len(blob))
+            blobs._cache_put(digest, blob)
+        for old, new in zip(old_digests, new_digests):
+            if old != new:
+                self._pending_collect.append(old)
+        if durable:
+            self.commit_replacements()
+        return new_digests
+
+    def commit_replacements(self) -> None:
+        """Make deferred batch replacements durable; then collect.
+
+        One ``os.sync()`` pushes every refpack rename of the deferred
+        batches to disk, after which the old blobs those batches
+        released are dead (their refs' repoints are durable). Their
+        in-memory traces (cache and pack entries) drop here; the loose
+        *unlinks* are deferred to :meth:`_reclaim_dead_blobs` at the
+        next store mutation, GC or audit — dead-blob removal is
+        reclamation, not durability, so it has no business in the
+        acknowledgement path of a bulk sweep. A no-op when nothing is
+        deferred. If the process dies first, the replaced records are
+        still readable at old-or-new bytes; the un-collected old blobs
+        are orphans that :meth:`gc` reclaims.
+        """
+        if not self._pending_collect:
+            return
+        os.sync()
+        pending, self._pending_collect = self._pending_collect, []
+        for digest in dict.fromkeys(pending):
+            if digest not in self._refcounts:
+                self.blobs._cache_drop(digest)
+                self.blobs._packs.pop(digest, None)
+                self._deferred_unlinks.append(digest)
+
+    def _reclaim_dead_blobs(self) -> None:
+        """Unlink loose blobs whose death :meth:`commit_replacements`
+        deferred. Re-checks the refcounts — a digest re-referenced
+        since it was scheduled is live again and must survive."""
+        if not self._deferred_unlinks:
+            return
+        pending, self._deferred_unlinks = self._deferred_unlinks, []
+        for digest in dict.fromkeys(pending):
+            if digest not in self._refcounts:
+                self.blobs.delete(digest)
+
     def delete(self, record_id: str) -> None:
+        self._compact_refbatches()
         digest = self._refs.get(record_id)
         if digest is None:
             raise StorageError(f"no record {record_id!r}")
@@ -342,8 +630,11 @@ class RecordStore:
         no ref points at (the residue of a crash between blob write and
         ref repoint, or mid-GC), and ciphertext-index entries that
         disagree with the records on disk. ``report["ok"]`` is True iff
-        everything holds.
+        everything holds. Pending deferred reclamation is flushed
+        first — scheduled-but-not-yet-unlinked dead blobs are
+        maintenance debt, not crash residue.
         """
+        self._reclaim_dead_blobs()
         report = {
             "records": len(self._refs),
             "missing_blobs": [],
@@ -382,6 +673,7 @@ class RecordStore:
 
     def gc(self) -> list:
         """Delete every unreferenced blob; returns the digests removed."""
+        self._reclaim_dead_blobs()
         referenced = set(self._refs.values())
         removed = [digest for digest in self.blobs.digests()
                    if digest not in referenced]

@@ -1,0 +1,218 @@
+"""Batched affine arithmetic must be bit-identical to the plain paths.
+
+Covers the three batch shapes of :mod:`repro.ec.batch_affine` plus the
+:meth:`FixedBaseTable.doubled_window` composition they feed on. The
+regression class at the bottom pins the bucket-offset invariant of
+``batch_table_walks``: two legs of one walk must never fold two digits
+of the same slot inside one bucket (the snapshot-then-apply round
+scheme would lose one addition).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ec.batch_affine import (
+    batch_affine_sums,
+    batch_same_scalar_mults,
+    batch_table_walks,
+    table_entries,
+)
+from repro.ec.curve import INFINITY, SupersingularCurve
+from repro.ec.fixed_base import FixedBaseTable
+from repro.ec.params import TOY80
+from repro.math.field import PrimeField
+
+FIELD = PrimeField(TOY80.p, check_prime=False)
+CURVE = SupersingularCurve(FIELD)
+G = TOY80.generator
+R = TOY80.r
+TABLE = FixedBaseTable(CURVE, G, R)
+
+
+def naive_sum(entries):
+    acc = INFINITY
+    for entry in entries:
+        acc = CURVE.add(acc, entry)
+    return acc
+
+
+def points(scalars):
+    return [CURVE.mul(G, k) for k in scalars]
+
+
+class TestBatchAffineSums:
+    def test_empty_and_trivial(self):
+        assert batch_affine_sums(CURVE, []) == []
+        assert batch_affine_sums(CURVE, [[]]) == [INFINITY]
+        assert batch_affine_sums(CURVE, [[INFINITY, INFINITY]]) == [INFINITY]
+
+    def test_varying_lengths(self):
+        lists = [
+            points([1, 2, 3]),
+            points([5]),
+            [],
+            points(range(1, 9)),
+            [INFINITY] + points([7]) + [INFINITY],
+        ]
+        expected = [naive_sum(entries) for entries in lists]
+        assert batch_affine_sums(CURVE, lists) == expected
+
+    def test_cancellation_then_restart(self):
+        # P + (-P) hits the cancellation branch; the next entry must
+        # re-seed the accumulator from infinity.
+        P = CURVE.mul(G, 11)
+        lists = [[P, CURVE.neg(P), CURVE.mul(G, 3)]]
+        assert batch_affine_sums(CURVE, lists) == [CURVE.mul(G, 3)]
+
+    def test_tangent_rounds(self):
+        # Equal consecutive entries exercise the doubling (tangent) row.
+        P = CURVE.mul(G, 9)
+        lists = [[P, P], [P, P, P]]
+        assert batch_affine_sums(CURVE, lists) == [
+            CURVE.mul(G, 18), CURVE.mul(G, 27)
+        ]
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.lists(st.integers(0, R - 1), max_size=6),
+                    max_size=5))
+    def test_matches_naive_fold(self, scalar_lists):
+        lists = [points(ks) for ks in scalar_lists]
+        expected = [naive_sum(entries) for entries in lists]
+        assert batch_affine_sums(CURVE, lists) == expected
+
+
+class TestTableEntries:
+    @given(st.integers(0, R - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_entries_sum_to_multiple(self, scalar):
+        assert naive_sum(table_entries(TABLE, scalar)) \
+            == CURVE.mul(G, scalar)
+
+    @pytest.mark.parametrize("window", [1, 3, 8])
+    def test_non_nibble_windows(self, window):
+        table = FixedBaseTable(CURVE, G, R, window=window)
+        for scalar in (0, 1, 255, R - 1):
+            assert naive_sum(table_entries(table, scalar)) \
+                == CURVE.mul(G, scalar)
+
+
+class TestBatchTableWalks:
+    def test_single_leg_matches_multiply(self):
+        scalars = [0, 1, 2, 255, 256, R - 1, R // 3]
+        walks = [((TABLE, k),) for k in scalars]
+        assert batch_table_walks(CURVE, walks) \
+            == [TABLE.multiply(k) for k in scalars]
+
+    def test_multi_leg_sums_legs(self):
+        other = FixedBaseTable(CURVE, CURVE.mul(G, 77), R)
+        walks = [
+            ((TABLE, 123), (other, 456)),
+            ((TABLE, 5),),
+            ((other, 0), (TABLE, 9)),
+        ]
+        expected = [
+            CURVE.add(TABLE.multiply(123), other.multiply(456)),
+            TABLE.multiply(5),
+            TABLE.multiply(9),
+        ]
+        assert batch_table_walks(CURVE, walks) == expected
+
+    def test_empty_and_zero_walks(self):
+        walks = [(), ((TABLE, 0),), ((TABLE, 0), (TABLE, 0))]
+        assert batch_table_walks(CURVE, walks) == [INFINITY] * 3
+
+    def test_cancellation_to_infinity(self):
+        # k·G then (r-k)·G across two legs: the walk must collapse to
+        # INFINITY via the ``axs[slot] = None`` branch.
+        walks = [((TABLE, 1000), (TABLE, R - 1000))]
+        assert batch_table_walks(CURVE, walks) == [INFINITY]
+
+    def test_window8_leg(self):
+        wide = FixedBaseTable.doubled_window(TABLE)
+        for scalar in (1, 255, 256, 65535, R - 1):
+            assert batch_table_walks(CURVE, [((wide, scalar),)]) \
+                == [TABLE.multiply(scalar)]
+
+    def test_mixed_window_legs(self):
+        wide = FixedBaseTable.doubled_window(TABLE)
+        pk = FixedBaseTable(CURVE, CURVE.mul(G, 31337), R)
+        walks = [((wide, 0xDEADBEEF), (pk, R - 2)),
+                 ((pk, 17), (wide, 17))]
+        expected = [
+            CURVE.add(TABLE.multiply(0xDEADBEEF), pk.multiply(R - 2)),
+            CURVE.add(pk.multiply(17), TABLE.multiply(17)),
+        ]
+        assert batch_table_walks(CURVE, walks) == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.lists(st.integers(0, R - 1), min_size=1,
+                             max_size=3), max_size=4))
+    def test_matches_per_walk_multiply(self, scalar_lists):
+        walks = [tuple((TABLE, k) for k in ks) for ks in scalar_lists]
+        expected = [
+            naive_sum(TABLE.multiply(k) for k in ks)
+            for ks in scalar_lists
+        ]
+        assert batch_table_walks(CURVE, walks) == expected
+
+    def test_same_table_twice_regression(self):
+        # REGRESSION: both legs walk the SAME table, so without per-leg
+        # bucket offsets their digits would land in the same buckets
+        # and the round's snapshot-then-apply would drop one addition.
+        for a, b in [(1, 1), (15, 240), (0x1234, 0x9876), (R - 1, R - 1)]:
+            walks = [((TABLE, a), (TABLE, b))]
+            expected = CURVE.add(TABLE.multiply(a), TABLE.multiply(b))
+            assert batch_table_walks(CURVE, walks) == [expected]
+
+
+class TestDoubledWindow:
+    def test_window_doubles(self):
+        wide = FixedBaseTable.doubled_window(TABLE)
+        assert wide.window == 8
+        assert wide.point == TABLE.point
+
+    @given(st.integers(0, R - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_narrow_table(self, scalar):
+        wide = FixedBaseTable.doubled_window(TABLE)
+        assert wide.multiply(scalar) == TABLE.multiply(scalar)
+
+    def test_odd_level_count(self):
+        # window=3 over an 80-bit order gives 27 levels (odd): the last
+        # doubled level is the spill-padded copy of the top old level.
+        narrow = FixedBaseTable(CURVE, G, R, window=3)
+        assert len(narrow.levels) % 2 == 1
+        wide = FixedBaseTable.doubled_window(narrow)
+        assert wide.window == 6
+        for scalar in (0, 1, R - 1, R // 2, 0xFFFF_FFFF):
+            assert wide.multiply(scalar) == narrow.multiply(scalar)
+
+    def test_rejects_wide_source(self):
+        wide = FixedBaseTable.doubled_window(TABLE)
+        with pytest.raises(ValueError):
+            FixedBaseTable.doubled_window(wide)
+
+    def test_infinity_base(self):
+        trivial = FixedBaseTable(CURVE, INFINITY, R)
+        wide = FixedBaseTable.doubled_window(trivial)
+        assert wide.multiply(12345) is INFINITY
+
+
+class TestBatchSameScalarMults:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, R - 1),
+           st.lists(st.integers(0, R - 1), max_size=5))
+    def test_matches_per_point_mul(self, scalar, ks):
+        pts = points(ks) + [INFINITY]
+        expected = [CURVE.mul(P, scalar) for P in pts]
+        assert batch_same_scalar_mults(CURVE, pts, scalar) == expected
+
+    def test_order_annihilates(self):
+        pts = points([1, 2, 12345])
+        assert batch_same_scalar_mults(CURVE, pts, R) \
+            == [INFINITY] * len(pts)
+
+    def test_negative_scalar_rejected(self):
+        with pytest.raises(ValueError):
+            batch_same_scalar_mults(CURVE, [G], -1)

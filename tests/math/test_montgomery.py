@@ -1,0 +1,80 @@
+"""The documented REDC invariants of :mod:`repro.math.montgomery`."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ec.params import SS512, TOY80
+from repro.errors import MathError
+from repro.math.montgomery import MontgomeryContext
+
+CTXS = [MontgomeryContext(TOY80.p), MontgomeryContext(SS512.p)]
+
+
+@pytest.fixture(params=[0, 1], ids=["TOY80", "SS512"])
+def ctx(request):
+    return CTXS[request.param]
+
+
+class TestConstants:
+    def test_r_exceeds_4p(self, ctx):
+        # Two bits of headroom: lazy operands in [0, 2p) stay REDC-safe.
+        assert ctx.R == 1 << ctx.k
+        assert ctx.R > 4 * ctx.p
+        assert (2 * ctx.p) * (2 * ctx.p) < ctx.R * ctx.p
+
+    def test_n_prime(self, ctx):
+        assert (ctx.n_prime * ctx.p) % ctx.R == ctx.R - 1  # -p⁻¹ mod R
+
+    def test_one_is_image_of_unity(self, ctx):
+        assert ctx.one == ctx.R % ctx.p
+        assert ctx.from_mont(ctx.one) == 1
+
+
+class TestRedc:
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_redc_is_division_by_r(self, data):
+        ctx = data.draw(st.sampled_from(CTXS))
+        t = data.draw(st.integers(0, ctx.R * ctx.p - 1))
+        r_inv = pow(ctx.R, -1, ctx.p)
+        assert ctx.redc(t) == t * r_inv % ctx.p
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_lazy_operand_bound(self, data):
+        # The documented lazy-reduction bound: operands below 2p (not
+        # just p) multiply without violating the t < R·p precondition.
+        ctx = data.draw(st.sampled_from(CTXS))
+        a = data.draw(st.integers(0, 2 * ctx.p - 1))
+        b = data.draw(st.integers(0, 2 * ctx.p - 1))
+        assert a * b < ctx.R * ctx.p
+        r_inv = pow(ctx.R, -1, ctx.p)
+        assert ctx.mul(a, b) == a * b * r_inv % ctx.p
+
+
+class TestRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_domain_round_trip(self, data):
+        ctx = data.draw(st.sampled_from(CTXS))
+        a = data.draw(st.integers(0, ctx.p - 1))
+        assert ctx.from_mont(ctx.to_mont(a)) == a
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_ops_match_plain_arithmetic(self, data):
+        ctx = data.draw(st.sampled_from(CTXS))
+        p = ctx.p
+        a = data.draw(st.integers(1, p - 1))
+        b = data.draw(st.integers(1, p - 1))
+        e = data.draw(st.integers(0, 1 << 64))
+        am, bm = ctx.to_mont(a), ctx.to_mont(b)
+        assert ctx.from_mont(ctx.mul(am, bm)) == a * b % p
+        assert ctx.from_mont(ctx.square(am)) == a * a % p
+        assert ctx.from_mont(ctx.pow(am, e)) == pow(a, e, p)
+        assert ctx.from_mont(ctx.inv(am)) == pow(a, -1, p)
+
+    def test_zero_inverse_rejected(self, ctx):
+        with pytest.raises(MathError):
+            ctx.inv(0)

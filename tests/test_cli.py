@@ -149,6 +149,36 @@ class TestParser:
             build_parser().parse_args(["demo", "--preset", "NOPE"])
 
 
+class TestArithBackend:
+    def test_pure_backend_flag(self):
+        from repro.math import backend
+        try:
+            code, output = run(
+                ["--arith-backend", "pure", "demo", "--seed", "3"]
+            )
+            assert code == 0
+            assert backend.resolve_backend().name == "pure"
+        finally:
+            backend.set_backend(None)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--arith-backend", "turbo", "info"])
+
+    def test_missing_gmpy2_fails_fast(self):
+        from repro.math import backend
+        from repro.math.backend import gmpy2_available
+        if gmpy2_available():
+            pytest.skip("gmpy2 installed: the hard request succeeds")
+        try:
+            with pytest.raises(SystemExit):
+                main(["--arith-backend", "gmpy2", "info"], out=io.StringIO())
+            # The forced selection must be rolled back on failure.
+            assert backend.resolve_backend().name == "pure"
+        finally:
+            backend.set_backend(None)
+
+
 class TestService:
     def test_serve_then_client_ping_and_smoke(self, tmp_path):
         import re
