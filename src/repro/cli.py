@@ -9,6 +9,8 @@ Commands:
 * ``serve``      — run the networked cloud-storage service (asyncio TCP)
 * ``client``     — talk to a running service (ping / stats / list /
   smoke / sweep / bench-encrypt)
+* ``cluster``    — drive a sharded multi-node fleet (smoke / health /
+  stats / scrub / list)
 * ``info``       — show the built-in parameter presets
 
 Everything the CLI does is also available (with more control) through
@@ -42,6 +44,27 @@ def _add_preset_argument(parser):
         "--preset", choices=sorted(PRESETS), default="TOY80",
         help="pairing parameter preset (default: TOY80)",
     )
+
+
+def _add_chaos_arguments(parser):
+    chaos = parser.add_argument_group(
+        "chaos", "seeded fault injection for the smoke/sweep cycles "
+                 "(enabled by --chaos-seed)"
+    )
+    chaos.add_argument("--chaos-seed", type=int, default=None,
+                       help="run smoke through a ChaosProxy with this seed")
+    chaos.add_argument("--chaos-drop", type=float, default=0.06,
+                       help="per-reply-frame connection-drop rate")
+    chaos.add_argument("--chaos-delay", type=float, default=0.04,
+                       help="per-reply-frame delay rate (past the timeout)")
+    chaos.add_argument("--chaos-corrupt", type=float, default=0.04,
+                       help="per-reply-frame corruption rate")
+    chaos.add_argument("--chaos-truncate", type=float, default=0.03,
+                       help="per-reply-frame truncation rate")
+    chaos.add_argument("--chaos-duplicate", type=float, default=0.05,
+                       help="per-reply-frame duplication rate")
+    chaos.add_argument("--chaos-delay-seconds", type=float, default=1.0,
+                       help="how long a delayed reply is held back")
 
 
 def _cmd_demo(args) -> int:
@@ -208,6 +231,7 @@ def _cmd_serve(args) -> int:
         store = RecordStore(args.root, group)
         service = StorageService(
             group, store, host=args.host, port=args.port,
+            name=args.cluster_node or "cloud",
             idle_timeout=args.idle_timeout, read_only=args.read_only,
             workers=args.workers, sweep_chunk=args.sweep_chunk,
         )
@@ -215,6 +239,8 @@ def _cmd_serve(args) -> int:
         mode = " [read-only]" if args.read_only else ""
         if args.workers:
             mode += f" [{args.workers} crypto workers]"
+        if args.cluster_node:
+            mode += f" [cluster node {args.cluster_node}]"
         print(
             f"repro service listening on {service.host}:{service.port} "
             f"(preset {args.preset}, root {args.root}){mode}",
@@ -239,6 +265,26 @@ def _cmd_serve(args) -> int:
         return 0
 
 
+def _chaos_from_args(args):
+    """FaultSpec + effective timeout from the shared chaos flag group."""
+    chaos = None
+    timeout = args.timeout
+    if args.chaos_seed is not None:
+        from repro.service.faults import FaultSpec
+
+        chaos = FaultSpec(
+            drop=args.chaos_drop, delay=args.chaos_delay,
+            corrupt=args.chaos_corrupt, truncate=args.chaos_truncate,
+            duplicate=args.chaos_duplicate,
+            delay_seconds=args.chaos_delay_seconds,
+        )
+        if timeout is None:
+            # The injected delays must overrun the client timeout,
+            # or the delay fault would never be visible.
+            timeout = max(0.25, args.chaos_delay_seconds / 2)
+    return chaos, timeout
+
+
 def _cmd_client(args) -> int:
     import asyncio
     import json as json_module
@@ -256,22 +302,9 @@ def _cmd_client(args) -> int:
             timeout=30.0 if args.timeout is None else args.timeout,
         ))
     if args.action in ("smoke", "sweep"):
-        from repro.service.faults import FaultSpec
         from repro.service.smoke import run_smoke, run_sweep_cycle
 
-        chaos = None
-        timeout = args.timeout
-        if args.chaos_seed is not None:
-            chaos = FaultSpec(
-                drop=args.chaos_drop, delay=args.chaos_delay,
-                corrupt=args.chaos_corrupt, truncate=args.chaos_truncate,
-                duplicate=args.chaos_duplicate,
-                delay_seconds=args.chaos_delay_seconds,
-            )
-            if timeout is None:
-                # The injected delays must overrun the client timeout,
-                # or the delay fault would never be visible.
-                timeout = max(0.25, args.chaos_delay_seconds / 2)
+        chaos, timeout = _chaos_from_args(args)
         if args.action == "sweep":
             return asyncio.run(run_sweep_cycle(
                 params, args.host, args.port, out=out, seed=args.seed,
@@ -309,6 +342,69 @@ def _cmd_client(args) -> int:
         finally:
             await client.close()
         return 0
+
+    return asyncio.run(run())
+
+
+def _cmd_cluster(args) -> int:
+    import asyncio
+    import json as json_module
+
+    out = args.out
+    params = PRESETS[args.preset]
+    if args.action == "smoke":
+        from repro.cluster.smoke import run_cluster_smoke
+
+        chaos, timeout = _chaos_from_args(args)
+        return asyncio.run(run_cluster_smoke(
+            params, nodes=args.nodes, replication=args.replication,
+            records=args.records, out=out,
+            seed=1 if args.seed is None else args.seed,
+            chaos=chaos, chaos_seed=args.chaos_seed or 0,
+            ring_seed=args.ring_seed,
+            timeout=30.0 if timeout is None else timeout,
+        ))
+
+    from repro.cluster import ClusterClient, ClusterMap, parse_node_spec
+
+    if not args.node:
+        print(f"cluster {args.action} needs at least one "
+              f"--node [name=]host:port", file=out)
+        return 2
+    try:
+        nodes = [parse_node_spec(spec) for spec in args.node]
+        cluster_map = ClusterMap(
+            nodes, replication=min(args.replication, len(nodes)),
+            write_quorum=args.write_quorum, ring_seed=args.ring_seed,
+        )
+    except ValueError as exc:
+        print(f"bad cluster topology: {exc}", file=out)
+        return 2
+    group = PairingGroup(params, seed=args.seed)
+
+    async def run() -> int:
+        cluster = ClusterClient(
+            group, cluster_map, role="user", name="cli",
+            timeout=30.0 if args.timeout is None else args.timeout,
+        )
+        try:
+            if args.action == "health":
+                report = await cluster.health_all()
+                print(json_module.dumps(report, indent=2), file=out)
+                return 0 if report["status"] == "ok" else 1
+            if args.action == "stats":
+                print(json_module.dumps(await cluster.stats_all(),
+                                        indent=2), file=out)
+                return 0
+            if args.action == "list":
+                for record_id in await cluster.list_records():
+                    print(record_id, file=out)
+                return 0
+            report = await cluster.scrub()
+            print(json_module.dumps(report, indent=2), file=out)
+            return 0 if not report["lost"] else 1
+        finally:
+            await cluster.close()
 
     return asyncio.run(run())
 
@@ -410,6 +506,10 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="sweep_chunk",
                        help="records re-encrypted per sweep chunk / "
                             "progress frame (default 16)")
+    serve.add_argument("--cluster-node", default=None, dest="cluster_node",
+                       metavar="NAME",
+                       help="serve as the named node of a storage cluster "
+                            "(the name clients place records by)")
     serve.add_argument("--max-seconds", type=float, default=0,
                        dest="max_seconds",
                        help="auto-shutdown after this many seconds (0 = run "
@@ -439,25 +539,45 @@ def build_parser() -> argparse.ArgumentParser:
     client.add_argument("--port", type=int, default=7468)
     client.add_argument("--timeout", type=float, default=None,
                         help="per-request client timeout in seconds")
-    chaos = client.add_argument_group(
-        "chaos", "seeded fault injection for the smoke/sweep cycles "
-                 "(enabled by --chaos-seed)"
-    )
-    chaos.add_argument("--chaos-seed", type=int, default=None,
-                       help="run smoke through a ChaosProxy with this seed")
-    chaos.add_argument("--chaos-drop", type=float, default=0.06,
-                       help="per-reply-frame connection-drop rate")
-    chaos.add_argument("--chaos-delay", type=float, default=0.04,
-                       help="per-reply-frame delay rate (past the timeout)")
-    chaos.add_argument("--chaos-corrupt", type=float, default=0.04,
-                       help="per-reply-frame corruption rate")
-    chaos.add_argument("--chaos-truncate", type=float, default=0.03,
-                       help="per-reply-frame truncation rate")
-    chaos.add_argument("--chaos-duplicate", type=float, default=0.05,
-                       help="per-reply-frame duplication rate")
-    chaos.add_argument("--chaos-delay-seconds", type=float, default=1.0,
-                       help="how long a delayed reply is held back")
+    _add_chaos_arguments(client)
     client.set_defaults(handler=_cmd_client)
+
+    cluster = subparsers.add_parser(
+        "cluster", help="drive a sharded multi-node storage fleet"
+    )
+    _add_preset_argument(cluster)
+    cluster.add_argument(
+        "action", choices=["smoke", "health", "stats", "scrub", "list"],
+        help="smoke starts its own N-node fleet and runs the full "
+             "replicate/repair/kill/fleet-sweep acceptance cycle; "
+             "health/stats/scrub/list talk to running nodes named by "
+             "--node"
+    )
+    cluster.add_argument("--seed", type=int, default=None)
+    cluster.add_argument("--node", action="append", default=[],
+                         metavar="[NAME=]HOST:PORT",
+                         help="a running node (repeatable); names must "
+                              "match the ones the fleet was built with")
+    cluster.add_argument("--nodes", type=int, default=3,
+                         help="fleet size for the smoke cycle (default 3)")
+    cluster.add_argument("--records", type=int, default=6,
+                         help="records uploaded by the smoke cycle "
+                              "(default 6)")
+    cluster.add_argument("--replication", type=int, default=2,
+                         help="replicas per record (default 2; clamped to "
+                              "the node count for live-fleet actions)")
+    cluster.add_argument("--write-quorum", type=int, default=None,
+                         dest="write_quorum",
+                         help="write acks required (default: majority of "
+                              "replicas)")
+    cluster.add_argument("--ring-seed", type=int, default=0,
+                         dest="ring_seed",
+                         help="consistent-hash ring seed (must match "
+                              "across every client of the same fleet)")
+    cluster.add_argument("--timeout", type=float, default=None,
+                         help="per-request client timeout in seconds")
+    _add_chaos_arguments(cluster)
+    cluster.set_defaults(handler=_cmd_cluster)
 
     info = subparsers.add_parser("info", help="show built-in presets")
     info.set_defaults(handler=_cmd_info)

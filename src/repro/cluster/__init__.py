@@ -1,0 +1,47 @@
+"""Sharded multi-node storage fabric for the paper's cloud-server role.
+
+The paper's server is a single honest-but-curious storage point; this
+package scales that role horizontally without changing its trust story.
+N independent :class:`repro.service.StorageService` nodes — none
+cluster-aware, none holding any key material — are tied together
+entirely client-side:
+
+* :mod:`repro.cluster.ring` — deterministic consistent hashing: any
+  client with the same topology computes the same placement, so
+  placement never crosses the wire;
+* :mod:`repro.cluster.topology` — the :class:`ClusterMap` (named
+  nodes, replication factor R, write quorum W, ring parameters);
+* :mod:`repro.cluster.client` — :class:`ClusterClient` and the role
+  wrappers: quorum-acked replicated writes (idempotent per node),
+  failover reads with digest-verified read-repair, fleet health/stats,
+  and a primary-wins scrub;
+* :mod:`repro.cluster.sweep` — :func:`sweep_cluster`, the fleet-wide
+  Section V-C revocation: one epoch, every shard, byte-identical
+  replicas, stateless partial-failure resume;
+* :mod:`repro.cluster.smoke` — the self-contained acceptance cycle
+  behind ``repro cluster smoke``.
+"""
+
+from repro.cluster.client import (
+    ClusterAuthority,
+    ClusterClient,
+    ClusterOwner,
+    ClusterUser,
+)
+from repro.cluster.ring import HashRing
+from repro.cluster.smoke import run_cluster_smoke
+from repro.cluster.sweep import sweep_cluster
+from repro.cluster.topology import ClusterMap, ClusterNode, parse_node_spec
+
+__all__ = [
+    "ClusterAuthority",
+    "ClusterClient",
+    "ClusterMap",
+    "ClusterNode",
+    "ClusterOwner",
+    "ClusterUser",
+    "HashRing",
+    "parse_node_spec",
+    "run_cluster_smoke",
+    "sweep_cluster",
+]

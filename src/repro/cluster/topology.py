@@ -1,0 +1,158 @@
+"""The cluster's shape: named nodes, replication factor, write quorum.
+
+A :class:`ClusterMap` is everything a client needs to speak to the
+fleet: the node roster (stable *names* mapped to current addresses),
+the replication factor R, the write quorum W, and the ring parameters.
+Placement keys off node *names*, never addresses — a node that restarts
+on a new port (or moves behind a chaos proxy) keeps every key it owned,
+because :meth:`with_address` rebinds the address without touching the
+ring.
+
+Maps serialize to/from JSON so ``repro cluster`` commands, CI jobs and
+tests can share one topology file, and node specs parse from the CLI
+shorthand ``name=host:port`` (or bare ``host:port``, which names the
+node after its address).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.cluster.ring import HashRing
+from repro.errors import ProtocolError
+
+
+@dataclass(frozen=True)
+class ClusterNode:
+    """One storage node: a ring-stable name and its current address."""
+
+    name: str
+    host: str
+    port: int
+
+
+def parse_node_spec(spec: str) -> ClusterNode:
+    """``name=host:port`` or ``host:port`` → :class:`ClusterNode`."""
+    name, _, address = spec.rpartition("=")
+    host, _, port_raw = address.rpartition(":")
+    if not host or not port_raw:
+        raise ValueError(
+            f"node spec {spec!r} is not 'name=host:port' or 'host:port'"
+        )
+    try:
+        port = int(port_raw)
+    except ValueError:
+        raise ValueError(f"node spec {spec!r} has a non-numeric port") \
+            from None
+    return ClusterNode(name=name or address, host=host, port=port)
+
+
+class ClusterMap:
+    """Node roster + replication/quorum parameters + the placement ring."""
+
+    def __init__(self, nodes, *, replication: int = 2, write_quorum=None,
+                 ring_seed=0, vnodes: int = 64):
+        nodes = list(nodes)
+        if not nodes:
+            raise ValueError("a cluster needs at least one node")
+        names = [node.name for node in nodes]
+        if len(set(names)) != len(names):
+            raise ValueError("cluster node names must be unique")
+        if not 1 <= replication <= len(nodes):
+            raise ValueError(
+                f"replication factor {replication} does not fit "
+                f"{len(nodes)} nodes"
+            )
+        if write_quorum is None:
+            write_quorum = replication // 2 + 1  # majority of replicas
+        if not 1 <= write_quorum <= replication:
+            raise ValueError(
+                f"write quorum {write_quorum} does not fit replication "
+                f"factor {replication}"
+            )
+        self._nodes = {node.name: node for node in nodes}
+        self.replication = replication
+        self.write_quorum = write_quorum
+        self.ring = HashRing(sorted(self._nodes), vnodes=vnodes,
+                             seed=ring_seed)
+
+    # -- roster ------------------------------------------------------------
+
+    @property
+    def nodes(self) -> list:
+        """Every node, in name order."""
+        return [self._nodes[name] for name in sorted(self._nodes)]
+
+    @property
+    def node_names(self) -> list:
+        return sorted(self._nodes)
+
+    def node(self, name: str) -> ClusterNode:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise ValueError(f"no node {name!r} in the cluster map") \
+                from None
+
+    def with_address(self, name: str, host: str, port: int) -> None:
+        """Rebind a node's address (restart, proxy) — placement keeps
+        keying off the name, so no keys move."""
+        self._nodes[name] = ClusterNode(name=name, host=host, port=port)
+
+    # -- placement ---------------------------------------------------------
+
+    def replicas_for(self, record_id: str) -> list:
+        """The record's replica set, primary first."""
+        return [self._nodes[name]
+                for name in self.ring.preference(record_id,
+                                                 self.replication)]
+
+    def placement_summary(self, record_ids) -> dict:
+        """``node name -> records held`` for a record-id batch."""
+        return {
+            name: sorted(keys)
+            for name, keys in self.ring.load_map(
+                record_ids, self.replication
+            ).items()
+        }
+
+    # -- serialization -----------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "nodes": [
+                {"name": node.name, "host": node.host, "port": node.port}
+                for node in self.nodes
+            ],
+            "replication": self.replication,
+            "write_quorum": self.write_quorum,
+            "ring_seed": self.ring.seed,
+            "vnodes": self.ring.vnodes,
+        }, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ClusterMap":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"cluster map is not valid JSON: {exc}") \
+                from exc
+        if not isinstance(payload, dict) \
+                or not isinstance(payload.get("nodes"), list):
+            raise ProtocolError("cluster map must be an object with nodes")
+        try:
+            nodes = [
+                ClusterNode(name=str(entry["name"]), host=str(entry["host"]),
+                            port=int(entry["port"]))
+                for entry in payload["nodes"]
+            ]
+            return cls(
+                nodes,
+                replication=int(payload.get("replication", 2)),
+                write_quorum=payload.get("write_quorum"),
+                ring_seed=payload.get("ring_seed", 0),
+                vnodes=int(payload.get("vnodes", 64)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed cluster map: {exc}") from exc

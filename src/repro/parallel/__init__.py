@@ -21,11 +21,13 @@ integers and is rebuilt (once, cached) per process.
 """
 
 from repro.parallel.batch import ReencryptOutcome, reencrypt_batch
+from repro.parallel.fanout import gather_bounded
 from repro.parallel.pool import CryptoPool, chunked
 
 __all__ = [
     "CryptoPool",
     "ReencryptOutcome",
     "chunked",
+    "gather_bounded",
     "reencrypt_batch",
 ]

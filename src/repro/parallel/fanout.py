@@ -1,0 +1,41 @@
+"""Bounded async fan-out for cluster-wide I/O.
+
+The process-pool side of :mod:`repro.parallel` parallelizes CPU-bound
+pairing work; this module is its I/O twin: fan one coroutine per
+replica (or per node) out concurrently, but never more than ``limit``
+in flight, and *always* collect every outcome — a replica that failed
+is a result (its exception), not an escaped task.
+
+Used by the cluster client for R-way replica writes and by the
+fleet-wide revocation sweep for its per-node fan-out.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+
+async def gather_bounded(factories, limit: int = 8) -> list:
+    """Run coroutine factories concurrently, at most ``limit`` at once.
+
+    ``factories`` is an iterable of zero-argument callables returning
+    coroutines (factories, not coroutines, so nothing is scheduled
+    before its semaphore slot frees up). Returns one entry per factory,
+    in input order: the coroutine's result, or the exception it raised.
+    Nothing propagates — the caller decides what a partial failure
+    means (a write quorum tolerates some, a scrub records them).
+    """
+    factories = list(factories)
+    if limit < 1:
+        raise ValueError("limit must be positive")
+    semaphore = asyncio.Semaphore(limit)
+
+    async def run_one(factory):
+        async with semaphore:
+            try:
+                return await factory()
+            except Exception as exc:  # collected, never propagated
+                return exc
+
+    return list(await asyncio.gather(*(run_one(factory)
+                                       for factory in factories)))

@@ -444,6 +444,36 @@ class BaseClient:
             raise ProtocolError("malformed record listing")
         return records
 
+    async def record_digest(self, record_id: str, *,
+                            verify: bool = False) -> dict:
+        """One replica's view of a record: its content digest, and —
+        with ``verify`` — whether the node can actually serve bytes
+        matching it (``ok: false`` marks a replica needing repair)."""
+        _, body = await self.connection.request(
+            MessageType.RECORD_DIGEST,
+            protocol.encode_json({"record": record_id, "verify": verify}),
+            expect=MessageType.RECORD_DIGEST_REPLY,
+        )
+        return protocol.decode_json(body)
+
+    async def fetch_record(self, record_id: str) -> StoredRecord:
+        """Download one whole record (every component)."""
+        self.connection.meter_send("read-request", record_id)
+        _, body = await self.connection.request(
+            MessageType.FETCH_RECORD,
+            protocol.encode_json({"record": record_id}),
+            expect=MessageType.RECORD,
+        )
+        record = StoredRecord.from_bytes(self.group, body)
+        self.connection.meter_receive("record-download", record)
+        return record
+
+    async def repair_record(self, record_bytes: bytes) -> None:
+        """Force-put known-good record bytes (the read-repair write)."""
+        await self.connection.request(
+            MessageType.REPAIR_RECORD, record_bytes, expect=MessageType.OK,
+        )
+
     async def _fetch_component(self, record_id: str,
                                component_name: str) -> StoredComponent:
         """The metered download shared by user reads and owner self-reads."""

@@ -25,6 +25,13 @@ connection from the proxy seed, so a failing run replays exactly. A
 the dice for tests that need one specific fault at one specific
 moment. Everything injected is recorded in :attr:`ChaosProxy.injected`
 so tests can cross-check the client's retry log against ground truth.
+
+:class:`ChaosFleet` scales the same machinery to a cluster: ONE process
+fronts N upstream nodes, one listener per node, each with its own
+:class:`FaultSpec`, its own derived seed, and its own schedule — so a
+multi-node test can make exactly one replica misbehave (or all of them,
+independently) while every connection still flows through proxies whose
+injections replay deterministically.
 """
 
 from __future__ import annotations
@@ -217,3 +224,61 @@ class ChaosProxy:
                 await client_writer.drain()
         except (ConnectionError, OSError, asyncio.IncompleteReadError):
             return
+
+
+class ChaosFleet:
+    """One process fronting many upstream nodes, one proxy per node.
+
+    ``upstreams`` maps an upstream name to ``(host, port)``; per-name
+    ``specs``/``schedules`` entries override the default ``spec`` (an
+    absent entry means that node's proxy forwards faithfully — an
+    all-zero :class:`FaultSpec`). Each proxy draws from its own RNG
+    seeded ``f"{seed}:{name}"``, so one node's fault stream never
+    shifts another's: adding faults in front of node A replays node B's
+    connections bit-for-bit.
+
+    ``address(name)`` is what a cluster map should carry so every
+    client connection to that node crosses its proxy.
+    """
+
+    def __init__(self, upstreams: dict, *, spec: FaultSpec = None,
+                 specs: dict = None, schedules: dict = None, seed: int = 0,
+                 host: str = "127.0.0.1"):
+        self.seed = seed
+        self.proxies = {}
+        specs = specs or {}
+        schedules = schedules or {}
+        for name, (upstream_host, upstream_port) in upstreams.items():
+            node_spec = specs.get(name, spec)
+            self.proxies[name] = ChaosProxy(
+                upstream_host, upstream_port,
+                spec=node_spec if node_spec is not None else FaultSpec(),
+                seed=f"{seed}:{name}",
+                schedule=schedules.get(name), host=host,
+            )
+
+    async def start(self) -> "ChaosFleet":
+        for proxy in self.proxies.values():
+            await proxy.start()
+        return self
+
+    async def stop(self) -> None:
+        for proxy in self.proxies.values():
+            await proxy.stop()
+
+    def address(self, name: str) -> tuple:
+        """``(host, port)`` clients should dial to reach ``name``."""
+        proxy = self.proxies[name]
+        return proxy.host, proxy.port
+
+    def injected_by_node(self) -> dict:
+        return {name: list(proxy.injected)
+                for name, proxy in self.proxies.items()}
+
+    def fault_counts(self) -> dict:
+        """Aggregate fault tallies across every fronted node."""
+        counts = {}
+        for proxy in self.proxies.values():
+            for fault, count in proxy.fault_counts().items():
+                counts[fault] = counts.get(fault, 0) + count
+        return counts

@@ -32,6 +32,12 @@ Protocol **version 2** adds the fault-tolerance layer:
   applied exactly once.
 
 Version 1 peers keep speaking the original unadorned frames.
+
+The cluster fabric (:mod:`repro.cluster`) adds two version-2 ops:
+``RECORD_DIGEST`` asks a node for a record's content digest (optionally
+verifying the blob bytes against it on disk), and ``REPAIR_RECORD``
+force-puts known-good record bytes over a missing or corrupted replica
+copy — the write half of digest-verified read-repair.
 """
 
 from __future__ import annotations
@@ -95,6 +101,9 @@ class MessageType(IntEnum):
     RECORD_IDS = 0x16
     DELETE_RECORD = 0x17
     REPLACE_COMPONENT = 0x18
+    RECORD_DIGEST = 0x19
+    RECORD_DIGEST_REPLY = 0x1A
+    REPAIR_RECORD = 0x1B
 
     PUT_AUTHORITY_KEYS = 0x20
     GET_AUTHORITY_KEYS = 0x21
@@ -116,6 +125,7 @@ MUTATION_TYPES = frozenset({
     MessageType.STORE_RECORD,
     MessageType.DELETE_RECORD,
     MessageType.REPLACE_COMPONENT,
+    MessageType.REPAIR_RECORD,
     MessageType.REENCRYPT,
     MessageType.REENCRYPT_SWEEP,
 })

@@ -57,11 +57,27 @@ class RetryPolicy:
     failure. With a seeded ``rng`` the jitter — and therefore the whole
     retry schedule — is deterministic, which the fault-injection tests
     rely on.
+
+    Two jitter shapes:
+
+    * the default multiplies the fixed ``base * multiplier**k`` ladder
+      by ``1 ± jitter`` — fine for one client, but every client that
+      fails at the same moment climbs the *same* ladder, so a fleet of
+      replicas failing over from one dead node re-converges on it in
+      synchronized waves (the ±25% wobble never de-phases the herd);
+    * ``decorrelated=True`` uses decorrelated jitter: each delay is
+      drawn uniformly from ``[base, 3 * previous delay]`` (capped at
+      ``max_delay``), so concurrent retriers spread across the whole
+      window instead of thundering together, while the expected delay
+      still grows geometrically. The cluster client's failover
+      connections default to this shape, one independently-seeded
+      policy per node.
     """
 
     def __init__(self, *, max_attempts: int = 5, base_delay: float = 0.05,
                  max_delay: float = 2.0, multiplier: float = 2.0,
-                 jitter: float = 0.25, rng: random.Random = None):
+                 jitter: float = 0.25, decorrelated: bool = False,
+                 rng: random.Random = None):
         if max_attempts < 1:
             raise ValueError("max_attempts must be at least 1")
         self.max_attempts = max_attempts
@@ -69,7 +85,9 @@ class RetryPolicy:
         self.max_delay = max_delay
         self.multiplier = multiplier
         self.jitter = jitter
+        self.decorrelated = decorrelated
         self.rng = rng if rng is not None else random.Random()
+        self._previous_delay = None  # decorrelated jitter's walk state
 
     def attempts_left(self, attempt: int) -> bool:
         """Whether another attempt fits the budget after ``attempt``."""
@@ -77,6 +95,18 @@ class RetryPolicy:
 
     def backoff(self, attempt: int) -> float:
         """Seconds to sleep after the ``attempt``-th failure."""
+        if self.decorrelated:
+            if attempt <= 1 or self._previous_delay is None:
+                # A new failure sequence restarts the walk at the base.
+                self._previous_delay = self.base_delay
+            delay = min(
+                self.max_delay,
+                self.rng.uniform(self.base_delay,
+                                 max(self.base_delay,
+                                     3.0 * self._previous_delay)),
+            )
+            self._previous_delay = delay
+            return max(0.0, delay)
         delay = min(self.max_delay,
                     self.base_delay * self.multiplier ** (attempt - 1))
         if self.jitter:

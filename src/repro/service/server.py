@@ -409,6 +409,42 @@ class StorageService:
                             component)
         await self._send(session, MessageType.OK)
 
+    async def _handle_record_digest(self, session, body):
+        """Report a record's content digest (cluster scrub/repair probe).
+
+        With ``verify`` the blob bytes are read back and checked against
+        the digest (off the loop — it is a disk read), so ``ok: false``
+        means "this replica cannot serve verified bytes and needs
+        repair", while the digest itself names the version this node
+        believes it holds.
+        """
+        request = protocol.decode_json(body)
+        record_id = protocol.json_str(request, "record")
+        digest = self.store.digest(record_id)
+        ok = True
+        if request.get("verify"):
+            ok = await self._offload(self.store.verify_record, record_id)
+        await self._send(session, MessageType.RECORD_DIGEST_REPLY,
+                         protocol.encode_json(
+                             {"record": record_id, "digest": digest,
+                              "ok": ok}
+                         ))
+
+    async def _handle_repair_record(self, session, body):
+        """Accept known-good record bytes over a broken/missing copy.
+
+        The body is raw :meth:`StoredRecord.to_bytes` — decoded (and
+        subgroup-checked) off the loop before anything touches disk,
+        then stored byte-preserving so the repaired replica lands
+        digest-identical to its source.
+        """
+        record = await self._offload(StoredRecord.from_bytes, self.group,
+                                     body)
+        self._meter_in(session, "repair-record", record)
+        await self._offload(self.store.put_record_bytes, record.record_id,
+                            body)
+        await self._send(session, MessageType.OK)
+
     async def _handle_put_authority_keys(self, session, body):
         header_raw, apk_raw, pak_raw = protocol.unpack_parts(body, 3)
         request = protocol.decode_json(header_raw)
@@ -664,6 +700,8 @@ class StorageService:
         MessageType.LIST_RECORDS: _handle_list_records,
         MessageType.DELETE_RECORD: _handle_delete_record,
         MessageType.REPLACE_COMPONENT: _handle_replace_component,
+        MessageType.RECORD_DIGEST: _handle_record_digest,
+        MessageType.REPAIR_RECORD: _handle_repair_record,
         MessageType.PUT_AUTHORITY_KEYS: _handle_put_authority_keys,
         MessageType.GET_AUTHORITY_KEYS: _handle_get_authority_keys,
         MessageType.REENCRYPT: _handle_reencrypt,

@@ -49,6 +49,30 @@ class SmokeFailure(ReproError):
     """A smoke step did not behave as the protocol requires."""
 
 
+class TrustFabric:
+    """The local trust fabric every smoke cycle shares.
+
+    CA, one AA (``hospital`` with ``doctor``/``nurse``), owner
+    ``alice``, users ``bob``/``carol`` — everything that stays
+    *off* the server path, exactly as in the paper: only the
+    cloud-server role ever lives across a socket. The cluster smoke
+    (:mod:`repro.cluster.smoke`) builds the identical fabric, which is
+    what makes its byte-identity comparison against a single-node world
+    meaningful.
+    """
+
+    def __init__(self, group: PairingGroup):
+        self.group = group
+        self.ca = CertificateAuthority(group)
+        self.aa = AttributeAuthority(group, "hospital", ["doctor", "nurse"])
+        self.ca.register_authority("hospital")
+        self.owner_core = DataOwner(group, "alice")
+        self.ca.register_owner("alice")
+        self.aa.register_owner(self.owner_core.secret_key)
+        self.bob_pk = self.ca.register_user("bob")
+        self.carol_pk = self.ca.register_user("carol")
+
+
 async def run_smoke(params, host: str, port: int, *, out=None, seed=None,
                     chaos: FaultSpec = None, chaos_seed: int = 0,
                     chaos_schedule: dict = None, retry: RetryPolicy = None,
@@ -73,16 +97,10 @@ async def run_smoke(params, host: str, port: int, *, out=None, seed=None,
              + ", ".join(f"{k}={v}" for k, v in chaos.rates().items() if v)
              + ")")
 
-    # Local trust fabric: CA, one AA, one owner, two users. Only the
-    # cloud-server role lives across the socket.
-    ca = CertificateAuthority(group)
-    aa = AttributeAuthority(group, "hospital", ["doctor", "nurse"])
-    ca.register_authority("hospital")
-    owner_core = DataOwner(group, "alice")
-    ca.register_owner("alice")
-    aa.register_owner(owner_core.secret_key)
-    bob_pk = ca.register_user("bob")
-    carol_pk = ca.register_user("carol")
+    fabric = TrustFabric(group)
+    aa = fabric.aa
+    owner_core = fabric.owner_core
+    bob_pk, carol_pk = fabric.bob_pk, fabric.carol_pk
 
     async def connection(role, name):
         conn = ServiceConnection(group, host, port, role=role, name=name,
@@ -231,14 +249,10 @@ async def run_sweep_cycle(params, host: str, port: int, *,
                                 rng=random.Random(chaos_seed))
         step(f"chaos proxy on {host}:{port} (seed {chaos_seed})")
 
-    ca = CertificateAuthority(group)
-    aa = AttributeAuthority(group, "hospital", ["doctor", "nurse"])
-    ca.register_authority("hospital")
-    owner_core = DataOwner(group, "alice")
-    ca.register_owner("alice")
-    aa.register_owner(owner_core.secret_key)
-    bob_pk = ca.register_user("bob")
-    carol_pk = ca.register_user("carol")
+    fabric = TrustFabric(group)
+    aa = fabric.aa
+    owner_core = fabric.owner_core
+    bob_pk, carol_pk = fabric.bob_pk, fabric.carol_pk
 
     async def connection(role, name):
         conn = ServiceConnection(group, host, port, role=role, name=name,
@@ -377,13 +391,10 @@ async def run_bench_encrypt(params, host: str, port: int, *,
     def step(label: str) -> None:
         print(f"ok: {label}", file=out, flush=True)
 
-    ca = CertificateAuthority(group)
-    aa = AttributeAuthority(group, "hospital", ["doctor", "nurse"])
-    ca.register_authority("hospital")
-    owner_core = DataOwner(group, "alice")
-    ca.register_owner("alice")
-    aa.register_owner(owner_core.secret_key)
-    bob_pk = ca.register_user("bob")
+    fabric = TrustFabric(group)
+    aa = fabric.aa
+    owner_core = fabric.owner_core
+    bob_pk = fabric.bob_pk
     policy = "hospital:doctor"
 
     clients = []

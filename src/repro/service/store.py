@@ -93,11 +93,17 @@ class BlobStore:
 
     # -- storage ----------------------------------------------------------
 
-    def put(self, blob: bytes) -> str:
-        """Store a blob; returns its hex digest. Idempotent."""
+    def put(self, blob: bytes, *, force: bool = False) -> str:
+        """Store a blob; returns its hex digest. Idempotent.
+
+        ``force`` rewrites the object file even when a file already
+        exists under the digest's path — the repair path uses it,
+        because the very situation repair fixes is an existing file
+        whose bytes no longer match its name.
+        """
         digest = hashlib.sha256(blob).hexdigest()
         path = self._path(digest)
-        if not path.exists():
+        if force or not path.exists():
             fd, tmp_name = tempfile.mkstemp(dir=self.tmp_dir)
             try:
                 with os.fdopen(fd, "wb") as handle:
@@ -420,6 +426,74 @@ class RecordStore:
         if digest is None:
             raise StorageError(f"no record {record_id!r}")
         return self.blobs.get(digest)
+
+    def digest(self, record_id: str) -> str:
+        """The content digest a record's ref points at (no disk read)."""
+        digest = self._refs.get(record_id)
+        if digest is None:
+            raise StorageError(f"no record {record_id!r}")
+        return digest
+
+    def verify_record(self, record_id: str) -> bool:
+        """Whether the record's blob serves bytes matching its digest.
+
+        ``True`` means this store can hand out digest-verified bytes for
+        the record right now (a cached copy counts — the cache is
+        digest-addressed, so a hit IS verified). ``False`` means the
+        on-disk copy is corrupted or missing: the record needs repair
+        from a healthy replica. Unknown record ids raise, they are a
+        different failure (the ref itself is gone).
+        """
+        digest = self.digest(record_id)
+        try:
+            self.blobs.get(digest)
+        except StorageError:
+            return False
+        return True
+
+    def put_record_bytes(self, record_id: str, blob: bytes) -> str:
+        """Force-put pre-encoded record bytes — the repair write.
+
+        Unlike :meth:`replace_record_bytes` the record may be missing
+        (a replica that never saw the write) and the blob write is
+        forced (the blob file may exist under the right name with the
+        wrong bytes — exactly the corruption repair undoes). The bytes
+        are fully decoded first, so a repair peddling garbage or group
+        elements off the curve is rejected before anything lands on
+        disk, and the ciphertext-id index follows the decoded record.
+        Byte-preserving: the stored blob is ``blob`` itself, so replicas
+        repaired from the same source stay digest-identical.
+        """
+        record = StoredRecord.from_bytes(self.group, blob)
+        if record.record_id != record_id:
+            raise StorageError(
+                f"repair bytes encode record {record.record_id!r}, "
+                f"not {record_id!r}"
+            )
+        self._compact_refbatches()
+        old_digest = self._refs.get(record_id)
+        if old_digest is not None:
+            try:
+                self._unindex_record(self._decode(old_digest))
+            except StorageError:
+                # The old blob is the corrupted thing being repaired;
+                # its index entries are swept by record id instead.
+                stale = [
+                    ciphertext_id
+                    for ciphertext_id, (owner_record_id, _)
+                    in self._ciphertext_index.items()
+                    if owner_record_id == record_id
+                ]
+                for ciphertext_id in stale:
+                    del self._ciphertext_index[ciphertext_id]
+        digest = self.blobs.put(blob, force=True)
+        _atomic_write(self.blobs.tmp_dir, self._ref_path(record_id),
+                      digest.encode("ascii"))
+        self._set_ref(record_id, digest)
+        self._index_record(record)
+        if old_digest is not None and old_digest != digest:
+            self._collect(old_digest)
+        return digest
 
     def replace_record_bytes(self, record_id: str, blob: bytes) -> str:
         """Repoint an existing record at pre-encoded bytes; returns the

@@ -97,9 +97,17 @@ class Meter:
             # in the defaultdict (keeps counter_summary() clean).
             return self.counters.get(name, 0)
 
-    def counter_summary(self) -> dict:
+    def counter_summary(self, prefix: str = None) -> dict:
+        """Every named counter — or, with ``prefix``, just the ones
+        under it (the cluster client names its per-node shard and
+        replication counters ``cluster.<event>.<node>``, so
+        ``counter_summary("cluster.")`` is the fleet's shard/replication
+        story in one call)."""
         with self._lock:
-            return dict(self.counters)
+            if prefix is None:
+                return dict(self.counters)
+            return {name: count for name, count in self.counters.items()
+                    if name.startswith(prefix)}
 
     def record(self, sender: str, sender_role: str, recipient: str,
                recipient_role: str, kind: str, payload) -> int:

@@ -1,0 +1,52 @@
+"""Shared helpers for the cluster tests: a small live fleet.
+
+``start_fleet`` boots N real :class:`StorageService` nodes on ephemeral
+localhost ports and builds the :class:`ClusterMap` that routes to them;
+the trust fabric comes from the service suite's ``Scenario`` so both
+layers agree on what a record looks like.
+"""
+
+import pytest
+
+from repro.cluster import ClusterClient, ClusterMap, ClusterNode
+from repro.service.server import StorageService
+from repro.service.store import RecordStore
+
+from tests.service.conftest import Scenario, run, start_service  # noqa: F401
+
+
+async def start_fleet(group, root, *, nodes=3, replication=2, **map_kwargs):
+    """N running nodes + the cluster map routing to them."""
+    services = {}
+    for index in range(nodes):
+        name = f"node-{index}"
+        service = StorageService(
+            group, RecordStore(root / name, group), name=name,
+        )
+        await service.start()
+        services[name] = service
+    cluster_map = ClusterMap(
+        [ClusterNode(name=name, host=service.host, port=service.port)
+         for name, service in services.items()],
+        replication=replication, **map_kwargs,
+    )
+    return services, cluster_map
+
+
+async def stop_fleet(services) -> None:
+    for service in services.values():
+        await service.stop()
+
+
+def make_cluster(group, cluster_map, **kwargs):
+    """A ClusterClient with short, test-friendly retry/timeout budgets."""
+    kwargs.setdefault("role", "owner")
+    kwargs.setdefault("name", "owner:alice")
+    kwargs.setdefault("timeout", 5.0)
+    kwargs.setdefault("max_attempts", 3)
+    return ClusterClient(group, cluster_map, **kwargs)
+
+
+@pytest.fixture()
+def scenario(group):
+    return Scenario(group)

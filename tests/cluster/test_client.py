@@ -1,0 +1,195 @@
+"""ClusterClient over a live fleet: replicated writes, failover reads,
+digest-verified read-repair, scrub, and the aggregate health view."""
+
+import pytest
+
+from repro.errors import StorageError, UnavailableError
+
+from .conftest import make_cluster, run, start_fleet, stop_fleet
+
+
+def corrupt_replica(service, record_id):
+    """Flip bytes inside a node's on-disk blob for one record."""
+    digest = service.store.digest(record_id)
+    blob_path = service.store.blobs._path(digest)
+    blob = blob_path.read_bytes()
+    blob_path.write_bytes(b"bit rot" + blob[7:])
+    service.store.blobs._cache_drop(digest)
+    return digest
+
+
+def test_store_lands_on_every_replica(group, scenario, tmp_path):
+    async def flow():
+        services, cluster_map = await start_fleet(group, tmp_path)
+        cluster = make_cluster(group, cluster_map)
+        record = scenario.make_record("rec-a")
+        try:
+            result = await cluster.store_record(record)
+            replicas = [node.name
+                        for node in cluster_map.replicas_for("rec-a")]
+            assert sorted(result["acks"]) == sorted(replicas)
+            assert not result["failed"]
+            digests = {services[name].store.digest("rec-a")
+                       for name in replicas}
+            assert len(digests) == 1  # byte-identical copies
+            for name, service in services.items():
+                if name not in replicas:
+                    with pytest.raises(StorageError):
+                        service.store.digest("rec-a")
+            assert cluster.meter.counter_summary("cluster.store-ack.")
+        finally:
+            await cluster.close()
+            await stop_fleet(services)
+
+    run(flow())
+
+
+def test_fetch_fails_over_when_primary_is_down(group, scenario, tmp_path):
+    async def flow():
+        services, cluster_map = await start_fleet(group, tmp_path)
+        cluster = make_cluster(group, cluster_map, max_attempts=2)
+        record = scenario.make_record("rec-b")
+        try:
+            await cluster.store_record(record)
+            primary = cluster_map.replicas_for("rec-b")[0].name
+            survivor = cluster_map.replicas_for("rec-b")[1].name
+            expected = services[survivor].store.digest("rec-b")
+            await services[primary].stop()
+            fetched = await cluster.fetch_record("rec-b")
+            assert fetched.record_id == "rec-b"
+            assert cluster.meter.counter(f"cluster.failover.{primary}") >= 1
+            assert services[survivor].store.digest("rec-b") == expected
+        finally:
+            await cluster.close()
+            await stop_fleet(services)
+
+    run(flow())
+
+
+def test_corrupted_replica_is_repaired_on_read(group, scenario, tmp_path):
+    async def flow():
+        services, cluster_map = await start_fleet(group, tmp_path)
+        cluster = make_cluster(group, cluster_map)
+        record = scenario.make_record("rec-c")
+        try:
+            await cluster.store_record(record)
+            primary = cluster_map.replicas_for("rec-c")[0].name
+            peer = cluster_map.replicas_for("rec-c")[1].name
+            good_digest = services[peer].store.digest("rec-c")
+            corrupt_replica(services[primary], "rec-c")
+            assert not services[primary].store.verify_record("rec-c")
+
+            fetched = await cluster.fetch_record("rec-c")
+            assert fetched.record_id == "rec-c"
+            # The damaged copy was rebuilt from the healthy replica's
+            # raw bytes, so the fleet is digest-identical again.
+            assert services[primary].store.verify_record("rec-c")
+            assert services[primary].store.digest("rec-c") == good_digest
+            assert cluster.meter.counter(f"cluster.damaged.{primary}") == 1
+            assert cluster.meter.counter(f"cluster.repair.{primary}") == 1
+        finally:
+            await cluster.close()
+            await stop_fleet(services)
+
+    run(flow())
+
+
+def test_write_below_quorum_is_unavailable(group, scenario, tmp_path):
+    async def flow():
+        services, cluster_map = await start_fleet(group, tmp_path)
+        cluster = make_cluster(group, cluster_map, max_attempts=2)
+        try:
+            victim = "node-0"
+            await services[victim].stop()
+            record_id = next(
+                f"quorum-{index}" for index in range(100)
+                if victim in {node.name for node
+                              in cluster_map.replicas_for(f"quorum-{index}")}
+            )
+            with pytest.raises(UnavailableError):
+                await cluster.store_record(scenario.make_record(record_id))
+            assert cluster.meter.counter(f"cluster.store-miss.{victim}") >= 1
+        finally:
+            await cluster.close()
+            await stop_fleet(services)
+
+    run(flow())
+
+
+def test_scrub_repairs_what_reads_never_touched(group, scenario, tmp_path):
+    async def flow():
+        services, cluster_map = await start_fleet(group, tmp_path)
+        cluster = make_cluster(group, cluster_map)
+        try:
+            for index in range(4):
+                await cluster.store_record(
+                    scenario.make_record(f"rec-{index}")
+                )
+            clean = await cluster.scrub()
+            assert clean["checked"] == 4
+            assert not clean["repaired"] and not clean["lost"]
+
+            # Rot a non-primary copy: plain failover reads would never
+            # even look at it, but the scrub audits every replica.
+            target = cluster_map.replicas_for("rec-0")[1].name
+            corrupt_replica(services[target], "rec-0")
+            report = await cluster.scrub()
+            assert report["repaired"] == {"rec-0": [target]}
+            assert services[target].store.verify_record("rec-0")
+            assert (await cluster.scrub())["repaired"] == {}
+        finally:
+            await cluster.close()
+            await stop_fleet(services)
+
+    run(flow())
+
+
+def test_health_aggregates_and_degrades(group, scenario, tmp_path):
+    async def flow():
+        services, cluster_map = await start_fleet(group, tmp_path)
+        cluster = make_cluster(group, cluster_map, max_attempts=2)
+        try:
+            await cluster.store_record(scenario.make_record("rec-h"))
+            healthy = await cluster.health_all()
+            assert healthy["status"] == "ok"
+            assert set(healthy["nodes"]) == set(cluster_map.node_names)
+            assert healthy["counters"]  # per-node replication telemetry
+
+            await services["node-2"].stop()
+            degraded = await cluster.health_all()
+            assert degraded["status"] == "degraded"
+            assert degraded["nodes"]["node-2"]["status"] == "down"
+
+            stats = await cluster.stats_all()
+            assert "error" in stats["nodes"]["node-2"]
+            assert stats["shards"]["node-2"] is None
+        finally:
+            await cluster.close()
+            await stop_fleet(services)
+
+    run(flow())
+
+
+def test_list_records_is_the_fleet_union(group, scenario, tmp_path):
+    async def flow():
+        services, cluster_map = await start_fleet(group, tmp_path)
+        cluster = make_cluster(group, cluster_map, max_attempts=2)
+        try:
+            for index in range(5):
+                await cluster.store_record(
+                    scenario.make_record(f"rec-{index}")
+                )
+            assert await cluster.list_records() \
+                == [f"rec-{index}" for index in range(5)]
+            # Still the full union with one node down...
+            await services["node-1"].stop()
+            assert len(await cluster.list_records()) == 5
+            # ...but no listing at all when nobody answers.
+            await stop_fleet(services)
+            with pytest.raises(UnavailableError):
+                await cluster.list_records()
+        finally:
+            await cluster.close()
+            await stop_fleet(services)
+
+    run(flow())

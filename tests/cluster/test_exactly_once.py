@@ -1,0 +1,67 @@
+"""Cross-node exactly-once: a replicated mutation retried through chaos
+is deduplicated per node, and reads outlive the node that served them."""
+
+from repro.service.faults import ChaosProxy
+
+from .conftest import make_cluster, run, start_fleet, stop_fleet
+
+
+def test_replicated_store_retried_through_chaos_applies_once(
+        group, scenario, tmp_path):
+    """Drop the OK frame of node-0's STORE_RECORD after the node applied
+    it: the cluster client's retry (fresh connection to that node, same
+    per-node idempotency key) must be answered from node-0's dedup table
+    — one record, one ack, never 'already exists' — while the other
+    replica's write is untouched."""
+    async def flow():
+        services, cluster_map = await start_fleet(group, tmp_path)
+        # Chaos in front of node-0 only; frame 0 is the HELLO reply, so
+        # frame 1 is the first request's reply — the STORE_RECORD OK.
+        proxy = ChaosProxy(services["node-0"].host, services["node-0"].port,
+                           schedule={1: "drop"})
+        await proxy.start()
+        cluster_map.with_address("node-0", proxy.host, proxy.port)
+        cluster = make_cluster(group, cluster_map, max_attempts=4)
+        try:
+            record_id = next(
+                f"rec-{index}" for index in range(100)
+                if "node-0" in {node.name for node
+                                in cluster_map.replicas_for(f"rec-{index}")}
+            )
+            result = await cluster.store_record(
+                scenario.make_record(record_id)
+            )
+            assert "node-0" in result["acks"] and not result["failed"]
+            assert [fault["fault"] for fault in proxy.injected] == ["drop"]
+            assert services["node-0"].dedup.hits == 1  # replay, not re-apply
+            assert services["node-0"].store.record_ids() == [record_id]
+            retries = cluster.retry_log.events("retry")
+            assert [entry["request"] for entry in retries] \
+                == ["STORE_RECORD"]
+        finally:
+            await cluster.close()
+            await proxy.stop()
+            await stop_fleet(services)
+
+    run(flow())
+
+
+def test_kill_primary_then_fetch_from_surviving_replica(
+        group, scenario, tmp_path):
+    async def flow():
+        services, cluster_map = await start_fleet(group, tmp_path)
+        cluster = make_cluster(group, cluster_map, max_attempts=2)
+        try:
+            record = scenario.make_record("rec-kill")
+            await cluster.store_record(record)
+            replicas = [node.name
+                        for node in cluster_map.replicas_for("rec-kill")]
+            await services[replicas[0]].stop()
+            fetched = await cluster.fetch_record("rec-kill")
+            assert sorted(fetched.components) == sorted(record.components)
+            assert cluster.meter.counter(f"cluster.read.{replicas[1]}") == 1
+        finally:
+            await cluster.close()
+            await stop_fleet(services)
+
+    run(flow())

@@ -1,0 +1,83 @@
+"""The consistent-hash ring: determinism, distinctness, and the
+~1/N stability bound that makes topology changes survivable."""
+
+import pytest
+
+from repro.cluster import HashRing
+
+KEYS = [f"rec-{index:04d}" for index in range(1000)]
+
+
+def test_same_parameters_same_placement():
+    ring_a = HashRing(["n0", "n1", "n2", "n3"], seed=7)
+    ring_b = HashRing(["n3", "n2", "n1", "n0"], seed=7)  # order-free
+    assert all(ring_a.preference(key, 2) == ring_b.preference(key, 2)
+               for key in KEYS)
+
+
+def test_seed_changes_placement():
+    ring_a = HashRing(["n0", "n1", "n2"], seed=0)
+    ring_b = HashRing(["n0", "n1", "n2"], seed=1)
+    assert any(ring_a.owner(key) != ring_b.owner(key) for key in KEYS)
+
+
+def test_preference_is_distinct_and_primary_first():
+    ring = HashRing([f"n{index}" for index in range(5)])
+    for key in KEYS[:100]:
+        preference = ring.preference(key, 3)
+        assert len(preference) == len(set(preference)) == 3
+        assert preference[0] == ring.owner(key)
+
+
+def test_preference_count_clamps_to_fleet_size():
+    ring = HashRing(["n0", "n1"])
+    assert len(ring.preference("key", 5)) == 2
+
+
+def test_adding_a_node_moves_about_one_nth_of_keys():
+    """The load-bearing stability regression: growing 4 -> 5 nodes must
+    re-home roughly 1/5 of the keys — never a reshuffle, never nothing."""
+    ring = HashRing([f"n{index}" for index in range(4)], seed=3)
+    owners_before = {key: ring.owner(key) for key in KEYS}
+    ring.add_node("n4")
+    moved = [key for key in KEYS if ring.owner(key) != owners_before[key]]
+    assert 0.05 < len(moved) / len(KEYS) < 0.35  # ~0.2 expected
+    # Every moved key landed on the new node: old nodes never trade
+    # keys among themselves over an add.
+    assert all(ring.owner(key) == "n4" for key in moved)
+
+
+def test_removing_a_node_only_rehomes_its_keys():
+    ring = HashRing([f"n{index}" for index in range(5)], seed=3)
+    owners_before = {key: ring.owner(key) for key in KEYS}
+    ring.remove_node("n2")
+    for key in KEYS:
+        if owners_before[key] != "n2":
+            assert ring.owner(key) == owners_before[key]
+
+
+def test_virtual_nodes_spread_load():
+    ring = HashRing([f"n{index}" for index in range(4)], seed=1)
+    load = {name: len(keys) for name, keys in ring.load_map(KEYS).items()}
+    assert sum(load.values()) == len(KEYS)
+    assert min(load.values()) > len(KEYS) // 4 // 3  # no starved node
+
+
+def test_replica_load_counts_every_copy():
+    ring = HashRing(["a", "b", "c"])
+    load = ring.load_map(KEYS[:30], count=2)
+    assert sum(len(keys) for keys in load.values()) == 60
+
+
+def test_ring_errors():
+    ring = HashRing(["a"])
+    with pytest.raises(ValueError):
+        ring.add_node("a")
+    with pytest.raises(ValueError):
+        ring.remove_node("b")
+    with pytest.raises(ValueError):
+        ring.preference("key", 0)
+    with pytest.raises(ValueError):
+        HashRing(vnodes=0)
+    with pytest.raises(ValueError):
+        HashRing([]).preference("key")

@@ -1,0 +1,20 @@
+"""The full ``repro cluster smoke`` acceptance cycle, in-process."""
+
+import io
+
+from repro.cluster import run_cluster_smoke
+from repro.ec.params import TOY80
+
+from .conftest import run
+
+
+def test_cluster_smoke_cycle_end_to_end():
+    out = io.StringIO()
+    rc = run(run_cluster_smoke(TOY80, nodes=3, replication=2, records=4,
+                               out=out, seed=1))
+    transcript = out.getvalue()
+    assert rc == 0, transcript
+    assert "cluster smoke passed" in transcript
+    assert "digest-detected" in transcript
+    assert "byte-identical to an identically seeded single-node sweep" \
+        in transcript

@@ -1,0 +1,117 @@
+"""Fleet-wide revocation: partial failure holds the epoch, the rerun is
+the resume, and every replica lands byte-identical."""
+
+from repro.cluster import ClusterOwner
+from repro.core.revocation import rekey_standard
+
+from .conftest import make_cluster, run, start_fleet, stop_fleet
+from tests.service.conftest import start_service
+
+
+def test_partial_sweep_holds_epoch_then_resume_converges(
+        group, scenario, tmp_path):
+    async def flow():
+        services, cluster_map = await start_fleet(group, tmp_path)
+        cluster = make_cluster(group, cluster_map, max_attempts=2)
+        owner = ClusterOwner(cluster, scenario.owner_core)
+        record_ids = [f"rec-{index:03d}" for index in range(5)]
+        ciphertext_ids = [f"{record_id}/note" for record_id in record_ids]
+        try:
+            for record_id in record_ids:
+                await owner.upload(record_id, {
+                    "note": (f"body {record_id}".encode("utf-8"),
+                             "hospital:doctor"),
+                })
+            update_key = rekey_standard(scenario.aa, "bob",
+                                        ["doctor"]).update_key
+
+            # Kill a node that holds at least one record, then sweep:
+            # its ciphertexts must stay pending and the epoch must hold.
+            victim = cluster_map.replicas_for(record_ids[0])[0].name
+            dead_shard = {
+                ciphertext_id for ciphertext_id in ciphertext_ids
+                if victim in {
+                    node.name for node in cluster_map.replicas_for(
+                        ciphertext_id.rsplit("/", 1)[0])
+                }
+            }
+            await services[victim].stop()
+            partial = await owner.sweep_revocation(update_key)
+            assert partial["eligible"] == 5
+            assert set(partial["pending"]) == dead_shard
+            assert victim in partial["errors"]
+            assert not partial["epoch_rolled"]
+            assert scenario.owner_core.authority_version("hospital") \
+                == update_key.from_version
+
+            # Restart the victim on its old store (new port), rebind its
+            # address, and rerun the *same* sweep: that IS the resume.
+            services[victim] = await start_service(
+                group, tmp_path / victim, name=victim
+            )
+            cluster_map.with_address(victim, services[victim].host,
+                                     services[victim].port)
+            resumed = await owner.sweep_revocation(update_key)
+            assert not resumed["pending"] and not resumed["errors"]
+            assert set(resumed["converged"]) == dead_shard
+            assert resumed["epoch_rolled"]
+            assert scenario.owner_core.authority_version("hospital") \
+                == update_key.to_version
+            # Each pending ciphertext's surviving replica re-encrypted
+            # in round one, so in the resume it answers already_current
+            # rather than re-applying; only the restarted victim did
+            # fresh work.
+            already = {
+                ciphertext_id
+                for summary in resumed["nodes"].values()
+                for ciphertext_id in summary.get("already_current", ())
+            }
+            assert already == dead_shard
+            assert set(resumed["nodes"][victim]["updated"]) == dead_shard
+
+            # Every record's replicas are digest-identical at the new
+            # version — the sweep sent each node the same UI bytes.
+            for record_id in record_ids:
+                digests = {
+                    services[node.name].store.digest(record_id)
+                    for node in cluster_map.replicas_for(record_id)
+                }
+                assert len(digests) == 1
+            for ciphertext_id in ciphertext_ids:
+                assert scenario.owner_core.record(ciphertext_id).versions[
+                    "hospital"
+                ] == update_key.to_version
+        finally:
+            await cluster.close()
+            await stop_fleet(services)
+
+    run(flow())
+
+
+def test_sweep_with_healthy_fleet_rolls_in_one_pass(group, scenario,
+                                                    tmp_path):
+    async def flow():
+        services, cluster_map = await start_fleet(group, tmp_path)
+        cluster = make_cluster(group, cluster_map)
+        owner = ClusterOwner(cluster, scenario.owner_core)
+        progress = []
+        try:
+            for index in range(3):
+                await owner.upload(f"one-{index}", {
+                    "note": (b"swept", "hospital:doctor"),
+                })
+            update_key = rekey_standard(scenario.aa, "bob",
+                                        ["doctor"]).update_key
+            summary = await owner.sweep_revocation(
+                update_key, on_progress=progress.append
+            )
+            assert summary["epoch_rolled"] and not summary["pending"]
+            assert len(summary["converged"]) == 3
+            assert progress and all("node" in frame for frame in progress)
+            swept_nodes = {frame["node"] for frame in progress}
+            assert swept_nodes == set(summary["nodes"])
+        finally:
+            await cluster.close()
+            await stop_fleet(services)
+
+    run(flow())

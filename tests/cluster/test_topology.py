@@ -1,0 +1,102 @@
+"""ClusterMap: roster/quorum validation, placement, serialization."""
+
+import pytest
+
+from repro.cluster import ClusterMap, ClusterNode, parse_node_spec
+from repro.errors import ProtocolError
+
+
+def nodes(count):
+    return [ClusterNode(name=f"n{index}", host="127.0.0.1",
+                        port=9000 + index)
+            for index in range(count)]
+
+
+def names_for(cluster_map, record_id):
+    return [node.name for node in cluster_map.replicas_for(record_id)]
+
+
+def test_parse_node_spec_forms():
+    named = parse_node_spec("alpha=10.0.0.5:7468")
+    assert (named.name, named.host, named.port) \
+        == ("alpha", "10.0.0.5", 7468)
+    bare = parse_node_spec("10.0.0.5:7468")
+    assert (bare.name, bare.host, bare.port) \
+        == ("10.0.0.5:7468", "10.0.0.5", 7468)
+
+
+@pytest.mark.parametrize("spec", ["nonsense", "host:", ":123", "a=b:x"])
+def test_parse_node_spec_rejects_garbage(spec):
+    with pytest.raises(ValueError):
+        parse_node_spec(spec)
+
+
+def test_default_quorum_is_a_majority_of_replicas():
+    assert ClusterMap(nodes(3), replication=3).write_quorum == 2
+    assert ClusterMap(nodes(3), replication=2).write_quorum == 2
+    assert ClusterMap(nodes(3), replication=1).write_quorum == 1
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(replication=4),
+    dict(replication=0),
+    dict(replication=2, write_quorum=3),
+    dict(replication=2, write_quorum=0),
+])
+def test_bad_shapes_are_rejected(kwargs):
+    with pytest.raises(ValueError):
+        ClusterMap(nodes(3), **kwargs)
+
+
+def test_duplicate_names_and_empty_roster_rejected():
+    with pytest.raises(ValueError):
+        ClusterMap(nodes(2) + [ClusterNode("n0", "elsewhere", 1)])
+    with pytest.raises(ValueError):
+        ClusterMap([])
+
+
+def test_replica_sets_have_r_distinct_nodes():
+    cluster_map = ClusterMap(nodes(4), replication=3)
+    for index in range(50):
+        replica_names = names_for(cluster_map, f"rec-{index}")
+        assert len(replica_names) == len(set(replica_names)) == 3
+
+
+def test_with_address_moves_transport_not_placement():
+    cluster_map = ClusterMap(nodes(3))
+    before = {f"r{index}": names_for(cluster_map, f"r{index}")
+              for index in range(40)}
+    cluster_map.with_address("n1", "10.9.9.9", 4242)
+    assert (cluster_map.node("n1").host, cluster_map.node("n1").port) \
+        == ("10.9.9.9", 4242)
+    after = {f"r{index}": names_for(cluster_map, f"r{index}")
+             for index in range(40)}
+    assert before == after
+    with pytest.raises(ValueError):
+        cluster_map.node("ghost")
+
+
+def test_json_round_trip_preserves_placement():
+    original = ClusterMap(nodes(3), replication=2, write_quorum=2,
+                          ring_seed=11, vnodes=32)
+    restored = ClusterMap.from_json(original.to_json())
+    assert restored.to_json() == original.to_json()
+    for index in range(25):
+        assert names_for(restored, f"rec-{index}") \
+            == names_for(original, f"rec-{index}")
+
+
+@pytest.mark.parametrize("text", [
+    "not json", "[]", '{"nodes": "x"}', '{"nodes": [{"name": "a"}]}',
+])
+def test_malformed_map_is_a_protocol_error(text):
+    with pytest.raises(ProtocolError):
+        ClusterMap.from_json(text)
+
+
+def test_placement_summary_counts_every_replica():
+    cluster_map = ClusterMap(nodes(3), replication=2)
+    summary = cluster_map.placement_summary(
+        [f"r{index}" for index in range(10)]
+    )
+    assert sum(len(held) for held in summary.values()) == 20
