@@ -1,0 +1,45 @@
+"""Adversarial scenario engine: semantic attacks with checked invariants.
+
+See :mod:`repro.adversary.engine` for the verdict semantics and
+:mod:`repro.adversary.scenarios` for the built-in attacks.
+"""
+
+from repro.adversary.drivers import (
+    AttackOutcome,
+    attempt_component_decrypt,
+    forge_key_version,
+    forge_public_key,
+    pool_secret_keys,
+    relabel_key,
+    snapshot_keys,
+)
+from repro.adversary.engine import (
+    SCENARIOS,
+    InvariantResult,
+    ScenarioContext,
+    ScenarioSpec,
+    get_scenario,
+    run_matrix,
+    run_scenario,
+    scenario,
+    scenario_names,
+)
+
+__all__ = [
+    "AttackOutcome",
+    "InvariantResult",
+    "SCENARIOS",
+    "ScenarioContext",
+    "ScenarioSpec",
+    "attempt_component_decrypt",
+    "forge_key_version",
+    "forge_public_key",
+    "get_scenario",
+    "pool_secret_keys",
+    "relabel_key",
+    "run_matrix",
+    "run_scenario",
+    "scenario",
+    "scenario_names",
+    "snapshot_keys",
+]

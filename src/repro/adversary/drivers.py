@@ -1,0 +1,133 @@
+"""The adversary's toolbox: forged keys, pooled wallets, forced decrypts.
+
+These helpers deliberately construct key material the honest protocol
+never produces — attribute keys pooled across two UIDs, keys relabeled
+to another user, version fields forged forward — and then attempt
+decryption both the honest way (:func:`repro.core.decrypt.decrypt`,
+which validates uid/owner/version bookkeeping eagerly) and the
+attacker's way (:func:`repro.core.decrypt.decrypt_unchecked`, raw
+Eq. (1) math with validation skipped). The distinction matters for
+what a scenario can claim: a *rejected* outcome only shows the
+bookkeeping said no; a *garbage* outcome shows the pairing algebra
+itself produced a wrong GT blinding — the sealed payload's
+authenticated decryption fails — which is the paper's actual security
+argument (collusion resistance via ``PK_UID = g^u``, revocation via
+the version-key rotation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.decrypt import decrypt, decrypt_unchecked
+from repro.core.keys import UserPublicKey, UserSecretKey
+from repro.crypto.hybrid import open_sealed
+from repro.errors import (
+    IntegrityError,
+    PolicyNotSatisfiedError,
+    SchemeError,
+)
+from repro.pairing.group import PairingGroup
+from repro.system.records import StoredComponent
+
+#: Outcome classes of :func:`attempt_component_decrypt`.
+PLAINTEXT = "plaintext"      # full recovery — the attack (or honest read) won
+REJECTED = "rejected"        # bookkeeping validation refused (SchemeError)
+GARBAGE = "garbage"          # math ran, wrong GT session → IntegrityError
+UNSATISFIED = "unsatisfied"  # attributes cannot span the LSSS matrix
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """How one decryption attempt ended, as a checkable value."""
+
+    outcome: str
+    detail: str = ""
+    plaintext: bytes = None
+
+    @property
+    def recovered(self) -> bool:
+        return self.outcome == PLAINTEXT
+
+    @property
+    def cryptographically_dead(self) -> bool:
+        """The math itself failed — not just a validation gate."""
+        return self.outcome in (GARBAGE, UNSATISFIED)
+
+
+def attempt_component_decrypt(group: PairingGroup,
+                              component: StoredComponent,
+                              public_key: UserPublicKey,
+                              secret_keys: dict, *,
+                              validate: bool = True) -> AttackOutcome:
+    """Try to open one stored component with the given key material.
+
+    ``validate=True`` is the honest client's path; ``validate=False``
+    is the attacker's, bypassing every bookkeeping gate so only the
+    pairing algebra stands between the keys and the plaintext.
+    """
+    ciphertext = component.abe_ciphertext
+    try:
+        if validate:
+            session = decrypt(group, ciphertext, public_key, secret_keys)
+        else:
+            session = decrypt_unchecked(group, ciphertext, public_key,
+                                        secret_keys)
+    except SchemeError as exc:
+        return AttackOutcome(REJECTED, repr(exc))
+    except PolicyNotSatisfiedError as exc:
+        return AttackOutcome(UNSATISFIED, repr(exc))
+    try:
+        plaintext = open_sealed(session, ciphertext.ciphertext_id,
+                                component.data_ciphertext)
+    except IntegrityError as exc:
+        return AttackOutcome(GARBAGE, repr(exc))
+    return AttackOutcome(PLAINTEXT, plaintext=plaintext)
+
+
+def snapshot_keys(secret_keys: dict) -> dict:
+    """Freeze a wallet's current AID→key view (keys are immutable)."""
+    return dict(secret_keys)
+
+
+def relabel_key(key: UserSecretKey, uid: str) -> UserSecretKey:
+    """Forge the uid label on a secret key (the elements still embed
+    the original user's ``u`` exponent — that is the point)."""
+    return replace(key, uid=uid)
+
+
+def forge_key_version(key: UserSecretKey, version: int) -> UserSecretKey:
+    """Forge the version counter forward without the update key's
+    ``α̃/α`` exponent ever touching the attribute elements."""
+    return replace(key, version=version)
+
+
+def forge_public_key(uid: str, element) -> UserPublicKey:
+    """A PK_UID the CA never certified for this uid."""
+    return UserPublicKey(uid=uid, element=element)
+
+
+def pool_secret_keys(base_keys: dict, donor_keys: dict) -> dict:
+    """Collude: graft a donor user's attribute keys into a base wallet.
+
+    Per shared AID the donor's ``K_x`` elements are merged over the
+    base user's (so the pooled attribute set spans the policy); AIDs
+    only the donor holds are relabeled to the base uid wholesale. The
+    result *looks* like one user's wallet — uid labels all match — but
+    the grafted elements embed the donor's CA exponent, so Eq. (1)'s
+    products cannot cancel. This is exactly the collusion Section VI
+    argues is defeated by the CA's uid binding.
+    """
+    base_uid = next(iter(base_keys.values())).uid if base_keys else None
+    pooled = dict(base_keys)
+    for aid, donor in donor_keys.items():
+        base = pooled.get(aid)
+        if base is None:
+            pooled[aid] = relabel_key(donor, base_uid or donor.uid)
+        else:
+            pooled[aid] = replace(
+                base,
+                attribute_keys={**base.attribute_keys,
+                                **donor.attribute_keys},
+            )
+    return pooled

@@ -1,0 +1,240 @@
+"""The adversarial scenario engine: scripted attacks, checked invariants.
+
+The paper's security argument — collusion resistance through the CA's
+UID binding (Section VI), revocation security through versioned keys
+plus server-side re-encryption (Section V-C) — is *exercised* here, not
+asserted. Each scenario drives the real service/cluster stack (live
+:class:`~repro.service.server.StorageService` sockets, the real
+:class:`~repro.service.faults.ChaosProxy`, real key material) with a
+semantic adversary, and declares machine-checked invariants: decrypt
+MUST fail with the right error class, the revocation epoch and the
+owner's ledger must agree with what the store serves, converged
+replicas must be byte-identical, honest traffic must survive a flood.
+
+Every scenario also runs as a **control**: the same attack with the
+defense deliberately disabled (the sweep skipped, the CA's UID binding
+broken, the retry layer removed, the offload thread bypassed, the
+epoch force-rolled past a partition). A control run is *correct* when
+its declared invariant FAILS — proving the checker has teeth, i.e.
+that the honest PASS is earned by the defense and not by a vacuous
+assertion.
+
+Verdict semantics (:func:`run_scenario`):
+
+* honest mode — ``ok`` iff every invariant passed and nothing crashed;
+* control mode — ``ok`` iff the scenario's declared
+  ``control_invariant`` was evaluated and FAILED (other invariants may
+  fail too; a crash is never ok — controls must *complete* with a
+  failing check, not die).
+
+:func:`run_matrix` runs any subset of scenarios × modes × seeds and
+returns one JSON-ready report; the ``repro adversary`` CLI and the CI
+``adversary-matrix`` job are thin wrappers around it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.ec.params import PRESETS
+from repro.pairing.group import PairingGroup
+
+#: Registration order is execution order for ``run_matrix``.
+SCENARIOS = {}
+
+
+@dataclass
+class InvariantResult:
+    """One machine-checked invariant's outcome in one run."""
+
+    name: str
+    ok: bool
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "ok": self.ok, "detail": self.detail}
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A registered scenario: the attack, its claim, and its control."""
+
+    name: str
+    title: str
+    claim: str              # the paper claim this scenario tests
+    control: str            # what the control run disables
+    control_invariant: str  # the invariant that MUST fail under control
+    run: object             # async def run(ctx) -> None
+
+
+class ScenarioContext:
+    """What a scenario run sees: the world, the dice, and the scoreboard.
+
+    ``control`` tells the scenario to run with its defense disabled;
+    the scenario still evaluates the same named invariants (that is the
+    point — the control's declared invariant must *fail*, and only an
+    evaluated check can fail). ``check`` records one invariant verdict
+    and returns it, so scenarios can branch on intermediate outcomes
+    without raising.
+    """
+
+    def __init__(self, group: PairingGroup, *, seed: int, control: bool,
+                 root: Path, params: dict = None, out=None):
+        self.group = group
+        self.seed = seed
+        self.control = control
+        self.root = root
+        self.params = dict(params or {})
+        self.out = out
+        self.results = []
+        self.notes = []
+
+    def param(self, key: str, default):
+        return self.params.get(key, default)
+
+    def check(self, name: str, ok, detail: str = "") -> bool:
+        ok = bool(ok)
+        self.results.append(InvariantResult(name, ok, detail))
+        self.note(f"{'PASS' if ok else 'FAIL'} [{name}]"
+                  + (f" — {detail}" if detail else ""))
+        return ok
+
+    def note(self, message: str) -> None:
+        self.notes.append(message)
+        if self.out is not None:
+            print(f"    {message}", file=self.out, flush=True)
+
+    def result(self, name: str):
+        for entry in self.results:
+            if entry.name == name:
+                return entry
+        return None
+
+
+def scenario(name: str, *, title: str, claim: str, control: str,
+             control_invariant: str):
+    """Register one adversarial scenario under ``name``."""
+
+    def register(fn):
+        if name in SCENARIOS:
+            raise ValueError(f"duplicate scenario {name!r}")
+        SCENARIOS[name] = ScenarioSpec(
+            name=name, title=title, claim=claim, control=control,
+            control_invariant=control_invariant, run=fn,
+        )
+        return fn
+
+    return register
+
+
+def scenario_names() -> list:
+    _load_scenarios()
+    return list(SCENARIOS)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    _load_scenarios()
+    spec = SCENARIOS.get(name)
+    if spec is None:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {', '.join(SCENARIOS)}"
+        )
+    return spec
+
+
+def _load_scenarios() -> None:
+    # Importing the module registers every built-in scenario; deferred
+    # so engine import never drags the service/cluster stack in.
+    from repro.adversary import scenarios  # noqa: F401
+
+
+def run_scenario(name: str, *, preset: str = "TOY80", seed: int = 1,
+                 control: bool = False, params: dict = None,
+                 out=None) -> dict:
+    """Run one scenario in one mode; returns its JSON-ready verdict."""
+    spec = get_scenario(name)
+    mode = "control" if control else "honest"
+    started = time.perf_counter()
+    group = PairingGroup(PRESETS[preset], seed=seed)
+    error = ""
+    with tempfile.TemporaryDirectory(prefix="repro-adversary-") as root:
+        ctx = ScenarioContext(group, seed=seed, control=control,
+                              root=Path(root), params=params, out=out)
+        try:
+            asyncio.run(spec.run(ctx))
+        except Exception as exc:  # noqa: BLE001 — verdicts never raise
+            error = repr(exc)
+    passed = bool(ctx.results) and all(r.ok for r in ctx.results)
+    if control:
+        target = ctx.result(spec.control_invariant)
+        # The checker has teeth only if the disabled defense makes the
+        # declared invariant fail — and the run must have gotten far
+        # enough to evaluate it.
+        ok = not error and target is not None and not target.ok
+    else:
+        ok = not error and passed
+    return {
+        "scenario": spec.name,
+        "title": spec.title,
+        "claim": spec.claim,
+        "mode": mode,
+        "seed": seed,
+        "preset": preset,
+        "control": spec.control,
+        "control_invariant": spec.control_invariant,
+        "invariants": [r.to_dict() for r in ctx.results],
+        "passed": passed,
+        "ok": ok,
+        "error": error,
+        "notes": list(ctx.notes),
+        "seconds": round(time.perf_counter() - started, 3),
+    }
+
+
+def run_matrix(names=None, *, preset: str = "TOY80", seeds=(1,),
+               modes=("honest", "control"), params: dict = None,
+               out=None) -> dict:
+    """Every (scenario × seed × mode) verdict plus one aggregate ``ok``.
+
+    The aggregate is strict: every honest run must pass every
+    invariant AND every control run must fail its declared invariant.
+    """
+    _load_scenarios()
+    names = list(names) if names else list(SCENARIOS)
+    verdicts = []
+    for name in names:
+        for seed in seeds:
+            for mode in modes:
+                if out is not None:
+                    print(f"== {name} [{mode}] seed {seed}",
+                          file=out, flush=True)
+                verdict = run_scenario(
+                    name, preset=preset, seed=seed,
+                    control=(mode == "control"), params=params, out=out,
+                )
+                verdicts.append(verdict)
+                if out is not None:
+                    print(f"   -> {'ok' if verdict['ok'] else 'NOT OK'} "
+                          f"({verdict['seconds']}s"
+                          + (f", error {verdict['error']}"
+                             if verdict["error"] else "")
+                          + ")", file=out, flush=True)
+    return {
+        "preset": preset,
+        "seeds": list(seeds),
+        "scenarios": names,
+        "verdicts": verdicts,
+        "ok": all(v["ok"] for v in verdicts),
+    }
+
+
+def main(argv=None, out=None) -> int:  # pragma: no cover — CLI shim
+    out = out or sys.stdout
+    report = run_matrix(out=out)
+    print(f"matrix {'ok' if report['ok'] else 'FAILED'}", file=out)
+    return 0 if report["ok"] else 1

@@ -1,0 +1,80 @@
+"""Cross-layer state probes behind the scenarios' invariant checks.
+
+Each helper condenses one system-wide property into a ``(ok, detail)``
+pair a scenario can feed straight into ``ctx.check``: does the store
+serve every ciphertext at the epoch the owner's ledger claims, did all
+replicas converge to byte-identical content, is every component past a
+revocation boundary. The probes go through the real wire protocol
+(fetch/list/digest frames), never through server internals — what they
+see is exactly what an auditor outside the trust boundary could see.
+"""
+
+from __future__ import annotations
+
+
+async def server_ciphertext_versions(client, aid: str) -> dict:
+    """Every stored ciphertext's version for ``aid``, straight off the
+    store: ``ciphertext_id -> version`` (components whose policy does
+    not involve ``aid`` are skipped)."""
+    versions = {}
+    for record_id in await client.list_records():
+        record = await client.fetch_record(record_id)
+        for component in record.components.values():
+            ciphertext = component.abe_ciphertext
+            if aid in ciphertext.versions:
+                versions[ciphertext.ciphertext_id] = \
+                    ciphertext.versions[aid]
+    return versions
+
+
+def ledger_versions(owner_core, aid: str) -> dict:
+    """The owner ledger's view: ``ciphertext_id -> version`` for every
+    live ledger entry involving ``aid``."""
+    return {
+        ciphertext_id: owner_core.record(ciphertext_id).versions[aid]
+        for ciphertext_id in owner_core.records_involving(aid)
+    }
+
+
+def versions_agree(server_view: dict, ledger_view: dict) -> tuple:
+    """Store and ledger must tell the same epoch story, ciphertext by
+    ciphertext — a mid-sweep crash or a withheld DONE frame that rolls
+    one side without the other shows up here."""
+    disagreements = {
+        ciphertext_id: (ledger_view[ciphertext_id],
+                        server_view.get(ciphertext_id))
+        for ciphertext_id in ledger_view
+        if server_view.get(ciphertext_id) != ledger_view[ciphertext_id]
+    }
+    if disagreements:
+        return False, f"ledger!=store for {disagreements}"
+    return True, f"{len(ledger_view)} ciphertexts agree"
+
+
+def all_at_version(versions: dict, expected: int) -> tuple:
+    """No ciphertext may straddle a revocation epoch."""
+    straddlers = {cid: v for cid, v in versions.items() if v != expected}
+    if straddlers:
+        return False, f"not at v{expected}: {straddlers}"
+    return True, f"{len(versions)} ciphertexts at v{expected}"
+
+
+def replicas_identical(digests: dict) -> tuple:
+    """Every reachable replica must serve byte-identical content.
+
+    ``digests`` is :meth:`repro.cluster.client.ClusterClient.
+    replica_digests` output — ``node -> {"digest": ...}`` or
+    ``node -> {"error": ...}`` for unreachable nodes. Unreachable
+    replicas fail the invariant: convergence you cannot observe is not
+    convergence.
+    """
+    errors = {node: view["error"] for node, view in digests.items()
+              if "error" in view}
+    if errors:
+        return False, f"unreachable replicas: {errors}"
+    unique = {view.get("digest") for view in digests.values()}
+    if len(unique) != 1 or None in unique:
+        by_node = {node: view.get("digest") for node, view in
+                   digests.items()}
+        return False, f"diverged replicas: {by_node}"
+    return True, f"{len(digests)} replicas share digest"

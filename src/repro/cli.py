@@ -11,6 +11,8 @@ Commands:
   smoke / sweep / bench-encrypt)
 * ``cluster``    — drive a sharded multi-node fleet (smoke / health /
   stats / scrub / list)
+* ``adversary``  — run the adversarial scenario engine (list / run /
+  matrix): scripted semantic attacks with machine-checked invariants
 * ``info``       — show the built-in parameter presets
 
 Everything the CLI does is also available (with more control) through
@@ -65,6 +67,14 @@ def _add_chaos_arguments(parser):
                        help="per-reply-frame duplication rate")
     chaos.add_argument("--chaos-delay-seconds", type=float, default=1.0,
                        help="how long a delayed reply is held back")
+    chaos.add_argument("--chaos-trace", default=None, metavar="FILE",
+                       help="replay a recorded fault trace (JSON from "
+                            "--chaos-trace-out) instead of rolling new "
+                            "dice; exact same faults on the same frames")
+    chaos.add_argument("--chaos-trace-out", default=None, metavar="FILE",
+                       dest="chaos_trace_out",
+                       help="record this run's injected faults as a "
+                            "replayable JSON trace")
 
 
 def _cmd_demo(args) -> int:
@@ -305,18 +315,43 @@ def _cmd_client(args) -> int:
         from repro.service.smoke import run_smoke, run_sweep_cycle
 
         chaos, timeout = _chaos_from_args(args)
+        chaos_replay = None
+        if args.chaos_trace:
+            with open(args.chaos_trace, "r", encoding="utf-8") as handle:
+                chaos_replay = json_module.load(handle)
+            chaos = None  # a replayed trace IS the fault plan
+        report = {}
         if args.action == "sweep":
-            return asyncio.run(run_sweep_cycle(
+            status = asyncio.run(run_sweep_cycle(
                 params, args.host, args.port, out=out, seed=args.seed,
                 records=args.records,
                 chaos=chaos, chaos_seed=args.chaos_seed or 0,
+                chaos_replay=chaos_replay,
                 timeout=30.0 if timeout is None else timeout,
+                report=report,
             ))
-        return asyncio.run(run_smoke(
-            params, args.host, args.port, out=out, seed=args.seed,
-            chaos=chaos, chaos_seed=args.chaos_seed or 0,
-            timeout=30.0 if timeout is None else timeout,
-        ))
+        else:
+            status = asyncio.run(run_smoke(
+                params, args.host, args.port, out=out, seed=args.seed,
+                chaos=chaos, chaos_seed=args.chaos_seed or 0,
+                chaos_replay=chaos_replay,
+                timeout=30.0 if timeout is None else timeout,
+                report=report,
+            ))
+        if args.chaos_trace_out:
+            trace = report.get("chaos_trace")
+            if trace is None:
+                print("no chaos proxy ran; nothing to record "
+                      "(--chaos-trace-out needs --chaos-seed or "
+                      "--chaos-trace)", file=out)
+                return status or 2
+            with open(args.chaos_trace_out, "w",
+                      encoding="utf-8") as handle:
+                json_module.dump(trace, handle, indent=1)
+            print(f"chaos trace ({len(trace.get('injected', []))} "
+                  f"recorded faults) written to {args.chaos_trace_out}",
+                  file=out)
+        return status
 
     group = PairingGroup(params, seed=args.seed)
 
@@ -407,6 +442,91 @@ def _cmd_cluster(args) -> int:
             await cluster.close()
 
     return asyncio.run(run())
+
+
+def _cmd_adversary(args) -> int:
+    import json as json_module
+
+    from repro.adversary.engine import (
+        get_scenario,
+        run_matrix,
+        run_scenario,
+        scenario_names,
+    )
+
+    out = args.out
+    if args.action == "list":
+        for name in scenario_names():
+            spec = get_scenario(name)
+            print(f"{name}: {spec.title}", file=out)
+            print(f"    claim   : {spec.claim}", file=out)
+            print(f"    control : {spec.control} "
+                  f"(must fail {spec.control_invariant!r})", file=out)
+        return 0
+
+    params = {}
+    for item in args.param:
+        key, _, value = item.partition("=")
+        if not _:
+            print(f"bad --param {item!r} (want KEY=VALUE)", file=out)
+            return 2
+        try:
+            params[key] = json_module.loads(value)
+        except ValueError:
+            params[key] = value
+
+    if args.action == "run":
+        if not args.scenario:
+            print("adversary run needs --scenario NAME "
+                  "(see: repro adversary list)", file=out)
+            return 2
+        try:
+            report = run_scenario(
+                args.scenario, preset=args.preset, seed=args.seed,
+                control=args.control, params=params or None,
+                out=out if args.verbose else None,
+            )
+        except KeyError as exc:
+            print(exc.args[0], file=out)
+            return 2
+        verdicts = [report]
+    else:  # matrix
+        seeds = [int(x) for x in args.seeds.split(",")] \
+            if args.seeds else [args.seed]
+        names = args.scenario.split(",") if args.scenario else None
+        try:
+            report = run_matrix(
+                names, preset=args.preset, seeds=seeds,
+                modes=("control",) if args.control
+                else ("honest", "control"),
+                params=params or None, out=out if args.verbose else None,
+            )
+        except KeyError as exc:
+            print(exc.args[0], file=out)
+            return 2
+        verdicts = report["verdicts"]
+
+    for verdict in verdicts:
+        status = "ok" if verdict["ok"] else "NOT OK"
+        failed = [inv["name"] for inv in verdict["invariants"]
+                  if not inv["ok"]]
+        line = (f"{status:>6}  {verdict['scenario']:<20} "
+                f"[{verdict['mode']}] seed {verdict['seed']} "
+                f"({verdict['seconds']}s)")
+        if verdict["error"]:
+            line += f" error: {verdict['error']}"
+        elif failed:
+            line += f" failed: {', '.join(failed)}"
+        print(line, file=out)
+    ok = (report["ok"] if args.action == "matrix"
+          else all(v["ok"] for v in verdicts))
+    print(f"adversary {args.action}: "
+          f"{'ok' if ok else 'FAILED'}", file=out)
+    if args.out_json:
+        with open(args.out_json, "w", encoding="utf-8") as handle:
+            json_module.dump(report, handle, indent=1)
+        print(f"verdicts written to {args.out_json}", file=out)
+    return 0 if ok else 1
 
 
 def _cmd_info(args) -> int:
@@ -578,6 +698,41 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-request client timeout in seconds")
     _add_chaos_arguments(cluster)
     cluster.set_defaults(handler=_cmd_cluster)
+
+    adversary = subparsers.add_parser(
+        "adversary",
+        help="run scripted semantic attacks with machine-checked "
+             "security invariants",
+    )
+    _add_preset_argument(adversary)
+    adversary.add_argument(
+        "action", choices=["list", "run", "matrix"],
+        help="list the registered scenarios; run one scenario in one "
+             "mode; matrix runs scenarios x modes x seeds and fails "
+             "unless every honest run passes AND every control run "
+             "fails its declared invariant",
+    )
+    adversary.add_argument("--scenario", default="",
+                           help="scenario name for run (one) or matrix "
+                                "(comma-separated; default all)")
+    adversary.add_argument("--seed", type=int, default=1,
+                           help="scenario seed (default 1)")
+    adversary.add_argument("--seeds", default="",
+                           help="comma-separated seed list for matrix "
+                                "(overrides --seed)")
+    adversary.add_argument("--control", action="store_true",
+                           help="run with the scenario's defense "
+                                "disabled; the declared invariant must "
+                                "FAIL for the run to count as ok")
+    adversary.add_argument("--param", action="append", default=[],
+                           metavar="KEY=VALUE",
+                           help="scenario tuning knob, repeatable "
+                                "(e.g. records=4)")
+    adversary.add_argument("--verbose", action="store_true",
+                           help="stream per-invariant PASS/FAIL notes")
+    adversary.add_argument("--out-json", default="", dest="out_json",
+                           help="write the full verdict JSON to this file")
+    adversary.set_defaults(handler=_cmd_adversary)
 
     info = subparsers.add_parser("info", help="show built-in presets")
     info.set_defaults(handler=_cmd_info)

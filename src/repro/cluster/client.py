@@ -251,6 +251,33 @@ class ClusterClient:
                 self._bump("repair", name)
         return repaired
 
+    async def replica_digests(self, record_id: str, *,
+                              verify: bool = False) -> dict:
+        """Each assigned replica's digest report for one record.
+
+        ``node name -> {"digest": ..., "ok": ...}`` (or ``{"error":
+        repr}`` for an unreachable/empty replica). The adversarial
+        scenarios use this as their convergence invariant: after a
+        healed partition plus a resumed sweep, every replica of every
+        record must be byte-identical — one digest across the set.
+        """
+        replicas = self.map.replicas_for(record_id)
+
+        async def probe(node):
+            conn = await self.connection(node.name)
+            return await BaseClient(conn).record_digest(record_id,
+                                                        verify=verify)
+
+        outcomes = await gather_bounded(
+            [lambda node=node: probe(node) for node in replicas],
+            limit=self.fanout_limit,
+        )
+        return {
+            node.name: (outcome if not isinstance(outcome, Exception)
+                        else {"error": repr(outcome)})
+            for node, outcome in zip(replicas, outcomes)
+        }
+
     async def fetch_record(self, record_id: str) -> StoredRecord:
         """Download one whole record, failing over and repairing."""
         async def op(node_name):

@@ -71,6 +71,29 @@ def decrypt(group: PairingGroup, ciphertext: Ciphertext,
     not satisfy the access structure.
     """
     _validate_inputs(ciphertext, user_public_key, secret_keys)
+    return decrypt_unchecked(group, ciphertext, user_public_key, secret_keys)
+
+
+def decrypt_unchecked(group: PairingGroup, ciphertext: Ciphertext,
+                      user_public_key: UserPublicKey,
+                      secret_keys: dict) -> GTElement:
+    """Eq. (1) with the eager key/version validation *skipped*.
+
+    This is the attacker's view of decryption: the adversarial
+    harness (:mod:`repro.adversary`) uses it to prove that stale,
+    pooled, or forged keys fail *cryptographically* — the pairing
+    product recovers a wrong GT blinding and authenticated decryption
+    rejects the session — rather than merely being turned away by
+    :func:`_validate_inputs`' bookkeeping. Production callers must use
+    :func:`decrypt`; skipping validation never recovers plaintext for
+    an unauthorized key set, it just moves the failure from a typed
+    :class:`SchemeError` to garbage output.
+
+    Still raises :class:`PolicyNotSatisfiedError` when the pooled
+    attribute set cannot reconstruct the LSSS secret at all, and
+    :class:`KeyError`-free operation requires one key per involved
+    authority (the numerator runs over all of I_A).
+    """
     order = group.order
     matrix = ciphertext.matrix
     coefficients = matrix.reconstruction_coefficients(

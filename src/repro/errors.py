@@ -61,3 +61,20 @@ class TransportError(ProtocolError):
     """The connection failed mid-exchange (dropped, timed out, or the
     reply frame was garbled) before a usable reply arrived; the request
     may be retried on a fresh connection."""
+
+
+class RetryExhaustedError(TransportError):
+    """The retry layer gave up on a request — its total wall-clock
+    deadline ran out while the failure was still retryable.
+
+    Carries the ``attempts`` trace (the :class:`repro.service.retry.
+    RetryLog` entries for the exhausted request) so callers and
+    adversarial harnesses can see exactly what was tried before the
+    budget died. Subclasses :class:`TransportError` on purpose: to a
+    *higher* layer (e.g. the cluster client's failover reads) an
+    exhausted node is indistinguishable from an unreachable one and
+    should be skipped, not fatal."""
+
+    def __init__(self, message: str, attempts: list = None):
+        super().__init__(message)
+        self.attempts = list(attempts or [])

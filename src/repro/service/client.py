@@ -55,6 +55,7 @@ from repro.crypto.hybrid import encrypt_with_session, open_sealed
 from repro.errors import (
     AuthorizationError,
     ProtocolError,
+    RetryExhaustedError,
     SchemeError,
     TransportError,
     UnavailableError,
@@ -172,7 +173,15 @@ class ServiceConnection:
 
     async def _backoff(self, request: str, attempt: int,
                        exc: BaseException) -> bool:
-        """Log and sleep before a retry; False when out of budget."""
+        """Log and sleep before a retry; False when out of budget.
+
+        Two budgets gate every retry: the per-attempt count (exhaustion
+        re-raises the original failure, as before) and the policy's
+        total wall-clock ``deadline`` — when sleeping the next backoff
+        would overrun it, a typed :class:`RetryExhaustedError` carrying
+        this request's attempt trace is raised instead, so adversarial
+        delay injection can't stretch a failover into unbounded retry.
+        """
         if self.retry is None or not is_retryable(exc):
             return False
         if not self.retry.attempts_left(attempt):
@@ -180,6 +189,16 @@ class ServiceConnection:
                                 cause=repr(exc))
             return False
         delay = self.retry.backoff(attempt)
+        if self.retry.deadline_overrun(delay):
+            self.retry_log.note("exhausted", request, attempt=attempt,
+                                cause=f"deadline {self.retry.deadline}s "
+                                      f"overrun: {exc!r}")
+            raise RetryExhaustedError(
+                f"{request}: retry deadline of {self.retry.deadline}s "
+                f"overrun after {attempt} attempt(s) ({exc!r})",
+                attempts=[entry for entry in self.retry_log
+                          if entry["request"] == request],
+            ) from exc
         self.retry_log.note("retry", request, attempt=attempt,
                             cause=repr(exc), delay=delay)
         await asyncio.sleep(delay)

@@ -17,14 +17,33 @@ event:
 * ``truncate``  — the frame header promises the full reply but only
   half the payload arrives before the connection closes;
 * ``duplicate`` — the reply frame is sent twice, exercising the v2
-  sequence-number discard path.
+  sequence-number discard path;
+* ``withhold``  — the frame is swallowed but the connection stays up:
+  the client sees silence, not an error (the adversarial server that
+  "forgets" to stream a SWEEP_PROGRESS frame);
+* ``reorder``   — the frame is held back and emitted *after* the next
+  forwarded frame, so replies arrive out of order.
 
 Every decision is drawn from a :class:`random.Random` seeded per
 connection from the proxy seed, so a failing run replays exactly. A
 ``schedule`` mapping (global reply-frame index → fault name) overrides
 the dice for tests that need one specific fault at one specific
-moment. Everything injected is recorded in :attr:`ChaosProxy.injected`
-so tests can cross-check the client's retry log against ground truth.
+moment; a ``type_schedule`` mapping (frame type byte → list of fault
+names, consumed FIFO) targets faults at *semantic* frame types — "the
+first two SWEEP_PROGRESS frames are withheld" — independent of how
+many handshake frames preceded them. Everything injected is recorded
+in :attr:`ChaosProxy.injected` so tests can cross-check the client's
+retry log against ground truth, and :meth:`ChaosProxy.trace` exports
+that record as a replayable JSON document — feed it back through
+:meth:`ChaosProxy.from_trace` (or ``repro client smoke
+--chaos-trace``) to re-run a failing scenario with the exact fault
+schedule instead of the dice.
+
+:meth:`ChaosProxy.partition` simulates a network partition: existing
+connections are severed and new ones are refused until
+:meth:`ChaosProxy.heal` — the upstream node itself stays healthy, which
+is exactly the "stale replica behind a partition" shape the cluster
+adversary scenarios need.
 
 :class:`ChaosFleet` scales the same machinery to a cluster: ONE process
 fronts N upstream nodes, one listener per node, each with its own
@@ -39,7 +58,8 @@ from __future__ import annotations
 import asyncio
 import random
 
-_FAULTS = ("drop", "delay", "corrupt", "truncate", "duplicate")
+_FAULTS = ("drop", "delay", "corrupt", "truncate", "duplicate",
+           "withhold", "reorder")
 
 
 class FaultSpec:
@@ -47,12 +67,15 @@ class FaultSpec:
 
     def __init__(self, *, drop: float = 0.0, delay: float = 0.0,
                  corrupt: float = 0.0, truncate: float = 0.0,
-                 duplicate: float = 0.0, delay_seconds: float = 1.5):
+                 duplicate: float = 0.0, withhold: float = 0.0,
+                 reorder: float = 0.0, delay_seconds: float = 1.5):
         self.drop = drop
         self.delay = delay
         self.corrupt = corrupt
         self.truncate = truncate
         self.duplicate = duplicate
+        self.withhold = withhold
+        self.reorder = reorder
         self.delay_seconds = delay_seconds
         if sum(self.rates().values()) > 1.0:
             raise ValueError("fault rates must sum to at most 1")
@@ -75,14 +98,20 @@ class ChaosProxy:
 
     def __init__(self, upstream_host: str, upstream_port: int, *,
                  spec: FaultSpec = None, seed: int = 0,
-                 schedule: dict = None, host: str = "127.0.0.1"):
+                 schedule: dict = None, type_schedule: dict = None,
+                 host: str = "127.0.0.1"):
         self.upstream_host = upstream_host
         self.upstream_port = upstream_port
         self.spec = spec if spec is not None else FaultSpec()
         self.seed = seed
         self.schedule = dict(schedule or {})
+        # frame type byte -> FIFO of fault names; MessageType enums work
+        # as keys too (int() normalizes them).
+        self.type_schedule = {int(key): list(value)
+                              for key, value in (type_schedule or {}).items()}
         self.host = host
         self.port = None
+        self.partitioned = False
         self.injected = []       # [{conn, frame, fault, frame_type}, ...]
         self._server = None
         self._tasks = set()
@@ -123,6 +152,57 @@ class ChaosProxy:
             counts[fault["fault"]] = counts.get(fault["fault"], 0) + 1
         return counts
 
+    # -- partition injection ----------------------------------------------
+
+    def partition(self) -> None:
+        """Cut this proxy off: sever live connections, refuse new ones.
+
+        The upstream node keeps running untouched — from the cluster's
+        point of view it is unreachable, not dead, which is the shape
+        that leaves stale replicas behind after :meth:`heal`.
+        """
+        self.partitioned = True
+        for writer in list(self._writers):
+            writer.close()
+
+    def heal(self) -> None:
+        """End the partition; new connections relay normally again."""
+        self.partitioned = False
+
+    # -- replayable fault traces ------------------------------------------
+
+    def trace(self) -> dict:
+        """A JSON-safe record of this run's faults, replayable exactly.
+
+        The ``injected`` log *is* the schedule of a replay: every fault
+        this proxy rolled (or was scheduled) is pinned to its global
+        reply-frame index, so :meth:`from_trace` can re-run the same
+        workload with zeroed dice and an index schedule instead.
+        """
+        return {
+            "seed": self.seed if isinstance(self.seed, int) else str(self.seed),
+            "spec": {**self.spec.rates(),
+                     "delay_seconds": self.spec.delay_seconds},
+            "injected": [dict(entry) for entry in self.injected],
+        }
+
+    @classmethod
+    def from_trace(cls, upstream_host: str, upstream_port: int,
+                   trace: dict, *, host: str = "127.0.0.1") -> "ChaosProxy":
+        """A proxy that replays ``trace``'s exact fault schedule.
+
+        The dice are zeroed; every recorded fault becomes a schedule
+        entry at its original reply-frame index. Replay fidelity
+        requires the client to issue the same request sequence (the
+        seeded smoke/scenario cycles do).
+        """
+        spec = FaultSpec(
+            delay_seconds=trace.get("spec", {}).get("delay_seconds", 1.5))
+        schedule = {int(entry["frame"]): entry["fault"]
+                    for entry in trace.get("injected", [])}
+        return cls(upstream_host, upstream_port, spec=spec,
+                   schedule=schedule, host=host)
+
     # -- per-connection plumbing ------------------------------------------
 
     async def _accept(self, client_reader, client_writer):
@@ -138,6 +218,9 @@ class ChaosProxy:
             self._conn_tasks.discard(asyncio.current_task())
 
     async def _relay(self, client_reader, client_writer):
+        if self.partitioned:
+            client_writer.close()
+            return
         conn_index = self._conn_counter
         self._conn_counter += 1
         self._writers.add(client_writer)
@@ -189,15 +272,21 @@ class ChaosProxy:
     async def _pump_replies(self, upstream_reader, client_writer,
                             conn_index, rng):
         """server → client: one fault decision per reply frame."""
+        held = None  # reorder buffer: at most one frame waiting its turn
         try:
             while True:
                 header = await upstream_reader.readexactly(4)
                 length = int.from_bytes(header, "big")
                 payload = await upstream_reader.readexactly(length)
+                frame_type = payload[0] if payload else None
                 frame_index = self._reply_counter
                 self._reply_counter += 1
                 if frame_index in self.schedule:
                     fault = self.schedule[frame_index]
+                elif self.type_schedule.get(frame_type):
+                    # Semantic targeting: this frame *type*'s FIFO of
+                    # pending faults, independent of global indices.
+                    fault = self.type_schedule[frame_type].pop(0)
                 else:
                     fault = self.spec.draw(rng)
                 if fault is not None:
@@ -205,7 +294,7 @@ class ChaosProxy:
                         "conn": conn_index,
                         "frame": frame_index,
                         "fault": fault,
-                        "frame_type": payload[0] if payload else None,
+                        "frame_type": frame_type,
                     })
                 if fault == "drop":
                     return
@@ -213,6 +302,16 @@ class ChaosProxy:
                     client_writer.write(header + payload[:length // 2])
                     await client_writer.drain()
                     return
+                if fault == "withhold":
+                    # Swallow the frame; the connection lives on. The
+                    # client sees silence where a reply should be.
+                    continue
+                if fault == "reorder":
+                    # Hold this frame back; it rides out *after* the
+                    # next forwarded frame (and is simply lost if the
+                    # connection ends first — recorded either way).
+                    held = header + payload
+                    continue
                 if fault == "delay":
                     await asyncio.sleep(self.spec.delay_seconds)
                 elif fault == "corrupt":
@@ -221,6 +320,9 @@ class ChaosProxy:
                 if fault == "duplicate":
                     frame += frame
                 client_writer.write(frame)
+                if held is not None:
+                    client_writer.write(held)
+                    held = None
                 await client_writer.drain()
         except (ConnectionError, OSError, asyncio.IncompleteReadError):
             return
@@ -242,19 +344,22 @@ class ChaosFleet:
     """
 
     def __init__(self, upstreams: dict, *, spec: FaultSpec = None,
-                 specs: dict = None, schedules: dict = None, seed: int = 0,
+                 specs: dict = None, schedules: dict = None,
+                 type_schedules: dict = None, seed: int = 0,
                  host: str = "127.0.0.1"):
         self.seed = seed
         self.proxies = {}
         specs = specs or {}
         schedules = schedules or {}
+        type_schedules = type_schedules or {}
         for name, (upstream_host, upstream_port) in upstreams.items():
             node_spec = specs.get(name, spec)
             self.proxies[name] = ChaosProxy(
                 upstream_host, upstream_port,
                 spec=node_spec if node_spec is not None else FaultSpec(),
                 seed=f"{seed}:{name}",
-                schedule=schedules.get(name), host=host,
+                schedule=schedules.get(name),
+                type_schedule=type_schedules.get(name), host=host,
             )
 
     async def start(self) -> "ChaosFleet":
@@ -270,6 +375,36 @@ class ChaosFleet:
         """``(host, port)`` clients should dial to reach ``name``."""
         proxy = self.proxies[name]
         return proxy.host, proxy.port
+
+    def partition(self, name: str) -> None:
+        """Partition one node's proxy (see :meth:`ChaosProxy.partition`)."""
+        self.proxies[name].partition()
+
+    def heal(self, name: str) -> None:
+        self.proxies[name].heal()
+
+    def partitioned_nodes(self) -> list:
+        return [name for name, proxy in self.proxies.items()
+                if proxy.partitioned]
+
+    def trace(self) -> dict:
+        """Per-node replayable fault traces (see :meth:`ChaosProxy.trace`)."""
+        return {name: proxy.trace()
+                for name, proxy in self.proxies.items()}
+
+    @classmethod
+    def from_trace(cls, upstreams: dict, trace: dict, *,
+                   host: str = "127.0.0.1") -> "ChaosFleet":
+        """A fleet whose proxies replay ``trace``'s per-node schedules."""
+        fleet = cls(upstreams, host=host)
+        for name, node_trace in trace.items():
+            if name in fleet.proxies:
+                upstream = fleet.proxies[name]
+                fleet.proxies[name] = ChaosProxy.from_trace(
+                    upstream.upstream_host, upstream.upstream_port,
+                    node_trace, host=host,
+                )
+        return fleet
 
     def injected_by_node(self) -> dict:
         return {name: list(proxy.injected)

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import os
 import random
+import time
 from collections import Counter, OrderedDict
 
 from repro.errors import TransportError, UnavailableError
@@ -77,24 +78,55 @@ class RetryPolicy:
     def __init__(self, *, max_attempts: int = 5, base_delay: float = 0.05,
                  max_delay: float = 2.0, multiplier: float = 2.0,
                  jitter: float = 0.25, decorrelated: bool = False,
-                 rng: random.Random = None):
+                 deadline: float = None, rng: random.Random = None,
+                 clock=None):
         if max_attempts < 1:
             raise ValueError("max_attempts must be at least 1")
+        if deadline is not None and deadline < 0:
+            raise ValueError("deadline must be non-negative")
         self.max_attempts = max_attempts
         self.base_delay = base_delay
         self.max_delay = max_delay
         self.multiplier = multiplier
         self.jitter = jitter
         self.decorrelated = decorrelated
+        #: Total wall-clock budget (seconds) for one request's retry
+        #: sequence, on top of the per-attempt count. ``None`` = no
+        #: deadline. Under adversarial delay injection every attempt
+        #: can eat a full client timeout, so a per-attempt budget alone
+        #: lets failover storms retry for minutes; the deadline bounds
+        #: the whole sequence.
+        self.deadline = deadline
         self.rng = rng if rng is not None else random.Random()
+        self.clock = clock if clock is not None else time.monotonic
         self._previous_delay = None  # decorrelated jitter's walk state
+        self._deadline_start = None  # wall-clock anchor of the sequence
 
     def attempts_left(self, attempt: int) -> bool:
         """Whether another attempt fits the budget after ``attempt``."""
         return attempt < self.max_attempts
 
+    def deadline_overrun(self, next_delay: float = 0.0) -> bool:
+        """Whether sleeping ``next_delay`` would land past the deadline.
+
+        The clock anchors at the first failure of a sequence (see
+        :meth:`backoff`, which restarts it whenever ``attempt <= 1``,
+        exactly like the decorrelated walk), so the deadline measures
+        the whole retry sequence for one request, not the process
+        lifetime.
+        """
+        if self.deadline is None:
+            return False
+        if self._deadline_start is None:
+            self._deadline_start = self.clock()
+        elapsed = self.clock() - self._deadline_start
+        return elapsed + next_delay > self.deadline
+
     def backoff(self, attempt: int) -> float:
         """Seconds to sleep after the ``attempt``-th failure."""
+        if attempt <= 1 or self._deadline_start is None:
+            # A new failure sequence re-anchors the wall-clock budget.
+            self._deadline_start = self.clock()
         if self.decorrelated:
             if attempt <= 1 or self._previous_delay is None:
                 # A new failure sequence restarts the walk at the base.

@@ -51,6 +51,7 @@ and a ``SWEEP_PROGRESS`` frame streams back per chunk before the final
 from __future__ import annotations
 
 import asyncio
+import time
 from concurrent.futures import BrokenExecutor, ThreadPoolExecutor
 
 from repro.core.reencrypt import reencrypt as abe_reencrypt
@@ -106,7 +107,8 @@ class StorageService:
                  hello_timeout: float = 10.0,
                  max_frame: int = protocol.MAX_FRAME_BYTES,
                  read_only: bool = False, dedup_entries: int = 4096,
-                 workers=0, sweep_chunk: int = 16):
+                 workers=0, sweep_chunk: int = 16,
+                 probe_interval: float = 1.0, inline_crypto: bool = False):
         if sweep_chunk <= 0:
             raise ValueError("sweep_chunk must be positive")
         self.group = group
@@ -121,6 +123,19 @@ class StorageService:
         self.hello_timeout = hello_timeout
         self.max_frame = max_frame
         self.read_only = read_only
+        # Operator-configured read-only (`serve --read-only`) is a
+        # policy and never auto-recovers; read-only entered because a
+        # write FAILED is a degradation, and the server probes its way
+        # back to writable once the fault clears (see _maybe_recover).
+        self._configured_read_only = read_only
+        self.degraded_reason = None
+        self.probe_interval = probe_interval
+        self._last_probe = None
+        # Adversarial-control knob only: run crypto/storage jobs inline
+        # on the event loop instead of the offload thread. This is the
+        # "defense disabled" leg of the spam-flood scenario — never set
+        # it in production.
+        self.inline_crypto = inline_crypto
         self.dedup = IdempotencyTable(dedup_entries)
         self.pool = CryptoPool(workers)
         self.sweep_chunk = sweep_chunk
@@ -295,10 +310,11 @@ class StorageService:
                 f"unexpected frame type {msg_type.name} in a session"
             )
         if msg_type in protocol.WRITE_TYPES and self.read_only:
-            raise UnavailableError(
-                "server is in read-only mode; writes are refused but "
-                "reads keep serving — retry later"
-            )
+            if not await self._maybe_recover():
+                raise UnavailableError(
+                    "server is in read-only mode; writes are refused but "
+                    "reads keep serving — retry later"
+                )
         key = None
         if (msg_type in protocol.MUTATION_TYPES
                 and session.version is not None and session.version >= 2):
@@ -327,6 +343,7 @@ class StorageService:
                 # corrupting state or hanging up. Not cached — once the
                 # disk recovers, the same key must be applicable.
                 self.read_only = True
+                self.degraded_reason = str(exc)
                 raise UnavailableError(
                     f"storage write failed ({exc}); server is now "
                     f"read-only — retry later"
@@ -342,8 +359,37 @@ class StorageService:
                     key, reply if reply is not None else (MessageType.OK, b"")
                 )
 
+    async def _maybe_recover(self) -> bool:
+        """Probe the way back from *degraded* read-only to writable.
+
+        Configured read-only is policy, not damage: never recover from
+        it. Degraded read-only probes the store's write path at most
+        once per ``probe_interval`` (a refused-write stampede must not
+        become a probe stampede); the first probe that succeeds flips
+        the server back to writable and lets the refused write proceed.
+        A retried mutation that degraded the server is therefore
+        applied exactly once after recovery — its UnavailableError was
+        never cached in the dedup table, so the retry's idempotency key
+        is still fresh.
+        """
+        if self._configured_read_only:
+            return False
+        now = time.monotonic()
+        if (self._last_probe is not None
+                and now - self._last_probe < self.probe_interval):
+            return False
+        self._last_probe = now
+        if not await self._offload(self.store.probe_writable):
+            return False
+        self.read_only = False
+        self.degraded_reason = None
+        self.meter.bump("server.readonly-recovered")
+        return True
+
     async def _offload(self, fn, *args):
         """Run one blocking crypto/storage job on the offload thread."""
+        if self.inline_crypto:
+            return fn(*args)
         return await asyncio.get_running_loop().run_in_executor(
             self._cpu, fn, *args
         )
@@ -668,6 +714,7 @@ class StorageService:
             "server": self.name,
             "status": "read-only" if self.read_only else "ok",
             "read_only": self.read_only,
+            "degraded": self.read_only and not self._configured_read_only,
             "records": len(self.store),
             "connections": self.connection_count,
             "workers": self.pool.workers,

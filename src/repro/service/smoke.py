@@ -75,7 +75,8 @@ class TrustFabric:
 
 async def run_smoke(params, host: str, port: int, *, out=None, seed=None,
                     chaos: FaultSpec = None, chaos_seed: int = 0,
-                    chaos_schedule: dict = None, retry: RetryPolicy = None,
+                    chaos_schedule: dict = None, chaos_replay: dict = None,
+                    retry: RetryPolicy = None,
                     timeout: float = 30.0, report: dict = None) -> int:
     """Run upload → read → revoke → re-encrypt → revoked-read-fails."""
     out = out or sys.stdout
@@ -85,7 +86,18 @@ async def run_smoke(params, host: str, port: int, *, out=None, seed=None,
         print(f"ok: {label}", file=out, flush=True)
 
     proxy = None
-    if chaos is not None:
+    if chaos_replay is not None:
+        # Replay a recorded fault trace: same faults, same frames,
+        # zeroed dice (see ChaosProxy.trace / --chaos-trace).
+        proxy = ChaosProxy.from_trace(host, port, chaos_replay)
+        await proxy.start()
+        host, port = proxy.host, proxy.port
+        if retry is None:
+            retry = RetryPolicy(max_attempts=8,
+                                rng=random.Random(chaos_seed))
+        step(f"chaos proxy on {host}:{port} replaying a trace of "
+             f"{len(proxy.schedule)} scheduled faults")
+    elif chaos is not None:
         proxy = ChaosProxy(host, port, spec=chaos, seed=chaos_seed,
                            schedule=chaos_schedule)
         await proxy.start()
@@ -207,6 +219,7 @@ async def run_smoke(params, host: str, port: int, *, out=None, seed=None,
                 report["fault_counts"] = proxy.fault_counts()
                 report["retry_entries"] = entries
                 report["retry_counts"] = counts
+                report["chaos_trace"] = proxy.trace()
             if stats["dedup_hits"]:
                 step(f"idempotent replay: {stats['dedup_hits']} retried "
                      f"mutations deduplicated server-side")
@@ -229,6 +242,7 @@ async def run_sweep_cycle(params, host: str, port: int, *,
                           records: int = 12, out=None, seed=None,
                           chaos: FaultSpec = None, chaos_seed: int = 0,
                           chaos_schedule: dict = None,
+                          chaos_replay: dict = None,
                           retry: RetryPolicy = None, timeout: float = 30.0,
                           report: dict = None) -> int:
     """Populate → revoke → one bulk sweep → verify every version bumped."""
@@ -239,7 +253,16 @@ async def run_sweep_cycle(params, host: str, port: int, *,
         print(f"ok: {label}", file=out, flush=True)
 
     proxy = None
-    if chaos is not None:
+    if chaos_replay is not None:
+        proxy = ChaosProxy.from_trace(host, port, chaos_replay)
+        await proxy.start()
+        host, port = proxy.host, proxy.port
+        if retry is None:
+            retry = RetryPolicy(max_attempts=8,
+                                rng=random.Random(chaos_seed))
+        step(f"chaos proxy on {host}:{port} replaying a trace of "
+             f"{len(proxy.schedule)} scheduled faults")
+    elif chaos is not None:
         proxy = ChaosProxy(host, port, spec=chaos, seed=chaos_seed,
                            schedule=chaos_schedule)
         await proxy.start()
@@ -352,6 +375,7 @@ async def run_sweep_cycle(params, host: str, port: int, *,
             report["progress_frames"] = list(progress_frames)
             if proxy is not None:
                 report["injected"] = list(proxy.injected)
+                report["chaos_trace"] = proxy.trace()
     except SmokeFailure as exc:
         print(f"FAIL: {exc}", file=out, flush=True)
         return 1

@@ -451,6 +451,31 @@ class RecordStore:
             return False
         return True
 
+    def probe_writable(self) -> bool:
+        """Whether the backing filesystem accepts writes right now.
+
+        Writes, fsyncs, and unlinks a probe file in the blob pool's
+        ``tmp/`` directory — the same directory every durable write
+        stages through — so a ``True`` here means the failure mode that
+        degraded the server (full disk, remount read-only, dead device)
+        has cleared. Used by the server's read-only *recovery* path;
+        never raises.
+        """
+        probe = self.blobs.tmp_dir / f"probe-{os.getpid()}"
+        try:
+            with open(probe, "wb") as handle:
+                handle.write(b"writable?")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.unlink(probe)
+        except OSError:
+            try:
+                os.unlink(probe)
+            except OSError:
+                pass
+            return False
+        return True
+
     def put_record_bytes(self, record_id: str, blob: bytes) -> str:
         """Force-put pre-encoded record bytes — the repair write.
 

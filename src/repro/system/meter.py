@@ -182,3 +182,52 @@ class Meter:
             self.channels.clear()
             self.wire_bytes = 0
             self.counters.clear()
+
+
+class LatencyRecorder:
+    """A thread-safe sample sink with exact percentile readout.
+
+    The adversarial harness uses one per traffic class (honest pings
+    vs. spam uploads) to render graceful-degradation invariants —
+    "honest p99 stays under the bound while the flood runs" — as
+    machine-checkable numbers. Exact nearest-rank percentiles over the
+    full sample set: scenario sample counts are small (hundreds), so
+    there is no need for the usual streaming sketches.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._samples = []
+        self._lock = threading.Lock()
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._samples.append(float(seconds))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile (``q`` in [0, 100]) of the samples."""
+        with self._lock:
+            if not self._samples:
+                raise ValueError(f"no samples recorded ({self.name!r})")
+            ordered = sorted(self._samples)
+        rank = max(1, -(-len(ordered) * q // 100))  # ceil without math
+        return ordered[min(len(ordered), int(rank)) - 1]
+
+    def summary(self) -> dict:
+        with self._lock:
+            samples = sorted(self._samples)
+        if not samples:
+            return {"name": self.name, "count": 0}
+        return {
+            "name": self.name,
+            "count": len(samples),
+            "min": samples[0],
+            "max": samples[-1],
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }

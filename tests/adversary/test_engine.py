@@ -1,0 +1,156 @@
+"""Engine semantics: registration, context bookkeeping, verdict rules.
+
+The verdict rules are the engine's whole contract — honest runs must
+pass every invariant, control runs must *fail* their declared one, and
+a crash is never ok — so each rule gets its own toy scenario here.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.adversary.engine import (
+    SCENARIOS,
+    ScenarioContext,
+    get_scenario,
+    run_scenario,
+    scenario,
+    scenario_names,
+)
+from repro.ec.params import TOY80
+from repro.pairing.group import PairingGroup
+
+BUILTINS = [
+    "revoked-key-replay",
+    "collusion-pooling",
+    "rogue-authority",
+    "sweep-withholding",
+    "spam-flood",
+    "stale-replica",
+]
+
+
+@pytest.fixture()
+def toy_scenario():
+    """Register a throwaway scenario; unregister on teardown."""
+    registered = []
+
+    def make(name, fn, control_invariant="gate"):
+        scenario(name, title=name, claim="toy", control="toy",
+                 control_invariant=control_invariant)(fn)
+        registered.append(name)
+        return name
+
+    yield make
+    for name in registered:
+        SCENARIOS.pop(name, None)
+
+
+def test_builtin_registry_is_complete():
+    names = scenario_names()
+    assert names == BUILTINS
+    for name in names:
+        spec = get_scenario(name)
+        assert spec.claim and spec.control
+        # The declared control invariant must be meaningful: a control
+        # run keys its entire verdict on it.
+        assert spec.control_invariant
+
+
+def test_unknown_scenario_names_the_known_ones():
+    get_scenario("revoked-key-replay")  # loads the registry
+    with pytest.raises(KeyError, match="collusion-pooling"):
+        get_scenario("no-such-scenario")
+
+
+def test_duplicate_registration_is_refused(toy_scenario):
+    async def noop(ctx):
+        pass
+
+    name = toy_scenario("toy-dup", noop)
+    with pytest.raises(ValueError, match="duplicate"):
+        scenario(name, title="x", claim="x", control="x",
+                 control_invariant="x")(noop)
+
+
+def test_context_records_checks_and_notes(tmp_path):
+    group = PairingGroup(TOY80, seed=3)
+    ctx = ScenarioContext(group, seed=3, control=False,
+                          root=Path(tmp_path), params={"records": 2})
+    assert ctx.param("records", 9) == 2
+    assert ctx.param("absent", 9) == 9
+    assert ctx.check("good", 1 == 1, "fine") is True
+    assert ctx.check("bad", 1 == 2) is False
+    assert ctx.result("good").ok and not ctx.result("bad").ok
+    assert ctx.result("missing") is None
+    assert any("PASS [good]" in note for note in ctx.notes)
+    assert any("FAIL [bad]" in note for note in ctx.notes)
+
+
+def test_honest_verdict_requires_every_invariant(toy_scenario):
+    async def mixed(ctx):
+        ctx.check("gate", True)
+        ctx.check("other", ctx.seed == 99)
+
+    name = toy_scenario("toy-mixed", mixed)
+    verdict = run_scenario(name, seed=99)
+    assert verdict["ok"] and verdict["passed"] and not verdict["error"]
+    verdict = run_scenario(name, seed=1)
+    assert not verdict["ok"] and not verdict["passed"]
+
+
+def test_control_verdict_keys_on_the_declared_invariant(toy_scenario):
+    async def defense(ctx):
+        ctx.check("unrelated", False)  # may fail freely under control
+        ctx.check("gate", not ctx.control)
+
+    name = toy_scenario("toy-defense", defense)
+    verdict = run_scenario(name, control=True)
+    assert verdict["ok"] and not verdict["passed"]
+    assert verdict["mode"] == "control"
+
+    async def vacuous(ctx):
+        ctx.check("gate", True)  # "defense off" changes nothing
+
+    name = toy_scenario("toy-vacuous", vacuous)
+    # A control whose declared invariant still passes proves the
+    # checker has no teeth — that is a failure of the scenario.
+    assert not run_scenario(name, control=True)["ok"]
+
+
+def test_control_that_never_evaluates_its_invariant_fails(toy_scenario):
+    async def skips(ctx):
+        ctx.check("something-else", False)
+
+    name = toy_scenario("toy-skips", skips)
+    assert not run_scenario(name, control=True)["ok"]
+
+
+def test_a_crash_is_never_ok(toy_scenario):
+    async def dies(ctx):
+        ctx.check("gate", False)
+        raise RuntimeError("scenario exploded")
+
+    name = toy_scenario("toy-crash", dies)
+    honest = run_scenario(name)
+    assert not honest["ok"] and "scenario exploded" in honest["error"]
+    # Even though the declared invariant failed, the crash wins: a
+    # control must COMPLETE with a failing check, not die on the way.
+    control = run_scenario(name, control=True)
+    assert not control["ok"] and control["error"]
+
+
+def test_verdict_shape_is_json_ready(toy_scenario):
+    async def simple(ctx):
+        ctx.note("hello")
+        ctx.check("gate", True, "detail text")
+
+    name = toy_scenario("toy-shape", simple)
+    verdict = run_scenario(name, seed=7)
+    assert verdict["scenario"] == name
+    assert verdict["seed"] == 7 and verdict["preset"] == "TOY80"
+    assert verdict["invariants"] == [
+        {"name": "gate", "ok": True, "detail": "detail text"}
+    ]
+    assert "hello" in verdict["notes"]
+    assert verdict["seconds"] >= 0

@@ -1,0 +1,53 @@
+"""Every built-in scenario, honest and control, at one seed.
+
+These are the same runs CI's ``adversary-matrix`` job executes over
+more seeds; here they run with shrunken workloads (fewer records, a
+lighter spam calibration target) so the whole file stays in unit-test
+time. What is asserted per run:
+
+* honest mode — the verdict is ok, meaning every invariant passed;
+* control mode — the verdict is ok, meaning the run *completed* and
+  the scenario's declared invariant FAILED with the defense disabled
+  (the checker has teeth).
+"""
+
+import pytest
+
+from repro.adversary.engine import run_scenario, scenario_names
+
+#: Shrunken knobs so a full both-modes pass stays fast under pytest.
+FAST_PARAMS = {"records": 4, "spam_decode_target": 0.15}
+
+
+def _run(name, control):
+    verdict = run_scenario(name, seed=1, control=control,
+                           params=FAST_PARAMS)
+    detail = "\n".join(
+        f"  {'PASS' if inv['ok'] else 'FAIL'} [{inv['name']}] "
+        f"{inv['detail']}" for inv in verdict["invariants"]
+    )
+    assert verdict["ok"], (
+        f"{name} [{verdict['mode']}] not ok "
+        f"(error={verdict['error']!r}):\n{detail}"
+    )
+    return verdict
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_honest_run_passes_every_invariant(name):
+    verdict = _run(name, control=False)
+    assert verdict["passed"]
+    assert not verdict["error"]
+    assert verdict["invariants"], "a scenario must check something"
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_control_run_fails_its_declared_invariant(name):
+    verdict = _run(name, control=True)
+    target = next(inv for inv in verdict["invariants"]
+                  if inv["name"] == verdict["control_invariant"])
+    assert not target["ok"], (
+        f"{name}: control run left {verdict['control_invariant']!r} "
+        f"passing — the defense was not actually load-bearing"
+    )
+    assert not verdict["error"]

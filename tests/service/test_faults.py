@@ -494,8 +494,8 @@ def test_health_on_a_healthy_server(group, store_root):
 
     health, stats = run(body())
     assert health == {"server": "nimbus", "status": "ok",
-                      "read_only": False, "records": 0, "connections": 1,
-                      "workers": 0}
+                      "read_only": False, "degraded": False, "records": 0,
+                      "connections": 1, "workers": 0}
     assert stats["read_only"] is False
     assert stats["dedup_hits"] == 0
 

@@ -1,0 +1,211 @@
+"""Semantic fault injection: withhold, reorder, type schedules,
+partitions and replayable traces.
+
+These are the ChaosProxy capabilities the adversarial scenarios lean
+on: faults aimed at *frame types* (the first two SWEEP_PROGRESS frames,
+the final SWEEP_DONE) rather than global frame indices, silence instead
+of errors, connection-severing partitions that heal, and fault traces
+that replay a run's exact injections with zeroed dice.
+"""
+
+import random
+
+import pytest
+
+from repro.core.revocation import rekey_standard
+from repro.errors import TransportError
+from repro.service.client import BaseClient, OwnerClient
+from repro.service.faults import ChaosProxy, FaultSpec
+from repro.service.protocol import MessageType
+from repro.service.retry import RetryPolicy
+
+from .conftest import Scenario, run, start_service
+from .test_faults import make_connection, quick_retry
+
+
+async def _owner_through_proxy(group, scenario, proxy, *, retry,
+                               timeout=2.0):
+    connection = make_connection(group, proxy.host, proxy.port,
+                                 role="owner", name="owner:alice",
+                                 retry=retry, timeout=timeout)
+    return OwnerClient(await connection.connect(), scenario.owner_core)
+
+
+def _populate(scenario, count=4):
+    return [
+        scenario.make_record(f"rec-{index}",
+                             {"note": (b"body", "hospital:doctor")})
+        for index in range(count)
+    ]
+
+
+def test_withheld_reply_is_silence_not_an_error(group, store_root):
+    async def scenario_run():
+        service = await start_service(group, store_root)
+        # Swallow the first PONG: the connection stays up, the client
+        # hears nothing and must time out (then recover by retry).
+        proxy = ChaosProxy(service.host, service.port,
+                           type_schedule={MessageType.PONG: ["withhold"]})
+        await proxy.start()
+        connection = make_connection(group, proxy.host, proxy.port,
+                                     retry=quick_retry(), timeout=0.3)
+        client = BaseClient(await connection.connect())
+        try:
+            assert await client.ping()  # timed out once, retried clean
+            assert proxy.fault_counts() == {"withhold": 1}
+            assert connection.retry_log.events("retry")
+        finally:
+            await client.close()
+            await proxy.stop()
+            await service.stop()
+
+    run(scenario_run())
+
+
+def test_type_schedule_targets_semantic_frames_fifo(group, store_root,
+                                                    scenario):
+    async def scenario_run():
+        service = await start_service(group, store_root, sweep_chunk=1)
+        # Index-blind, type-aimed: whatever handshake frames precede
+        # them, exactly the first two SWEEP_PROGRESS frames are hit.
+        proxy = ChaosProxy(
+            service.host, service.port,
+            type_schedule={
+                int(MessageType.SWEEP_PROGRESS): ["withhold", "reorder"],
+            },
+        )
+        await proxy.start()
+        owner = await _owner_through_proxy(group, scenario, proxy,
+                                           retry=quick_retry())
+        try:
+            # make_record's encrypt already put the ledger entries the
+            # sweep will derive its update information from.
+            for record in _populate(scenario):
+                await owner.connection.request(
+                    MessageType.STORE_RECORD, record.to_bytes(),
+                    expect=MessageType.OK,
+                )
+            update_key = rekey_standard(
+                scenario.aa, "bob", ["doctor"]
+            ).update_key
+            progress = []
+            summary = await owner.sweep_revocation(
+                update_key, on_progress=progress.append
+            )
+            swept = set(summary["updated"]) \
+                | set(summary["already_current"])
+            assert len(swept) == 4 and not summary["errors"]
+            injected = [entry["fault"] for entry in proxy.injected]
+            assert injected == ["withhold", "reorder"]
+            assert all(entry["frame_type"]
+                       == int(MessageType.SWEEP_PROGRESS)
+                       for entry in proxy.injected)
+            # One progress frame swallowed, the rest arrived (order
+            # scrambled by the reorder, but none lost beyond it).
+            assert 1 <= len(progress) < 4
+        finally:
+            await owner.close()
+            await proxy.stop()
+            await service.stop()
+
+    run(scenario_run())
+
+
+def test_partition_severs_and_heal_restores(group, store_root):
+    async def scenario_run():
+        service = await start_service(group, store_root)
+        proxy = ChaosProxy(service.host, service.port)
+        await proxy.start()
+        connection = make_connection(group, proxy.host, proxy.port,
+                                     timeout=0.5)
+        client = BaseClient(await connection.connect())
+        try:
+            assert await client.ping()
+            proxy.partition()
+            # Without a retry layer the severed socket surfaces raw
+            # (reset/EOF); with one it would become a TransportError.
+            with pytest.raises((TransportError, OSError, EOFError)):
+                await client.ping()
+            # The upstream node itself never died — only the path.
+            direct = make_connection(group, service.host, service.port)
+            direct_client = BaseClient(await direct.connect())
+            assert await direct_client.ping()
+            await direct_client.close()
+            proxy.heal()
+            healed = make_connection(group, proxy.host, proxy.port,
+                                     timeout=0.5)
+            healed_client = BaseClient(await healed.connect())
+            assert await healed_client.ping()
+            await healed_client.close()
+        finally:
+            await client.close()
+            await proxy.stop()
+            await service.stop()
+
+    run(scenario_run())
+
+
+def test_trace_replays_the_exact_fault_schedule(group, tmp_path):
+    """Record a seeded chaotic run, then replay its trace: the replay
+    must inject the same faults at the same frames without dice."""
+
+    async def one_run(root, proxy):
+        service = await start_service(group, root)
+        proxy.upstream_port = service.port
+        proxy.upstream_host = service.host
+        await proxy.start()
+        connection = make_connection(group, proxy.host, proxy.port,
+                                     retry=quick_retry(), timeout=0.3)
+        client = BaseClient(await connection.connect())
+        try:
+            for _ in range(6):
+                assert await client.ping()
+            assert await client.list_records() == []
+        finally:
+            await client.close()
+            await proxy.stop()
+            await service.stop()
+        return proxy.injected
+
+    async def scenario_run():
+        recorded = ChaosProxy("127.0.0.1", 0,
+                              spec=FaultSpec(drop=0.1, truncate=0.1,
+                                             duplicate=0.1),
+                              seed=1234)
+        injected = await one_run(tmp_path / "a", recorded)
+        assert injected, "seed 1234 must inject something"
+        trace = recorded.trace()
+        assert trace["injected"] == injected
+
+        replayer = ChaosProxy.from_trace("127.0.0.1", 0, trace)
+        assert sum(replayer.spec.rates().values()) == 0, \
+            "replay rolls no new dice"
+        replayed = await one_run(tmp_path / "b", replayer)
+        key = ("frame", "fault", "frame_type")
+        assert [{k: entry[k] for k in key} for entry in replayed] \
+            == [{k: entry[k] for k in key} for entry in injected]
+
+    run(scenario_run())
+
+
+def test_reorder_emits_held_frame_after_its_successor(group, store_root):
+    async def scenario_run():
+        service = await start_service(group, store_root)
+        proxy = ChaosProxy(service.host, service.port,
+                           schedule={2: "reorder"})
+        await proxy.start()
+        # v2 sequence numbers let the client discard the out-of-order
+        # stale reply and re-match the right one instead of desyncing.
+        connection = make_connection(group, proxy.host, proxy.port,
+                                     retry=quick_retry(), timeout=0.3)
+        client = BaseClient(await connection.connect())
+        try:
+            for _ in range(4):
+                assert await client.ping()
+            assert proxy.fault_counts() == {"reorder": 1}
+        finally:
+            await client.close()
+            await proxy.stop()
+            await service.stop()
+
+    run(scenario_run())

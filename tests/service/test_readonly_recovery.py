@@ -1,0 +1,144 @@
+"""Read-only *recovery*: the way back from degraded to writable.
+
+Degradation (an ``OSError`` on the write path flips the server
+read-only instead of corrupting state) is covered in test_faults; these
+tests cover the other half of the contract: a degraded server probes
+the store's write path and recovers by itself once the fault clears,
+the probe is rate-limited so a refused-write stampede cannot become a
+probe stampede, the recovered retry applies its mutation exactly once,
+and *configured* read-only — policy, not damage — never self-recovers.
+"""
+
+import pytest
+
+from repro.errors import UnavailableError
+from repro.service.client import BaseClient
+from repro.service.protocol import MessageType
+
+from .conftest import run, start_service
+from .test_faults import make_connection, quick_retry
+
+
+def _fail_writes(store, times):
+    """Make the next ``times`` store.put calls die like a full disk."""
+    original = store.put
+    state = {"left": times, "applied": 0}
+
+    def failing_put(record, **kwargs):
+        if state["left"] > 0:
+            state["left"] -= 1
+            raise OSError(28, "No space left on device")
+        state["applied"] += 1
+        return original(record, **kwargs)
+
+    store.put = failing_put
+    return state
+
+
+async def _store_attempt(client, record):
+    await client.connection.request(MessageType.STORE_RECORD,
+                                    record.to_bytes(),
+                                    expect=MessageType.OK)
+
+
+def test_degraded_server_recovers_and_applies_the_retry_once(
+        group, store_root, scenario):
+    async def scenario_run():
+        service = await start_service(group, store_root,
+                                      probe_interval=0.0)
+        connection = make_connection(group, service.host, service.port,
+                                     role="owner", name="owner:alice",
+                                     retry=quick_retry())
+        client = BaseClient(await connection.connect())
+        state = _fail_writes(service.store, times=1)
+        record = scenario.make_record("record")
+        try:
+            # Attempt 1 dies on the "disk", degrading the server; the
+            # retry probes the now-healthy write path, recovers, and
+            # applies the SAME idempotency-keyed mutation exactly once.
+            await _store_attempt(client, record)
+            assert state["applied"] == 1
+            assert not service.read_only
+            assert service.degraded_reason is None
+            health = await client.health()
+            assert health["status"] == "ok" and not health["degraded"]
+            assert connection.retry_log.events("retry")
+            fetched = await client.fetch_record("record")
+            assert fetched.to_bytes() == record.to_bytes()
+        finally:
+            await client.close()
+            await service.stop()
+
+    run(scenario_run())
+
+
+def test_probe_is_rate_limited_while_the_disk_stays_broken(
+        group, store_root, scenario):
+    async def scenario_run():
+        service = await start_service(group, store_root,
+                                      probe_interval=60.0)
+        connection = make_connection(group, service.host, service.port,
+                                     role="owner", name="owner:alice")
+        client = BaseClient(await connection.connect())
+        _fail_writes(service.store, times=1)
+        probes = {"count": 0}
+        original_probe = service.store.probe_writable
+
+        def counting_probe():
+            probes["count"] += 1
+            return False  # the disk is still broken
+
+        service.store.probe_writable = counting_probe
+        record = scenario.make_record("record")
+        try:
+            with pytest.raises(UnavailableError):
+                await _store_attempt(client, record)  # degrades
+            assert service.read_only and service.degraded_reason
+            for _ in range(5):
+                with pytest.raises(UnavailableError):
+                    await _store_attempt(client, record)
+            # Five refused writes, ONE probe: the 60 s interval gates
+            # the rest. Reads keep serving throughout.
+            assert probes["count"] == 1
+            assert (await client.health())["degraded"]
+            assert await client.list_records() == []
+            # The fault clears; the interval is up to the operator.
+            service.store.probe_writable = original_probe
+            service.probe_interval = 0.0
+            await _store_attempt(client, record)
+            assert not service.read_only
+            assert await client.list_records() == ["record"]
+        finally:
+            await client.close()
+            await service.stop()
+
+    run(scenario_run())
+
+
+def test_configured_read_only_is_policy_and_never_recovers(
+        group, store_root, scenario):
+    async def scenario_run():
+        service = await start_service(group, store_root,
+                                      read_only=True,
+                                      probe_interval=0.0)
+
+        def forbidden_probe():  # policy must never even probe
+            raise AssertionError("configured read-only probed the disk")
+
+        service.store.probe_writable = forbidden_probe
+        connection = make_connection(group, service.host, service.port,
+                                     role="owner", name="owner:alice")
+        client = BaseClient(await connection.connect())
+        record = scenario.make_record("record")
+        try:
+            for _ in range(3):
+                with pytest.raises(UnavailableError):
+                    await _store_attempt(client, record)
+            health = await client.health()
+            assert health["status"] == "read-only"
+            assert not health["degraded"]
+        finally:
+            await client.close()
+            await service.stop()
+
+    run(scenario_run())

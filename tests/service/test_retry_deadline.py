@@ -1,0 +1,144 @@
+"""Wall-clock retry deadlines and the typed RetryExhaustedError.
+
+The per-attempt budget alone cannot bound a retry sequence under
+adversarial delay injection — every attempt can eat a full client
+timeout. The ``deadline`` is the second budget: total wall-clock for
+one request's whole retry sequence, surfaced as a typed
+:class:`RetryExhaustedError` that carries the attempt trace and stays
+a :class:`TransportError` so failover layers skip, not die.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import (
+    RetryExhaustedError,
+    TransportError,
+    UnavailableError,
+)
+from repro.service.client import BaseClient
+from repro.service.faults import ChaosProxy
+from repro.service.protocol import MessageType
+from repro.service.retry import RetryPolicy
+
+from .conftest import run, start_service
+from .test_faults import make_connection
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+# -- policy units -------------------------------------------------------------
+
+def test_deadline_must_be_non_negative():
+    with pytest.raises(ValueError):
+        RetryPolicy(deadline=-0.5)
+    RetryPolicy(deadline=0.0)  # zero = "never sleep into a retry"
+
+
+def test_no_deadline_never_overruns():
+    policy = RetryPolicy(clock=FakeClock())
+    assert not policy.deadline_overrun(10_000.0)
+
+
+def test_deadline_anchors_at_first_check_and_counts_sleep():
+    clock = FakeClock()
+    policy = RetryPolicy(deadline=5.0, clock=clock)
+    assert not policy.deadline_overrun(4.0)  # anchors at t=100
+    clock.advance(3.0)
+    assert not policy.deadline_overrun(1.0)  # 3 + 1 <= 5
+    assert policy.deadline_overrun(2.5)      # 3 + 2.5 > 5
+    clock.advance(3.0)
+    assert policy.deadline_overrun(0.0)      # elapsed alone blew it
+
+
+def test_new_failure_sequence_reanchors_the_budget():
+    clock = FakeClock()
+    policy = RetryPolicy(deadline=1.0, jitter=0.0, base_delay=0.0,
+                         clock=clock)
+    policy.backoff(1)
+    clock.advance(0.9)
+    assert policy.deadline_overrun(0.2)
+    # attempt 1 of the NEXT request restarts the wall-clock anchor:
+    # the deadline bounds one request's sequence, not the connection.
+    policy.backoff(1)
+    assert not policy.deadline_overrun(0.2)
+
+
+# -- the typed error ----------------------------------------------------------
+
+def test_retry_exhausted_is_a_transport_error_with_a_trace():
+    trace = [{"event": "retry", "request": "PING", "attempt": 1,
+              "cause": "TimeoutError()", "delay": 0.1}]
+    exc = RetryExhaustedError("deadline overrun", attempts=trace)
+    assert isinstance(exc, TransportError)
+    assert exc.attempts == trace
+    assert RetryExhaustedError("bare").attempts == []
+
+
+# -- end to end against a live server -----------------------------------------
+
+def test_deadline_overrun_raises_typed_error_with_attempt_trace(
+        group, store_root):
+    async def scenario():
+        service = await start_service(group, store_root)
+        proxy = ChaosProxy(service.host, service.port)
+        await proxy.start()
+        retry = RetryPolicy(max_attempts=50, base_delay=0.02,
+                            max_delay=0.05, jitter=0.0, deadline=0.25,
+                            rng=random.Random(0))
+        connection = make_connection(group, proxy.host, proxy.port,
+                                     retry=retry, timeout=0.5)
+        client = BaseClient(await connection.connect())
+        try:
+            assert await client.ping()
+            # A partition makes every reconnect die retryably, forever:
+            # only the wall-clock deadline can end the sequence.
+            proxy.partition()
+            with pytest.raises(RetryExhaustedError) as excinfo:
+                await client.ping()
+            exc = excinfo.value
+            assert exc.attempts, "the trace must show what was tried"
+            assert all(entry["request"] == "PING"
+                       for entry in exc.attempts)
+            assert any(entry["event"] == "retry"
+                       for entry in exc.attempts)
+            assert connection.retry_log.events("exhausted")
+        finally:
+            await client.close()
+            await proxy.stop()
+            await service.stop()
+
+    run(scenario())
+
+
+def test_attempt_budget_still_wins_without_a_deadline(group, store_root):
+    async def scenario():
+        service = await start_service(group, store_root,
+                                      read_only=True)
+        retry = RetryPolicy(max_attempts=2, base_delay=0.01,
+                            jitter=0.0, rng=random.Random(0))
+        connection = make_connection(group, service.host, service.port,
+                                     role="owner", name="owner:alice",
+                                     retry=retry)
+        client = BaseClient(await connection.connect())
+        try:
+            # Exhausting attempts (not the deadline) re-raises the
+            # original retryable failure, exactly as before.
+            with pytest.raises(UnavailableError):
+                await connection.request(MessageType.STORE_RECORD, b"",
+                                         expect=MessageType.OK)
+        finally:
+            await client.close()
+            await service.stop()
+
+    run(scenario())

@@ -441,7 +441,9 @@ def test_repair_record_rejects_garbage_and_read_only(group, scenario,
             blob = (await owner.fetch_record("r")).to_bytes()
             with pytest.raises(StorageError):
                 await owner.repair_record(b"\x00" * 32)
-            service.read_only = True
+            # Configured read-only (policy, not damage) — a bare
+            # read_only=True would now self-heal via the recovery probe.
+            service.read_only = service._configured_read_only = True
             with pytest.raises(UnavailableError):
                 await owner.repair_record(blob)
         finally:

@@ -127,6 +127,70 @@ class TestReport:
                 assert cells[3] == cells[4], line   # lewko model == measured
 
 
+class TestAdversary:
+    def test_list_names_every_scenario_with_its_control(self):
+        code, output = run(["adversary", "list"])
+        assert code == 0
+        for name in ("revoked-key-replay", "collusion-pooling",
+                     "rogue-authority", "sweep-withholding",
+                     "spam-flood", "stale-replica"):
+            assert f"{name}:" in output
+        assert "claim" in output and "must fail" in output
+
+    def test_run_requires_a_scenario(self):
+        code, output = run(["adversary", "run"])
+        assert code == 2
+        assert "--scenario" in output
+
+    def test_unknown_scenario_is_a_usage_error(self):
+        code, output = run(["adversary", "run", "--scenario", "nope"])
+        assert code == 2
+        assert "unknown scenario" in output
+
+    def test_bad_param_is_a_usage_error(self):
+        code, output = run(["adversary", "run",
+                            "--scenario", "collusion-pooling",
+                            "--param", "records"])
+        assert code == 2
+        assert "KEY=VALUE" in output
+
+    def test_run_one_scenario_both_modes(self, tmp_path):
+        import json
+
+        out_json = tmp_path / "verdict.json"
+        code, output = run(["adversary", "run",
+                            "--scenario", "collusion-pooling",
+                            "--seed", "2"])
+        assert code == 0
+        assert "collusion-pooling" in output and "[honest]" in output
+        code, output = run(["adversary", "run",
+                            "--scenario", "collusion-pooling",
+                            "--seed", "2", "--control", "--verbose",
+                            "--out-json", str(out_json)])
+        assert code == 0
+        assert "[control]" in output
+        assert "FAIL [pooled-keys-rejected]" in output  # --verbose
+        verdict = json.loads(out_json.read_text())
+        assert verdict["mode"] == "control" and verdict["ok"]
+
+    def test_matrix_exit_code_tracks_the_aggregate(self, tmp_path):
+        import json
+
+        out_json = tmp_path / "matrix.json"
+        code, output = run(["adversary", "matrix",
+                            "--scenario", "rogue-authority",
+                            "--seeds", "1,2",
+                            "--param", "records=3",
+                            "--out-json", str(out_json)])
+        assert code == 0
+        assert "adversary matrix: ok" in output
+        report = json.loads(out_json.read_text())
+        assert report["ok"] and len(report["verdicts"]) == 4
+        modes = {(v["mode"], v["seed"]) for v in report["verdicts"]}
+        assert modes == {("honest", 1), ("control", 1),
+                         ("honest", 2), ("control", 2)}
+
+
 class TestInfo:
     def test_lists_presets(self):
         code, output = run(["info"])
