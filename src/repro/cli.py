@@ -7,6 +7,8 @@ Commands:
 * ``primitives`` — time the pairing substrate's primitive operations
 * ``params``     — generate fresh type-A pairing parameters
 * ``serve``      — run the networked cloud-storage service (asyncio TCP)
+* ``load``       — run the fleet-scale load harness (closed/open loop,
+  capacity sweep with knee detection, serial-vs-pipelined comparison)
 * ``client``     — talk to a running service (ping / stats / list /
   smoke / sweep / bench-encrypt)
 * ``cluster``    — drive a sharded multi-node fleet (smoke / health /
@@ -238,12 +240,15 @@ def _cmd_serve(args) -> int:
     group = PairingGroup(PRESETS[args.preset], seed=args.seed)
 
     async def run() -> int:
-        store = RecordStore(args.root, group)
+        store = RecordStore(args.root, group,
+                            cache_entries=args.cache_entries,
+                            cache_bytes=args.cache_bytes)
         service = StorageService(
             group, store, host=args.host, port=args.port,
             name=args.cluster_node or "cloud",
             idle_timeout=args.idle_timeout, read_only=args.read_only,
             workers=args.workers, sweep_chunk=args.sweep_chunk,
+            max_inflight=args.max_inflight,
         )
         await service.start()
         mode = " [read-only]" if args.read_only else ""
@@ -273,6 +278,109 @@ def _cmd_serve(args) -> int:
     except KeyboardInterrupt:
         print("interrupted; shut down", file=out, flush=True)
         return 0
+
+
+def _cmd_load(args) -> int:
+    import asyncio
+    import json as json_module
+    import tempfile
+
+    from repro.loadgen import (
+        LoadHarness,
+        OpMix,
+        capacity_model,
+        pipelined_vs_serial,
+        start_local_service,
+    )
+
+    out = args.out
+    group = PairingGroup(PRESETS[args.preset], seed=args.seed)
+    mix = OpMix.parse(args.mix) if args.mix else OpMix.default()
+    records = args.records
+    ops = args.ops
+    levels = tuple(int(part) for part in args.levels.split(","))
+    duration = args.duration
+    if args.smoke:
+        # Seconds, not minutes: shrink pools and op counts, keep the
+        # worker shape (the compare mode still runs 32 workers, just
+        # briefly) — byte-identity checking is never relaxed.
+        records = min(records, 12)
+        ops = min(ops, 6)
+        levels = tuple(level for level in levels if level <= 8) or (2, 4, 8)
+        duration = min(duration, 1.0)
+
+    async def run() -> int:
+        service = None
+        tmp = None
+        host, port = args.host, args.port
+        if host is None:
+            tmp = tempfile.TemporaryDirectory()
+            service = await start_local_service(
+                group, tmp.name, max_inflight=args.server_max_inflight,
+                cache_entries=args.cache_entries,
+                cache_bytes=args.cache_bytes,
+            )
+            host, port = service.host, service.port
+            print(f"self-hosted service on {host}:{port} "
+                  f"(max_inflight {args.server_max_inflight})",
+                  file=out, flush=True)
+        status = 0
+        try:
+            if args.mode == "compare":
+                result = await pipelined_vs_serial(
+                    group, host, port, workers=args.concurrency,
+                    ops_per_worker=ops, warmup_ops=args.warmup_ops,
+                    connections=args.connections,
+                    max_inflight=args.max_inflight, rtt=args.rtt,
+                    users=args.users, records=records, alpha=args.alpha,
+                    seed=args.seed or 0,
+                )
+                if not result["byte_identical"]:
+                    print("FAIL: pipelined responses are NOT "
+                          "byte-identical to serial", file=out, flush=True)
+                    status = 1
+            else:
+                harness = LoadHarness(
+                    group, host, port, users=args.users, records=records,
+                    alpha=args.alpha, seed=args.seed or 0,
+                    connections=args.connections,
+                    max_inflight=args.max_inflight,
+                )
+                await harness.setup()
+                try:
+                    if args.mode == "capacity":
+                        result = await capacity_model(
+                            harness, levels=levels, ops_per_worker=ops,
+                            warmup_ops=args.warmup_ops, mix=mix,
+                        )
+                    elif args.mode == "open":
+                        result = await harness.run_open(
+                            args.rate, duration, warmup=args.warmup,
+                            max_outstanding=args.max_outstanding, mix=mix,
+                        )
+                    else:  # closed
+                        result = await harness.run_closed(
+                            args.concurrency, ops,
+                            warmup_ops=args.warmup_ops, mix=mix,
+                        )
+                finally:
+                    await harness.close()
+        finally:
+            if service is not None:
+                await service.stop()
+            if tmp is not None:
+                tmp.cleanup()
+        payload = json_module.dumps(result, indent=2, sort_keys=True)
+        if args.json_out:
+            with open(args.json_out, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            print(f"report written to {args.json_out}", file=out,
+                  flush=True)
+        else:
+            print(payload, file=out)
+        return status
+
+    return asyncio.run(run())
 
 
 def _chaos_from_args(args):
@@ -634,7 +742,91 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="max_seconds",
                        help="auto-shutdown after this many seconds (0 = run "
                             "until interrupted; useful for CI)")
+    serve.add_argument("--cache-entries", type=int, default=128,
+                       dest="cache_entries",
+                       help="BlobStore read-cache entry bound (default 128)")
+    serve.add_argument("--cache-bytes", type=int, default=32 * 1024 * 1024,
+                       dest="cache_bytes",
+                       help="BlobStore read-cache byte bound (default "
+                            "32 MiB)")
+    serve.add_argument("--max-inflight", type=int, default=32,
+                       dest="max_inflight",
+                       help="pipelined requests dispatched concurrently per "
+                            "session (1 = serial dispatch, default 32)")
     serve.set_defaults(handler=_cmd_serve)
+
+    load = subparsers.add_parser(
+        "load", help="run the fleet-scale load harness against a service"
+    )
+    _add_preset_argument(load)
+    load.add_argument("--seed", type=int, default=None)
+    load.add_argument("--mode",
+                      choices=["closed", "open", "capacity", "compare"],
+                      default="capacity",
+                      help="closed = one closed-loop run; open = Poisson "
+                           "arrivals at --rate; capacity = closed-loop "
+                           "sweep over --levels with knee detection; "
+                           "compare = serial vs pipelined with "
+                           "byte-identity checking (exit 1 on mismatch)")
+    load.add_argument("--host", default=None,
+                      help="target service host (default: self-host an "
+                           "in-process server on a temporary store)")
+    load.add_argument("--port", type=int, default=7468)
+    load.add_argument("--users", type=int, default=100_000,
+                      help="simulated registered-user population (shapes "
+                           "the record-id namespace)")
+    load.add_argument("--records", type=int, default=48,
+                      help="physical record pool size")
+    load.add_argument("--alpha", type=float, default=1.1,
+                      help="Zipf popularity exponent (0 = uniform)")
+    load.add_argument("--mix", default=None,
+                      help='op mix, e.g. "fetch=0.8,upload=0.1,'
+                           'replace=0.08,sweep=0.02"')
+    load.add_argument("--concurrency", type=int, default=32,
+                      help="workers (closed/compare modes)")
+    load.add_argument("--ops", type=int, default=40,
+                      help="measured ops per worker (closed loops)")
+    load.add_argument("--warmup-ops", type=int, default=5,
+                      dest="warmup_ops")
+    load.add_argument("--levels", default="4,16,32",
+                      help="comma-separated concurrency levels for "
+                           "--mode capacity")
+    load.add_argument("--rate", type=float, default=400.0,
+                      help="open-loop arrival rate (ops/sec)")
+    load.add_argument("--duration", type=float, default=3.0,
+                      help="open-loop measure window (seconds)")
+    load.add_argument("--warmup", type=float, default=0.5,
+                      help="open-loop warmup window (seconds)")
+    load.add_argument("--max-outstanding", type=int, default=256,
+                      dest="max_outstanding",
+                      help="open-loop in-flight bound; arrivals past it "
+                           "are shed and counted")
+    load.add_argument("--connections", type=int, default=4,
+                      help="physical connections the workers share")
+    load.add_argument("--max-inflight", type=int, default=32,
+                      dest="max_inflight",
+                      help="client pipeline window per connection "
+                           "(1 = serial client)")
+    load.add_argument("--rtt", type=float, default=0.004,
+                      help="emulated round trip for --mode compare "
+                           "(seconds; 0 = raw loopback)")
+    load.add_argument("--server-max-inflight", type=int, default=64,
+                      dest="server_max_inflight",
+                      help="self-hosted server's per-session window "
+                           "(1 = serial server; ignored with --host)")
+    load.add_argument("--cache-entries", type=int, default=128,
+                      dest="cache_entries",
+                      help="self-hosted server's blob-cache entry bound")
+    load.add_argument("--cache-bytes", type=int, default=32 * 1024 * 1024,
+                      dest="cache_bytes",
+                      help="self-hosted server's blob-cache byte bound")
+    load.add_argument("--smoke", action="store_true",
+                      help="shrink pools/op counts to run in seconds; "
+                           "byte-identity checking is never relaxed")
+    load.add_argument("--json-out", default=None, dest="json_out",
+                      metavar="FILE",
+                      help="write the result JSON here instead of stdout")
+    load.set_defaults(handler=_cmd_load)
 
     client = subparsers.add_parser(
         "client", help="talk to a running repro service"

@@ -75,7 +75,7 @@ class ClusterClient:
     def __init__(self, group: PairingGroup, cluster_map: ClusterMap, *,
                  role: str, name: str, meter: Meter = None,
                  timeout: float = 30.0, retry_seed=0, max_attempts: int = 3,
-                 fanout_limit: int = 8):
+                 fanout_limit: int = 8, max_inflight: int = 8):
         self.group = group
         self.map = cluster_map
         self.role = role
@@ -85,6 +85,11 @@ class ClusterClient:
         self.retry_seed = retry_seed
         self.max_attempts = max_attempts
         self.fanout_limit = fanout_limit
+        #: In-flight window per node connection: quorum fan-out sends a
+        #: record's replica writes concurrently, and with pipelining the
+        #: repair/scrub traffic to one node rides the same connection
+        #: instead of serializing behind it.
+        self.max_inflight = max_inflight
         self.retry_log = RetryLog()  # one shared trail for the whole fleet
         self._connections = {}  # node name -> ServiceConnection
 
@@ -116,6 +121,7 @@ class ClusterClient:
                 self.group, node.host, node.port, role=self.role,
                 name=self.name, meter=self.meter, timeout=self.timeout,
                 retry=self._policy(node_name), retry_log=self.retry_log,
+                max_inflight=self.max_inflight,
             )
             self._connections[node_name] = conn
         if not conn.connected:

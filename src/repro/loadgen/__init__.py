@@ -1,0 +1,29 @@
+"""Fleet-scale workload generation against the storage service.
+
+The package is the instrument every service-layer performance change
+is judged with (see DESIGN §15): :mod:`repro.loadgen.workload` defines
+*what* a simulated fleet of registered users asks for (a Zipf-popular
+record space and a weighted operation mix), :mod:`repro.loadgen.runner`
+drives it over real sockets (closed-loop worker fleets and open-loop
+arrival processes, warmup/measure windows, per-op-class latency
+percentiles, throughput, RSS sampling), and
+:mod:`repro.loadgen.capacity` turns repeated runs into a capacity
+model — ops/sec per worker across concurrency levels, the knee point
+where tail latency gives out, and the serial-vs-pipelined comparison
+with byte-identity checking.
+"""
+
+from repro.loadgen.capacity import capacity_model, pipelined_vs_serial
+from repro.loadgen.netem import LatencyProxy
+from repro.loadgen.runner import LoadHarness, start_local_service
+from repro.loadgen.workload import OpMix, ZipfPopularity
+
+__all__ = [
+    "LatencyProxy",
+    "LoadHarness",
+    "OpMix",
+    "ZipfPopularity",
+    "capacity_model",
+    "pipelined_vs_serial",
+    "start_local_service",
+]

@@ -1,0 +1,118 @@
+"""Network emulation: a byte-order-preserving latency proxy.
+
+On loopback the round trip is effectively free, so a serial
+(one-in-flight) connection and a pipelined one measure the same number
+— the server, not the wire, is the bottleneck. Real deployments are
+the other way around: per-connection serial throughput is capped at
+``1/RTT`` no matter how fast the server is, which is precisely the cap
+pipelining removes. :class:`LatencyProxy` puts that RTT back: every
+byte stream through it is delayed ``rtt/2`` per direction, order
+preserved, throughput unthrottled — so the serial-vs-pipelined
+comparison runs under the latency regime the capacity model is
+actually about.
+
+Unlike :class:`repro.service.faults.ChaosProxy` nothing here is a
+fault: no drops, no reordering, no corruption — just distance.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+
+class LatencyProxy:
+    """A TCP proxy adding ``rtt/2`` of latency in each direction.
+
+    Chunks are released in arrival order from a per-direction queue, so
+    the byte stream is never reordered and bandwidth is not capped —
+    only latency is added, which is exactly the property that separates
+    serial from pipelined throughput.
+    """
+
+    def __init__(self, upstream_host: str, upstream_port: int, *,
+                 rtt: float = 0.004, host: str = "127.0.0.1"):
+        if rtt < 0:
+            raise ValueError("rtt must be non-negative")
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.delay = rtt / 2.0
+        self.host = host
+        self.port = None
+        self._server = None
+        self._sessions = set()
+
+    async def start(self) -> "LatencyProxy":
+        self._server = await asyncio.start_server(
+            self._handle, self.host, 0
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._sessions):
+            task.cancel()
+        if self._sessions:
+            await asyncio.gather(*self._sessions, return_exceptions=True)
+
+    async def _handle(self, client_reader, client_writer) -> None:
+        task = asyncio.current_task()
+        self._sessions.add(task)
+        try:
+            upstream_reader, upstream_writer = await asyncio.open_connection(
+                self.upstream_host, self.upstream_port
+            )
+        except OSError:
+            client_writer.close()
+            self._sessions.discard(task)
+            return
+        try:
+            await asyncio.gather(
+                self._pump(client_reader, upstream_writer),
+                self._pump(upstream_reader, client_writer),
+            )
+        except (asyncio.CancelledError, ConnectionError, OSError):
+            pass
+        finally:
+            for writer in (client_writer, upstream_writer):
+                writer.close()
+            self._sessions.discard(task)
+
+    async def _pump(self, reader, writer) -> None:
+        """One direction: delay every chunk, release in order."""
+        loop = asyncio.get_running_loop()
+        queue = asyncio.Queue()
+
+        async def drain() -> None:
+            while True:
+                due, chunk = await queue.get()
+                if chunk is None:
+                    return
+                now = loop.time()
+                if due > now:
+                    await asyncio.sleep(due - now)
+                try:
+                    writer.write(chunk)
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    return
+
+        drainer = loop.create_task(drain())
+        try:
+            while True:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    break
+                queue.put_nowait((loop.time() + self.delay, chunk))
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            queue.put_nowait((0.0, None))
+            await drainer
+            try:
+                writer.write_eof()
+            except (ConnectionError, OSError, RuntimeError):
+                pass

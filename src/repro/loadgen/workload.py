@@ -1,0 +1,123 @@
+"""What a simulated user fleet asks for: popularity and operation mix.
+
+Record popularity follows a Zipf law — a handful of hot records absorb
+most fetches while a long tail stays cold — because that is the regime
+the BlobStore read cache (and its new hit/miss counters) actually
+faces; uniform sampling would overstate cache misses and understate
+them both at once, depending on pool size. The op mix mirrors the
+paper's workload shape: reads dominate, uploads and component
+replacements trickle, and revocation sweeps are rare, heavyweight
+events.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left
+
+#: Operation classes a workload can mix. ``sweep`` is the Section V-C
+#: bulk re-encryption — rare and heavyweight, so its share should stay
+#: tiny in any realistic mix.
+OP_CLASSES = ("fetch", "upload", "replace", "sweep")
+
+
+class ZipfPopularity:
+    """Zipf(alpha) sampling over ``n`` ranks via a precomputed CDF.
+
+    Rank 0 is the hottest record. Sampling is one uniform draw plus a
+    binary search — O(log n) with no rejection loop — so a million-op
+    schedule costs milliseconds to generate. With ``alpha == 0`` the
+    distribution degenerates to uniform.
+    """
+
+    def __init__(self, n: int, alpha: float = 1.1):
+        if n < 1:
+            raise ValueError("need at least one rank")
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.n = n
+        self.alpha = alpha
+        weights = [1.0 / (rank + 1) ** alpha for rank in range(n)]
+        total = sum(weights)
+        self._cdf = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            self._cdf.append(acc)
+        self._cdf[-1] = 1.0  # guard against float drift
+
+    def sample(self, rng: random.Random) -> int:
+        """One rank in ``[0, n)`` drawn from the Zipf law."""
+        return bisect_left(self._cdf, rng.random())
+
+
+class OpMix:
+    """A weighted mix over :data:`OP_CLASSES`.
+
+    Weights need not sum to 1 — they are normalized. Parseable from the
+    CLI string form ``"fetch=0.8,upload=0.1,replace=0.08,sweep=0.02"``;
+    omitted classes get weight 0.
+    """
+
+    def __init__(self, **weights: float):
+        unknown = set(weights) - set(OP_CLASSES)
+        if unknown:
+            raise ValueError(f"unknown op classes: {sorted(unknown)}")
+        if any(weight < 0 for weight in weights.values()):
+            raise ValueError("op weights must be non-negative")
+        total = sum(weights.values())
+        if total <= 0:
+            raise ValueError("op mix needs at least one positive weight")
+        self.weights = {
+            cls: weights.get(cls, 0.0) / total for cls in OP_CLASSES
+        }
+        self._classes = [cls for cls in OP_CLASSES if self.weights[cls] > 0]
+        self._cdf = []
+        acc = 0.0
+        for cls in self._classes:
+            acc += self.weights[cls]
+            self._cdf.append(acc)
+        self._cdf[-1] = 1.0
+
+    @classmethod
+    def parse(cls, text: str) -> "OpMix":
+        """Parse ``"fetch=0.8,upload=0.2"``-style CLI mix strings."""
+        weights = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            name, _, value = part.partition("=")
+            name = name.strip()
+            if not value:
+                raise ValueError(f"malformed op-mix entry {part!r} "
+                                 f"(want class=weight)")
+            try:
+                weights[name] = float(value)
+            except ValueError:
+                raise ValueError(
+                    f"malformed op-mix weight in {part!r}"
+                ) from None
+        return cls(**weights)
+
+    @classmethod
+    def default(cls) -> "OpMix":
+        """The read-dominated default mix."""
+        return cls(fetch=0.80, upload=0.10, replace=0.08, sweep=0.02)
+
+    @classmethod
+    def fetch_only(cls) -> "OpMix":
+        """Pure reads — the mix the byte-identity comparison uses."""
+        return cls(fetch=1.0)
+
+    def sample(self, rng: random.Random) -> str:
+        """One op class drawn by weight."""
+        return self._classes[bisect_left(self._cdf, rng.random())]
+
+    def as_dict(self) -> dict:
+        return dict(self.weights)
+
+    def __repr__(self) -> str:
+        inner = ",".join(f"{cls}={weight:g}"
+                         for cls, weight in self.weights.items() if weight)
+        return f"OpMix({inner})"

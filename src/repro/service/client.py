@@ -18,6 +18,18 @@ number; late or duplicated frames are discarded (and logged), never
 consumed as the answer to the next request. Every recovery action is
 recorded in :attr:`ServiceConnection.retry_log`.
 
+With ``max_inflight > 1`` against a v2 server the connection
+**pipelines**: a background reader task correlates every incoming
+frame to its pending request by sequence number, so up to
+``max_inflight`` requests share the connection concurrently instead of
+queueing behind one in-flight round trip. A timed-out pipelined
+request fails (and retries under its own idempotency key and its own
+:class:`~repro.service.retry.RetrySequence`) *without tearing down the
+connection its siblings are still using* — only reader-level breakage
+(EOF, garbled frames) fails everything and forces a reconnect. Against
+a v1 server the connection transparently falls back to the serial
+one-in-flight path.
+
 On top of it, the three role wrappers mirror the simulation entities
 (:mod:`repro.system.entities`) over real I/O:
 
@@ -73,6 +85,24 @@ from repro.system.meter import ROLE_SERVER, Meter
 from repro.system.records import StoredComponent, StoredRecord
 
 
+class _PendingReply:
+    """One pipelined request awaiting its reply, keyed by seq.
+
+    The reader task pushes ``("progress", body)``, ``("final",
+    (type, body))`` or ``("error", exc)`` items; the requesting task
+    consumes them under its own per-item timeout.
+    """
+
+    __slots__ = ("queue", "progress")
+
+    def __init__(self, progress=None):
+        self.queue = asyncio.Queue()
+        self.progress = progress  # MessageType of progress frames, or None
+
+    def deliver(self, kind, value) -> None:
+        self.queue.put_nowait((kind, value))
+
+
 class ServiceConnection:
     """One framed, metered client connection to a :class:`StorageService`."""
 
@@ -84,7 +114,10 @@ class ServiceConnection:
                  role: str, name: str, meter: Meter = None,
                  timeout: float = 30.0,
                  max_frame: int = protocol.MAX_FRAME_BYTES,
-                 retry: RetryPolicy = None, retry_log: RetryLog = None):
+                 retry: RetryPolicy = None, retry_log: RetryLog = None,
+                 max_inflight: int = 1):
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
         self.group = group
         self.host = host
         self.port = port
@@ -95,26 +128,52 @@ class ServiceConnection:
         self.max_frame = max_frame
         self.retry = retry
         self.retry_log = retry_log if retry_log is not None else RetryLog()
+        self.max_inflight = max_inflight
         self.server_name = None
         self.version = None
         self._reader = None
         self._writer = None
         self._send_seq = 0
+        # Pipelining state (only live when max_inflight > 1 against a
+        # v2 server): the reader task, pending requests by seq, the
+        # write lock keeping frames atomic, and the in-flight window.
+        self._reader_task = None
+        self._pending = {}  # seq -> _PendingReply
+        self._write_lock = None
+        self._window = None
+        self._connect_lock = None
 
     @property
     def connected(self) -> bool:
         return self._writer is not None
 
+    @property
+    def pipelined(self) -> bool:
+        """Whether requests currently multiplex over a reader task."""
+        return self._reader_task is not None
+
     async def connect(self) -> "ServiceConnection":
         """Connect and negotiate; with a retry policy, keeps trying."""
         attempt = 1
+        retry_state = self.retry.sequence() if self.retry is not None else None
         while True:
             try:
                 return await self._connect_once()
             except Exception as exc:
-                if not await self._backoff("HELLO", attempt, exc):
+                if not await self._backoff("HELLO", attempt, exc,
+                                           retry_state):
                     raise
                 attempt += 1
+
+    async def _ensure_connected(self) -> None:
+        """Reconnect if needed, serialized: when N pipelined requests
+        fail together (their reader died), exactly one performs the
+        reconnect and the rest reuse it."""
+        if self._connect_lock is None:
+            self._connect_lock = asyncio.Lock()
+        async with self._connect_lock:
+            if not self.connected:
+                await self._connect_once()
 
     async def _connect_once(self) -> "ServiceConnection":
         """One connection attempt: TCP connect plus the HELLO exchange."""
@@ -151,12 +210,27 @@ class ServiceConnection:
                     f"{self.version!r}"
                 )
             self.server_name = protocol.json_str(ack, "server")
+            if self.max_inflight > 1 and self.version >= 2:
+                # Pipelining: primitives are created here, inside the
+                # running loop, fresh per connection (stale waiters of a
+                # previous connection already failed in close()).
+                self._write_lock = asyncio.Lock()
+                self._window = asyncio.Semaphore(self.max_inflight)
+                self._reader_task = asyncio.get_running_loop().create_task(
+                    self._read_replies()
+                )
             return self
         except BaseException:
             await self.close()
             raise
 
     async def close(self) -> None:
+        reader_task = self._reader_task
+        self._reader_task = None
+        if reader_task is not None and reader_task is not asyncio.current_task():
+            reader_task.cancel()
+            await asyncio.gather(reader_task, return_exceptions=True)
+        self._fail_pending(TransportError("connection closed"))
         if self._writer is not None:
             self._writer.close()
             try:
@@ -165,6 +239,120 @@ class ServiceConnection:
                 pass
             self._reader = self._writer = None
 
+    def _fail_pending(self, exc: BaseException) -> None:
+        """Deliver a terminal error to every pipelined request in flight."""
+        pending, self._pending = self._pending, {}
+        for entry in pending.values():
+            entry.deliver("error", exc)
+
+    async def _read_replies(self) -> None:
+        """The pipelined reader: correlate every frame to its request.
+
+        Runs for the lifetime of one connection. Frame-level breakage
+        (EOF, garbled frames) is terminal for the *connection* — every
+        pending request fails with a retryable transport error and the
+        socket closes — but an individual request's timeout is handled
+        on the requesting side and never reaches here.
+        """
+        try:
+            while True:
+                reply_type, reply_seq, reply = await protocol.read_seq_frame(
+                    self._reader, self.max_frame
+                )
+                self.meter.record_wire(9 + len(reply))
+                if reply_seq == protocol.SEQ_BROADCAST:
+                    # A reply answering no particular request (the
+                    # server could not even parse a frame): terminal
+                    # for every exchange on this connection.
+                    pending, self._pending = self._pending, {}
+                    for entry in pending.values():
+                        entry.deliver("final", (reply_type, reply))
+                    continue
+                entry = self._pending.get(reply_seq)
+                if entry is None:
+                    # A reply to a request that already timed out (its
+                    # retry is in flight under a fresh seq) or a chaos
+                    # duplicate: discard, never mis-correlate.
+                    self.retry_log.note(
+                        "discard", reply_type.name,
+                        cause=f"unmatched reply seq {reply_seq}",
+                    )
+                    continue
+                if entry.progress is not None and reply_type is entry.progress:
+                    entry.deliver("progress", reply)
+                    continue
+                del self._pending[reply_seq]
+                entry.deliver("final", (reply_type, reply))
+        except asyncio.CancelledError:
+            raise
+        except ProtocolError as exc:
+            self._reader_task = None
+            self._fail_pending(TransportError(f"garbled reply frame: {exc}"))
+            self._abort_transport()
+        except Exception as exc:
+            self._reader_task = None
+            self._fail_pending(
+                exc if is_retryable(exc)
+                else TransportError(f"pipelined reader died: {exc!r}")
+            )
+            self._abort_transport()
+
+    def _abort_transport(self) -> None:
+        """Close the socket without awaiting (reader-task cleanup)."""
+        if self._writer is not None:
+            self._writer.close()
+            self._reader = self._writer = None
+
+    async def _pipelined_exchange(self, msg_type: MessageType,
+                                  body: bytes = b"", progress=None,
+                                  on_progress=None) -> tuple:
+        """One request multiplexed over the shared pipelined connection.
+
+        The window semaphore bounds requests in flight; the write lock
+        keeps request frames atomic on the wire. A timeout fails *this*
+        request only — the pending entry is dropped (its late reply, if
+        any, will be discarded by seq) and the connection stays up for
+        every sibling. The caller's retry loop re-sends under a fresh
+        seq and the same idempotency key.
+        """
+        if self._window is None:
+            raise TransportError("connection is not pipelined")
+        async with self._window:
+            if self._writer is None:
+                raise TransportError(
+                    "connection is not open (closed or never connected)"
+                )
+            seq = self._send_seq
+            self._send_seq = (self._send_seq + 1) & 0x7FFFFFFF
+            entry = _PendingReply(progress)
+            self._pending[seq] = entry
+            try:
+                async with self._write_lock:
+                    sent = await protocol.write_frame(
+                        self._writer, msg_type, body, seq=seq
+                    )
+                self.meter.record_wire(sent)
+                while True:
+                    try:
+                        kind, value = await asyncio.wait_for(
+                            entry.queue.get(), self.timeout
+                        )
+                    except (asyncio.TimeoutError, TimeoutError):
+                        raise TransportError(
+                            f"{msg_type.name} (seq {seq}) timed out after "
+                            f"{self.timeout}s on a pipelined connection"
+                        ) from None
+                    if kind == "progress":
+                        payload = protocol.decode_json(value)
+                        if on_progress is not None:
+                            on_progress(payload)
+                        continue  # each frame restarts the timeout
+                    if kind == "error":
+                        raise value
+                    return value  # ("final", (reply type, reply body))
+            finally:
+                self._pending.pop(seq, None)
+
     async def __aenter__(self) -> "ServiceConnection":
         return await self.connect()
 
@@ -172,7 +360,7 @@ class ServiceConnection:
         await self.close()
 
     async def _backoff(self, request: str, attempt: int,
-                       exc: BaseException) -> bool:
+                       exc: BaseException, retry_state=None) -> bool:
         """Log and sleep before a retry; False when out of budget.
 
         Two budgets gate every retry: the per-attempt count (exhaustion
@@ -181,15 +369,21 @@ class ServiceConnection:
         would overrun it, a typed :class:`RetryExhaustedError` carrying
         this request's attempt trace is raised instead, so adversarial
         delay injection can't stretch a failover into unbounded retry.
+
+        ``retry_state`` is one request's :class:`~repro.service.retry.
+        RetrySequence`; pipelined requests retry concurrently, so each
+        carries its own walk/deadline state instead of sharing the
+        policy's built-in default sequence.
         """
         if self.retry is None or not is_retryable(exc):
             return False
-        if not self.retry.attempts_left(attempt):
+        state = retry_state if retry_state is not None else self.retry
+        if not state.attempts_left(attempt):
             self.retry_log.note("exhausted", request, attempt=attempt,
                                 cause=repr(exc))
             return False
-        delay = self.retry.backoff(attempt)
-        if self.retry.deadline_overrun(delay):
+        delay = state.backoff(attempt)
+        if state.deadline_overrun(delay):
             self.retry_log.note("exhausted", request, attempt=attempt,
                                 cause=f"deadline {self.retry.deadline}s "
                                       f"overrun: {exc!r}")
@@ -327,10 +521,11 @@ class ServiceConnection:
         """
         attempt = 1
         key = None
+        retry_state = self.retry.sequence() if self.retry is not None else None
         while True:
             try:
                 if not self.connected and self.retry is not None:
-                    await self._connect_once()
+                    await self._ensure_connected()
                 if self.version is None or self.version < 2:
                     raise ProtocolError(
                         f"{msg_type.name} requires protocol version 2"
@@ -340,13 +535,20 @@ class ServiceConnection:
                     if key is None:
                         key = new_idempotency_key()
                     wire_body = protocol.wrap_idempotency(key, body)
-                reply_type, reply = await self._stream_roundtrip(
-                    msg_type, wire_body, progress, on_progress
-                )
+                if self.pipelined:
+                    reply_type, reply = await self._pipelined_exchange(
+                        msg_type, wire_body,
+                        progress=progress, on_progress=on_progress,
+                    )
+                else:
+                    reply_type, reply = await self._stream_roundtrip(
+                        msg_type, wire_body, progress, on_progress
+                    )
             except ProtocolError:
                 raise  # speaking the wrong protocol; retrying won't help
             except Exception as exc:
-                if not await self._backoff(msg_type.name, attempt, exc):
+                if not await self._backoff(msg_type.name, attempt, exc,
+                                           retry_state):
                     raise
                 attempt += 1
                 continue
@@ -354,7 +556,8 @@ class ServiceConnection:
                 try:
                     protocol.raise_error(reply)
                 except UnavailableError as exc:
-                    if not await self._backoff(msg_type.name, attempt, exc):
+                    if not await self._backoff(msg_type.name, attempt, exc,
+                                               retry_state):
                         raise
                     attempt += 1
                     continue
@@ -376,11 +579,12 @@ class ServiceConnection:
         """
         attempt = 1
         key = None
+        retry_state = self.retry.sequence() if self.retry is not None else None
         while True:
             unsafe_when_sent = False
             try:
                 if not self.connected and self.retry is not None:
-                    await self._connect_once()
+                    await self._ensure_connected()
                 wire_body = body
                 if msg_type in protocol.MUTATION_TYPES:
                     if self.version is not None and self.version >= 2:
@@ -391,11 +595,19 @@ class ServiceConnection:
                         # A v1 server cannot deduplicate: once the
                         # request may have been applied, never re-send.
                         unsafe_when_sent = True
-                reply_type, reply = await self._roundtrip(msg_type, wire_body)
+                if self.pipelined:
+                    reply_type, reply = await self._pipelined_exchange(
+                        msg_type, wire_body
+                    )
+                else:
+                    reply_type, reply = await self._roundtrip(
+                        msg_type, wire_body
+                    )
             except Exception as exc:
                 if unsafe_when_sent and not isinstance(exc, UnavailableError):
                     raise
-                if not await self._backoff(msg_type.name, attempt, exc):
+                if not await self._backoff(msg_type.name, attempt, exc,
+                                           retry_state):
                     raise
                 attempt += 1
                 continue
@@ -403,7 +615,8 @@ class ServiceConnection:
                 try:
                     protocol.raise_error(reply)
                 except UnavailableError as exc:
-                    if not await self._backoff(msg_type.name, attempt, exc):
+                    if not await self._backoff(msg_type.name, attempt, exc,
+                                               retry_state):
                         raise
                     attempt += 1
                     continue

@@ -31,7 +31,18 @@ Protocol **version 2** adds the fault-tolerance layer:
   deduplicate retried mutations, so a retry across a reconnect is
   applied exactly once.
 
-Version 1 peers keep speaking the original unadorned frames.
+Because every version-2 frame is self-describing — ``(type, seq,
+body)`` with the reply echoing its request's seq — the protocol
+supports **pipelining** without any wire change: a peer may send many
+requests before reading any reply, and replies may arrive in *any*
+order (a server running requests concurrently answers cheap ops while
+an expensive one is still in flight). Correlation is purely by
+sequence number; :data:`SEQ_BROADCAST` marks a reply that answers no
+particular request (e.g. an ERROR for an unparseable frame) and is
+terminal for every exchange on the connection.
+
+Version 1 peers keep speaking the original unadorned frames, one
+request in flight at a time.
 
 The cluster fabric (:mod:`repro.cluster`) adds two version-2 ops:
 ``RECORD_DIGEST`` asks a node for a record's content digest (optionally

@@ -59,6 +59,15 @@ class RetryPolicy:
     retry schedule — is deterministic, which the fault-injection tests
     rely on.
 
+    The policy object carries the *parameters*; the walk state of one
+    request's failure sequence (the decorrelated previous delay, the
+    deadline anchor) lives in a :class:`RetrySequence`. Calling
+    :meth:`backoff`/:meth:`deadline_overrun` directly on the policy uses
+    a built-in default sequence — exactly the pre-pipelining behaviour,
+    correct as long as only one request retries at a time. Pipelined
+    clients run many requests' retry loops concurrently, so each takes
+    its own :meth:`sequence`.
+
     Two jitter shapes:
 
     * the default multiplies the fixed ``base * multiplier**k`` ladder
@@ -99,12 +108,52 @@ class RetryPolicy:
         self.deadline = deadline
         self.rng = rng if rng is not None else random.Random()
         self.clock = clock if clock is not None else time.monotonic
-        self._previous_delay = None  # decorrelated jitter's walk state
-        self._deadline_start = None  # wall-clock anchor of the sequence
+        self._default_sequence = RetrySequence(self)
+
+    def sequence(self) -> "RetrySequence":
+        """A fresh per-request failure sequence over this policy."""
+        return RetrySequence(self)
 
     def attempts_left(self, attempt: int) -> bool:
         """Whether another attempt fits the budget after ``attempt``."""
         return attempt < self.max_attempts
+
+    def deadline_overrun(self, next_delay: float = 0.0) -> bool:
+        """Whether sleeping ``next_delay`` would land past the deadline
+        (on the policy's built-in default sequence)."""
+        return self._default_sequence.deadline_overrun(next_delay)
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to sleep after the ``attempt``-th failure (on the
+        policy's built-in default sequence)."""
+        return self._default_sequence.backoff(attempt)
+
+
+class RetrySequence:
+    """One request's retry state over a shared :class:`RetryPolicy`.
+
+    Jitter draws still come from the policy's single ``rng`` (so a
+    seeded policy keeps a deterministic *stream* of delays), but the
+    decorrelated-jitter walk and the wall-clock deadline anchor are
+    per-sequence: two pipelined requests retrying concurrently each get
+    their own deadline measured from their own first failure, instead
+    of corrupting each other's walk state.
+    """
+
+    __slots__ = ("policy", "_previous_delay", "_deadline_start")
+
+    def __init__(self, policy: RetryPolicy):
+        self.policy = policy
+        self._previous_delay = None  # decorrelated jitter's walk state
+        self._deadline_start = None  # wall-clock anchor of the sequence
+
+    @property
+    def deadline(self):
+        return self.policy.deadline
+
+    def attempts_left(self, attempt: int) -> bool:
+        """Whether another attempt fits the budget after ``attempt``."""
+        return attempt < self.policy.max_attempts
 
     def deadline_overrun(self, next_delay: float = 0.0) -> bool:
         """Whether sleeping ``next_delay`` would land past the deadline.
@@ -115,34 +164,36 @@ class RetryPolicy:
         the whole retry sequence for one request, not the process
         lifetime.
         """
-        if self.deadline is None:
+        policy = self.policy
+        if policy.deadline is None:
             return False
         if self._deadline_start is None:
-            self._deadline_start = self.clock()
-        elapsed = self.clock() - self._deadline_start
-        return elapsed + next_delay > self.deadline
+            self._deadline_start = policy.clock()
+        elapsed = policy.clock() - self._deadline_start
+        return elapsed + next_delay > policy.deadline
 
     def backoff(self, attempt: int) -> float:
         """Seconds to sleep after the ``attempt``-th failure."""
+        policy = self.policy
         if attempt <= 1 or self._deadline_start is None:
             # A new failure sequence re-anchors the wall-clock budget.
-            self._deadline_start = self.clock()
-        if self.decorrelated:
+            self._deadline_start = policy.clock()
+        if policy.decorrelated:
             if attempt <= 1 or self._previous_delay is None:
                 # A new failure sequence restarts the walk at the base.
-                self._previous_delay = self.base_delay
+                self._previous_delay = policy.base_delay
             delay = min(
-                self.max_delay,
-                self.rng.uniform(self.base_delay,
-                                 max(self.base_delay,
-                                     3.0 * self._previous_delay)),
+                policy.max_delay,
+                policy.rng.uniform(policy.base_delay,
+                                   max(policy.base_delay,
+                                       3.0 * self._previous_delay)),
             )
             self._previous_delay = delay
             return max(0.0, delay)
-        delay = min(self.max_delay,
-                    self.base_delay * self.multiplier ** (attempt - 1))
-        if self.jitter:
-            delay *= 1.0 + self.jitter * (2.0 * self.rng.random() - 1.0)
+        delay = min(policy.max_delay,
+                    policy.base_delay * policy.multiplier ** (attempt - 1))
+        if policy.jitter:
+            delay *= 1.0 + policy.jitter * (2.0 * policy.rng.random() - 1.0)
         return max(0.0, delay)
 
 

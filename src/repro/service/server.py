@@ -46,12 +46,30 @@ code, same bytes), each finished chunk is applied with the crash-safe
 :meth:`repro.service.store.RecordStore.replace_record_bytes` ordering,
 and a ``SWEEP_PROGRESS`` frame streams back per chunk before the final
 ``SWEEP_DONE`` summary.
+
+Pipelined dispatch (protocol version 2): a v2 session no longer serves
+one frame at a time. The read loop keeps pulling frames and spawns each
+request as its own task — up to ``max_inflight`` concurrently per
+session, a window enforced by a semaphore so a flooding client blocks
+on the socket instead of ballooning server memory. Every reply (and
+every sweep progress frame) is tagged with *its* request's sequence
+number, so replies may legally overtake each other on the wire: a slow
+``FETCH_RECORD`` no longer head-of-line-blocks the cheap ``PING``
+behind it. Ordering and exactly-once invariants survive because (a)
+all store mutations still run on the single offload thread, (b) one
+session's mutating requests additionally serialize through a
+per-session mutation lock in arrival order, and (c) a mutation key
+already being applied parks its duplicate until the original resolves
+(the in-flight table), then replays the deduplicated reply. v1
+sessions — and servers started with ``max_inflight=1`` — keep the
+strict serial loop.
 """
 
 from __future__ import annotations
 
 import asyncio
 import time
+from collections import OrderedDict
 from concurrent.futures import BrokenExecutor, ThreadPoolExecutor
 
 from repro.core.reencrypt import reencrypt as abe_reencrypt
@@ -87,7 +105,7 @@ class _Session:
     """Per-connection state: negotiated identity plus the streams."""
 
     __slots__ = ("reader", "writer", "peer_name", "peer_role", "version",
-                 "reply_seq")
+                 "write_lock", "mutation_lock", "window")
 
     def __init__(self, reader, writer):
         self.reader = reader
@@ -95,7 +113,13 @@ class _Session:
         self.peer_name = "?"
         self.peer_role = "?"
         self.version = None
-        self.reply_seq = None  # v2: echo of the in-flight request's seq
+        # Created inside the event loop by _accept: frame writes are
+        # atomic under write_lock (pipelined replies interleave, frames
+        # must not); one session's mutations serialize in arrival order
+        # under mutation_lock; window bounds concurrent requests.
+        self.write_lock = None
+        self.mutation_lock = None
+        self.window = None
 
 
 class StorageService:
@@ -108,9 +132,12 @@ class StorageService:
                  max_frame: int = protocol.MAX_FRAME_BYTES,
                  read_only: bool = False, dedup_entries: int = 4096,
                  workers=0, sweep_chunk: int = 16,
-                 probe_interval: float = 1.0, inline_crypto: bool = False):
+                 probe_interval: float = 1.0, inline_crypto: bool = False,
+                 max_inflight: int = 32):
         if sweep_chunk <= 0:
             raise ValueError("sweep_chunk must be positive")
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
         self.group = group
         self.store = store
         self.name = name
@@ -139,6 +166,17 @@ class StorageService:
         self.dedup = IdempotencyTable(dedup_entries)
         self.pool = CryptoPool(workers)
         self.sweep_chunk = sweep_chunk
+        #: Per-session concurrent-request window (1 = serial dispatch).
+        self.max_inflight = max_inflight
+        # Mutations whose apply is in flight right now, keyed by
+        # idempotency key: a pipelined (or cross-connection) duplicate
+        # parks on the future instead of double-applying.
+        self._inflight_keys = {}
+        # digest -> Table-II payload size of the record blob, so the hot
+        # raw-byte fetch path meters without re-decoding group elements.
+        self._fetch_sizes = OrderedDict()
+        if hasattr(store, "attach_meter"):
+            store.attach_meter(self.meter)
         # One thread: store mutations serialize with each other, and
         # pairing bursts leave the event loop free for PING/HEALTH.
         self._cpu = ThreadPoolExecutor(max_workers=1,
@@ -193,6 +231,9 @@ class StorageService:
 
     async def _accept(self, reader, writer):
         session = _Session(reader, writer)
+        session.write_lock = asyncio.Lock()
+        session.mutation_lock = asyncio.Lock()
+        session.window = asyncio.Semaphore(self.max_inflight)
         task = asyncio.current_task()
         self._sessions.add(session)
         self._tasks.add(task)
@@ -221,7 +262,11 @@ class StorageService:
                              protocol.encode_error(exc))
             return
         seq_frames = session.version is not None and session.version >= 2
+        if seq_frames and self.max_inflight > 1:
+            await self._run_pipelined(session)
+            return
         while True:
+            seq = None
             try:
                 if seq_frames:
                     msg_type, seq, body = await asyncio.wait_for(
@@ -229,7 +274,6 @@ class StorageService:
                                                 self.max_frame),
                         self.idle_timeout,
                     )
-                    session.reply_seq = seq
                 else:
                     msg_type, body = await asyncio.wait_for(
                         protocol.read_frame(session.reader, self.max_frame),
@@ -238,23 +282,107 @@ class StorageService:
             except ProtocolError as exc:
                 # Oversized/garbled framing: answer, then drop the peer.
                 # The request's seq is unknowable, so broadcast.
-                session.reply_seq = (
-                    protocol.SEQ_BROADCAST if seq_frames else None
-                )
                 await self._send(session, MessageType.ERROR,
-                                 protocol.encode_error(exc))
+                                 protocol.encode_error(exc),
+                                 seq=(protocol.SEQ_BROADCAST if seq_frames
+                                      else None))
                 return
             self.meter.record_wire(5 + (4 if seq_frames else 0) + len(body))
             try:
-                await self._dispatch(session, msg_type, body)
+                await self._dispatch(session, msg_type, seq, body)
             except ProtocolError as exc:
                 await self._send(session, MessageType.ERROR,
-                                 protocol.encode_error(exc))
+                                 protocol.encode_error(exc), seq=seq)
                 return  # protocol violations end the session
             except ReproError as exc:
                 # Application errors are answered, not fatal.
                 await self._send(session, MessageType.ERROR,
-                                 protocol.encode_error(exc))
+                                 protocol.encode_error(exc), seq=seq)
+
+    async def _run_pipelined(self, session: _Session) -> None:
+        """The v2 concurrent frame loop: read, spawn, keep reading.
+
+        Each request runs as its own task; the session window semaphore
+        (acquired *before* spawning) bounds in-flight requests, so a
+        client pushing faster than the server serves parks here — the
+        kernel's receive buffer, not the server's heap, absorbs the
+        burst. The idle timeout only fires when nothing is in flight:
+        a connection waiting on its own slow sweep is busy, not idle.
+        """
+        loop = asyncio.get_running_loop()
+        inflight = set()
+        read_task = None
+        try:
+            while True:
+                if read_task is None:
+                    read_task = loop.create_task(protocol.read_seq_frame(
+                        session.reader, self.max_frame
+                    ))
+                # wait (unlike wait_for) never cancels the read on
+                # timeout, so a frame header already consumed from the
+                # stream is never lost to an idle check.
+                done, _ = await asyncio.wait({read_task},
+                                             timeout=self.idle_timeout)
+                if not done:
+                    if any(not task.done() for task in inflight):
+                        continue  # busy serving, not idle
+                    raise TimeoutError("session idle timeout")
+                frame_task, read_task = read_task, None
+                try:
+                    msg_type, seq, body = frame_task.result()
+                except ProtocolError as exc:
+                    # Garbled framing: the stream is unusable and the
+                    # request's seq unknowable — broadcast and drop.
+                    await self._send(session, MessageType.ERROR,
+                                     protocol.encode_error(exc),
+                                     seq=protocol.SEQ_BROADCAST)
+                    return
+                self.meter.record_wire(9 + len(body))
+                await session.window.acquire()
+                task = loop.create_task(
+                    self._serve_one(session, msg_type, seq, body)
+                )
+                inflight.add(task)
+                task.add_done_callback(inflight.discard)
+        except asyncio.CancelledError:  # server shutdown
+            for task in inflight:
+                task.cancel()
+            raise
+        finally:
+            if read_task is not None:
+                read_task.cancel()
+                await asyncio.gather(read_task, return_exceptions=True)
+            if inflight:
+                # Graceful ends (peer EOF, idle, protocol error) let
+                # in-flight requests finish: a mutation past its apply
+                # must still record its dedup reply, or a retry on a
+                # fresh connection would double-apply it.
+                await asyncio.gather(*list(inflight),
+                                     return_exceptions=True)
+
+    async def _serve_one(self, session: _Session, msg_type: MessageType,
+                         seq: int, body: bytes) -> None:
+        """One pipelined request, as its own task."""
+        try:
+            try:
+                if msg_type in protocol.WRITE_TYPES:
+                    # One session's mutations apply in arrival order
+                    # (reads flow around them freely).
+                    async with session.mutation_lock:
+                        await self._dispatch(session, msg_type, seq, body)
+                else:
+                    await self._dispatch(session, msg_type, seq, body)
+            except ProtocolError as exc:
+                await self._send(session, MessageType.ERROR,
+                                 protocol.encode_error(exc), seq=seq)
+                # Protocol violations end the session: closing the
+                # transport wakes the read loop.
+                session.writer.close()
+            except ReproError as exc:
+                await self._send(session, MessageType.ERROR,
+                                 protocol.encode_error(exc), seq=seq)
+        finally:
+            session.window.release()
 
     async def _handshake(self, session: _Session) -> None:
         # The hello is capped well below max_frame: nothing is allocated
@@ -280,10 +408,17 @@ class StorageService:
         ))
 
     async def _send(self, session: _Session, msg_type: MessageType,
-                    body: bytes = b"") -> None:
+                    body: bytes = b"", seq: int = None) -> None:
+        """Write one reply frame, tagged with its request's seq.
+
+        The write lock keeps pipelined replies frame-atomic: concurrent
+        tasks may interleave *frames* on the wire in any order, but
+        never bytes within one frame. ``seq=None`` writes a v1 frame.
+        """
         try:
-            sent = await protocol.write_frame(session.writer, msg_type, body,
-                                              seq=session.reply_seq)
+            async with session.write_lock:
+                sent = await protocol.write_frame(session.writer, msg_type,
+                                                  body, seq=seq)
         except (ConnectionError, OSError):
             return  # peer already gone; the read side will notice
         self.meter.record_wire(sent)
@@ -303,7 +438,7 @@ class StorageService:
     # -- request dispatch -------------------------------------------------
 
     async def _dispatch(self, session: _Session, msg_type: MessageType,
-                        body: bytes) -> None:
+                        seq: int, body: bytes) -> None:
         handler = self._HANDLERS.get(msg_type)
         if handler is None:
             raise ProtocolError(
@@ -316,48 +451,71 @@ class StorageService:
                     "reads keep serving — retry later"
                 )
         key = None
+        inflight_future = None
         if (msg_type in protocol.MUTATION_TYPES
                 and session.version is not None and session.version >= 2):
             key, body = protocol.unwrap_idempotency(body)
-            cached = self.dedup.get(key)
-            if cached is not None:
-                # A retried mutation: replay the reply the lost original
-                # earned, without applying the mutation again.
-                await self._send(session, *cached)
-                return
+            while True:
+                cached = self.dedup.get(key)
+                if cached is not None:
+                    # A retried mutation: replay the reply the lost
+                    # original earned, without applying it again.
+                    await self._send(session, cached[0], cached[1], seq=seq)
+                    return
+                inflight = self._inflight_keys.get(key)
+                if inflight is None:
+                    break
+                # The original is mid-apply on another task (a retry
+                # racing its own first attempt across connections):
+                # park until it resolves, then replay its cached reply —
+                # or fall through and apply, if the original failed
+                # uncachably (e.g. the disk degraded mid-write).
+                await asyncio.wait({inflight})
+            inflight_future = asyncio.get_running_loop().create_future()
+            self._inflight_keys[key] = inflight_future
         try:
-            reply = await handler(self, session, body)
-        except ProtocolError:
-            raise  # ends the session; nothing worth caching
-        except UnavailableError:
-            raise  # transient by definition: the retry must re-attempt
-        except ReproError as exc:
-            if key is not None:
-                self.dedup.put(
-                    key, (MessageType.ERROR, protocol.encode_error(exc))
-                )
-            raise
-        except OSError as exc:
-            if msg_type in protocol.WRITE_TYPES:
-                # The disk stopped accepting writes: degrade instead of
-                # corrupting state or hanging up. Not cached — once the
-                # disk recovers, the same key must be applicable.
-                self.read_only = True
-                self.degraded_reason = str(exc)
-                raise UnavailableError(
-                    f"storage write failed ({exc}); server is now "
-                    f"read-only — retry later"
-                ) from exc
-            raise StorageError(f"storage read failed: {exc}") from exc
-        else:
-            # A mutating handler may return the (type, body) it answered
-            # with, so a deduplicated retry replays that exact reply
-            # (the sweep caches its SWEEP_DONE summary this way); plain
-            # handlers return None and cache the empty OK.
-            if key is not None:
-                self.dedup.put(
-                    key, reply if reply is not None else (MessageType.OK, b"")
-                )
+            try:
+                reply = await handler(self, session, seq, body)
+            except ProtocolError:
+                raise  # ends the session; nothing worth caching
+            except UnavailableError:
+                raise  # transient by definition: the retry must re-attempt
+            except ReproError as exc:
+                if key is not None:
+                    self.dedup.put(
+                        key, (MessageType.ERROR, protocol.encode_error(exc))
+                    )
+                raise
+            except OSError as exc:
+                if msg_type in protocol.WRITE_TYPES:
+                    # The disk stopped accepting writes: degrade instead
+                    # of corrupting state or hanging up. Not cached —
+                    # once the disk recovers, the same key must be
+                    # applicable.
+                    self.read_only = True
+                    self.degraded_reason = str(exc)
+                    raise UnavailableError(
+                        f"storage write failed ({exc}); server is now "
+                        f"read-only — retry later"
+                    ) from exc
+                raise StorageError(f"storage read failed: {exc}") from exc
+            else:
+                # A mutating handler may return the (type, body) it
+                # answered with, so a deduplicated retry replays that
+                # exact reply (the sweep caches its SWEEP_DONE summary
+                # this way); plain handlers return None and cache the
+                # empty OK.
+                if key is not None:
+                    self.dedup.put(
+                        key,
+                        reply if reply is not None else (MessageType.OK, b""),
+                    )
+        finally:
+            if inflight_future is not None:
+                if self._inflight_keys.get(key) is inflight_future:
+                    del self._inflight_keys[key]
+                if not inflight_future.done():
+                    inflight_future.set_result(None)
 
     async def _maybe_recover(self) -> bool:
         """Probe the way back from *degraded* read-only to writable.
@@ -394,31 +552,59 @@ class StorageService:
             self._cpu, fn, *args
         )
 
-    async def _handle_ping(self, session, body):
-        await self._send(session, MessageType.PONG, body)
+    async def _handle_ping(self, session, seq, body):
+        await self._send(session, MessageType.PONG, body, seq=seq)
 
-    async def _handle_health(self, session, body):
+    async def _handle_health(self, session, seq, body):
         await self._send(session, MessageType.HEALTH_REPLY,
-                         protocol.encode_json(self.health()))
+                         protocol.encode_json(self.health()), seq=seq)
 
-    async def _handle_store_record(self, session, body):
+    async def _handle_store_record(self, session, seq, body):
         # Decoding a multi-row record is pairing-substrate work (one
         # subgroup check per element): off the loop.
         record = await self._offload(StoredRecord.from_bytes, self.group,
                                      body)
         self._meter_in(session, "store-record", record)
         await self._offload(self.store.put, record)
-        await self._send(session, MessageType.OK)
+        await self._send(session, MessageType.OK, seq=seq)
 
-    async def _handle_fetch_record(self, session, body):
+    async def _handle_fetch_record(self, session, seq, body):
         request = protocol.decode_json(body)
         record_id = protocol.json_str(request, "record")
         self._meter_in(session, "read-request", record_id)
-        record = await self._offload(self.store.get, record_id)
-        self._meter_out(session, "record-download", record)
-        await self._send(session, MessageType.RECORD, record.to_bytes())
+        blob, size = await self._offload(self._fetch_record_blob, record_id)
+        self.meter.record_sized(self.name, self.role, session.peer_name,
+                                session.peer_role, "record-download", size)
+        await self._send(session, MessageType.RECORD, blob, seq=seq)
 
-    async def _handle_fetch_component(self, session, body):
+    def _fetch_record_blob(self, record_id):
+        """The fetch hot path (offload thread): serve the digest-verified
+        raw blob, no per-element decode.
+
+        The stored blob IS the served representation (``to_bytes`` round-
+        trips byte-identically — the cluster's digest-based read-repair
+        already depends on it), so the pairing-heavy subgroup-checked
+        decode the old path paid per fetch is dropped entirely. Metering
+        still needs the record's Table-II payload size, which only a
+        decode knows — so the first fetch of a digest measures it via
+        the *trusted* (no subgroup checks) decode and caches it; the hot
+        Zipf head never decodes again.
+        """
+        digest = self.store.digest(record_id)
+        blob = self.store.blobs.get(digest)
+        size = self._fetch_sizes.get(digest)
+        if size is None:
+            size = StoredRecord.from_bytes(
+                self.group, blob, validate=False
+            ).payload_size_bytes(self.group)
+            self._fetch_sizes[digest] = size
+            while len(self._fetch_sizes) > 4096:
+                self._fetch_sizes.popitem(last=False)
+        else:
+            self._fetch_sizes.move_to_end(digest)
+        return blob, size
+
+    async def _handle_fetch_component(self, session, seq, body):
         request = protocol.decode_json(body)
         record_id = protocol.json_str(request, "record")
         component_name = protocol.json_str(request, "component")
@@ -429,22 +615,22 @@ class StorageService:
         component = record.component(component_name)
         self._meter_out(session, "component-download", component)
         await self._send(session, MessageType.COMPONENT,
-                         component.to_bytes())
+                         component.to_bytes(), seq=seq)
 
-    async def _handle_list_records(self, session, body):
+    async def _handle_list_records(self, session, seq, body):
         await self._send(session, MessageType.RECORD_IDS,
                          protocol.encode_json(
                              {"records": self.store.record_ids()}
-                         ))
+                         ), seq=seq)
 
-    async def _handle_delete_record(self, session, body):
+    async def _handle_delete_record(self, session, seq, body):
         request = protocol.decode_json(body)
         record_id = protocol.json_str(request, "record")
         self._meter_in(session, "delete-record", record_id)
         await self._offload(self.store.delete, record_id)
-        await self._send(session, MessageType.OK)
+        await self._send(session, MessageType.OK, seq=seq)
 
-    async def _handle_replace_component(self, session, body):
+    async def _handle_replace_component(self, session, seq, body):
         header_raw, component_raw = protocol.unpack_parts(body, 2)
         request = protocol.decode_json(header_raw)
         record_id = protocol.json_str(request, "record")
@@ -453,9 +639,9 @@ class StorageService:
         self._meter_in(session, "update-component", component)
         await self._offload(self.store.replace_component, record_id,
                             component)
-        await self._send(session, MessageType.OK)
+        await self._send(session, MessageType.OK, seq=seq)
 
-    async def _handle_record_digest(self, session, body):
+    async def _handle_record_digest(self, session, seq, body):
         """Report a record's content digest (cluster scrub/repair probe).
 
         With ``verify`` the blob bytes are read back and checked against
@@ -474,9 +660,9 @@ class StorageService:
                          protocol.encode_json(
                              {"record": record_id, "digest": digest,
                               "ok": ok}
-                         ))
+                         ), seq=seq)
 
-    async def _handle_repair_record(self, session, body):
+    async def _handle_repair_record(self, session, seq, body):
         """Accept known-good record bytes over a broken/missing copy.
 
         The body is raw :meth:`StoredRecord.to_bytes` — decoded (and
@@ -489,9 +675,9 @@ class StorageService:
         self._meter_in(session, "repair-record", record)
         await self._offload(self.store.put_record_bytes, record.record_id,
                             body)
-        await self._send(session, MessageType.OK)
+        await self._send(session, MessageType.OK, seq=seq)
 
-    async def _handle_put_authority_keys(self, session, body):
+    async def _handle_put_authority_keys(self, session, seq, body):
         header_raw, apk_raw, pak_raw = protocol.unpack_parts(body, 3)
         request = protocol.decode_json(header_raw)
         aid = protocol.json_str(request, "aid")
@@ -505,9 +691,9 @@ class StorageService:
         self.store.put_authority_keys(
             aid, protocol.pack_parts(apk_raw, pak_raw)
         )
-        await self._send(session, MessageType.OK)
+        await self._send(session, MessageType.OK, seq=seq)
 
-    async def _handle_get_authority_keys(self, session, body):
+    async def _handle_get_authority_keys(self, session, seq, body):
         request = protocol.decode_json(body)
         aid = protocol.json_str(request, "aid")
         blob = self.store.get_authority_keys(aid)
@@ -516,9 +702,9 @@ class StorageService:
                         decode_authority_public_key(self.group, apk_raw))
         self._meter_out(session, "public-attribute-keys",
                         decode_public_attribute_keys(self.group, pak_raw))
-        await self._send(session, MessageType.AUTHORITY_KEYS, blob)
+        await self._send(session, MessageType.AUTHORITY_KEYS, blob, seq=seq)
 
-    async def _handle_reencrypt(self, session, body):
+    async def _handle_reencrypt(self, session, seq, body):
         id_raw, key_raw, info_raw = protocol.unpack_parts(body, 3)
         try:
             ciphertext_id = id_raw.decode("utf-8")
@@ -529,7 +715,7 @@ class StorageService:
         )
         self._meter_in(session, "update-key", update_key)
         self._meter_in(session, "update-info", update_info)
-        await self._send(session, MessageType.OK)
+        await self._send(session, MessageType.OK, seq=seq)
 
     def _reencrypt_one(self, ciphertext_id, key_raw, info_raw):
         """The synchronous single-record ReEncrypt (offload thread)."""
@@ -550,7 +736,7 @@ class StorageService:
         ))
         return update_key, update_info
 
-    async def _handle_reencrypt_sweep(self, session, body):
+    async def _handle_reencrypt_sweep(self, session, seq, body):
         """Bulk revocation: one UK, many UIs, chunked through the pool.
 
         Matching is by encoding-header peek against the ciphertext-id
@@ -644,7 +830,8 @@ class StorageService:
                         "already_current": len(already_current),
                         "errors": len(errors),
                         "missing": len(missing),
-                    })
+                    }),
+                    seq=seq,
                 )
         except BaseException:
             # Don't leave chunk tasks running (or their exceptions
@@ -666,7 +853,7 @@ class StorageService:
             "missing": sorted(missing),
             "errors": errors,
         })
-        await self._send(session, MessageType.SWEEP_DONE, summary)
+        await self._send(session, MessageType.SWEEP_DONE, summary, seq=seq)
         return MessageType.SWEEP_DONE, summary
 
     async def _sweep_chunk(self, loop, executor, uk_raw, chunk_ids, matched):
@@ -704,9 +891,9 @@ class StorageService:
             durable=False,
         )
 
-    async def _handle_stats(self, session, body):
+    async def _handle_stats(self, session, seq, body):
         await self._send(session, MessageType.STATS_REPLY,
-                         protocol.encode_json(self.stats()))
+                         protocol.encode_json(self.stats()), seq=seq)
 
     def health(self) -> dict:
         """The heartbeat payload: current mode and coarse liveness."""
@@ -731,8 +918,12 @@ class StorageService:
             "connections": self.connection_count,
             "read_only": self.read_only,
             "workers": self.pool.workers,
+            "max_inflight": self.max_inflight,
             "dedup_entries": len(self.dedup),
             "dedup_hits": self.dedup.hits,
+            "cache": (self.store.cache_stats()
+                      if hasattr(self.store, "cache_stats") else {}),
+            "counters": self.meter.counter_summary("store."),
             "wire_bytes": self.meter.wire_bytes,
             "channels": self.meter.channel_summary(),
             "by_kind": self.meter.bytes_by_kind(),

@@ -61,6 +61,12 @@ class BlobStore:
         self.cache_bytes = cache_bytes
         self._cache = OrderedDict()  # digest -> blob
         self._cache_total = 0
+        # Plain-int telemetry (single interpreter lock per += is fine:
+        # all store mutations run on the server's one offload thread).
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_evictions = 0
+        self._meter = None
         # Blobs living inside refpack files (see RecordStore's bulk
         # replacement): digest -> (pack path, byte offset, length).
         self._packs = {}
@@ -69,6 +75,13 @@ class BlobStore:
         return self.objects_dir / digest[:2] / digest[2:4] / digest
 
     # -- cache ------------------------------------------------------------
+
+    def attach_meter(self, meter) -> None:
+        """Mirror cache telemetry into a :class:`repro.system.meter.
+        Meter` as ``store.cache.{hit,miss,eviction}`` bumps, so the
+        server's stats endpoint (and ``client stats``) expose the read
+        cache's behaviour under load."""
+        self._meter = meter
 
     def _cache_put(self, digest: str, blob: bytes) -> None:
         if len(blob) > self.cache_bytes:
@@ -82,14 +95,35 @@ class BlobStore:
                or self._cache_total > self.cache_bytes):
             _, evicted = self._cache.popitem(last=False)
             self._cache_total -= len(evicted)
+            self.cache_evictions += 1
+            if self._meter is not None:
+                self._meter.bump("store.cache.eviction")
 
     def _cache_drop(self, digest: str) -> None:
         blob = self._cache.pop(digest, None)
         if blob is not None:
             self._cache_total -= len(blob)
 
+    def _note_cache_hit(self) -> None:
+        self.cache_hits += 1
+        if self._meter is not None:
+            self._meter.bump("store.cache.hit")
+
+    def _note_cache_miss(self) -> None:
+        self.cache_misses += 1
+        if self._meter is not None:
+            self._meter.bump("store.cache.miss")
+
     def cache_stats(self) -> dict:
-        return {"entries": len(self._cache), "bytes": self._cache_total}
+        return {
+            "entries": len(self._cache),
+            "bytes": self._cache_total,
+            "capacity_entries": self.cache_entries,
+            "capacity_bytes": self.cache_bytes,
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "evictions": self.cache_evictions,
+        }
 
     # -- storage ----------------------------------------------------------
 
@@ -128,7 +162,9 @@ class BlobStore:
         blob = self._cache.get(digest)
         if blob is not None:
             self._cache.move_to_end(digest)
+            self._note_cache_hit()
             return blob
+        self._note_cache_miss()
         try:
             blob = self._path(digest).read_bytes()
         except FileNotFoundError:
@@ -288,6 +324,15 @@ class RecordStore:
         for record_id, digest in refs.items():
             self._set_ref(record_id, digest)
             self._index_record(self._decode(digest))
+
+    def attach_meter(self, meter) -> None:
+        """Expose the blob cache's hit/miss/eviction telemetry through a
+        shared :class:`repro.system.meter.Meter` (see
+        :meth:`BlobStore.attach_meter`)."""
+        self.blobs.attach_meter(meter)
+
+    def cache_stats(self) -> dict:
+        return self.blobs.cache_stats()
 
     def _ref_path(self, record_id: str) -> Path:
         return self.refs_dir / quote(record_id, safe="")

@@ -1,0 +1,72 @@
+"""Knee detection on canned sweep results — no sockets, no timing."""
+
+import asyncio
+
+import pytest
+
+from repro.loadgen.capacity import capacity_model
+from repro.loadgen.workload import OpMix
+
+
+class _CannedHarness:
+    """Replays scripted per-level results through the capacity sweep."""
+
+    def __init__(self, fetch_p99s):
+        self._p99s = dict(fetch_p99s)
+        self.calls = []
+
+    async def run_closed(self, concurrency, ops_per_worker, *,
+                         warmup_ops=0, mix=None, capture_digests=False):
+        self.calls.append((concurrency, ops_per_worker, warmup_ops))
+        p99 = self._p99s[concurrency]
+        return {
+            "concurrency": concurrency,
+            "throughput_ops": 100.0 * concurrency,
+            "per_class": {"fetch": {"p99": p99}},
+        }
+
+
+def _model(harness, **kwargs):
+    return asyncio.run(capacity_model(harness, **kwargs))
+
+
+def test_relative_knee_is_first_level_past_the_factor():
+    harness = _CannedHarness({4: 0.010, 16: 0.030, 32: 0.080})
+    model = _model(harness, levels=(4, 16, 32), ops_per_worker=10)
+    # Baseline p99 is 10 ms; the default factor 5 puts the bound at
+    # 50 ms, so 32 workers (80 ms) is the knee and 16 (30 ms) is not.
+    knee = model["knee"]
+    assert knee["concurrency"] == 32
+    assert knee["fetch_p99_bound_seconds"] == pytest.approx(0.050)
+    assert knee["relative_bound_factor"] == 5.0
+
+
+def test_no_knee_inside_the_swept_range():
+    harness = _CannedHarness({4: 0.010, 16: 0.012, 32: 0.015})
+    model = _model(harness, levels=(4, 16, 32), ops_per_worker=10)
+    assert model["knee"]["concurrency"] is None
+    assert len(model["levels"]) == 3
+
+
+def test_absolute_bound_overrides_the_relative_factor():
+    harness = _CannedHarness({4: 0.010, 16: 0.030, 32: 0.080})
+    model = _model(harness, levels=(4, 16, 32), ops_per_worker=10,
+                   p99_bound=0.020)
+    knee = model["knee"]
+    assert knee["concurrency"] == 16  # 30 ms > the 20 ms absolute bound
+    assert knee["fetch_p99_bound_seconds"] == 0.020
+    assert knee["relative_bound_factor"] is None
+
+
+def test_per_worker_throughput_and_sweep_order():
+    harness = _CannedHarness({2: 0.01, 8: 0.01})
+    model = _model(harness, levels=(2, 8), ops_per_worker=5, warmup_ops=1,
+                   mix=OpMix.fetch_only())
+    assert [call[0] for call in harness.calls] == [2, 8]
+    for level in model["levels"]:
+        assert level["ops_per_worker_per_sec"] == pytest.approx(100.0)
+
+
+def test_empty_level_list_is_rejected():
+    with pytest.raises(ValueError):
+        _model(_CannedHarness({}), levels=())

@@ -1,0 +1,82 @@
+"""LatencyProxy: adds distance, never reorders or corrupts bytes."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.loadgen.netem import LatencyProxy
+
+
+async def _echo_server():
+    async def handle(reader, writer):
+        try:
+            while True:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    break
+                writer.write(chunk)
+                await writer.drain()
+        finally:
+            writer.close()
+
+    server = await asyncio.start_server(handle, "127.0.0.1", 0)
+    return server, server.sockets[0].getsockname()[1]
+
+
+def test_bytes_pass_through_unchanged_and_in_order():
+    async def body():
+        server, port = await _echo_server()
+        proxy = await LatencyProxy("127.0.0.1", port, rtt=0.02).start()
+        try:
+            reader, writer = await asyncio.open_connection(
+                proxy.host, proxy.port
+            )
+            payloads = [bytes([n]) * (n + 1) for n in range(10)]
+            for payload in payloads:
+                writer.write(payload)
+            await writer.drain()
+            expected = b"".join(payloads)
+            echoed = await asyncio.wait_for(
+                reader.readexactly(len(expected)), 5.0
+            )
+            writer.close()
+            return expected, echoed
+        finally:
+            await proxy.stop()
+            server.close()
+            await server.wait_closed()
+
+    expected, echoed = asyncio.run(body())
+    assert echoed == expected
+
+
+def test_round_trip_pays_the_configured_rtt():
+    async def body():
+        server, port = await _echo_server()
+        rtt = 0.08
+        proxy = await LatencyProxy("127.0.0.1", port, rtt=rtt).start()
+        try:
+            reader, writer = await asyncio.open_connection(
+                proxy.host, proxy.port
+            )
+            started = time.perf_counter()
+            writer.write(b"ping")
+            await writer.drain()
+            await asyncio.wait_for(reader.readexactly(4), 5.0)
+            elapsed = time.perf_counter() - started
+            writer.close()
+            return rtt, elapsed
+        finally:
+            await proxy.stop()
+            server.close()
+            await server.wait_closed()
+
+    rtt, elapsed = asyncio.run(body())
+    # One request + one reply crosses the proxy twice: >= rtt total.
+    assert elapsed >= rtt * 0.9
+
+
+def test_negative_rtt_is_rejected():
+    with pytest.raises(ValueError):
+        LatencyProxy("127.0.0.1", 1, rtt=-0.001)

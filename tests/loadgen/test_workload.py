@@ -1,0 +1,101 @@
+"""Units for the workload primitives: Zipf popularity and op mixes."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.loadgen.workload import OP_CLASSES, OpMix, ZipfPopularity
+
+
+# -- ZipfPopularity -----------------------------------------------------------
+
+def test_zipf_cdf_is_monotone_and_complete():
+    zipf = ZipfPopularity(100, alpha=1.1)
+    assert all(a < b for a, b in zip(zipf._cdf, zipf._cdf[1:]))
+    assert zipf._cdf[-1] == 1.0
+
+
+def test_zipf_samples_stay_in_range_and_skew_hot():
+    zipf = ZipfPopularity(50, alpha=1.2)
+    rng = random.Random(1)
+    counts = Counter(zipf.sample(rng) for _ in range(5000))
+    assert set(counts) <= set(range(50))
+    # Rank 0 is the hottest record by a wide margin.
+    assert counts[0] > counts.get(10, 0) > counts.get(49, 0)
+    # The head dominates: top 5 ranks absorb most of the traffic.
+    head = sum(counts[rank] for rank in range(5))
+    assert head > 2500
+
+
+def test_zipf_alpha_zero_degenerates_to_uniform():
+    zipf = ZipfPopularity(10, alpha=0.0)
+    rng = random.Random(2)
+    counts = Counter(zipf.sample(rng) for _ in range(10000))
+    assert set(counts) == set(range(10))
+    assert max(counts.values()) < 2 * min(counts.values())
+
+
+def test_zipf_sampling_is_deterministic_per_seed():
+    zipf = ZipfPopularity(32, alpha=1.1)
+    draws = [zipf.sample(random.Random(7)) for _ in range(3)]
+    assert draws[0] == draws[1] == draws[2]
+
+
+def test_zipf_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        ZipfPopularity(0)
+    with pytest.raises(ValueError):
+        ZipfPopularity(10, alpha=-0.5)
+
+
+# -- OpMix --------------------------------------------------------------------
+
+def test_mix_normalizes_weights():
+    mix = OpMix(fetch=8, upload=2)
+    assert mix.weights["fetch"] == pytest.approx(0.8)
+    assert mix.weights["upload"] == pytest.approx(0.2)
+    assert mix.weights["replace"] == 0.0
+    assert mix.weights["sweep"] == 0.0
+
+
+def test_mix_parse_round_trips_the_cli_form():
+    mix = OpMix.parse("fetch=0.8, upload=0.1, replace=0.08, sweep=0.02")
+    assert mix.as_dict() == pytest.approx(OpMix.default().as_dict())
+
+
+def test_mix_parse_rejects_malformed_entries():
+    with pytest.raises(ValueError, match="class=weight"):
+        OpMix.parse("fetch")
+    with pytest.raises(ValueError, match="malformed op-mix weight"):
+        OpMix.parse("fetch=lots")
+    with pytest.raises(ValueError, match="unknown op classes"):
+        OpMix.parse("fetchh=1.0")
+
+
+def test_mix_rejects_degenerate_weights():
+    with pytest.raises(ValueError, match="non-negative"):
+        OpMix(fetch=1.0, upload=-0.1)
+    with pytest.raises(ValueError, match="positive weight"):
+        OpMix(fetch=0.0)
+
+
+def test_mix_sample_never_emits_zero_weight_classes():
+    mix = OpMix(fetch=0.9, upload=0.1)
+    rng = random.Random(3)
+    drawn = {mix.sample(rng) for _ in range(2000)}
+    assert drawn == {"fetch", "upload"}
+
+
+def test_fetch_only_is_pure_reads():
+    mix = OpMix.fetch_only()
+    rng = random.Random(4)
+    assert {mix.sample(rng) for _ in range(100)} == {"fetch"}
+    assert mix.weights["fetch"] == 1.0
+
+
+def test_default_mix_covers_every_class():
+    weights = OpMix.default().weights
+    assert set(weights) == set(OP_CLASSES)
+    assert all(weight > 0 for weight in weights.values())
+    assert sum(weights.values()) == pytest.approx(1.0)

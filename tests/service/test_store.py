@@ -138,7 +138,9 @@ def test_lru_byte_bound(tmp_path):
 def test_blob_larger_than_cache_is_never_cached(tmp_path):
     store = BlobStore(tmp_path, cache_bytes=4)
     digest = store.put(b"way too large")
-    assert store.cache_stats() == {"entries": 0, "bytes": 0}
+    stats = store.cache_stats()
+    assert stats["entries"] == 0
+    assert stats["bytes"] == 0
     assert store.get(digest) == b"way too large"
 
 
@@ -150,6 +152,37 @@ def test_lru_recency_order(tmp_path):
     c = store.put(b"cccc")
     assert set(store._cache) == {a, c}
     assert b not in store._cache
+
+
+def test_cache_hit_miss_eviction_counters(tmp_path):
+    store = BlobStore(tmp_path, cache_entries=2)
+    a = store.put(b"aaaa")
+    b = store.put(b"bbbb")
+    store.get(a)                       # hit (put() pre-warms the cache)
+    c = store.put(b"cccc")             # evicts b
+    store.get(b)                       # miss: read from disk, re-cached
+    store.get(c)                       # hit
+    stats = store.cache_stats()
+    assert stats["hits"] == 2
+    assert stats["misses"] == 1
+    assert stats["evictions"] >= 1
+    assert stats["capacity_entries"] == 2
+
+
+def test_cache_counters_flow_into_attached_meter(tmp_path, group):
+    from repro.system.meter import Meter
+
+    store = BlobStore(tmp_path, cache_entries=1)
+    meter = Meter(group)
+    store.attach_meter(meter)
+    a = store.put(b"aaaa")
+    store.put(b"bbbb")                 # evicts a
+    store.get(a)                       # miss
+    store.get(a)                       # hit (re-cached by the miss)
+    counters = meter.counter_summary("store.")
+    assert counters.get("store.cache.hit") == 1
+    assert counters.get("store.cache.miss") == 1
+    assert counters.get("store.cache.eviction", 0) >= 1
 
 
 # -- RecordStore --------------------------------------------------------------
