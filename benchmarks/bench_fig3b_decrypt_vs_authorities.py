@@ -10,6 +10,8 @@ in our scheme is a little more than the one in Lewko's scheme".
 
 import pytest
 
+from repro.fastpath import DecryptionSession
+
 from benchmarks.conftest import (
     AUTHORITY_SWEEP,
     FIXED_ATTRS,
@@ -36,4 +38,22 @@ def test_lewko_decrypt(benchmark, n_authorities):
     ciphertext = lewko_ciphertext(n_authorities, FIXED_ATTRS)
     benchmark.group = f"fig3b decrypt nA={n_authorities}"
     message = run_once(benchmark, workload.decrypt, ciphertext)
+    assert message == workload.message
+
+
+# Runs LAST in this file so its prepared-pairing chains never leak into
+# the cold series above (pytest preserves definition order).
+@pytest.mark.parametrize("n_authorities", AUTHORITY_SWEEP)
+def test_ours_session_decrypt(benchmark, n_authorities):
+    """The amortized read path: per-ciphertext cost once a
+    :class:`DecryptionSession` is warm (setup excluded — it is paid
+    once per (user, policy) and amortizes across the record class)."""
+    workload = ours_workload(n_authorities, FIXED_ATTRS)
+    ciphertext = ours_ciphertext(n_authorities, FIXED_ATTRS)
+    session = DecryptionSession(
+        workload.group, ciphertext, workload.user_public_key,
+        workload.secret_keys,
+    )
+    benchmark.group = f"fig3b decrypt nA={n_authorities}"
+    message = run_once(benchmark, session.decrypt, ciphertext)
     assert message == workload.message

@@ -1,6 +1,6 @@
 """The built-in adversarial scenarios (see :mod:`repro.adversary.engine`).
 
-Six semantic adversaries, each driving the *real* stack — live
+Seven semantic adversaries, each driving the *real* stack — live
 :class:`~repro.service.server.StorageService` sockets, real key
 material, the real :class:`~repro.service.faults.ChaosProxy` — and each
 paired with a control run that disables exactly the defense under test:
@@ -28,6 +28,11 @@ scenario                    paper claim exercised
                             before the epoch rolls — no node serves
                             pre-sweep ciphertexts behind a rolled epoch
                             (control: the epoch is force-rolled, no resume)
+``stale-transform-token``   transform offload inherits Section V-C: the
+                            epoch roll evicts registered transform keys, a
+                            replayed stale token is version-REJECTED and a
+                            forged-forward one is cryptographically dead
+                            (control: transform-key eviction is disabled)
 ==========================  ==================================================
 
 Scenario code favors explicitness over reuse: each function reads as the
@@ -65,9 +70,15 @@ from repro.cluster.client import (
     ClusterUser,
 )
 from repro.cluster.topology import ClusterMap, ClusterNode
+from repro.core.outsourcing import TransformKey, make_transform_key
 from repro.core.revocation import rekey_standard
 from repro.crypto.hybrid import encrypt_with_session
-from repro.errors import ReproError, TransportError
+from repro.errors import (
+    IntegrityError,
+    ReproError,
+    SchemeError,
+    TransportError,
+)
 from repro.pairing.group import PairingGroup
 from repro.service.client import (
     AuthorityClient,
@@ -876,3 +887,158 @@ async def stale_replica(ctx) -> None:
             await fleet.stop()
         for service in services.values():
             await service.stop()
+
+
+# ---------------------------------------------------------------------------
+# 7. stale transform token
+# ---------------------------------------------------------------------------
+
+@scenario(
+    "stale-transform-token",
+    title="Revoked user replays a pre-revocation transform key",
+    claim="Outsourced decryption inherits Section V-C revocation: a "
+          "sweep's epoch roll evicts every registered transform key it "
+          "outran, a replayed stale token is version-rejected (typed "
+          "SchemeError, before any pairing runs) exactly like a cold "
+          "stale-key decrypt, and forging its version counters forward "
+          "yields only a cryptographically dead partial the AEAD layer "
+          "refuses — never plaintext.",
+    control="the server's transform-key eviction is disabled "
+            "(evict_transform_keys=False): pre-revocation tokens stay "
+            "registered across the sweep",
+    control_invariant="stale-token-evicted",
+)
+async def stale_transform_token(ctx) -> None:
+    group = ctx.group
+    service = await _start_service(ctx, "store",
+                                   evict_transform_keys=not ctx.control)
+    if ctx.control:
+        ctx.note("control: evict_transform_keys=False — the sweep's "
+                 "epoch roll leaves registered tokens in place")
+    fabric = TrustFabric(group)
+    aa, owner_core = fabric.aa, fabric.owner_core
+    note = b"Bloodwork panel: all values nominal."
+    clients = []
+    try:
+        aa_client = AuthorityClient(await _connect(
+            ctx, service.host, service.port, "aa", "AA:hospital"), aa)
+        clients.append(aa_client)
+        owner = OwnerClient(await _connect(
+            ctx, service.host, service.port, "owner", "owner:alice"),
+            owner_core)
+        clients.append(owner)
+        bob = UserClient(await _connect(
+            ctx, service.host, service.port, "user", "user:bob"), "bob")
+        clients.append(bob)
+        carol = UserClient(await _connect(
+            ctx, service.host, service.port, "user", "user:carol"),
+            "carol")
+        clients.append(carol)
+
+        await aa_client.publish_keys()
+        await owner.learn_authorities("hospital")
+        bob.receive_public_key(fabric.bob_pk)
+        carol.receive_public_key(fabric.carol_pk)
+        bob.receive_secret_key(aa.keygen(fabric.bob_pk, ["doctor"],
+                                         "alice"))
+        carol.receive_secret_key(
+            aa.keygen(fabric.carol_pk, ["doctor", "nurse"], "alice")
+        )
+
+        await owner.upload("record", {
+            "note": (note, "hospital:doctor OR hospital:nurse"),
+        })
+
+        # Bob mints his outsourcing token by hand so the scenario can
+        # keep the TransformKey object for the replay; the private z
+        # stays client-side exactly as in register_transform_key.
+        stale_token, retrieval = make_transform_key(
+            group, fabric.bob_pk, bob.secret_keys_for("alice")
+        )
+        await bob.put_transform_key(stale_token)
+        bob._retrieval_keys["alice"] = retrieval
+        await carol.register_transform_key("alice")
+        await _check_read(ctx, "pre-revocation-outsourced-read",
+                          lambda: bob.read_outsourced("record", "note"),
+                          note)
+        registered = (await bob.stats())["transform_keys"]
+        ctx.check("tokens-registered", registered == 2,
+                  f"{registered} transform keys registered")
+
+        # Bob is revoked; the owner sweeps, which re-encrypts the store
+        # AND (defense under test) evicts every transform key whose
+        # embedded version the epoch roll outran — survivors' included,
+        # since their tokens are equally stale.
+        result = rekey_standard(aa, "bob", ["doctor"])
+        update_key = result.update_key
+        for new_key in result.revoked_user_keys.values():
+            bob.receive_secret_key(new_key)
+        if "alice" not in result.revoked_user_keys:
+            bob.drop_keys("hospital", "alice")
+        carol.apply_update_key(update_key)
+        summary = await owner.sweep_revocation(update_key)
+        ctx.note(f"sweep re-encrypted {len(summary.get('updated', ()))} "
+                 f"ciphertexts")
+
+        stats = await bob.stats()
+        evictions = stats["counters"].get("transform.cache.evict", 0)
+        ctx.check(
+            "stale-token-evicted",
+            stats["transform_keys"] == 0 and evictions >= registered,
+            f"{stats['transform_keys']} tokens registered after the "
+            f"sweep, {evictions} evictions",
+        )
+        await _check_read_fails(ctx, "revoked-outsourced-read-fails",
+                                lambda: bob.read_outsourced("record",
+                                                            "note"))
+
+        # The replay proper: re-registering the saved pre-revocation
+        # token succeeds (registration validates the UID, not the
+        # epoch), but TRANSFORM_FETCH must refuse with the *version*
+        # gate — the same typed SchemeError a cold stale-key decrypt
+        # raises, never an AEAD failure on a garbage partial.
+        await bob.put_transform_key(stale_token)
+        try:
+            await bob.read_outsourced("record", "note")
+            ctx.check("replayed-token-version-rejected", False,
+                      "outsourced read succeeded")
+        except SchemeError as exc:
+            ctx.check("replayed-token-version-rejected", True, repr(exc))
+        except ReproError as exc:
+            ctx.check("replayed-token-version-rejected", False,
+                      f"wrong error class: {exc!r}")
+
+        # Forgery: stamp the stale token's version counters forward so
+        # it slips the validation gate — only the pairing algebra can
+        # refuse now, and it must: the partial is garbage, so the AEAD
+        # open fails client-side. Never plaintext, never silent.
+        forged = TransformKey(
+            uid=stale_token.uid,
+            owner_id=stale_token.owner_id,
+            transformed_public=stale_token.transformed_public,
+            transformed_secret={
+                aid: forge_key_version(key, update_key.to_version)
+                for aid, key in stale_token.transformed_secret.items()
+            },
+        )
+        await bob.put_transform_key(forged)
+        try:
+            await bob.read_outsourced("record", "note")
+            ctx.check("forged-token-cryptographically-dead", False,
+                      "plaintext recovered!")
+        except IntegrityError as exc:
+            ctx.check("forged-token-cryptographically-dead", True,
+                      f"AEAD refused the garbage partial: {exc!r}")
+        except ReproError as exc:
+            ctx.check("forged-token-cryptographically-dead", False,
+                      f"refused before the pairing algebra: {exc!r}")
+
+        # The survivor's recovery path: mint a fresh token over the
+        # rolled keys and read outsourced, bit-identical.
+        await carol.register_transform_key("alice")
+        await _check_read(ctx, "survivor-outsourced-bit-identical",
+                          lambda: carol.read_outsourced("record", "note"),
+                          note)
+    finally:
+        await _close_all(clients)
+        await service.stop()

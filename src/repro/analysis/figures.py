@@ -37,6 +37,9 @@ class FigurePoint:
     x: int
     ours_seconds: float
     lewko_seconds: float
+    #: Amortized per-ciphertext cost through a warm
+    #: :class:`repro.fastpath.DecryptionSession` — decrypt figures only.
+    session_seconds: float = None
 
 
 @dataclass(frozen=True)
@@ -46,12 +49,21 @@ class FigureSeries:
     x_label: str
     points: tuple
 
+    @property
+    def has_session(self) -> bool:
+        return any(p.session_seconds is not None for p in self.points)
+
     def to_csv(self) -> str:
-        lines = [f"{self.x_label},ours_seconds,lewko_seconds"]
+        header = f"{self.x_label},ours_seconds,lewko_seconds"
+        if self.has_session:
+            header += ",session_seconds"
+        lines = [header]
         for point in self.points:
-            lines.append(
-                f"{point.x},{point.ours_seconds:.6f},{point.lewko_seconds:.6f}"
-            )
+            row = (f"{point.x},{point.ours_seconds:.6f},"
+                   f"{point.lewko_seconds:.6f}")
+            if self.has_session:
+                row += f",{(point.session_seconds or 0.0):.6f}"
+            lines.append(row)
         return "\n".join(lines) + "\n"
 
 
@@ -82,6 +94,7 @@ def figure_series(figure_id: str, preset: TypeAParams, sweep,
             n_authorities, attrs = FIXED, x
         ours = build_ours(preset, n_authorities, attrs, seed=seed)
         lewko = build_lewko(preset, n_authorities, attrs, seed=seed)
+        session_time = None
         if operation == "encrypt":
             ours_time = min(
                 _time_once(ours.encrypt) for _ in range(repeats)
@@ -90,6 +103,8 @@ def figure_series(figure_id: str, preset: TypeAParams, sweep,
                 _time_once(lewko.encrypt) for _ in range(repeats)
             )
         else:
+            from repro.fastpath import DecryptionSession
+
             ours_ct = ours.encrypt()
             lewko_ct = lewko.encrypt()
             ours_time = min(
@@ -100,9 +115,20 @@ def figure_series(figure_id: str, preset: TypeAParams, sweep,
                 _time_once(lambda: lewko.decrypt(lewko_ct))
                 for _ in range(repeats)
             )
+            # The amortized third curve: a warm session replaying its
+            # prepared Miller chains (setup excluded — it is paid once
+            # per (user, policy) and amortizes across the record class).
+            session = DecryptionSession(
+                ours.group, ours_ct, ours.user_public_key, ours.secret_keys
+            )
+            session_time = min(
+                _time_once(lambda: session.decrypt(ours_ct))
+                for _ in range(repeats)
+            )
         points.append(
             FigurePoint(x=x, ours_seconds=ours_time,
-                        lewko_seconds=lewko_time)
+                        lewko_seconds=lewko_time,
+                        session_seconds=session_time)
         )
     x_label = ("n_authorities" if axis == "authorities"
                else "attrs_per_authority")
@@ -113,26 +139,35 @@ def figure_series(figure_id: str, preset: TypeAParams, sweep,
 
 
 def render_ascii(series: FigureSeries, width: int = 60) -> str:
-    """A two-curve horizontal bar chart for terminals.
+    """A horizontal bar chart for terminals.
 
-    ``o`` bars are our scheme, ``L`` bars the Lewko baseline; both are
-    scaled to the slowest measurement in the series.
+    ``o`` bars are our scheme, ``L`` bars the Lewko baseline, and — on
+    decrypt figures — ``s`` bars the warm-session amortized path; all
+    are scaled to the slowest measurement in the series.
     """
     peak = max(
         max(point.ours_seconds, point.lewko_seconds)
         for point in series.points
     )
     scale = (width - 1) / peak if peak > 0 else 0
+    pad = len(series.x_label) + 5
     lines = [series.title, ""]
     for point in series.points:
         ours_bar = "o" * max(1, int(point.ours_seconds * scale))
         lewko_bar = "L" * max(1, int(point.lewko_seconds * scale))
         lines.append(
             f"{series.x_label}={point.x:<3} "
-            f"ours  {point.ours_seconds * 1000:9.1f} ms |{ours_bar}"
+            f"ours    {point.ours_seconds * 1000:9.1f} ms |{ours_bar}"
         )
         lines.append(
-            f"{'':<{len(series.x_label) + 5}}"
-            f"lewko {point.lewko_seconds * 1000:9.1f} ms |{lewko_bar}"
+            f"{'':<{pad}}"
+            f"lewko   {point.lewko_seconds * 1000:9.1f} ms |{lewko_bar}"
         )
+        if point.session_seconds is not None:
+            session_bar = "s" * max(1, int(point.session_seconds * scale))
+            lines.append(
+                f"{'':<{pad}}"
+                f"session {point.session_seconds * 1000:9.1f} ms "
+                f"|{session_bar}"
+            )
     return "\n".join(lines)

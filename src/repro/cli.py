@@ -10,7 +10,7 @@ Commands:
 * ``load``       — run the fleet-scale load harness (closed/open loop,
   capacity sweep with knee detection, serial-vs-pipelined comparison)
 * ``client``     — talk to a running service (ping / stats / list /
-  smoke / sweep / bench-encrypt)
+  smoke / sweep / bench-encrypt / bench-decrypt)
 * ``cluster``    — drive a sharded multi-node fleet (smoke / health /
   stats / scrub / list)
 * ``adversary``  — run the adversarial scenario engine (list / run /
@@ -419,6 +419,14 @@ def _cmd_client(args) -> int:
             components=args.components,
             timeout=30.0 if args.timeout is None else args.timeout,
         ))
+    if args.action == "bench-decrypt":
+        from repro.service.smoke import run_bench_decrypt
+
+        return asyncio.run(run_bench_decrypt(
+            params, args.host, args.port, out=out, seed=args.seed,
+            components=args.components,
+            timeout=30.0 if args.timeout is None else args.timeout,
+        ))
     if args.action in ("smoke", "sweep"):
         from repro.service.smoke import run_smoke, run_sweep_cycle
 
@@ -780,8 +788,11 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument("--alpha", type=float, default=1.1,
                       help="Zipf popularity exponent (0 = uniform)")
     load.add_argument("--mix", default=None,
-                      help='op mix, e.g. "fetch=0.8,upload=0.1,'
-                           'replace=0.08,sweep=0.02"')
+                      help='op mix over fetch/decrypt/upload/replace/'
+                           'sweep, e.g. "fetch=0.55,decrypt=0.25,'
+                           'upload=0.1,replace=0.08,sweep=0.02" '
+                           '(decrypt = full user read: download + '
+                           'session-cached ABE decryption)')
     load.add_argument("--concurrency", type=int, default=32,
                       help="workers (closed/compare modes)")
     load.add_argument("--ops", type=int, default=40,
@@ -834,19 +845,23 @@ def build_parser() -> argparse.ArgumentParser:
     _add_preset_argument(client)
     client.add_argument("action",
                         choices=["ping", "stats", "health", "list", "smoke",
-                                 "sweep", "bench-encrypt"],
+                                 "sweep", "bench-encrypt", "bench-decrypt"],
                         help="smoke runs the full upload/read/revoke cycle; "
                              "sweep bulk-revokes many records in one "
                              "REENCRYPT_SWEEP request; bench-encrypt times "
                              "the session engine against the cold Encrypt "
-                             "path over a live upload")
+                             "path over a live upload; bench-decrypt times "
+                             "cold vs session vs server-transformed reads "
+                             "(and checks the outsourced path costs zero "
+                             "client pairings)")
     client.add_argument("--seed", type=int, default=None)
     client.add_argument("--records", type=int, default=24,
                         help="records to populate for the sweep cycle "
                              "(default 24)")
     client.add_argument("--components", type=int, default=8,
-                        help="components to encrypt in the bench-encrypt "
-                             "cycle (default 8)")
+                        help="components to encrypt/decrypt in the "
+                             "bench-encrypt/bench-decrypt cycles "
+                             "(default 8)")
     client.add_argument("--host", default="127.0.0.1")
     client.add_argument("--port", type=int, default=7468)
     client.add_argument("--timeout", type=float, default=None,

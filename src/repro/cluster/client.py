@@ -43,6 +43,7 @@ identically no matter which replica serves.
 from __future__ import annotations
 
 import random
+from collections import OrderedDict
 
 from repro.cluster.topology import ClusterMap
 from repro.core.owner import DataOwner
@@ -562,11 +563,19 @@ class ClusterUser(_ClusterRole):
         self.uid = uid
         self.public_key = None
         self._secret_keys = {}  # owner id -> {aid -> UserSecretKey}
+        # Shared with every per-node client (like the wallet): a
+        # decryption session built reading from one replica keeps
+        # serving after a failover to another, and one retrieval key
+        # finalizes transforms no matter which node computed them.
+        self._decrypt_sessions = OrderedDict()
+        self._retrieval_keys = {}  # owner id -> RetrievalKey
 
     def _make(self, connection):
         client = UserClient(connection, self.uid)
         client.public_key = self.public_key
         client._secret_keys = self._secret_keys  # shared, never copied
+        client._decrypt_sessions = self._decrypt_sessions
+        client._retrieval_keys = self._retrieval_keys
         return client
 
     def receive_public_key(self, public_key) -> None:
@@ -599,6 +608,93 @@ class ClusterUser(_ClusterRole):
         async def op(node_name):
             client = await self._client(node_name)
             return await client.read(record_id, component_name)
+
+        return await self.cluster.read_with_failover(record_id, op)
+
+    async def read_many(self, items) -> list:
+        """Batch read across shards: per-primary batches, per-item
+        failover.
+
+        Items are grouped by their record's primary replica so each
+        group rides one pipelined :meth:`UserClient.read_many` (batched
+        session decrypts); any group whose primary cannot serve falls
+        back to per-item :meth:`read`, which walks the full preference
+        list and read-repairs as usual.
+        """
+        items = list(items)
+        groups = {}  # primary node name -> [item indices]
+        for index, (record_id, _) in enumerate(items):
+            primary = self.cluster.map.replicas_for(record_id)[0].name
+            groups.setdefault(primary, []).append(index)
+        plaintexts = [None] * len(items)
+        for node_name, indices in groups.items():
+            try:
+                client = await self._client(node_name)
+                values = await client.read_many(
+                    [items[index] for index in indices]
+                )
+            except ProtocolError:
+                raise
+            except Exception as exc:
+                if not (is_retryable(exc) or isinstance(exc, StorageError)):
+                    raise
+                values = []
+                for index in indices:
+                    values.append(await self.read(*items[index]))
+            for index, value in zip(indices, values):
+                plaintexts[index] = value
+        return plaintexts
+
+    async def register_transform_key(self, owner_id: str) -> dict:
+        """Mint ONE blinded bundle and register it fleet-wide.
+
+        One ``z`` for the whole fleet: every node holds the same
+        transform key, so the single retained retrieval key finalizes a
+        transform served by any replica. Succeeds if at least one node
+        took the key (an outsourced read fails over past the others).
+        """
+        keys = self._secret_keys.get(owner_id)
+        if not keys:
+            raise SchemeError(
+                f"user {self.uid!r} holds no keys scoped to owner "
+                f"{owner_id!r}"
+            )
+        from repro.core.outsourcing import make_transform_key
+
+        transform_key, retrieval_key = make_transform_key(
+            self.group, self.public_key, dict(keys)
+        )
+
+        async def op(name):
+            client = await self._client(name)
+            await client.put_transform_key(transform_key)
+            return name
+
+        outcomes = await self.cluster._each_node(op)
+        acks = [name for name, outcome in outcomes.items()
+                if not isinstance(outcome, Exception)]
+        failed = {name: repr(outcome)
+                  for name, outcome in outcomes.items()
+                  if isinstance(outcome, Exception)}
+        if not acks:
+            raise UnavailableError(
+                f"no cluster node accepted the transform key for "
+                f"{self.uid!r} (failures: {failed})"
+            )
+        self._retrieval_keys[owner_id] = retrieval_key
+        return {"acks": acks, "failed": failed}
+
+    async def read_outsourced(self, record_id: str,
+                              component_name: str) -> bytes:
+        """Server-transformed read with replica failover.
+
+        Zero pairings on this client regardless of which replica
+        serves; a node missing the registration answers a typed
+        authorization error, which propagates (failing over cannot
+        mint keys)."""
+        async def op(node_name):
+            client = await self._client(node_name)
+            return await client.read_outsourced(record_id, component_name)
 
         return await self.cluster.read_with_failover(record_id, op)
 

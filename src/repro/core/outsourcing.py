@@ -128,7 +128,67 @@ def server_transform(group: PairingGroup, ciphertext: Ciphertext,
     return numerator / denominator
 
 
+def server_transform_many(group: PairingGroup, ciphertexts,
+                          transform_key: TransformKey) -> list:
+    """Batch :func:`server_transform` with amortized pairing work.
+
+    The service's ``TRANSFORM_FETCH`` path funnels pipelined in-flight
+    transforms through this: per batch the transformed key products and
+    their :class:`~repro.pairing.prepared.PreparedPairing` line
+    coefficients are built once per policy shape (the collapsed
+    3-pairing form of :func:`repro.core.decrypt.decrypt_fast`, valid
+    here because every Eq. (1) term is linear in the key exponents),
+    and all N final exponentiations share one modular inversion via
+    :func:`repro.pairing.miller.final_exponentiation_many`.
+
+    Each returned partial is the same GT group element
+    :func:`server_transform` computes — GT elements have one canonical
+    F_p² representation, so the bytes are identical — and each
+    ciphertext is validated exactly like the per-ciphertext path
+    (stale versions raise :class:`SchemeError` before any pairing
+    runs).
+    """
+    from repro.fastpath.decrypt import DecryptionSession
+    from repro.pairing.miller import final_exponentiation_many
+
+    ciphertexts = list(ciphertexts)
+    public = transform_key.transformed_public
+    keys = transform_key.transformed_secret
+    for ciphertext in ciphertexts:
+        _validate_inputs(ciphertext, public, keys)
+    # One session per policy shape within the batch; the transformed
+    # key bundle plays the role of the user's keys.
+    sessions = {}
+    raws = []
+    for ciphertext in ciphertexts:
+        shape = (ciphertext.owner_id, id(ciphertext.matrix))
+        session = sessions.get(shape)
+        if session is None:
+            session = DecryptionSession(group, ciphertext, public, keys)
+            sessions[shape] = session
+        raws.append(session._miller_raw(ciphertext))
+    slots = [index for index, raw in enumerate(raws) if raw is not None]
+    reduced = final_exponentiation_many(
+        group.ext, [raws[index] for index in slots], group.order
+    )
+    partials = [group.identity_gt()] * len(ciphertexts)
+    for index, value in zip(slots, reduced):
+        partials[index] = GTElement(group, value)
+    return partials
+
+
 def user_finalize(ciphertext: Ciphertext, partial: GTElement,
                   retrieval_key: RetrievalKey) -> GTElement:
     """User side: one GT exponentiation, zero pairings."""
-    return ciphertext.c / (partial ** retrieval_key.z)
+    return user_finalize_value(ciphertext.c, partial, retrieval_key)
+
+
+def user_finalize_value(c: GTElement, partial: GTElement,
+                        retrieval_key: RetrievalKey) -> GTElement:
+    """:func:`user_finalize` from the ``C`` component alone.
+
+    The ``TRANSFORM_FETCH`` reply carries only ``C`` and the partial —
+    never the LSSS rows the server already consumed — so the wire
+    client finalizes without re-decoding a full ciphertext.
+    """
+    return c / (partial ** retrieval_key.z)

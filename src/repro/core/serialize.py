@@ -222,6 +222,110 @@ def decode_user_secret_key(group: PairingGroup, data: bytes) -> UserSecretKey:
     )
 
 
+# -- TransformKey ----------------------------------------------------------------------
+
+def encode_transform_key(key) -> bytes:
+    """Wire form of a :class:`repro.core.outsourcing.TransformKey`.
+
+    One user-secret-key-shaped block per authority (sorted by AID),
+    prefixed by the transformed public element; headers carry the
+    per-authority versions so the server can index its transform-key
+    cache without decoding any group element.
+    """
+    aids = sorted(key.transformed_secret)
+    per_aid = {}
+    body = key.transformed_public.element.to_bytes()
+    for aid in aids:
+        secret = key.transformed_secret[aid]
+        names = sorted(secret.attribute_keys)
+        per_aid[aid] = {"version": secret.version, "attrs": names}
+        body += secret.k.to_bytes() + b"".join(
+            secret.attribute_keys[name].to_bytes() for name in names
+        )
+    return _pack(
+        {
+            "kind": "tk",
+            "uid": key.uid,
+            "owner": key.owner_id,
+            "aids": aids,
+            "keys": per_aid,
+        },
+        body,
+    )
+
+
+def peek_transform_key(data: bytes) -> dict:
+    """Header fields of a TK encoding without decoding any element.
+
+    Returns ``{"uid", "owner", "versions": {aid: version}}`` — what the
+    service needs to key and invalidate its transform-key cache.
+    """
+    header, _ = _unpack(data)
+    if header.get("kind") != "tk":
+        raise SchemeError("not a transform key encoding")
+    _, per_aid = _transform_key_layout(header)
+    return {
+        "uid": _header_str(header, "uid"),
+        "owner": _header_str(header, "owner"),
+        "versions": {aid: meta[0] for aid, meta in per_aid.items()},
+    }
+
+
+def _transform_key_layout(header: dict) -> tuple:
+    """Validated ``(aids, {aid: (version, attrs)})`` of a TK header."""
+    aids = _header_str_list(header, "aids")
+    per_aid_raw = header.get("keys")
+    if not isinstance(per_aid_raw, dict) or set(per_aid_raw) != set(aids):
+        raise SchemeError(
+            "transform key header field 'keys' missing or inconsistent "
+            "with 'aids'"
+        )
+    per_aid = {}
+    for aid in aids:
+        meta = per_aid_raw[aid]
+        if not isinstance(meta, dict):
+            raise SchemeError("transform key per-authority entry malformed")
+        per_aid[aid] = (
+            _header_int(meta, "version"),
+            _header_str_list(meta, "attrs"),
+        )
+    return aids, per_aid
+
+
+def decode_transform_key(group: PairingGroup, data: bytes, *,
+                         check_subgroup: bool = True):
+    from repro.core.outsourcing import TransformKey
+
+    header, body = _unpack(data)
+    if header.get("kind") != "tk":
+        raise SchemeError("not a transform key encoding")
+    uid = _header_str(header, "uid")
+    owner_id = _header_str(header, "owner")
+    aids, per_aid = _transform_key_layout(header)
+    count = 1 + sum(1 + len(attrs) for _, attrs in per_aid.values())
+    elements = iter(_split_elements(group, body, count,
+                                    check_subgroup=check_subgroup))
+    public = UserPublicKey(uid=uid, element=next(elements))
+    transformed_secret = {}
+    for aid in aids:
+        version, names = per_aid[aid]
+        k = next(elements)
+        transformed_secret[aid] = UserSecretKey(
+            uid=uid,
+            aid=aid,
+            owner_id=owner_id,
+            k=k,
+            attribute_keys={name: next(elements) for name in names},
+            version=version,
+        )
+    return TransformKey(
+        uid=uid,
+        owner_id=owner_id,
+        transformed_public=public,
+        transformed_secret=transformed_secret,
+    )
+
+
 # -- UpdateKey ----------------------------------------------------------------------------
 
 def encode_update_key(group: PairingGroup, key: UpdateKey) -> bytes:

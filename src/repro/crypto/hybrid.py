@@ -55,3 +55,39 @@ def open_sealed(session: GTElement, context: str,
                 body: symmetric.SymmetricCiphertext) -> bytes:
     """Decrypt one data component; IntegrityError on any mismatch."""
     return symmetric.decrypt(content_key_for(session, context), body)
+
+
+def decrypt_with_session(decryption_session, abe_ciphertext,
+                         body: symmetric.SymmetricCiphertext) -> bytes:
+    """The full KEM/DEM read path through one decryption session.
+
+    The read-side mirror of :func:`encrypt_with_session`: recover the
+    GT session element via a per-policy-shape
+    :class:`repro.fastpath.decrypt.DecryptionSession` (no re-parse, no
+    per-call coefficient solve, prepared Miller loops — the historical
+    hybrid read path re-derived all of that on every component), then
+    open the sealed body under the derived content key.
+    """
+    session_element = decryption_session.decrypt(abe_ciphertext)
+    return open_sealed(
+        session_element, abe_ciphertext.ciphertext_id, body
+    )
+
+
+def decrypt_many_with_session(decryption_session, components) -> list:
+    """Batch :func:`decrypt_with_session` over one session.
+
+    ``components`` is a sequence of ``(abe_ciphertext, sealed_body)``
+    pairs sharing the session's policy shape; all N ABE decryptions
+    ride one batched final exponentiation
+    (:meth:`~repro.fastpath.decrypt.DecryptionSession.decrypt_many`).
+    """
+    components = list(components)
+    session_elements = decryption_session.decrypt_many(
+        [abe_ciphertext for abe_ciphertext, _ in components]
+    )
+    return [
+        open_sealed(element, abe_ciphertext.ciphertext_id, body)
+        for element, (abe_ciphertext, body)
+        in zip(session_elements, components)
+    ]

@@ -1,0 +1,235 @@
+"""Per-(user, policy) decryption sessions — the read-path fast path.
+
+A cloud-storage user reads *many* components encrypted under the *same*
+policy (one policy per record class), yet the cold
+:func:`repro.core.decrypt.decrypt_fast` re-derives everything — LSSS
+reconstruction coefficients, the combined key product, the per-row
+exponent vector — per call, and walks three full Miller loops per
+ciphertext.
+
+:class:`DecryptionSession` splits that work the way
+:class:`repro.fastpath.session.EncryptionSession` does for Encrypt:
+
+* **setup (once per (user keys, policy shape))** — validate the key
+  bundle, solve the LSSS reconstruction ``{w_i}`` once, fix the
+  per-row exponents ``w_i·n_A``, fold the numerator key product
+  ``∏_k K_{UID,AID_k}`` and the combined attribute key
+  ``∏ K_{ρ(i)}^{w_i·n_A}`` — then MERGE the two key-side pairing
+  arguments (both paired against the varying ``C'``) into one point by
+  bilinearity, and cache :class:`~repro.pairing.prepared.
+  PreparedPairing` line coefficients for the two pairing arguments
+  that never change across ciphertexts (the pairing is symmetric, so
+  the *varying* arguments — ``C'`` and the combined row point — ride
+  the cached chains as second arguments);
+* **per ciphertext** — one multi-exponentiation over the used rows and
+  two Miller-loop *replays*, no fresh line-coefficient chains;
+* **batch** — :meth:`DecryptionSession.decrypt_many` accumulates the
+  raw Miller products of N ciphertexts and reduces them through ONE
+  :func:`repro.pairing.miller.final_exponentiation_many` call, sharing
+  a single modular inversion across the whole batch.
+
+Outputs are byte-identical to the cold path: the merged raw Miller
+product differs from :func:`~repro.core.decrypt.decrypt_fast`'s only
+by a factor the final exponentiation annihilates (the reduced pairing
+is bilinear), and the batched final exponentiation is bit-identical
+per entry to the per-value reduction (modular inverses are unique).
+
+**Revocation safety**: the session snapshots every secret key's version
+at setup and re-runs the cold path's eager validation per ciphertext —
+a ciphertext re-encrypted past the session's key versions raises the
+same typed :class:`~repro.errors.SchemeError` the cold path raises
+(REJECTED, never silently-wrong plaintext), and
+:meth:`DecryptionSession.matches` lets callers drop cached sessions the
+moment an update key rolls any underlying secret key forward.
+"""
+
+from __future__ import annotations
+
+from repro.core.attributes import authority_of
+from repro.core.ciphertext import Ciphertext
+from repro.core.decrypt import _validate_inputs
+from repro.core.keys import UserPublicKey
+from repro.ec.curve import INFINITY
+from repro.errors import SchemeError
+from repro.pairing.group import GTElement, PairingGroup
+from repro.pairing.miller import final_exponentiation_many
+
+
+class DecryptionSession:
+    """Amortized Decrypt for one (user key bundle, policy shape) pair.
+
+    Build from any ciphertext of the target policy class::
+
+        session = DecryptionSession(group, ciphertext, public_key, keys)
+        message = session.decrypt(ciphertext)          # one ciphertext
+        messages = session.decrypt_many(ciphertexts)   # shared final exp
+
+    ``secret_keys`` maps AID → :class:`~repro.core.keys.UserSecretKey`;
+    as with the cold path, one key per involved authority is required
+    and the bundle must satisfy the policy
+    (:class:`~repro.errors.PolicyNotSatisfiedError` at setup otherwise).
+    """
+
+    def __init__(self, group: PairingGroup, ciphertext: Ciphertext,
+                 user_public_key: UserPublicKey, secret_keys: dict, *,
+                 meter=None):
+        _validate_inputs(ciphertext, user_public_key, secret_keys)
+        self.group = group
+        self.user_public_key = user_public_key
+        self.secret_keys = dict(secret_keys)
+        self.owner_id = ciphertext.owner_id
+        self.matrix = ciphertext.matrix
+        self.involved_aids = ciphertext.involved_aids
+        #: aid -> secret key version this session was built against.
+        self.versions = {
+            aid: secret_keys[aid].version for aid in ciphertext.involved_aids
+        }
+        self.meter = meter
+        order = group.order
+        held = set()
+        for aid in ciphertext.involved_aids:
+            held |= set(secret_keys[aid].attribute_keys)
+        coefficients = self.matrix.reconstruction_coefficients(held, order)
+        n_involved = len(ciphertext.involved_aids)
+        # The exact quantities decrypt_fast derives per call, fixed here
+        # because keys and policy shape are fixed for the session's life.
+        used = sorted(coefficients.items())
+        self._row_indices = tuple(index for index, _ in used)
+        self._exponents = tuple(w * n_involved % order for _, w in used)
+        k_product = group.identity_g1()
+        for aid in ciphertext.involved_aids:
+            k_product = k_product * secret_keys[aid].k
+        key_combined = group.multiexp_g1(
+            [
+                secret_keys[authority_of(self.matrix.row_labels[index])]
+                .attribute_keys[self.matrix.row_labels[index]]
+                for index, _ in used
+            ],
+            list(self._exponents),
+        )
+        self._key_combined_inv = key_combined.inverse()
+        # Two of Eq. (1)'s three pairings share the varying argument C':
+        # e(∏K_k, C') · e((∏K_ρ(i)^{w_i·n_A})^{-1}, C') =
+        # e(∏K_k · (∏K_ρ(i)^{w_i·n_A})^{-1}, C') by bilinearity, so the
+        # session folds both fixed sides into ONE prepared Miller chain
+        # — two line replays per ciphertext instead of three. The raw
+        # Miller value differs from the cold path's by a factor the
+        # final exponentiation annihilates, so reduced outputs stay
+        # byte-identical. The per-ciphertext arguments (C', combined row
+        # point) replay the cached chains by pairing symmetry.
+        self._prepared_keys = group.prepare_pairing(
+            k_product * self._key_combined_inv
+        )
+        self._prepared_pk = group.prepare_pairing(user_public_key.element)
+        self.stats = {"decrypted": 0, "batches": 0}
+
+    # -- freshness ---------------------------------------------------------
+
+    def matches(self, user_public_key: UserPublicKey,
+                secret_keys: dict) -> bool:
+        """True iff a live key bundle is the one this session embeds.
+
+        Used by session caches: an update key rolls a secret key's
+        version forward (a *new* key object), so a session built before
+        the roll stops matching and must be rebuilt — it can never
+        silently decrypt with superseded key material.
+        """
+        if user_public_key is None or (
+            user_public_key is not self.user_public_key
+            and user_public_key.uid != self.user_public_key.uid
+        ):
+            return False
+        for aid, key in self.secret_keys.items():
+            live = secret_keys.get(aid)
+            if live is None:
+                return False
+            if live is not key and live.version != key.version:
+                return False
+        return True
+
+    def _check_shape(self, ciphertext: Ciphertext) -> None:
+        if ciphertext.owner_id != self.owner_id:
+            raise SchemeError(
+                f"decryption session is scoped to owner {self.owner_id!r}; "
+                f"the ciphertext was produced by {ciphertext.owner_id!r}"
+            )
+        matrix = ciphertext.matrix
+        if matrix is not self.matrix and (
+            matrix.rows != self.matrix.rows
+            or matrix.row_labels != self.matrix.row_labels
+        ):
+            raise SchemeError(
+                "ciphertext policy differs from this session's; build one "
+                "session per policy shape"
+            )
+
+    # -- decryption --------------------------------------------------------
+
+    def _miller_raw(self, ciphertext: Ciphertext):
+        """The accumulated raw Miller product of one ciphertext's
+        blinding (or None when every pairing is trivial). The cold
+        path's 3-pairing product collapses to two Miller replays here
+        because both key-side pairings share the varying argument C'
+        (see ``__init__``); the reduced value is byte-identical."""
+        group = self.group
+        c_combined = group.multiexp_g1(
+            [ciphertext.c_rows[index] for index in self._row_indices],
+            list(self._exponents),
+        )
+        group.counter.pairings += 2
+        accumulator = None
+        for prepared, varying in (
+            (self._prepared_keys, ciphertext.c_prime),
+            (self._prepared_pk, c_combined.inverse()),
+        ):
+            if prepared.point is INFINITY or varying.point is INFINITY:
+                continue
+            raw = prepared.miller(varying.point)
+            accumulator = (
+                raw if accumulator is None else group.ext.mul(accumulator, raw)
+            )
+        return accumulator
+
+    def decrypt_many(self, ciphertexts) -> list:
+        """Decrypt N ciphertexts with one shared final exponentiation.
+
+        Each ciphertext is validated exactly like the cold path (stale
+        versions raise the cold path's :class:`SchemeError`), and each
+        recovered message is byte-identical to
+        :func:`repro.core.decrypt.decrypt_fast` of the same ciphertext.
+        """
+        ciphertexts = list(ciphertexts)
+        group = self.group
+        raws = []
+        for ciphertext in ciphertexts:
+            self._check_shape(ciphertext)
+            _validate_inputs(ciphertext, self.user_public_key,
+                             self.secret_keys)
+            raws.append(self._miller_raw(ciphertext))
+        slots = [index for index, raw in enumerate(raws) if raw is not None]
+        reduced = final_exponentiation_many(
+            group.ext, [raws[index] for index in slots], group.order
+        )
+        blindings = [group.identity_gt()] * len(ciphertexts)
+        for index, value in zip(slots, reduced):
+            blindings[index] = GTElement(group, value)
+        self.stats["decrypted"] += len(ciphertexts)
+        self.stats["batches"] += 1
+        if self.meter is not None:
+            self.meter.bump("decrypt.session.decrypt", len(ciphertexts))
+            self.meter.bump("decrypt.session.batch")
+        return [
+            ciphertext.c / blinding
+            for ciphertext, blinding in zip(ciphertexts, blindings)
+        ]
+
+    def decrypt(self, ciphertext: Ciphertext) -> GTElement:
+        """Recover one GT message (byte-identical to ``decrypt_fast``)."""
+        return self.decrypt_many([ciphertext])[0]
+
+    def __repr__(self) -> str:
+        return (
+            f"DecryptionSession(uid={self.user_public_key.uid!r}, "
+            f"owner={self.owner_id!r}, rows={len(self._row_indices)}, "
+            f"decrypted={self.stats['decrypted']})"
+        )

@@ -24,6 +24,12 @@ Operation classes (see :mod:`repro.loadgen.workload`):
 * ``fetch`` — raw ``FETCH_RECORD`` of a Zipf-popular record; the reply
   body's SHA-256 is recorded when digest capture is on, which is what
   the serial-vs-pipelined byte-identity check compares.
+* ``decrypt`` — the full user read path on a Zipf-popular record:
+  component download plus ABE decryption through the surviving user's
+  per-policy-shape :class:`repro.fastpath.decrypt.DecryptionSession`
+  cache (shared across workers, like a real client's), ending in the
+  AEAD open — so the measured latency is what a data consumer sees,
+  not just the server's fetch.
 * ``upload`` — alternating ``STORE_RECORD``/``DELETE_RECORD`` of one
   pre-encoded per-worker churn record (store of an existing id is an
   error by design, so churn must alternate).
@@ -32,8 +38,12 @@ Operation classes (see :mod:`repro.loadgen.workload`):
   land on the same record so ledger version suffixes never race.
 * ``sweep`` — a Section V-C bulk revocation sweep; rare, heavyweight,
   and serialized by a global lock (two concurrent sweeps would race the
-  authority version). Errors in sweep/replace under concurrent version
-  churn are tolerated and *counted*, never hidden.
+  authority version). Each sweep rolls the reader wallet's keys forward
+  with the update key (the reader is *not* the revoked user), which
+  also invalidates every cached decryption session — the next decrypt
+  op transparently rebuilds against the new version. Errors in
+  decrypt/sweep/replace under concurrent version churn are tolerated
+  and *counted*, never hidden.
 """
 
 from __future__ import annotations
@@ -43,14 +53,15 @@ import contextlib
 import hashlib
 import random
 import time
-from collections import Counter
+from collections import Counter, OrderedDict
 
+from repro.core.authority import apply_update_key
 from repro.core.revocation import rekey_standard
 from repro.crypto.hybrid import encrypt_with_session
 from repro.pairing.group import PairingGroup
 from repro.parallel import gather_bounded
 from repro.service import protocol
-from repro.service.client import OwnerClient, ServiceConnection
+from repro.service.client import OwnerClient, ServiceConnection, UserClient
 from repro.service.protocol import MessageType
 from repro.service.retry import RetryPolicy
 from repro.service.smoke import TrustFabric
@@ -105,15 +116,18 @@ class _Slot:
 
     Pipelined connections multiplex naturally; a serial connection is
     one-request-at-a-time by construction, so sharing it across workers
-    needs the lock.
+    needs the lock. ``user`` is the reader-role wrapper over the same
+    connection — its key wallet and decryption-session cache are shared
+    across every slot (one simulated reader, many sockets).
     """
 
-    __slots__ = ("connection", "owner", "lock")
+    __slots__ = ("connection", "owner", "user", "lock")
 
     def __init__(self, connection: ServiceConnection, owner: OwnerClient,
-                 serialize: bool):
+                 user: UserClient, serialize: bool):
         self.connection = connection
         self.owner = owner
+        self.user = user
         self.lock = asyncio.Lock() if serialize else None
 
     def guard(self):
@@ -251,6 +265,15 @@ class LoadHarness:
             self.fabric.aa.public_attribute_keys(),
         )
         self._sweep_lock = asyncio.Lock()
+        # One simulated reader (carol — sweeps revoke bob, so her keys
+        # roll forward rather than away): wallet and decrypt-session
+        # cache shared by reference across every slot's UserClient.
+        self._user_keys = {"alice": {
+            "hospital": self.fabric.aa.keygen(
+                self.fabric.carol_pk, ["doctor", "nurse"], "alice"
+            ),
+        }}
+        self._user_sessions = OrderedDict()
         for index in range(self.n_connections):
             conn = ServiceConnection(
                 self.group, self.host, self.port,
@@ -262,8 +285,12 @@ class LoadHarness:
                 ),
             )
             await conn.connect()
+            user = UserClient(conn, "carol")
+            user.receive_public_key(self.fabric.carol_pk)
+            user._secret_keys = self._user_keys          # shared wallet
+            user._decrypt_sessions = self._user_sessions  # shared cache
             self._slots.append(_Slot(
-                conn, OwnerClient(conn, self.fabric.owner_core),
+                conn, OwnerClient(conn, self.fabric.owner_core), user,
                 serialize=not conn.pipelined,
             ))
         self.fetch_pool = [self._record_id("hot", i)
@@ -303,7 +330,7 @@ class LoadHarness:
     def pipelined(self) -> bool:
         return any(slot.connection.pipelined for slot in self._slots)
 
-    # -- the four op classes ----------------------------------------------
+    # -- the five op classes ----------------------------------------------
 
     async def _op_fetch(self, slot: _Slot, rng: random.Random) -> str:
         record_id = self.fetch_pool[self.popularity.sample(rng)]
@@ -313,6 +340,12 @@ class LoadHarness:
             expect=MessageType.RECORD,
         )
         return hashlib.sha256(body).hexdigest()
+
+    async def _op_decrypt(self, slot: _Slot, rng: random.Random) -> str:
+        record_id = self.fetch_pool[self.popularity.sample(rng)]
+        async with slot.guard():
+            plaintext = await slot.user.read(record_id, "note")
+        return hashlib.sha256(plaintext).hexdigest()
 
     def _churn_state(self, worker: int) -> dict:
         state = self._churn.get(worker)
@@ -364,13 +397,30 @@ class LoadHarness:
     async def _op_sweep(self, slot: _Slot) -> None:
         async with self._sweep_lock, slot.guard():
             self._sweep_round += 1
+            # Give bob a fresh key to revoke each round: every sweep
+            # models one real revocation (issue → revoke → re-encrypt),
+            # repeatable for as long as the run lasts.
+            self.fabric.aa.keygen(self.fabric.bob_pk, ["doctor"], "alice")
             result = rekey_standard(self.fabric.aa, "bob", ["doctor"])
             await slot.owner.sweep_revocation(result.update_key)
+            # Roll the (non-revoked) reader wallet forward so decrypt
+            # ops keep succeeding against re-encrypted ciphertexts.
+            # Decrypt ops racing the sweep itself may still observe a
+            # version mismatch — counted as errors, never hidden.
+            for keys in self._user_keys.values():
+                key = keys.get(result.update_key.aid)
+                if key is not None \
+                        and key.version == result.update_key.from_version:
+                    keys[result.update_key.aid] = apply_update_key(
+                        key, result.update_key
+                    )
 
     async def _one_op(self, op_class: str, slot: _Slot, worker: int,
                       rng: random.Random):
         if op_class == "fetch":
             return await self._op_fetch(slot, rng)
+        if op_class == "decrypt":
+            return await self._op_decrypt(slot, rng)
         if op_class == "upload":
             return await self._op_upload(slot, worker)
         if op_class == "replace":

@@ -15,10 +15,12 @@ from __future__ import annotations
 import random
 from bisect import bisect_left
 
-#: Operation classes a workload can mix. ``sweep`` is the Section V-C
+#: Operation classes a workload can mix. ``fetch`` downloads raw record
+#: bytes; ``decrypt`` is the full user read path (download + ABE
+#: decryption through the session cache). ``sweep`` is the Section V-C
 #: bulk re-encryption — rare and heavyweight, so its share should stay
 #: tiny in any realistic mix.
-OP_CLASSES = ("fetch", "upload", "replace", "sweep")
+OP_CLASSES = ("fetch", "decrypt", "upload", "replace", "sweep")
 
 
 class ZipfPopularity:
@@ -102,13 +104,19 @@ class OpMix:
 
     @classmethod
     def default(cls) -> "OpMix":
-        """The read-dominated default mix."""
-        return cls(fetch=0.80, upload=0.10, replace=0.08, sweep=0.02)
+        """The read-dominated default mix (downloads + full decrypts)."""
+        return cls(fetch=0.55, decrypt=0.25, upload=0.10, replace=0.08,
+                   sweep=0.02)
 
     @classmethod
     def fetch_only(cls) -> "OpMix":
-        """Pure reads — the mix the byte-identity comparison uses."""
+        """Pure raw reads — the mix the byte-identity comparison uses."""
         return cls(fetch=1.0)
+
+    @classmethod
+    def decrypt_only(cls) -> "OpMix":
+        """Pure end-to-end user reads — the decrypt-path capacity mix."""
+        return cls(decrypt=1.0)
 
     def sample(self, rng: random.Random) -> str:
         """One op class drawn by weight."""

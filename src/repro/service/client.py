@@ -50,20 +50,24 @@ paper: the server is never on the path of any secret key.
 from __future__ import annotations
 
 import asyncio
+from collections import OrderedDict
 
 from repro.core.authority import AttributeAuthority, apply_update_key
-from repro.core.decrypt import decrypt as abe_decrypt
 from repro.core.keys import UpdateKey, UserPublicKey
+from repro.core.outsourcing import make_transform_key, user_finalize_value
 from repro.core.owner import DataOwner
 from repro.core.serialize import (
     decode_authority_public_key,
     decode_public_attribute_keys,
     encode_authority_public_key,
     encode_public_attribute_keys,
+    encode_transform_key,
     encode_update_info,
     encode_update_key,
 )
+from repro.fastpath import DecryptionSession
 from repro.crypto.hybrid import encrypt_with_session, open_sealed
+from repro.crypto.symmetric import SymmetricCiphertext
 from repro.errors import (
     AuthorizationError,
     ProtocolError,
@@ -944,11 +948,21 @@ class OwnerClient(BaseClient):
 class UserClient(BaseClient):
     """The data-consumer role against a live server (cf. ``UserEntity``)."""
 
+    #: Bound on cached :class:`DecryptionSession` instances (one per
+    #: (owner, policy shape) pair this user actually reads under).
+    MAX_DECRYPT_SESSIONS = 32
+
     def __init__(self, connection: ServiceConnection, uid: str):
         super().__init__(connection)
         self.uid = uid
         self.public_key = None
         self._secret_keys = {}  # owner id -> {aid -> UserSecretKey}
+        # (owner id, policy source, lsss method) -> DecryptionSession.
+        # Entries are freshness-checked against the live key bundle on
+        # every hit (DecryptionSession.matches), so a revocation-driven
+        # key roll transparently rebuilds instead of serving stale math.
+        self._decrypt_sessions = OrderedDict()
+        self._retrieval_keys = {}  # owner id -> RetrievalKey (private z)
 
     def receive_public_key(self, public_key: UserPublicKey) -> None:
         if public_key.uid != self.uid:
@@ -979,22 +993,175 @@ class UserClient(BaseClient):
     def drop_keys(self, aid: str, owner_id: str) -> None:
         self._secret_keys.get(owner_id, {}).pop(aid, None)
 
-    async def read(self, record_id: str, component_name: str) -> bytes:
-        """Download one component and decrypt it end-to-end."""
-        component = await self._fetch_component(record_id, component_name)
-        abe_ciphertext = component.abe_ciphertext
-        keys = self._secret_keys.get(abe_ciphertext.owner_id)
+    def _keys_for_owner(self, owner_id: str) -> dict:
+        keys = self._secret_keys.get(owner_id)
         if not keys:
             raise AuthorizationError(
                 f"user {self.uid!r} holds no keys scoped to owner "
-                f"{abe_ciphertext.owner_id!r}"
+                f"{owner_id!r}"
             )
-        session = abe_decrypt(
-            self.group, abe_ciphertext, self.public_key, keys
+        return keys
+
+    def decryption_session_for(self, abe_ciphertext) -> DecryptionSession:
+        """The cached :class:`DecryptionSession` for a ciphertext's shape.
+
+        One session per (owner, policy source, LSSS method) this user
+        reads under: repeat reads of records sharing a policy reuse the
+        parsed reconstruction coefficients, the combined key products,
+        and every prepared Miller loop. A hit whose key bundle has
+        rolled (revocation) rebuilds transparently — the cache can
+        serve stale *speed*, never stale *keys*.
+        """
+        keys = self._keys_for_owner(abe_ciphertext.owner_id)
+        matrix = abe_ciphertext.matrix
+        cache_key = (abe_ciphertext.owner_id, str(matrix.policy),
+                     matrix.method)
+        session = self._decrypt_sessions.get(cache_key)
+        if session is not None:
+            if session.matches(self.public_key, keys):
+                self._decrypt_sessions.move_to_end(cache_key)
+                self.connection.meter.bump("decrypt.session.hit")
+                return session
+            del self._decrypt_sessions[cache_key]
+            self.connection.meter.bump("decrypt.session.evict")
+        self.connection.meter.bump("decrypt.session.miss")
+        session = DecryptionSession(
+            self.group, abe_ciphertext, self.public_key, keys,
+            meter=self.connection.meter,
         )
+        self._decrypt_sessions[cache_key] = session
+        while len(self._decrypt_sessions) > self.MAX_DECRYPT_SESSIONS:
+            self._decrypt_sessions.popitem(last=False)
+            self.connection.meter.bump("decrypt.session.evict")
+        return session
+
+    def decrypt_component(self, component: StoredComponent) -> bytes:
+        """Decrypt one downloaded component through the session cache."""
+        abe_ciphertext = component.abe_ciphertext
+        session = self.decryption_session_for(abe_ciphertext)
+        blinded = session.decrypt(abe_ciphertext)
         return open_sealed(
-            session, abe_ciphertext.ciphertext_id, component.data_ciphertext
+            blinded, abe_ciphertext.ciphertext_id, component.data_ciphertext
         )
+
+    async def read(self, record_id: str, component_name: str) -> bytes:
+        """Download one component and decrypt it end-to-end."""
+        component = await self._fetch_component(record_id, component_name)
+        return self.decrypt_component(component)
+
+    async def read_many(self, items) -> list:
+        """Batch read: pipelined downloads, batched session decrypts.
+
+        ``items`` is a sequence of ``(record_id, component_name)``
+        pairs. Downloads share the connection's pipeline window;
+        decryption groups the components by policy shape so every group
+        rides one :meth:`DecryptionSession.decrypt_many` call (one
+        batched final exponentiation, one batch inversion) instead of
+        N cold decrypts.
+        """
+        items = list(items)
+        if self.connection.pipelined:
+            components = await asyncio.gather(*(
+                self._fetch_component(record_id, component_name)
+                for record_id, component_name in items
+            ))
+        else:
+            # A non-pipelined connection admits one in-flight exchange;
+            # concurrent fetches would race on the reply stream.
+            components = [
+                await self._fetch_component(record_id, component_name)
+                for record_id, component_name in items
+            ]
+        groups = OrderedDict()  # id(session) -> (session, [slot indices])
+        sessions = []
+        for index, component in enumerate(components):
+            session = self.decryption_session_for(component.abe_ciphertext)
+            sessions.append(session)
+            groups.setdefault(id(session), (session, []))[1].append(index)
+        plaintexts = [None] * len(items)
+        for session, slots in groups.values():
+            blinded = session.decrypt_many(
+                [components[index].abe_ciphertext for index in slots]
+            )
+            for index, value in zip(slots, blinded):
+                component = components[index]
+                plaintexts[index] = open_sealed(
+                    value, component.abe_ciphertext.ciphertext_id,
+                    component.data_ciphertext,
+                )
+        return plaintexts
+
+    async def put_transform_key(self, transform_key) -> None:
+        """Upload one already-minted blinded bundle to this server."""
+        self.connection.meter_send("transform-key", transform_key)
+        await self.connection.request(
+            MessageType.PUT_TRANSFORM_KEY,
+            protocol.pack_parts(
+                protocol.encode_json({"uid": self.uid}),
+                encode_transform_key(transform_key),
+            ),
+            expect=MessageType.OK,
+        )
+
+    async def register_transform_key(self, owner_id: str) -> None:
+        """Mint and upload the outsourcing token for one owner's data.
+
+        The private ``z`` (the :class:`~repro.core.outsourcing.
+        RetrievalKey`) never leaves this client; the server receives
+        only the blinded bundle. Re-registering after a key roll simply
+        overwrites the server's (uid, owner) slot.
+        """
+        keys = self._keys_for_owner(owner_id)
+        transform_key, retrieval_key = make_transform_key(
+            self.group, self.public_key, keys
+        )
+        await self.put_transform_key(transform_key)
+        self._retrieval_keys[owner_id] = retrieval_key
+
+    async def read_outsourced(self, record_id: str,
+                              component_name: str) -> bytes:
+        """Read via server-side transform: zero pairings on this client.
+
+        Requires a prior :meth:`register_transform_key` for the
+        record's owner. The server applies every pairing of Eq. (1)
+        under the blinded key and returns ``(C, partial, sealed data)``;
+        finalization here is one GT exponentiation plus the AEAD open.
+        """
+        self.connection.meter_send(
+            "read-request", f"{record_id}/{component_name}"
+        )
+        _, body = await self.connection.request(
+            MessageType.TRANSFORM_FETCH,
+            protocol.encode_json({
+                "record": record_id,
+                "component": component_name,
+                "uid": self.uid,
+            }),
+            expect=MessageType.TRANSFORMED,
+        )
+        header_raw, c_raw, partial_raw, data_raw = protocol.unpack_parts(
+            body, 4
+        )
+        header = protocol.decode_json(header_raw)
+        owner_id = protocol.json_str(header, "owner")
+        ciphertext_id = protocol.json_str(header, "id")
+        retrieval_key = self._retrieval_keys.get(owner_id)
+        if retrieval_key is None:
+            raise AuthorizationError(
+                f"no retrieval key for owner {owner_id!r}; call "
+                "register_transform_key first"
+            )
+        # The partial came from an untrusted transform; subgroup-check
+        # both GT elements before exponentiating (the AEAD MAC below is
+        # the integrity gate, this is the don't-run-on-garbage gate).
+        c = self.group.decode_gt(c_raw)
+        partial = self.group.decode_gt(partial_raw)
+        data_ciphertext = SymmetricCiphertext.from_bytes(data_raw)
+        self.connection.meter_receive(
+            "transformed-download", [c, partial, data_raw]
+        )
+        blinded = user_finalize_value(c, partial, retrieval_key)
+        return open_sealed(blinded, ciphertext_id, data_ciphertext)
 
 
 class AuthorityClient(BaseClient):

@@ -128,6 +128,15 @@ class MessageType(IntEnum):
     STATS = 0x40
     STATS_REPLY = 0x41
 
+    # Server-side transform offload (outsourced decryption). The
+    # transform-key registry is an in-memory cache — registering a key
+    # is a naturally idempotent overwrite that works on read-only
+    # servers, so PUT_TRANSFORM_KEY is neither a MUTATION_TYPE nor a
+    # WRITE_TYPE.
+    PUT_TRANSFORM_KEY = 0x50
+    TRANSFORM_FETCH = 0x51
+    TRANSFORMED = 0x52
+
 
 #: Requests that change server state *and* carry a version-2
 #: idempotency envelope, so a retry across a reconnect is applied

@@ -72,15 +72,18 @@ import time
 from collections import OrderedDict
 from concurrent.futures import BrokenExecutor, ThreadPoolExecutor
 
+from repro.core.outsourcing import server_transform, server_transform_many
 from repro.core.reencrypt import reencrypt as abe_reencrypt
 from repro.core.serialize import (
     decode_authority_public_key,
     decode_public_attribute_keys,
+    decode_transform_key,
     decode_update_info,
     decode_update_key,
     peek_update_info,
 )
 from repro.errors import (
+    AuthorizationError,
     ProtocolError,
     ReproError,
     SchemeError,
@@ -133,7 +136,8 @@ class StorageService:
                  read_only: bool = False, dedup_entries: int = 4096,
                  workers=0, sweep_chunk: int = 16,
                  probe_interval: float = 1.0, inline_crypto: bool = False,
-                 max_inflight: int = 32):
+                 max_inflight: int = 32,
+                 evict_transform_keys: bool = True):
         if sweep_chunk <= 0:
             raise ValueError("sweep_chunk must be positive")
         if max_inflight < 1:
@@ -175,6 +179,25 @@ class StorageService:
         # digest -> Table-II payload size of the record blob, so the hot
         # raw-byte fetch path meters without re-decoding group elements.
         self._fetch_sizes = OrderedDict()
+        # (uid, owner id) -> registered TransformKey. In-memory only (a
+        # transform key is rebuildable client-side in one request) and
+        # epoch-coupled: every REENCRYPT/REENCRYPT_SWEEP that rolls an
+        # authority version evicts the entries built against the old
+        # version, so a revoked user's cached token can never outlive
+        # the re-encryption that revoked it (server_transform's version
+        # validation is the second line of defense).
+        self._transform_keys = OrderedDict()
+        self.max_transform_keys = 1024
+        # Adversarial-control knob only: keep pre-revocation transform
+        # keys registered across epoch rolls. This is the "defense
+        # disabled" leg of the stale-transform-token scenario — never
+        # set it in production.
+        self.evict_transform_keys = evict_transform_keys
+        # Pipelined in-flight TRANSFORM_FETCHes funnel through one
+        # micro-batching drain task so concurrent transforms share
+        # prepared pairings and one final exponentiation per batch.
+        self._transform_queue = []
+        self._transform_task = None
         if hasattr(store, "attach_meter"):
             store.attach_meter(self.meter)
         # One thread: store mutations serialize with each other, and
@@ -704,6 +727,167 @@ class StorageService:
                         decode_public_attribute_keys(self.group, pak_raw))
         await self._send(session, MessageType.AUTHORITY_KEYS, blob, seq=seq)
 
+    async def _handle_put_transform_key(self, session, seq, body):
+        """Register a user's outsourced-decryption token.
+
+        A naturally idempotent overwrite of the (uid, owner) slot — no
+        idempotency envelope, no write gating (the registry is
+        in-memory, so it works on read-only servers).
+        """
+        header_raw, key_raw = protocol.unpack_parts(body, 2)
+        request = protocol.decode_json(header_raw)
+        uid = protocol.json_str(request, "uid")
+        # Decode (and subgroup-check) off the loop; transform keys are
+        # the size of a full user key bundle.
+        transform_key = await self._offload(decode_transform_key,
+                                            self.group, key_raw)
+        if transform_key.uid != uid:
+            raise ProtocolError("transform key disagrees on the UID")
+        self._meter_in(session, "transform-key", transform_key)
+        cache_key = (transform_key.uid, transform_key.owner_id)
+        self._transform_keys[cache_key] = transform_key
+        self._transform_keys.move_to_end(cache_key)
+        while len(self._transform_keys) > self.max_transform_keys:
+            self._transform_keys.popitem(last=False)
+            self.meter.bump("transform.cache.evict")
+        self.meter.bump("transform.cache.put")
+        await self._send(session, MessageType.OK, seq=seq)
+
+    async def _handle_transform_fetch(self, session, seq, body):
+        """Serve a component partially decrypted under a registered
+        transform key: all the pairings happen here, the user finishes
+        with one GT exponentiation and zero pairings.
+
+        The reply carries only what finalization needs — the
+        ciphertext's ``C`` component, the partial, and the sealed body —
+        never the LSSS rows the transform already consumed.
+        """
+        request = protocol.decode_json(body)
+        record_id = protocol.json_str(request, "record")
+        component_name = protocol.json_str(request, "component")
+        uid = protocol.json_str(request, "uid")
+        self._meter_in(session, "read-request",
+                       f"{record_id}/{component_name}")
+        record = await self._offload(self.store.get, record_id)
+        component = record.component(component_name)
+        transform_key = self._transform_keys.get((uid, record.owner_id))
+        if transform_key is None:
+            self.meter.bump("transform.cache.miss")
+            raise AuthorizationError(
+                f"no transform key registered for user {uid!r} under "
+                f"owner {record.owner_id!r}; send PUT_TRANSFORM_KEY first"
+            )
+        self.meter.bump("transform.cache.hit")
+        self._transform_keys.move_to_end((uid, record.owner_id))
+        ciphertext = component.abe_ciphertext
+        partial = await self._transform_partial(ciphertext, transform_key)
+        reply = protocol.pack_parts(
+            protocol.encode_json({
+                "record": record_id,
+                "component": component_name,
+                "id": ciphertext.ciphertext_id,
+                "owner": record.owner_id,
+            }),
+            ciphertext.c.to_bytes(),
+            partial.to_bytes(),
+            component.data_ciphertext.to_bytes(),
+        )
+        self.meter.record_sized(
+            self.name, self.role, session.peer_name, session.peer_role,
+            "transformed-download",
+            2 * self.group.gt_bytes + len(component.data_ciphertext),
+        )
+        await self._send(session, MessageType.TRANSFORMED, reply, seq=seq)
+
+    async def _transform_partial(self, ciphertext, transform_key):
+        """Queue one transform and await its partial decryption.
+
+        Requests that pile up while a batch is on the offload thread
+        drain as the *next* batch: concurrent in-flight transforms under
+        one key share prepared pairings and a single batched final
+        exponentiation (:func:`repro.core.outsourcing.
+        server_transform_many`) instead of paying per-request pairing
+        reductions.
+        """
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self._transform_queue.append((ciphertext, transform_key, future))
+        if self._transform_task is None or self._transform_task.done():
+            self._transform_task = loop.create_task(self._drain_transforms())
+        return await future
+
+    async def _drain_transforms(self):
+        while self._transform_queue:
+            batch, self._transform_queue = self._transform_queue, []
+            by_key = {}
+            for ciphertext, transform_key, future in batch:
+                by_key.setdefault(id(transform_key), (transform_key, []))[
+                    1
+                ].append((ciphertext, future))
+            for transform_key, items in by_key.values():
+                pending = [(ciphertext, future) for ciphertext, future
+                           in items if not future.done()]
+                if not pending:
+                    continue
+                if len(pending) > 1:
+                    self.meter.bump("transform.batch.amortized",
+                                    len(pending) - 1)
+                try:
+                    partials = await self._offload(
+                        server_transform_many, self.group,
+                        [ciphertext for ciphertext, _ in pending],
+                        transform_key,
+                    )
+                except ReproError:
+                    # One bad ciphertext (e.g. a stale version) fails the
+                    # whole batch call: re-run per item so its siblings
+                    # still get their partials and only the bad request
+                    # earns the typed error.
+                    for ciphertext, future in pending:
+                        try:
+                            partial = await self._offload(
+                                server_transform, self.group, ciphertext,
+                                transform_key,
+                            )
+                        except BaseException as exc:
+                            if not future.done():
+                                future.set_exception(exc)
+                        else:
+                            if not future.done():
+                                future.set_result(partial)
+                    continue
+                except BaseException as exc:
+                    for _, future in pending:
+                        if not future.done():
+                            future.set_exception(exc)
+                    continue
+                for (_, future), partial in zip(pending, partials):
+                    if not future.done():
+                        future.set_result(partial)
+
+    def _evict_stale_transform_keys(self, aid: str, to_version: int) -> None:
+        """Drop every registered transform key the epoch roll outran.
+
+        Called after any successful REENCRYPT/REENCRYPT_SWEEP: a key
+        carrying a version below ``to_version`` for the re-keyed
+        authority belongs to the pre-revocation epoch and must not be
+        applied to re-encrypted ciphertexts (it would fail version
+        validation anyway — eviction keeps the registry from serving
+        guaranteed-stale tokens and forces revoked users back through
+        key issuance).
+        """
+        if not self.evict_transform_keys:
+            return
+        stale = [
+            cache_key
+            for cache_key, transform_key in self._transform_keys.items()
+            if aid in transform_key.transformed_secret
+            and transform_key.transformed_secret[aid].version < to_version
+        ]
+        for cache_key in stale:
+            del self._transform_keys[cache_key]
+            self.meter.bump("transform.cache.evict")
+
     async def _handle_reencrypt(self, session, seq, body):
         id_raw, key_raw, info_raw = protocol.unpack_parts(body, 3)
         try:
@@ -715,6 +899,8 @@ class StorageService:
         )
         self._meter_in(session, "update-key", update_key)
         self._meter_in(session, "update-info", update_info)
+        self._evict_stale_transform_keys(update_key.aid,
+                                         update_key.to_version)
         await self._send(session, MessageType.OK, seq=seq)
 
     def _reencrypt_one(self, ciphertext_id, key_raw, info_raw):
@@ -845,6 +1031,8 @@ class StorageService:
         # repoint lands on disk before SWEEP_DONE acknowledges the
         # sweep (a failed sweep leaves old blobs for gc instead).
         await self._offload(self.store.commit_replacements)
+        self._evict_stale_transform_keys(update_key.aid,
+                                         update_key.to_version)
         summary = protocol.encode_json({
             "requested": declared,
             "records": len(record_ids),
@@ -923,7 +1111,12 @@ class StorageService:
             "dedup_hits": self.dedup.hits,
             "cache": (self.store.cache_stats()
                       if hasattr(self.store, "cache_stats") else {}),
-            "counters": self.meter.counter_summary("store."),
+            "transform_keys": len(self._transform_keys),
+            "counters": {
+                **self.meter.counter_summary("store."),
+                **self.meter.counter_summary("transform."),
+                **self.meter.counter_summary("decrypt."),
+            },
             "wire_bytes": self.meter.wire_bytes,
             "channels": self.meter.channel_summary(),
             "by_kind": self.meter.bytes_by_kind(),
@@ -942,6 +1135,8 @@ class StorageService:
         MessageType.REPAIR_RECORD: _handle_repair_record,
         MessageType.PUT_AUTHORITY_KEYS: _handle_put_authority_keys,
         MessageType.GET_AUTHORITY_KEYS: _handle_get_authority_keys,
+        MessageType.PUT_TRANSFORM_KEY: _handle_put_transform_key,
+        MessageType.TRANSFORM_FETCH: _handle_transform_fetch,
         MessageType.REENCRYPT: _handle_reencrypt,
         MessageType.REENCRYPT_SWEEP: _handle_reencrypt_sweep,
         MessageType.STATS: _handle_stats,

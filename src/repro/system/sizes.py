@@ -31,6 +31,7 @@ from repro.core.keys import (
     UserSecretKey,
     VersionKey,
 )
+from repro.core.outsourcing import TransformKey
 from repro.crypto.symmetric import SymmetricCiphertext
 from repro.errors import ReproError
 from repro.pairing.group import G1Element, GTElement, PairingGroup
@@ -85,6 +86,11 @@ def measure(payload, group: PairingGroup) -> int:
         return len(payload.elements) * g1
     if isinstance(payload, Ciphertext):
         return payload.element_size_bytes(group)
+    if isinstance(payload, TransformKey):
+        return g1 + sum(
+            measure(key, group)
+            for key in payload.transformed_secret.values()
+        )
     if isinstance(payload, SymmetricCiphertext):
         return len(payload)
 

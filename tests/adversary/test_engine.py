@@ -27,6 +27,7 @@ BUILTINS = [
     "sweep-withholding",
     "spam-flood",
     "stale-replica",
+    "stale-transform-token",
 ]
 
 

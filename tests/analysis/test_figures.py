@@ -32,6 +32,20 @@ class TestFigureSeries:
         assert len(series.points) == 2
         assert series.title.startswith("Fig 3(b)")
 
+    def test_decrypt_figure_carries_session_series(self):
+        series = figure_series("3b", TOY80, [1, 2], seed=5)
+        assert series.has_session
+        for point in series.points:
+            assert point.session_seconds > 0
+        csv = series.to_csv()
+        assert csv.splitlines()[0].endswith(",session_seconds")
+        assert "session" in render_ascii(series)
+
+    def test_encrypt_figure_has_no_session_series(self, series_3a):
+        assert not series_3a.has_session
+        for point in series_3a.points:
+            assert point.session_seconds is None
+
     def test_attribute_axis(self):
         series = figure_series("4a", TOY80, [1], seed=5)
         assert series.x_label == "attrs_per_authority"

@@ -5,6 +5,7 @@ import pytest
 from repro.core.outsourcing import (
     make_transform_key,
     server_transform,
+    server_transform_many,
     user_finalize,
 )
 from repro.errors import PolicyNotSatisfiedError, SchemeError
@@ -123,3 +124,42 @@ class TestApi:
         )
         with pytest.raises(SchemeError, match="version"):
             server_transform(group, updated, transform)
+
+
+class TestBatchTransform:
+    def test_batch_matches_per_ciphertext(self, world):
+        deployment, public, keys, message, ciphertext = world
+        group = deployment.scheme.group
+        messages = [deployment.scheme.random_message() for _ in range(3)]
+        # Two policy shapes in one batch: the batch path builds one
+        # internal session per shape, never mixes them up.
+        ciphertexts = [ciphertext] + [
+            deployment.owner.encrypt(
+                messages[0], "hospital:doctor OR trial:researcher"
+            ),
+            deployment.owner.encrypt(messages[1], POLICY),
+        ]
+        transform, retrieval = make_transform_key(group, public, keys)
+        batched = server_transform_many(group, ciphertexts, transform)
+        for one, many in zip(
+            (server_transform(group, c, transform) for c in ciphertexts),
+            batched,
+        ):
+            assert one.to_bytes() == many.to_bytes()
+        assert user_finalize(ciphertexts[0], batched[0], retrieval) \
+            == message
+
+    def test_stale_batch_rejected_before_any_pairing(self, world):
+        deployment, public, keys, message, ciphertext = world
+        group = deployment.scheme.group
+        transform, _ = make_transform_key(group, public, keys)
+        result = deployment.scheme.revoke("hospital", "u", ["doctor"])
+        ui = deployment.owner.update_info(ciphertext, result.update_key)
+        deployment.owner.apply_update_key(result.update_key)
+        updated = deployment.scheme.reencrypt(
+            ciphertext, result.update_key, ui
+        )
+        group.counter.reset()
+        with pytest.raises(SchemeError, match="version"):
+            server_transform_many(group, [updated], transform)
+        assert group.counter.pairings == 0

@@ -60,8 +60,17 @@ def test_mix_normalizes_weights():
 
 
 def test_mix_parse_round_trips_the_cli_form():
-    mix = OpMix.parse("fetch=0.8, upload=0.1, replace=0.08, sweep=0.02")
+    mix = OpMix.parse(
+        "fetch=0.55, decrypt=0.25, upload=0.1, replace=0.08, sweep=0.02"
+    )
     assert mix.as_dict() == pytest.approx(OpMix.default().as_dict())
+
+
+def test_decrypt_only_is_pure_user_reads():
+    mix = OpMix.decrypt_only()
+    rng = random.Random(5)
+    assert {mix.sample(rng) for _ in range(100)} == {"decrypt"}
+    assert mix.weights["decrypt"] == 1.0
 
 
 def test_mix_parse_rejects_malformed_entries():
